@@ -1,0 +1,84 @@
+//! E3 — cost of the MSO_NW → VPA compilation (the paper's Fact 1 / decidability oracle).
+//!
+//! Measures compilation plus emptiness checking for formulae of growing quantifier depth
+//! over a small visible alphabet, exhibiting the steep (non-elementary in general) growth in
+//! the number of automaton states.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdms_nested::mso::{MsoNw, PosVar};
+use rdms_nested::{Alphabet, LetterKind};
+use std::sync::Arc;
+
+fn base() -> Arc<Alphabet> {
+    let mut a = Alphabet::new();
+    a.call("<");
+    a.ret(">");
+    a.internal("x");
+    a.into_arc()
+}
+
+/// A chain of alternating quantifiers: ∀p1 ∃p2 … (pi are ordered and the last carries `x`).
+fn alternation(depth: usize, alphabet: &Arc<Alphabet>) -> MsoNw {
+    let x_letter = alphabet.lookup("x").unwrap();
+    let vars: Vec<PosVar> = (0..depth as u32).map(PosVar).collect();
+    let mut body = MsoNw::letter(x_letter, vars[depth - 1]);
+    for w in vars.windows(2) {
+        body = MsoNw::less(w[0], w[1]).and(body);
+    }
+    let mut phi = body;
+    for (i, &v) in vars.iter().enumerate().rev() {
+        phi = if i % 2 == 0 {
+            MsoNw::forall_pos(
+                v,
+                MsoNw::letter_among(alphabet.letters_of_kind(LetterKind::Internal), v).implies(phi),
+            )
+        } else {
+            MsoNw::exists_pos(v, phi)
+        };
+    }
+    phi
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let alphabet = base();
+    let mut group = c.benchmark_group("e3_mso_to_vpa");
+    group.sample_size(10);
+    for depth in 1..=3usize {
+        let phi = alternation(depth, &alphabet);
+        group.bench_with_input(BenchmarkId::new("quantifier_depth", depth), &depth, |bench, _| {
+            bench.iter(|| {
+                let compiled = rdms_nested::compile(&phi, &alphabet);
+                (compiled.vpa.num_states, rdms_nested::vpa::emptiness::is_empty(&compiled.vpa))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_satisfiability_with_witness(c: &mut Criterion) {
+    let alphabet = base();
+    let x_letter = alphabet.lookup("x").unwrap();
+    // "some matched pair contains an x"
+    let cpos = PosVar(0);
+    let rpos = PosVar(1);
+    let p = PosVar(2);
+    let phi = MsoNw::exists_pos(
+        cpos,
+        MsoNw::exists_pos(
+            rpos,
+            MsoNw::exists_pos(
+                p,
+                MsoNw::matched(cpos, rpos)
+                    .and(MsoNw::less(cpos, p))
+                    .and(MsoNw::less(p, rpos))
+                    .and(MsoNw::letter(x_letter, p)),
+            ),
+        ),
+    );
+    c.bench_function("e3_satisfiability_with_witness", |bench| {
+        bench.iter(|| rdms_nested::satisfying_witness(&phi, &alphabet).is_some())
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_satisfiability_with_witness);
+criterion_main!(benches);

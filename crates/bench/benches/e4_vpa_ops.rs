@@ -1,0 +1,74 @@
+//! E4 — scaling of the VPA operations underlying the decision procedure: membership,
+//! product, determinization and emptiness, as a function of automaton size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdms_nested::vpa::determinize::determinize;
+use rdms_nested::vpa::emptiness::is_empty;
+use rdms_nested::vpa::ops::intersect;
+use rdms_nested::{Alphabet, LetterId, NestedWord, Vpa};
+use std::sync::Arc;
+
+fn alphabet() -> Arc<Alphabet> {
+    let mut a = Alphabet::new();
+    a.call("<");
+    a.ret(">");
+    a.internal("x");
+    a.internal("y");
+    a.into_arc()
+}
+
+/// A nondeterministic automaton with a chain of `n` states that guesses where a matched
+/// call containing at least `n` consecutive `x`s starts.
+fn chain_automaton(alphabet: Arc<Alphabet>, n: usize) -> Vpa {
+    let lt = alphabet.lookup("<").unwrap();
+    let gt = alphabet.lookup(">").unwrap();
+    let x = alphabet.lookup("x").unwrap();
+    let mut vpa = Vpa::new(alphabet, n + 3, 2);
+    vpa.set_initial(0);
+    vpa.set_final(n + 2);
+    vpa.add_all_letter_loops(0, 0);
+    vpa.add_call(0, lt, 1, 1);
+    for i in 1..=n {
+        vpa.add_internal(i, x, i + 1);
+    }
+    vpa.add_internal(n + 1, x, n + 1);
+    vpa.add_return(n + 1, 1, gt, n + 2);
+    vpa.add_all_letter_loops(n + 2, 0);
+    vpa
+}
+
+fn sample_word(alphabet: Arc<Alphabet>, n: usize) -> NestedWord {
+    let mut ids = Vec::new();
+    let lt = alphabet.lookup("<").unwrap().0;
+    let gt = alphabet.lookup(">").unwrap().0;
+    let x = alphabet.lookup("x").unwrap().0;
+    ids.push(lt);
+    for _ in 0..n + 1 {
+        ids.push(x);
+    }
+    ids.push(gt);
+    NestedWord::new(alphabet, ids.into_iter().map(LetterId).collect())
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let alphabet = alphabet();
+    let mut group = c.benchmark_group("e4_vpa_ops");
+    group.sample_size(20);
+    for n in [2usize, 6, 12] {
+        let vpa = chain_automaton(alphabet.clone(), n);
+        let word = sample_word(alphabet.clone(), n);
+        group.bench_with_input(BenchmarkId::new("membership", n), &n, |b, _| {
+            b.iter(|| vpa.accepts(&word))
+        });
+        group.bench_with_input(BenchmarkId::new("product_emptiness", n), &n, |b, _| {
+            b.iter(|| is_empty(&intersect(&vpa, &vpa)))
+        });
+        group.bench_with_input(BenchmarkId::new("determinize", n), &n, |b, _| {
+            b.iter(|| determinize(&vpa).num_states)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

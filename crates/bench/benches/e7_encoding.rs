@@ -1,0 +1,36 @@
+//! E7 — throughput of the nested-word encoding and decoding (run ↔ word, Section 6.3) and
+//! of the symbolic abstraction / concretisation (Section 6.1), as a function of run length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdms_checker::RunEncoder;
+use rdms_core::symbolic;
+use rdms_workloads::figure1;
+use rdms_workloads::random::random_run;
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let dms = figure1::dms();
+    let b = 3;
+    let encoder = RunEncoder::new(&dms, b);
+    let mut group = c.benchmark_group("e7_encoding");
+    for steps in [4usize, 16, 64] {
+        let run = random_run(&dms, b, steps, 7);
+        let word = encoder.encode(&run).expect("encodable");
+        group.bench_with_input(BenchmarkId::new("encode", steps), &steps, |bench, _| {
+            bench.iter(|| encoder.encode(&run).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("decode_validate", steps), &steps, |bench, _| {
+            bench.iter(|| encoder.decode(&word).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("abstraction", steps), &steps, |bench, _| {
+            bench.iter(|| symbolic::abstraction(&dms, &run).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("concretize", steps), &steps, |bench, _| {
+            let abs = symbolic::abstraction(&dms, &run).unwrap();
+            bench.iter(|| symbolic::concretize(&dms, b, &abs).unwrap().unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_decode);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! E8 — FOL(R) evaluation cost as a function of instance size and query shape: boolean
+//! evaluation, answer enumeration (join), negation (active-domain complement) and the
+//! Gold_k history query of Example 5.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdms_db::{answers, eval, DataValue, Instance, Query, RelName, Substitution, Var};
+use rdms_workloads::booking::{self, BookingConfig};
+
+fn r(name: &str) -> RelName {
+    RelName::new(name)
+}
+
+fn chain_instance(n: u64) -> Instance {
+    let mut instance = Instance::new();
+    for i in 1..=n {
+        instance.insert(r("Node"), vec![DataValue::e(i)]);
+        if i > 1 {
+            instance.insert(r("Edge"), vec![DataValue::e(i - 1), DataValue::e(i)]);
+        }
+        if i % 3 == 0 {
+            instance.insert(r("Marked"), vec![DataValue::e(i)]);
+        }
+    }
+    instance
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let u = Var::new("u");
+    let v = Var::new("v");
+    let w = Var::new("w");
+    let mut group = c.benchmark_group("e8_query_eval");
+    for n in [20u64, 80, 200] {
+        let instance = chain_instance(n);
+        // join: two-hop paths ending in a marked node
+        let join = Query::atom(r("Edge"), [u, v])
+            .and(Query::atom(r("Edge"), [v, w]))
+            .and(Query::atom(r("Marked"), [w]));
+        group.bench_with_input(BenchmarkId::new("two_hop_join_answers", n), &n, |b, _| {
+            b.iter(|| answers(&instance, &join).unwrap().len())
+        });
+        // negation (complement within the active domain)
+        let unmarked = Query::atom(r("Node"), [u]).and(Query::atom(r("Marked"), [u]).not());
+        group.bench_with_input(BenchmarkId::new("negation_answers", n), &n, |b, _| {
+            b.iter(|| answers(&instance, &unmarked).unwrap().len())
+        });
+        // boolean evaluation with quantifier alternation: every edge target is a node
+        let sentence = Query::forall(
+            u,
+            Query::exists(v, Query::atom(r("Edge"), [v, u])).implies(Query::atom(r("Node"), [u])),
+        );
+        group.bench_with_input(BenchmarkId::new("forall_exists_holds", n), &n, |b, _| {
+            b.iter(|| eval::holds_boolean(&instance, &sentence).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_gold_query(c: &mut Criterion) {
+    // Gold_k over a growing booking history (Example 5.2): k distinct accepted bookings.
+    let agency = booking::build(&BookingConfig::default());
+    let states = &agency.states;
+    let customer = agency.customers[0];
+    let restaurant = agency.restaurants[0];
+    let mut group = c.benchmark_group("e8_gold_query");
+    for history in [4u64, 10, 20] {
+        // synthesise a logged history of `history` accepted bookings
+        let mut instance = Instance::new();
+        for i in 0..history {
+            let offer = DataValue(10_000 + 2 * i);
+            let booking_id = DataValue(10_001 + 2 * i);
+            instance.insert(r("Offer"), vec![offer, restaurant, agency.agents[0]]);
+            instance.insert(r("Booking"), vec![booking_id, offer, customer]);
+            instance.insert(r("BState"), vec![booking_id, states.accepted]);
+        }
+        for k in [1usize, 2] {
+            let gold = booking::gold_query(k, Var::new("c"), Var::new("rr"), states);
+            let sub = Substitution::from_pairs([(Var::new("c"), customer), (Var::new("rr"), restaurant)]);
+            group.bench_with_input(
+                BenchmarkId::new(format!("gold_k{k}"), history),
+                &history,
+                |b, _| b.iter(|| eval::holds(&instance, &sub, &gold).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_gold_query);
+criterion_main!(benches);

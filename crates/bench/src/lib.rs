@@ -1,0 +1,1 @@
+//! Support crate for the rdms benchmark suite (all content lives in `benches/`).

@@ -1,0 +1,652 @@
+//! The nested-word encoding of `b`-bounded runs (Section 6.3 of the paper).
+//!
+//! The visible alphabet of the encoding is
+//!
+//! * `Σint = {α:s | ⟨α,s⟩ ∈ symAlph_{S,b}} ∪ {I₀}` — one internal letter per symbolic letter
+//!   plus a letter for the initial database,
+//! * `Σ↑ = {↑0, …, ↑b−1}` — pop letters, temporarily removing the recency window,
+//! * `Σ↓ = {↓−η, …, ↓b−1}` — push letters, re-inserting the surviving recent elements and
+//!   pushing the freshly injected ones (`η = max_α |α·new|`).
+//!
+//! Every step of a run becomes a **block** `block(α, s, m, J) = α:s ↑0…↑m−1 ↓i_1…↓i_ℓ ↓−1…↓−n`
+//! (Figure 2). [`RunEncoder::encode`] produces the encoding of a run, [`RunEncoder::decode`]
+//! reconstructs the (canonical) run of a word while checking the validity conditions of
+//! Section 6.3.1 procedurally — this is the operational counterpart of `ϕ_valid`.
+
+use rdms_core::symbolic::{abstract_step, concretize_step, symbolic_alphabet, SymbolicLetter};
+use rdms_core::{recent_b, Dms, ExtendedRun};
+use rdms_nested::{Alphabet, LetterId, NestedWord};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The encoding alphabet for a DMS and a recency bound.
+#[derive(Clone, Debug)]
+pub struct EncodingAlphabet {
+    alphabet: Arc<Alphabet>,
+    b: usize,
+    eta: usize,
+    i0: LetterId,
+    internal: BTreeMap<SymbolicLetter, LetterId>,
+    internal_rev: BTreeMap<LetterId, SymbolicLetter>,
+    pops: Vec<LetterId>,
+    pushes: BTreeMap<i64, LetterId>,
+}
+
+impl EncodingAlphabet {
+    /// Build the alphabet `Σ` of Section 6.3 for `dms` and bound `b`.
+    pub fn new(dms: &Dms, b: usize) -> EncodingAlphabet {
+        let eta = dms.max_fresh();
+        let mut alphabet = Alphabet::new();
+        let i0 = alphabet.internal("I0");
+
+        let mut internal = BTreeMap::new();
+        let mut internal_rev = BTreeMap::new();
+        for letter in symbolic_alphabet(dms, b) {
+            let action = dms.action(letter.action).expect("letter built from this DMS");
+            let sub: Vec<String> = letter
+                .sub
+                .iter()
+                .map(|(var, idx)| format!("{var}↦{idx}"))
+                .collect();
+            let name = format!("⟨{}:{{{}}}⟩", action.name(), sub.join(","));
+            let id = alphabet.internal(&name);
+            internal.insert(letter.clone(), id);
+            internal_rev.insert(id, letter);
+        }
+
+        let pops: Vec<LetterId> = (0..b).map(|i| alphabet.ret(&format!("↑{i}"))).collect();
+        let mut pushes = BTreeMap::new();
+        for i in -(eta as i64)..=(b as i64 - 1) {
+            if i == 0 && b == 0 {
+                continue;
+            }
+            pushes.insert(i, alphabet.call(&format!("↓{i}")));
+        }
+        // the index 0 push must exist even when η = 0 and b ≥ 1 (handled by the range above);
+        // when b = 0 and η = 0 the push alphabet is empty, which is fine (no action can fire).
+
+        EncodingAlphabet {
+            alphabet: alphabet.into_arc(),
+            b,
+            eta,
+            i0,
+            internal,
+            internal_rev,
+            pops,
+            pushes,
+        }
+    }
+
+    /// The underlying visible alphabet.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    /// The recency bound `b`.
+    pub fn bound(&self) -> usize {
+        self.b
+    }
+
+    /// `η = max_α |α·new|`.
+    pub fn eta(&self) -> usize {
+        self.eta
+    }
+
+    /// The `I₀` letter.
+    pub fn i0(&self) -> LetterId {
+        self.i0
+    }
+
+    /// The internal letter of a symbolic letter.
+    pub fn internal_letter(&self, letter: &SymbolicLetter) -> Option<LetterId> {
+        self.internal.get(letter).copied()
+    }
+
+    /// The symbolic letter of an internal letter (if it is not `I₀`).
+    pub fn symbolic(&self, letter: LetterId) -> Option<&SymbolicLetter> {
+        self.internal_rev.get(&letter)
+    }
+
+    /// The pop letter `↑i`.
+    pub fn pop(&self, i: usize) -> LetterId {
+        self.pops[i]
+    }
+
+    /// The push letter `↓i` (negative indices denote fresh elements).
+    pub fn push(&self, i: i64) -> LetterId {
+        self.pushes[&i]
+    }
+
+    /// The index of a pop letter.
+    pub fn pop_index(&self, letter: LetterId) -> Option<usize> {
+        self.pops.iter().position(|&l| l == letter)
+    }
+
+    /// The index of a push letter.
+    pub fn push_index(&self, letter: LetterId) -> Option<i64> {
+        self.pushes
+            .iter()
+            .find_map(|(&i, &l)| if l == letter { Some(i) } else { None })
+    }
+
+    /// All block-head letters (the symbolic internal letters, excluding `I₀`).
+    pub fn head_letters(&self) -> impl Iterator<Item = LetterId> + '_ {
+        self.internal_rev.keys().copied()
+    }
+
+    /// All push letters with a non-negative index (surviving recent elements).
+    pub fn surviving_push_letters(&self) -> impl Iterator<Item = (usize, LetterId)> + '_ {
+        self.pushes
+            .iter()
+            .filter(|(&i, _)| i >= 0)
+            .map(|(&i, &l)| (i as usize, l))
+    }
+
+    /// All push letters with a negative index (freshly injected elements).
+    pub fn fresh_push_letters(&self) -> impl Iterator<Item = (usize, LetterId)> + '_ {
+        self.pushes
+            .iter()
+            .filter(|(&i, _)| i < 0)
+            .map(|(&i, &l)| ((-i) as usize, l))
+    }
+
+    /// Size of the alphabet (used by the construction-cost benchmark E2).
+    pub fn len(&self) -> usize {
+        self.alphabet.len()
+    }
+
+    /// Whether the alphabet is empty (it never is: `I₀` is always present).
+    pub fn is_empty(&self) -> bool {
+        self.alphabet.is_empty()
+    }
+}
+
+/// Errors raised when decoding / validating a nested word as a run encoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The word does not start with the `I₀` letter.
+    MissingInitialLetter,
+    /// A block is syntactically malformed (condition 0 of Section 6.3.1).
+    MalformedBlock { block: usize, reason: String },
+    /// The number of pops does not match `|Recent_b(I)|` (condition 1).
+    InconsistentM { block: usize, expected: usize, got: usize },
+    /// The set of surviving pushes does not match the live elements (condition 2).
+    InconsistentJ { block: usize, expected: Vec<usize>, got: Vec<usize> },
+    /// The action guard is not satisfied under the decoded substitution, or the symbolic
+    /// letter refers to a recency index that does not exist (condition 3 / condition `Cnd`).
+    NotEnabled { block: usize },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::MissingInitialLetter => write!(f, "the encoding must start with I₀"),
+            DecodeError::MalformedBlock { block, reason } => {
+                write!(f, "block {block} is malformed: {reason}")
+            }
+            DecodeError::InconsistentM { block, expected, got } => write!(
+                f,
+                "block {block}: {got} pops, but |Recent_b| = {expected} (condition 1)"
+            ),
+            DecodeError::InconsistentJ { block, expected, got } => write!(
+                f,
+                "block {block}: surviving indices {got:?}, but the live indices are {expected:?} (condition 2)"
+            ),
+            DecodeError::NotEnabled { block } => {
+                write!(f, "block {block}: the action is not enabled (condition Cnd / 3)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encoder / decoder / validator for the nested-word encoding of `b`-bounded runs of one DMS.
+pub struct RunEncoder<'a> {
+    dms: &'a Dms,
+    b: usize,
+    alphabet: EncodingAlphabet,
+}
+
+impl<'a> RunEncoder<'a> {
+    /// Create an encoder for `dms` with recency bound `b`.
+    pub fn new(dms: &'a Dms, b: usize) -> RunEncoder<'a> {
+        RunEncoder {
+            dms,
+            b,
+            alphabet: EncodingAlphabet::new(dms, b),
+        }
+    }
+
+    /// The encoding alphabet.
+    pub fn alphabet(&self) -> &EncodingAlphabet {
+        &self.alphabet
+    }
+
+    /// The DMS.
+    pub fn dms(&self) -> &Dms {
+        self.dms
+    }
+
+    /// The recency bound.
+    pub fn bound(&self) -> usize {
+        self.b
+    }
+
+    /// Encode a `b`-bounded extended run as a nested word (Figure 2).
+    ///
+    /// Returns `None` if some step of the run is not a legal `b`-bounded step (e.g. a
+    /// parameter outside the recency window), mirroring the partiality of `Abstr`.
+    pub fn encode(&self, run: &ExtendedRun) -> Option<NestedWord> {
+        let mut letters = vec![self.alphabet.i0()];
+        for (index, step) in run.steps().iter().enumerate() {
+            let before = &run.configs()[index];
+            let after = &run.configs()[index + 1];
+            let action = self.dms.action(step.action).ok()?;
+
+            let symbolic = abstract_step(self.dms, before, step)?;
+            // every parameter index must be inside the window
+            for (_, idx) in symbolic.sub.iter() {
+                if idx >= self.b as i64 {
+                    return None;
+                }
+            }
+            letters.push(self.alphabet.internal_letter(&symbolic)?);
+
+            let m = recent_b(before, self.b).len();
+            for i in 0..m {
+                letters.push(self.alphabet.pop(i));
+            }
+            // surviving recent elements, most recent pushed last ⇒ indices in descending order
+            let after_adom = after.instance.active_domain();
+            let by_recency = before.adom_by_recency();
+            let mut survivors: Vec<usize> = (0..m)
+                .filter(|&j| after_adom.contains(&by_recency[j]))
+                .collect();
+            survivors.sort_unstable_by(|a, b| b.cmp(a));
+            for j in survivors {
+                letters.push(self.alphabet.push(j as i64));
+            }
+            for k in 1..=action.num_fresh() {
+                letters.push(self.alphabet.push(-(k as i64)));
+            }
+        }
+        Some(NestedWord::new(self.alphabet.alphabet().clone(), letters))
+    }
+
+    /// Decode a nested word into the canonical `b`-bounded run it encodes, checking the
+    /// validity conditions 0–3 of Section 6.3.1. This is the procedural counterpart of
+    /// `ϕ_valid^{b,S}`.
+    pub fn decode(&self, word: &NestedWord) -> Result<ExtendedRun, DecodeError> {
+        let blocks = self.split_blocks(word)?;
+        let mut run = ExtendedRun::new(self.dms.initial_bconfig());
+        for (index, block) in blocks.iter().enumerate() {
+            let before = run.last().clone();
+
+            // condition 3 / Cnd: the action must be enabled under the decoded substitution
+            let (step, after) = concretize_step(self.dms, self.b, &before, &block.letter)
+                .map_err(|_| DecodeError::NotEnabled { block: index })?
+                .ok_or(DecodeError::NotEnabled { block: index })?;
+
+            // condition 1: the number of pops equals |Recent_b(I)|
+            let m = recent_b(&before, self.b).len();
+            if block.pops != m {
+                return Err(DecodeError::InconsistentM {
+                    block: index,
+                    expected: m,
+                    got: block.pops,
+                });
+            }
+
+            // condition 2: the surviving indices are exactly the live ones
+            let after_adom = after.instance.active_domain();
+            let by_recency = before.adom_by_recency();
+            let mut expected: Vec<usize> = (0..m)
+                .filter(|&j| after_adom.contains(&by_recency[j]))
+                .collect();
+            expected.sort_unstable_by(|a, b| b.cmp(a));
+            if block.survivors != expected {
+                return Err(DecodeError::InconsistentJ {
+                    block: index,
+                    expected,
+                    got: block.survivors.clone(),
+                });
+            }
+
+            // condition 0 (remaining part): the fresh pushes match the action's fresh count
+            let action = self.dms.action(block.letter.action).expect("validated above");
+            if block.fresh != action.num_fresh() {
+                return Err(DecodeError::MalformedBlock {
+                    block: index,
+                    reason: format!(
+                        "{} fresh pushes, but the action has {} fresh inputs",
+                        block.fresh,
+                        action.num_fresh()
+                    ),
+                });
+            }
+
+            run.push(step, after);
+        }
+        Ok(run)
+    }
+
+    /// Whether a word is a valid encoding of a `b`-bounded run.
+    pub fn is_valid_encoding(&self, word: &NestedWord) -> bool {
+        self.decode(word).is_ok()
+    }
+
+    /// Split a word into blocks, checking the purely syntactic well-formedness (condition 0).
+    fn split_blocks(&self, word: &NestedWord) -> Result<Vec<RawBlock>, DecodeError> {
+        if word.is_empty() || word.letter(0) != self.alphabet.i0() {
+            return Err(DecodeError::MissingInitialLetter);
+        }
+        let mut blocks = Vec::new();
+        let mut position = 1;
+        let mut block_index = 0;
+        while position < word.len() {
+            let head = word.letter(position);
+            let letter = self
+                .alphabet
+                .symbolic(head)
+                .ok_or_else(|| DecodeError::MalformedBlock {
+                    block: block_index,
+                    reason: "expected a block head (action letter)".to_owned(),
+                })?
+                .clone();
+            position += 1;
+
+            // pops ↑0 ↑1 … in increasing order
+            let mut pops = 0;
+            while position < word.len() {
+                match self.alphabet.pop_index(word.letter(position)) {
+                    Some(i) => {
+                        if i != pops {
+                            return Err(DecodeError::MalformedBlock {
+                                block: block_index,
+                                reason: format!("pop ↑{i} out of order (expected ↑{pops})"),
+                            });
+                        }
+                        pops += 1;
+                        position += 1;
+                    }
+                    None => break,
+                }
+            }
+
+            // surviving pushes (non-negative, strictly decreasing), then fresh pushes
+            // (−1, −2, … in order)
+            let mut survivors: Vec<usize> = Vec::new();
+            let mut fresh = 0usize;
+            while position < word.len() {
+                match self.alphabet.push_index(word.letter(position)) {
+                    Some(i) if i >= 0 => {
+                        let i = i as usize;
+                        if fresh > 0 {
+                            return Err(DecodeError::MalformedBlock {
+                                block: block_index,
+                                reason: "surviving push after a fresh push".to_owned(),
+                            });
+                        }
+                        if let Some(&last) = survivors.last() {
+                            if i >= last {
+                                return Err(DecodeError::MalformedBlock {
+                                    block: block_index,
+                                    reason: format!("push ↓{i} not in decreasing order"),
+                                });
+                            }
+                        }
+                        if i >= pops {
+                            return Err(DecodeError::MalformedBlock {
+                                block: block_index,
+                                reason: format!("push ↓{i} exceeds the number of pops {pops}"),
+                            });
+                        }
+                        survivors.push(i);
+                        position += 1;
+                    }
+                    Some(i) => {
+                        let expected = -(fresh as i64 + 1);
+                        if i != expected {
+                            return Err(DecodeError::MalformedBlock {
+                                block: block_index,
+                                reason: format!("fresh push ↓{i} out of order (expected ↓{expected})"),
+                            });
+                        }
+                        fresh += 1;
+                        position += 1;
+                    }
+                    None => break,
+                }
+            }
+
+            blocks.push(RawBlock {
+                letter,
+                pops,
+                survivors,
+                fresh,
+            });
+            block_index += 1;
+        }
+        Ok(blocks)
+    }
+}
+
+/// A syntactically parsed block `block(α, s, m, J)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RawBlock {
+    letter: SymbolicLetter,
+    pops: usize,
+    survivors: Vec<usize>,
+    fresh: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdms_core::dms::example_3_1;
+    use rdms_core::RecencySemantics;
+    use rdms_db::{DataValue, Substitution, Var};
+
+    fn figure_1_steps() -> Vec<rdms_core::Step> {
+        let v = Var::new;
+        let e = DataValue::e;
+        vec![
+            rdms_core::Step::new(0, Substitution::from_pairs([(v("v1"), e(1)), (v("v2"), e(2)), (v("v3"), e(3))])),
+            rdms_core::Step::new(1, Substitution::from_pairs([(v("u"), e(2)), (v("v1"), e(4)), (v("v2"), e(5))])),
+            rdms_core::Step::new(0, Substitution::from_pairs([(v("v1"), e(6)), (v("v2"), e(7)), (v("v3"), e(8))])),
+            rdms_core::Step::new(2, Substitution::from_pairs([(v("u"), e(7))])),
+            rdms_core::Step::new(3, Substitution::from_pairs([(v("u1"), e(8)), (v("u2"), e(6))])),
+            rdms_core::Step::new(3, Substitution::from_pairs([(v("u1"), e(4)), (v("u2"), e(5))])),
+            rdms_core::Step::new(3, Substitution::from_pairs([(v("u1"), e(3)), (v("u2"), e(3))])),
+            rdms_core::Step::new(0, Substitution::from_pairs([(v("v1"), e(9)), (v("v2"), e(10)), (v("v3"), e(11))])),
+        ]
+    }
+
+    fn figure_1_run(dms: &Dms) -> ExtendedRun {
+        RecencySemantics::new(dms, 2).execute(&figure_1_steps()).unwrap()
+    }
+
+    #[test]
+    fn alphabet_sizes_match_the_construction() {
+        let dms = example_3_1();
+        let b = 2;
+        let alphabet = EncodingAlphabet::new(&dms, b);
+        // |Σint| = |symAlph| + 1 = 9 + 1; |Σ↑| = b = 2; |Σ↓| = b + η = 2 + 3
+        assert_eq!(alphabet.len(), 10 + 2 + 5);
+        assert_eq!(alphabet.eta(), 3);
+        assert_eq!(alphabet.bound(), 2);
+        assert!(!alphabet.is_empty());
+        assert_eq!(alphabet.head_letters().count(), 9);
+        assert_eq!(alphabet.surviving_push_letters().count(), 2);
+        assert_eq!(alphabet.fresh_push_letters().count(), 3);
+        // round trips between indices and letters
+        assert_eq!(alphabet.pop_index(alphabet.pop(1)), Some(1));
+        assert_eq!(alphabet.push_index(alphabet.push(-2)), Some(-2));
+        assert_eq!(alphabet.push_index(alphabet.pop(0)), None);
+    }
+
+    #[test]
+    fn figure_2_encoding_is_reproduced_block_by_block() {
+        let dms = example_3_1();
+        let encoder = RunEncoder::new(&dms, 2);
+        let run = figure_1_run(&dms);
+        let word = encoder.encode(&run).expect("the Figure 1 run is 2-bounded");
+
+        // Figure 2's letter sequence (blocks B1–B8), with I₀ prepended.
+        let expected: Vec<String> = vec![
+            "I0",
+            // B1: α:ε ↓−1↓−2↓−3
+            "⟨alpha:{v1↦-1,v2↦-2,v3↦-3}⟩", "↓-1", "↓-2", "↓-3",
+            // B2: β:u↦1 ↑0↑1 ↓0 ↓−1↓−2
+            "⟨beta:{u↦1,v1↦-1,v2↦-2}⟩", "↑0", "↑1", "↓0", "↓-1", "↓-2",
+            // B3: α:ε ↑0↑1 ↓1↓0 ↓−1↓−2↓−3
+            "⟨alpha:{v1↦-1,v2↦-2,v3↦-3}⟩", "↑0", "↑1", "↓1", "↓0", "↓-1", "↓-2", "↓-3",
+            // B4: γ:u↦1 ↑0↑1 ↓0
+            "⟨gamma:{u↦1}⟩", "↑0", "↑1", "↓0",
+            // B5: δ:u1↦0,u2↦1 ↑0↑1
+            "⟨delta:{u1↦0,u2↦1}⟩", "↑0", "↑1",
+            // B6: δ:u1↦1,u2↦0 ↑0↑1 ↓0
+            "⟨delta:{u1↦1,u2↦0}⟩", "↑0", "↑1", "↓0",
+            // B7: δ:u1↦1,u2↦1 ↑0↑1 ↓0
+            "⟨delta:{u1↦1,u2↦1}⟩", "↑0", "↑1", "↓0",
+            // B8: α:ε ↑0↑1 ↓1↓0 ↓−1↓−2↓−3
+            "⟨alpha:{v1↦-1,v2↦-2,v3↦-3}⟩", "↑0", "↑1", "↓1", "↓0", "↓-1", "↓-2", "↓-3",
+        ]
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+
+        let got: Vec<String> = word
+            .letters()
+            .iter()
+            .map(|&l| word.alphabet().name(l).to_owned())
+            .collect();
+        assert_eq!(got, expected);
+        assert!(word.check_nesting_laws());
+    }
+
+    #[test]
+    fn unmatched_pushes_track_the_active_domain_size() {
+        // Remark 6.1: the number of unmatched pushes in the prefix up to block j+1 equals
+        // |adom(I_j)|.
+        let dms = example_3_1();
+        let encoder = RunEncoder::new(&dms, 2);
+        let run = figure_1_run(&dms);
+        let word = encoder.encode(&run).unwrap();
+
+        // find block head positions
+        let head_positions: Vec<usize> = (0..word.len())
+            .filter(|&p| encoder.alphabet().symbolic(word.letter(p)).is_some())
+            .collect();
+        assert_eq!(head_positions.len(), run.len());
+        for (j, &head) in head_positions.iter().enumerate() {
+            let adom_size = run.configs()[j].instance.active_domain().len();
+            assert_eq!(
+                word.pending_calls_in_prefix(head).len(),
+                adom_size,
+                "block {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_round_trips_the_canonical_run() {
+        let dms = example_3_1();
+        let encoder = RunEncoder::new(&dms, 2);
+        let run = figure_1_run(&dms);
+        let word = encoder.encode(&run).unwrap();
+        let decoded = encoder.decode(&word).expect("the encoding is valid");
+        assert_eq!(decoded.configs(), run.configs());
+        assert_eq!(decoded.steps(), run.steps());
+        assert!(encoder.is_valid_encoding(&word));
+    }
+
+    #[test]
+    fn corrupted_encodings_are_rejected_with_the_right_condition() {
+        let dms = example_3_1();
+        let encoder = RunEncoder::new(&dms, 2);
+        let run = figure_1_run(&dms);
+        let word = encoder.encode(&run).unwrap();
+        let alphabet = encoder.alphabet().alphabet().clone();
+
+        // missing I₀
+        let no_i0 = NestedWord::new(alphabet.clone(), word.letters()[1..].to_vec());
+        assert_eq!(encoder.decode(&no_i0), Err(DecodeError::MissingInitialLetter));
+
+        // drop one pop from block B2 (position 6 is ↑0): m becomes inconsistent
+        let mut letters = word.letters().to_vec();
+        letters.remove(6);
+        let bad_m = NestedWord::new(alphabet.clone(), letters);
+        match encoder.decode(&bad_m) {
+            Err(DecodeError::InconsistentM { block: 1, .. }) | Err(DecodeError::MalformedBlock { block: 1, .. }) => {}
+            other => panic!("expected an m/shape violation in block 1, got {other:?}"),
+        }
+
+        // make a deleted element survive: add a ↓1 push to block B2 (after ↓0 at position 8)
+        let mut letters = word.letters().to_vec();
+        letters.insert(8, encoder.alphabet().push(1));
+        let bad_j = NestedWord::new(alphabet.clone(), letters);
+        match encoder.decode(&bad_j) {
+            Err(DecodeError::InconsistentJ { block: 1, .. })
+            | Err(DecodeError::MalformedBlock { block: 1, .. }) => {}
+            other => panic!("expected a J violation in block 1, got {other:?}"),
+        }
+
+        // a β block at the very start is not enabled (R is empty)
+        let beta_letter = encoder
+            .alphabet()
+            .head_letters()
+            .find(|&l| alphabet.name(l).starts_with("⟨beta"))
+            .unwrap();
+        let not_enabled = NestedWord::new(alphabet.clone(), vec![encoder.alphabet().i0(), beta_letter]);
+        assert!(matches!(
+            encoder.decode(&not_enabled),
+            Err(DecodeError::NotEnabled { block: 0 })
+        ));
+    }
+
+    #[test]
+    fn runs_outside_the_bound_cannot_be_encoded() {
+        let dms = example_3_1();
+        // the Figure 1 run needs b = 2; at b = 1 its abstraction does not exist
+        let run = figure_1_run(&dms);
+        let encoder = RunEncoder::new(&dms, 1);
+        assert!(encoder.encode(&run).is_none());
+    }
+
+    #[test]
+    fn encode_decode_agree_on_random_runs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let dms = example_3_1();
+        let b = 3;
+        let sem = RecencySemantics::new(&dms, b);
+        let encoder = RunEncoder::new(&dms, b);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            // random walk of up to 6 steps
+            let mut run = ExtendedRun::new(dms.initial_bconfig());
+            for _ in 0..6 {
+                let succs = sem.successors(run.last()).unwrap();
+                if succs.is_empty() {
+                    break;
+                }
+                let idx = rng.gen_range(0..succs.len());
+                let (step, next) = succs.into_iter().nth(idx).unwrap();
+                run.push(step, next);
+            }
+            let word = encoder.encode(&run).expect("run generated under the same bound");
+            assert!(word.check_nesting_laws());
+            let decoded = encoder.decode(&word).expect("valid encoding");
+            // the decoded (canonical) run has the same abstraction as the original
+            assert_eq!(
+                rdms_core::symbolic::abstraction(&dms, &decoded),
+                rdms_core::symbolic::abstraction(&dms, &run)
+            );
+            // and is isomorphic to it (Lemma E.1)
+            assert!(rdms_core::iso::runs_isomorphic(&decoded, &run) || run.is_empty());
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! The bounded explorer engine.
+//!
+//! The paper's decision procedure reduces recency-bounded model checking to MSO_NW
+//! satisfiability; its cost is non-elementary. The explorer is the practical engine built on
+//! the same foundations: it enumerates exactly the **valid encodings** of `b`-bounded runs —
+//! not by compiling `ϕ_valid`, but by construction, walking the `b`-bounded configuration
+//! graph with canonical fresh values (every prefix it visits corresponds one-to-one to a
+//! valid abstract word, cf. `Abstr`/`Concr`) — and evaluates MSO-FO properties on the decoded
+//! run prefixes.
+//!
+//! Semantics offered (all relative to the chosen recency bound `b` and depth bound `k`):
+//!
+//! * [`Explorer::check`] — "does every `b`-bounded run prefix of length ≤ `k` satisfy φ?"
+//!   under the finite-prefix semantics of `rdms-logic`. For **safety** properties a violating
+//!   prefix witnesses a violation of the paper's (infinite-run) problem; the verdict is
+//!   reported as `complete` only when the exploration exhausted all prefixes.
+//! * [`Explorer::find_witness`] — dually, search for a prefix *satisfying* φ (useful for
+//!   reachability-style properties).
+//! * [`Explorer::check_invariant`] / [`Explorer::find_reachable_instance`] — state-based
+//!   properties with configuration deduplication modulo data isomorphism; these verdicts are
+//!   **exact** for the chosen recency bound whenever the abstract state space saturates
+//!   within the exploration budget.
+
+use crate::verdict::{CheckStats, Verdict};
+use rdms_core::iso::canonical_config_key;
+use rdms_core::{Dms, ExtendedRun, RecencySemantics};
+use rdms_db::{answers, Instance, Query};
+use rdms_logic::msofo::{eval_sentence, MsoFo};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Exploration budget.
+#[derive(Clone, Copy, Debug)]
+pub struct ExplorerConfig {
+    /// Maximum number of actions per explored run prefix.
+    pub depth: usize,
+    /// Maximum number of configurations generated before giving up.
+    pub max_configs: usize,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            depth: 8,
+            max_configs: 20_000,
+        }
+    }
+}
+
+/// The bounded explorer for one DMS and one recency bound.
+pub struct Explorer<'a> {
+    dms: &'a Dms,
+    b: usize,
+    config: ExplorerConfig,
+}
+
+impl<'a> Explorer<'a> {
+    /// Create an explorer with the default budget.
+    pub fn new(dms: &'a Dms, b: usize) -> Explorer<'a> {
+        Explorer {
+            dms,
+            b,
+            config: ExplorerConfig::default(),
+        }
+    }
+
+    /// Override the exploration budget.
+    pub fn with_config(mut self, config: ExplorerConfig) -> Explorer<'a> {
+        self.config = config;
+        self
+    }
+
+    /// The recency bound.
+    pub fn bound(&self) -> usize {
+        self.b
+    }
+
+    fn stats(&self, start: Instant) -> CheckStats {
+        CheckStats {
+            recency_bound: self.b,
+            depth_bound: self.config.depth,
+            elapsed: start.elapsed(),
+            ..Default::default()
+        }
+    }
+
+    /// Check that **every** `b`-bounded run prefix (up to the depth budget) satisfies the
+    /// property under the finite-prefix semantics. Returns a counterexample prefix otherwise.
+    pub fn check(&self, property: &MsoFo) -> Verdict {
+        let start = Instant::now();
+        let mut stats = self.stats(start);
+        let sem = RecencySemantics::new(self.dms, self.b);
+        let mut exhausted = true;
+
+        // depth-first over run prefixes; no deduplication (trace properties depend on the
+        // whole prefix, not only on the final configuration)
+        let mut stack = vec![ExtendedRun::new(self.dms.initial_bconfig())];
+        while let Some(run) = stack.pop() {
+            stats.prefixes_checked += 1;
+            if !eval_sentence(&run.instances(), property) {
+                stats.elapsed = start.elapsed();
+                return Verdict::Violated { counterexample: run, stats };
+            }
+            if run.len() >= self.config.depth {
+                continue;
+            }
+            if stats.configs_explored >= self.config.max_configs {
+                exhausted = false;
+                continue;
+            }
+            for (step, next) in sem.successors(run.last()).expect("successor computation") {
+                stats.configs_explored += 1;
+                let mut extended = run.clone();
+                extended.push(step, next);
+                stack.push(extended);
+            }
+        }
+        stats.elapsed = start.elapsed();
+        Verdict::Holds {
+            // even with the frontier exhausted the verdict concerns prefixes up to the depth
+            // budget only; it is complete exactly when nothing was cut off by max_configs
+            complete: exhausted,
+            stats,
+        }
+    }
+
+    /// Search for a `b`-bounded run prefix satisfying the property (finite-prefix
+    /// semantics). Returns the witness prefix if found.
+    pub fn find_witness(&self, property: &MsoFo) -> (Option<ExtendedRun>, CheckStats) {
+        let start = Instant::now();
+        let mut stats = self.stats(start);
+        let sem = RecencySemantics::new(self.dms, self.b);
+        let mut stack = vec![ExtendedRun::new(self.dms.initial_bconfig())];
+        while let Some(run) = stack.pop() {
+            stats.prefixes_checked += 1;
+            if eval_sentence(&run.instances(), property) {
+                stats.elapsed = start.elapsed();
+                return (Some(run), stats);
+            }
+            if run.len() >= self.config.depth || stats.configs_explored >= self.config.max_configs {
+                continue;
+            }
+            for (step, next) in sem.successors(run.last()).expect("successor computation") {
+                stats.configs_explored += 1;
+                let mut extended = run.clone();
+                extended.push(step, next);
+                stack.push(extended);
+            }
+        }
+        stats.elapsed = start.elapsed();
+        (None, stats)
+    }
+
+    /// Check a **state invariant**: the boolean FOL(R) query must hold in every reachable
+    /// instance. Configurations are deduplicated modulo data isomorphism, so the verdict is
+    /// exact (for this recency bound) whenever the exploration saturates within the budget.
+    pub fn check_invariant(&self, invariant: &Query) -> Verdict {
+        let start = Instant::now();
+        let mut stats = self.stats(start);
+        let sem = RecencySemantics::new(self.dms, self.b);
+        let constants = self.dms.constants().clone();
+        let mut seen: BTreeSet<Instance> = BTreeSet::new();
+        let mut saturated = true;
+
+        let initial = ExtendedRun::new(self.dms.initial_bconfig());
+        seen.insert(canonical_config_key(initial.last(), &constants));
+        let mut stack = vec![initial];
+
+        while let Some(run) = stack.pop() {
+            stats.prefixes_checked += 1;
+            let holds = rdms_db::eval::holds_boolean(&run.last().instance, invariant).unwrap_or(false);
+            if !holds {
+                stats.elapsed = start.elapsed();
+                return Verdict::Violated { counterexample: run, stats };
+            }
+            if run.len() >= self.config.depth {
+                saturated = false;
+                continue;
+            }
+            if stats.configs_explored >= self.config.max_configs {
+                saturated = false;
+                continue;
+            }
+            for (step, next) in sem.successors(run.last()).expect("successor computation") {
+                stats.configs_explored += 1;
+                let key = canonical_config_key(&next, &constants);
+                if seen.insert(key) {
+                    let mut extended = run.clone();
+                    extended.push(step, next);
+                    stack.push(extended);
+                } else {
+                    stats.configs_deduplicated += 1;
+                }
+            }
+        }
+        stats.elapsed = start.elapsed();
+        Verdict::Holds { complete: saturated, stats }
+    }
+
+    /// Search for a reachable instance satisfying the boolean query (state-based
+    /// reachability with isomorphism deduplication). Returns the witness run if found,
+    /// plus whether the search was exhaustive for this bound.
+    pub fn find_reachable_instance(&self, target: &Query) -> (Option<ExtendedRun>, bool, CheckStats) {
+        let start = Instant::now();
+        let mut stats = self.stats(start);
+        let sem = RecencySemantics::new(self.dms, self.b);
+        let constants = self.dms.constants().clone();
+        let mut seen: BTreeSet<Instance> = BTreeSet::new();
+        let mut saturated = true;
+
+        let initial = ExtendedRun::new(self.dms.initial_bconfig());
+        seen.insert(canonical_config_key(initial.last(), &constants));
+        let mut stack = vec![initial];
+        while let Some(run) = stack.pop() {
+            stats.prefixes_checked += 1;
+            let found = answers(&run.last().instance, target)
+                .map(|a| !a.is_empty())
+                .unwrap_or(false);
+            if found {
+                stats.elapsed = start.elapsed();
+                return (Some(run), saturated, stats);
+            }
+            if run.len() >= self.config.depth || stats.configs_explored >= self.config.max_configs {
+                saturated = false;
+                continue;
+            }
+            for (step, next) in sem.successors(run.last()).expect("successor computation") {
+                stats.configs_explored += 1;
+                let key = canonical_config_key(&next, &constants);
+                if seen.insert(key) {
+                    let mut extended = run.clone();
+                    extended.push(step, next);
+                    stack.push(extended);
+                } else {
+                    stats.configs_deduplicated += 1;
+                }
+            }
+        }
+        stats.elapsed = start.elapsed();
+        (None, saturated, stats)
+    }
+
+    /// Propositional reachability at this recency bound (Example 4.2), as a convenience.
+    pub fn proposition_reachable(&self, p: rdms_db::RelName) -> (bool, CheckStats) {
+        let (witness, _, stats) = self.find_reachable_instance(&Query::prop(p));
+        (witness.is_some(), stats)
+    }
+
+    /// The number of distinct reachable configurations (modulo data isomorphism) within the
+    /// budget — the measure reported by the recency-sweep experiment E1.
+    pub fn reachable_state_count(&self) -> (usize, bool) {
+        let start = Instant::now();
+        let mut stats = self.stats(start);
+        let sem = RecencySemantics::new(self.dms, self.b);
+        let constants = self.dms.constants().clone();
+        let mut seen: BTreeSet<Instance> = BTreeSet::new();
+        let mut saturated = true;
+        let initial = self.dms.initial_bconfig();
+        seen.insert(canonical_config_key(&initial, &constants));
+        let mut stack = vec![(initial, 0usize)];
+        while let Some((config, depth)) = stack.pop() {
+            if depth >= self.config.depth {
+                saturated = false;
+                continue;
+            }
+            if stats.configs_explored >= self.config.max_configs {
+                saturated = false;
+                continue;
+            }
+            for (_, next) in sem.successors(&config).expect("successor computation") {
+                stats.configs_explored += 1;
+                let key = canonical_config_key(&next, &constants);
+                if seen.insert(key) {
+                    stack.push((next, depth + 1));
+                }
+            }
+        }
+        (seen.len(), saturated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdms_core::dms::example_3_1;
+    use rdms_db::{RelName, Var};
+    use rdms_logic::templates;
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+
+    #[test]
+    fn invariant_violations_are_found_with_counterexamples() {
+        let dms = example_3_1();
+        let explorer = Explorer::new(&dms, 2).with_config(ExplorerConfig { depth: 4, max_configs: 5_000 });
+        // "p always holds" is violated (β and γ delete p)
+        let verdict = explorer.check_invariant(&Query::prop(r("p")));
+        assert!(!verdict.holds());
+        let cex = verdict.counterexample().unwrap();
+        assert!(!cex.last().instance.proposition(r("p")));
+        // the counterexample is a genuine b-bounded run
+        assert!(RecencySemantics::new(&dms, 2).is_b_bounded(cex));
+    }
+
+    #[test]
+    fn true_invariants_hold() {
+        let dms = example_3_1();
+        let explorer = Explorer::new(&dms, 2).with_config(ExplorerConfig { depth: 3, max_configs: 5_000 });
+        // "whenever p holds, every R-element is absent from Q" — this is *not* an invariant;
+        // use something trivially true instead: every Q element is active (tautological)
+        let u = Var::new("u");
+        let invariant = Query::forall(u, Query::atom(r("Q"), [u]).implies(Query::atom(r("Q"), [u])));
+        let verdict = explorer.check_invariant(&invariant);
+        assert!(verdict.holds());
+        assert!(verdict.stats().configs_explored > 0);
+    }
+
+    #[test]
+    fn reachability_and_its_negation() {
+        let dms = example_3_1();
+        let explorer = Explorer::new(&dms, 2).with_config(ExplorerConfig { depth: 3, max_configs: 5_000 });
+        // ¬p is reachable (apply β or γ)
+        let (witness, _, _) = explorer.find_reachable_instance(&Query::prop(r("p")).not());
+        assert!(witness.is_some());
+        // a relation that never gets populated with two equal elements in R and Q at once…
+        // simpler: the proposition "never" does not even exist in the schema, so the query is
+        // rejected gracefully and reported unreachable
+        let (witness, _, _) = explorer.find_reachable_instance(&Query::prop(r("p")).and(Query::prop(r("p")).not()));
+        assert!(witness.is_none());
+    }
+
+    #[test]
+    fn trace_properties_via_check_and_find_witness() {
+        let dms = example_3_1();
+        let explorer = Explorer::new(&dms, 2).with_config(ExplorerConfig { depth: 3, max_configs: 2_000 });
+
+        // "p holds at every position" as an MSO-FO sentence: violated
+        let verdict = explorer.check(&templates::invariant(Query::prop(r("p"))));
+        assert!(!verdict.holds());
+
+        // "p holds at some position" has a witness (already the empty prefix: I₀ ⊨ p)
+        let (witness, _) = explorer.find_witness(&templates::proposition_reachable(r("p")));
+        assert_eq!(witness.map(|w| w.len()), Some(0));
+
+        // "R is eventually non-empty" has a (non-trivial) witness
+        let u = Var::new("u");
+        let (witness, _) = explorer.find_witness(&templates::reachability(Query::exists(
+            u,
+            Query::atom(r("R"), [u]),
+        )));
+        assert!(witness.unwrap().len() >= 1);
+    }
+
+    #[test]
+    fn more_behaviours_are_verified_as_the_bound_grows() {
+        // Exhaustiveness of the under-approximation (Section 5): the number of reachable
+        // abstract states grows monotonically with b.
+        let dms = example_3_1();
+        let mut counts = Vec::new();
+        for b in 1..=3 {
+            let explorer = Explorer::new(&dms, b).with_config(ExplorerConfig { depth: 3, max_configs: 10_000 });
+            counts.push(explorer.reachable_state_count().0);
+        }
+        assert!(counts[0] <= counts[1] && counts[1] <= counts[2], "{counts:?}");
+        assert!(counts[2] > counts[0], "higher bounds must unlock new behaviours: {counts:?}");
+    }
+
+    #[test]
+    fn deduplication_reduces_work() {
+        let dms = example_3_1();
+        let explorer = Explorer::new(&dms, 2).with_config(ExplorerConfig { depth: 4, max_configs: 50_000 });
+        let verdict = explorer.check_invariant(&Query::True);
+        assert!(verdict.holds());
+        assert!(verdict.stats().configs_deduplicated > 0);
+    }
+}

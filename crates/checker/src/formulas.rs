@@ -1,0 +1,647 @@
+//! The MSO_NW formula library of Section 6.4, plus procedural counterparts.
+//!
+//! These are the building blocks used to express the validity of encodings (`ϕ_valid`,
+//! [`crate::phi_valid`]) and to translate MSO-FO specifications ([`crate::translate`]):
+//!
+//! * letter-class macros `Σint(x)`, `Σ↓(x)`, `Σ↑(x)`, `head(x)`,
+//! * `Block=(x, y)` — same-block predicate,
+//! * `Del(R(i₁…i_a))@x` / `Add(R(i₁…i_a))@x` — the block at `x` deletes / adds the tuple of
+//!   elements with those recency indices,
+//! * `step_{i,j}(x, y)` and the zig-zag transitive closure `Eq_{i,j}(x, y)` (Figures 3–4),
+//! * `Rel-R(x₁,i₁,…,x_a,i_a)@y⊖` / `…@y⊕` — the tuple is in the database before / after the
+//!   block of `y`,
+//! * `live(x, i)` and `ϕ_Recent^m(x)`.
+//!
+//! `Eq` and `Rel-R` quantify over second-order variables / unboundedly many positions; their
+//! *construction* is exercised by tests and benchmarks (experiment E2), while their
+//! *evaluation* on concrete encodings is done procedurally (`procedural_eq`), exactly because
+//! the automata-theoretic route is non-elementary.
+
+use crate::encoding::{EncodingAlphabet, RunEncoder};
+use rdms_core::ExtendedRun;
+use rdms_db::{DataValue, RelName, Term};
+use rdms_nested::mso::{MsoNw, PosVar, SetVar};
+use rdms_nested::NestedWord;
+use std::cell::Cell;
+
+/// Builder for the Section 6.4 formula library over one encoding alphabet.
+pub struct Formulas<'a> {
+    dms: &'a rdms_core::Dms,
+    enc: &'a EncodingAlphabet,
+    next_pos: Cell<u32>,
+    next_set: Cell<u32>,
+}
+
+impl<'a> Formulas<'a> {
+    /// Create a builder. Scratch variables are allocated from a high id range so they never
+    /// collide with the caller's variables.
+    pub fn new(dms: &'a rdms_core::Dms, enc: &'a EncodingAlphabet) -> Formulas<'a> {
+        Formulas {
+            dms,
+            enc,
+            next_pos: Cell::new(1_000_000),
+            next_set: Cell::new(1_000_000),
+        }
+    }
+
+    /// Convenience constructor from a [`RunEncoder`].
+    pub fn for_encoder(encoder: &'a RunEncoder<'a>) -> Formulas<'a> {
+        Formulas::new(encoder.dms(), encoder.alphabet())
+    }
+
+    /// The encoding alphabet.
+    pub fn alphabet(&self) -> &EncodingAlphabet {
+        self.enc
+    }
+
+    /// The DMS the alphabet was built from.
+    pub fn dms(&self) -> &rdms_core::Dms {
+        self.dms
+    }
+
+    /// A fresh scratch position variable.
+    pub fn fresh_pos(&self) -> PosVar {
+        let v = PosVar(self.next_pos.get());
+        self.next_pos.set(v.0 + 1);
+        v
+    }
+
+    /// A fresh scratch set variable.
+    pub fn fresh_set(&self) -> SetVar {
+        let v = SetVar(self.next_set.get());
+        self.next_set.set(v.0 + 1);
+        v
+    }
+
+    /// `Σint(x)` — x carries an internal letter (a block head or `I₀`).
+    pub fn sigma_int(&self, x: PosVar) -> MsoNw {
+        let mut letters: Vec<_> = self.enc.head_letters().collect();
+        letters.push(self.enc.i0());
+        MsoNw::letter_among(letters, x)
+    }
+
+    /// `head(x)` — x carries an action letter (an internal letter other than `I₀`).
+    pub fn head(&self, x: PosVar) -> MsoNw {
+        MsoNw::letter_among(self.enc.head_letters(), x)
+    }
+
+    /// `Σ↓(x)` — x carries a push letter.
+    pub fn sigma_push(&self, x: PosVar) -> MsoNw {
+        let letters: Vec<_> = self
+            .enc
+            .surviving_push_letters()
+            .map(|(_, l)| l)
+            .chain(self.enc.fresh_push_letters().map(|(_, l)| l))
+            .collect();
+        MsoNw::letter_among(letters, x)
+    }
+
+    /// `Σ↑(x)` — x carries a pop letter.
+    pub fn sigma_pop(&self, x: PosVar) -> MsoNw {
+        MsoNw::letter_among((0..self.enc.bound()).map(|i| self.enc.pop(i)), x)
+    }
+
+    /// `Block=(x, y)` — x and y belong to the same block:
+    /// `∀z. ¬Σint(z) ∨ (z ≤ x ∧ z ≤ y) ∨ (x < z ∧ y < z)`.
+    pub fn block_eq(&self, x: PosVar, y: PosVar) -> MsoNw {
+        let z = self.fresh_pos();
+        MsoNw::forall_pos(
+            z,
+            MsoNw::disj([
+                self.sigma_int(z).not(),
+                MsoNw::leq(z, x).and(MsoNw::leq(z, y)),
+                MsoNw::less(x, z).and(MsoNw::less(y, z)),
+            ]),
+        )
+    }
+
+    /// `Del(R(i₁,…,i_a))@x` — x is the head of a block whose action deletes the tuple of
+    /// recency indices `indices` from `R` (a disjunction over the matching `α:s` letters).
+    pub fn del_pred(&self, relation: RelName, indices: &[usize], x: PosVar) -> MsoNw {
+        let letters = self.enc.head_letters().filter(|&l| {
+            let Some(sym) = self.enc.symbolic(l) else { return false };
+            // we need the action to resolve the Del pattern
+            self.matching_pattern(sym, relation, indices.iter().map(|&i| i as i64).collect(), true)
+        });
+        MsoNw::letter_among(letters.collect::<Vec<_>>(), x)
+    }
+
+    /// `Add(R(i₁,…,i_a))@x` — as [`Formulas::del_pred`] but for additions; negative indices
+    /// denote the block's fresh elements.
+    pub fn add_pred(&self, relation: RelName, indices: &[i64], x: PosVar) -> MsoNw {
+        let letters = self.enc.head_letters().filter(|&l| {
+            let Some(sym) = self.enc.symbolic(l) else { return false };
+            self.matching_pattern(sym, relation, indices.to_vec(), false)
+        });
+        MsoNw::letter_among(letters.collect::<Vec<_>>(), x)
+    }
+
+    /// Whether the symbolic letter's action Del (resp. Add) contains a fact over `relation`
+    /// whose arguments abstract to exactly `indices` (fresh-input variables abstract to their
+    /// negative index, parameters to the recency index assigned by the letter).
+    fn matching_pattern(
+        &self,
+        sym: &rdms_core::SymbolicLetter,
+        relation: RelName,
+        indices: Vec<i64>,
+        del: bool,
+    ) -> bool {
+        let Ok(action) = self.dms.action(sym.action) else { return false };
+        let pattern = if del { action.del() } else { action.add() };
+        pattern.facts().any(|(rel, args)| {
+            rel == relation
+                && args.len() == indices.len()
+                && args.iter().zip(indices.iter()).all(|(term, &want)| match term {
+                    Term::Var(v) => sym.sub.get(*v) == Some(want),
+                    Term::Value(_) => false,
+                })
+        })
+    }
+
+    /// `step_{i,j}(x, y)` (Figure 3): the `↓i` push in the block of `x` is ⊿-matched by the
+    /// `↑j` pop in the block of `y`.
+    pub fn step(&self, i: i64, j: usize, x: PosVar, y: PosVar) -> MsoNw {
+        let z1 = self.fresh_pos();
+        let z2 = self.fresh_pos();
+        MsoNw::exists_pos(
+            z1,
+            MsoNw::exists_pos(
+                z2,
+                MsoNw::conj([
+                    self.block_eq(z1, x),
+                    self.block_eq(z2, y),
+                    MsoNw::matched(z1, z2),
+                    MsoNw::letter(self.enc.push(i), z1),
+                    MsoNw::letter(self.enc.pop(j), z2),
+                ]),
+            ),
+        )
+    }
+
+    /// `Eq_{i,j}(x, y)` (Figure 4): the element with index `i` in the block of `x` is the same
+    /// element as the one with index `j` in the block of `y`, expressed as a zig-zag
+    /// transitive closure over `b + η` universally quantified set variables.
+    ///
+    /// The formula is built exactly as printed in the paper; it is exercised structurally and
+    /// through the construction-cost benchmark (E2), while concrete encodings are checked with
+    /// [`procedural_eq`].
+    pub fn eq(&self, i: i64, j: i64, x: PosVar, y: PosVar) -> MsoNw {
+        let b = self.enc.bound() as i64;
+        let eta = self.enc.eta() as i64;
+        let index_range: Vec<i64> = (-eta..b).collect();
+        // one set variable per index
+        let sets: Vec<(i64, SetVar)> = index_range.iter().map(|&k| (k, self.fresh_set())).collect();
+        let set_of = |k: i64| sets.iter().find(|&&(idx, _)| idx == k).map(|&(_, s)| s).expect("index in range");
+
+        let x1 = self.fresh_pos();
+        let x2 = self.fresh_pos();
+
+        // closure conditions
+        let mut closure = Vec::new();
+        for &(l, set_l) in &sets {
+            // step propagation: only pushes (any index) matched by pops (indices 0‥b−1)
+            for m in 0..b {
+                let set_m = set_of(m);
+                closure.push(
+                    self.step(l, m as usize, x1, x2)
+                        .and(MsoNw::is_in(x1, set_l))
+                        .implies(MsoNw::is_in(x2, set_m)),
+                );
+            }
+            // same-block propagation
+            closure.push(
+                self.block_eq(x1, x2)
+                    .and(MsoNw::is_in(x1, set_l))
+                    .implies(MsoNw::is_in(x2, set_l)),
+            );
+        }
+        let closed = MsoNw::forall_pos(x1, MsoNw::forall_pos(x2, MsoNw::conj(closure)));
+
+        let premise = MsoNw::is_in(x, set_of(i)).and(closed);
+        let body = premise.implies(MsoNw::is_in(y, set_of(j)));
+        sets.iter().rev().fold(body, |acc, &(_, s)| MsoNw::forall_set(s, acc))
+    }
+
+    /// `ϕ_Recent^m(x)`: just before executing the block of `x`, the active domain has at
+    /// least `m + 1` elements (expressed via `m + 1` distinct earlier pushes that are not
+    /// popped before `x`, cf. Remark 6.1).
+    pub fn recent_at_least(&self, m: usize, x: PosVar) -> MsoNw {
+        let y = self.fresh_pos();
+        let xs: Vec<PosVar> = (0..=m).map(|_| self.fresh_pos()).collect();
+        let mut conjuncts = Vec::new();
+        for (a, &xa) in xs.iter().enumerate() {
+            for &xb in &xs[a + 1..] {
+                conjuncts.push(MsoNw::PosEq(xa, xb).not());
+            }
+        }
+        for &xa in &xs {
+            let z = self.fresh_pos();
+            conjuncts.push(self.sigma_push(xa));
+            conjuncts.push(MsoNw::less(xa, y));
+            conjuncts.push(MsoNw::forall_pos(
+                z,
+                MsoNw::matched(xa, z).implies(MsoNw::less(y, z)),
+            ));
+        }
+        let inner = MsoNw::exists_pos_many(xs, MsoNw::conj(conjuncts));
+        MsoNw::exists_pos(y, self.block_eq(x, y).and(self.sigma_int(y)).and(inner))
+    }
+
+    /// Total number of AST nodes of `Eq_{0,0}` — a convenient size probe for benchmark E2.
+    pub fn eq_size_probe(&self) -> usize {
+        let x = self.fresh_pos();
+        let y = self.fresh_pos();
+        self.eq(0, 0, x, y).size()
+    }
+}
+
+
+impl<'a> Formulas<'a> {
+    /// All index vectors of length `arity` over the range `lo‥=hi`.
+    fn index_vectors(arity: usize, lo: i64, hi: i64) -> Vec<Vec<i64>> {
+        let mut result: Vec<Vec<i64>> = vec![vec![]];
+        for _ in 0..arity {
+            let mut next = Vec::new();
+            for prefix in &result {
+                for v in lo..=hi {
+                    let mut p = prefix.clone();
+                    p.push(v);
+                    next.push(p);
+                }
+            }
+            result = next;
+        }
+        result
+    }
+
+    /// `Rel-R(x₁,i₁,…,x_a,i_a)@y⊖`: the tuple whose `j`-th component is the element denoted
+    /// by `(x_j, i_j)` belongs to relation `R` in the database instance *before* the block of
+    /// `y` (Section 6.4): it was added by an earlier block and not deleted since.
+    ///
+    /// For nullary relations we additionally allow the fact to stem from the initial
+    /// instance `I₀` (the paper's construction implicitly assumes an empty initial instance;
+    /// propositions set in `I₀` need this extra disjunct).
+    pub fn rel_before(&self, relation: RelName, args: &[(PosVar, i64)], y: PosVar) -> MsoNw {
+        let b = self.enc.bound() as i64;
+        let eta = self.enc.eta() as i64;
+        let x = self.fresh_pos();
+        let z = self.fresh_pos();
+
+        let mut outer = Vec::new();
+        for ells in Self::index_vectors(args.len(), -eta, b - 1) {
+            let added = self.add_pred(relation, &ells, x);
+            let links = MsoNw::conj(
+                ells.iter()
+                    .zip(args.iter())
+                    .map(|(&ell, &(xj, ij))| self.eq(ell, ij, x, xj)),
+            );
+            let mut deletions = Vec::new();
+            for ms in Self::index_vectors(args.len(), 0, b - 1) {
+                let del = self.del_pred(relation, &ms.iter().map(|&m| m as usize).collect::<Vec<_>>(), z);
+                let link = MsoNw::conj(
+                    ells.iter()
+                        .zip(ms.iter())
+                        .map(|(&ell, &m)| self.eq(ell, m, x, z)),
+                );
+                deletions.push(del.and(link));
+            }
+            let not_deleted_since = MsoNw::forall_pos(
+                z,
+                MsoNw::conj([
+                    MsoNw::leq(x, z),
+                    MsoNw::less(z, y),
+                    self.block_eq(z, y).not(),
+                    MsoNw::disj(deletions),
+                ])
+                .not(),
+            );
+            outer.push(MsoNw::conj([added, links, not_deleted_since]));
+        }
+        let from_actions = MsoNw::exists_pos(
+            x,
+            MsoNw::less(x, y)
+                .and(self.block_eq(x, y).not())
+                .and(MsoNw::disj(outer)),
+        );
+
+        // initial-instance disjunct for propositions
+        if args.is_empty() && self.dms.initial().proposition(relation) {
+            let z2 = self.fresh_pos();
+            let never_deleted = MsoNw::forall_pos(
+                z2,
+                MsoNw::conj([
+                    MsoNw::less(z2, y),
+                    self.block_eq(z2, y).not(),
+                    self.del_pred(relation, &[], z2),
+                ])
+                .not(),
+            );
+            return from_actions.or(never_deleted);
+        }
+        from_actions
+    }
+
+    /// `Rel-R(x₁,i₁,…,x_a,i_a)@y⊕`: as [`Formulas::rel_before`] but for the instance *after*
+    /// the block of `y`.
+    pub fn rel_after(&self, relation: RelName, args: &[(PosVar, i64)], y: PosVar) -> MsoNw {
+        let b = self.enc.bound() as i64;
+        let eta = self.enc.eta() as i64;
+        let x = self.fresh_pos();
+        let z = self.fresh_pos();
+
+        let mut outer = Vec::new();
+        for ells in Self::index_vectors(args.len(), -eta, b - 1) {
+            let added = self.add_pred(relation, &ells, x);
+            let links = MsoNw::conj(
+                ells.iter()
+                    .zip(args.iter())
+                    .map(|(&ell, &(xj, ij))| self.eq(ell, ij, x, xj)),
+            );
+            let mut deletions = Vec::new();
+            for ms in Self::index_vectors(args.len(), 0, b - 1) {
+                let del = self.del_pred(relation, &ms.iter().map(|&m| m as usize).collect::<Vec<_>>(), z);
+                let link = MsoNw::conj(
+                    ells.iter()
+                        .zip(ms.iter())
+                        .map(|(&ell, &m)| self.eq(ell, m, x, z)),
+                );
+                deletions.push(del.and(link));
+            }
+            let not_deleted_since = MsoNw::forall_pos(
+                z,
+                MsoNw::conj([MsoNw::leq(x, z), MsoNw::leq(z, y), MsoNw::disj(deletions)]).not(),
+            );
+            outer.push(MsoNw::conj([added, links, not_deleted_since]));
+        }
+        let from_actions = MsoNw::exists_pos(x, MsoNw::leq(x, y).and(MsoNw::disj(outer)));
+        if args.is_empty() && self.dms.initial().proposition(relation) {
+            let z2 = self.fresh_pos();
+            let never_deleted = MsoNw::forall_pos(
+                z2,
+                MsoNw::conj([MsoNw::leq(z2, y), self.del_pred(relation, &[], z2)]).not(),
+            );
+            return from_actions.or(never_deleted);
+        }
+        from_actions
+    }
+
+    /// `live(x, i)`: the element with recency index `i` in the block of `x` is still in the
+    /// active domain after the block of `x` executes (Section 6.4, used by the consistency of
+    /// `J`).
+    pub fn live(&self, x: PosVar, i: i64) -> MsoNw {
+        let b = self.enc.bound() as i64;
+        let eta = self.enc.eta() as i64;
+        let mut disjuncts = Vec::new();
+        for (relation, arity) in self.dms.schema().non_nullary() {
+            // the element appears at position j of some tuple of `relation`
+            for j in 0..arity {
+                let other_vars: Vec<PosVar> = (0..arity).filter(|&k| k != j).map(|_| self.fresh_pos()).collect();
+                for other_indices in Self::index_vectors(arity - 1, -eta, b - 1) {
+                    let mut args: Vec<(PosVar, i64)> = Vec::with_capacity(arity);
+                    let mut others = other_vars.iter().zip(other_indices.iter());
+                    for k in 0..arity {
+                        if k == j {
+                            args.push((x, i));
+                        } else {
+                            let (&xv, &iv) = others.next().expect("one entry per non-j position");
+                            args.push((xv, iv));
+                        }
+                    }
+                    let body = self.rel_after(relation, &args, x);
+                    disjuncts.push(MsoNw::exists_pos_many(other_vars.clone(), body));
+                }
+            }
+        }
+        MsoNw::disj(disjuncts)
+    }
+}
+
+/// Procedural evaluation of `Eq_{i,j}(x, y)` on a concrete (valid) encoding: decode the run
+/// and compare the data values denoted by index `i` at the block containing `x` and index `j`
+/// at the block containing `y`. Returns `None` if the word is not a valid encoding or the
+/// positions/indices do not denote elements.
+pub fn procedural_eq(
+    encoder: &RunEncoder<'_>,
+    word: &NestedWord,
+    x: usize,
+    i: i64,
+    y: usize,
+    j: i64,
+) -> Option<bool> {
+    let run = encoder.decode(word).ok()?;
+    let a = element_at(encoder, word, &run, x, i)?;
+    let b = element_at(encoder, word, &run, y, j)?;
+    Some(a == b)
+}
+
+/// The data value denoted by recency index `index` (negative = fresh input) at the block
+/// containing position `pos` of the encoding.
+pub fn element_at(
+    encoder: &RunEncoder<'_>,
+    word: &NestedWord,
+    run: &ExtendedRun,
+    pos: usize,
+    index: i64,
+) -> Option<DataValue> {
+    // which block does `pos` belong to? count heads up to and including pos
+    let mut block = None;
+    let mut seen_heads = 0usize;
+    for p in 0..word.len() {
+        if encoder.alphabet().symbolic(word.letter(p)).is_some() {
+            seen_heads += 1;
+        }
+        if p == pos {
+            block = if seen_heads == 0 { None } else { Some(seen_heads - 1) };
+            break;
+        }
+    }
+    let block = block?;
+    let before = run.configs().get(block)?;
+    if index >= 0 {
+        before.value_at_recency(index as usize)
+    } else {
+        // the (-index)-th fresh input of the step
+        let step = run.steps().get(block)?;
+        let action = encoder.dms().action(step.action).ok()?;
+        let var = action.fresh().get((-index - 1) as usize)?;
+        step.subst.get(*var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdms_core::dms::example_3_1;
+    use rdms_core::RecencySemantics;
+    use rdms_nested::eval::{eval, Assignment};
+
+    fn setup() -> (rdms_core::Dms, Vec<rdms_core::Step>) {
+        let dms = example_3_1();
+        let steps = rdms_workloads::figure1::figure_1_steps();
+        (dms, steps)
+    }
+
+    #[test]
+    fn letter_class_macros_hold_where_expected() {
+        let (dms, steps) = setup();
+        let encoder = RunEncoder::new(&dms, 2);
+        let run = RecencySemantics::new(&dms, 2).execute(&steps).unwrap();
+        let word = encoder.encode(&run).unwrap();
+        let formulas = Formulas::for_encoder(&encoder);
+        let x = PosVar(0);
+
+        // position 0 is I₀ (internal, not a head); position 1 is the α head; position 2 is ↓−1
+        for (pos, is_int, is_head, is_push) in [(0usize, true, false, false), (1, true, true, false), (2, false, false, true)] {
+            let a = Assignment::new().with_pos(x, pos);
+            assert_eq!(eval(&word, &a, &formulas.sigma_int(x)), is_int, "Σint at {pos}");
+            assert_eq!(eval(&word, &a, &formulas.head(x)), is_head, "head at {pos}");
+            assert_eq!(eval(&word, &a, &formulas.sigma_push(x)), is_push, "Σ↓ at {pos}");
+        }
+        // position 6 is ↑0 of block B2
+        let a = Assignment::new().with_pos(x, 6);
+        assert!(eval(&word, &a, &formulas.sigma_pop(x)));
+    }
+
+    #[test]
+    fn block_eq_separates_blocks() {
+        let (dms, steps) = setup();
+        let encoder = RunEncoder::new(&dms, 2);
+        let run = RecencySemantics::new(&dms, 2).execute(&steps).unwrap();
+        let word = encoder.encode(&run).unwrap();
+        let formulas = Formulas::for_encoder(&encoder);
+        let x = PosVar(0);
+        let y = PosVar(1);
+        let phi = formulas.block_eq(x, y);
+
+        // positions 1..=4 are block B1 (head α + three pushes); 5 starts block B2
+        let same = Assignment::new().with_pos(x, 2).with_pos(y, 4);
+        assert!(eval(&word, &same, &phi));
+        let diff = Assignment::new().with_pos(x, 2).with_pos(y, 6);
+        assert!(!eval(&word, &diff, &phi));
+    }
+
+    #[test]
+    fn step_relation_follows_the_nesting_edges() {
+        // Figure 3: in the Figure 2 encoding, the ↓−2 push of block B2 (element e₅) is popped
+        // as ↑0 in block B3, and the ↓0 push of B2 (element e₃) is popped as ↑1 only in
+        // block B7.
+        let (dms, steps) = setup();
+        let encoder = RunEncoder::new(&dms, 2);
+        let run = RecencySemantics::new(&dms, 2).execute(&steps).unwrap();
+        let word = encoder.encode(&run).unwrap();
+        let formulas = Formulas::for_encoder(&encoder);
+        let x = PosVar(0);
+        let y = PosVar(1);
+
+        // block heads: B2 at position 5, B3 at 11, B7 at 30
+        let b2_to_b3 = Assignment::new().with_pos(x, 5).with_pos(y, 11);
+        assert!(eval(&word, &b2_to_b3, &formulas.step(-2, 0, x, y)));
+        assert!(eval(&word, &b2_to_b3, &formulas.step(-1, 1, x, y)));
+        assert!(!eval(&word, &b2_to_b3, &formulas.step(0, 1, x, y)));
+
+        let b2_to_b7 = Assignment::new().with_pos(x, 5).with_pos(y, 30);
+        assert!(eval(&word, &b2_to_b7, &formulas.step(0, 1, x, y)));
+        assert!(!eval(&word, &b2_to_b7, &formulas.step(0, 0, x, y)));
+    }
+
+    #[test]
+    fn del_and_add_predicates_identify_the_right_blocks() {
+        let (dms, steps) = setup();
+        let encoder = RunEncoder::new(&dms, 2);
+        let run = RecencySemantics::new(&dms, 2).execute(&steps).unwrap();
+        let word = encoder.encode(&run).unwrap();
+        let formulas = Formulas::for_encoder(&encoder);
+        let x = PosVar(0);
+        let r = rdms_db::RelName::new;
+
+        // block B2 is β with u ↦ 1: it deletes R(index 1) and adds Q(fresh −1), Q(fresh −2)
+        let at_b2 = Assignment::new().with_pos(x, 5);
+        assert!(eval(&word, &at_b2, &formulas.del_pred(r("R"), &[1], x)));
+        assert!(!eval(&word, &at_b2, &formulas.del_pred(r("R"), &[0], x)));
+        assert!(eval(&word, &at_b2, &formulas.del_pred(r("p"), &[], x)));
+        assert!(eval(&word, &at_b2, &formulas.add_pred(r("Q"), &[-1], x)));
+        assert!(!eval(&word, &at_b2, &formulas.add_pred(r("R"), &[-1], x)));
+
+        // block B1 is α: it adds R(−1), R(−2), Q(−3), p and deletes nothing
+        let at_b1 = Assignment::new().with_pos(x, 1);
+        assert!(eval(&word, &at_b1, &formulas.add_pred(r("R"), &[-1], x)));
+        assert!(eval(&word, &at_b1, &formulas.add_pred(r("Q"), &[-3], x)));
+        assert!(eval(&word, &at_b1, &formulas.add_pred(r("p"), &[], x)));
+        assert!(!eval(&word, &at_b1, &formulas.del_pred(r("R"), &[1], x)));
+    }
+
+    #[test]
+    fn procedural_eq_matches_the_paper_examples() {
+        // Section 6.4: "the index −2 in block B1 and index 1 in block B2 refer to the same
+        // element (e₂) … the element referred to by index −2 in B2 is the same as the element
+        // referred to by index 0 in B7 (e₅)".
+        let (dms, steps) = setup();
+        let encoder = RunEncoder::new(&dms, 2);
+        let run = RecencySemantics::new(&dms, 2).execute(&steps).unwrap();
+        let word = encoder.encode(&run).unwrap();
+
+        // block head positions: B1 = 1, B2 = 5, B7 = 26
+        let b1 = 1;
+        let b2 = 5;
+        let b7_head = (0..word.len())
+            .filter(|&p| encoder.alphabet().symbolic(word.letter(p)).is_some())
+            .nth(6)
+            .unwrap();
+
+        assert_eq!(procedural_eq(&encoder, &word, b1, -2, b2, 1), Some(true));
+        assert_eq!(procedural_eq(&encoder, &word, b2, -2, b7_head, 0), Some(true));
+        assert_eq!(procedural_eq(&encoder, &word, b1, -1, b2, 1), Some(false));
+
+        // element_at resolves fresh and recent indices to the paper's values
+        assert_eq!(element_at(&encoder, &word, &run, b1, -2), Some(DataValue::e(2)));
+        assert_eq!(element_at(&encoder, &word, &run, b2, 1), Some(DataValue::e(2)));
+        assert_eq!(element_at(&encoder, &word, &run, b7_head, 0), Some(DataValue::e(5)));
+    }
+
+    #[test]
+    fn recent_at_least_counts_unmatched_pushes() {
+        let (dms, steps) = setup();
+        let encoder = RunEncoder::new(&dms, 2);
+        let run = RecencySemantics::new(&dms, 2).execute(&steps).unwrap();
+        let word = encoder.encode(&run).unwrap();
+        let formulas = Formulas::for_encoder(&encoder);
+        let x = PosVar(0);
+
+        // evaluating on the prefix covering B1–B2 keeps the (first-order but
+        // position-quantifier-heavy) evaluation cheap; block membership is unaffected
+        let prefix = word.prefix(11);
+        // before block B2 (head at 5) the active domain has 3 elements
+        let a = Assignment::new().with_pos(x, 5);
+        assert!(eval(&prefix, &a, &formulas.recent_at_least(1, x)));
+        assert!(eval(&prefix, &a, &formulas.recent_at_least(2, x)));
+        assert!(!eval(&prefix, &a, &formulas.recent_at_least(3, x)));
+        // before block B1 the active domain is empty
+        let a = Assignment::new().with_pos(x, 1);
+        assert!(!eval(&prefix, &a, &formulas.recent_at_least(0, x)));
+    }
+
+    #[test]
+    fn eq_formula_has_the_expected_shape() {
+        let (dms, _) = setup();
+        let encoder = RunEncoder::new(&dms, 2);
+        let formulas = Formulas::for_encoder(&encoder);
+        let x = formulas.fresh_pos();
+        let y = formulas.fresh_pos();
+        let eq = formulas.eq(1, 0, x, y);
+        // b + η = 5 universally quantified set variables
+        let mut set_quantifiers = 0;
+        fn count(f: &MsoNw, n: &mut usize) {
+            if let MsoNw::ForallSet(_, body) = f {
+                *n += 1;
+                count(body, n);
+            }
+        }
+        count(&eq, &mut set_quantifiers);
+        assert_eq!(set_quantifiers, 5);
+        // the formula mentions both x and y freely
+        let free = eq.free_vars();
+        assert!(free.contains(&rdms_nested::mso::MsoVar::Pos(x)));
+        assert!(free.contains(&rdms_nested::mso::MsoVar::Pos(y)));
+        assert!(eq.size() > 100);
+    }
+}

@@ -1,0 +1,216 @@
+//! Construction of `ϕ_valid^{b,S}` (Section 6.4.2): the MSO_NW sentence characterising the
+//! valid encodings of `b`-bounded runs of a DMS.
+//!
+//! `ϕ_valid` is the conjunction of
+//!
+//! 0. **well-formedness** — the word is `I₀` followed by blocks of the right shape,
+//! 1. **consistency of `m`** — each block pops exactly `|Recent_b(I)|` elements,
+//! 2. **consistency of `J`** — an element is pushed back iff it is live after the block,
+//! 3. **consistency of the guards** — the block's action is enabled under the decoded
+//!    substitution (via the guard translation `⌊·⌋_{α,s,x}`).
+//!
+//! The sentence is *constructed* here exactly as in the paper — this is what the complexity
+//! statement of Section 6.6 is about, and benchmark E2 measures it — but it is **not**
+//! compiled into an automaton by the practical engines: its conditions are enforced
+//! procedurally by [`crate::encoding::RunEncoder::decode`] (which the tests of that module
+//! cross-validate block by block), because the automata route is non-elementary.
+
+use crate::encoding::EncodingAlphabet;
+use crate::formulas::Formulas;
+use crate::translate::Translator;
+use rdms_core::Dms;
+use rdms_nested::mso::MsoNw;
+
+/// Builder for `ϕ_valid^{b,S}` and its individual conditions.
+pub struct PhiValid<'a> {
+    dms: &'a Dms,
+    formulas: &'a Formulas<'a>,
+}
+
+impl<'a> PhiValid<'a> {
+    /// Create a builder over the same formula library used for the specification translation.
+    pub fn new(dms: &'a Dms, formulas: &'a Formulas<'a>) -> PhiValid<'a> {
+        PhiValid { dms, formulas }
+    }
+
+    fn enc(&self) -> &EncodingAlphabet {
+        self.formulas.alphabet()
+    }
+
+    /// Condition 0 (well-formedness): the first position carries `I₀`, no other position
+    /// does, every pop letter `↑i` with `i > 0` is immediately preceded by `↑i−1`, and every
+    /// surviving push `↓i` occurs in a block that popped at least `i + 1` elements.
+    pub fn well_formedness(&self) -> MsoNw {
+        let f = self.formulas;
+        let x = f.fresh_pos();
+        let scratch = f.fresh_pos();
+        let i0 = self.enc().i0();
+
+        let first_is_i0 = MsoNw::exists_pos(x, MsoNw::first(x, scratch).and(MsoNw::letter(i0, x)));
+        let i0_only_first = MsoNw::forall_pos(
+            x,
+            MsoNw::letter(i0, x).implies(MsoNw::first(x, f.fresh_pos())),
+        );
+
+        // pops come in ascending order within a block: ↑i (i>0) is immediately preceded by ↑i−1
+        let mut pop_order = Vec::new();
+        for i in 1..self.enc().bound() {
+            let xi = f.fresh_pos();
+            let yi = f.fresh_pos();
+            pop_order.push(MsoNw::forall_pos(
+                xi,
+                MsoNw::letter(self.enc().pop(i), xi).implies(MsoNw::exists_pos(
+                    yi,
+                    MsoNw::succ(yi, xi, f.fresh_pos()).and(MsoNw::letter(self.enc().pop(i - 1), yi)),
+                )),
+            ));
+        }
+
+        // a surviving push ↓i requires a pop ↑i in the same block
+        let mut push_supported = Vec::new();
+        for (i, letter) in self.enc().surviving_push_letters() {
+            let xi = f.fresh_pos();
+            let yi = f.fresh_pos();
+            push_supported.push(MsoNw::forall_pos(
+                xi,
+                MsoNw::letter(letter, xi).implies(MsoNw::exists_pos(
+                    yi,
+                    f.block_eq(xi, yi).and(MsoNw::letter(self.enc().pop(i), yi)),
+                )),
+            ));
+        }
+
+        MsoNw::conj(
+            [first_is_i0, i0_only_first]
+                .into_iter()
+                .chain(pop_order)
+                .chain(push_supported),
+        )
+    }
+
+    /// Condition 1 (consistency of `m`): for every head position `x` and every index
+    /// `i < b`, if the database before the block has more than `i` elements then the block
+    /// contains the pop `↑i`, and vice versa.
+    pub fn m_consistency(&self) -> MsoNw {
+        let f = self.formulas;
+        let x = f.fresh_pos();
+        let mut conjuncts = Vec::new();
+        for i in 0..self.enc().bound() {
+            let y = f.fresh_pos();
+            let has_pop = MsoNw::exists_pos(y, f.block_eq(x, y).and(MsoNw::letter(self.enc().pop(i), y)));
+            conjuncts.push(f.recent_at_least(i, x).iff(has_pop));
+        }
+        MsoNw::forall_pos(x, f.head(x).implies(MsoNw::conj(conjuncts)))
+    }
+
+    /// Condition 2 (consistency of `J`): an index is pushed back in a block iff the element
+    /// it denotes is live after the block.
+    pub fn j_consistency(&self) -> MsoNw {
+        let f = self.formulas;
+        let x = f.fresh_pos();
+        let mut conjuncts = Vec::new();
+        for (i, letter) in self.enc().surviving_push_letters() {
+            let y = f.fresh_pos();
+            let pushed = MsoNw::exists_pos(y, f.block_eq(x, y).and(MsoNw::letter(letter, y)));
+            conjuncts.push(f.live(x, i as i64).iff(pushed));
+        }
+        MsoNw::forall_pos(x, f.head(x).implies(MsoNw::conj(conjuncts)))
+    }
+
+    /// Condition 3 (consistency of the guards): `∀x. ⋀_{α:s} (α:s(x) ⇒ ⌊α·guard⌋_{α,s,x})`.
+    pub fn guard_consistency(&self) -> MsoNw {
+        let f = self.formulas;
+        let translator = Translator::new(f);
+        let x = f.fresh_pos();
+        let mut conjuncts = Vec::new();
+        for letter in self.enc().head_letters() {
+            let sym = self.enc().symbolic(letter).expect("head letter").clone();
+            let action = self.dms.action(sym.action).expect("letter from this DMS");
+            let guard = translator.query_at_block(action.guard(), sym.action, &sym.sub, x, &Default::default());
+            conjuncts.push(MsoNw::letter(letter, x).implies(guard));
+        }
+        MsoNw::forall_pos(x, MsoNw::conj(conjuncts))
+    }
+
+    /// The full sentence `ϕ_valid^{b,S}`.
+    pub fn build(&self) -> MsoNw {
+        MsoNw::conj([
+            self.well_formedness(),
+            self.m_consistency(),
+            self.j_consistency(),
+            self.guard_consistency(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::RunEncoder;
+    use rdms_core::dms::example_3_1;
+
+    #[test]
+    fn phi_valid_is_a_sentence_and_grows_with_b() {
+        let dms = example_3_1();
+        let mut sizes = Vec::new();
+        for b in 1..=2 {
+            let encoder = RunEncoder::new(&dms, b);
+            let formulas = Formulas::for_encoder(&encoder);
+            let phi = PhiValid::new(&dms, &formulas);
+            let sentence = phi.build();
+            assert!(sentence.free_vars().is_empty(), "ϕ_valid must be a sentence (b = {b})");
+            sizes.push(sentence.size());
+        }
+        assert!(sizes[0] < sizes[1], "ϕ_valid must grow with the recency bound: {sizes:?}");
+    }
+
+    #[test]
+    fn individual_conditions_are_sentences() {
+        let dms = example_3_1();
+        let encoder = RunEncoder::new(&dms, 2);
+        let formulas = Formulas::for_encoder(&encoder);
+        let phi = PhiValid::new(&dms, &formulas);
+        for (name, cond) in [
+            ("well-formedness", phi.well_formedness()),
+            ("m-consistency", phi.m_consistency()),
+            ("J-consistency", phi.j_consistency()),
+            ("guard-consistency", phi.guard_consistency()),
+        ] {
+            assert!(cond.free_vars().is_empty(), "{name} must be a sentence");
+            assert!(cond.size() > 1, "{name} must be non-trivial");
+        }
+    }
+
+    #[test]
+    fn well_formedness_holds_on_real_encodings_and_catches_garbage() {
+        use rdms_core::RecencySemantics;
+        use rdms_nested::eval::eval_sentence;
+        use rdms_nested::NestedWord;
+
+        let dms = example_3_1();
+        let encoder = RunEncoder::new(&dms, 2);
+        let formulas = Formulas::for_encoder(&encoder);
+        let phi = PhiValid::new(&dms, &formulas);
+        let wf = phi.well_formedness();
+
+        let run = RecencySemantics::new(&dms, 2)
+            .execute(&rdms_workloads::figure1::figure_1_steps()[..2])
+            .unwrap();
+        let word = encoder.encode(&run).unwrap();
+        assert!(eval_sentence(&word, &wf));
+
+        // a word that does not start with I₀ is rejected
+        let garbage = NestedWord::new(
+            encoder.alphabet().alphabet().clone(),
+            word.letters()[1..].to_vec(),
+        );
+        assert!(!eval_sentence(&garbage, &wf));
+
+        // a word with a pop out of order is rejected
+        let mut letters = word.letters().to_vec();
+        // block B2's pops are at positions 6 (↑0) and 7 (↑1); swap them
+        letters.swap(6, 7);
+        let swapped = NestedWord::new(encoder.alphabet().alphabet().clone(), letters);
+        assert!(!eval_sentence(&swapped, &wf));
+    }
+}

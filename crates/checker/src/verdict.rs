@@ -1,0 +1,143 @@
+//! Verdicts, counterexamples and statistics produced by the checking engines.
+
+use rdms_core::ExtendedRun;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// The outcome of a recency-bounded model-checking query
+/// ("does every `b`-bounded run satisfy φ?", explored up to a depth bound).
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// A `b`-bounded run prefix violating the property was found.
+    Violated {
+        /// The violating run prefix (a genuine `b`-bounded behaviour of the DMS).
+        counterexample: ExtendedRun,
+        /// Exploration statistics.
+        stats: CheckStats,
+    },
+    /// No violation exists within the explored fragment.
+    Holds {
+        /// `true` if the exploration was exhaustive for the question asked (e.g. the
+        /// reachable state space modulo isomorphism was fully explored for a state-based
+        /// property), so the verdict is exact for the chosen recency bound; `false` if it is
+        /// only "no violation up to the depth bound".
+        complete: bool,
+        /// Exploration statistics.
+        stats: CheckStats,
+    },
+}
+
+impl Verdict {
+    /// Whether the property holds in the explored fragment.
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Holds { .. })
+    }
+
+    /// The counterexample, if any.
+    pub fn counterexample(&self) -> Option<&ExtendedRun> {
+        match self {
+            Verdict::Violated { counterexample, .. } => Some(counterexample),
+            Verdict::Holds { .. } => None,
+        }
+    }
+
+    /// The statistics of the run.
+    pub fn stats(&self) -> &CheckStats {
+        match self {
+            Verdict::Violated { stats, .. } | Verdict::Holds { stats, .. } => stats,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Violated { counterexample, stats } => write!(
+                f,
+                "VIOLATED (counterexample of {} steps; {} prefixes, {} configurations explored)",
+                counterexample.len(),
+                stats.prefixes_checked,
+                stats.configs_explored
+            ),
+            Verdict::Holds { complete, stats } => write!(
+                f,
+                "HOLDS{} ({} prefixes, {} configurations explored)",
+                if *complete { " (exhaustive for this bound)" } else { " (up to the depth bound)" },
+                stats.prefixes_checked,
+                stats.configs_explored
+            ),
+        }
+    }
+}
+
+/// Statistics collected by a checking engine; serialisable so examples and benches can dump
+/// the records quoted in EXPERIMENTS.md.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CheckStats {
+    /// Recency bound used.
+    pub recency_bound: usize,
+    /// Depth bound used (number of actions per explored prefix).
+    pub depth_bound: usize,
+    /// Number of run prefixes on which the property was evaluated.
+    pub prefixes_checked: usize,
+    /// Number of configurations generated.
+    pub configs_explored: usize,
+    /// Number of configurations skipped because an isomorphic one had been expanded.
+    pub configs_deduplicated: usize,
+    /// Wall-clock time.
+    #[serde(with = "duration_millis")]
+    pub elapsed: Duration,
+}
+
+mod duration_millis {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(d.as_secs_f64() * 1000.0)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        let millis = f64::deserialize(d)?;
+        Ok(Duration::from_secs_f64(millis / 1000.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdms_core::BConfig;
+    use rdms_db::Instance;
+
+    #[test]
+    fn verdict_accessors() {
+        let stats = CheckStats { recency_bound: 2, ..Default::default() };
+        let holds = Verdict::Holds { complete: true, stats: stats.clone() };
+        assert!(holds.holds());
+        assert!(holds.counterexample().is_none());
+        assert!(holds.to_string().contains("HOLDS"));
+
+        let run = ExtendedRun::new(BConfig::initial(Instance::new()));
+        let violated = Verdict::Violated { counterexample: run, stats };
+        assert!(!violated.holds());
+        assert!(violated.counterexample().is_some());
+        assert!(violated.to_string().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn stats_serialise_to_json_and_back() {
+        let stats = CheckStats {
+            recency_bound: 3,
+            depth_bound: 5,
+            prefixes_checked: 10,
+            configs_explored: 42,
+            configs_deduplicated: 7,
+            elapsed: Duration::from_millis(1500),
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"recency_bound\":3"));
+        let back: CheckStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

@@ -1,0 +1,305 @@
+//! Configurations of a DMS: database instance + history set (+ sequence numbering for the
+//! recency-bounded semantics).
+
+use rdms_db::{DataValue, Instance};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A configuration `⟨I, H⟩` of the (unbounded) configuration graph `C_S`: the current
+/// database instance and the history set of every value encountered so far.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Config {
+    /// The current database instance `I`.
+    pub instance: Instance,
+    /// The history set `H ⊆ ∆`.
+    pub history: BTreeSet<DataValue>,
+}
+
+impl Config {
+    /// The initial configuration `⟨I₀, ∅⟩`.
+    ///
+    /// Note: the paper requires `adom(I₀) = ∅` for constant-free DMSs; when the constants
+    /// extension is in use, `I₀` may mention constants, which are *not* part of the history
+    /// (they are never "fresh").
+    pub fn initial(instance: Instance) -> Config {
+        Config {
+            instance,
+            history: BTreeSet::new(),
+        }
+    }
+
+    /// Number of values in the active domain of the current instance.
+    pub fn adom_size(&self) -> usize {
+        self.instance.active_domain().len()
+    }
+}
+
+impl fmt::Debug for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, H={:?}⟩", self.instance, self.history)
+    }
+}
+
+/// An injective sequence numbering `seq_no : H → ℕ` recording, for every value in the
+/// history, when it entered the active domain (Section 5).
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SeqNo {
+    map: std::collections::BTreeMap<DataValue, u64>,
+}
+
+impl SeqNo {
+    /// The empty (trivial) sequence numbering.
+    pub fn empty() -> SeqNo {
+        SeqNo::default()
+    }
+
+    /// The sequence number of `value`, if assigned.
+    pub fn get(&self, value: DataValue) -> Option<u64> {
+        self.map.get(&value).copied()
+    }
+
+    /// Whether `value` has a sequence number.
+    pub fn contains(&self, value: DataValue) -> bool {
+        self.map.contains_key(&value)
+    }
+
+    /// The highest assigned sequence number, if any.
+    pub fn max_seq(&self) -> Option<u64> {
+        self.map.values().copied().max()
+    }
+
+    /// Number of assigned values.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no value has been numbered yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Assign `value ↦ n`.
+    ///
+    /// # Panics
+    /// Panics if `value` already has a different number or `n` is already used by a different
+    /// value (the numbering must stay injective and stable — sequence numbers are never
+    /// reused, cf. Section 5).
+    pub fn assign(&mut self, value: DataValue, n: u64) {
+        if let Some(existing) = self.map.get(&value) {
+            assert_eq!(*existing, n, "sequence number of {value} must not change");
+            return;
+        }
+        assert!(
+            !self.map.values().any(|&m| m == n),
+            "sequence number {n} already in use"
+        );
+        self.map.insert(value, n);
+    }
+
+    /// Assign strictly increasing fresh numbers (above everything assigned so far) to the
+    /// given values, in order. Returns the numbers used.
+    pub fn assign_fresh<I: IntoIterator<Item = DataValue>>(&mut self, values: I) -> Vec<u64> {
+        let mut next = self.max_seq().map(|m| m + 1).unwrap_or(1);
+        let mut used = Vec::new();
+        for v in values {
+            self.assign(v, next);
+            used.push(next);
+            next += 1;
+        }
+        used
+    }
+
+    /// Iterate over `(value, seq_no)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DataValue, u64)> + '_ {
+        self.map.iter().map(|(&v, &n)| (v, n))
+    }
+}
+
+impl fmt::Debug for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let entries: Vec<String> = self.iter().map(|(v, n)| format!("{v}→{n}")).collect();
+        write!(f, "[{}]", entries.join(", "))
+    }
+}
+
+/// A configuration `⟨I, H, seq_no⟩` of the `b`-bounded configuration graph `C^b_S`.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BConfig {
+    /// The current database instance `I`.
+    pub instance: Instance,
+    /// The history set `H`.
+    pub history: BTreeSet<DataValue>,
+    /// The sequence numbering `seq_no : H → ℕ`.
+    pub seq_no: SeqNo,
+}
+
+impl BConfig {
+    /// The initial configuration `⟨I₀, ∅, ϵ⟩`.
+    pub fn initial(instance: Instance) -> BConfig {
+        BConfig {
+            instance,
+            history: BTreeSet::new(),
+            seq_no: SeqNo::empty(),
+        }
+    }
+
+    /// Forget the sequence numbering, yielding the underlying [`Config`].
+    pub fn as_config(&self) -> Config {
+        Config {
+            instance: self.instance.clone(),
+            history: self.history.clone(),
+        }
+    }
+
+    /// The active-domain values ordered from most recent to least recent.
+    ///
+    /// Values without a sequence number (declared constants) are considered *least* recent
+    /// and are ordered after all numbered values.
+    pub fn adom_by_recency(&self) -> Vec<DataValue> {
+        let mut values: Vec<DataValue> = self.instance.active_domain().into_iter().collect();
+        values.sort_by_key(|&v| std::cmp::Reverse(self.seq_no.get(v).map(|n| n as i64).unwrap_or(-1)));
+        values
+    }
+
+    /// The recency index of `value` in the current instance: the number of active-domain
+    /// elements with a strictly higher sequence number (`s_j(u)` in Section 6.1). Returns
+    /// `None` if `value` is not in the active domain.
+    pub fn recency_index(&self, value: DataValue) -> Option<usize> {
+        if !self.instance.is_active(value) {
+            return None;
+        }
+        let my_seq = self.seq_no.get(value).map(|n| n as i64).unwrap_or(-1);
+        let higher = self
+            .instance
+            .active_domain()
+            .into_iter()
+            .filter(|&e| self.seq_no.get(e).map(|n| n as i64).unwrap_or(-1) > my_seq)
+            .count();
+        Some(higher)
+    }
+
+    /// The value with the given recency index, if any.
+    pub fn value_at_recency(&self, index: usize) -> Option<DataValue> {
+        self.adom_by_recency().get(index).copied()
+    }
+
+    /// Number of values in the active domain.
+    pub fn adom_size(&self) -> usize {
+        self.instance.active_domain().len()
+    }
+}
+
+impl fmt::Debug for BConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⟨{}, H={:?}, seq={:?}⟩",
+            self.instance, self.history, self.seq_no
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdms_db::RelName;
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+    fn e(i: u64) -> DataValue {
+        DataValue::e(i)
+    }
+
+    #[test]
+    fn seqno_assignment_and_freshness() {
+        let mut s = SeqNo::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.max_seq(), None);
+        s.assign(e(1), 1);
+        s.assign(e(2), 2);
+        assert_eq!(s.get(e(1)), Some(1));
+        assert_eq!(s.max_seq(), Some(2));
+        assert_eq!(s.len(), 2);
+
+        let used = s.assign_fresh([e(3), e(4)]);
+        assert_eq!(used, vec![3, 4]);
+        assert_eq!(s.get(e(4)), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in use")]
+    fn seqno_numbers_are_never_reused() {
+        let mut s = SeqNo::empty();
+        s.assign(e(1), 1);
+        s.assign(e(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not change")]
+    fn seqno_is_stable() {
+        let mut s = SeqNo::empty();
+        s.assign(e(1), 1);
+        s.assign(e(1), 2);
+    }
+
+    #[test]
+    fn recency_index_counts_strictly_more_recent() {
+        let mut cfg = BConfig::initial(Instance::new());
+        cfg.instance.insert(r("R"), vec![e(1)]);
+        cfg.instance.insert(r("R"), vec![e(2)]);
+        cfg.instance.insert(r("Q"), vec![e(3)]);
+        cfg.history.extend([e(1), e(2), e(3)]);
+        cfg.seq_no.assign(e(1), 1);
+        cfg.seq_no.assign(e(2), 2);
+        cfg.seq_no.assign(e(3), 3);
+
+        assert_eq!(cfg.recency_index(e(3)), Some(0)); // most recent
+        assert_eq!(cfg.recency_index(e(2)), Some(1));
+        assert_eq!(cfg.recency_index(e(1)), Some(2));
+        assert_eq!(cfg.recency_index(e(9)), None);
+        assert_eq!(cfg.adom_by_recency(), vec![e(3), e(2), e(1)]);
+        assert_eq!(cfg.value_at_recency(1), Some(e(2)));
+        assert_eq!(cfg.value_at_recency(7), None);
+    }
+
+    #[test]
+    fn recency_index_skips_deleted_values() {
+        // e2 was seen (has a sequence number) but is no longer active: it does not count.
+        let mut cfg = BConfig::initial(Instance::new());
+        cfg.instance.insert(r("R"), vec![e(1)]);
+        cfg.instance.insert(r("R"), vec![e(3)]);
+        cfg.history.extend([e(1), e(2), e(3)]);
+        cfg.seq_no.assign(e(1), 1);
+        cfg.seq_no.assign(e(2), 2);
+        cfg.seq_no.assign(e(3), 3);
+
+        assert_eq!(cfg.recency_index(e(1)), Some(1));
+        assert_eq!(cfg.recency_index(e(2)), None);
+    }
+
+    #[test]
+    fn constants_are_least_recent() {
+        let mut cfg = BConfig::initial(Instance::new());
+        // e100 is a constant: active but never numbered
+        cfg.instance.insert(r("R"), vec![e(100)]);
+        cfg.instance.insert(r("R"), vec![e(1)]);
+        cfg.history.insert(e(1));
+        cfg.seq_no.assign(e(1), 1);
+        assert_eq!(cfg.adom_by_recency(), vec![e(1), e(100)]);
+        assert_eq!(cfg.recency_index(e(100)), Some(1));
+    }
+
+    #[test]
+    fn config_initial_and_adom_size() {
+        let mut inst = Instance::new();
+        inst.set_proposition(r("p"), true);
+        let cfg = Config::initial(inst.clone());
+        assert!(cfg.history.is_empty());
+        assert_eq!(cfg.adom_size(), 0);
+
+        let bcfg = BConfig::initial(inst);
+        assert_eq!(bcfg.as_config(), cfg);
+    }
+}

@@ -1,0 +1,185 @@
+//! Appendix D, second reduction: one **binary** relation with UCQ guards only.
+//!
+//! Counters are encoded as two chains over the `Succ/2` relation sharing a `Zero` element
+//! (Figure 6 of the paper): the value of counter `i` is the distance between the element
+//! pointed to by `Zero` and the element pointed to by `Top_i`.
+//!
+//! * initialisation: `⟨∅, {v}, S_init, {S_init}, {S_{q₀}, Top1(v), Top2(v), Zero(v)}⟩`
+//! * `inc i`: extend counter `i`'s chain with a fresh element and move `Top_i` to it,
+//! * `dec i`: drop the last `Succ` edge of counter `i`'s chain and move `Top_i` back,
+//! * `ifz i`: check `Top_i(u) ∧ Zero(u)`.
+//!
+//! All guards are conjunctions of atoms — UCQs — which is the point of this variant of the
+//! undecidability proof: a single binary relation suffices even without negation.
+
+use crate::action::{Action, ActionBuilder};
+use crate::counter::machine::{CounterMachine, CounterOp};
+use crate::counter::state_proposition;
+use crate::dms::{Dms, DmsBuilder};
+use crate::error::CoreError;
+use rdms_db::{Pattern, Query, RelName, Term, Var};
+
+/// The `Top_i` relation of counter `i` (0-based).
+pub fn top_relation(i: usize) -> RelName {
+    RelName::new(&format!("Top{}", i + 1))
+}
+
+/// The `Zero/1` relation.
+pub fn zero_relation() -> RelName {
+    RelName::new("Zero")
+}
+
+/// The `Succ/2` relation.
+pub fn succ_relation() -> RelName {
+    RelName::new("Succ")
+}
+
+/// The bootstrap proposition `S_init`.
+pub fn init_proposition() -> RelName {
+    RelName::new("S_init")
+}
+
+/// Build the DMS of the binary (UCQ) reduction for a **2-counter** machine.
+pub fn binary_reduction(machine: &CounterMachine) -> Result<Dms, CoreError> {
+    assert_eq!(machine.num_counters, 2, "the binary reduction encodes exactly two counters");
+    let mut builder = DmsBuilder::new()
+        .proposition(init_proposition().as_str())
+        .relation(top_relation(0).as_str(), 1)
+        .relation(top_relation(1).as_str(), 1)
+        .relation(zero_relation().as_str(), 1)
+        .relation(succ_relation().as_str(), 2);
+    for q in 0..machine.num_states {
+        builder = builder.proposition(&state_proposition(q));
+    }
+    builder = builder.initially_true(init_proposition().as_str());
+
+    // bootstrap action
+    let init = ActionBuilder::new("init")
+        .fresh([Var::new("v")])
+        .guard(Query::prop(init_proposition()))
+        .del(Pattern::proposition(init_proposition()))
+        .add(Pattern::from_facts([
+            (RelName::new(&state_proposition(machine.initial)), vec![]),
+            (top_relation(0), vec![Term::Var(Var::new("v"))]),
+            (top_relation(1), vec![Term::Var(Var::new("v"))]),
+            (zero_relation(), vec![Term::Var(Var::new("v"))]),
+        ]))
+        .build()?;
+    builder = builder.action_built(init);
+
+    for (index, ins) in machine.instructions.iter().enumerate() {
+        let s_from = RelName::new(&state_proposition(ins.from));
+        let s_to = RelName::new(&state_proposition(ins.to));
+        let top = top_relation(ins.counter);
+        let name = format!("ins{index}_{:?}_c{}", ins.op, ins.counter + 1);
+        let u = Var::new("u");
+        let u1 = Var::new("u1");
+        let u2 = Var::new("u2");
+        let v = Var::new("v");
+        let action: Action = match ins.op {
+            CounterOp::Inc => ActionBuilder::new(&name)
+                .fresh([v])
+                .guard(Query::prop(s_from).and(Query::atom(top, [u])))
+                .del(Pattern::from_facts([
+                    (s_from, vec![]),
+                    (top, vec![Term::Var(u)]),
+                ]))
+                .add(Pattern::from_facts([
+                    (s_to, vec![]),
+                    (succ_relation(), vec![Term::Var(u), Term::Var(v)]),
+                    (top, vec![Term::Var(v)]),
+                ]))
+                .build()?,
+            CounterOp::Dec => ActionBuilder::new(&name)
+                .guard(
+                    Query::prop(s_from)
+                        .and(Query::atom(succ_relation(), [u1, u2]))
+                        .and(Query::atom(top, [u2])),
+                )
+                .del(Pattern::from_facts([
+                    (s_from, vec![]),
+                    (succ_relation(), vec![Term::Var(u1), Term::Var(u2)]),
+                    (top, vec![Term::Var(u2)]),
+                ]))
+                .add(Pattern::from_facts([
+                    (s_to, vec![]),
+                    (top, vec![Term::Var(u1)]),
+                ]))
+                .build()?,
+            CounterOp::IfZero => ActionBuilder::new(&name)
+                .guard(
+                    Query::prop(s_from)
+                        .and(Query::atom(top, [u]))
+                        .and(Query::atom(zero_relation(), [u])),
+                )
+                .del(Pattern::proposition(s_from))
+                .add(Pattern::proposition(s_to))
+                .build()?,
+        };
+        builder = builder.action_built(action);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::machine::{pump_and_transfer, unreachable_target};
+    use crate::semantics::ConcreteSemantics;
+
+    #[test]
+    fn reduction_shape_and_ucq_guards() {
+        let machine = pump_and_transfer(2);
+        let dms = binary_reduction(&machine).unwrap();
+        // one bootstrap action plus one per instruction
+        assert_eq!(dms.num_actions(), machine.instructions.len() + 1);
+        assert_eq!(dms.max_arity(), 2);
+        // every guard is a UCQ — this is the point of the binary reduction
+        assert!(dms.all_guards_ucq());
+    }
+
+    #[test]
+    fn reachability_agrees_with_the_machine_positive() {
+        let machine = pump_and_transfer(2);
+        let target = machine.num_states - 1;
+        let dms = binary_reduction(&machine).unwrap();
+        let sem = ConcreteSemantics::new(&dms);
+        let reachable = sem
+            .proposition_reachable(RelName::new(&state_proposition(target)), 10_000, 30)
+            .unwrap();
+        assert!(reachable);
+    }
+
+    #[test]
+    fn reachability_agrees_with_the_machine_negative() {
+        let machine = unreachable_target();
+        let dms = binary_reduction(&machine).unwrap();
+        let sem = ConcreteSemantics::new(&dms);
+        assert!(!sem
+            .proposition_reachable(RelName::new(&state_proposition(2)), 1_000, 20)
+            .unwrap());
+    }
+
+    #[test]
+    fn chain_lengths_track_counter_values() {
+        let machine = pump_and_transfer(2);
+        let dms = binary_reduction(&machine).unwrap();
+        let sem = ConcreteSemantics::new(&dms);
+        let mut config = dms.initial_config();
+        // bootstrap
+        config = sem.successors(&config).unwrap().remove(0).1;
+        let mut machine_config = machine.initial_config();
+        for _ in 0..(3 * 2 + 2) {
+            let succs = sem.successors(&config).unwrap();
+            assert_eq!(succs.len(), 1);
+            config = succs.into_iter().next().unwrap().1;
+            machine_config = machine.successors(&machine_config).remove(0);
+            // the total number of Succ edges equals the sum of the counters
+            let total: u64 = machine_config.counters.iter().sum();
+            assert_eq!(config.instance.relation_size(succ_relation()) as u64, total);
+        }
+        assert!(config
+            .instance
+            .proposition(RelName::new(&state_proposition(machine.num_states - 1))));
+    }
+}

@@ -1,0 +1,250 @@
+//! Minsky counter machines (Appendix D of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Operation of a counter-machine instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CounterOp {
+    /// Increment the counter.
+    Inc,
+    /// Decrement the counter; only applicable when it is strictly positive.
+    Dec,
+    /// Test the counter for zero; only applicable when it is zero.
+    IfZero,
+}
+
+/// An instruction `⟨q, op, i, q'⟩`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Source control state.
+    pub from: usize,
+    /// The operation.
+    pub op: CounterOp,
+    /// Which counter (0-based).
+    pub counter: usize,
+    /// Target control state.
+    pub to: usize,
+}
+
+/// A counter machine `M = ⟨Q, q₀, n, Π⟩`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterMachine {
+    /// Number of control states (states are `0 ‥ num_states−1`).
+    pub num_states: usize,
+    /// The initial control state.
+    pub initial: usize,
+    /// Number of counters.
+    pub num_counters: usize,
+    /// The instruction set `Π`.
+    pub instructions: Vec<Instruction>,
+}
+
+/// A machine configuration `⟨q, V⟩`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Current control state.
+    pub state: usize,
+    /// Current counter values.
+    pub counters: Vec<u64>,
+}
+
+impl CounterMachine {
+    /// Create a machine, checking that instruction endpoints and counters are in range.
+    pub fn new(
+        num_states: usize,
+        initial: usize,
+        num_counters: usize,
+        instructions: Vec<Instruction>,
+    ) -> CounterMachine {
+        assert!(initial < num_states, "initial state out of range");
+        for ins in &instructions {
+            assert!(ins.from < num_states && ins.to < num_states, "state out of range");
+            assert!(ins.counter < num_counters, "counter out of range");
+        }
+        CounterMachine {
+            num_states,
+            initial,
+            num_counters,
+            instructions,
+        }
+    }
+
+    /// The initial configuration `⟨q₀, 0̄⟩`.
+    pub fn initial_config(&self) -> MachineConfig {
+        MachineConfig {
+            state: self.initial,
+            counters: vec![0; self.num_counters],
+        }
+    }
+
+    /// All successor configurations of `config`.
+    pub fn successors(&self, config: &MachineConfig) -> Vec<MachineConfig> {
+        let mut result = Vec::new();
+        for ins in &self.instructions {
+            if ins.from != config.state {
+                continue;
+            }
+            match ins.op {
+                CounterOp::Inc => {
+                    let mut counters = config.counters.clone();
+                    counters[ins.counter] += 1;
+                    result.push(MachineConfig { state: ins.to, counters });
+                }
+                CounterOp::Dec => {
+                    if config.counters[ins.counter] > 0 {
+                        let mut counters = config.counters.clone();
+                        counters[ins.counter] -= 1;
+                        result.push(MachineConfig { state: ins.to, counters });
+                    }
+                }
+                CounterOp::IfZero => {
+                    if config.counters[ins.counter] == 0 {
+                        result.push(MachineConfig {
+                            state: ins.to,
+                            counters: config.counters.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Bounded breadth-first control-state reachability: is `target` reachable within
+    /// `max_configs` explored configurations? (The unrestricted problem is undecidable; the
+    /// bound makes this a semi-decision procedure adequate for the test machines.)
+    pub fn state_reachable(&self, target: usize, max_configs: usize) -> bool {
+        let initial = self.initial_config();
+        if initial.state == target {
+            return true;
+        }
+        let mut seen: BTreeSet<MachineConfig> = BTreeSet::from([initial.clone()]);
+        let mut frontier = vec![initial];
+        while !frontier.is_empty() && seen.len() < max_configs {
+            let mut next_frontier = Vec::new();
+            for config in &frontier {
+                for next in self.successors(config) {
+                    if next.state == target {
+                        return true;
+                    }
+                    if seen.len() >= max_configs {
+                        return false;
+                    }
+                    if seen.insert(next.clone()) {
+                        next_frontier.push(next);
+                    }
+                }
+            }
+            frontier = next_frontier;
+        }
+        false
+    }
+}
+
+/// A 2-counter machine that counts counter 0 up to `n`, transfers it into counter 1, and
+/// only then reaches its final state. Reaching the final state requires `3n + 2` steps and
+/// counter values up to `n`, which makes the machine a convenient scaling knob for the
+/// reduction benchmarks.
+pub fn pump_and_transfer(n: u64) -> CounterMachine {
+    // state 0: inc c0 (n times, nondeterministically), or move on when we decide to
+    // We encode "count to exactly n" with a chain of states to keep the machine deterministic:
+    // states 0..n   : inc c0, advance
+    // state n       : start transfer
+    // transfer state: dec c0 / inc c1 loop, then ifz c0 → final
+    let n = n as usize;
+    let pump_states = n + 1; // 0..=n
+    let transfer_a = pump_states; // dec c0 → transfer_b
+    let transfer_b = pump_states + 1; // inc c1 → transfer_a
+    let final_state = pump_states + 2;
+    let mut instructions = Vec::new();
+    for i in 0..n {
+        instructions.push(Instruction { from: i, op: CounterOp::Inc, counter: 0, to: i + 1 });
+    }
+    instructions.push(Instruction { from: n, op: CounterOp::IfZero, counter: 1, to: transfer_a });
+    instructions.push(Instruction { from: transfer_a, op: CounterOp::Dec, counter: 0, to: transfer_b });
+    instructions.push(Instruction { from: transfer_b, op: CounterOp::Inc, counter: 1, to: transfer_a });
+    instructions.push(Instruction { from: transfer_a, op: CounterOp::IfZero, counter: 0, to: final_state });
+    CounterMachine::new(final_state + 1, 0, 2, instructions)
+}
+
+/// A machine whose final state is unreachable: it requires counter 0 to be simultaneously
+/// zero and non-zero (decrement directly after a zero test from the same state).
+pub fn unreachable_target() -> CounterMachine {
+    CounterMachine::new(
+        3,
+        0,
+        2,
+        vec![
+            Instruction { from: 0, op: CounterOp::IfZero, counter: 0, to: 1 },
+            Instruction { from: 1, op: CounterOp::Dec, counter: 0, to: 2 },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increments_and_decrements() {
+        let m = pump_and_transfer(3);
+        let mut config = m.initial_config();
+        assert_eq!(config.counters, vec![0, 0]);
+        // deterministic machine: follow unique successors
+        let mut steps = 0;
+        while m.successors(&config).len() == 1 && steps < 50 {
+            config = m.successors(&config).remove(0);
+            steps += 1;
+        }
+        // final state reached with counter 1 holding 3
+        assert_eq!(config.state, m.num_states - 1);
+        assert_eq!(config.counters, vec![0, 3]);
+        assert_eq!(steps, 3 * 3 + 2);
+    }
+
+    #[test]
+    fn dec_is_blocked_at_zero_and_ifz_at_nonzero() {
+        let m = CounterMachine::new(
+            2,
+            0,
+            1,
+            vec![
+                Instruction { from: 0, op: CounterOp::Dec, counter: 0, to: 1 },
+                Instruction { from: 0, op: CounterOp::IfZero, counter: 0, to: 0 },
+            ],
+        );
+        let c0 = m.initial_config();
+        // dec blocked, ifz loops
+        let succ = m.successors(&c0);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].state, 0);
+
+        let c_pos = MachineConfig { state: 0, counters: vec![2] };
+        let succ = m.successors(&c_pos);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].state, 1);
+        assert_eq!(succ[0].counters, vec![1]);
+    }
+
+    #[test]
+    fn reachability() {
+        let m = pump_and_transfer(2);
+        assert!(m.state_reachable(m.num_states - 1, 1_000));
+        assert!(m.state_reachable(0, 10));
+
+        let bad = unreachable_target();
+        assert!(!bad.state_reachable(2, 1_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "counter out of range")]
+    fn construction_checks_ranges() {
+        CounterMachine::new(
+            1,
+            0,
+            1,
+            vec![Instruction { from: 0, op: CounterOp::Inc, counter: 5, to: 0 }],
+        );
+    }
+}

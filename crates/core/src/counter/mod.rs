@@ -1,0 +1,25 @@
+//! Appendix D: Minsky counter machines and the two reductions showing that unrestricted
+//! propositional reachability (and hence MSO/DMS model checking, Theorem 4.1) is undecidable.
+//!
+//! * [`machine`] — `n`-counter Minsky machines and their execution semantics,
+//! * [`unary`] — the reduction using **two unary relations** and full FOL guards,
+//! * [`binary`] — the reduction using **one binary relation** (plus three unary ones) and
+//!   UCQ guards only.
+//!
+//! Both reductions produce a DMS `S_{⟨M, q_f⟩}` such that the control state `q_f` is
+//! reachable in the machine `M` iff the proposition `S_{q_f}` is reachable in the DMS. The
+//! reductions are exercised (on decidable instances, i.e. with bounded exploration) by unit
+//! and integration tests.
+
+pub mod binary;
+pub mod machine;
+pub mod unary;
+
+pub use binary::binary_reduction;
+pub use machine::{CounterMachine, CounterOp, Instruction, MachineConfig};
+pub use unary::unary_reduction;
+
+/// The name of the proposition representing control state `q` in both reductions.
+pub fn state_proposition(q: usize) -> String {
+    format!("S_q{q}")
+}

@@ -1,0 +1,151 @@
+//! Appendix D, first reduction: two **unary** relations with full FOL guards.
+//!
+//! The schema is `{C1/1, C2/1} ∪ {S_q/0 | q ∈ Q}`: the value of counter `i` is the number of
+//! tuples in `C_i`, and the current control state is the unique true state proposition.
+//!
+//! * `inc i`:  `⟨∅, {v}, S_q, {S_q}, {C_i(v), S_q'}⟩`
+//! * `dec i`:  `⟨{u}, ∅, S_q ∧ C_i(u), {C_i(u), S_q}, {S_q'}⟩`
+//! * `ifz i`:  `⟨∅, ∅, S_q ∧ ¬∃u.C_i(u), {S_q}, {S_q'}⟩`
+//!
+//! Control-state reachability of the machine coincides with propositional reachability of
+//! the DMS, which is what makes the latter undecidable (Theorem 4.1) — note the `ifz` guard
+//! uses negation, i.e. full FOL.
+
+use crate::action::{Action, ActionBuilder};
+use crate::counter::machine::{CounterMachine, CounterOp};
+use crate::counter::state_proposition;
+use crate::dms::{Dms, DmsBuilder};
+use crate::error::CoreError;
+use rdms_db::{Pattern, Query, RelName, Term, Var};
+
+/// The relation holding counter `i` (0-based): `C1`, `C2`, ….
+pub fn counter_relation(i: usize) -> RelName {
+    RelName::new(&format!("C{}", i + 1))
+}
+
+/// Build the DMS `S_{⟨M, q_f⟩}` of the unary reduction. The final state plays no special
+/// role in the construction (reachability is asked about its proposition afterwards), so the
+/// function only needs the machine.
+pub fn unary_reduction(machine: &CounterMachine) -> Result<Dms, CoreError> {
+    let mut builder = DmsBuilder::new();
+    for q in 0..machine.num_states {
+        builder = builder.proposition(&state_proposition(q));
+    }
+    for c in 0..machine.num_counters {
+        builder = builder.relation(counter_relation(c).as_str(), 1);
+    }
+    builder = builder.initially_true(&state_proposition(machine.initial));
+
+    for (index, ins) in machine.instructions.iter().enumerate() {
+        let s_from = RelName::new(&state_proposition(ins.from));
+        let s_to = RelName::new(&state_proposition(ins.to));
+        let c = counter_relation(ins.counter);
+        let name = format!("ins{index}_{:?}_c{}", ins.op, ins.counter + 1);
+        let action: Action = match ins.op {
+            CounterOp::Inc => ActionBuilder::new(&name)
+                .fresh([Var::new("v")])
+                .guard(Query::prop(s_from))
+                .del(Pattern::proposition(s_from))
+                .add(Pattern::from_facts([
+                    (c, vec![Term::Var(Var::new("v"))]),
+                    (s_to, vec![]),
+                ]))
+                .build()?,
+            CounterOp::Dec => ActionBuilder::new(&name)
+                .guard(Query::prop(s_from).and(Query::atom(c, [Var::new("u")])))
+                .del(Pattern::from_facts([
+                    (c, vec![Term::Var(Var::new("u"))]),
+                    (s_from, vec![]),
+                ]))
+                .add(Pattern::proposition(s_to))
+                .build()?,
+            CounterOp::IfZero => ActionBuilder::new(&name)
+                .guard(
+                    Query::prop(s_from)
+                        .and(Query::exists(Var::new("u"), Query::atom(c, [Var::new("u")])).not()),
+                )
+                .del(Pattern::proposition(s_from))
+                .add(Pattern::proposition(s_to))
+                .build()?,
+        };
+        builder = builder.action_built(action);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::machine::{pump_and_transfer, unreachable_target};
+    use crate::semantics::ConcreteSemantics;
+
+    #[test]
+    fn reduction_shape() {
+        let machine = pump_and_transfer(2);
+        let dms = unary_reduction(&machine).unwrap();
+        assert_eq!(dms.num_actions(), machine.instructions.len());
+        assert_eq!(dms.max_arity(), 1);
+        // the schema has one proposition per state plus the two counter relations
+        assert_eq!(dms.schema().len(), machine.num_states + 2);
+        // the ifz guards use negation, so not all guards are UCQ (this is the FOL reduction)
+        assert!(!dms.all_guards_ucq());
+    }
+
+    #[test]
+    fn reachability_agrees_with_the_machine_positive() {
+        let machine = pump_and_transfer(2);
+        let target = machine.num_states - 1;
+        assert!(machine.state_reachable(target, 10_000));
+
+        let dms = unary_reduction(&machine).unwrap();
+        let sem = ConcreteSemantics::new(&dms);
+        let reachable = sem
+            .proposition_reachable(RelName::new(&state_proposition(target)), 10_000, 30)
+            .unwrap();
+        assert!(reachable);
+    }
+
+    #[test]
+    fn reachability_agrees_with_the_machine_negative() {
+        let machine = unreachable_target();
+        let dms = unary_reduction(&machine).unwrap();
+        let sem = ConcreteSemantics::new(&dms);
+        // state 2 is unreachable in the machine; the proposition is unreachable in the DMS
+        // (the system has finitely many reachable configurations here, so the bounded search
+        // is exhaustive).
+        assert!(!machine.state_reachable(2, 1_000));
+        let reachable = sem
+            .proposition_reachable(RelName::new(&state_proposition(2)), 1_000, 20)
+            .unwrap();
+        assert!(!reachable);
+    }
+
+    #[test]
+    fn counter_values_are_cardinalities() {
+        let machine = pump_and_transfer(3);
+        let dms = unary_reduction(&machine).unwrap();
+        let sem = ConcreteSemantics::new(&dms);
+        // follow the deterministic run to the final state, tracking C1/C2 sizes
+        let mut config = dms.initial_config();
+        let mut machine_config = machine.initial_config();
+        for _ in 0..(3 * 3 + 2) {
+            // The machine is deterministic, but the DMS may offer several (isomorphic)
+            // substitutions for a `dec` — any of them tracks the counter values.
+            let succs = sem.successors(&config).unwrap();
+            assert!(!succs.is_empty());
+            config = succs.into_iter().next().unwrap().1;
+            machine_config = machine.successors(&machine_config).remove(0);
+            assert_eq!(
+                config.instance.relation_size(counter_relation(0)) as u64,
+                machine_config.counters[0]
+            );
+            assert_eq!(
+                config.instance.relation_size(counter_relation(1)) as u64,
+                machine_config.counters[1]
+            );
+        }
+        assert!(config
+            .instance
+            .proposition(RelName::new(&state_proposition(machine.num_states - 1))));
+    }
+}

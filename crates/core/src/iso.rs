@@ -1,0 +1,256 @@
+//! Isomorphism of runs and configurations modulo renaming of data values
+//! (Appendix E / Lemma E.1 of the paper).
+//!
+//! Two extended runs with the same abstraction are *equivalent modulo permutations of the
+//! data domain*: there is a bijection `λ` between their global active domains that is an
+//! isomorphism between corresponding instances. This module provides
+//!
+//! * [`runs_isomorphic`] — check Lemma E.1's conclusion directly on two runs,
+//! * [`canonical_config_key`] — a canonical form of a `b`-bounded configuration obtained by
+//!   relabelling active-domain values by their recency rank; two configurations with the same
+//!   key have isomorphic futures, which is what the bounded explorer uses to deduplicate its
+//!   search space.
+
+use crate::config::BConfig;
+use crate::run::ExtendedRun;
+use rdms_db::{DataValue, Instance};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A canonical form of a configuration: the instance with every non-constant active-domain
+/// value replaced by its recency rank (`0` = most recent), leaving declared constants fixed.
+///
+/// Two configurations with the same canonical key are isomorphic in the sense of Lemma E.1
+/// (restricted to the current instance), and — because fresh values are always new — admit
+/// exactly the same `b`-bounded futures up to isomorphism.
+///
+/// Rank values are re-based at `u64::MAX/2` downwards so they can never collide with declared
+/// constants (which are small in practice); the offset is irrelevant as long as it is applied
+/// consistently.
+pub fn canonical_config_key(config: &BConfig, constants: &BTreeSet<DataValue>) -> Instance {
+    let mut mapping: BTreeMap<DataValue, DataValue> = BTreeMap::new();
+    const RANK_BASE: u64 = u64::MAX / 2;
+    for (rank, value) in config
+        .adom_by_recency()
+        .into_iter()
+        .filter(|v| !constants.contains(v))
+        .enumerate()
+    {
+        mapping.insert(value, DataValue(RANK_BASE + rank as u64));
+    }
+    config
+        .instance
+        .map_values(|v| mapping.get(&v).copied().unwrap_or(v))
+}
+
+/// Try to extend a partial bijection with `a ↦ b`; returns `false` on conflict.
+fn extend(map: &mut BTreeMap<DataValue, DataValue>, rev: &mut BTreeMap<DataValue, DataValue>, a: DataValue, b: DataValue) -> bool {
+    match (map.get(&a), rev.get(&b)) {
+        (Some(&b2), _) if b2 != b => false,
+        (_, Some(&a2)) if a2 != a => false,
+        _ => {
+            map.insert(a, b);
+            rev.insert(b, a);
+            true
+        }
+    }
+}
+
+/// Check whether two extended runs are equivalent modulo a permutation of the data domain:
+/// a single bijection `λ` must map the `i`-th instance of `left` onto the `i`-th instance of
+/// `right`, for every `i`.
+///
+/// The bijection is built greedily from the order in which values appear; this is complete
+/// here because fresh values are totally ordered by their first appearance (sequence
+/// numbers), exactly the argument used in Appendix E.
+pub fn runs_isomorphic(left: &ExtendedRun, right: &ExtendedRun) -> bool {
+    if left.configs().len() != right.configs().len() {
+        return false;
+    }
+    let mut map: BTreeMap<DataValue, DataValue> = BTreeMap::new();
+    let mut rev: BTreeMap<DataValue, DataValue> = BTreeMap::new();
+
+    for (lc, rc) in left.configs().iter().zip(right.configs().iter()) {
+        // Values ordered by sequence number (i.e. order of first appearance).
+        let mut lvals: Vec<DataValue> = lc.history.iter().copied().collect();
+        lvals.sort_by_key(|&v| lc.seq_no.get(v).unwrap_or(u64::MAX));
+        let mut rvals: Vec<DataValue> = rc.history.iter().copied().collect();
+        rvals.sort_by_key(|&v| rc.seq_no.get(v).unwrap_or(u64::MAX));
+        if lvals.len() != rvals.len() {
+            return false;
+        }
+        for (&a, &b) in lvals.iter().zip(rvals.iter()) {
+            if !extend(&mut map, &mut rev, a, b) {
+                return false;
+            }
+        }
+        // Now the instances must agree after renaming.
+        let renamed = lc.instance.map_values(|v| map.get(&v).copied().unwrap_or(v));
+        if renamed != rc.instance {
+            return false;
+        }
+    }
+    true
+}
+
+/// Check whether two plain instances are isomorphic under *some* bijection of their active
+/// domains (backtracking search; intended for small instances in tests).
+pub fn instances_isomorphic(left: &Instance, right: &Instance) -> bool {
+    let ladom: Vec<DataValue> = left.active_domain().into_iter().collect();
+    let radom: Vec<DataValue> = right.active_domain().into_iter().collect();
+    if ladom.len() != radom.len() || left.len() != right.len() {
+        return false;
+    }
+    fn backtrack(
+        left: &Instance,
+        right: &Instance,
+        ladom: &[DataValue],
+        radom: &[DataValue],
+        used: &mut Vec<bool>,
+        map: &mut BTreeMap<DataValue, DataValue>,
+        index: usize,
+    ) -> bool {
+        if index == ladom.len() {
+            let renamed = left.map_values(|v| map.get(&v).copied().unwrap_or(v));
+            return &renamed == right;
+        }
+        for (j, &candidate) in radom.iter().enumerate() {
+            if used[j] {
+                continue;
+            }
+            used[j] = true;
+            map.insert(ladom[index], candidate);
+            if backtrack(left, right, ladom, radom, used, map, index + 1) {
+                return true;
+            }
+            map.remove(&ladom[index]);
+            used[j] = false;
+        }
+        false
+    }
+    let mut used = vec![false; radom.len()];
+    let mut map = BTreeMap::new();
+    backtrack(left, right, &ladom, &radom, &mut used, &mut map, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dms::example_3_1;
+    use crate::recency::{tests::figure_1_steps, RecencySemantics};
+    use crate::run::Step;
+    use rdms_db::{RelName, Substitution, Var};
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+    fn e(i: u64) -> DataValue {
+        DataValue::e(i)
+    }
+
+    #[test]
+    fn instance_isomorphism_positive_and_negative() {
+        let a = Instance::from_facts([(r("R"), vec![e(1), e(2)]), (r("Q"), vec![e(2)])]);
+        let b = Instance::from_facts([(r("R"), vec![e(7), e(9)]), (r("Q"), vec![e(9)])]);
+        assert!(instances_isomorphic(&a, &b));
+
+        let c = Instance::from_facts([(r("R"), vec![e(7), e(9)]), (r("Q"), vec![e(7)])]);
+        assert!(!instances_isomorphic(&a, &c));
+
+        let d = Instance::from_facts([(r("R"), vec![e(1), e(1)])]);
+        assert!(!instances_isomorphic(&a, &d));
+    }
+
+    #[test]
+    fn runs_with_same_abstraction_are_isomorphic() {
+        // Replay Figure 1 with the paper's fresh values, and again with shifted fresh values;
+        // the two runs must be isomorphic (Lemma E.1).
+        let dms = example_3_1();
+        let sem = RecencySemantics::new(&dms, 2);
+        let run1 = sem.execute(&figure_1_steps()).unwrap();
+
+        let shifted: Vec<Step> = figure_1_steps()
+            .into_iter()
+            .map(|s| {
+                let subst = Substitution::from_pairs(
+                    s.subst.iter().map(|(var, val)| {
+                        // shift only fresh values (the ones being introduced); parameters refer
+                        // to earlier values, so shift everything consistently by +100
+                        (var, DataValue(val.index() + 100))
+                    }),
+                );
+                Step::new(s.action, subst)
+            })
+            .collect();
+        // Rebuild by consistently shifting: parameters now refer to shifted values, which are
+        // exactly the values introduced by the shifted earlier steps.
+        let run2 = sem.execute(&shifted).unwrap();
+
+        assert!(runs_isomorphic(&run1, &run2));
+        assert!(runs_isomorphic(&run2, &run1));
+        // A prefix is not isomorphic to the full run.
+        assert!(!runs_isomorphic(&run1, &run2.prefix(5)));
+    }
+
+    #[test]
+    fn non_isomorphic_runs_are_detected() {
+        let dms = example_3_1();
+        let sem = RecencySemantics::new(&dms, 2);
+        let full = figure_1_steps();
+        let run1 = sem.execute(&full[..2]).unwrap();
+        // Take a different second step (β with u ↦ e1 instead of e2).
+        let mut alt = full[..2].to_vec();
+        alt[1] = Step::new(1, Substitution::from_pairs([(v("u"), e(1)), (v("v1"), e(4)), (v("v2"), e(5))]));
+        let sem3 = RecencySemantics::new(&dms, 3);
+        let run2 = sem3.execute(&alt).unwrap();
+        assert!(!runs_isomorphic(&run1, &run2));
+    }
+
+    #[test]
+    fn canonical_keys_identify_isomorphic_configurations() {
+        let dms = example_3_1();
+        let sem = RecencySemantics::new(&dms, 2);
+        let run1 = sem.execute(&figure_1_steps()).unwrap();
+
+        let shifted: Vec<Step> = figure_1_steps()
+            .into_iter()
+            .map(|s| {
+                Step::new(
+                    s.action,
+                    Substitution::from_pairs(s.subst.iter().map(|(var, val)| (var, DataValue(val.index() + 50)))),
+                )
+            })
+            .collect();
+        let run2 = sem.execute(&shifted).unwrap();
+
+        let consts = BTreeSet::new();
+        for (c1, c2) in run1.configs().iter().zip(run2.configs().iter()) {
+            assert_eq!(
+                canonical_config_key(c1, &consts),
+                canonical_config_key(c2, &consts)
+            );
+        }
+
+        // Different instants generally have different keys.
+        assert_ne!(
+            canonical_config_key(&run1.configs()[1], &consts),
+            canonical_config_key(&run1.configs()[2], &consts)
+        );
+    }
+
+    #[test]
+    fn constants_are_not_relabelled() {
+        let mut cfg = BConfig::initial(Instance::new());
+        cfg.instance.insert(r("R"), vec![e(42), e(1)]);
+        cfg.history.insert(e(1));
+        cfg.seq_no.assign(e(1), 1);
+        let consts = BTreeSet::from([e(42)]);
+        let key = canonical_config_key(&cfg, &consts);
+        // e42 stays, e1 is relabelled
+        let adom = key.active_domain();
+        assert!(adom.contains(&e(42)));
+        assert!(!adom.contains(&e(1)));
+    }
+}

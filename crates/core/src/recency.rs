@@ -1,0 +1,357 @@
+//! Recency-bounded execution semantics (Section 5 of the paper): sequence numbers, the
+//! `Recent_b` window and the `b`-bounded configuration graph `C^b_S`.
+
+use crate::action::Action;
+use crate::config::BConfig;
+use crate::dms::Dms;
+use crate::error::CoreError;
+use crate::run::{ExtendedRun, Step};
+use crate::semantics::ConcreteSemantics;
+use rdms_db::{DataValue, Substitution};
+use std::collections::BTreeSet;
+
+/// `Recent_b(I, seq_no)`: the maximal set `D ⊆ adom(I)` with `|D| ≤ b` such that every
+/// element of `D` is more recent than every element of `adom(I) \ D`.
+///
+/// Declared constants carry no sequence number and are treated as *least recent*; they only
+/// enter the window when `|adom(I)| ≤ b` (by maximality), mirroring the fact that in the
+/// compiled constant-free system they are not data values at all.
+pub fn recent_b(config: &BConfig, b: usize) -> BTreeSet<DataValue> {
+    config.adom_by_recency().into_iter().take(b).collect()
+}
+
+/// The `b`-bounded execution semantics of a DMS.
+///
+/// A transition `⟨I, H, seq⟩ →_b^{α:σ} ⟨I', H', seq'⟩` exists iff
+///
+/// 1. `⟨I, H⟩ →^{α:σ} ⟨I', H'⟩` in the unbounded graph,
+/// 2. `σ(u) ∈ Recent_b(I, seq)` for every action parameter `u` (constants are additionally
+///    admitted when the constants extension is in use),
+/// 3. `seq'` extends `seq`, assigning to the fresh values numbers strictly above everything
+///    in the history,
+/// 4. the fresh values get numbers in the order of the action's fresh-variable list.
+pub struct RecencySemantics<'a> {
+    concrete: ConcreteSemantics<'a>,
+    b: usize,
+}
+
+impl<'a> RecencySemantics<'a> {
+    /// Wrap a DMS with a recency bound.
+    pub fn new(dms: &'a Dms, b: usize) -> RecencySemantics<'a> {
+        RecencySemantics {
+            concrete: ConcreteSemantics::new(dms),
+            b,
+        }
+    }
+
+    /// The recency bound `b`.
+    pub fn bound(&self) -> usize {
+        self.b
+    }
+
+    /// The underlying DMS.
+    pub fn dms(&self) -> &Dms {
+        self.concrete.dms()
+    }
+
+    /// The underlying unbounded semantics.
+    pub fn concrete(&self) -> &ConcreteSemantics<'a> {
+        &self.concrete
+    }
+
+    /// The `Recent_b` window at `config`.
+    pub fn recent(&self, config: &BConfig) -> BTreeSet<DataValue> {
+        recent_b(config, self.b)
+    }
+
+    /// Check conditions 1–2 (the substitution side) of the `b`-bounded transition relation.
+    pub fn check_b_instantiating(
+        &self,
+        config: &BConfig,
+        action: &Action,
+        subst: &Substitution,
+    ) -> Result<(), CoreError> {
+        self.concrete
+            .check_instantiating(&config.as_config(), action, subst)?;
+        let window = self.recent(config);
+        let constants = self.dms().constants();
+        for &u in action.params() {
+            let value = subst.get(u).expect("checked by check_instantiating");
+            if !window.contains(&value) && !constants.contains(&value) {
+                return Err(CoreError::RecencyViolation {
+                    action: action.name().to_owned(),
+                    var: u,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply `action` under `subst` at `config` in the `b`-bounded semantics.
+    pub fn apply(
+        &self,
+        config: &BConfig,
+        action_index: usize,
+        subst: &Substitution,
+    ) -> Result<BConfig, CoreError> {
+        let action = self.dms().action(action_index)?;
+        self.check_b_instantiating(config, action, subst)?;
+
+        let next = self
+            .concrete
+            .apply(&config.as_config(), action_index, subst)?;
+
+        let mut seq_no = config.seq_no.clone();
+        let fresh_values: Vec<DataValue> = action
+            .fresh()
+            .iter()
+            .map(|&v| subst.get(v).expect("checked"))
+            .collect();
+        seq_no.assign_fresh(fresh_values);
+
+        Ok(BConfig {
+            instance: next.instance,
+            history: next.history,
+            seq_no,
+        })
+    }
+
+    /// All `b`-bounded successors of `config`, using canonical fresh values.
+    pub fn successors(&self, config: &BConfig) -> Result<Vec<(Step, BConfig)>, CoreError> {
+        let window = self.recent(config);
+        let constants = self.dms().constants();
+        let plain = config.as_config();
+        let mut result = Vec::new();
+        for (index, action) in self.dms().actions().iter().enumerate() {
+            'answers: for guard_sub in self.concrete.guard_answers(&plain, action)? {
+                // recency filter on parameters
+                for &u in action.params() {
+                    match guard_sub.get(u) {
+                        Some(value) if window.contains(&value) || constants.contains(&value) => {}
+                        _ => continue 'answers,
+                    }
+                }
+                let subst = self
+                    .concrete
+                    .complete_with_canonical_fresh(&plain, action, &guard_sub);
+                match self.apply(config, index, &subst) {
+                    Ok(next) => result.push((Step::new(index, subst), next)),
+                    Err(CoreError::NotInstantiating { .. }) | Err(CoreError::RecencyViolation { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Execute a sequence of steps from the initial configuration, producing an extended run.
+    /// Every step is checked against the `b`-bounded semantics.
+    pub fn execute(&self, steps: &[Step]) -> Result<ExtendedRun, CoreError> {
+        let mut run = ExtendedRun::new(self.dms().initial_bconfig());
+        for step in steps {
+            let next = self.apply(run.last(), step.action, &step.subst)?;
+            run.push(step.clone(), next);
+        }
+        Ok(run)
+    }
+
+    /// Check that an already-built extended run is a valid `b`-bounded run of the DMS
+    /// (Example 5.1 checks that the Figure 1 run is 2-recency-bounded).
+    pub fn is_b_bounded(&self, run: &ExtendedRun) -> bool {
+        if run.configs().first().map(|c| &c.instance) != Some(self.dms().initial()) {
+            return false;
+        }
+        for (i, step) in run.steps().iter().enumerate() {
+            let before = &run.configs()[i];
+            let after = &run.configs()[i + 1];
+            match self.apply(before, step.action, &step.subst) {
+                Ok(next) => {
+                    if &next != after {
+                        return false;
+                    }
+                }
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// The smallest recency bound under which the given (valid) extended run is recency
+    /// bounded, or `None` if some step is not replayable at any bound (i.e. the run is not a
+    /// run of the DMS at all).
+    pub fn minimal_bound(dms: &Dms, run: &ExtendedRun) -> Option<usize> {
+        let mut bound = 0usize;
+        for (i, step) in run.steps().iter().enumerate() {
+            let before = &run.configs()[i];
+            let action = dms.action(step.action).ok()?;
+            for &u in action.params() {
+                let value = step.subst.get(u)?;
+                if dms.constants().contains(&value) {
+                    continue;
+                }
+                let index = before.recency_index(value)?;
+                bound = bound.max(index + 1);
+            }
+        }
+        Some(bound)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::dms::example_3_1;
+    use rdms_db::{Instance, RelName, Var};
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+    fn e(i: u64) -> DataValue {
+        DataValue::e(i)
+    }
+
+    /// Replay the full run of Figure 1 (8 steps) with the paper's exact substitutions.
+    pub fn figure_1_steps() -> Vec<Step> {
+        vec![
+            Step::new(0, Substitution::from_pairs([(v("v1"), e(1)), (v("v2"), e(2)), (v("v3"), e(3))])),
+            Step::new(1, Substitution::from_pairs([(v("u"), e(2)), (v("v1"), e(4)), (v("v2"), e(5))])),
+            Step::new(0, Substitution::from_pairs([(v("v1"), e(6)), (v("v2"), e(7)), (v("v3"), e(8))])),
+            Step::new(2, Substitution::from_pairs([(v("u"), e(7))])),
+            Step::new(3, Substitution::from_pairs([(v("u1"), e(8)), (v("u2"), e(6))])),
+            Step::new(3, Substitution::from_pairs([(v("u1"), e(4)), (v("u2"), e(5))])),
+            Step::new(3, Substitution::from_pairs([(v("u1"), e(3)), (v("u2"), e(3))])),
+            Step::new(0, Substitution::from_pairs([(v("v1"), e(9)), (v("v2"), e(10)), (v("v3"), e(11))])),
+        ]
+    }
+
+    #[test]
+    fn recent_window_basics() {
+        let mut cfg = BConfig::initial(Instance::new());
+        cfg.instance.insert(r("R"), vec![e(1)]);
+        cfg.instance.insert(r("R"), vec![e(2)]);
+        cfg.instance.insert(r("Q"), vec![e(3)]);
+        for (i, val) in [e(1), e(2), e(3)].into_iter().enumerate() {
+            cfg.history.insert(val);
+            cfg.seq_no.assign(val, (i + 1) as u64);
+        }
+        assert_eq!(recent_b(&cfg, 2), BTreeSet::from([e(2), e(3)]));
+        assert_eq!(recent_b(&cfg, 5), BTreeSet::from([e(1), e(2), e(3)]));
+        assert_eq!(recent_b(&cfg, 0), BTreeSet::new());
+    }
+
+    #[test]
+    fn figure_1_run_is_replayable_at_bound_2() {
+        let dms = example_3_1();
+        let sem = RecencySemantics::new(&dms, 2);
+        let run = sem.execute(&figure_1_steps()).expect("Figure 1 is a 2-bounded run");
+        assert_eq!(run.len(), 8);
+        assert!(sem.is_b_bounded(&run));
+
+        // The final instance in Figure 1 (after the last α) is {p, R:e1,e9,e10, Q:e5,e11}.
+        let last = &run.last().instance;
+        assert!(last.proposition(r("p")));
+        for i in [1, 9, 10] {
+            assert!(last.contains(r("R"), &[e(i)]), "R(e{i}) expected");
+        }
+        for i in [5, 11] {
+            assert!(last.contains(r("Q"), &[e(i)]), "Q(e{i}) expected");
+        }
+        assert_eq!(last.len(), 6);
+    }
+
+    #[test]
+    fn figure_1_run_needs_bound_2() {
+        // Example 5.1 says the run is 2-recency-bounded; it is not 1-recency-bounded because
+        // β picks the *second most recent* element (u ↦ e2 while e3 is more recent).
+        let dms = example_3_1();
+        let steps = figure_1_steps();
+
+        let sem1 = RecencySemantics::new(&dms, 1);
+        assert!(sem1.execute(&steps).is_err());
+
+        let run = RecencySemantics::new(&dms, 2).execute(&steps).unwrap();
+        assert_eq!(RecencySemantics::minimal_bound(&dms, &run), Some(2));
+    }
+
+    #[test]
+    fn recency_violation_is_reported() {
+        let dms = example_3_1();
+        let sem = RecencySemantics::new(&dms, 1);
+        let steps = figure_1_steps();
+        let run_prefix = RecencySemantics::new(&dms, 2).execute(&steps[..1]).unwrap();
+        let err = sem
+            .apply(run_prefix.last(), steps[1].action, &steps[1].subst)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::RecencyViolation { .. }));
+    }
+
+    #[test]
+    fn successors_respect_the_window() {
+        let dms = example_3_1();
+        let sem2 = RecencySemantics::new(&dms, 2);
+        let c0 = dms.initial_bconfig();
+        let (_, c1) = sem2.successors(&c0).unwrap().remove(0);
+        // c1 = {p, R:{e1,e2}, Q:{e3}} with e3 most recent, e2 second.
+        // b=2 window = {e2, e3}. beta needs R(u): only u↦e2 is allowed (e1 outside window).
+        let succs = sem2.successors(&c1).unwrap();
+        let beta_moves: Vec<_> = succs
+            .iter()
+            .filter(|(s, _)| dms.action(s.action).unwrap().name() == "beta")
+            .collect();
+        assert_eq!(beta_moves.len(), 1);
+        assert_eq!(beta_moves[0].0.subst.get(v("u")), Some(e(2)));
+
+        // with b=3 both e1 and e2 are allowed
+        let sem3 = RecencySemantics::new(&dms, 3);
+        let beta_moves3 = sem3
+            .successors(&c1)
+            .unwrap()
+            .into_iter()
+            .filter(|(s, _)| dms.action(s.action).unwrap().name() == "beta")
+            .count();
+        assert_eq!(beta_moves3, 2);
+    }
+
+    #[test]
+    fn more_runs_verified_with_higher_bound() {
+        // Exhaustiveness of the under-approximation: the set of b-bounded successors grows
+        // monotonically with b.
+        let dms = example_3_1();
+        let c0 = dms.initial_bconfig();
+        let mut counts = Vec::new();
+        for b in 1..=4 {
+            let sem = RecencySemantics::new(&dms, b);
+            let (_, c1) = sem.successors(&c0).unwrap().remove(0);
+            counts.push(sem.successors(&c1).unwrap().len());
+        }
+        for w in counts.windows(2) {
+            assert!(w[0] <= w[1], "successor counts must be monotone in b: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_follow_fresh_order() {
+        let dms = example_3_1();
+        let sem = RecencySemantics::new(&dms, 3);
+        let run = sem.execute(&figure_1_steps()[..1]).unwrap();
+        let cfg = run.last();
+        // α's fresh order is (v1, v2, v3) ↦ (e1, e2, e3): sequence numbers must increase that way
+        assert!(cfg.seq_no.get(e(1)).unwrap() < cfg.seq_no.get(e(2)).unwrap());
+        assert!(cfg.seq_no.get(e(2)).unwrap() < cfg.seq_no.get(e(3)).unwrap());
+    }
+
+    #[test]
+    fn is_b_bounded_rejects_corrupted_runs() {
+        let dms = example_3_1();
+        let sem = RecencySemantics::new(&dms, 2);
+        let mut run = sem.execute(&figure_1_steps()[..2]).unwrap();
+        // corrupt the last configuration
+        let mut bad = run.last().clone();
+        bad.instance.insert(r("R"), vec![e(99)]);
+        run.push(Step::new(0, Substitution::from_pairs([(v("v1"), e(100)), (v("v2"), e(101)), (v("v3"), e(102))])), bad);
+        assert!(!sem.is_b_bounded(&run));
+    }
+}

@@ -1,0 +1,197 @@
+//! Runs and extended runs of a DMS.
+
+use crate::config::BConfig;
+use rdms_db::{Instance, Substitution};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One transition label: which action was applied and under which substitution
+/// (the `α : σ` edge labels of the configuration graph).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Step {
+    /// Index of the action in the DMS's action list.
+    pub action: usize,
+    /// The instantiating substitution `σ : ⃗u ⊎ ⃗v → ∆`.
+    pub subst: Substitution,
+}
+
+impl Step {
+    /// Convenience constructor.
+    pub fn new(action: usize, subst: Substitution) -> Step {
+        Step { action, subst }
+    }
+}
+
+impl fmt::Debug for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α{}:{:?}", self.action, self.subst)
+    }
+}
+
+/// A finite prefix of an extended run
+/// `⟨I₀,H₀,seq₀⟩ →^{α₀:σ₀} ⟨I₁,H₁,seq₁⟩ →^{α₁:σ₁} …`.
+///
+/// The paper's runs are infinite; every algorithm in this workspace manipulates finite
+/// prefixes (of unbounded length), which is also what the nested-word encoding and the
+/// bounded checking engines consume. `configs.len() == steps.len() + 1` always holds.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtendedRun {
+    configs: Vec<BConfig>,
+    steps: Vec<Step>,
+}
+
+impl ExtendedRun {
+    /// The length-0 run sitting at `initial`.
+    pub fn new(initial: BConfig) -> ExtendedRun {
+        ExtendedRun {
+            configs: vec![initial],
+            steps: Vec::new(),
+        }
+    }
+
+    /// Append a transition. The caller is responsible for `next` actually being a successor
+    /// of the current last configuration under `step` (the semantics modules provide checked
+    /// ways of extending runs).
+    pub fn push(&mut self, step: Step, next: BConfig) {
+        self.steps.push(step);
+        self.configs.push(next);
+    }
+
+    /// Number of transitions taken.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no transition has been taken yet.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The configurations `⟨I_j, H_j, seq_j⟩`, in order (one more than the steps).
+    pub fn configs(&self) -> &[BConfig] {
+        &self.configs
+    }
+
+    /// The transition labels, in order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The last configuration.
+    pub fn last(&self) -> &BConfig {
+        self.configs.last().expect("runs always hold ≥ 1 configuration")
+    }
+
+    /// The generated run `ρ = I₀, I₁, I₂, …`: the database instances along the run.
+    pub fn instances(&self) -> Vec<Instance> {
+        self.configs.iter().map(|c| c.instance.clone()).collect()
+    }
+
+    /// The global active domain `Gadom(ρ) = ⋃_i adom(I_i)`.
+    pub fn global_active_domain(&self) -> std::collections::BTreeSet<rdms_db::DataValue> {
+        self.configs
+            .iter()
+            .flat_map(|c| c.instance.active_domain())
+            .collect()
+    }
+
+    /// The prefix consisting of the first `len` steps.
+    pub fn prefix(&self, len: usize) -> ExtendedRun {
+        let len = len.min(self.len());
+        ExtendedRun {
+            configs: self.configs[..=len].to_vec(),
+            steps: self.steps[..len].to_vec(),
+        }
+    }
+}
+
+impl fmt::Debug for ExtendedRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ExtendedRun ({} steps):", self.len())?;
+        write!(f, "  {}", self.configs[0].instance)?;
+        for (step, cfg) in self.steps.iter().zip(self.configs.iter().skip(1)) {
+            write!(f, "\n  --{step:?}--> {}", cfg.instance)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdms_db::{DataValue, RelName};
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+    fn e(i: u64) -> DataValue {
+        DataValue::e(i)
+    }
+
+    fn two_step_run() -> ExtendedRun {
+        let mut c0 = BConfig::initial(Instance::new());
+        c0.instance.set_proposition(r("p"), true);
+
+        let mut c1 = c0.clone();
+        c1.instance.insert(r("R"), vec![e(1)]);
+        c1.history.insert(e(1));
+        c1.seq_no.assign(e(1), 1);
+
+        let mut c2 = c1.clone();
+        c2.instance.remove(r("R"), &[e(1)]);
+        c2.instance.insert(r("Q"), vec![e(2)]);
+        c2.history.insert(e(2));
+        c2.seq_no.assign(e(2), 2);
+
+        let mut run = ExtendedRun::new(c0);
+        run.push(Step::new(0, Substitution::empty()), c1);
+        run.push(
+            Step::new(1, Substitution::from_pairs([(rdms_db::Var::new("u"), e(1))])),
+            c2,
+        );
+        run
+    }
+
+    #[test]
+    fn lengths_and_accessors() {
+        let run = two_step_run();
+        assert_eq!(run.len(), 2);
+        assert!(!run.is_empty());
+        assert_eq!(run.configs().len(), 3);
+        assert_eq!(run.steps().len(), 2);
+        assert_eq!(run.instances().len(), 3);
+        assert!(run.last().instance.contains(r("Q"), &[e(2)]));
+    }
+
+    #[test]
+    fn global_active_domain_unions_all_instances() {
+        let run = two_step_run();
+        // e1 appears only in I₁, e2 only in I₂; both are in Gadom
+        assert_eq!(
+            run.global_active_domain(),
+            std::collections::BTreeSet::from([e(1), e(2)])
+        );
+    }
+
+    #[test]
+    fn prefixes() {
+        let run = two_step_run();
+        let p0 = run.prefix(0);
+        assert!(p0.is_empty());
+        assert_eq!(p0.configs().len(), 1);
+        let p1 = run.prefix(1);
+        assert_eq!(p1.len(), 1);
+        // over-long prefix request is clamped
+        let p9 = run.prefix(9);
+        assert_eq!(p9.len(), 2);
+        assert_eq!(p9, run);
+    }
+
+    #[test]
+    fn debug_rendering_mentions_every_instance() {
+        let run = two_step_run();
+        let text = format!("{run:?}");
+        assert!(text.contains("R(e1)"));
+        assert!(text.contains("Q(e2)"));
+    }
+}

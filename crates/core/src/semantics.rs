@@ -1,0 +1,489 @@
+//! Execution semantics of a DMS: the (unbounded) configuration graph `C_S` of Section 3.
+
+use crate::action::Action;
+use crate::config::Config;
+use crate::dms::Dms;
+use crate::error::CoreError;
+use crate::run::Step;
+use rdms_db::{answers, eval, DataValue, Substitution, Var};
+use std::collections::BTreeSet;
+
+/// The concrete (unbounded) execution semantics of a DMS.
+///
+/// An action `α = ⟨⃗u, ⃗v, Q, Del, Add⟩` can fire at `⟨I, H⟩` under `σ` iff `σ` is an
+/// *instantiating substitution*:
+///
+/// 1. `σ(u) ∈ adom(I)` for every parameter `u ∈ ⃗u` (constants of `∆₀` are also admitted when
+///    the constants extension is in use — the compacted, constant-free system of Appendix F.1
+///    behaves identically),
+/// 2. `σ(v) ∉ H` for every fresh-input variable `v ∈ ⃗v` (history-freshness); declared
+///    constants are never fresh,
+/// 3. `σ|⃗v` is injective,
+/// 4. `I, σ|⃗u ⊨ Q`.
+///
+/// The successor is `I' = (I − Substitute(Del, σ)) + Substitute(Add, σ)` and
+/// `H' = H ∪ σ(⃗v)`.
+pub struct ConcreteSemantics<'a> {
+    dms: &'a Dms,
+}
+
+impl<'a> ConcreteSemantics<'a> {
+    /// Wrap a DMS.
+    pub fn new(dms: &'a Dms) -> ConcreteSemantics<'a> {
+        ConcreteSemantics { dms }
+    }
+
+    /// The underlying DMS.
+    pub fn dms(&self) -> &Dms {
+        self.dms
+    }
+
+    /// All guard answers of `action` at `config`, i.e. candidate bindings for the action
+    /// parameters `⃗u` (not yet extended with fresh values).
+    pub fn guard_answers(
+        &self,
+        config: &Config,
+        action: &Action,
+    ) -> Result<Vec<Substitution>, CoreError> {
+        let ans = answers(&config.instance, action.guard())?;
+        // `answers` already restricts to adom(I) ∪ constants-of-the-query; additionally make
+        // sure every parameter is bound (boolean guards with parameters cannot occur because
+        // Free-Vars(Q) = ⃗u is enforced at construction).
+        Ok(ans)
+    }
+
+    /// Check that `subst` is an instantiating substitution for `action` at `config`.
+    pub fn check_instantiating(
+        &self,
+        config: &Config,
+        action: &Action,
+        subst: &Substitution,
+    ) -> Result<(), CoreError> {
+        let name = action.name().to_owned();
+        let adom = config.instance.active_domain();
+        let constants = self.dms.constants();
+
+        for &u in action.params() {
+            match subst.get(u) {
+                None => {
+                    return Err(CoreError::NotInstantiating {
+                        action: name,
+                        reason: format!("parameter {u} is not bound"),
+                    })
+                }
+                Some(value) => {
+                    if !adom.contains(&value) && !constants.contains(&value) {
+                        return Err(CoreError::NotInstantiating {
+                            action: name,
+                            reason: format!("parameter {u} ↦ {value} is not in adom(I)"),
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut fresh_values = BTreeSet::new();
+        for &v in action.fresh() {
+            match subst.get(v) {
+                None => {
+                    return Err(CoreError::NotInstantiating {
+                        action: name,
+                        reason: format!("fresh-input variable {v} is not bound"),
+                    })
+                }
+                Some(value) => {
+                    if config.history.contains(&value) || constants.contains(&value) {
+                        return Err(CoreError::NotInstantiating {
+                            action: name,
+                            reason: format!("fresh-input {v} ↦ {value} is not history-fresh"),
+                        });
+                    }
+                    if !fresh_values.insert(value) {
+                        return Err(CoreError::NotInstantiating {
+                            action: name,
+                            reason: "fresh-input variables are not injectively assigned".into(),
+                        });
+                    }
+                }
+            }
+        }
+
+        let guard_sub = subst.restrict(action.params().iter());
+        if !eval::holds(&config.instance, &guard_sub, action.guard())? {
+            return Err(CoreError::NotInstantiating {
+                action: name,
+                reason: "guard is not satisfied".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Apply `action` under `subst` at `config`, producing the successor configuration.
+    pub fn apply(
+        &self,
+        config: &Config,
+        action_index: usize,
+        subst: &Substitution,
+    ) -> Result<Config, CoreError> {
+        let action = self.dms.action(action_index)?;
+        self.check_instantiating(config, action, subst)?;
+
+        let del = action.del().substitute(subst)?;
+        let add = action.add().substitute(subst)?;
+        let instance = config.instance.apply_update(&del, &add);
+
+        let mut history = config.history.clone();
+        for &v in action.fresh() {
+            history.insert(subst.get(v).expect("checked above"));
+        }
+        Ok(Config { instance, history })
+    }
+
+    /// Canonical fresh values for extending `config`: the `count` smallest values strictly
+    /// greater than everything in the history, the active domain and the declared constants.
+    ///
+    /// For a constant-free DMS started from the empty history this yields exactly the
+    /// canonical choice `e_{n+1}, …, e_{n+k}` (with `n = |H|`) used by the paper's canonical
+    /// runs whenever the history has no gaps.
+    pub fn canonical_fresh(&self, config: &Config, count: usize) -> Vec<DataValue> {
+        let mut max = 0u64;
+        for &v in config
+            .history
+            .iter()
+            .chain(self.dms.constants().iter())
+            .chain(config.instance.active_domain().iter())
+        {
+            max = max.max(v.index());
+        }
+        (1..=count as u64).map(|k| DataValue(max + k)).collect()
+    }
+
+    /// All successor configurations of `config`, using canonical fresh values for the
+    /// fresh-input variables.
+    ///
+    /// The unbounded graph `C_S` has one edge per *choice* of fresh values (infinitely many);
+    /// restricting to the canonical choice loses nothing up to isomorphism (Lemma E.1), which
+    /// is how every exploration in this workspace proceeds.
+    pub fn successors(&self, config: &Config) -> Result<Vec<(Step, Config)>, CoreError> {
+        let mut result = Vec::new();
+        for (index, action) in self.dms.actions().iter().enumerate() {
+            for guard_sub in self.guard_answers(config, action)? {
+                let fresh_values = self.canonical_fresh(config, action.num_fresh());
+                let mut subst = guard_sub.clone();
+                for (&var, &value) in action.fresh().iter().zip(fresh_values.iter()) {
+                    subst.bind(var, value);
+                }
+                match self.apply(config, index, &subst) {
+                    Ok(next) => result.push((Step::new(index, subst), next)),
+                    Err(CoreError::NotInstantiating { .. }) => {
+                        // A guard answer can fail instantiation when it binds a parameter to a
+                        // constant that is outside the active domain; such bindings are simply
+                        // not edges of the configuration graph.
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Breadth-first reachability over configurations (with canonical fresh values), up to
+    /// `max_configs` explored configurations. Returns the set of reachable configurations.
+    ///
+    /// This is *unbounded-state* search: it is used by tests on small systems and by the
+    /// bisimilarity checks for the Appendix F transformations. The recency-bounded explorer
+    /// in `rdms-checker` is the scalable variant.
+    pub fn reachable_configs(
+        &self,
+        max_configs: usize,
+        max_depth: usize,
+    ) -> Result<Vec<Config>, CoreError> {
+        let mut seen: BTreeSet<Config> = BTreeSet::new();
+        let initial = self.dms.initial_config();
+        let mut frontier = vec![initial.clone()];
+        seen.insert(initial);
+        for _ in 0..max_depth {
+            let mut next_frontier = Vec::new();
+            for config in &frontier {
+                for (_, next) in self.successors(config)? {
+                    if seen.len() >= max_configs {
+                        return Ok(seen.into_iter().collect());
+                    }
+                    if seen.insert(next.clone()) {
+                        next_frontier.push(next);
+                    }
+                }
+            }
+            if next_frontier.is_empty() {
+                break;
+            }
+            frontier = next_frontier;
+        }
+        Ok(seen.into_iter().collect())
+    }
+
+    /// Whether a proposition is reachable within the given exploration budget
+    /// (propositional reachability, the paper's Example 4.2 / Theorem 4.1 problem).
+    pub fn proposition_reachable(
+        &self,
+        proposition: rdms_db::RelName,
+        max_configs: usize,
+        max_depth: usize,
+    ) -> Result<bool, CoreError> {
+        let mut seen: BTreeSet<Config> = BTreeSet::new();
+        let initial = self.dms.initial_config();
+        if initial.instance.proposition(proposition) {
+            return Ok(true);
+        }
+        let mut frontier = vec![initial.clone()];
+        seen.insert(initial);
+        for _ in 0..max_depth {
+            let mut next_frontier = Vec::new();
+            for config in &frontier {
+                for (_, next) in self.successors(config)? {
+                    if next.instance.proposition(proposition) {
+                        return Ok(true);
+                    }
+                    if seen.len() >= max_configs {
+                        return Ok(false);
+                    }
+                    if seen.insert(next.clone()) {
+                        next_frontier.push(next);
+                    }
+                }
+            }
+            if next_frontier.is_empty() {
+                break;
+            }
+            frontier = next_frontier;
+        }
+        Ok(false)
+    }
+
+    /// Bind canonical fresh values to an action's fresh variables on top of a guard answer,
+    /// returning the full instantiating substitution.
+    pub fn complete_with_canonical_fresh(
+        &self,
+        config: &Config,
+        action: &Action,
+        guard_sub: &Substitution,
+    ) -> Substitution {
+        let fresh_values = self.canonical_fresh(config, action.num_fresh());
+        let mut subst = guard_sub.clone();
+        for (&var, &value) in action.fresh().iter().zip(fresh_values.iter()) {
+            subst.bind(var, value);
+        }
+        subst
+    }
+}
+
+/// Helper: the variables of an action in the order `⃗u` then `⃗v` (used by abstraction code).
+pub fn action_variables(action: &Action) -> Vec<Var> {
+    action
+        .params()
+        .iter()
+        .chain(action.fresh().iter())
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dms::example_3_1;
+    use rdms_db::RelName;
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+    fn e(i: u64) -> DataValue {
+        DataValue::e(i)
+    }
+
+    #[test]
+    fn alpha_fires_from_initial_configuration() {
+        let dms = example_3_1();
+        let sem = ConcreteSemantics::new(&dms);
+        let c0 = dms.initial_config();
+
+        // only alpha can fire initially (its guard is `true` and it needs no parameters)
+        let succs = sem.successors(&c0).unwrap();
+        assert_eq!(succs.len(), 1);
+        let (step, c1) = &succs[0];
+        assert_eq!(dms.action(step.action).unwrap().name(), "alpha");
+        assert_eq!(c1.instance.relation_size(r("R")), 2);
+        assert_eq!(c1.instance.relation_size(r("Q")), 1);
+        assert!(c1.instance.proposition(r("p")));
+        assert_eq!(c1.history.len(), 3);
+    }
+
+    #[test]
+    fn figure_1_first_two_steps() {
+        // Reproduce the first two transitions of Figure 1 with explicit substitutions.
+        let dms = example_3_1();
+        let sem = ConcreteSemantics::new(&dms);
+        let c0 = dms.initial_config();
+
+        let (alpha_idx, _) = dms.action_by_name("alpha").unwrap();
+        let alpha_sub = Substitution::from_pairs([
+            (v("v1"), e(1)),
+            (v("v2"), e(2)),
+            (v("v3"), e(3)),
+        ]);
+        let c1 = sem.apply(&c0, alpha_idx, &alpha_sub).unwrap();
+        assert!(c1.instance.contains(r("R"), &[e(1)]));
+        assert!(c1.instance.contains(r("R"), &[e(2)]));
+        assert!(c1.instance.contains(r("Q"), &[e(3)]));
+        assert!(c1.instance.proposition(r("p")));
+
+        let (beta_idx, _) = dms.action_by_name("beta").unwrap();
+        let beta_sub = Substitution::from_pairs([
+            (v("u"), e(2)),
+            (v("v1"), e(4)),
+            (v("v2"), e(5)),
+        ]);
+        let c2 = sem.apply(&c1, beta_idx, &beta_sub).unwrap();
+        // After β: { R: e1, Q: e3,e4,e5 }, p deleted
+        assert!(!c2.instance.proposition(r("p")));
+        assert!(c2.instance.contains(r("R"), &[e(1)]));
+        assert!(!c2.instance.contains(r("R"), &[e(2)]));
+        for i in [3, 4, 5] {
+            assert!(c2.instance.contains(r("Q"), &[e(i)]));
+        }
+        assert_eq!(c2.history, BTreeSet::from([e(1), e(2), e(3), e(4), e(5)]));
+    }
+
+    #[test]
+    fn freshness_is_enforced() {
+        let dms = example_3_1();
+        let sem = ConcreteSemantics::new(&dms);
+        let c0 = dms.initial_config();
+        let (alpha_idx, _) = dms.action_by_name("alpha").unwrap();
+        let c1 = sem
+            .apply(
+                &c0,
+                alpha_idx,
+                &Substitution::from_pairs([(v("v1"), e(1)), (v("v2"), e(2)), (v("v3"), e(3))]),
+            )
+            .unwrap();
+
+        // reusing e1 as a fresh value must fail (history-freshness)
+        let err = sem
+            .apply(
+                &c1,
+                alpha_idx,
+                &Substitution::from_pairs([(v("v1"), e(1)), (v("v2"), e(7)), (v("v3"), e(8))]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NotInstantiating { .. }));
+
+        // non-injective fresh assignment must fail
+        let err = sem
+            .apply(
+                &c1,
+                alpha_idx,
+                &Substitution::from_pairs([(v("v1"), e(7)), (v("v2"), e(7)), (v("v3"), e(8))]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NotInstantiating { .. }));
+    }
+
+    #[test]
+    fn parameters_must_come_from_the_active_domain() {
+        let dms = example_3_1();
+        let sem = ConcreteSemantics::new(&dms);
+        let c0 = dms.initial_config();
+        let (beta_idx, _) = dms.action_by_name("beta").unwrap();
+        // beta needs R(u); with the empty instance nothing can instantiate u
+        let err = sem
+            .apply(
+                &c0,
+                beta_idx,
+                &Substitution::from_pairs([(v("u"), e(1)), (v("v1"), e(2)), (v("v2"), e(3))]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NotInstantiating { .. }));
+    }
+
+    #[test]
+    fn guard_must_hold() {
+        let dms = example_3_1();
+        let sem = ConcreteSemantics::new(&dms);
+        let c0 = dms.initial_config();
+        let (alpha_idx, _) = dms.action_by_name("alpha").unwrap();
+        let c1 = sem
+            .apply(
+                &c0,
+                alpha_idx,
+                &Substitution::from_pairs([(v("v1"), e(1)), (v("v2"), e(2)), (v("v3"), e(3))]),
+            )
+            .unwrap();
+        let (gamma_idx, _) = dms.action_by_name("gamma").unwrap();
+        // gamma requires ¬Q(u): u ↦ e3 violates it
+        let err = sem
+            .apply(&c1, gamma_idx, &Substitution::from_pairs([(v("u"), e(3))]))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NotInstantiating { .. }));
+        // u ↦ e1 satisfies it
+        let c2 = sem
+            .apply(&c1, gamma_idx, &Substitution::from_pairs([(v("u"), e(1))]))
+            .unwrap();
+        assert!(!c2.instance.proposition(r("p")));
+    }
+
+    #[test]
+    fn canonical_fresh_values_avoid_history_and_adom() {
+        let dms = example_3_1();
+        let sem = ConcreteSemantics::new(&dms);
+        let mut config = dms.initial_config();
+        config.history.extend([e(1), e(2), e(5)]);
+        config.instance.insert(r("R"), vec![e(7)]);
+        let fresh = sem.canonical_fresh(&config, 3);
+        assert_eq!(fresh, vec![e(8), e(9), e(10)]);
+    }
+
+    #[test]
+    fn successors_enumerate_all_guard_answers() {
+        let dms = example_3_1();
+        let sem = ConcreteSemantics::new(&dms);
+        let c0 = dms.initial_config();
+        let c1 = sem.successors(&c0).unwrap().remove(0).1;
+        // From c1 = {p, R:e1,e2, Q:e3}: alpha (1), beta (u↦e1 or e2), gamma (u↦e1,e2 — ¬Q),
+        // delta requires ¬p so nothing. Total 1 + 2 + 2 = 5.
+        let succs = sem.successors(&c1).unwrap();
+        assert_eq!(succs.len(), 5);
+    }
+
+    #[test]
+    fn reachability_of_propositions() {
+        let dms = example_3_1();
+        let sem = ConcreteSemantics::new(&dms);
+        // p holds initially
+        assert!(sem.proposition_reachable(r("p"), 100, 5).unwrap());
+        // a proposition that is never set
+        let dms2 = crate::dms::DmsBuilder::new()
+            .proposition("p")
+            .proposition("never")
+            .initially_true("p")
+            .build()
+            .unwrap();
+        let sem2 = ConcreteSemantics::new(&dms2);
+        assert!(!sem2.proposition_reachable(r("never"), 100, 5).unwrap());
+    }
+
+    #[test]
+    fn reachable_configs_terminates_on_finite_systems() {
+        // A DMS with no actions has exactly one reachable configuration.
+        let dms = crate::dms::DmsBuilder::new()
+            .proposition("p")
+            .initially_true("p")
+            .build()
+            .unwrap();
+        let sem = ConcreteSemantics::new(&dms);
+        let configs = sem.reachable_configs(100, 10).unwrap();
+        assert_eq!(configs.len(), 1);
+    }
+}

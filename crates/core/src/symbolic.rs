@@ -1,0 +1,384 @@
+//! Symbolic abstraction of `b`-bounded runs (Section 6.1 of the paper).
+//!
+//! A substitution `σ : ⃗u ⊎ ⃗v → ∆` appearing in a `b`-bounded run is abstracted to its
+//! **recency-indexing abstraction** `s`:
+//!
+//! * the `i`-th fresh-input variable is mapped to `-i` (condition r1),
+//! * every action parameter is mapped to its *recency index* in the current instance — the
+//!   number of active-domain elements with a strictly larger sequence number (conditions
+//!   r2/r3).
+//!
+//! The set of all such abstractions is finite, giving the finite **symbolic alphabet**
+//! `symAlph_{S,b}` over which runs are encoded. [`abstraction`] computes `Abstr` and
+//! [`concretize`] computes the partial inverse `Concr`, which reconstructs the *canonical*
+//! run of an abstract word (fresh values `e_{|H|+1}, e_{|H|+2}, …`).
+
+use crate::config::BConfig;
+use crate::dms::Dms;
+use crate::error::CoreError;
+use crate::recency::RecencySemantics;
+use crate::run::{ExtendedRun, Step};
+use rdms_db::{eval, DataValue, Substitution, Var};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The recency-indexing abstraction `s` of a substitution: action parameters map to recency
+/// indices `0 ‥ b−1`, the `i`-th fresh-input variable maps to `−i`.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SymbolicSubstitution {
+    map: BTreeMap<Var, i64>,
+}
+
+impl SymbolicSubstitution {
+    /// Build from pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (Var, i64)>>(pairs: I) -> SymbolicSubstitution {
+        SymbolicSubstitution {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// The index of a variable.
+    pub fn get(&self, var: Var) -> Option<i64> {
+        self.map.get(&var).copied()
+    }
+
+    /// Iterate over bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, i64)> + '_ {
+        self.map.iter().map(|(&v, &i)| (v, i))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether there are no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The restriction to non-negative indices (action parameters only).
+    pub fn params_only(&self) -> SymbolicSubstitution {
+        SymbolicSubstitution {
+            map: self.map.iter().filter(|(_, &i)| i >= 0).map(|(&v, &i)| (v, i)).collect(),
+        }
+    }
+}
+
+impl fmt::Debug for SymbolicSubstitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let entries: Vec<String> = self.iter().map(|(v, i)| format!("{v}↦{i}")).collect();
+        write!(f, "{{{}}}", entries.join(","))
+    }
+}
+
+/// A letter `⟨α, s⟩` of the symbolic alphabet `symAlph_{S,b}`: an action (by index) together
+/// with a recency-indexing abstraction of its substitution.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SymbolicLetter {
+    /// Index of the action in the DMS.
+    pub action: usize,
+    /// The abstract substitution `s`.
+    pub sub: SymbolicSubstitution,
+}
+
+impl SymbolicLetter {
+    /// Convenience constructor.
+    pub fn new(action: usize, sub: SymbolicSubstitution) -> SymbolicLetter {
+        SymbolicLetter { action, sub }
+    }
+}
+
+impl fmt::Debug for SymbolicLetter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨α{}:{:?}⟩", self.action, self.sub)
+    }
+}
+
+/// All symbolic substitutions `SymSubs(α, b)` of an action: every assignment of recency
+/// indices `0‥b−1` to the parameters, with the fresh variables fixed at `−1, −2, …`
+/// (conditions r1 and r2 of the paper).
+pub fn symbolic_substitutions(action: &crate::Action, b: usize) -> Vec<SymbolicSubstitution> {
+    let params = action.params();
+    if b == 0 && !params.is_empty() {
+        // r2 requires parameter indices in {0, …, b−1} = ∅: no abstraction exists.
+        return Vec::new();
+    }
+    let mut result = Vec::new();
+    let mut assignment = vec![0usize; params.len()];
+    loop {
+        let mut map: BTreeMap<Var, i64> = params
+            .iter()
+            .zip(assignment.iter())
+            .map(|(&v, &i)| (v, i as i64))
+            .collect();
+        for (k, &v) in action.fresh().iter().enumerate() {
+            map.insert(v, -((k + 1) as i64));
+        }
+        result.push(SymbolicSubstitution { map });
+
+        // next assignment in base-b counting; empty parameter list yields exactly one element
+        if params.is_empty() || b == 0 {
+            break;
+        }
+        let mut pos = 0;
+        loop {
+            assignment[pos] += 1;
+            if assignment[pos] < b {
+                break;
+            }
+            assignment[pos] = 0;
+            pos += 1;
+            if pos == params.len() {
+                return result;
+            }
+        }
+    }
+    result
+}
+
+/// The full symbolic alphabet `symAlph_{S,b} = ⨄_α SymSubs(α, b)`.
+pub fn symbolic_alphabet(dms: &Dms, b: usize) -> Vec<SymbolicLetter> {
+    let mut letters = Vec::new();
+    for (index, action) in dms.actions().iter().enumerate() {
+        for sub in symbolic_substitutions(action, b) {
+            letters.push(SymbolicLetter::new(index, sub));
+        }
+    }
+    letters
+}
+
+/// The recency-indexing abstraction of a single step taken at `before`.
+///
+/// Returns `None` if some parameter value is not in the active domain of `before.instance`
+/// (in which case the step was not a legal DMS step to begin with).
+pub fn abstract_step(dms: &Dms, before: &BConfig, step: &Step) -> Option<SymbolicLetter> {
+    let action = dms.action(step.action).ok()?;
+    let mut map = BTreeMap::new();
+    for &u in action.params() {
+        let value = step.subst.get(u)?;
+        let index = before.recency_index(value)?;
+        map.insert(u, index as i64);
+    }
+    for (k, &v) in action.fresh().iter().enumerate() {
+        map.insert(v, -((k + 1) as i64));
+    }
+    Some(SymbolicLetter::new(step.action, SymbolicSubstitution { map }))
+}
+
+/// `Abstr(ρ̂)`: the symbolic word of an extended run.
+pub fn abstraction(dms: &Dms, run: &ExtendedRun) -> Option<Vec<SymbolicLetter>> {
+    run.steps()
+        .iter()
+        .enumerate()
+        .map(|(i, step)| abstract_step(dms, &run.configs()[i], step))
+        .collect()
+}
+
+/// One step of `Concr`: given the current canonical configuration and a symbolic letter,
+/// reconstruct the unique concrete step it denotes (condition `Cnd` of Section 6.1), or
+/// return `None` if the letter is not enabled (no such substitution exists).
+pub fn concretize_step(
+    dms: &Dms,
+    b: usize,
+    config: &BConfig,
+    letter: &SymbolicLetter,
+) -> Result<Option<(Step, BConfig)>, CoreError> {
+    let action = dms.action(letter.action)?;
+    let by_recency = config.adom_by_recency();
+
+    // Reconstruct σ on the parameters: recency index i denotes the unique value of that index.
+    let mut subst = Substitution::empty();
+    for &u in action.params() {
+        let index = match letter.sub.get(u) {
+            Some(i) if i >= 0 => i as usize,
+            _ => return Ok(None), // malformed letter for this action
+        };
+        if index >= b {
+            return Ok(None);
+        }
+        match by_recency.get(index) {
+            Some(&value) => {
+                subst.bind(u, value);
+            }
+            None => return Ok(None), // fewer than index+1 active values
+        }
+    }
+
+    // Guard check (condition Cnd).
+    let guard_sub = subst.restrict(action.params().iter());
+    if !eval::holds(&config.instance, &guard_sub, action.guard())? {
+        return Ok(None);
+    }
+
+    // Canonical fresh values e_{n+1}, …  where n = |H| (plus constants safety margin).
+    let mut max = config.history.len() as u64;
+    for &c in dms.constants() {
+        max = max.max(c.index());
+    }
+    for &h in &config.history {
+        max = max.max(h.index());
+    }
+    for (k, &v) in action.fresh().iter().enumerate() {
+        subst.bind(v, DataValue(max + 1 + k as u64));
+    }
+
+    let sem = RecencySemantics::new(dms, b);
+    match sem.apply(config, letter.action, &subst) {
+        Ok(next) => Ok(Some((Step::new(letter.action, subst), next))),
+        Err(CoreError::NotInstantiating { .. }) | Err(CoreError::RecencyViolation { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// `Concr(w)`: reconstruct the canonical `b`-bounded extended run of a symbolic word, if the
+/// word is a valid abstraction (i.e. every prefix satisfies condition `Cnd`).
+pub fn concretize(
+    dms: &Dms,
+    b: usize,
+    word: &[SymbolicLetter],
+) -> Result<Option<ExtendedRun>, CoreError> {
+    let mut run = ExtendedRun::new(dms.initial_bconfig());
+    for letter in word {
+        match concretize_step(dms, b, run.last(), letter)? {
+            Some((step, next)) => run.push(step, next),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dms::example_3_1;
+    use crate::recency::tests::figure_1_steps;
+    use rdms_db::Var;
+
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+
+    #[test]
+    fn alphabet_size_matches_the_formula() {
+        // |SymSubs(α,b)| = b^{|α·free|}; the alphabet is the disjoint union over actions.
+        let dms = example_3_1();
+        for b in 1..=3usize {
+            let expected: usize = dms
+                .actions()
+                .iter()
+                .map(|a| b.pow(a.params().len() as u32))
+                .sum();
+            assert_eq!(symbolic_alphabet(&dms, b).len(), expected, "b = {b}");
+        }
+        // For Example 3.1 (params: α:0, β:1, γ:1, δ:2) and b = 2: 1 + 2 + 2 + 4 = 9.
+        assert_eq!(symbolic_alphabet(&dms, 2).len(), 9);
+    }
+
+    #[test]
+    fn fresh_variables_get_negative_indices_in_order() {
+        let dms = example_3_1();
+        let (alpha_idx, alpha) = dms.action_by_name("alpha").unwrap();
+        assert_eq!(alpha_idx, 0);
+        let subs = symbolic_substitutions(alpha, 2);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].get(v("v1")), Some(-1));
+        assert_eq!(subs[0].get(v("v2")), Some(-2));
+        assert_eq!(subs[0].get(v("v3")), Some(-3));
+    }
+
+    #[test]
+    fn abstraction_of_figure_1_matches_example_6_1() {
+        // Example 6.1 lists the abstract generating sequence of the Figure 1 run:
+        //   ⟨α:{v1↦−1,v2↦−2,v3↦−3}⟩ ⟨β:{u↦1,v1↦−1,v2↦−2}⟩ ⟨α:…⟩ ⟨γ:{u↦1}⟩
+        //   ⟨δ:{u1↦0,u2↦1}⟩ ⟨δ:{u1↦1,u2↦0}⟩ ⟨δ:{u1↦1,u2↦1}⟩ ⟨α:…⟩
+        let dms = example_3_1();
+        let sem = RecencySemantics::new(&dms, 2);
+        let run = sem.execute(&figure_1_steps()).unwrap();
+        let word = abstraction(&dms, &run).unwrap();
+
+        let expected_param_indices: Vec<Vec<(&str, i64)>> = vec![
+            vec![],
+            vec![("u", 1)],
+            vec![],
+            vec![("u", 1)],
+            vec![("u1", 0), ("u2", 1)],
+            vec![("u1", 1), ("u2", 0)],
+            vec![("u1", 1), ("u2", 1)],
+            vec![],
+        ];
+        let expected_actions = ["alpha", "beta", "alpha", "gamma", "delta", "delta", "delta", "alpha"];
+
+        assert_eq!(word.len(), 8);
+        for (i, letter) in word.iter().enumerate() {
+            assert_eq!(dms.action(letter.action).unwrap().name(), expected_actions[i]);
+            for (name, idx) in &expected_param_indices[i] {
+                assert_eq!(letter.sub.get(v(name)), Some(*idx), "step {i}, variable {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn concretize_round_trips_the_canonical_run() {
+        // Figure 1's run *is* canonical (fresh values are e_{|H|+1}, … at every step), so
+        // Concr(Abstr(ρ̂)) = ρ̂ exactly.
+        let dms = example_3_1();
+        let sem = RecencySemantics::new(&dms, 2);
+        let run = sem.execute(&figure_1_steps()).unwrap();
+        let word = abstraction(&dms, &run).unwrap();
+        let rebuilt = concretize(&dms, 2, &word).unwrap().expect("valid abstraction");
+        assert_eq!(rebuilt.configs(), run.configs());
+        assert_eq!(rebuilt.steps(), run.steps());
+    }
+
+    #[test]
+    fn abstr_concr_abstr_is_identity_on_words() {
+        let dms = example_3_1();
+        let sem = RecencySemantics::new(&dms, 2);
+        let run = sem.execute(&figure_1_steps()).unwrap();
+        let word = abstraction(&dms, &run).unwrap();
+        let rebuilt = concretize(&dms, 2, &word).unwrap().unwrap();
+        let word2 = abstraction(&dms, &rebuilt).unwrap();
+        assert_eq!(word, word2);
+    }
+
+    #[test]
+    fn invalid_abstract_words_are_rejected() {
+        let dms = example_3_1();
+        let (beta_idx, beta) = dms.action_by_name("beta").unwrap();
+        // β requires R(u); at the initial configuration nothing is active, so any β letter is
+        // not enabled.
+        let letter = SymbolicLetter::new(
+            beta_idx,
+            symbolic_substitutions(beta, 2).into_iter().next().unwrap(),
+        );
+        assert!(concretize(&dms, 2, &[letter]).unwrap().is_none());
+    }
+
+    #[test]
+    fn letters_referring_to_missing_recency_indices_are_rejected() {
+        let dms = example_3_1();
+        let (gamma_idx, _) = dms.action_by_name("gamma").unwrap();
+        let (alpha_idx, alpha) = dms.action_by_name("alpha").unwrap();
+        let alpha_letter = SymbolicLetter::new(
+            alpha_idx,
+            symbolic_substitutions(alpha, 5).into_iter().next().unwrap(),
+        );
+        // After one α there are 3 active values; recency index 4 does not exist.
+        let gamma_letter = SymbolicLetter::new(
+            gamma_idx,
+            SymbolicSubstitution::from_pairs([(v("u"), 4)]),
+        );
+        assert!(concretize(&dms, 5, &[alpha_letter, gamma_letter]).unwrap().is_none());
+    }
+
+    #[test]
+    fn params_only_projection() {
+        let s = SymbolicSubstitution::from_pairs([(v("u"), 1), (v("v1"), -1)]);
+        let p = s.params_only();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get(v("u")), Some(1));
+        assert!(p.get(v("v1")).is_none());
+    }
+}

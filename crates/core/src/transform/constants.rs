@@ -1,0 +1,522 @@
+//! Appendix F.1: compiling away distinguished constants.
+//!
+//! A DMS extended with a finite set of constants `∆₀` (values that may appear in the initial
+//! instance and inside actions) is compiled into a **constant-free** DMS over the data domain
+//! `∆' = ∆ \ ∆₀`:
+//!
+//! * every relation `R/a` is replaced by a family of **compacted relations** `R_σ`, one per
+//!   mapping `σ : {1,…,a} → ∆₀ ∪ {−}`, whose arity is the number of placeholder (`−`)
+//!   positions; a fact `R(e₁,…,e_a)` becomes the compacted fact of the relation determined by
+//!   which arguments are constants,
+//! * quantifiers in guards are expanded over the finite constant set
+//!   (`∃u.Q ≡ (∃u.Q) ∨ ⋁_c Q[u/c]`, dually for `∀`), which is sound because quantification in
+//!   the compacted system ranges over non-constant values only,
+//! * every assignment of action parameters to constants (or "not a constant") yields one
+//!   compacted action variant.
+//!
+//! The two systems are bisimilar (their configuration graphs are isomorphic); the tests below
+//! check this by joint bounded exploration, and the worked Example F.1 is reproduced.
+
+use crate::action::Action;
+use crate::dms::Dms;
+use crate::error::CoreError;
+use rdms_db::{DataValue, Instance, Pattern, Query, RelName, Schema, Term, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A position template `σ : {1,…,a} → ∆₀ ∪ {−}`: `Some(c)` fixes the position to constant
+/// `c`, `None` is a placeholder.
+pub type PositionTemplate = Vec<Option<DataValue>>;
+
+/// The compaction context produced by [`remove_constants`]: relation-name mappings in both
+/// directions, used to translate instances between the two presentations.
+#[derive(Clone, Debug)]
+pub struct ConstantRemoval {
+    constants: Vec<DataValue>,
+    compacted: BTreeMap<(RelName, PositionTemplate), RelName>,
+    expansion: BTreeMap<RelName, (RelName, PositionTemplate)>,
+    new_schema: Schema,
+}
+
+impl ConstantRemoval {
+    fn build(schema: &Schema, constants: &BTreeSet<DataValue>) -> ConstantRemoval {
+        let constants: Vec<DataValue> = constants.iter().copied().collect();
+        let mut compacted = BTreeMap::new();
+        let mut expansion = BTreeMap::new();
+        let mut new_schema = Schema::new();
+
+        for (rel, arity) in schema.relations() {
+            for template in templates(arity, &constants) {
+                let placeholders = template.iter().filter(|p| p.is_none()).count();
+                let name = template_name(rel, &template);
+                let new_rel = new_schema.add_relation(&name, placeholders);
+                compacted.insert((rel, template.clone()), new_rel);
+                expansion.insert(new_rel, (rel, template));
+            }
+        }
+        ConstantRemoval {
+            constants,
+            compacted,
+            expansion,
+            new_schema,
+        }
+    }
+
+    /// The compacted schema `R^{S'}`.
+    pub fn schema(&self) -> &Schema {
+        &self.new_schema
+    }
+
+    /// The declared constants `∆₀`.
+    pub fn constants(&self) -> &[DataValue] {
+        &self.constants
+    }
+
+    /// The compacted relation for `(rel, template)`.
+    pub fn compacted_relation(&self, rel: RelName, template: &PositionTemplate) -> Option<RelName> {
+        self.compacted.get(&(rel, template.clone())).copied()
+    }
+
+    /// Compact a single fact over terms: split its arguments into the template (constant
+    /// positions) and the residual argument list (placeholder positions).
+    pub fn compact_fact(&self, rel: RelName, args: &[Term]) -> Option<(RelName, Vec<Term>)> {
+        let template: PositionTemplate = args
+            .iter()
+            .map(|t| match t {
+                Term::Value(v) if self.constants.contains(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        let residual: Vec<Term> = args
+            .iter()
+            .zip(template.iter())
+            .filter(|(_, p)| p.is_none())
+            .map(|(t, _)| *t)
+            .collect();
+        let new_rel = self.compacted.get(&(rel, template)).copied()?;
+        Some((new_rel, residual))
+    }
+
+    /// `compact-db-inst`: translate an instance over the original schema into an instance
+    /// over the compacted schema.
+    pub fn compact_instance(&self, instance: &Instance) -> Instance {
+        let mut out = Instance::new();
+        for (rel, tuple) in instance.facts() {
+            let terms: Vec<Term> = tuple.iter().map(|&v| Term::Value(v)).collect();
+            if let Some((new_rel, residual)) = self.compact_fact(rel, &terms) {
+                out.insert(
+                    new_rel,
+                    residual
+                        .into_iter()
+                        .map(|t| t.as_value().expect("residual terms of a ground fact are values"))
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    /// `expand-db-inst`: translate an instance over the compacted schema back to the original
+    /// schema, re-materialising the constant arguments.
+    pub fn expand_instance(&self, instance: &Instance) -> Instance {
+        let mut out = Instance::new();
+        for (rel, tuple) in instance.facts() {
+            let (orig, template) = match self.expansion.get(&rel) {
+                Some(x) => x.clone(),
+                None => {
+                    out.insert(rel, tuple.clone());
+                    continue;
+                }
+            };
+            let mut args = Vec::with_capacity(template.len());
+            let mut residual = tuple.iter();
+            for slot in &template {
+                match slot {
+                    Some(c) => args.push(*c),
+                    None => args.push(*residual.next().expect("arity checked at construction")),
+                }
+            }
+            out.insert(orig, args);
+        }
+        out
+    }
+
+    /// Compact a query: expand quantifiers over the constants, then rewrite atoms to
+    /// compacted relations and resolve equalities that involve constants.
+    pub fn compact_query(&self, query: &Query) -> Query {
+        let expanded = self.expand_quantifiers(query);
+        self.rewrite_atoms(&expanded)
+    }
+
+    /// Expand `∃` / `∀` over the finite constant set: remaining quantification ranges over
+    /// non-constant values only (which is exactly what the compacted system's active domains
+    /// contain).
+    fn expand_quantifiers(&self, query: &Query) -> Query {
+        match query {
+            Query::True | Query::Atom(..) | Query::Eq(..) => query.clone(),
+            Query::Not(q) => self.expand_quantifiers(q).not(),
+            Query::And(a, b) => self.expand_quantifiers(a).and(self.expand_quantifiers(b)),
+            Query::Or(a, b) => self.expand_quantifiers(a).or(self.expand_quantifiers(b)),
+            Query::Exists(v, q) => {
+                let body = self.expand_quantifiers(q);
+                let mut out = Query::Exists(*v, Box::new(body.clone()));
+                for &c in &self.constants {
+                    out = out.or(substitute_var(&body, *v, Term::Value(c)));
+                }
+                out
+            }
+            Query::Forall(v, q) => {
+                let body = self.expand_quantifiers(q);
+                let mut out = Query::Forall(*v, Box::new(body.clone()));
+                for &c in &self.constants {
+                    out = out.and(substitute_var(&body, *v, Term::Value(c)));
+                }
+                out
+            }
+        }
+    }
+
+    /// Rewrite atoms to compacted relations and resolve equalities mentioning constants.
+    fn rewrite_atoms(&self, query: &Query) -> Query {
+        match query {
+            Query::True => Query::True,
+            Query::Atom(rel, args) => match self.compact_fact(*rel, args) {
+                Some((new_rel, residual)) => Query::Atom(new_rel, residual),
+                None => Query::Atom(*rel, args.clone()),
+            },
+            Query::Eq(a, b) => {
+                let a_const = a.as_value().filter(|v| self.constants.contains(v));
+                let b_const = b.as_value().filter(|v| self.constants.contains(v));
+                match (a_const, b_const) {
+                    (Some(x), Some(y)) => {
+                        if x == y {
+                            Query::True
+                        } else {
+                            Query::false_()
+                        }
+                    }
+                    // a non-constant term can never equal a constant in the compacted system;
+                    // keep the variable occurrence alive so Free-Vars is preserved
+                    (Some(_), None) => never(*b),
+                    (None, Some(_)) => never(*a),
+                    (None, None) => Query::Eq(*a, *b),
+                }
+            }
+            Query::Not(q) => self.rewrite_atoms(q).not(),
+            Query::And(a, b) => self.rewrite_atoms(a).and(self.rewrite_atoms(b)),
+            Query::Or(a, b) => self.rewrite_atoms(a).or(self.rewrite_atoms(b)),
+            Query::Exists(v, q) => Query::Exists(*v, Box::new(self.rewrite_atoms(q))),
+            Query::Forall(v, q) => Query::Forall(*v, Box::new(self.rewrite_atoms(q))),
+        }
+    }
+
+    /// Compact a Del/Add pattern.
+    pub fn compact_pattern(&self, pattern: &Pattern) -> Pattern {
+        let mut out = Pattern::new();
+        for (rel, args) in pattern.facts() {
+            match self.compact_fact(rel, args) {
+                Some((new_rel, residual)) => out.insert(new_rel, residual),
+                None => out.insert(rel, args.iter().copied()),
+            }
+        }
+        out
+    }
+
+    /// Compact one action into its family of constant-free variants (one per assignment of
+    /// parameters to constants-or-placeholder).
+    pub fn compact_action(&self, action: &Action) -> Result<Vec<Action>, CoreError> {
+        let params = action.params();
+        let assignments = templates(params.len(), &self.constants);
+        let mut result = Vec::with_capacity(assignments.len());
+        for assignment in assignments {
+            let fixed: BTreeMap<Var, Term> = params
+                .iter()
+                .zip(assignment.iter())
+                .filter_map(|(&p, slot)| slot.map(|c| (p, Term::Value(c))))
+                .collect();
+            let remaining: Vec<Var> = params
+                .iter()
+                .zip(assignment.iter())
+                .filter(|(_, slot)| slot.is_none())
+                .map(|(&p, _)| p)
+                .collect();
+
+            let guard = self.compact_query(&action.guard().substitute_terms(&fixed));
+            let del = self.compact_pattern(&substitute_pattern(action.del(), &fixed));
+            let add = self.compact_pattern(&substitute_pattern(action.add(), &fixed));
+
+            let name = if fixed.is_empty() {
+                action.name().to_owned()
+            } else {
+                let suffix: Vec<String> = params
+                    .iter()
+                    .zip(assignment.iter())
+                    .map(|(p, slot)| match slot {
+                        Some(c) => format!("{p}={}", c.index()),
+                        None => format!("{p}=_"),
+                    })
+                    .collect();
+                format!("{}@{}", action.name(), suffix.join(","))
+            };
+
+            result.push(Action::new(
+                &name,
+                remaining,
+                action.fresh().to_vec(),
+                guard,
+                del,
+                add,
+            )?);
+        }
+        Ok(result)
+    }
+}
+
+/// `false`, but keeping an occurrence of the given term alive so that the free-variable set
+/// of the surrounding guard is unchanged.
+fn never(term: Term) -> Query {
+    Query::Eq(term, term).not()
+}
+
+fn substitute_var(query: &Query, var: Var, term: Term) -> Query {
+    query.substitute_terms(&BTreeMap::from([(var, term)]))
+}
+
+fn substitute_pattern(pattern: &Pattern, map: &BTreeMap<Var, Term>) -> Pattern {
+    pattern.map_terms(|t| match t {
+        Term::Var(v) => map.get(&v).copied().unwrap_or(t),
+        other => other,
+    })
+}
+
+/// All templates `σ : {1,…,arity} → constants ∪ {−}`.
+fn templates(arity: usize, constants: &[DataValue]) -> Vec<PositionTemplate> {
+    let mut result: Vec<PositionTemplate> = vec![vec![]];
+    for _ in 0..arity {
+        let mut next = Vec::with_capacity(result.len() * (constants.len() + 1));
+        for prefix in &result {
+            let mut with_placeholder = prefix.clone();
+            with_placeholder.push(None);
+            next.push(with_placeholder);
+            for &c in constants {
+                let mut with_const = prefix.clone();
+                with_const.push(Some(c));
+                next.push(with_const);
+            }
+        }
+        result = next;
+    }
+    result
+}
+
+/// Human-readable name of a compacted relation; the all-placeholder template keeps the
+/// original name (so constant-free relations pass through unchanged).
+fn template_name(rel: RelName, template: &PositionTemplate) -> String {
+    if template.iter().all(|p| p.is_none()) {
+        return rel.as_str().to_owned();
+    }
+    let parts: Vec<String> = template
+        .iter()
+        .map(|p| match p {
+            Some(c) => format!("c{}", c.index()),
+            None => "_".to_owned(),
+        })
+        .collect();
+    format!("{}[{}]", rel.as_str(), parts.join(","))
+}
+
+/// Compile a DMS with constants into a constant-free DMS over the compacted schema
+/// (Appendix F.1). Returns the new DMS together with the [`ConstantRemoval`] context needed
+/// to translate instances back and forth.
+pub fn remove_constants(dms: &Dms) -> Result<(Dms, ConstantRemoval), CoreError> {
+    let removal = ConstantRemoval::build(dms.schema(), dms.constants());
+    let initial = removal.compact_instance(dms.initial());
+    let mut actions = Vec::new();
+    for action in dms.actions() {
+        actions.extend(removal.compact_action(action)?);
+    }
+    let compacted = Dms::new(removal.new_schema.clone(), initial, actions, BTreeSet::new())?;
+    Ok((compacted, removal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionBuilder;
+    use crate::dms::DmsBuilder;
+    use crate::iso::instances_isomorphic;
+    use crate::semantics::ConcreteSemantics;
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+    fn e(i: u64) -> DataValue {
+        DataValue::e(i)
+    }
+
+    /// The DMS of Example F.1: schema {R/2, Q/1}, constants {c1, c2},
+    /// I₀ = {R(c1,c2), Q(c1)}, α = ⟨{u},∅,R(u,u),{R(u,u)},{Q(u)}⟩, β = ⟨∅,{v},true,∅,{R(v,v)}⟩.
+    fn example_f1() -> Dms {
+        let c1 = e(101);
+        let c2 = e(102);
+        let mut initial = Instance::new();
+        initial.insert(r("R"), vec![c1, c2]);
+        initial.insert(r("Q"), vec![c1]);
+        DmsBuilder::new()
+            .relation("R", 2)
+            .relation("Q", 1)
+            .initial(initial)
+            .constants([c1, c2])
+            .action(
+                ActionBuilder::new("alpha")
+                    .guard(Query::atom(r("R"), [v("u"), v("u")]))
+                    .del(Pattern::from_facts([(r("R"), vec![Term::Var(v("u")), Term::Var(v("u"))])]))
+                    .add(Pattern::from_facts([(r("Q"), vec![Term::Var(v("u"))])])),
+            )
+            .action(
+                ActionBuilder::new("beta")
+                    .fresh([v("w")])
+                    .guard(Query::True)
+                    .add(Pattern::from_facts([(r("R"), vec![Term::Var(v("w")), Term::Var(v("w"))])])),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn compacted_schema_size_matches_example_f1() {
+        let dms = example_f1();
+        let (compacted, removal) = remove_constants(&dms).unwrap();
+        // R/2 yields (2+1)² = 9 compacted relations, Q/1 yields 3: 12 in total.
+        assert_eq!(removal.schema().len(), 12);
+        assert_eq!(compacted.schema().len(), 12);
+        assert!(!compacted.has_constants());
+
+        // the all-placeholder variants keep their original names and arities
+        assert_eq!(compacted.schema().arity(r("R")), Some(2));
+        assert_eq!(compacted.schema().arity(r("Q")), Some(1));
+        // R(c1, −) is unary, R(c1, c2) is nullary
+        assert_eq!(compacted.schema().arity(r("R[c101,_]")), Some(1));
+        assert_eq!(compacted.schema().arity(r("R[c101,c102]")), Some(0));
+    }
+
+    #[test]
+    fn initial_instance_is_compacted_to_propositions() {
+        let dms = example_f1();
+        let (compacted, removal) = remove_constants(&dms).unwrap();
+        // I₀ = {R(c1,c2), Q(c1)} becomes two nullary facts.
+        assert!(compacted.initial().proposition(r("R[c101,c102]")));
+        assert!(compacted.initial().proposition(r("Q[c101]")));
+        assert_eq!(compacted.initial().len(), 2);
+        assert!(compacted.initial().active_domain().is_empty());
+
+        // round trip
+        let expanded = removal.expand_instance(compacted.initial());
+        assert_eq!(&expanded, dms.initial());
+    }
+
+    #[test]
+    fn action_variant_count_matches_example_f1() {
+        let dms = example_f1();
+        let (compacted, _) = remove_constants(&dms).unwrap();
+        // α has one parameter → 3 variants (u fixed to c1, to c2, or placeholder);
+        // β has no parameters → 1 variant. Total 4 (matching Example F.1's action set).
+        assert_eq!(compacted.num_actions(), 4);
+    }
+
+    #[test]
+    fn instance_compact_expand_round_trip() {
+        let dms = example_f1();
+        let (_, removal) = remove_constants(&dms).unwrap();
+        let inst = Instance::from_facts([
+            (r("R"), vec![e(101), e(7)]),
+            (r("R"), vec![e(7), e(7)]),
+            (r("Q"), vec![e(102)]),
+            (r("Q"), vec![e(9)]),
+        ]);
+        let compacted = removal.compact_instance(&inst);
+        assert_eq!(removal.expand_instance(&compacted), inst);
+        // adom of the compacted instance excludes constants
+        assert_eq!(compacted.active_domain(), BTreeSet::from([e(7), e(9)]));
+    }
+
+    #[test]
+    fn query_compaction_resolves_constant_equalities() {
+        let dms = example_f1();
+        let (_, removal) = remove_constants(&dms).unwrap();
+        let q = Query::eq(e(101), e(101));
+        assert_eq!(removal.compact_query(&q), Query::True);
+        let q = Query::eq(e(101), e(102));
+        assert_eq!(removal.compact_query(&q), Query::false_());
+        // a variable can never equal a constant in the compacted system, but its occurrence
+        // must survive so guards keep their free variables
+        let q = Query::eq(v("u"), e(101));
+        let compacted = removal.compact_query(&q);
+        assert_eq!(compacted.free_vars(), BTreeSet::from([v("u")]));
+    }
+
+    #[test]
+    fn behaviour_is_preserved_under_compaction() {
+        // Joint bounded exploration: expand every reachable compacted instance and compare
+        // (up to isomorphism of the injected non-constant values) with the original system's
+        // reachable instances.
+        let dms = example_f1();
+        let (compacted, removal) = remove_constants(&dms).unwrap();
+
+        let orig = ConcreteSemantics::new(&dms);
+        let comp = ConcreteSemantics::new(&compacted);
+        let depth = 3;
+        let orig_instances: Vec<Instance> = orig
+            .reachable_configs(500, depth)
+            .unwrap()
+            .into_iter()
+            .map(|c| c.instance)
+            .collect();
+        let comp_instances: Vec<Instance> = comp
+            .reachable_configs(500, depth)
+            .unwrap()
+            .into_iter()
+            .map(|c| removal.expand_instance(&c.instance))
+            .collect();
+
+        assert_eq!(orig_instances.len(), comp_instances.len());
+        for oi in &orig_instances {
+            assert!(
+                comp_instances.iter().any(|ci| instances_isomorphic(oi, ci)),
+                "original reachable instance {oi} has no isomorphic compacted counterpart"
+            );
+        }
+        for ci in &comp_instances {
+            assert!(
+                orig_instances.iter().any(|oi| instances_isomorphic(oi, ci)),
+                "compacted reachable instance {ci} has no isomorphic original counterpart"
+            );
+        }
+    }
+
+    #[test]
+    fn quantifier_expansion_covers_constants() {
+        // In the original system, ∃u.Q(u) is true when Q only holds of a constant; after
+        // compaction the same guard must still be true even though constants are no longer
+        // active-domain values.
+        let dms = example_f1();
+        let (_, removal) = remove_constants(&dms).unwrap();
+        let q = Query::exists(v("u"), Query::atom(r("Q"), [v("u")]));
+        let compacted_q = removal.compact_query(&q);
+
+        // evaluate over the compacted initial instance {R[c1,c2], Q[c1]}
+        let compacted_inst = removal.compact_instance(dms.initial());
+        assert!(rdms_db::eval::holds_boolean(&compacted_inst, &compacted_q).unwrap());
+    }
+
+    #[test]
+    fn constant_free_dms_is_unchanged_by_removal() {
+        let dms = crate::dms::example_3_1();
+        let (compacted, _) = remove_constants(&dms).unwrap();
+        assert_eq!(compacted.schema(), dms.schema());
+        assert_eq!(compacted.num_actions(), dms.num_actions());
+        assert_eq!(compacted.initial(), dms.initial());
+    }
+}

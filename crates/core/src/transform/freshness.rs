@@ -1,0 +1,263 @@
+//! Appendix F.3: weakening the freshness requirement on input variables.
+//!
+//! The core DMS semantics requires input variables to be *history-fresh*. An
+//! **arbitrary-input DMS** instead allows some (or all) of an action's input variables to be
+//! bound to any value of the data domain. This module compiles an arbitrary-input DMS back
+//! into a standard DMS:
+//!
+//! * a unary accessory relation `Hist` records every value ever injected,
+//! * an action with arbitrary-input variables `⃗i` becomes `2^{|⃗i|}` standard actions — one
+//!   per split `⃗i = ⃗h ⊎ ⃗f` of the inputs into "already-seen" variables (now parameters,
+//!   guarded by `Hist`) and genuinely fresh variables,
+//! * every action additionally records its fresh values in `Hist`, so `Hist` coincides with
+//!   the history set along every run.
+
+use crate::action::Action;
+use crate::dms::Dms;
+use crate::error::CoreError;
+use rdms_db::{Pattern, Query, RelName, Term, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Name of the accessory history relation.
+pub const HIST: &str = "Hist";
+
+/// Compile an arbitrary-input DMS into a standard DMS.
+///
+/// `arbitrary` maps an action name to the subset of its fresh variables that should be
+/// treated as arbitrary inputs (variables not listed stay genuinely fresh). Actions not
+/// mentioned keep strict freshness for all their inputs.
+pub fn weaken_freshness(
+    dms: &Dms,
+    arbitrary: &BTreeMap<String, Vec<Var>>,
+) -> Result<Dms, CoreError> {
+    let mut schema = dms.schema().clone();
+    let hist = schema.add_relation(HIST, 1);
+
+    let mut actions = Vec::new();
+    for action in dms.actions() {
+        let arb: BTreeSet<Var> = arbitrary
+            .get(action.name())
+            .map(|vs| vs.iter().copied().collect())
+            .unwrap_or_default();
+        actions.extend(expand_one(action, &arb, hist)?);
+    }
+
+    Dms::new(schema, dms.initial().clone(), actions, dms.constants().clone())
+}
+
+/// Expand a single action given the set of its fresh variables that are arbitrary inputs.
+fn expand_one(
+    action: &Action,
+    arbitrary: &BTreeSet<Var>,
+    hist: RelName,
+) -> Result<Vec<Action>, CoreError> {
+    let arb: Vec<Var> = action
+        .fresh()
+        .iter()
+        .copied()
+        .filter(|v| arbitrary.contains(v))
+        .collect();
+    let strict: Vec<Var> = action
+        .fresh()
+        .iter()
+        .copied()
+        .filter(|v| !arbitrary.contains(v))
+        .collect();
+
+    let mut result = Vec::new();
+    // every subset ⃗h of the arbitrary inputs is bound to history values
+    for mask in 0..(1u32 << arb.len()) {
+        let history_bound: Vec<Var> = arb
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &v)| v)
+            .collect();
+        let still_fresh: Vec<Var> = arb
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) == 0)
+            .map(|(_, &v)| v)
+            .collect();
+
+        // new parameters: old parameters + history-bound inputs
+        let mut params = action.params().to_vec();
+        params.extend(history_bound.iter().copied());
+
+        // new fresh variables: still-fresh arbitrary inputs + original strict fresh inputs,
+        // keeping the original relative order of the action's fresh list
+        let fresh: Vec<Var> = action
+            .fresh()
+            .iter()
+            .copied()
+            .filter(|v| still_fresh.contains(v) || strict.contains(v))
+            .collect();
+
+        // guard: original guard ∧ Hist(h) for every history-bound input
+        let mut guard = action.guard().clone();
+        for &h in &history_bound {
+            guard = guard.and(Query::atom(hist, [h]));
+        }
+
+        // add: original add ∪ Hist(f) for every fresh variable (keeps Hist = history)
+        let mut add = action.add().clone();
+        for &f in &fresh {
+            add = add.union(&Pattern::from_facts([(hist, vec![Term::Var(f)])]));
+        }
+
+        let name = if arb.is_empty() {
+            action.name().to_owned()
+        } else {
+            format!("{}#h{}", action.name(), mask)
+        };
+        result.push(Action::new(
+            &name,
+            params,
+            fresh,
+            guard,
+            action.del().clone(),
+            add,
+        )?);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dms::{example_3_1, DmsBuilder};
+    use crate::semantics::ConcreteSemantics;
+    use rdms_db::DataValue;
+
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+
+    #[test]
+    fn expansion_count_is_exponential_in_arbitrary_inputs() {
+        let dms = example_3_1();
+        // make all three of α's inputs arbitrary: 2³ = 8 variants of α; β, γ, δ unchanged
+        let arbitrary =
+            BTreeMap::from([("alpha".to_owned(), vec![v("v1"), v("v2"), v("v3")])]);
+        let weakened = weaken_freshness(&dms, &arbitrary).unwrap();
+        assert_eq!(weakened.num_actions(), 8 + 1 + 1 + 1);
+        assert!(weakened.schema().contains(r(HIST)));
+    }
+
+    #[test]
+    fn example_f3_shapes() {
+        // The action of Example F.3: two arbitrary inputs i1, i2 → 4 standard actions
+        // (the paper lists 3 because it merges the two symmetric one-fresh-one-history cases).
+        let dms = DmsBuilder::new()
+            .relation("R", 2)
+            .relation("Q", 1)
+            .action(
+                crate::action::ActionBuilder::new("arb")
+                    .fresh([v("i1"), v("i2")])
+                    .guard(Query::atom(r("R"), [v("u1"), v("u2")]))
+                    .del(Pattern::from_facts([(r("Q"), vec![Term::Var(v("u2"))])]))
+                    .add(Pattern::from_facts([
+                        (r("R"), vec![Term::Var(v("u2")), Term::Var(v("i1"))]),
+                        (r("R"), vec![Term::Var(v("u2")), Term::Var(v("i2"))]),
+                    ])),
+            )
+            .build()
+            .unwrap();
+        let arbitrary = BTreeMap::from([("arb".to_owned(), vec![v("i1"), v("i2")])]);
+        let weakened = weaken_freshness(&dms, &arbitrary).unwrap();
+        assert_eq!(weakened.num_actions(), 4);
+
+        // the all-fresh variant has 2 fresh inputs and records both in Hist
+        let all_fresh = weakened
+            .actions()
+            .iter()
+            .find(|a| a.num_fresh() == 2)
+            .unwrap();
+        assert_eq!(
+            all_fresh
+                .add()
+                .facts()
+                .filter(|(rel, _)| *rel == r(HIST))
+                .count(),
+            2
+        );
+
+        // the all-history variant has both inputs as parameters guarded by Hist
+        let all_hist = weakened
+            .actions()
+            .iter()
+            .find(|a| a.num_fresh() == 0)
+            .unwrap();
+        assert_eq!(all_hist.params().len(), 4);
+        assert!(all_hist.guard().relations().contains(&r(HIST)));
+    }
+
+    #[test]
+    fn history_values_can_be_rebound_after_weakening() {
+        // A small system: `load` injects one value into R; `link` takes an arbitrary input
+        // and stores it in Q. After weakening, `link` can pick the value already in R
+        // (through the Hist-bound variant), which strict freshness forbids.
+        let dms = DmsBuilder::new()
+            .proposition("start")
+            .relation("R", 1)
+            .relation("Q", 1)
+            .initially_true("start")
+            .action(
+                crate::action::ActionBuilder::new("load")
+                    .fresh([v("x")])
+                    .guard(Query::prop(r("start")))
+                    .del(Pattern::proposition(r("start")))
+                    .add(Pattern::from_facts([(r("R"), vec![Term::Var(v("x"))])])),
+            )
+            .action(
+                crate::action::ActionBuilder::new("link")
+                    .fresh([v("y")])
+                    .guard(Query::exists(v("z"), Query::atom(r("R"), [v("z")])))
+                    .add(Pattern::from_facts([(r("Q"), vec![Term::Var(v("y"))])])),
+            )
+            .build()
+            .unwrap();
+
+        let arbitrary = BTreeMap::from([("link".to_owned(), vec![v("y")])]);
+        let weakened = weaken_freshness(&dms, &arbitrary).unwrap();
+        let sem = ConcreteSemantics::new(&weakened);
+
+        // Reach a configuration where the same value is both in R and in Q — impossible in
+        // the original (strictly fresh) system.
+        let configs = sem.reachable_configs(200, 3).unwrap();
+        let rebound = configs.iter().any(|c| {
+            c.instance
+                .relation(r("R"))
+                .any(|t| c.instance.contains(r("Q"), &[t[0]]))
+        });
+        assert!(rebound, "weakened system can rebind a history value");
+
+        // Sanity: the original system cannot.
+        let sem_orig = ConcreteSemantics::new(&dms);
+        let configs_orig = sem_orig.reachable_configs(200, 3).unwrap();
+        let rebound_orig = configs_orig.iter().any(|c| {
+            c.instance
+                .relation(r("R"))
+                .any(|t| c.instance.contains(r("Q"), &[t[0]]))
+        });
+        assert!(!rebound_orig);
+    }
+
+    #[test]
+    fn hist_tracks_every_injected_value() {
+        let dms = example_3_1();
+        let arbitrary = BTreeMap::new(); // no arbitrary inputs: only Hist tracking is added
+        let weakened = weaken_freshness(&dms, &arbitrary).unwrap();
+        let sem = ConcreteSemantics::new(&weakened);
+        let c0 = weakened.initial_config();
+        let (_, c1) = sem.successors(&c0).unwrap().remove(0);
+        // after α, its three fresh values are recorded in Hist
+        assert_eq!(c1.instance.relation_size(r(HIST)), 3);
+        let hist_values: BTreeSet<DataValue> =
+            c1.instance.relation(r(HIST)).map(|t| t[0]).collect();
+        assert_eq!(hist_values, c1.history);
+    }
+}

@@ -1,0 +1,182 @@
+//! Appendix F.2: simulating standard (possibly overlapping) variable substitution for
+//! fresh-input variables.
+//!
+//! The DMS semantics requires the fresh-input variables of an action to be injectively
+//! mapped to distinct values. To simulate the more liberal *standard* substitution — where
+//! several fresh variables may receive the same value — the action is replaced by one action
+//! per **partition** of its fresh variables: all variables in the same block of the partition
+//! are collapsed to a single representative fresh variable (Figure 8 of the paper).
+
+use crate::action::Action;
+use crate::dms::Dms;
+use crate::error::CoreError;
+use rdms_db::{Term, Var};
+use std::collections::BTreeMap;
+
+/// All set partitions of `n` elements, each given as a "block id per element" vector in
+/// restricted-growth form (`blocks[i]` is the block of element `i`; block ids are dense and
+/// the first occurrence of each id is in increasing order).
+pub fn set_partitions(n: usize) -> Vec<Vec<usize>> {
+    let mut result = Vec::new();
+    let mut current = vec![0usize; n];
+    fn recurse(current: &mut Vec<usize>, index: usize, max_used: usize, out: &mut Vec<Vec<usize>>) {
+        if index == current.len() {
+            out.push(current.clone());
+            return;
+        }
+        for block in 0..=max_used + 1 {
+            current[index] = block;
+            recurse(current, index + 1, max_used.max(block), out);
+        }
+    }
+    if n == 0 {
+        return vec![vec![]];
+    }
+    // the first element is always in block 0
+    current[0] = 0;
+    recurse(&mut current, 1, 0, &mut result);
+    result
+}
+
+/// Expand a single action into the set of actions simulating standard substitution of its
+/// fresh variables (one action per partition of `α·new`).
+///
+/// The action for the discrete partition (every variable its own block) is the original
+/// action; the action for the coarsest partition identifies all fresh variables.
+pub fn expand_action(action: &Action) -> Result<Vec<Action>, CoreError> {
+    let fresh = action.fresh();
+    let partitions = set_partitions(fresh.len());
+    let mut result = Vec::with_capacity(partitions.len());
+    for (pi, partition) in partitions.iter().enumerate() {
+        let num_blocks = partition.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+        // representative variable per block
+        let reps: Vec<Var> = (0..num_blocks)
+            .map(|b| Var::new(&format!("{}__merged{}_{}", action.name(), pi, b)))
+            .collect();
+        let mapping: BTreeMap<Var, Var> = fresh
+            .iter()
+            .zip(partition.iter())
+            .map(|(&v, &b)| (v, reps[b]))
+            .collect();
+
+        let add = action.add().map_terms(|t| match t {
+            Term::Var(v) => Term::Var(mapping.get(&v).copied().unwrap_or(v)),
+            other => other,
+        });
+        let name = if partitions.len() == 1 {
+            action.name().to_owned()
+        } else {
+            format!("{}#p{}", action.name(), pi)
+        };
+        result.push(Action::new(
+            &name,
+            action.params().to_vec(),
+            reps,
+            action.guard().clone(),
+            action.del().clone(),
+            add,
+        )?);
+    }
+    Ok(result)
+}
+
+/// Expand every action of a DMS (Figure 8's `standard-substitution` procedure applied to the
+/// whole system).
+pub fn expand_dms(dms: &Dms) -> Result<Dms, CoreError> {
+    let mut actions = Vec::new();
+    for action in dms.actions() {
+        actions.extend(expand_action(action)?);
+    }
+    Dms::new(
+        dms.schema().clone(),
+        dms.initial().clone(),
+        actions,
+        dms.constants().clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionBuilder;
+    use rdms_db::{Pattern, Query, RelName};
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+
+    #[test]
+    fn partition_counts_are_bell_numbers() {
+        // B_0..B_5 = 1, 1, 2, 5, 15, 52
+        for (n, bell) in [(0usize, 1usize), (1, 1), (2, 2), (3, 5), (4, 15), (5, 52)] {
+            assert_eq!(set_partitions(n).len(), bell, "Bell number B_{n}");
+        }
+    }
+
+    #[test]
+    fn partitions_are_in_restricted_growth_form() {
+        for p in set_partitions(4) {
+            let mut max_seen: i64 = -1;
+            for &b in &p {
+                assert!((b as i64) <= max_seen + 1, "not restricted growth: {p:?}");
+                max_seen = max_seen.max(b as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn example_f2_expansion_count() {
+        // The action of Example F.2 has three fresh variables → 5 expanded actions.
+        let action = ActionBuilder::new("a")
+            .fresh([v("w1"), v("w2"), v("w3")])
+            .guard(Query::atom(r("R"), [v("u1"), v("u2")]))
+            .del(Pattern::from_facts([(r("Q"), vec![Term::Var(v("u2"))])]))
+            .add(Pattern::from_facts([
+                (r("R"), vec![Term::Var(v("u2")), Term::Var(v("w1"))]),
+                (r("R"), vec![Term::Var(v("u2")), Term::Var(v("w2"))]),
+                (r("R"), vec![Term::Var(v("u1")), Term::Var(v("w3"))]),
+            ]))
+            .build()
+            .unwrap();
+        let expanded = expand_action(&action).unwrap();
+        assert_eq!(expanded.len(), 5);
+
+        // The discrete partition keeps three distinct fresh variables and three Add facts.
+        let discrete = expanded.iter().find(|a| a.num_fresh() == 3).unwrap();
+        assert_eq!(discrete.add().len(), 3);
+
+        // The coarsest partition has a single fresh variable; the three Add facts collapse to
+        // two (R(u2,w) appears twice).
+        let coarsest = expanded.iter().find(|a| a.num_fresh() == 1).unwrap();
+        assert_eq!(coarsest.add().len(), 2);
+
+        // Every expanded action still validates and keeps guard/del intact.
+        for a in &expanded {
+            assert_eq!(a.guard(), action.guard());
+            assert_eq!(a.del(), action.del());
+            assert_eq!(a.params(), action.params());
+        }
+    }
+
+    #[test]
+    fn action_without_fresh_variables_is_unchanged() {
+        let action = ActionBuilder::new("noop")
+            .guard(Query::atom(r("R"), [v("u"), v("u2")]))
+            .build()
+            .unwrap();
+        let expanded = expand_action(&action).unwrap();
+        assert_eq!(expanded.len(), 1);
+        assert_eq!(expanded[0].name(), "noop");
+    }
+
+    #[test]
+    fn expanded_dms_validates() {
+        let dms = crate::dms::example_3_1();
+        let expanded = expand_dms(&dms).unwrap();
+        // α has 3 fresh (5 partitions), β has 2 fresh (2 partitions), γ and δ have none.
+        assert_eq!(expanded.num_actions(), 5 + 2 + 1 + 1);
+    }
+}

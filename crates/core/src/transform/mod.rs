@@ -1,0 +1,20 @@
+//! Model relaxations of Appendix F.
+//!
+//! The paper's core DMS model makes several simplifying assumptions (no constants, injective
+//! fresh inputs, strict history-freshness, one-answer-per-step actions) and Appendix F shows
+//! that each can be lifted by compiling back into the core model. This module implements all
+//! four compilations:
+//!
+//! * [`constants`] — **F.1**: compile a DMS with distinguished constants `∆₀` into a
+//!   constant-free DMS over compacted relations,
+//! * [`injective`] — **F.2**: simulate standard (possibly overlapping) substitution of fresh
+//!   variables by one action per partition of the fresh variables,
+//! * [`freshness`] — **F.3**: allow input variables to be bound to *any* value (not only
+//!   history-fresh ones) via an accessory `Hist` relation,
+//! * [`bulk`] — **F.4**: compile bulk (retrieve-all-answers-per-step) actions into a locked
+//!   sequence of standard actions.
+
+pub mod bulk;
+pub mod constants;
+pub mod freshness;
+pub mod injective;

@@ -1,0 +1,385 @@
+//! Answer enumeration: `ans(Q, I)`, the set of substitutions of `Free-Vars(Q)` under which
+//! the query holds.
+//!
+//! The evaluation is a small relational-algebra style engine:
+//!
+//! * positive atoms are answered by scanning and unifying against the relation's tuples,
+//! * conjunction is a natural join,
+//! * disjunction, negation and universal quantification fall back to active-domain
+//!   enumeration (exactly the semantics of the paper — answers are always drawn from
+//!   `adom(I)`),
+//! * existential quantification is projection.
+//!
+//! The result always agrees with per-substitution evaluation via [`crate::eval::holds`];
+//! this is checked by property tests.
+
+use crate::error::DbError;
+use crate::instance::Instance;
+use crate::query::Query;
+use crate::substitution::Substitution;
+use crate::term::{Term, Var};
+use crate::value::DataValue;
+use std::collections::BTreeSet;
+
+/// The answers `ans(Q, I)` of `Q` over `I`: all substitutions `σ : Free-Vars(Q) → adom(I)`
+/// (plus constants appearing in `Q`, which per Appendix F.1 are allowed to appear in answers
+/// when the constants extension is in use) such that `I, σ ⊨ Q`.
+///
+/// For a boolean query the result is `[ε]` when the query holds and `[]` otherwise, matching
+/// the paper's convention.
+pub fn answers(instance: &Instance, query: &Query) -> Result<Vec<Substitution>, DbError> {
+    let free: Vec<Var> = query.free_vars().into_iter().collect();
+    let mut universe = instance.active_domain();
+    // Constants named in the query can be answers to equality atoms even when outside adom;
+    // including them is harmless (they only survive if the query holds) and needed for the
+    // constants extension.
+    universe.extend(query.constants());
+
+    let rows = eval_set(instance, &universe, query)?;
+    // Normalise to substitutions over exactly the free variables.
+    let mut out: BTreeSet<Substitution> = BTreeSet::new();
+    for row in rows {
+        out.insert(row.restrict(free.iter()));
+    }
+    Ok(out.into_iter().collect())
+}
+
+/// Whether the query has at least one answer.
+pub fn has_answer(instance: &Instance, query: &Query) -> Result<bool, DbError> {
+    Ok(!answers(instance, query)?.is_empty())
+}
+
+/// Evaluate to the set of satisfying substitutions over `Free-Vars(query)`.
+fn eval_set(
+    instance: &Instance,
+    universe: &BTreeSet<DataValue>,
+    query: &Query,
+) -> Result<BTreeSet<Substitution>, DbError> {
+    match query {
+        Query::True => Ok(BTreeSet::from([Substitution::empty()])),
+        Query::Atom(rel, terms) => {
+            let mut rows = BTreeSet::new();
+            'tuples: for tuple in instance.relation(*rel) {
+                if tuple.len() != terms.len() {
+                    continue;
+                }
+                let mut sub = Substitution::empty();
+                for (term, &value) in terms.iter().zip(tuple.iter()) {
+                    match term {
+                        Term::Value(c) => {
+                            if *c != value {
+                                continue 'tuples;
+                            }
+                        }
+                        Term::Var(v) => match sub.get(*v) {
+                            Some(prev) if prev != value => continue 'tuples,
+                            _ => {
+                                sub.bind(*v, value);
+                            }
+                        },
+                    }
+                }
+                rows.insert(sub);
+            }
+            Ok(rows)
+        }
+        Query::Eq(a, b) => {
+            let mut rows = BTreeSet::new();
+            match (a, b) {
+                (Term::Value(x), Term::Value(y)) => {
+                    if x == y {
+                        rows.insert(Substitution::empty());
+                    }
+                }
+                (Term::Var(v), Term::Value(c)) | (Term::Value(c), Term::Var(v)) => {
+                    rows.insert(Substitution::from_pairs([(*v, *c)]));
+                }
+                (Term::Var(v), Term::Var(w)) => {
+                    if v == w {
+                        for &e in universe {
+                            rows.insert(Substitution::from_pairs([(*v, e)]));
+                        }
+                    } else {
+                        for &e in universe {
+                            rows.insert(Substitution::from_pairs([(*v, e), (*w, e)]));
+                        }
+                    }
+                }
+            }
+            Ok(rows)
+        }
+        Query::And(a, b) => {
+            let left = eval_set(instance, universe, a)?;
+            let right = eval_set(instance, universe, b)?;
+            let mut rows = BTreeSet::new();
+            for l in &left {
+                for rgt in &right {
+                    if l.compatible(rgt) {
+                        rows.insert(l.merged(rgt));
+                    }
+                }
+            }
+            Ok(rows)
+        }
+        Query::Or(a, b) => {
+            // Cylindrify both sides to the union of free variables before taking the union.
+            let free: BTreeSet<Var> = query.free_vars();
+            let left = cylindrify(eval_set(instance, universe, a)?, &a.free_vars(), &free, universe);
+            let right =
+                cylindrify(eval_set(instance, universe, b)?, &b.free_vars(), &free, universe);
+            Ok(left.union(&right).cloned().collect())
+        }
+        Query::Not(q) => {
+            // Complement within adom^free_vars.
+            let free: Vec<Var> = q.free_vars().into_iter().collect();
+            let positive = eval_set(instance, universe, q)?;
+            let mut rows = BTreeSet::new();
+            for cand in enumerate(universe, &free) {
+                if !positive.contains(&cand) {
+                    rows.insert(cand);
+                }
+            }
+            Ok(rows)
+        }
+        Query::Exists(v, q) => {
+            // If the bound variable does not occur in the body, ∃v.q still requires a witness
+            // value for v, so it is false whenever the universe is empty.
+            if !q.free_vars().contains(v) && universe.is_empty() {
+                return Ok(BTreeSet::new());
+            }
+            let inner = eval_set(instance, universe, q)?;
+            let keep: Vec<Var> = q.free_vars().into_iter().filter(|x| x != v).collect();
+            Ok(inner.into_iter().map(|s| s.restrict(keep.iter())).collect())
+        }
+        Query::Forall(v, q) => {
+            // σ is an answer iff for every e in the universe, σ[v↦e] satisfies q.
+            if !q.free_vars().contains(v) {
+                // v does not occur: ∀v.q ≡ q (over a possibly empty universe the paper's
+                // semantics makes ∀ vacuously true, but with no occurrence the body's truth
+                // does not depend on v; an empty universe still yields vacuous truth).
+                if universe.is_empty() {
+                    let free: Vec<Var> = q.free_vars().into_iter().collect();
+                    return Ok(enumerate(universe, &free).into_iter().collect());
+                }
+                return eval_set(instance, universe, q);
+            }
+            let inner = eval_set(instance, universe, q)?;
+            let outer_vars: Vec<Var> = q.free_vars().into_iter().filter(|x| x != v).collect();
+            let mut rows = BTreeSet::new();
+            for cand in enumerate(universe, &outer_vars) {
+                let all = universe
+                    .iter()
+                    .all(|&e| inner.contains(&cand.extended(*v, e)));
+                if all {
+                    rows.insert(cand);
+                }
+            }
+            Ok(rows)
+        }
+    }
+}
+
+/// Extend every row over `from` to rows over `to ⊇ from` by enumerating the universe for the
+/// missing variables.
+fn cylindrify(
+    rows: BTreeSet<Substitution>,
+    from: &BTreeSet<Var>,
+    to: &BTreeSet<Var>,
+    universe: &BTreeSet<DataValue>,
+) -> BTreeSet<Substitution> {
+    let missing: Vec<Var> = to.difference(from).copied().collect();
+    if missing.is_empty() {
+        return rows;
+    }
+    let mut out = BTreeSet::new();
+    for row in rows {
+        for extension in enumerate(universe, &missing) {
+            out.insert(row.merged(&extension));
+        }
+    }
+    out
+}
+
+/// All substitutions of `vars` over `universe`.
+fn enumerate(universe: &BTreeSet<DataValue>, vars: &[Var]) -> Vec<Substitution> {
+    let mut result = vec![Substitution::empty()];
+    for &v in vars {
+        let mut next = Vec::with_capacity(result.len() * universe.len().max(1));
+        for base in &result {
+            for &e in universe {
+                next.push(base.extended(v, e));
+            }
+        }
+        result = next;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::holds;
+    use crate::schema::RelName;
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+    fn e(i: u64) -> DataValue {
+        DataValue::e(i)
+    }
+
+    fn sample() -> Instance {
+        Instance::from_facts([
+            (r("R"), vec![e(1)]),
+            (r("R"), vec![e(2)]),
+            (r("Q"), vec![e(2)]),
+            (r("Q"), vec![e(3)]),
+            (r("S"), vec![e(1), e(2)]),
+            (r("p"), vec![]),
+        ])
+    }
+
+    #[test]
+    fn atom_answers() {
+        let i = sample();
+        let ans = answers(&i, &Query::atom(r("R"), [v("u")])).unwrap();
+        assert_eq!(ans.len(), 2);
+        let values: BTreeSet<DataValue> = ans.iter().map(|s| s.get(v("u")).unwrap()).collect();
+        assert_eq!(values, BTreeSet::from([e(1), e(2)]));
+    }
+
+    #[test]
+    fn atom_with_repeated_variable() {
+        let mut i = sample();
+        i.insert(r("S"), vec![e(3), e(3)]);
+        // S(u,u) answers only the diagonal tuple
+        let ans = answers(&i, &Query::atom(r("S"), [v("u"), v("u")])).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0].get(v("u")), Some(e(3)));
+    }
+
+    #[test]
+    fn atom_with_constant() {
+        let i = sample();
+        let ans = answers(&i, &Query::atom(r("S"), [Term::Value(e(1)), Term::Var(v("u"))])).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0].get(v("u")), Some(e(2)));
+    }
+
+    #[test]
+    fn boolean_queries_follow_the_paper_convention() {
+        let i = sample();
+        let yes = answers(&i, &Query::prop(r("p"))).unwrap();
+        assert_eq!(yes, vec![Substitution::empty()]);
+        let no = answers(&i, &Query::prop(r("missing"))).unwrap();
+        assert!(no.is_empty());
+    }
+
+    #[test]
+    fn conjunction_is_a_join() {
+        let i = sample();
+        let q = Query::atom(r("R"), [v("u")]).and(Query::atom(r("Q"), [v("u")]));
+        let ans = answers(&i, &q).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0].get(v("u")), Some(e(2)));
+    }
+
+    #[test]
+    fn join_over_distinct_variables() {
+        let i = sample();
+        let q = Query::atom(r("S"), [v("x"), v("y")]).and(Query::atom(r("Q"), [v("y")]));
+        let ans = answers(&i, &q).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0].get(v("x")), Some(e(1)));
+        assert_eq!(ans[0].get(v("y")), Some(e(2)));
+    }
+
+    #[test]
+    fn negation_complements_within_adom() {
+        let i = sample();
+        // !R(u): adom = {1,2,3}, R = {1,2} → answers {3}
+        let ans = answers(&i, &Query::atom(r("R"), [v("u")]).not()).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0].get(v("u")), Some(e(3)));
+    }
+
+    #[test]
+    fn disjunction_cylindrifies() {
+        let i = sample();
+        // R(x) | Q(y): all pairs where x ∈ R or y ∈ Q, over adom²
+        let q = Query::atom(r("R"), [v("x")]).or(Query::atom(r("Q"), [v("y")]));
+        let ans = answers(&i, &q).unwrap();
+        // |adom|² = 9; pairs failing both: x ∈ {3} and y ∈ {1} → 1 → 8 answers
+        assert_eq!(ans.len(), 8);
+    }
+
+    #[test]
+    fn existential_projection() {
+        let i = sample();
+        let q = Query::exists(v("y"), Query::atom(r("S"), [v("x"), v("y")]));
+        let ans = answers(&i, &q).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0].get(v("x")), Some(e(1)));
+        assert!(!ans[0].binds(v("y")));
+    }
+
+    #[test]
+    fn universal_quantification() {
+        let i = Instance::from_facts([
+            (r("R"), vec![e(1)]),
+            (r("R"), vec![e(2)]),
+            (r("S"), vec![e(1), e(1)]),
+            (r("S"), vec![e(1), e(2)]),
+            (r("S"), vec![e(2), e(1)]),
+        ]);
+        // forall y. S(x, y): only x = e1 relates to every adom element
+        let q = Query::forall(v("y"), Query::atom(r("S"), [v("x"), v("y")]));
+        let ans = answers(&i, &q).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0].get(v("x")), Some(e(1)));
+    }
+
+    #[test]
+    fn equality_answers() {
+        let i = sample();
+        let ans = answers(&i, &Query::eq(v("u"), v("w"))).unwrap();
+        assert_eq!(ans.len(), 3); // diagonal over adom
+        let ans = answers(&i, &Query::eq(v("u"), e(2))).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0].get(v("u")), Some(e(2)));
+    }
+
+    #[test]
+    fn answers_agree_with_holds_on_handwritten_queries() {
+        let i = sample();
+        let queries = vec![
+            Query::atom(r("R"), [v("u")]).and(Query::atom(r("Q"), [v("u")]).not()),
+            Query::exists(v("y"), Query::atom(r("S"), [v("x"), v("y")]).and(Query::atom(r("R"), [v("y")]))),
+            Query::forall(v("y"), Query::atom(r("Q"), [v("y")]).implies(Query::atom(r("R"), [v("y")]))),
+            Query::atom(r("R"), [v("u")]).or(Query::atom(r("Q"), [v("u")])),
+        ];
+        for q in queries {
+            let free: Vec<Var> = q.free_vars().into_iter().collect();
+            let ans: BTreeSet<Substitution> = answers(&i, &q).unwrap().into_iter().collect();
+            // check every enumerated candidate against `holds`
+            for cand in super::enumerate(&i.active_domain(), &free) {
+                let expected = holds(&i, &cand, &q).unwrap();
+                assert_eq!(
+                    ans.contains(&cand),
+                    expected,
+                    "query {q} disagreement at {cand:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn has_answer_shortcut() {
+        let i = sample();
+        assert!(has_answer(&i, &Query::atom(r("R"), [v("u")])).unwrap());
+        assert!(!has_answer(&i, &Query::atom(r("Zzz"), [v("u")])).unwrap());
+    }
+}

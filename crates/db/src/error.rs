@@ -1,0 +1,84 @@
+//! Error types for the database substrate.
+
+use crate::schema::RelName;
+use crate::term::Var;
+use std::fmt;
+
+/// Errors produced when constructing or evaluating database objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A fact or atom used a relation with the wrong number of arguments.
+    ArityMismatch {
+        relation: RelName,
+        expected: usize,
+        got: usize,
+    },
+    /// A relation name was used that is not declared in the schema.
+    UnknownRelation(RelName),
+    /// A relation name was declared twice with different arities.
+    ConflictingArity {
+        relation: RelName,
+        first: usize,
+        second: usize,
+    },
+    /// A query was evaluated under a substitution that does not bind one of its free variables.
+    UnboundVariable(Var),
+    /// A query string could not be parsed.
+    Parse { position: usize, message: String },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for relation {relation}: expected {expected}, got {got}"
+            ),
+            DbError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            DbError::ConflictingArity {
+                relation,
+                first,
+                second,
+            } => write!(
+                f,
+                "relation {relation} declared with conflicting arities {first} and {second}"
+            ),
+            DbError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            DbError::Parse { position, message } => {
+                write!(f, "parse error at offset {position}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelName;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DbError::ArityMismatch {
+            relation: RelName::new("R"),
+            expected: 2,
+            got: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('R') && msg.contains('2') && msg.contains('3'));
+
+        let e = DbError::UnknownRelation(RelName::new("Nope"));
+        assert!(e.to_string().contains("Nope"));
+
+        let e = DbError::Parse {
+            position: 4,
+            message: "expected ')'".into(),
+        };
+        assert!(e.to_string().contains("offset 4"));
+    }
+}

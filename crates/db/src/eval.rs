@@ -1,0 +1,193 @@
+//! Boolean evaluation of FOL(R) queries under a substitution (Appendix A of the paper).
+//!
+//! [`holds`] implements the judgement `I, σ ⊨ Q`. Quantifiers range over the **active
+//! domain** `adom(I)`, as the paper's semantics prescribes.
+
+use crate::error::DbError;
+use crate::instance::Instance;
+use crate::query::Query;
+use crate::substitution::Substitution;
+use crate::term::Term;
+use crate::value::DataValue;
+use std::collections::BTreeSet;
+
+/// Evaluate `I, σ ⊨ Q`.
+///
+/// `σ` must bind every free variable of `Q`; otherwise an [`DbError::UnboundVariable`] error
+/// is returned. Quantified variables range over `adom(I)`.
+pub fn holds(instance: &Instance, subst: &Substitution, query: &Query) -> Result<bool, DbError> {
+    let adom = instance.active_domain();
+    eval(instance, &adom, subst, query)
+}
+
+/// Evaluate a boolean query (no free variables) against an instance.
+pub fn holds_boolean(instance: &Instance, query: &Query) -> Result<bool, DbError> {
+    holds(instance, &Substitution::empty(), query)
+}
+
+fn resolve(subst: &Substitution, term: &Term) -> Result<DataValue, DbError> {
+    match term {
+        Term::Value(v) => Ok(*v),
+        Term::Var(v) => subst.get(*v).ok_or(DbError::UnboundVariable(*v)),
+    }
+}
+
+fn eval(
+    instance: &Instance,
+    adom: &BTreeSet<DataValue>,
+    subst: &Substitution,
+    query: &Query,
+) -> Result<bool, DbError> {
+    match query {
+        Query::True => Ok(true),
+        Query::Atom(rel, terms) => {
+            let tuple: Vec<DataValue> = terms
+                .iter()
+                .map(|t| resolve(subst, t))
+                .collect::<Result<_, _>>()?;
+            Ok(instance.contains(*rel, &tuple))
+        }
+        Query::Eq(a, b) => Ok(resolve(subst, a)? == resolve(subst, b)?),
+        Query::Not(q) => Ok(!eval(instance, adom, subst, q)?),
+        Query::And(a, b) => {
+            Ok(eval(instance, adom, subst, a)? && eval(instance, adom, subst, b)?)
+        }
+        Query::Or(a, b) => Ok(eval(instance, adom, subst, a)? || eval(instance, adom, subst, b)?),
+        Query::Exists(v, q) => {
+            for &e in adom {
+                let extended = subst.extended(*v, e);
+                if eval(instance, adom, &extended, q)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Query::Forall(v, q) => {
+            for &e in adom {
+                let extended = subst.extended(*v, e);
+                if !eval(instance, adom, &extended, q)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelName;
+    use crate::term::Var;
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+    fn e(i: u64) -> DataValue {
+        DataValue::e(i)
+    }
+
+    fn sample() -> Instance {
+        Instance::from_facts([
+            (r("R"), vec![e(1)]),
+            (r("R"), vec![e(2)]),
+            (r("Q"), vec![e(2)]),
+            (r("Q"), vec![e(3)]),
+            (r("p"), vec![]),
+        ])
+    }
+
+    #[test]
+    fn atoms_and_propositions() {
+        let i = sample();
+        assert!(holds_boolean(&i, &Query::prop(r("p"))).unwrap());
+        assert!(!holds_boolean(&i, &Query::prop(r("q"))).unwrap());
+
+        let s = Substitution::from_pairs([(v("u"), e(1))]);
+        assert!(holds(&i, &s, &Query::atom(r("R"), [v("u")])).unwrap());
+        assert!(!holds(&i, &s, &Query::atom(r("Q"), [v("u")])).unwrap());
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let i = sample();
+        let err = holds(&i, &Substitution::empty(), &Query::atom(r("R"), [v("u")])).unwrap_err();
+        assert!(matches!(err, DbError::UnboundVariable(_)));
+    }
+
+    #[test]
+    fn equality_and_constants() {
+        let i = sample();
+        let s = Substitution::from_pairs([(v("u"), e(1)), (v("w"), e(1))]);
+        assert!(holds(&i, &s, &Query::eq(v("u"), v("w"))).unwrap());
+        assert!(holds(&i, &s, &Query::eq(v("u"), e(1))).unwrap());
+        assert!(!holds(&i, &s, &Query::eq(v("u"), e(2))).unwrap());
+    }
+
+    #[test]
+    fn connectives() {
+        let i = sample();
+        let s = Substitution::from_pairs([(v("u"), e(2))]);
+        let ru = Query::atom(r("R"), [v("u")]);
+        let qu = Query::atom(r("Q"), [v("u")]);
+        assert!(holds(&i, &s, &ru.clone().and(qu.clone())).unwrap());
+        assert!(holds(&i, &s, &ru.clone().or(qu.clone())).unwrap());
+        assert!(!holds(&i, &s, &ru.clone().and(qu.clone()).not()).unwrap());
+        assert!(holds(&i, &s, &ru.implies(qu)).unwrap());
+    }
+
+    #[test]
+    fn quantifiers_range_over_active_domain() {
+        let i = sample();
+        // exists u. R(u) & Q(u)  — true (e2)
+        let q = Query::exists(v("u"), Query::atom(r("R"), [v("u")]).and(Query::atom(r("Q"), [v("u")])));
+        assert!(holds_boolean(&i, &q).unwrap());
+
+        // forall u. R(u) | Q(u)  — true: adom = {e1,e2,e3} all in R or Q
+        let q = Query::forall(v("u"), Query::atom(r("R"), [v("u")]).or(Query::atom(r("Q"), [v("u")])));
+        assert!(holds_boolean(&i, &q).unwrap());
+
+        // forall u. R(u) — false (e3 only in Q)
+        let q = Query::forall(v("u"), Query::atom(r("R"), [v("u")]));
+        assert!(!holds_boolean(&i, &q).unwrap());
+    }
+
+    #[test]
+    fn quantification_over_empty_active_domain() {
+        let mut i = Instance::new();
+        i.set_proposition(r("p"), true);
+        // adom is empty: exists is false, forall is vacuously true
+        let ex = Query::exists(v("u"), Query::True);
+        let fa = Query::forall(v("u"), Query::false_());
+        assert!(!holds_boolean(&i, &ex).unwrap());
+        assert!(holds_boolean(&i, &fa).unwrap());
+    }
+
+    #[test]
+    fn forall_exists_duality() {
+        let i = sample();
+        let body = Query::atom(r("R"), [v("u")]);
+        let forall = Query::forall(v("u"), body.clone());
+        let dual = Query::exists(v("u"), body.not()).not();
+        assert_eq!(
+            holds_boolean(&i, &forall).unwrap(),
+            holds_boolean(&i, &dual).unwrap()
+        );
+    }
+
+    #[test]
+    fn active_query_matches_active_domain() {
+        let i = sample();
+        let schema = crate::Schema::with_relations(&[("p", 0), ("R", 1), ("Q", 1)]);
+        let active = crate::query::active_query(&schema, v("u"));
+        for val in [1u64, 2, 3] {
+            let s = Substitution::from_pairs([(v("u"), e(val))]);
+            assert!(holds(&i, &s, &active).unwrap());
+        }
+        let s = Substitution::from_pairs([(v("u"), e(99))]);
+        assert!(!holds(&i, &s, &active).unwrap());
+    }
+}

@@ -1,0 +1,352 @@
+//! Database instances over a schema and the data domain.
+
+use crate::schema::{RelName, Schema};
+use crate::value::{DataValue, Tuple};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A database instance `I ∈ DB-Inst-Set(R, ∆)`: for every relation name a finite set of
+/// tuples over the data domain.
+///
+/// The representation is deliberately deterministic (`BTreeMap` / `BTreeSet`): instances are
+/// hashed and compared when the checker deduplicates configurations modulo isomorphism, and
+/// tests rely on stable iteration order.
+///
+/// Following the paper:
+/// * `I₁ + I₂` is relation-wise union ([`Instance::union`]),
+/// * `I₁ − I₂` is relation-wise set difference ([`Instance::difference`]),
+/// * `adom(I)` is the set of values occurring in some fact ([`Instance::active_domain`]),
+/// * a nullary relation (proposition) `p` is *true* in `I` iff `p() ∈ I`
+///   ([`Instance::proposition`]).
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Instance {
+    relations: BTreeMap<RelName, BTreeSet<Tuple>>,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Insert the fact `rel(tuple…)`. Returns `true` if the fact was not already present.
+    pub fn insert(&mut self, rel: RelName, tuple: Tuple) -> bool {
+        self.relations.entry(rel).or_default().insert(tuple)
+    }
+
+    /// Insert a fact, checking the tuple's arity against `schema`.
+    pub fn insert_checked(
+        &mut self,
+        schema: &Schema,
+        rel: RelName,
+        tuple: Tuple,
+    ) -> Result<bool, crate::DbError> {
+        schema.check_arity(rel, tuple.len())?;
+        Ok(self.insert(rel, tuple))
+    }
+
+    /// Remove the fact `rel(tuple…)`. Returns `true` if it was present.
+    pub fn remove(&mut self, rel: RelName, tuple: &[DataValue]) -> bool {
+        let mut emptied = false;
+        let removed = match self.relations.get_mut(&rel) {
+            Some(set) => {
+                let r = set.remove(tuple);
+                emptied = set.is_empty();
+                r
+            }
+            None => false,
+        };
+        if emptied {
+            self.relations.remove(&rel);
+        }
+        removed
+    }
+
+    /// Whether the fact `rel(tuple…)` is present.
+    pub fn contains(&self, rel: RelName, tuple: &[DataValue]) -> bool {
+        self.relations
+            .get(&rel)
+            .map(|set| set.contains(tuple))
+            .unwrap_or(false)
+    }
+
+    /// Set the truth value of a proposition (nullary relation).
+    pub fn set_proposition(&mut self, rel: RelName, value: bool) {
+        if value {
+            self.insert(rel, vec![]);
+        } else {
+            self.remove(rel, &[]);
+        }
+    }
+
+    /// Whether the proposition `rel` is true (`rel() ∈ I`).
+    pub fn proposition(&self, rel: RelName) -> bool {
+        self.contains(rel, &[])
+    }
+
+    /// The tuples of relation `rel` (empty slice view if the relation has no tuples).
+    pub fn relation(&self, rel: RelName) -> impl Iterator<Item = &Tuple> + '_ {
+        self.relations.get(&rel).into_iter().flatten()
+    }
+
+    /// The number of tuples in relation `rel`.
+    pub fn relation_size(&self, rel: RelName) -> usize {
+        self.relations.get(&rel).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Iterate over all facts as `(relation, tuple)` pairs, deterministically.
+    pub fn facts(&self) -> impl Iterator<Item = (RelName, &Tuple)> + '_ {
+        self.relations
+            .iter()
+            .flat_map(|(&rel, tuples)| tuples.iter().map(move |t| (rel, t)))
+    }
+
+    /// The relation names that have at least one tuple in this instance.
+    pub fn populated_relations(&self) -> impl Iterator<Item = RelName> + '_ {
+        self.relations.keys().copied()
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(|s| s.len()).sum()
+    }
+
+    /// Whether the instance contains no facts.
+    pub fn is_empty(&self) -> bool {
+        self.relations.values().all(|s| s.is_empty())
+    }
+
+    /// The active domain `adom(I)`: every data value occurring in some fact.
+    pub fn active_domain(&self) -> BTreeSet<DataValue> {
+        let mut adom = BTreeSet::new();
+        for (_, tuple) in self.facts() {
+            adom.extend(tuple.iter().copied());
+        }
+        adom
+    }
+
+    /// Whether `value ∈ adom(I)`, i.e. the value occurs in some fact (the paper's
+    /// `Active(u)` query of Example 2.1 characterises exactly this set).
+    pub fn is_active(&self, value: DataValue) -> bool {
+        self.facts().any(|(_, tuple)| tuple.contains(&value))
+    }
+
+    /// Relation-wise union `I₁ + I₂`.
+    pub fn union(&self, other: &Instance) -> Instance {
+        let mut result = self.clone();
+        for (rel, tuple) in other.facts() {
+            result.insert(rel, tuple.clone());
+        }
+        result
+    }
+
+    /// Relation-wise difference `I₁ − I₂`.
+    pub fn difference(&self, other: &Instance) -> Instance {
+        let mut result = self.clone();
+        for (rel, tuple) in other.facts() {
+            result.remove(rel, tuple);
+        }
+        result
+    }
+
+    /// Apply the paper's action update `I' = (I − Del) + Add` in one step.
+    pub fn apply_update(&self, del: &Instance, add: &Instance) -> Instance {
+        self.difference(del).union(add)
+    }
+
+    /// Build an instance from a list of facts.
+    pub fn from_facts<I>(facts: I) -> Instance
+    where
+        I: IntoIterator<Item = (RelName, Tuple)>,
+    {
+        let mut inst = Instance::new();
+        for (rel, tuple) in facts {
+            inst.insert(rel, tuple);
+        }
+        inst
+    }
+
+    /// Rename every data value through `f` (used for isomorphism checks and canonicalisation).
+    pub fn map_values<F: Fn(DataValue) -> DataValue>(&self, f: F) -> Instance {
+        let mut inst = Instance::new();
+        for (rel, tuple) in self.facts() {
+            inst.insert(rel, tuple.iter().map(|&v| f(v)).collect());
+        }
+        inst
+    }
+
+    /// Check every fact's arity against `schema`.
+    pub fn validate(&self, schema: &Schema) -> Result<(), crate::DbError> {
+        for (rel, tuple) in self.facts() {
+            schema.check_arity(rel, tuple.len())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (rel, tuples) in &self.relations {
+            for tuple in tuples {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                if tuple.is_empty() {
+                    write!(f, "{rel}")?;
+                } else {
+                    let args: Vec<String> = tuple.iter().map(|v| v.to_string()).collect();
+                    write!(f, "{rel}({})", args.join(","))?;
+                }
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+
+    fn e(i: u64) -> DataValue {
+        DataValue::e(i)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut i = Instance::new();
+        assert!(i.is_empty());
+        assert!(i.insert(r("R"), vec![e(1), e(2)]));
+        assert!(!i.insert(r("R"), vec![e(1), e(2)]));
+        assert!(i.contains(r("R"), &[e(1), e(2)]));
+        assert!(!i.contains(r("R"), &[e(2), e(1)]));
+        assert_eq!(i.len(), 1);
+        assert!(i.remove(r("R"), &[e(1), e(2)]));
+        assert!(!i.remove(r("R"), &[e(1), e(2)]));
+        assert!(i.is_empty());
+        // removing the last tuple drops the relation entry entirely
+        assert_eq!(i.populated_relations().count(), 0);
+    }
+
+    #[test]
+    fn propositions() {
+        let mut i = Instance::new();
+        assert!(!i.proposition(r("p")));
+        i.set_proposition(r("p"), true);
+        assert!(i.proposition(r("p")));
+        assert_eq!(i.len(), 1);
+        // a proposition contributes nothing to the active domain
+        assert!(i.active_domain().is_empty());
+        i.set_proposition(r("p"), false);
+        assert!(!i.proposition(r("p")));
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn active_domain() {
+        let i = Instance::from_facts([
+            (r("R"), vec![e(1), e(2)]),
+            (r("Q"), vec![e(2)]),
+            (r("p"), vec![]),
+        ]);
+        let adom = i.active_domain();
+        assert_eq!(adom, BTreeSet::from([e(1), e(2)]));
+        assert!(i.is_active(e(1)));
+        assert!(!i.is_active(e(3)));
+    }
+
+    #[test]
+    fn union_and_difference_follow_the_paper() {
+        let i1 = Instance::from_facts([(r("R"), vec![e(1)]), (r("R"), vec![e(2)])]);
+        let i2 = Instance::from_facts([(r("R"), vec![e(2)]), (r("Q"), vec![e(3)])]);
+
+        let u = i1.union(&i2);
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(r("R"), &[e(1)]));
+        assert!(u.contains(r("R"), &[e(2)]));
+        assert!(u.contains(r("Q"), &[e(3)]));
+
+        let d = i1.difference(&i2);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(r("R"), &[e(1)]));
+        assert!(!d.contains(r("R"), &[e(2)]));
+
+        // difference with something not present is a no-op
+        let d2 = i1.difference(&Instance::from_facts([(r("Z"), vec![e(9)])]));
+        assert_eq!(d2, i1);
+    }
+
+    #[test]
+    fn apply_update_add_wins_over_del() {
+        // The paper defines I' = (I − Del) + Add, so a fact both deleted and added survives.
+        let i = Instance::from_facts([(r("R"), vec![e(1)])]);
+        let del = Instance::from_facts([(r("R"), vec![e(1)])]);
+        let add = Instance::from_facts([(r("R"), vec![e(1)])]);
+        let next = i.apply_update(&del, &add);
+        assert!(next.contains(r("R"), &[e(1)]));
+    }
+
+    #[test]
+    fn relation_iteration_and_size() {
+        let i = Instance::from_facts([
+            (r("R"), vec![e(1)]),
+            (r("R"), vec![e(2)]),
+            (r("Q"), vec![e(3)]),
+        ]);
+        assert_eq!(i.relation_size(r("R")), 2);
+        assert_eq!(i.relation_size(r("Z")), 0);
+        assert_eq!(i.relation(r("R")).count(), 2);
+        assert_eq!(i.facts().count(), 3);
+    }
+
+    #[test]
+    fn map_values_renames() {
+        let i = Instance::from_facts([(r("R"), vec![e(1), e(2)])]);
+        let j = i.map_values(|v| DataValue(v.0 + 10));
+        assert!(j.contains(r("R"), &[e(11), e(12)]));
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn validate_against_schema() {
+        let schema = Schema::with_relations(&[("R", 2), ("p", 0)]);
+        let ok = Instance::from_facts([(r("R"), vec![e(1), e(2)]), (r("p"), vec![])]);
+        assert!(ok.validate(&schema).is_ok());
+
+        let bad_arity = Instance::from_facts([(r("R"), vec![e(1)])]);
+        assert!(bad_arity.validate(&schema).is_err());
+
+        let unknown = Instance::from_facts([(r("S"), vec![e(1)])]);
+        assert!(unknown.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let i = Instance::from_facts([(r("R"), vec![e(1)]), (r("p"), vec![])]);
+        let s = format!("{i}");
+        assert!(s.contains("R(e1)"));
+        assert!(s.contains('p'));
+    }
+
+    #[test]
+    fn insert_checked_respects_schema() {
+        let schema = Schema::with_relations(&[("R", 1)]);
+        let mut i = Instance::new();
+        assert!(i.insert_checked(&schema, r("R"), vec![e(1)]).is_ok());
+        assert!(i.insert_checked(&schema, r("R"), vec![e(1), e(2)]).is_err());
+        assert!(i.insert_checked(&schema, r("Nope"), vec![e(1)]).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! # rdms-db — relational substrate for database-manipulating systems
+//!
+//! This crate implements the database layer of the paper *"Recency-Bounded Verification of
+//! Dynamic Database-Driven Systems"* (PODS 2016), namely everything defined in its Section 2
+//! ("Preliminaries") and Appendix A:
+//!
+//! * a countably infinite **data domain** of standard names ([`DataValue`]),
+//! * **relational schemas** ([`Schema`]) mapping relation names to arities, including nullary
+//!   relations (propositions),
+//! * **database instances** ([`Instance`]) with the `+` / `−` instance algebra and the
+//!   **active domain** operation,
+//! * **FOL(R)** queries with equality ([`Query`]), their active-domain semantics
+//!   ([`eval`]/[`answers`]) and a small concrete syntax ([`parser`]),
+//! * **substitutions** ([`Substitution`]) and **variable patterns** ([`Pattern`]) — database
+//!   instances over variables, used as the `Del` / `Add` components of DMS actions
+//!   (`Substitute(I, σ)` in the paper).
+//!
+//! The crate is deliberately self-contained: the DMS model (`rdms-core`), the logic
+//! (`rdms-logic`) and the checker (`rdms-checker`) are all built on top of it.
+//!
+//! ## Example
+//!
+//! ```
+//! use rdms_db::{Schema, Instance, DataValue, Query, RelName, Var, answers};
+//!
+//! let mut schema = Schema::new();
+//! let r = schema.add_relation("R", 1);
+//! let q = schema.add_relation("Q", 1);
+//!
+//! let mut inst = Instance::new();
+//! inst.insert(r, vec![DataValue(1)]);
+//! inst.insert(r, vec![DataValue(2)]);
+//! inst.insert(q, vec![DataValue(2)]);
+//!
+//! // exists u. R(u) & !Q(u)
+//! let u = Var::new("u");
+//! let query = Query::exists(u, Query::atom(r, [u]).and(Query::atom(q, [u]).not()));
+//! assert!(rdms_db::eval::holds(&inst, &Default::default(), &query).unwrap());
+//!
+//! // the Active(u) query of Example 2.1 characterises the active domain
+//! let active = rdms_db::query::active_query(&schema, u);
+//! let ans = answers(&inst, &active).unwrap();
+//! assert_eq!(ans.len(), 2);
+//! ```
+
+pub mod answers;
+pub mod error;
+pub mod eval;
+pub mod instance;
+pub mod parser;
+pub mod pattern;
+pub mod query;
+pub mod schema;
+pub mod substitution;
+pub mod symbol;
+pub mod term;
+pub mod value;
+
+pub use answers::answers;
+pub use error::DbError;
+pub use instance::Instance;
+pub use pattern::Pattern;
+pub use query::Query;
+pub use schema::{RelName, Schema};
+pub use substitution::Substitution;
+pub use symbol::Sym;
+pub use term::{Term, Var};
+pub use value::DataValue;

@@ -1,0 +1,268 @@
+//! Variable patterns: database instances over variables (and constants).
+//!
+//! The `Del` and `Add` components of a DMS action are "database instances over the
+//! variables" (`DB-Inst-Set(R, ⃗u)` and `DB-Inst-Set(R, ⃗u ⊎ ⃗v)` in the paper). A [`Pattern`]
+//! is exactly that: a finite set of facts whose arguments are [`Term`]s. Applying a
+//! substitution (`Substitute(I, σ)` in the paper) yields a concrete [`Instance`].
+
+use crate::error::DbError;
+use crate::instance::Instance;
+use crate::schema::{RelName, Schema};
+use crate::substitution::Substitution;
+use crate::term::{Term, Var};
+use crate::value::DataValue;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A database instance over variables: a set of facts `R(t₁,…,t_a)` whose arguments are
+/// variables or constant values.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pattern {
+    facts: BTreeMap<RelName, BTreeSet<Vec<Term>>>,
+}
+
+impl Pattern {
+    /// The empty pattern.
+    pub fn new() -> Pattern {
+        Pattern::default()
+    }
+
+    /// Insert a fact.
+    pub fn insert<T: Into<Term>, I: IntoIterator<Item = T>>(&mut self, rel: RelName, args: I) {
+        self.facts
+            .entry(rel)
+            .or_default()
+            .insert(args.into_iter().map(Into::into).collect());
+    }
+
+    /// Build a pattern from facts.
+    pub fn from_facts<I, T, A>(facts: I) -> Pattern
+    where
+        I: IntoIterator<Item = (RelName, A)>,
+        A: IntoIterator<Item = T>,
+        T: Into<Term>,
+    {
+        let mut p = Pattern::new();
+        for (rel, args) in facts {
+            p.insert(rel, args);
+        }
+        p
+    }
+
+    /// A pattern consisting of a single proposition.
+    pub fn proposition(rel: RelName) -> Pattern {
+        let mut p = Pattern::new();
+        p.insert(rel, Vec::<Term>::new());
+        p
+    }
+
+    /// Iterate over all facts.
+    pub fn facts(&self) -> impl Iterator<Item = (RelName, &Vec<Term>)> + '_ {
+        self.facts
+            .iter()
+            .flat_map(|(&rel, tuples)| tuples.iter().map(move |t| (rel, t)))
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.values().map(|s| s.len()).sum()
+    }
+
+    /// Whether the pattern contains no facts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a specific fact is present.
+    pub fn contains(&self, rel: RelName, args: &[Term]) -> bool {
+        self.facts
+            .get(&rel)
+            .map(|s| s.contains(args))
+            .unwrap_or(false)
+    }
+
+    /// All variables occurring in the pattern — its "active domain" of variables
+    /// (`⃗v ⊆ adom(Add)` in the paper is a constraint on this set).
+    pub fn variables(&self) -> BTreeSet<Var> {
+        self.facts()
+            .flat_map(|(_, args)| args.iter().filter_map(Term::as_var))
+            .collect()
+    }
+
+    /// All constant values occurring in the pattern.
+    pub fn constants(&self) -> BTreeSet<DataValue> {
+        self.facts()
+            .flat_map(|(_, args)| args.iter().filter_map(Term::as_value))
+            .collect()
+    }
+
+    /// All relation names used.
+    pub fn relations(&self) -> BTreeSet<RelName> {
+        self.facts.keys().copied().collect()
+    }
+
+    /// The paper's `Substitute(I, σ)`: replace every variable occurrence by its value.
+    ///
+    /// Every variable of the pattern must be bound by `σ`; otherwise an error is returned.
+    pub fn substitute(&self, subst: &Substitution) -> Result<Instance, DbError> {
+        let mut inst = Instance::new();
+        for (rel, args) in self.facts() {
+            let tuple: Vec<DataValue> = args
+                .iter()
+                .map(|t| match t {
+                    Term::Value(v) => Ok(*v),
+                    Term::Var(v) => subst.get(*v).ok_or(DbError::UnboundVariable(*v)),
+                })
+                .collect::<Result<_, _>>()?;
+            inst.insert(rel, tuple);
+        }
+        Ok(inst)
+    }
+
+    /// Rewrite the pattern by mapping every term through `f` (used by the transformations of
+    /// Appendix F).
+    pub fn map_terms<F: Fn(Term) -> Term>(&self, f: F) -> Pattern {
+        let mut p = Pattern::new();
+        for (rel, args) in self.facts() {
+            p.insert(rel, args.iter().map(|&t| f(t)));
+        }
+        p
+    }
+
+    /// Merge another pattern into this one.
+    pub fn union(&self, other: &Pattern) -> Pattern {
+        let mut p = self.clone();
+        for (rel, args) in other.facts() {
+            p.insert(rel, args.iter().copied());
+        }
+        p
+    }
+
+    /// Validate arities against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<(), DbError> {
+        for (rel, args) in self.facts() {
+            schema.check_arity(rel, args.len())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (rel, args) in self.facts() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            if args.is_empty() {
+                write!(f, "{rel}")?;
+            } else {
+                let parts: Vec<String> = args.iter().map(|t| t.to_string()).collect();
+                write!(f, "{rel}({})", parts.join(","))?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+    fn e(i: u64) -> DataValue {
+        DataValue::e(i)
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let p = Pattern::from_facts([
+            (r("R"), vec![Term::Var(v("u")), Term::Var(v("w"))]),
+            (r("Q"), vec![Term::Var(v("u"))]),
+            (r("p"), vec![]),
+        ]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.variables(), BTreeSet::from([v("u"), v("w")]));
+        assert_eq!(p.relations(), BTreeSet::from([r("R"), r("Q"), r("p")]));
+        assert!(p.contains(r("Q"), &[Term::Var(v("u"))]));
+        assert!(!p.is_empty());
+        assert!(Pattern::new().is_empty());
+    }
+
+    #[test]
+    fn substitute_produces_concrete_instance() {
+        let p = Pattern::from_facts([
+            (r("R"), vec![Term::Var(v("u")), Term::Value(e(9))]),
+            (r("p"), vec![]),
+        ]);
+        let s = Substitution::from_pairs([(v("u"), e(1))]);
+        let inst = p.substitute(&s).unwrap();
+        assert!(inst.contains(r("R"), &[e(1), e(9)]));
+        assert!(inst.proposition(r("p")));
+        assert_eq!(inst.len(), 2);
+    }
+
+    #[test]
+    fn substitute_requires_all_variables_bound() {
+        let p = Pattern::from_facts([(r("R"), vec![Term::Var(v("u"))])]);
+        let err = p.substitute(&Substitution::empty()).unwrap_err();
+        assert!(matches!(err, DbError::UnboundVariable(_)));
+    }
+
+    #[test]
+    fn substitution_can_collapse_facts() {
+        // R(u) and R(w) collapse to one fact when σ(u) = σ(w)
+        let p = Pattern::from_facts([(r("R"), vec![Term::Var(v("u"))]), (r("R"), vec![Term::Var(v("w"))])]);
+        let s = Substitution::from_pairs([(v("u"), e(5)), (v("w"), e(5))]);
+        let inst = p.substitute(&s).unwrap();
+        assert_eq!(inst.len(), 1);
+    }
+
+    #[test]
+    fn proposition_constructor_and_union() {
+        let p = Pattern::proposition(r("lock"));
+        let q = Pattern::from_facts([(r("R"), vec![Term::Var(v("u"))])]);
+        let u = p.union(&q);
+        assert_eq!(u.len(), 2);
+        assert!(u.contains(r("lock"), &[]));
+    }
+
+    #[test]
+    fn map_terms_renames_variables() {
+        let p = Pattern::from_facts([(r("R"), vec![Term::Var(v("u"))])]);
+        let q = p.map_terms(|t| match t {
+            Term::Var(x) if x == v("u") => Term::Var(v("z")),
+            other => other,
+        });
+        assert!(q.contains(r("R"), &[Term::Var(v("z"))]));
+    }
+
+    #[test]
+    fn validate_against_schema() {
+        let schema = Schema::with_relations(&[("R", 2)]);
+        let good = Pattern::from_facts([(r("R"), vec![Term::Var(v("u")), Term::Var(v("w"))])]);
+        assert!(good.validate(&schema).is_ok());
+        let bad = Pattern::from_facts([(r("R"), vec![Term::Var(v("u"))])]);
+        assert!(bad.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn constants_are_reported() {
+        let p = Pattern::from_facts([(r("R"), vec![Term::Value(e(3)), Term::Var(v("u"))])]);
+        assert_eq!(p.constants(), BTreeSet::from([e(3)]));
+    }
+}

@@ -1,0 +1,494 @@
+//! FOL(R) queries with equality (Section 2 of the paper).
+//!
+//! ```text
+//! Q ::= true | R(u₁,…,u_a) | ¬Q | Q₁ ∧ Q₂ | ∃u.Q | u₁ = u₂
+//! ```
+//!
+//! We additionally keep `∨` and `∀` as first-class nodes (the paper treats them as
+//! abbreviations); doing so keeps constructed formulae readable and avoids exponential
+//! negation-normal-form blow-ups in generated constructions such as Appendix F.
+
+use crate::schema::{RelName, Schema};
+use crate::term::{Term, Var};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A FOL(R) query.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Query {
+    /// The trivially true query.
+    True,
+    /// A relational atom `R(t₁,…,t_a)`.
+    Atom(RelName, Vec<Term>),
+    /// Equality of two terms `t₁ = t₂`.
+    Eq(Term, Term),
+    /// Negation `¬Q`.
+    Not(Box<Query>),
+    /// Conjunction `Q₁ ∧ Q₂`.
+    And(Box<Query>, Box<Query>),
+    /// Disjunction `Q₁ ∨ Q₂`.
+    Or(Box<Query>, Box<Query>),
+    /// Existential quantification `∃u.Q` (active-domain semantics).
+    Exists(Var, Box<Query>),
+    /// Universal quantification `∀u.Q` (active-domain semantics).
+    Forall(Var, Box<Query>),
+}
+
+impl Query {
+    /// The trivially false query `¬true`.
+    pub fn false_() -> Query {
+        Query::Not(Box::new(Query::True))
+    }
+
+    /// Atom constructor.
+    pub fn atom<T: Into<Term>, I: IntoIterator<Item = T>>(rel: RelName, args: I) -> Query {
+        Query::Atom(rel, args.into_iter().map(Into::into).collect())
+    }
+
+    /// A propositional atom `p()`.
+    pub fn prop(rel: RelName) -> Query {
+        Query::Atom(rel, vec![])
+    }
+
+    /// Equality constructor.
+    pub fn eq<A: Into<Term>, B: Into<Term>>(a: A, b: B) -> Query {
+        Query::Eq(a.into(), b.into())
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Query {
+        Query::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Query) -> Query {
+        Query::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Query) -> Query {
+        Query::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Implication `self ⇒ other`, i.e. `¬self ∨ other`.
+    pub fn implies(self, other: Query) -> Query {
+        self.not().or(other)
+    }
+
+    /// Existential quantification.
+    pub fn exists(var: Var, body: Query) -> Query {
+        Query::Exists(var, Box::new(body))
+    }
+
+    /// Existential quantification over several variables (left to right).
+    pub fn exists_many<I: IntoIterator<Item = Var>>(vars: I, body: Query) -> Query {
+        let vars: Vec<Var> = vars.into_iter().collect();
+        vars.into_iter()
+            .rev()
+            .fold(body, |acc, v| Query::exists(v, acc))
+    }
+
+    /// Universal quantification.
+    pub fn forall(var: Var, body: Query) -> Query {
+        Query::Forall(var, Box::new(body))
+    }
+
+    /// Universal quantification over several variables.
+    pub fn forall_many<I: IntoIterator<Item = Var>>(vars: I, body: Query) -> Query {
+        let vars: Vec<Var> = vars.into_iter().collect();
+        vars.into_iter()
+            .rev()
+            .fold(body, |acc, v| Query::forall(v, acc))
+    }
+
+    /// Conjunction of a list of queries (`true` for the empty list).
+    pub fn conj<I: IntoIterator<Item = Query>>(queries: I) -> Query {
+        let mut iter = queries.into_iter();
+        match iter.next() {
+            None => Query::True,
+            Some(first) => iter.fold(first, Query::and),
+        }
+    }
+
+    /// Disjunction of a list of queries (`false` for the empty list).
+    pub fn disj<I: IntoIterator<Item = Query>>(queries: I) -> Query {
+        let mut iter = queries.into_iter();
+        match iter.next() {
+            None => Query::false_(),
+            Some(first) => iter.fold(first, Query::or),
+        }
+    }
+
+    /// The free variables `Free-Vars(Q)` of this query.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut free = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut free);
+        free
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<Var>, free: &mut BTreeSet<Var>) {
+        match self {
+            Query::True => {}
+            Query::Atom(_, terms) => {
+                for t in terms {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            free.insert(*v);
+                        }
+                    }
+                }
+            }
+            Query::Eq(a, b) => {
+                for t in [a, b] {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            free.insert(*v);
+                        }
+                    }
+                }
+            }
+            Query::Not(q) => q.collect_free(bound, free),
+            Query::And(a, b) | Query::Or(a, b) => {
+                a.collect_free(bound, free);
+                b.collect_free(bound, free);
+            }
+            Query::Exists(v, q) | Query::Forall(v, q) => {
+                let newly = bound.insert(*v);
+                q.collect_free(bound, free);
+                if newly {
+                    bound.remove(v);
+                }
+            }
+        }
+    }
+
+    /// All variables (free and bound) occurring in the query.
+    pub fn all_vars(&self) -> BTreeSet<Var> {
+        let mut vars = BTreeSet::new();
+        self.visit(&mut |q| match q {
+            Query::Atom(_, terms) => {
+                vars.extend(terms.iter().filter_map(Term::as_var));
+            }
+            Query::Eq(a, b) => {
+                vars.extend([a, b].iter().filter_map(|t| t.as_var()));
+            }
+            Query::Exists(v, _) | Query::Forall(v, _) => {
+                vars.insert(*v);
+            }
+            _ => {}
+        });
+        vars
+    }
+
+    /// Whether the query is boolean, i.e. has no free variables.
+    pub fn is_boolean(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// All relation names mentioned in the query.
+    pub fn relations(&self) -> BTreeSet<RelName> {
+        let mut rels = BTreeSet::new();
+        self.visit(&mut |q| {
+            if let Query::Atom(r, _) = q {
+                rels.insert(*r);
+            }
+        });
+        rels
+    }
+
+    /// All constant data values mentioned in the query (non-empty only when the constants
+    /// extension of Appendix F.1 is in use).
+    pub fn constants(&self) -> BTreeSet<crate::DataValue> {
+        let mut consts = BTreeSet::new();
+        self.visit(&mut |q| match q {
+            Query::Atom(_, terms) => {
+                consts.extend(terms.iter().filter_map(Term::as_value));
+            }
+            Query::Eq(a, b) => {
+                consts.extend([a, b].iter().filter_map(|t| t.as_value()));
+            }
+            _ => {}
+        });
+        consts
+    }
+
+    /// Visit every subquery (pre-order).
+    pub fn visit<F: FnMut(&Query)>(&self, f: &mut F) {
+        f(self);
+        match self {
+            Query::True | Query::Atom(..) | Query::Eq(..) => {}
+            Query::Not(q) | Query::Exists(_, q) | Query::Forall(_, q) => q.visit(f),
+            Query::And(a, b) | Query::Or(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+        }
+    }
+
+    /// Number of AST nodes (a cheap size measure used in benchmarks).
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Quantifier nesting depth.
+    pub fn quantifier_depth(&self) -> usize {
+        match self {
+            Query::True | Query::Atom(..) | Query::Eq(..) => 0,
+            Query::Not(q) => q.quantifier_depth(),
+            Query::And(a, b) | Query::Or(a, b) => a.quantifier_depth().max(b.quantifier_depth()),
+            Query::Exists(_, q) | Query::Forall(_, q) => 1 + q.quantifier_depth(),
+        }
+    }
+
+    /// Replace free occurrences of variables by terms (capture is not avoided: callers use
+    /// fresh variable names for bound variables, as all generated constructions in this
+    /// workspace do).
+    pub fn substitute_terms(&self, map: &std::collections::BTreeMap<Var, Term>) -> Query {
+        self.substitute_inner(map, &BTreeSet::new())
+    }
+
+    fn substitute_inner(
+        &self,
+        map: &std::collections::BTreeMap<Var, Term>,
+        bound: &BTreeSet<Var>,
+    ) -> Query {
+        let sub_term = |t: &Term, bound: &BTreeSet<Var>| -> Term {
+            match t {
+                Term::Var(v) if !bound.contains(v) => map.get(v).copied().unwrap_or(*t),
+                _ => *t,
+            }
+        };
+        match self {
+            Query::True => Query::True,
+            Query::Atom(r, terms) => {
+                Query::Atom(*r, terms.iter().map(|t| sub_term(t, bound)).collect())
+            }
+            Query::Eq(a, b) => Query::Eq(sub_term(a, bound), sub_term(b, bound)),
+            Query::Not(q) => Query::Not(Box::new(q.substitute_inner(map, bound))),
+            Query::And(a, b) => Query::And(
+                Box::new(a.substitute_inner(map, bound)),
+                Box::new(b.substitute_inner(map, bound)),
+            ),
+            Query::Or(a, b) => Query::Or(
+                Box::new(a.substitute_inner(map, bound)),
+                Box::new(b.substitute_inner(map, bound)),
+            ),
+            Query::Exists(v, q) => {
+                let mut bound2 = bound.clone();
+                bound2.insert(*v);
+                Query::Exists(*v, Box::new(q.substitute_inner(map, &bound2)))
+            }
+            Query::Forall(v, q) => {
+                let mut bound2 = bound.clone();
+                bound2.insert(*v);
+                Query::Forall(*v, Box::new(q.substitute_inner(map, &bound2)))
+            }
+        }
+    }
+
+    /// Whether the query is a union of conjunctive queries (UCQ): built from atoms, equality,
+    /// `∧`, `∨`, `∃` and `true` only — no negation, no universal quantification. This matters
+    /// for the undecidability frontier of Theorem 4.1.
+    pub fn is_ucq(&self) -> bool {
+        match self {
+            Query::True | Query::Atom(..) | Query::Eq(..) => true,
+            Query::Not(_) | Query::Forall(..) => false,
+            Query::And(a, b) | Query::Or(a, b) => a.is_ucq() && b.is_ucq(),
+            Query::Exists(_, q) => q.is_ucq(),
+        }
+    }
+
+    /// Validate every atom's arity against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<(), crate::DbError> {
+        let mut result = Ok(());
+        self.visit(&mut |q| {
+            if result.is_ok() {
+                if let Query::Atom(r, terms) = q {
+                    result = schema.check_arity(*r, terms.len());
+                }
+            }
+        });
+        result
+    }
+}
+
+/// The `Active(u)` query of Example 2.1: `u` occurs in some tuple of some relation of the
+/// schema. `ans(Active(u), I) = {⟨u ↦ e⟩ | e ∈ adom(I)}`.
+pub fn active_query(schema: &Schema, u: Var) -> Query {
+    let mut disjuncts = Vec::new();
+    for (rel, arity) in schema.non_nullary() {
+        for j in 0..arity {
+            // ∃ u₁…u_{a} (other positions) . R(u₁,…,u,…,u_a) with u at position j
+            let mut args: Vec<Term> = Vec::with_capacity(arity);
+            let mut bound_vars = Vec::new();
+            for k in 0..arity {
+                if k == j {
+                    args.push(Term::Var(u));
+                } else {
+                    let vk = Var::new(&format!("__active_{}_{}_{}", rel.as_str(), j, k));
+                    bound_vars.push(vk);
+                    args.push(Term::Var(vk));
+                }
+            }
+            disjuncts.push(Query::exists_many(bound_vars, Query::Atom(rel, args)));
+        }
+    }
+    Query::disj(disjuncts)
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::True => write!(f, "true"),
+            Query::Atom(r, terms) => {
+                if terms.is_empty() {
+                    write!(f, "{r}")
+                } else {
+                    let args: Vec<String> = terms.iter().map(|t| t.to_string()).collect();
+                    write!(f, "{r}({})", args.join(","))
+                }
+            }
+            Query::Eq(a, b) => write!(f, "{a} = {b}"),
+            Query::Not(q) => write!(f, "!({q})"),
+            Query::And(a, b) => write!(f, "({a} & {b})"),
+            Query::Or(a, b) => write!(f, "({a} | {b})"),
+            Query::Exists(v, q) => write!(f, "exists {v}. ({q})"),
+            Query::Forall(v, q) => write!(f, "forall {v}. ({q})"),
+        }
+    }
+}
+
+impl fmt::Debug for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataValue;
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        // exists u. R(u, w)  — free: {w}
+        let q = Query::exists(v("u"), Query::atom(r("R"), [v("u"), v("w")]));
+        assert_eq!(q.free_vars(), BTreeSet::from([v("w")]));
+        assert_eq!(q.all_vars(), BTreeSet::from([v("u"), v("w")]));
+        assert!(!q.is_boolean());
+
+        // forall u. exists w. R(u,w) — boolean
+        let q2 = Query::forall(v("u"), Query::exists(v("w"), Query::atom(r("R"), [v("u"), v("w")])));
+        assert!(q2.is_boolean());
+        assert_eq!(q2.quantifier_depth(), 2);
+    }
+
+    #[test]
+    fn shadowing_inside_binder() {
+        // R(u) & exists u. Q(u): outer occurrence of u is free, inner is bound.
+        let q = Query::atom(r("R"), [v("u")]).and(Query::exists(v("u"), Query::atom(r("Q"), [v("u")])));
+        assert_eq!(q.free_vars(), BTreeSet::from([v("u")]));
+    }
+
+    #[test]
+    fn conj_disj_of_empty_lists() {
+        assert_eq!(Query::conj(vec![]), Query::True);
+        assert_eq!(Query::disj(vec![]), Query::false_());
+    }
+
+    #[test]
+    fn relations_and_constants() {
+        let q = Query::atom(r("R"), [Term::Var(v("u")), Term::Value(DataValue::e(7))])
+            .and(Query::prop(r("p")));
+        assert_eq!(q.relations(), BTreeSet::from([r("R"), r("p")]));
+        assert_eq!(q.constants(), BTreeSet::from([DataValue::e(7)]));
+    }
+
+    #[test]
+    fn ucq_detection() {
+        let ucq = Query::exists(
+            v("u"),
+            Query::atom(r("R"), [v("u")]).or(Query::atom(r("Q"), [v("u")])),
+        );
+        assert!(ucq.is_ucq());
+
+        let not_ucq = Query::atom(r("R"), [v("u")]).not();
+        assert!(!not_ucq.is_ucq());
+        let not_ucq2 = Query::forall(v("u"), Query::atom(r("R"), [v("u")]));
+        assert!(!not_ucq2.is_ucq());
+    }
+
+    #[test]
+    fn substitution_respects_binders() {
+        let map: std::collections::BTreeMap<Var, Term> =
+            [(v("u"), Term::Value(DataValue::e(3)))].into_iter().collect();
+        // R(u) & exists u. Q(u)  → R(e3) & exists u. Q(u)
+        let q = Query::atom(r("R"), [v("u")]).and(Query::exists(v("u"), Query::atom(r("Q"), [v("u")])));
+        let q2 = q.substitute_terms(&map);
+        assert_eq!(
+            q2,
+            Query::atom(r("R"), [Term::Value(DataValue::e(3))])
+                .and(Query::exists(v("u"), Query::atom(r("Q"), [v("u")])))
+        );
+    }
+
+    #[test]
+    fn active_query_shape() {
+        let schema = Schema::with_relations(&[("p", 0), ("R", 1), ("S", 2)]);
+        let q = active_query(&schema, v("u"));
+        // one disjunct per (relation, position): 1 (R) + 2 (S) = 3 atoms
+        let mut atoms = 0;
+        q.visit(&mut |sub| {
+            if matches!(sub, Query::Atom(..)) {
+                atoms += 1;
+            }
+        });
+        assert_eq!(atoms, 3);
+        assert_eq!(q.free_vars(), BTreeSet::from([v("u")]));
+        assert!(q.validate(&schema).is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_arity() {
+        let schema = Schema::with_relations(&[("R", 2)]);
+        let bad = Query::atom(r("R"), [v("u")]);
+        assert!(bad.validate(&schema).is_err());
+        let unknown = Query::atom(r("Zzz"), [v("u")]);
+        assert!(unknown.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let q = Query::exists(v("u"), Query::atom(r("R"), [v("u")]).and(Query::prop(r("p")).not()));
+        let s = format!("{q}");
+        assert!(s.contains("exists u."));
+        assert!(s.contains("R(u)"));
+        assert!(s.contains("!(p)"));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let q = Query::atom(r("R"), [v("u")]).and(Query::True);
+        assert_eq!(q.size(), 3);
+    }
+
+    #[test]
+    fn implies_is_not_or() {
+        let p = Query::prop(r("p"));
+        let q = Query::prop(r("q"));
+        let imp = p.clone().implies(q.clone());
+        assert_eq!(imp, p.not().or(q));
+    }
+}

@@ -1,0 +1,253 @@
+//! Relational schemas: finite sets of relation names with arities.
+
+use crate::error::DbError;
+use crate::symbol::Sym;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The name of a relation `R/a`. Cheap to copy and compare.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelName(pub Sym);
+
+impl RelName {
+    /// Create (or look up) a relation name.
+    pub fn new(name: &str) -> RelName {
+        RelName(Sym::new(name))
+    }
+
+    /// The textual name.
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Debug for RelName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for RelName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for RelName {
+    fn from(s: &str) -> Self {
+        RelName::new(s)
+    }
+}
+
+/// A relational schema `R = {R₁/a₁, …, R_n/a_n}`.
+///
+/// Nullary relations (`arity == 0`) are *propositions* in the paper's terminology: in an
+/// instance they are either the empty set (false) or the singleton `{R()}` (true).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    arities: BTreeMap<RelName, usize>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Build a schema from `(name, arity)` pairs.
+    ///
+    /// # Panics
+    /// Panics if the same name is given two different arities (use [`Schema::try_add`] for a
+    /// fallible variant).
+    pub fn with_relations(rels: &[(&str, usize)]) -> Schema {
+        let mut s = Schema::new();
+        for &(name, arity) in rels {
+            s.add_relation(name, arity);
+        }
+        s
+    }
+
+    /// Declare relation `name/arity`, returning its [`RelName`].
+    ///
+    /// Re-declaring an existing relation with the same arity is a no-op.
+    ///
+    /// # Panics
+    /// Panics if the relation was already declared with a different arity.
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> RelName {
+        self.try_add(name, arity)
+            .expect("conflicting arity for relation")
+    }
+
+    /// Fallible version of [`Schema::add_relation`].
+    pub fn try_add(&mut self, name: &str, arity: usize) -> Result<RelName, DbError> {
+        let rel = RelName::new(name);
+        match self.arities.get(&rel) {
+            Some(&a) if a != arity => Err(DbError::ConflictingArity {
+                relation: rel,
+                first: a,
+                second: arity,
+            }),
+            _ => {
+                self.arities.insert(rel, arity);
+                Ok(rel)
+            }
+        }
+    }
+
+    /// Declare a proposition (nullary relation).
+    pub fn add_proposition(&mut self, name: &str) -> RelName {
+        self.add_relation(name, 0)
+    }
+
+    /// The arity of `rel`, if declared.
+    pub fn arity(&self, rel: RelName) -> Option<usize> {
+        self.arities.get(&rel).copied()
+    }
+
+    /// Whether `rel` is declared in this schema.
+    pub fn contains(&self, rel: RelName) -> bool {
+        self.arities.contains_key(&rel)
+    }
+
+    /// Number of relations (including propositions).
+    pub fn len(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Whether the schema is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arities.is_empty()
+    }
+
+    /// Iterate over `(relation, arity)` pairs in deterministic (name) order.
+    pub fn relations(&self) -> impl Iterator<Item = (RelName, usize)> + '_ {
+        self.arities.iter().map(|(&r, &a)| (r, a))
+    }
+
+    /// Relations of non-zero arity.
+    pub fn non_nullary(&self) -> impl Iterator<Item = (RelName, usize)> + '_ {
+        self.relations().filter(|&(_, a)| a > 0)
+    }
+
+    /// Nullary relations (propositions).
+    pub fn propositions(&self) -> impl Iterator<Item = RelName> + '_ {
+        self.relations().filter(|&(_, a)| a == 0).map(|(r, _)| r)
+    }
+
+    /// Maximum arity over all relations (0 for an empty schema).
+    pub fn max_arity(&self) -> usize {
+        self.arities.values().copied().max().unwrap_or(0)
+    }
+
+    /// Merge another schema into this one.
+    pub fn merge(&mut self, other: &Schema) -> Result<(), DbError> {
+        for (rel, arity) in other.relations() {
+            match self.arities.get(&rel) {
+                Some(&a) if a != arity => {
+                    return Err(DbError::ConflictingArity {
+                        relation: rel,
+                        first: a,
+                        second: arity,
+                    })
+                }
+                _ => {
+                    self.arities.insert(rel, arity);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check that a fact `rel(args…)` with `n_args` arguments is well-formed for this schema.
+    pub fn check_arity(&self, rel: RelName, n_args: usize) -> Result<(), DbError> {
+        match self.arity(rel) {
+            None => Err(DbError::UnknownRelation(rel)),
+            Some(a) if a != n_args => Err(DbError::ArityMismatch {
+                relation: rel,
+                expected: a,
+                got: n_args,
+            }),
+            Some(_) => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query_schema() {
+        let mut s = Schema::new();
+        let p = s.add_proposition("p");
+        let r = s.add_relation("R", 1);
+        let succ = s.add_relation("Succ", 2);
+
+        assert_eq!(s.arity(p), Some(0));
+        assert_eq!(s.arity(r), Some(1));
+        assert_eq!(s.arity(succ), Some(2));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_arity(), 2);
+        assert!(s.contains(r));
+        assert!(!s.contains(RelName::new("Missing")));
+        assert_eq!(s.propositions().collect::<Vec<_>>(), vec![p]);
+        assert_eq!(s.non_nullary().count(), 2);
+    }
+
+    #[test]
+    fn redeclaration_same_arity_is_noop() {
+        let mut s = Schema::new();
+        let a = s.add_relation("R", 2);
+        let b = s.add_relation("R", 2);
+        assert_eq!(a, b);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_arity_is_an_error() {
+        let mut s = Schema::new();
+        s.add_relation("R", 2);
+        let err = s.try_add("R", 3).unwrap_err();
+        assert!(matches!(err, DbError::ConflictingArity { .. }));
+    }
+
+    #[test]
+    fn with_relations_constructor() {
+        let s = Schema::with_relations(&[("p", 0), ("R", 1), ("Q", 1)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_arity(), 1);
+    }
+
+    #[test]
+    fn check_arity_errors() {
+        let s = Schema::with_relations(&[("R", 2)]);
+        assert!(s.check_arity(RelName::new("R"), 2).is_ok());
+        assert!(matches!(
+            s.check_arity(RelName::new("R"), 1),
+            Err(DbError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_arity(RelName::new("S"), 1),
+            Err(DbError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn merge_schemas() {
+        let mut a = Schema::with_relations(&[("R", 1)]);
+        let b = Schema::with_relations(&[("Q", 2), ("R", 1)]);
+        a.merge(&b).unwrap();
+        assert_eq!(a.len(), 2);
+
+        let c = Schema::with_relations(&[("R", 3)]);
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new();
+        assert!(s.is_empty());
+        assert_eq!(s.max_arity(), 0);
+    }
+}

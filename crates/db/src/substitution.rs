@@ -1,0 +1,233 @@
+//! Substitutions: finite maps from data variables to data values.
+
+use crate::term::{Term, Var};
+use crate::value::DataValue;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A substitution `σ : V → ∆` assigning data values to a finite set of data variables.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Substitution {
+    map: BTreeMap<Var, DataValue>,
+}
+
+impl Substitution {
+    /// The empty substitution `ϵ`.
+    pub fn empty() -> Substitution {
+        Substitution::default()
+    }
+
+    /// Build a substitution from pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (Var, DataValue)>>(pairs: I) -> Substitution {
+        Substitution {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Bind `var ↦ value`, returning the previous binding if any.
+    pub fn bind(&mut self, var: Var, value: DataValue) -> Option<DataValue> {
+        self.map.insert(var, value)
+    }
+
+    /// A copy of this substitution extended with `var ↦ value`.
+    pub fn extended(&self, var: Var, value: DataValue) -> Substitution {
+        let mut s = self.clone();
+        s.bind(var, value);
+        s
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, var: Var) -> Option<DataValue> {
+        self.map.get(&var).copied()
+    }
+
+    /// Whether `var` is bound.
+    pub fn binds(&self, var: Var) -> bool {
+        self.map.contains_key(&var)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is bound (the empty substitution `ϵ`).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The domain of the substitution.
+    pub fn domain(&self) -> impl Iterator<Item = Var> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// The image of the substitution.
+    pub fn image(&self) -> BTreeSet<DataValue> {
+        self.map.values().copied().collect()
+    }
+
+    /// Iterate over `(var, value)` bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, DataValue)> + '_ {
+        self.map.iter().map(|(&v, &d)| (v, d))
+    }
+
+    /// The restriction `σ|_{V'}` of this substitution to the variables in `vars`.
+    pub fn restrict<'a, I: IntoIterator<Item = &'a Var>>(&self, vars: I) -> Substitution {
+        let keep: BTreeSet<Var> = vars.into_iter().copied().collect();
+        Substitution {
+            map: self
+                .map
+                .iter()
+                .filter(|(v, _)| keep.contains(v))
+                .map(|(&v, &d)| (v, d))
+                .collect(),
+        }
+    }
+
+    /// Whether the substitution is injective on its whole domain.
+    pub fn is_injective(&self) -> bool {
+        self.image().len() == self.map.len()
+    }
+
+    /// Whether the restriction to `vars` is injective (the paper requires `σ|_{⃗v}` to be
+    /// injective on the fresh-input variables).
+    pub fn is_injective_on<'a, I: IntoIterator<Item = &'a Var>>(&self, vars: I) -> bool {
+        let mut seen = BTreeSet::new();
+        for v in vars {
+            match self.get(*v) {
+                Some(d) => {
+                    if !seen.insert(d) {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Apply the substitution to a term, leaving unbound variables untouched.
+    pub fn apply_term(&self, term: Term) -> Term {
+        match term {
+            Term::Var(v) => match self.get(v) {
+                Some(d) => Term::Value(d),
+                None => Term::Var(v),
+            },
+            Term::Value(_) => term,
+        }
+    }
+
+    /// Merge two substitutions; `other` wins on conflicts.
+    pub fn merged(&self, other: &Substitution) -> Substitution {
+        let mut map = self.map.clone();
+        for (v, d) in other.iter() {
+            map.insert(v, d);
+        }
+        Substitution { map }
+    }
+
+    /// Whether two substitutions agree on every variable bound by both.
+    pub fn compatible(&self, other: &Substitution) -> bool {
+        self.iter()
+            .all(|(v, d)| other.get(v).map(|d2| d2 == d).unwrap_or(true))
+    }
+}
+
+impl fmt::Debug for Substitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let entries: Vec<String> = self.iter().map(|(v, d)| format!("{v}↦{d}")).collect();
+        write!(f, "{{{}}}", entries.join(", "))
+    }
+}
+
+impl fmt::Display for Substitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl FromIterator<(Var, DataValue)> for Substitution {
+    fn from_iter<T: IntoIterator<Item = (Var, DataValue)>>(iter: T) -> Self {
+        Substitution::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+
+    #[test]
+    fn bind_get_restrict() {
+        let mut s = Substitution::empty();
+        assert!(s.is_empty());
+        s.bind(v("u"), DataValue::e(1));
+        s.bind(v("w"), DataValue::e(2));
+        assert_eq!(s.get(v("u")), Some(DataValue::e(1)));
+        assert_eq!(s.get(v("z")), None);
+        assert_eq!(s.len(), 2);
+
+        let r = s.restrict(&[v("u")]);
+        assert_eq!(r.len(), 1);
+        assert!(r.binds(v("u")));
+        assert!(!r.binds(v("w")));
+    }
+
+    #[test]
+    fn injectivity() {
+        let s = Substitution::from_pairs([
+            (v("a"), DataValue::e(1)),
+            (v("b"), DataValue::e(1)),
+            (v("c"), DataValue::e(2)),
+        ]);
+        assert!(!s.is_injective());
+        assert!(s.is_injective_on(&[v("a"), v("c")]));
+        assert!(!s.is_injective_on(&[v("a"), v("b")]));
+        // unbound variable makes injectivity-on fail
+        assert!(!s.is_injective_on(&[v("a"), v("zz")]));
+    }
+
+    #[test]
+    fn apply_term_and_merge() {
+        let s = Substitution::from_pairs([(v("u"), DataValue::e(4))]);
+        assert_eq!(s.apply_term(Term::Var(v("u"))), Term::Value(DataValue::e(4)));
+        assert_eq!(s.apply_term(Term::Var(v("x"))), Term::Var(v("x")));
+        assert_eq!(
+            s.apply_term(Term::Value(DataValue::e(9))),
+            Term::Value(DataValue::e(9))
+        );
+
+        let t = Substitution::from_pairs([(v("u"), DataValue::e(5)), (v("w"), DataValue::e(6))]);
+        let m = s.merged(&t);
+        assert_eq!(m.get(v("u")), Some(DataValue::e(5)));
+        assert_eq!(m.get(v("w")), Some(DataValue::e(6)));
+    }
+
+    #[test]
+    fn compatibility() {
+        let s = Substitution::from_pairs([(v("u"), DataValue::e(1))]);
+        let t = Substitution::from_pairs([(v("u"), DataValue::e(1)), (v("w"), DataValue::e(2))]);
+        let u2 = Substitution::from_pairs([(v("u"), DataValue::e(3))]);
+        assert!(s.compatible(&t));
+        assert!(!u2.compatible(&s));
+    }
+
+    #[test]
+    fn extended_does_not_mutate_original() {
+        let s = Substitution::empty();
+        let s2 = s.extended(v("u"), DataValue::e(1));
+        assert!(s.is_empty());
+        assert_eq!(s2.len(), 1);
+    }
+
+    #[test]
+    fn image_and_domain() {
+        let s = Substitution::from_pairs([(v("a"), DataValue::e(1)), (v("b"), DataValue::e(1))]);
+        assert_eq!(s.image().len(), 1);
+        assert_eq!(s.domain().count(), 2);
+    }
+}

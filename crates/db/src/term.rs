@@ -1,0 +1,137 @@
+//! Variables and terms.
+
+use crate::symbol::Sym;
+use crate::value::DataValue;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A first-order **data variable** (`u, v, u₁, …` in the paper, elements of `Vars_data`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Var(pub Sym);
+
+impl Var {
+    /// Create (or look up) a variable by name.
+    pub fn new(name: &str) -> Var {
+        Var(Sym::new(name))
+    }
+
+    /// The variable's name.
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// A family of numbered variables `base0, base1, …` — convenient for generated constructions
+    /// (e.g. the bulk-operation compilation of Appendix F.4).
+    pub fn numbered(base: &str, i: usize) -> Var {
+        Var::new(&format!("{base}{i}"))
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+/// A term: either a data variable or a concrete data value.
+///
+/// Terms appear as arguments of query atoms and of the `Del` / `Add` patterns of actions.
+/// Concrete values in terms are how the *constants* extension of the paper (Appendix F.1) is
+/// surfaced; the constant-removal transformation compiles them away.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Term {
+    /// A data variable.
+    Var(Var),
+    /// A constant data value.
+    Value(DataValue),
+}
+
+impl Term {
+    /// The variable inside, if this term is a variable.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Value(_) => None,
+        }
+    }
+
+    /// The value inside, if this term is a constant.
+    pub fn as_value(&self) -> Option<DataValue> {
+        match self {
+            Term::Var(_) => None,
+            Term::Value(v) => Some(*v),
+        }
+    }
+
+    /// Whether this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            // Constants use the parser's `$N` syntax so that `Query::to_string` round-trips
+            // through `parse_query`.
+            Term::Value(c) => write!(f, "${}", c.index()),
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<DataValue> for Term {
+    fn from(v: DataValue) -> Self {
+        Term::Value(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_creation_and_display() {
+        let u = Var::new("u");
+        assert_eq!(u.as_str(), "u");
+        assert_eq!(format!("{u}"), "u");
+        assert_eq!(Var::numbered("x", 3), Var::new("x3"));
+    }
+
+    #[test]
+    fn term_projections() {
+        let t: Term = Var::new("u").into();
+        assert!(t.is_var());
+        assert_eq!(t.as_var(), Some(Var::new("u")));
+        assert_eq!(t.as_value(), None);
+
+        let c: Term = DataValue::e(5).into();
+        assert!(!c.is_var());
+        assert_eq!(c.as_value(), Some(DataValue::e(5)));
+        assert_eq!(c.as_var(), None);
+    }
+
+    #[test]
+    fn term_display() {
+        assert_eq!(format!("{}", Term::Var(Var::new("v"))), "v");
+        assert_eq!(format!("{}", Term::Value(DataValue::e(2))), "$2");
+    }
+}

@@ -1,0 +1,70 @@
+//! Data values: elements of the countably infinite domain `∆` of standard names.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A data value, i.e. an element of the countably infinite data domain `∆`.
+///
+/// The paper treats `∆` as a set of uninterpreted standard names `{e₁, e₂, …}`; the only
+/// operation available on values is equality. We realise `∆` as the natural numbers. The
+/// canonical-run machinery of `rdms-core` relies on the total order `e_i < e_j ⇔ i < j`,
+/// exactly as Section 6.1 of the paper does when defining canonical runs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DataValue(pub u64);
+
+impl DataValue {
+    /// The `i`-th standard name `e_i` (1-based, mirroring the paper's `e₁, e₂, …`).
+    pub fn e(i: u64) -> DataValue {
+        DataValue(i)
+    }
+
+    /// Raw index of this value.
+    pub fn index(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for DataValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for DataValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u64> for DataValue {
+    fn from(v: u64) -> Self {
+        DataValue(v)
+    }
+}
+
+/// A tuple of data values — the payload of a fact `R(e₁, …, e_a)`.
+pub type Tuple = Vec<DataValue>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(DataValue::e(1) < DataValue::e(2));
+        assert_eq!(DataValue::e(7), DataValue(7));
+        assert_eq!(DataValue::e(7).index(), 7);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(format!("{}", DataValue::e(3)), "e3");
+        assert_eq!(format!("{:?}", DataValue::e(3)), "e3");
+    }
+
+    #[test]
+    fn from_u64() {
+        let v: DataValue = 9u64.into();
+        assert_eq!(v, DataValue::e(9));
+    }
+}

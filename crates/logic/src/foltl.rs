@@ -1,0 +1,344 @@
+//! FO-LTL: linear temporal logic with FOL(R) atoms and rigid first-order data
+//! quantification.
+//!
+//! The paper points out that MSO-FO subsumes FO-LTL (its introduction formalises
+//! "every enrolled student eventually graduates" both ways). This module gives FO-LTL as a
+//! first-class fragment: it is what most users actually write, its finite-prefix evaluation
+//! is polynomial (no second-order quantification), and its translation into MSO-FO
+//! ([`FoLtl::to_msofo`]) exercises the paper's expressiveness claim.
+
+use crate::msofo::{MsoFo, PosVar};
+use rdms_db::{Instance, Query, Substitution, Var};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An FO-LTL formula.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FoLtl {
+    /// An FOL(R) query evaluated at the current position.
+    Query(Query),
+    /// Negation.
+    Not(Box<FoLtl>),
+    /// Conjunction.
+    And(Box<FoLtl>, Box<FoLtl>),
+    /// Disjunction.
+    Or(Box<FoLtl>, Box<FoLtl>),
+    /// Next.
+    Next(Box<FoLtl>),
+    /// Globally (always, from the current position on).
+    Globally(Box<FoLtl>),
+    /// Finally (eventually, from the current position on).
+    Finally(Box<FoLtl>),
+    /// Until.
+    Until(Box<FoLtl>, Box<FoLtl>),
+    /// Rigid existential data quantification over the global active domain.
+    ExistsData(Var, Box<FoLtl>),
+    /// Rigid universal data quantification over the global active domain.
+    ForallData(Var, Box<FoLtl>),
+}
+
+impl FoLtl {
+    /// Atomic query.
+    pub fn query(q: Query) -> FoLtl {
+        FoLtl::Query(q)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> FoLtl {
+        FoLtl::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: FoLtl) -> FoLtl {
+        FoLtl::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: FoLtl) -> FoLtl {
+        FoLtl::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Implication.
+    pub fn implies(self, other: FoLtl) -> FoLtl {
+        self.not().or(other)
+    }
+
+    /// `X φ`.
+    pub fn next(self) -> FoLtl {
+        FoLtl::Next(Box::new(self))
+    }
+
+    /// `G φ`.
+    pub fn globally(self) -> FoLtl {
+        FoLtl::Globally(Box::new(self))
+    }
+
+    /// `F φ`.
+    pub fn finally(self) -> FoLtl {
+        FoLtl::Finally(Box::new(self))
+    }
+
+    /// `φ U ψ`.
+    pub fn until(self, other: FoLtl) -> FoLtl {
+        FoLtl::Until(Box::new(self), Box::new(other))
+    }
+
+    /// `∃u. φ` (rigid, over the run's global active domain).
+    pub fn exists_data(u: Var, body: FoLtl) -> FoLtl {
+        FoLtl::ExistsData(u, Box::new(body))
+    }
+
+    /// `∀u. φ` (rigid).
+    pub fn forall_data(u: Var, body: FoLtl) -> FoLtl {
+        FoLtl::ForallData(u, Box::new(body))
+    }
+
+    /// Evaluate over a finite run prefix at position `position` (finite-trace semantics:
+    /// `G` means "for the rest of the prefix", `X` is false at the last position).
+    pub fn eval_at(
+        &self,
+        run: &[Instance],
+        data: &Substitution,
+        position: usize,
+    ) -> bool {
+        match self {
+            FoLtl::Query(q) => {
+                let instance = &run[position];
+                let free: Vec<Var> = q.free_vars().into_iter().collect();
+                let sub = data.restrict(free.iter());
+                let adom = instance.active_domain();
+                for u in &free {
+                    match sub.get(*u) {
+                        Some(value) if adom.contains(&value) => {}
+                        _ => return false,
+                    }
+                }
+                rdms_db::eval::holds(instance, &sub, q).unwrap_or(false)
+            }
+            FoLtl::Not(p) => !p.eval_at(run, data, position),
+            FoLtl::And(a, b) => a.eval_at(run, data, position) && b.eval_at(run, data, position),
+            FoLtl::Or(a, b) => a.eval_at(run, data, position) || b.eval_at(run, data, position),
+            FoLtl::Next(p) => position + 1 < run.len() && p.eval_at(run, data, position + 1),
+            FoLtl::Globally(p) => (position..run.len()).all(|i| p.eval_at(run, data, i)),
+            FoLtl::Finally(p) => (position..run.len()).any(|i| p.eval_at(run, data, i)),
+            FoLtl::Until(a, b) => (position..run.len()).any(|i| {
+                b.eval_at(run, data, i) && (position..i).all(|j| a.eval_at(run, data, j))
+            }),
+            FoLtl::ExistsData(u, p) => crate::msofo::global_adom(run).into_iter().any(|e| {
+                let mut d = data.clone();
+                d.bind(*u, e);
+                p.eval_at(run, &d, position)
+            }),
+            FoLtl::ForallData(u, p) => crate::msofo::global_adom(run).into_iter().all(|e| {
+                let mut d = data.clone();
+                d.bind(*u, e);
+                p.eval_at(run, &d, position)
+            }),
+        }
+    }
+
+    /// Evaluate a closed formula from the first position of a non-empty run prefix.
+    pub fn eval(&self, run: &[Instance]) -> bool {
+        !run.is_empty() && self.eval_at(run, &Substitution::empty(), 0)
+    }
+
+    /// Translate into MSO-FO, evaluated at the position denoted by `at`. `next_var` is the
+    /// index from which fresh position variables may be allocated.
+    pub fn to_msofo_at(&self, at: PosVar, next_var: u32) -> MsoFo {
+        match self {
+            FoLtl::Query(q) => MsoFo::QueryAt(q.clone(), at),
+            FoLtl::Not(p) => p.to_msofo_at(at, next_var).not(),
+            FoLtl::And(a, b) => a.to_msofo_at(at, next_var).and(b.to_msofo_at(at, next_var)),
+            FoLtl::Or(a, b) => a.to_msofo_at(at, next_var).or(b.to_msofo_at(at, next_var)),
+            FoLtl::Next(p) => {
+                let y = PosVar(next_var);
+                let z = PosVar(next_var + 1);
+                // ∃y. y = x+1 ∧ φ(y): y > x ∧ ¬∃z. x < z < y
+                MsoFo::exists_pos(
+                    y,
+                    MsoFo::Less(at, y)
+                        .and(
+                            MsoFo::exists_pos(z, MsoFo::Less(at, z).and(MsoFo::Less(z, y))).not(),
+                        )
+                        .and(p.to_msofo_at(y, next_var + 2)),
+                )
+            }
+            FoLtl::Globally(p) => {
+                let y = PosVar(next_var);
+                MsoFo::forall_pos(
+                    y,
+                    MsoFo::Less(at, y)
+                        .or(MsoFo::PosEq(at, y))
+                        .implies(p.to_msofo_at(y, next_var + 1)),
+                )
+            }
+            FoLtl::Finally(p) => {
+                let y = PosVar(next_var);
+                MsoFo::exists_pos(
+                    y,
+                    MsoFo::Less(at, y)
+                        .or(MsoFo::PosEq(at, y))
+                        .and(p.to_msofo_at(y, next_var + 1)),
+                )
+            }
+            FoLtl::Until(a, b) => {
+                let y = PosVar(next_var);
+                let z = PosVar(next_var + 1);
+                MsoFo::exists_pos(
+                    y,
+                    MsoFo::Less(at, y)
+                        .or(MsoFo::PosEq(at, y))
+                        .and(b.to_msofo_at(y, next_var + 2))
+                        .and(MsoFo::forall_pos(
+                            z,
+                            MsoFo::Less(at, z)
+                                .or(MsoFo::PosEq(at, z))
+                                .and(MsoFo::Less(z, y))
+                                .implies(a.to_msofo_at(z, next_var + 2)),
+                        )),
+                )
+            }
+            FoLtl::ExistsData(u, p) => MsoFo::exists_data(*u, p.to_msofo_at(at, next_var)),
+            FoLtl::ForallData(u, p) => MsoFo::forall_data(*u, p.to_msofo_at(at, next_var)),
+        }
+    }
+
+    /// Translate a closed formula into an MSO-FO sentence (anchored at the first position).
+    pub fn to_msofo(&self) -> MsoFo {
+        let x0 = PosVar(0);
+        let scratch = PosVar(1);
+        // ∃x₀. first(x₀) ∧ φ(x₀)
+        MsoFo::exists_pos(
+            x0,
+            MsoFo::exists_pos(scratch, MsoFo::Less(scratch, x0)).not().and(self.to_msofo_at(x0, 2)),
+        )
+    }
+}
+
+impl fmt::Debug for FoLtl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoLtl::Query(q) => write!(f, "{q}"),
+            FoLtl::Not(p) => write!(f, "¬({p:?})"),
+            FoLtl::And(a, b) => write!(f, "({a:?} ∧ {b:?})"),
+            FoLtl::Or(a, b) => write!(f, "({a:?} ∨ {b:?})"),
+            FoLtl::Next(p) => write!(f, "X({p:?})"),
+            FoLtl::Globally(p) => write!(f, "G({p:?})"),
+            FoLtl::Finally(p) => write!(f, "F({p:?})"),
+            FoLtl::Until(a, b) => write!(f, "({a:?} U {b:?})"),
+            FoLtl::ExistsData(u, p) => write!(f, "∃{u}.({p:?})"),
+            FoLtl::ForallData(u, p) => write!(f, "∀{u}.({p:?})"),
+        }
+    }
+}
+
+/// Verify that the MSO-FO translation and the native finite-trace semantics agree on a run
+/// prefix (used by property tests and by the checker's self-checks).
+pub fn translation_agrees(formula: &FoLtl, run: &[Instance]) -> bool {
+    if run.is_empty() {
+        return true;
+    }
+    formula.eval(run) == crate::msofo::eval_sentence(run, &formula.to_msofo())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdms_db::{DataValue, RelName};
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+    fn e(i: u64) -> DataValue {
+        DataValue::e(i)
+    }
+
+    fn run() -> Vec<Instance> {
+        vec![
+            Instance::from_facts([(r("p"), vec![]), (r("Enrolled"), vec![e(1)])]),
+            Instance::from_facts([(r("Enrolled"), vec![e(1)]), (r("Enrolled"), vec![e(2)])]),
+            Instance::from_facts([(r("p"), vec![]), (r("Graduated"), vec![e(1)]), (r("Enrolled"), vec![e(2)])]),
+        ]
+    }
+
+    #[test]
+    fn temporal_operators_finite_trace() {
+        let run = run();
+        let p = FoLtl::query(Query::prop(r("p")));
+        assert!(p.clone().eval(&run)); // p at position 0
+        assert!(!p.clone().globally().eval(&run)); // fails at position 1
+        assert!(p.clone().finally().eval(&run));
+        assert!(p.clone().next().not().eval(&run)); // p does not hold at position 1
+        // p U Enrolled(e2)? Enrolled(e2) first true at position 1, p holds at 0: true
+        let enrolled2 = FoLtl::query(Query::atom(r("Enrolled"), [rdms_db::Term::Value(e(2))]));
+        assert!(p.clone().until(enrolled2).eval(&run));
+        // X at the last position is false
+        let x3 = FoLtl::query(Query::True).next().next().next();
+        assert!(!x3.eval(&run));
+    }
+
+    #[test]
+    fn student_property_in_foltl() {
+        // ∀u. G( Enrolled(u) ⇒ F Graduated(u) )
+        let run = run();
+        let u = v("u");
+        let phi = FoLtl::forall_data(
+            u,
+            FoLtl::query(Query::atom(r("Enrolled"), [u]))
+                .implies(FoLtl::query(Query::atom(r("Graduated"), [u])).finally())
+                .globally(),
+        );
+        // e2 never graduates in the prefix
+        assert!(!phi.eval(&run));
+
+        // ∃u that does graduate
+        let psi = FoLtl::exists_data(u, FoLtl::query(Query::atom(r("Graduated"), [u])).finally());
+        assert!(psi.eval(&run));
+    }
+
+    #[test]
+    fn translation_to_msofo_agrees_on_prefixes() {
+        let run = run();
+        let u = v("u");
+        let formulas = vec![
+            FoLtl::query(Query::prop(r("p"))),
+            FoLtl::query(Query::prop(r("p"))).globally(),
+            FoLtl::query(Query::prop(r("p"))).finally(),
+            FoLtl::query(Query::prop(r("p"))).next(),
+            FoLtl::query(Query::prop(r("p"))).until(FoLtl::query(Query::atom(r("Graduated"), [u])).exists_data_wrap(u)),
+            FoLtl::forall_data(
+                u,
+                FoLtl::query(Query::atom(r("Enrolled"), [u]))
+                    .implies(FoLtl::query(Query::atom(r("Graduated"), [u])).finally())
+                    .globally(),
+            ),
+        ];
+        for phi in formulas {
+            assert!(
+                translation_agrees(&phi, &run),
+                "translation disagreement for {phi:?}"
+            );
+            // also on shorter prefixes
+            assert!(translation_agrees(&phi, &run[..1]));
+            assert!(translation_agrees(&phi, &run[..2]));
+        }
+    }
+
+    impl FoLtl {
+        /// test helper: wrap with ∃ data quantifier
+        fn exists_data_wrap(self, u: Var) -> FoLtl {
+            FoLtl::exists_data(u, self)
+        }
+    }
+
+    #[test]
+    fn empty_run_prefix_satisfies_nothing() {
+        let phi = FoLtl::query(Query::True);
+        assert!(!phi.eval(&[]));
+        assert!(translation_agrees(&phi, &[]));
+    }
+}

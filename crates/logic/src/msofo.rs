@@ -1,0 +1,599 @@
+//! MSO-FO: monadic second-order logic over runs with FOL(R) queries as atoms (Section 4 and
+//! Appendix B of the paper).
+
+use rdms_db::{eval as query_eval, Instance, Query, Substitution, Var};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A first-order **position** variable (`x, y, …` in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PosVar(pub u32);
+
+/// A second-order **set-of-positions** variable (`X, Y, …`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SetVar(pub u32);
+
+impl fmt::Debug for PosVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Debug for SetVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// An MSO-FO formula.
+///
+/// ```text
+/// φ ::= Q@x | x < y | x ∈ X | ¬φ | φ ∧ φ | ∃x.φ | ∃X.φ | ∃g u.φ
+/// ```
+///
+/// As for the other logics in this workspace, `∨`, `∀` and `∀g` are kept as first-class
+/// constructors.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MsoFo {
+    /// The constant true.
+    True,
+    /// `Q@x`: the FOL(R) query `Q` holds in the database instance at position `x`. Free data
+    /// variables of `Q` refer to enclosing `∃g`/`∀g` binders (or to the ambient data
+    /// assignment).
+    QueryAt(Query, PosVar),
+    /// `x < y`.
+    Less(PosVar, PosVar),
+    /// `x = y`.
+    PosEq(PosVar, PosVar),
+    /// `x ∈ X`.
+    In(PosVar, SetVar),
+    /// Negation.
+    Not(Box<MsoFo>),
+    /// Conjunction.
+    And(Box<MsoFo>, Box<MsoFo>),
+    /// Disjunction.
+    Or(Box<MsoFo>, Box<MsoFo>),
+    /// `∃x.φ`.
+    ExistsPos(PosVar, Box<MsoFo>),
+    /// `∀x.φ`.
+    ForallPos(PosVar, Box<MsoFo>),
+    /// `∃X.φ`.
+    ExistsSet(SetVar, Box<MsoFo>),
+    /// `∀X.φ`.
+    ForallSet(SetVar, Box<MsoFo>),
+    /// `∃g u.φ`: there is a data value in the *global* active domain of the run.
+    ExistsData(Var, Box<MsoFo>),
+    /// `∀g u.φ`.
+    ForallData(Var, Box<MsoFo>),
+}
+
+impl MsoFo {
+    /// The constant false.
+    pub fn false_() -> MsoFo {
+        MsoFo::True.not()
+    }
+
+    /// `Q@x`.
+    pub fn query_at(query: Query, x: PosVar) -> MsoFo {
+        MsoFo::QueryAt(query, x)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> MsoFo {
+        MsoFo::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: MsoFo) -> MsoFo {
+        MsoFo::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: MsoFo) -> MsoFo {
+        MsoFo::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Implication.
+    pub fn implies(self, other: MsoFo) -> MsoFo {
+        self.not().or(other)
+    }
+
+    /// `∃x.φ`.
+    pub fn exists_pos(x: PosVar, body: MsoFo) -> MsoFo {
+        MsoFo::ExistsPos(x, Box::new(body))
+    }
+
+    /// `∀x.φ`.
+    pub fn forall_pos(x: PosVar, body: MsoFo) -> MsoFo {
+        MsoFo::ForallPos(x, Box::new(body))
+    }
+
+    /// `∃X.φ`.
+    pub fn exists_set(x: SetVar, body: MsoFo) -> MsoFo {
+        MsoFo::ExistsSet(x, Box::new(body))
+    }
+
+    /// `∀X.φ`.
+    pub fn forall_set(x: SetVar, body: MsoFo) -> MsoFo {
+        MsoFo::ForallSet(x, Box::new(body))
+    }
+
+    /// `∃g u.φ`.
+    pub fn exists_data(u: Var, body: MsoFo) -> MsoFo {
+        MsoFo::ExistsData(u, Box::new(body))
+    }
+
+    /// `∀g u.φ`.
+    pub fn forall_data(u: Var, body: MsoFo) -> MsoFo {
+        MsoFo::ForallData(u, Box::new(body))
+    }
+
+    /// Conjunction of many formulae.
+    pub fn conj<I: IntoIterator<Item = MsoFo>>(items: I) -> MsoFo {
+        let mut iter = items.into_iter();
+        match iter.next() {
+            None => MsoFo::True,
+            Some(first) => iter.fold(first, MsoFo::and),
+        }
+    }
+
+    /// Disjunction of many formulae.
+    pub fn disj<I: IntoIterator<Item = MsoFo>>(items: I) -> MsoFo {
+        let mut iter = items.into_iter();
+        match iter.next() {
+            None => MsoFo::false_(),
+            Some(first) => iter.fold(first, MsoFo::or),
+        }
+    }
+
+    /// The free position variables.
+    pub fn free_pos_vars(&self) -> BTreeSet<PosVar> {
+        let mut free = BTreeSet::new();
+        self.walk_free(&mut BTreeSet::new(), &mut BTreeSet::new(), &mut BTreeSet::new(), &mut |v, bound| {
+            if let FreeOccurrence::Pos(x) = v {
+                if !bound {
+                    free.insert(x);
+                }
+            }
+        });
+        free
+    }
+
+    /// The free set variables.
+    pub fn free_set_vars(&self) -> BTreeSet<SetVar> {
+        let mut free = BTreeSet::new();
+        self.walk_free(&mut BTreeSet::new(), &mut BTreeSet::new(), &mut BTreeSet::new(), &mut |v, bound| {
+            if let FreeOccurrence::Set(x) = v {
+                if !bound {
+                    free.insert(x);
+                }
+            }
+        });
+        free
+    }
+
+    /// The free data variables (data variables of embedded queries not bound by `∃g`/`∀g`).
+    pub fn free_data_vars(&self) -> BTreeSet<Var> {
+        let mut free = BTreeSet::new();
+        self.walk_free(&mut BTreeSet::new(), &mut BTreeSet::new(), &mut BTreeSet::new(), &mut |v, bound| {
+            if let FreeOccurrence::Data(x) = v {
+                if !bound {
+                    free.insert(x);
+                }
+            }
+        });
+        free
+    }
+
+    /// Whether the formula is a sentence.
+    pub fn is_sentence(&self) -> bool {
+        self.free_pos_vars().is_empty()
+            && self.free_set_vars().is_empty()
+            && self.free_data_vars().is_empty()
+    }
+
+    /// Whether the formula is first-order (contains no set quantifier and no set atom) —
+    /// the FO-LTL-expressible fragment handled natively by the explorer engine.
+    pub fn is_first_order(&self) -> bool {
+        match self {
+            MsoFo::In(..) | MsoFo::ExistsSet(..) | MsoFo::ForallSet(..) => false,
+            MsoFo::True | MsoFo::QueryAt(..) | MsoFo::Less(..) | MsoFo::PosEq(..) => true,
+            MsoFo::Not(p)
+            | MsoFo::ExistsPos(_, p)
+            | MsoFo::ForallPos(_, p)
+            | MsoFo::ExistsData(_, p)
+            | MsoFo::ForallData(_, p) => p.is_first_order(),
+            MsoFo::And(a, b) | MsoFo::Or(a, b) => a.is_first_order() && b.is_first_order(),
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            MsoFo::True | MsoFo::Less(..) | MsoFo::PosEq(..) | MsoFo::In(..) => 1,
+            MsoFo::QueryAt(q, _) => 1 + q.size(),
+            MsoFo::Not(p)
+            | MsoFo::ExistsPos(_, p)
+            | MsoFo::ForallPos(_, p)
+            | MsoFo::ExistsSet(_, p)
+            | MsoFo::ForallSet(_, p)
+            | MsoFo::ExistsData(_, p)
+            | MsoFo::ForallData(_, p) => 1 + p.size(),
+            MsoFo::And(a, b) | MsoFo::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// The number of data variables appearing in the formula (the parameter `n` in the
+    /// paper's complexity statement of Section 6.6).
+    pub fn num_data_vars(&self) -> usize {
+        let mut vars: BTreeSet<Var> = BTreeSet::new();
+        self.visit(&mut |f| {
+            if let MsoFo::QueryAt(q, _) = f {
+                vars.extend(q.all_vars());
+            }
+            if let MsoFo::ExistsData(u, _) | MsoFo::ForallData(u, _) = f {
+                vars.insert(*u);
+            }
+        });
+        vars.len()
+    }
+
+    /// Visit every subformula (pre-order).
+    pub fn visit<F: FnMut(&MsoFo)>(&self, f: &mut F) {
+        f(self);
+        match self {
+            MsoFo::True | MsoFo::QueryAt(..) | MsoFo::Less(..) | MsoFo::PosEq(..) | MsoFo::In(..) => {}
+            MsoFo::Not(p)
+            | MsoFo::ExistsPos(_, p)
+            | MsoFo::ForallPos(_, p)
+            | MsoFo::ExistsSet(_, p)
+            | MsoFo::ForallSet(_, p)
+            | MsoFo::ExistsData(_, p)
+            | MsoFo::ForallData(_, p) => p.visit(f),
+            MsoFo::And(a, b) | MsoFo::Or(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn walk_free(
+        &self,
+        bound_pos: &mut BTreeSet<PosVar>,
+        bound_set: &mut BTreeSet<SetVar>,
+        bound_data: &mut BTreeSet<Var>,
+        report: &mut impl FnMut(FreeOccurrence, bool),
+    ) {
+        match self {
+            MsoFo::True => {}
+            MsoFo::QueryAt(q, x) => {
+                report(FreeOccurrence::Pos(*x), bound_pos.contains(x));
+                for u in q.free_vars() {
+                    report(FreeOccurrence::Data(u), bound_data.contains(&u));
+                }
+            }
+            MsoFo::Less(x, y) | MsoFo::PosEq(x, y) => {
+                report(FreeOccurrence::Pos(*x), bound_pos.contains(x));
+                report(FreeOccurrence::Pos(*y), bound_pos.contains(y));
+            }
+            MsoFo::In(x, set) => {
+                report(FreeOccurrence::Pos(*x), bound_pos.contains(x));
+                report(FreeOccurrence::Set(*set), bound_set.contains(set));
+            }
+            MsoFo::Not(p) => p.walk_free(bound_pos, bound_set, bound_data, report),
+            MsoFo::And(a, b) | MsoFo::Or(a, b) => {
+                a.walk_free(bound_pos, bound_set, bound_data, report);
+                b.walk_free(bound_pos, bound_set, bound_data, report);
+            }
+            MsoFo::ExistsPos(x, p) | MsoFo::ForallPos(x, p) => {
+                let newly = bound_pos.insert(*x);
+                p.walk_free(bound_pos, bound_set, bound_data, report);
+                if newly {
+                    bound_pos.remove(x);
+                }
+            }
+            MsoFo::ExistsSet(x, p) | MsoFo::ForallSet(x, p) => {
+                let newly = bound_set.insert(*x);
+                p.walk_free(bound_pos, bound_set, bound_data, report);
+                if newly {
+                    bound_set.remove(x);
+                }
+            }
+            MsoFo::ExistsData(u, p) | MsoFo::ForallData(u, p) => {
+                let newly = bound_data.insert(*u);
+                p.walk_free(bound_pos, bound_set, bound_data, report);
+                if newly {
+                    bound_data.remove(u);
+                }
+            }
+        }
+    }
+}
+
+enum FreeOccurrence {
+    Pos(PosVar),
+    Set(SetVar),
+    Data(Var),
+}
+
+impl fmt::Debug for MsoFo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsoFo::True => write!(f, "true"),
+            MsoFo::QueryAt(q, x) => write!(f, "({q})@{x:?}"),
+            MsoFo::Less(x, y) => write!(f, "{x:?} < {y:?}"),
+            MsoFo::PosEq(x, y) => write!(f, "{x:?} = {y:?}"),
+            MsoFo::In(x, s) => write!(f, "{x:?} ∈ {s:?}"),
+            MsoFo::Not(p) => write!(f, "¬({p:?})"),
+            MsoFo::And(a, b) => write!(f, "({a:?} ∧ {b:?})"),
+            MsoFo::Or(a, b) => write!(f, "({a:?} ∨ {b:?})"),
+            MsoFo::ExistsPos(x, p) => write!(f, "∃{x:?}.({p:?})"),
+            MsoFo::ForallPos(x, p) => write!(f, "∀{x:?}.({p:?})"),
+            MsoFo::ExistsSet(x, p) => write!(f, "∃{x:?}.({p:?})"),
+            MsoFo::ForallSet(x, p) => write!(f, "∀{x:?}.({p:?})"),
+            MsoFo::ExistsData(u, p) => write!(f, "∃g {u}.({p:?})"),
+            MsoFo::ForallData(u, p) => write!(f, "∀g {u}.({p:?})"),
+        }
+    }
+}
+
+/// An assignment of the free variables of an MSO-FO formula over a (finite prefix of a) run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunAssignment {
+    /// Position variables.
+    pub pos: BTreeMap<PosVar, usize>,
+    /// Set variables.
+    pub sets: BTreeMap<SetVar, BTreeSet<usize>>,
+    /// Data variables.
+    pub data: Substitution,
+}
+
+impl RunAssignment {
+    /// The empty assignment.
+    pub fn new() -> RunAssignment {
+        RunAssignment::default()
+    }
+}
+
+/// Evaluate an MSO-FO formula over a **finite run prefix** `ρ = I₀ … I_{n−1}` under an
+/// assignment (Appendix B semantics, with positions ranging over the prefix).
+///
+/// The paper's runs are infinite; every verification engine in this workspace works with
+/// finite prefixes of a user-chosen depth (see DESIGN.md for the discussion of this
+/// substitution), so this evaluator is the reference semantics for those engines.
+///
+/// Note the Appendix B proviso on `Q@x`: the data substitution must land inside `adom(I_x)`;
+/// values outside make the atom false rather than erroneous.
+pub fn eval(run: &[Instance], assignment: &RunAssignment, formula: &MsoFo) -> bool {
+    match formula {
+        MsoFo::True => true,
+        MsoFo::QueryAt(q, x) => {
+            let i = assignment.pos[x];
+            let instance = &run[i];
+            let free: Vec<Var> = q.free_vars().into_iter().collect();
+            let sub = assignment.data.restrict(free.iter());
+            // every free data variable must be bound and denote an active value of I_x
+            let adom = instance.active_domain();
+            for u in &free {
+                match sub.get(*u) {
+                    Some(value) if adom.contains(&value) => {}
+                    _ => return false,
+                }
+            }
+            query_eval::holds(instance, &sub, q).unwrap_or(false)
+        }
+        MsoFo::Less(x, y) => assignment.pos[x] < assignment.pos[y],
+        MsoFo::PosEq(x, y) => assignment.pos[x] == assignment.pos[y],
+        MsoFo::In(x, set) => assignment.sets[set].contains(&assignment.pos[x]),
+        MsoFo::Not(p) => !eval(run, assignment, p),
+        MsoFo::And(a, b) => eval(run, assignment, a) && eval(run, assignment, b),
+        MsoFo::Or(a, b) => eval(run, assignment, a) || eval(run, assignment, b),
+        MsoFo::ExistsPos(x, p) => (0..run.len()).any(|i| {
+            let mut a = assignment.clone();
+            a.pos.insert(*x, i);
+            eval(run, &a, p)
+        }),
+        MsoFo::ForallPos(x, p) => (0..run.len()).all(|i| {
+            let mut a = assignment.clone();
+            a.pos.insert(*x, i);
+            eval(run, &a, p)
+        }),
+        MsoFo::ExistsSet(x, p) => subsets(run.len()).any(|s| {
+            let mut a = assignment.clone();
+            a.sets.insert(*x, s);
+            eval(run, &a, p)
+        }),
+        MsoFo::ForallSet(x, p) => subsets(run.len()).all(|s| {
+            let mut a = assignment.clone();
+            a.sets.insert(*x, s);
+            eval(run, &a, p)
+        }),
+        MsoFo::ExistsData(u, p) => global_adom(run).into_iter().any(|e| {
+            let mut a = assignment.clone();
+            a.data.bind(*u, e);
+            eval(run, &a, p)
+        }),
+        MsoFo::ForallData(u, p) => global_adom(run).into_iter().all(|e| {
+            let mut a = assignment.clone();
+            a.data.bind(*u, e);
+            eval(run, &a, p)
+        }),
+    }
+}
+
+/// Evaluate a sentence over a finite run prefix.
+pub fn eval_sentence(run: &[Instance], formula: &MsoFo) -> bool {
+    eval(run, &RunAssignment::new(), formula)
+}
+
+/// The global active domain `Gadom(ρ)` of a run prefix.
+pub fn global_adom(run: &[Instance]) -> BTreeSet<rdms_db::DataValue> {
+    run.iter().flat_map(|i| i.active_domain()).collect()
+}
+
+fn subsets(n: usize) -> impl Iterator<Item = BTreeSet<usize>> {
+    assert!(
+        n <= 20,
+        "second-order enumeration over {n} positions is infeasible; restrict to the FO fragment"
+    );
+    (0u64..(1u64 << n)).map(move |mask| (0..n).filter(|i| mask & (1 << i) != 0).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdms_db::{DataValue, RelName};
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+    fn e(i: u64) -> DataValue {
+        DataValue::e(i)
+    }
+    fn x(i: u32) -> PosVar {
+        PosVar(i)
+    }
+
+    /// A little three-instance run: p holds at positions 0 and 2; e1 is enrolled at 0 and
+    /// graduated at 2; e2 is enrolled at 1 and never graduates.
+    fn student_run() -> Vec<Instance> {
+        let i0 = Instance::from_facts([(r("p"), vec![]), (r("Enrolled"), vec![e(1)])]);
+        let i1 = Instance::from_facts([(r("Enrolled"), vec![e(1)]), (r("Enrolled"), vec![e(2)])]);
+        let i2 = Instance::from_facts([
+            (r("p"), vec![]),
+            (r("Graduated"), vec![e(1)]),
+            (r("Enrolled"), vec![e(2)]),
+        ]);
+        vec![i0, i1, i2]
+    }
+
+    #[test]
+    fn query_at_and_order() {
+        let run = student_run();
+        let phi = MsoFo::query_at(Query::prop(r("p")), x(0));
+        let a0 = RunAssignment { pos: BTreeMap::from([(x(0), 0)]), ..Default::default() };
+        let a1 = RunAssignment { pos: BTreeMap::from([(x(0), 1)]), ..Default::default() };
+        assert!(eval(&run, &a0, &phi));
+        assert!(!eval(&run, &a1, &phi));
+
+        let reach = MsoFo::exists_pos(x(0), MsoFo::query_at(Query::prop(r("p")), x(0)));
+        assert!(eval_sentence(&run, &reach));
+        let invariant = MsoFo::forall_pos(x(0), MsoFo::query_at(Query::prop(r("p")), x(0)));
+        assert!(!eval_sentence(&run, &invariant));
+    }
+
+    #[test]
+    fn introduction_student_example() {
+        // ∀x ∀g u. Enrolled(u)@x ⇒ ∃y. y > x ∧ Graduated(u)@y
+        let run = student_run();
+        let u = v("u");
+        let phi = MsoFo::forall_pos(
+            x(0),
+            MsoFo::forall_data(
+                u,
+                MsoFo::query_at(Query::atom(r("Enrolled"), [u]), x(0)).implies(MsoFo::exists_pos(
+                    x(1),
+                    MsoFo::Less(x(0), x(1))
+                        .and(MsoFo::query_at(Query::atom(r("Graduated"), [u]), x(1))),
+                )),
+            ),
+        );
+        // e2 enrolls but never graduates in this prefix: the property fails
+        assert!(!eval_sentence(&run, &phi));
+
+        // restricted to student e1 only, it holds
+        let phi_e1 = MsoFo::forall_pos(
+            x(0),
+            MsoFo::query_at(Query::atom(r("Enrolled"), [rdms_db::Term::Value(e(1))]), x(0)).implies(
+                MsoFo::exists_pos(
+                    x(1),
+                    MsoFo::Less(x(0), x(1)).and(MsoFo::query_at(
+                        Query::atom(r("Graduated"), [rdms_db::Term::Value(e(1))]),
+                        x(1),
+                    )),
+                ),
+            ),
+        );
+        // note: constant-valued queries are allowed here because evaluation only requires the
+        // *free variables* of Q to be active.
+        assert!(eval_sentence(&run, &phi_e1));
+    }
+
+    #[test]
+    fn global_quantification_ranges_over_gadom() {
+        let run = student_run();
+        assert_eq!(global_adom(&run), BTreeSet::from([e(1), e(2)]));
+        // ∃g u. Graduated(u)@2 — true via e1 even though e1 ∉ adom(I₁)
+        let u = v("u");
+        let phi = MsoFo::exists_data(
+            u,
+            MsoFo::exists_pos(x(0), MsoFo::query_at(Query::atom(r("Graduated"), [u]), x(0))),
+        );
+        assert!(eval_sentence(&run, &phi));
+    }
+
+    #[test]
+    fn query_at_requires_active_values() {
+        // Appendix B: the data substitution must land in adom(I_x). e1 is not active at
+        // position 1, so Enrolled(e1)@1 is false even though the value exists globally.
+        let run = student_run();
+        let u = v("u");
+        let a = RunAssignment {
+            pos: BTreeMap::from([(x(0), 1)]),
+            data: Substitution::from_pairs([(u, e(1))]),
+            ..Default::default()
+        };
+        // Enrolled(u) with u ↦ e1 is syntactically in I₁ — but wait, Enrolled(e1) *is* in I₁.
+        // Use Graduated instead: Graduated(u)@1 with u ↦ e1: e1 is active at 1 (Enrolled(e1)),
+        // but Graduated(e1) ∉ I₁ → false by query evaluation.
+        assert!(!eval(&run, &a, &MsoFo::query_at(Query::atom(r("Graduated"), [u]), x(0))));
+        // and at a position where the value is not active at all, the atom is false outright
+        let run2 = vec![
+            Instance::from_facts([(r("Enrolled"), vec![e(5)])]),
+            Instance::from_facts([(r("Other"), vec![e(6)])]),
+        ];
+        let a2 = RunAssignment {
+            pos: BTreeMap::from([(x(0), 1)]),
+            data: Substitution::from_pairs([(u, e(5))]),
+            ..Default::default()
+        };
+        assert!(!eval(&run2, &a2, &MsoFo::query_at(Query::atom(r("Enrolled"), [u]), x(0))));
+    }
+
+    #[test]
+    fn set_quantification() {
+        let run = student_run();
+        // ∃X. 0 ∈ X ∧ 2 ∈ X ∧ ¬(1 ∈ X) — trivially true; checks the machinery
+        let set = SetVar(0);
+        let phi = MsoFo::exists_set(
+            set,
+            MsoFo::conj([
+                MsoFo::exists_pos(x(0), MsoFo::query_at(Query::prop(r("p")), x(0)).and(MsoFo::In(x(0), set))),
+                MsoFo::forall_pos(x(1), MsoFo::In(x(1), set).implies(MsoFo::query_at(Query::prop(r("p")), x(1)))),
+            ]),
+        );
+        assert!(eval_sentence(&run, &phi));
+        assert!(!phi.is_first_order());
+        assert!(phi.is_sentence());
+    }
+
+    #[test]
+    fn free_variable_computation() {
+        let u = v("u");
+        let phi = MsoFo::query_at(Query::atom(r("R"), [u]), x(0))
+            .and(MsoFo::exists_data(u, MsoFo::query_at(Query::atom(r("R"), [u]), x(1))));
+        assert_eq!(phi.free_pos_vars(), BTreeSet::from([x(0), x(1)]));
+        assert_eq!(phi.free_data_vars(), BTreeSet::from([u]));
+        assert!(phi.free_set_vars().is_empty());
+        assert!(!phi.is_sentence());
+        assert!(phi.is_first_order());
+        assert!(phi.size() > 3);
+        assert_eq!(phi.num_data_vars(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Ready-made MSO-FO property templates used throughout examples, tests and benchmarks.
+//!
+//! These correspond to the verification problems the paper singles out:
+//!
+//! * **propositional reachability** (Example 4.2),
+//! * **safety / invariants** (`∀x.¬p@x`, used in the proof of Theorem 4.1),
+//! * **response** properties (the introduction's "every enrolled student eventually
+//!   graduates"),
+//! * **constraint-relativised** model checking (Example 4.3): `(∀x.φ_c@x) ⇒ φ`.
+
+use crate::msofo::{MsoFo, PosVar};
+use rdms_db::{Query, RelName, Var};
+
+/// `∃x. Q@x` — the query is satisfied at some time point (reachability).
+pub fn reachability(query: Query) -> MsoFo {
+    MsoFo::exists_pos(PosVar(0), MsoFo::QueryAt(query, PosVar(0)))
+}
+
+/// `∃x. p@x` — propositional reachability (Example 4.2).
+pub fn proposition_reachable(p: RelName) -> MsoFo {
+    reachability(Query::prop(p))
+}
+
+/// `∀x. Q@x` — the query holds at every time point (invariant).
+pub fn invariant(query: Query) -> MsoFo {
+    MsoFo::forall_pos(PosVar(0), MsoFo::QueryAt(query, PosVar(0)))
+}
+
+/// `∀x. ¬p@x` — the proposition is never reached (the safety property whose model checking
+/// is reduced from reachability in the proof of Theorem 4.1).
+pub fn never(p: RelName) -> MsoFo {
+    invariant(Query::prop(p).not())
+}
+
+/// `∀x ∀g u. trigger(u)@x ⇒ ∃y. y > x ∧ response(u)@y` — the data-aware response template;
+/// with `trigger = Enrolled(u)` and `response = Graduated(u)` this is exactly the
+/// introduction's student/graduation property.
+pub fn response(u: Var, trigger: Query, response: Query) -> MsoFo {
+    let x = PosVar(0);
+    let y = PosVar(1);
+    MsoFo::forall_pos(
+        x,
+        MsoFo::forall_data(
+            u,
+            MsoFo::QueryAt(trigger, x).implies(MsoFo::exists_pos(
+                y,
+                MsoFo::Less(x, y).and(MsoFo::QueryAt(response, y)),
+            )),
+        ),
+    )
+}
+
+/// The student/graduation property of the paper's introduction, over relations
+/// `Enrolled/1` and `Graduated/1`.
+pub fn student_graduation() -> MsoFo {
+    let u = Var::new("u");
+    response(
+        u,
+        Query::atom(RelName::new("Enrolled"), [u]),
+        Query::atom(RelName::new("Graduated"), [u]),
+    )
+}
+
+/// Example 4.3: relativise a property to runs whose every instance satisfies the FO
+/// constraint `φ_c`: `(∀x. φ_c@x) ⇒ φ`.
+pub fn under_constraint(constraint: Query, property: MsoFo) -> MsoFo {
+    // use a position variable unlikely to clash with the property's own variables
+    let x = PosVar(u32::MAX);
+    MsoFo::forall_pos(x, MsoFo::QueryAt(constraint, x)).implies(property)
+}
+
+/// `∀x. p@x ⇒ ∃y. x < y ∧ q@y` — propositional response (no data quantification).
+pub fn propositional_response(p: RelName, q: RelName) -> MsoFo {
+    let x = PosVar(0);
+    let y = PosVar(1);
+    MsoFo::forall_pos(
+        x,
+        MsoFo::QueryAt(Query::prop(p), x).implies(MsoFo::exists_pos(
+            y,
+            MsoFo::Less(x, y).and(MsoFo::QueryAt(Query::prop(q), y)),
+        )),
+    )
+}
+
+/// "Fairness"-style template: `∀x. ∃y. x < y ∧ Q@y` — the query holds infinitely often (on
+/// finite prefixes: beyond every position but the last ones).
+pub fn infinitely_often(query: Query) -> MsoFo {
+    let x = PosVar(0);
+    let y = PosVar(1);
+    MsoFo::forall_pos(
+        x,
+        MsoFo::exists_pos(y, MsoFo::Less(x, y).and(MsoFo::QueryAt(query, y))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msofo::eval_sentence;
+    use rdms_db::{DataValue, Instance};
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+    fn e(i: u64) -> DataValue {
+        DataValue::e(i)
+    }
+
+    fn run() -> Vec<Instance> {
+        vec![
+            Instance::from_facts([(r("p"), vec![]), (r("Enrolled"), vec![e(1)])]),
+            Instance::from_facts([(r("Enrolled"), vec![e(1)])]),
+            Instance::from_facts([(r("q"), vec![]), (r("Graduated"), vec![e(1)])]),
+        ]
+    }
+
+    #[test]
+    fn reachability_and_never_are_duals() {
+        let run = run();
+        assert!(eval_sentence(&run, &proposition_reachable(r("p"))));
+        assert!(!eval_sentence(&run, &proposition_reachable(r("absent"))));
+        assert!(!eval_sentence(&run, &never(r("p"))));
+        assert!(eval_sentence(&run, &never(r("absent"))));
+        // duality
+        assert_eq!(
+            eval_sentence(&run, &proposition_reachable(r("q"))),
+            !eval_sentence(&run, &never(r("q")))
+        );
+    }
+
+    #[test]
+    fn invariant_template() {
+        let run = run();
+        assert!(!eval_sentence(&run, &invariant(Query::prop(r("p")))));
+        // "some Enrolled or Graduated fact exists" holds everywhere
+        let q = Query::exists(
+            Var::new("u"),
+            Query::atom(r("Enrolled"), [Var::new("u")]).or(Query::atom(r("Graduated"), [Var::new("u")])),
+        );
+        assert!(eval_sentence(&run, &invariant(q)));
+    }
+
+    #[test]
+    fn student_graduation_template() {
+        let run = run();
+        assert!(eval_sentence(&run, &student_graduation()));
+        // drop the last instance: e1 no longer graduates
+        assert!(!eval_sentence(&run[..2], &student_graduation()));
+    }
+
+    #[test]
+    fn propositional_response_template() {
+        let run = run();
+        assert!(eval_sentence(&run, &propositional_response(r("p"), r("q"))));
+        assert!(!eval_sentence(&run, &propositional_response(r("q"), r("p"))));
+    }
+
+    #[test]
+    fn constraint_relativisation() {
+        let run = run();
+        // under an unsatisfiable constraint, any property holds vacuously
+        let constraint = Query::prop(r("neverTrue"));
+        let hard_property = proposition_reachable(r("absent"));
+        assert!(eval_sentence(&run, &under_constraint(constraint, hard_property.clone())));
+        // under a trivial constraint, the property's own value decides
+        assert!(!eval_sentence(&run, &under_constraint(Query::True, hard_property)));
+    }
+
+    #[test]
+    fn infinitely_often_on_finite_prefixes() {
+        let run = run();
+        // nothing holds strictly after the last position, so this is false for any query
+        assert!(!eval_sentence(&run, &infinitely_often(Query::prop(r("q")))));
+        // but on the prefix without the last position, q@2 exists after both 0 and 1 … still
+        // false for the same reason at the last position of that prefix
+        assert!(!eval_sentence(&run[..2], &infinitely_often(Query::prop(r("q")))));
+    }
+}

@@ -1,0 +1,179 @@
+//! Visible (pushdown) alphabets.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The visibility class of a letter: call letters push, return letters pop, internal letters
+/// leave the stack untouched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LetterKind {
+    /// A push letter (`Σ↓` in the paper's notation for the encoding alphabet).
+    Call,
+    /// A pop letter (`Σ↑`).
+    Return,
+    /// An internal letter (`Σint`).
+    Internal,
+}
+
+/// Index of a letter within its alphabet.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LetterId(pub u32);
+
+impl fmt::Debug for LetterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// A visible alphabet `Σ = Σ↓ ⊎ Σ↑ ⊎ Σint`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alphabet {
+    letters: Vec<(String, LetterKind)>,
+    #[serde(skip)]
+    by_name: HashMap<String, LetterId>,
+}
+
+impl Alphabet {
+    /// The empty alphabet.
+    pub fn new() -> Alphabet {
+        Alphabet::default()
+    }
+
+    /// Add a letter, returning its id. Adding an existing name with the same kind is a no-op.
+    ///
+    /// # Panics
+    /// Panics if the name exists with a different kind.
+    pub fn add(&mut self, name: &str, kind: LetterKind) -> LetterId {
+        if let Some(&id) = self.by_name.get(name) {
+            assert_eq!(
+                self.letters[id.0 as usize].1, kind,
+                "letter {name} redeclared with a different kind"
+            );
+            return id;
+        }
+        let id = LetterId(self.letters.len() as u32);
+        self.letters.push((name.to_owned(), kind));
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Convenience: add a call letter.
+    pub fn call(&mut self, name: &str) -> LetterId {
+        self.add(name, LetterKind::Call)
+    }
+
+    /// Convenience: add a return letter.
+    pub fn ret(&mut self, name: &str) -> LetterId {
+        self.add(name, LetterKind::Return)
+    }
+
+    /// Convenience: add an internal letter.
+    pub fn internal(&mut self, name: &str) -> LetterId {
+        self.add(name, LetterKind::Internal)
+    }
+
+    /// Number of letters.
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// Whether the alphabet has no letters.
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// The kind of a letter.
+    pub fn kind(&self, letter: LetterId) -> LetterKind {
+        self.letters[letter.0 as usize].1
+    }
+
+    /// The name of a letter.
+    pub fn name(&self, letter: LetterId) -> &str {
+        &self.letters[letter.0 as usize].0
+    }
+
+    /// Look a letter up by name.
+    pub fn lookup(&self, name: &str) -> Option<LetterId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterate over all letter ids.
+    pub fn letters(&self) -> impl Iterator<Item = LetterId> + '_ {
+        (0..self.letters.len() as u32).map(LetterId)
+    }
+
+    /// Iterate over the letters of a given kind.
+    pub fn letters_of_kind(&self, kind: LetterKind) -> impl Iterator<Item = LetterId> + '_ {
+        self.letters()
+            .filter(move |&l| self.kind(l) == kind)
+    }
+
+    /// Wrap in an `Arc` (alphabets are shared by words and automata).
+    pub fn into_arc(self) -> Arc<Alphabet> {
+        Arc::new(self)
+    }
+
+    /// Rebuild the name index (needed after deserialization).
+    pub fn reindex(&mut self) {
+        self.by_name = self
+            .letters
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.clone(), LetterId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut a = Alphabet::new();
+        let call = a.call("push_a");
+        let ret = a.ret("pop_a");
+        let int = a.internal("i");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.kind(call), LetterKind::Call);
+        assert_eq!(a.kind(ret), LetterKind::Return);
+        assert_eq!(a.kind(int), LetterKind::Internal);
+        assert_eq!(a.lookup("push_a"), Some(call));
+        assert_eq!(a.lookup("missing"), None);
+        assert_eq!(a.name(int), "i");
+        assert_eq!(a.letters_of_kind(LetterKind::Call).count(), 1);
+    }
+
+    #[test]
+    fn adding_same_letter_twice_is_idempotent() {
+        let mut a = Alphabet::new();
+        let x = a.call("x");
+        let y = a.call("x");
+        assert_eq!(x, y);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn conflicting_kind_panics() {
+        let mut a = Alphabet::new();
+        a.call("x");
+        a.ret("x");
+    }
+
+    #[test]
+    fn example_6_2_alphabet() {
+        // Σ↓ = {↓a, ↓b}, Σ↑ = {↑a, ↑b}, Σint = {•}
+        let mut a = Alphabet::new();
+        a.call("↓a");
+        a.call("↓b");
+        a.ret("↑a");
+        a.ret("↑b");
+        a.internal("•");
+        assert_eq!(a.letters_of_kind(LetterKind::Call).count(), 2);
+        assert_eq!(a.letters_of_kind(LetterKind::Return).count(), 2);
+        assert_eq!(a.letters_of_kind(LetterKind::Internal).count(), 1);
+    }
+}

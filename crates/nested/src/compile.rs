@@ -1,0 +1,765 @@
+//! Compilation of MSO_NW formulae into visibly pushdown automata.
+//!
+//! This module realises the paper's "Fact 1" (decidability of MSO_NW satisfiability, due to
+//! Alur–Madhusudan) constructively, by the classical MSO-to-automaton translation:
+//!
+//! * a formula with free variables `V` is compiled into a VPA over the **tracked alphabet**
+//!   `Σ × {0,1}^V` — every letter carries one bit per variable, marking the position(s)
+//!   assigned to it;
+//! * atomic formulae become small fixed automata; `∧` is automaton product, `∨` union, `¬`
+//!   complement (via determinization); `∃` is projection of the variable's track, with a
+//!   *singleton* constraint conjoined for first-order variables;
+//! * satisfiability is VPA emptiness; witnesses decode into a nested word plus an
+//!   assignment.
+//!
+//! The translation is non-elementary in the quantifier alternation depth — exactly the
+//! complexity the paper reports for its decision procedure — so this pipeline is intended for
+//! small formulae/alphabets; the `rdms-checker` crate uses it as the faithful reference
+//! engine and cross-validates it against direct evaluation and against its bounded explorer.
+
+use crate::alphabet::{Alphabet, LetterId, LetterKind};
+use crate::eval::Assignment;
+use crate::mso::{MsoNw, MsoVar};
+use crate::vpa::determinize::complement;
+use crate::vpa::emptiness::shortest_witness;
+use crate::vpa::ops::{intersect, relabel_forward, relabel_inverse, trim, union};
+use crate::vpa::Vpa;
+use crate::word::NestedWord;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The alphabet `Σ × {0,1}^V` for a base alphabet `Σ` and an ordered variable list `V`.
+#[derive(Clone, Debug)]
+pub struct TrackedAlphabet {
+    base: Arc<Alphabet>,
+    vars: Vec<MsoVar>,
+    alphabet: Arc<Alphabet>,
+}
+
+impl TrackedAlphabet {
+    /// Build the tracked alphabet for the given (sorted, duplicate-free) variable list.
+    pub fn new(base: Arc<Alphabet>, vars: Vec<MsoVar>) -> TrackedAlphabet {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "variables must be sorted and distinct");
+        if vars.is_empty() {
+            return TrackedAlphabet {
+                alphabet: base.clone(),
+                base,
+                vars,
+            };
+        }
+        let k = vars.len();
+        let mut alphabet = Alphabet::new();
+        for letter in base.letters() {
+            for mask in 0..(1u64 << k) {
+                alphabet.add(
+                    &format!("{}|{:0width$b}", base.name(letter), mask, width = k),
+                    base.kind(letter),
+                );
+            }
+        }
+        TrackedAlphabet {
+            base,
+            vars,
+            alphabet: alphabet.into_arc(),
+        }
+    }
+
+    /// The underlying base alphabet.
+    pub fn base(&self) -> &Arc<Alphabet> {
+        &self.base
+    }
+
+    /// The tracked alphabet itself.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    /// The tracked variables, in bit order.
+    pub fn vars(&self) -> &[MsoVar] {
+        &self.vars
+    }
+
+    /// The bit index of a variable.
+    pub fn bit(&self, var: MsoVar) -> Option<usize> {
+        self.vars.iter().position(|&v| v == var)
+    }
+
+    /// The tracked letter for `(base letter, mask)`.
+    pub fn letter(&self, base: LetterId, mask: u64) -> LetterId {
+        if self.vars.is_empty() {
+            debug_assert_eq!(mask, 0);
+            return base;
+        }
+        LetterId(base.0 * (1u32 << self.vars.len()) + mask as u32)
+    }
+
+    /// Decompose a tracked letter into `(base letter, mask)`.
+    pub fn decompose(&self, letter: LetterId) -> (LetterId, u64) {
+        if self.vars.is_empty() {
+            return (letter, 0);
+        }
+        let width = 1u32 << self.vars.len();
+        (LetterId(letter.0 / width), (letter.0 % width) as u64)
+    }
+
+    /// Whether the given tracked letter has the bit of `var` set.
+    pub fn has_bit(&self, letter: LetterId, var: MsoVar) -> bool {
+        match self.bit(var) {
+            Some(i) => self.decompose(letter).1 & (1 << i) != 0,
+            None => false,
+        }
+    }
+
+    /// Encode a base nested word plus an assignment as a word over the tracked alphabet.
+    pub fn encode(&self, word: &NestedWord, assignment: &Assignment) -> NestedWord {
+        let letters = (0..word.len())
+            .map(|p| {
+                let mut mask = 0u64;
+                for (i, var) in self.vars.iter().enumerate() {
+                    let marked = match var {
+                        MsoVar::Pos(x) => assignment.pos.get(x) == Some(&p),
+                        MsoVar::Set(s) => assignment
+                            .sets
+                            .get(s)
+                            .map(|set| set.contains(&p))
+                            .unwrap_or(false),
+                    };
+                    if marked {
+                        mask |= 1 << i;
+                    }
+                }
+                self.letter(word.letter(p), mask)
+            })
+            .collect();
+        NestedWord::new(self.alphabet.clone(), letters)
+    }
+
+    /// Decode a tracked nested word into a base word and the assignment it encodes.
+    pub fn decode(&self, word: &NestedWord) -> (NestedWord, Assignment) {
+        let mut assignment = Assignment::new();
+        let mut letters = Vec::with_capacity(word.len());
+        for p in 0..word.len() {
+            let (base, mask) = self.decompose(word.letter(p));
+            letters.push(base);
+            for (i, var) in self.vars.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    match var {
+                        MsoVar::Pos(x) => {
+                            assignment.pos.insert(*x, p);
+                        }
+                        MsoVar::Set(s) => {
+                            assignment.sets.entry(*s).or_default().insert(p);
+                        }
+                    }
+                }
+            }
+        }
+        // make sure every tracked set variable is present even if empty
+        for var in &self.vars {
+            if let MsoVar::Set(s) = var {
+                assignment.sets.entry(*s).or_default();
+            }
+        }
+        (NestedWord::new(self.base.clone(), letters), assignment)
+    }
+}
+
+/// The result of compiling a formula: an automaton over the tracked alphabet of its free
+/// variables.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The automaton.
+    pub vpa: Vpa,
+    /// Tracked alphabet (free variables of the compiled formula, sorted).
+    pub tracked: TrackedAlphabet,
+}
+
+impl Compiled {
+    /// Whether the compiled formula holds on `word` under `assignment` (membership of the
+    /// encoded word).
+    pub fn check(&self, word: &NestedWord, assignment: &Assignment) -> bool {
+        self.vpa.accepts(&self.tracked.encode(word, assignment))
+    }
+}
+
+/// Compile a formula over the given base alphabet.
+pub fn compile(formula: &MsoNw, base: &Arc<Alphabet>) -> Compiled {
+    let (vpa, vars) = compile_rec(formula, base);
+    Compiled {
+        vpa,
+        tracked: TrackedAlphabet::new(base.clone(), vars),
+    }
+}
+
+/// Satisfiability of a formula: is there a nested word (and assignment of the free
+/// variables) satisfying it? First-order free variables are constrained to be assigned to
+/// exactly one position, as the standard encoding requires.
+pub fn is_satisfiable(formula: &MsoNw, base: &Arc<Alphabet>) -> bool {
+    satisfying_witness(formula, base).is_some()
+}
+
+/// A satisfying nested word and assignment, if one exists.
+pub fn satisfying_witness(
+    formula: &MsoNw,
+    base: &Arc<Alphabet>,
+) -> Option<(NestedWord, Assignment)> {
+    let compiled = compile(formula, base);
+    let tracked = &compiled.tracked;
+    // conjoin singleton constraints for free first-order variables
+    let mut vpa = compiled.vpa.clone();
+    for var in tracked.vars() {
+        if let MsoVar::Pos(_) = var {
+            vpa = intersect(&vpa, &singleton_automaton(tracked, *var));
+        }
+    }
+    let witness = shortest_witness(&vpa)?;
+    Some(tracked.decode(&witness))
+}
+
+// ---------------------------------------------------------------------------------------
+// recursive translation
+// ---------------------------------------------------------------------------------------
+
+fn compile_rec(formula: &MsoNw, base: &Arc<Alphabet>) -> (Vpa, Vec<MsoVar>) {
+    match formula {
+        MsoNw::True => (Vpa::universal(base.clone()), vec![]),
+        MsoNw::Letter(a, x) => {
+            let tracked = TrackedAlphabet::new(base.clone(), vec![MsoVar::Pos(*x)]);
+            (letter_automaton(&tracked, *a, MsoVar::Pos(*x)), tracked.vars.clone())
+        }
+        MsoNw::Less(x, y) => {
+            let vars = two_vars(MsoVar::Pos(*x), MsoVar::Pos(*y));
+            let tracked = TrackedAlphabet::new(base.clone(), vars.clone());
+            (less_automaton(&tracked, MsoVar::Pos(*x), MsoVar::Pos(*y)), vars)
+        }
+        MsoNw::PosEq(x, y) => {
+            if x == y {
+                // x = x: require only that the position exists
+                let tracked = TrackedAlphabet::new(base.clone(), vec![MsoVar::Pos(*x)]);
+                (exists_marked_automaton(&tracked, MsoVar::Pos(*x)), tracked.vars.clone())
+            } else {
+                let vars = two_vars(MsoVar::Pos(*x), MsoVar::Pos(*y));
+                let tracked = TrackedAlphabet::new(base.clone(), vars.clone());
+                (same_position_automaton(&tracked, MsoVar::Pos(*x), MsoVar::Pos(*y)), vars)
+            }
+        }
+        MsoNw::Matched(x, y) => {
+            let vars = two_vars(MsoVar::Pos(*x), MsoVar::Pos(*y));
+            let tracked = TrackedAlphabet::new(base.clone(), vars.clone());
+            (matched_automaton(&tracked, MsoVar::Pos(*x), MsoVar::Pos(*y)), vars)
+        }
+        MsoNw::In(x, set) => {
+            let vars = two_vars(MsoVar::Pos(*x), MsoVar::Set(*set));
+            let tracked = TrackedAlphabet::new(base.clone(), vars.clone());
+            (same_position_automaton(&tracked, MsoVar::Pos(*x), MsoVar::Set(*set)), vars)
+        }
+        MsoNw::Not(p) => {
+            let (vpa, vars) = compile_rec(p, base);
+            (trim(&complement(&trim(&vpa))), vars)
+        }
+        MsoNw::And(a, b) => {
+            let (va, vars_a) = compile_rec(a, base);
+            let (vb, vars_b) = compile_rec(b, base);
+            let (va, vb, vars) = align(base, va, vars_a, vb, vars_b);
+            (trim(&intersect(&va, &vb)), vars)
+        }
+        MsoNw::Or(a, b) => {
+            let (va, vars_a) = compile_rec(a, base);
+            let (vb, vars_b) = compile_rec(b, base);
+            let (va, vb, vars) = align(base, va, vars_a, vb, vars_b);
+            (trim(&union(&va, &vb)), vars)
+        }
+        MsoNw::ExistsPos(x, p) => compile_exists(base, MsoVar::Pos(*x), p, true),
+        MsoNw::ExistsSet(x, p) => compile_exists(base, MsoVar::Set(*x), p, false),
+        MsoNw::ForallPos(x, p) => {
+            let inner = MsoNw::ExistsPos(*x, Box::new(p.clone().not())).not();
+            compile_rec(&inner, base)
+        }
+        MsoNw::ForallSet(x, p) => {
+            let inner = MsoNw::ExistsSet(*x, Box::new(p.clone().not())).not();
+            compile_rec(&inner, base)
+        }
+    }
+}
+
+fn two_vars(a: MsoVar, b: MsoVar) -> Vec<MsoVar> {
+    let set: BTreeSet<MsoVar> = [a, b].into_iter().collect();
+    set.into_iter().collect()
+}
+
+fn compile_exists(
+    base: &Arc<Alphabet>,
+    var: MsoVar,
+    body: &MsoNw,
+    first_order: bool,
+) -> (Vpa, Vec<MsoVar>) {
+    let (vpa, vars) = compile_rec(body, base);
+    if !vars.contains(&var) {
+        // the variable does not occur in the body
+        if first_order {
+            // ∃x.ψ still requires a witness position to exist
+            let tracked = TrackedAlphabet::new(base.clone(), vars.clone());
+            let nonempty = nonempty_word_automaton(tracked.alphabet());
+            return (intersect(&vpa, &nonempty), vars);
+        }
+        // ∃X.ψ is witnessed by the empty set
+        return (vpa, vars);
+    }
+    let tracked = TrackedAlphabet::new(base.clone(), vars.clone());
+    let constrained = if first_order {
+        intersect(&vpa, &singleton_automaton(&tracked, var))
+    } else {
+        vpa
+    };
+    // project the variable's track away
+    let small_vars: Vec<MsoVar> = vars.iter().copied().filter(|&v| v != var).collect();
+    let small = TrackedAlphabet::new(base.clone(), small_vars.clone());
+    let bit = tracked.bit(var).expect("var is tracked");
+    let map = |letter: LetterId| {
+        let (b, mask) = tracked.decompose(letter);
+        let small_mask = drop_bit(mask, bit);
+        small.letter(b, small_mask)
+    };
+    let projected = relabel_forward(&trim(&constrained), small.alphabet().clone(), map);
+    (projected, small_vars)
+}
+
+fn drop_bit(mask: u64, bit: usize) -> u64 {
+    let low = mask & ((1 << bit) - 1);
+    let high = mask >> (bit + 1);
+    low | (high << bit)
+}
+
+/// Cylindrify both operands to the union of their variable lists.
+fn align(
+    base: &Arc<Alphabet>,
+    va: Vpa,
+    vars_a: Vec<MsoVar>,
+    vb: Vpa,
+    vars_b: Vec<MsoVar>,
+) -> (Vpa, Vpa, Vec<MsoVar>) {
+    let union_vars: Vec<MsoVar> = vars_a
+        .iter()
+        .chain(vars_b.iter())
+        .copied()
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let big = TrackedAlphabet::new(base.clone(), union_vars.clone());
+    let lift = |vpa: Vpa, vars: &[MsoVar]| -> Vpa {
+        if vars == union_vars.as_slice() {
+            return vpa;
+        }
+        let small = TrackedAlphabet::new(base.clone(), vars.to_vec());
+        let map = |letter: LetterId| {
+            let (b, big_mask) = big.decompose(letter);
+            let mut small_mask = 0u64;
+            for (i, var) in small.vars().iter().enumerate() {
+                let big_bit = big.bit(*var).expect("subset of union vars");
+                if big_mask & (1 << big_bit) != 0 {
+                    small_mask |= 1 << i;
+                }
+            }
+            small.letter(b, small_mask)
+        };
+        relabel_inverse(&vpa, big.alphabet().clone(), map)
+    };
+    let va2 = lift(va, &vars_a);
+    let vb2 = lift(vb, &vars_b);
+    (va2, vb2, union_vars)
+}
+
+// ---------------------------------------------------------------------------------------
+// atomic automata
+// ---------------------------------------------------------------------------------------
+
+/// Add a transition `from --letter--> to` of the appropriate kind, ignoring the stack
+/// (pushes symbol 0, pops any symbol or the empty stack).
+fn add_edge(vpa: &mut Vpa, from: usize, to: usize, letter: LetterId) {
+    match vpa.alphabet.kind(letter) {
+        LetterKind::Internal => vpa.add_internal(from, letter, to),
+        LetterKind::Call => vpa.add_call(from, letter, to, 0),
+        LetterKind::Return => {
+            for gamma in 0..vpa.num_stack {
+                vpa.add_return(from, gamma, letter, to);
+            }
+            vpa.add_return_empty(from, letter, to);
+        }
+    }
+}
+
+/// Letters of the tracked alphabet whose bits satisfy `predicate(mask)`.
+fn letters_where<'a>(
+    tracked: &'a TrackedAlphabet,
+    predicate: impl Fn(LetterId, u64) -> bool + 'a,
+) -> impl Iterator<Item = LetterId> + 'a {
+    tracked.alphabet().letters().filter(move |&l| {
+        let (base, mask) = tracked.decompose(l);
+        predicate(base, mask)
+    })
+}
+
+fn bit_of(tracked: &TrackedAlphabet, var: MsoVar) -> u64 {
+    1u64 << tracked.bit(var).expect("variable must be tracked")
+}
+
+/// `a(x)`: the x-marked position carries base letter `a`.
+fn letter_automaton(tracked: &TrackedAlphabet, a: LetterId, x: MsoVar) -> Vpa {
+    let xb = bit_of(tracked, x);
+    let mut vpa = Vpa::new(tracked.alphabet().clone(), 2, 1);
+    vpa.set_initial(0);
+    vpa.set_final(1);
+    for l in letters_where(tracked, |_, m| m & xb == 0).collect::<Vec<_>>() {
+        add_edge(&mut vpa, 0, 0, l);
+        add_edge(&mut vpa, 1, 1, l);
+    }
+    for l in letters_where(tracked, |b, m| m & xb != 0 && b == a).collect::<Vec<_>>() {
+        add_edge(&mut vpa, 0, 1, l);
+    }
+    vpa
+}
+
+/// Some x-marked position exists (used for `x = x`).
+fn exists_marked_automaton(tracked: &TrackedAlphabet, x: MsoVar) -> Vpa {
+    let xb = bit_of(tracked, x);
+    let mut vpa = Vpa::new(tracked.alphabet().clone(), 2, 1);
+    vpa.set_initial(0);
+    vpa.set_final(1);
+    for l in letters_where(tracked, |_, m| m & xb == 0).collect::<Vec<_>>() {
+        add_edge(&mut vpa, 0, 0, l);
+        add_edge(&mut vpa, 1, 1, l);
+    }
+    for l in letters_where(tracked, |_, m| m & xb != 0).collect::<Vec<_>>() {
+        add_edge(&mut vpa, 0, 1, l);
+    }
+    vpa
+}
+
+/// `x < y`.
+fn less_automaton(tracked: &TrackedAlphabet, x: MsoVar, y: MsoVar) -> Vpa {
+    let xb = bit_of(tracked, x);
+    let yb = bit_of(tracked, y);
+    let mut vpa = Vpa::new(tracked.alphabet().clone(), 3, 1);
+    vpa.set_initial(0);
+    vpa.set_final(2);
+    for l in letters_where(tracked, |_, m| m & xb == 0 && m & yb == 0).collect::<Vec<_>>() {
+        add_edge(&mut vpa, 0, 0, l);
+        add_edge(&mut vpa, 1, 1, l);
+        add_edge(&mut vpa, 2, 2, l);
+    }
+    for l in letters_where(tracked, |_, m| m & xb != 0 && m & yb == 0).collect::<Vec<_>>() {
+        add_edge(&mut vpa, 0, 1, l);
+    }
+    for l in letters_where(tracked, |_, m| m & yb != 0 && m & xb == 0).collect::<Vec<_>>() {
+        add_edge(&mut vpa, 1, 2, l);
+    }
+    vpa
+}
+
+/// Some position carries both marks (`x = y`, and `x ∈ X`).
+fn same_position_automaton(tracked: &TrackedAlphabet, a: MsoVar, b: MsoVar) -> Vpa {
+    let ab = bit_of(tracked, a);
+    let bb = bit_of(tracked, b);
+    let mut vpa = Vpa::new(tracked.alphabet().clone(), 2, 1);
+    vpa.set_initial(0);
+    vpa.set_final(1);
+    // Note: for `x ∈ X` the other positions of X are unconstrained, so the loops only care
+    // about the *x* mark.
+    for l in letters_where(tracked, |_, m| m & ab == 0).collect::<Vec<_>>() {
+        add_edge(&mut vpa, 0, 0, l);
+        add_edge(&mut vpa, 1, 1, l);
+    }
+    for l in letters_where(tracked, |_, m| m & ab != 0 && m & bb != 0).collect::<Vec<_>>() {
+        add_edge(&mut vpa, 0, 1, l);
+    }
+    vpa
+}
+
+/// `x ⊿ y`: the x-marked call is matched by the y-marked return. Uses two stack symbols:
+/// `1` marks the push made at the x position, `0` everything else.
+fn matched_automaton(tracked: &TrackedAlphabet, x: MsoVar, y: MsoVar) -> Vpa {
+    let xb = bit_of(tracked, x);
+    let yb = bit_of(tracked, y);
+    let alphabet = tracked.alphabet().clone();
+    let mut vpa = Vpa::new(alphabet.clone(), 3, 2);
+    vpa.set_initial(0);
+    vpa.set_final(2);
+
+    let unmarked: Vec<LetterId> = letters_where(tracked, |_, m| m & xb == 0 && m & yb == 0).collect();
+    for &l in &unmarked {
+        match alphabet.kind(l) {
+            LetterKind::Internal => {
+                vpa.add_internal(0, l, 0);
+                vpa.add_internal(1, l, 1);
+                vpa.add_internal(2, l, 2);
+            }
+            LetterKind::Call => {
+                vpa.add_call(0, l, 0, 0);
+                vpa.add_call(1, l, 1, 0);
+                vpa.add_call(2, l, 2, 0);
+            }
+            LetterKind::Return => {
+                // plain pops keep the state; the marked symbol may only be popped at y
+                vpa.add_return(0, 0, l, 0);
+                vpa.add_return_empty(0, l, 0);
+                vpa.add_return(1, 0, l, 1);
+                vpa.add_return(2, 0, l, 2);
+                vpa.add_return_empty(2, l, 2);
+            }
+        }
+    }
+    // the x-marked call pushes the marked symbol
+    for l in letters_where(tracked, |_, m| m & xb != 0 && m & yb == 0).collect::<Vec<_>>() {
+        if alphabet.kind(l) == LetterKind::Call {
+            vpa.add_call(0, l, 1, 1);
+        }
+    }
+    // the y-marked return must pop the marked symbol
+    for l in letters_where(tracked, |_, m| m & yb != 0 && m & xb == 0).collect::<Vec<_>>() {
+        if alphabet.kind(l) == LetterKind::Return {
+            vpa.add_return(1, 1, l, 2);
+        }
+    }
+    vpa
+}
+
+/// Exactly one position carries the mark of `var`.
+fn singleton_automaton(tracked: &TrackedAlphabet, var: MsoVar) -> Vpa {
+    let vb = bit_of(tracked, var);
+    let mut vpa = Vpa::new(tracked.alphabet().clone(), 2, 1);
+    vpa.set_initial(0);
+    vpa.set_final(1);
+    for l in letters_where(tracked, |_, m| m & vb == 0).collect::<Vec<_>>() {
+        add_edge(&mut vpa, 0, 0, l);
+        add_edge(&mut vpa, 1, 1, l);
+    }
+    for l in letters_where(tracked, |_, m| m & vb != 0).collect::<Vec<_>>() {
+        add_edge(&mut vpa, 0, 1, l);
+    }
+    vpa
+}
+
+/// Words with at least one position.
+fn nonempty_word_automaton(alphabet: &Arc<Alphabet>) -> Vpa {
+    let mut vpa = Vpa::new(alphabet.clone(), 2, 1);
+    vpa.set_initial(0);
+    vpa.set_final(1);
+    for l in alphabet.letters().collect::<Vec<_>>() {
+        add_edge(&mut vpa, 0, 1, l);
+        add_edge(&mut vpa, 1, 1, l);
+    }
+    vpa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, eval_sentence};
+    use crate::mso::{PosVar, SetVar, VarFactory};
+
+    fn base() -> Arc<Alphabet> {
+        let mut a = Alphabet::new();
+        a.call("<");
+        a.ret(">");
+        a.internal("x");
+        a.internal("y");
+        a.into_arc()
+    }
+
+    fn sample_words(a: &Arc<Alphabet>) -> Vec<NestedWord> {
+        [
+            &["x"][..],
+            &["<", "x", ">"],
+            &["<", "y", ">", "x"],
+            &["<", "<", "y", ">", ">"],
+            &[">", "x", "<"],
+            &["<", "x"],
+            &[],
+            &["y", "y", "<", "x", ">"],
+        ]
+        .iter()
+        .map(|names| NestedWord::from_names(a.clone(), names))
+        .collect()
+    }
+
+    /// Cross-validate the compiled automaton against direct evaluation on every sample word.
+    fn agree_on_sentences(phi: &MsoNw, a: &Arc<Alphabet>) {
+        let compiled = compile(phi, a);
+        for word in sample_words(a) {
+            let direct = eval_sentence(&word, phi);
+            let via_vpa = compiled.check(&word, &Assignment::new());
+            assert_eq!(direct, via_vpa, "formula {phi:?} disagrees on {word:?}");
+        }
+    }
+
+    #[test]
+    fn sentence_every_x_is_inside_some_matching_pair() {
+        let a = base();
+        let x_letter = a.lookup("x").unwrap();
+        let mut f = VarFactory::new();
+        let p = f.pos();
+        let c = f.pos();
+        let r = f.pos();
+        // ∀p. x(p) → ∃c,r. c ⊿ r ∧ c < p ∧ p < r
+        let phi = MsoNw::forall_pos(
+            p,
+            MsoNw::Letter(x_letter, p).implies(MsoNw::exists_pos(
+                c,
+                MsoNw::exists_pos(
+                    r,
+                    MsoNw::Matched(c, r)
+                        .and(MsoNw::Less(c, p))
+                        .and(MsoNw::Less(p, r)),
+                ),
+            )),
+        );
+        agree_on_sentences(&phi, &a);
+    }
+
+    #[test]
+    fn sentence_some_call_is_pending() {
+        let a = base();
+        let mut f = VarFactory::new();
+        let c = f.pos();
+        let r = f.pos();
+        let call_letters: Vec<LetterId> = a.letters_of_kind(LetterKind::Call).collect();
+        // ∃c. call(c) ∧ ¬∃r. c ⊿ r
+        let phi = MsoNw::exists_pos(
+            c,
+            MsoNw::letter_among(call_letters, c)
+                .and(MsoNw::exists_pos(r, MsoNw::Matched(c, r)).not()),
+        );
+        agree_on_sentences(&phi, &a);
+    }
+
+    #[test]
+    fn sentence_with_second_order_quantification() {
+        let a = base();
+        let mut f = VarFactory::new();
+        let set = f.set();
+        let p = f.pos();
+        let y_letter = a.lookup("y").unwrap();
+        // ∃X. ∀p. (p ∈ X ↔ y(p)) ∧ ∃p. p ∈ X   — i.e. “some position carries y”
+        let phi = MsoNw::exists_set(
+            set,
+            MsoNw::forall_pos(p, MsoNw::is_in(p, set).iff(MsoNw::Letter(y_letter, p)))
+                .and(MsoNw::exists_pos(p, MsoNw::is_in(p, set))),
+        );
+        agree_on_sentences(&phi, &a);
+    }
+
+    #[test]
+    fn formulas_with_free_variables_check_against_assignments() {
+        let a = base();
+        let x = PosVar(0);
+        let y = PosVar(1);
+        let phi = MsoNw::Matched(x, y);
+        let compiled = compile(&phi, &a);
+        let word = NestedWord::from_names(a.clone(), &["<", "<", "y", ">", ">"]);
+        for i in 0..word.len() {
+            for j in 0..word.len() {
+                let assignment = Assignment::new().with_pos(x, i).with_pos(y, j);
+                assert_eq!(
+                    compiled.check(&word, &assignment),
+                    eval(&word, &assignment, &phi),
+                    "x ⊿ y at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn satisfiability_and_witnesses() {
+        let a = base();
+        let mut f = VarFactory::new();
+        let c = f.pos();
+        let r = f.pos();
+        let p = f.pos();
+        let x_letter = a.lookup("x").unwrap();
+
+        // satisfiable: there is a matched pair with an x strictly inside
+        let phi = MsoNw::exists_pos(
+            c,
+            MsoNw::exists_pos(
+                r,
+                MsoNw::exists_pos(
+                    p,
+                    MsoNw::Matched(c, r)
+                        .and(MsoNw::Less(c, p))
+                        .and(MsoNw::Less(p, r))
+                        .and(MsoNw::Letter(x_letter, p)),
+                ),
+            ),
+        );
+        assert!(is_satisfiable(&phi, &a));
+        let (word, _) = satisfying_witness(&phi, &a).unwrap();
+        assert!(eval_sentence(&word, &phi), "witness {word:?} must satisfy the sentence");
+
+        // unsatisfiable: a position that is both a call and matched as a return
+        let q = f.pos();
+        let unsat = MsoNw::exists_pos(q, MsoNw::Matched(q, q));
+        assert!(!is_satisfiable(&unsat, &a));
+    }
+
+    #[test]
+    fn singleton_constraint_applies_to_free_variables() {
+        let a = base();
+        // x < x is unsatisfiable once x must be a single position
+        let x = PosVar(7);
+        let phi = MsoNw::Less(x, x);
+        assert!(!is_satisfiable(&phi, &a));
+        // x = x is satisfiable (any one-position word)
+        let phi = MsoNw::PosEq(x, x);
+        assert!(is_satisfiable(&phi, &a));
+    }
+
+    #[test]
+    fn tracked_alphabet_encode_decode_round_trip() {
+        let a = base();
+        let x = PosVar(0);
+        let set = SetVar(0);
+        let tracked = TrackedAlphabet::new(a.clone(), vec![MsoVar::Pos(x), MsoVar::Set(set)]);
+        assert_eq!(tracked.alphabet().len(), a.len() * 4);
+
+        let word = NestedWord::from_names(a.clone(), &["<", "x", ">", "y"]);
+        let assignment = Assignment::new()
+            .with_pos(x, 1)
+            .with_set(set, BTreeSet::from([0, 3]));
+        let encoded = tracked.encode(&word, &assignment);
+        assert_eq!(encoded.len(), word.len());
+        // nesting structure is preserved by the encoding
+        assert_eq!(encoded.nesting_edges(), word.nesting_edges());
+        let (decoded, decoded_assignment) = tracked.decode(&encoded);
+        assert_eq!(decoded, word);
+        assert_eq!(decoded_assignment, assignment);
+    }
+
+    #[test]
+    fn forall_set_compiles() {
+        let a = base();
+        let mut f = VarFactory::new();
+        let set = f.set();
+        let p = f.pos();
+        // ∀X. ∃p. p ∈ X ∨ ¬(p ∈ X)  — valid on non-empty words, false on the empty word
+        // (because ∃p needs a position)
+        let phi = MsoNw::forall_set(
+            set,
+            MsoNw::exists_pos(p, MsoNw::is_in(p, set).or(MsoNw::is_in(p, set).not())),
+        );
+        let compiled = compile(&phi, &a);
+        let nonempty = NestedWord::from_names(a.clone(), &["x", "y"]);
+        let empty = NestedWord::new(a.clone(), vec![]);
+        assert!(compiled.check(&nonempty, &Assignment::new()));
+        assert!(!compiled.check(&empty, &Assignment::new()));
+        assert_eq!(eval_sentence(&nonempty, &phi), true);
+        assert_eq!(eval_sentence(&empty, &phi), false);
+    }
+
+    #[test]
+    fn drop_bit_helper() {
+        assert_eq!(drop_bit(0b1011, 1), 0b101);
+        assert_eq!(drop_bit(0b1011, 0), 0b101);
+        assert_eq!(drop_bit(0b1011, 3), 0b011);
+        assert_eq!(drop_bit(0b1, 0), 0);
+    }
+}

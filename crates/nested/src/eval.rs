@@ -1,0 +1,257 @@
+//! Direct (reference) evaluation of MSO_NW formulae on concrete nested words.
+//!
+//! This is the textbook semantics: first-order variables range over positions, second-order
+//! variables over sets of positions. Second-order quantification enumerates all `2^n`
+//! subsets, so this evaluator is only meant for small words — it serves as the *oracle*
+//! against which the VPA compilation ([`crate::compile`]) is cross-validated in tests.
+
+use crate::mso::{MsoNw, PosVar, SetVar};
+use crate::word::NestedWord;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An assignment of the free variables of a formula.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    /// Values of first-order variables (positions).
+    pub pos: BTreeMap<PosVar, usize>,
+    /// Values of second-order variables (sets of positions).
+    pub sets: BTreeMap<SetVar, BTreeSet<usize>>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Assignment {
+        Assignment::default()
+    }
+
+    /// Bind a position variable.
+    pub fn with_pos(mut self, var: PosVar, value: usize) -> Assignment {
+        self.pos.insert(var, value);
+        self
+    }
+
+    /// Bind a set variable.
+    pub fn with_set(mut self, var: SetVar, value: BTreeSet<usize>) -> Assignment {
+        self.sets.insert(var, value);
+        self
+    }
+}
+
+/// Evaluate `word, assignment ⊨ formula`.
+///
+/// # Panics
+/// Panics if a free variable of the formula is not bound by the assignment.
+pub fn eval(word: &NestedWord, assignment: &Assignment, formula: &MsoNw) -> bool {
+    match formula {
+        MsoNw::True => true,
+        MsoNw::Letter(a, x) => {
+            let i = pos(assignment, *x);
+            i < word.len() && word.letter(i) == *a
+        }
+        MsoNw::Less(x, y) => pos(assignment, *x) < pos(assignment, *y),
+        MsoNw::PosEq(x, y) => pos(assignment, *x) == pos(assignment, *y),
+        MsoNw::Matched(x, y) => word.nesting(pos(assignment, *x), pos(assignment, *y)),
+        MsoNw::In(x, set) => {
+            let i = pos(assignment, *x);
+            assignment
+                .sets
+                .get(set)
+                .unwrap_or_else(|| panic!("unbound set variable {set:?}"))
+                .contains(&i)
+        }
+        MsoNw::Not(p) => !eval(word, assignment, p),
+        MsoNw::And(a, b) => eval(word, assignment, a) && eval(word, assignment, b),
+        MsoNw::Or(a, b) => eval(word, assignment, a) || eval(word, assignment, b),
+        MsoNw::ExistsPos(x, p) => (0..word.len()).any(|i| {
+            let mut a = assignment.clone();
+            a.pos.insert(*x, i);
+            eval(word, &a, p)
+        }),
+        MsoNw::ForallPos(x, p) => (0..word.len()).all(|i| {
+            let mut a = assignment.clone();
+            a.pos.insert(*x, i);
+            eval(word, &a, p)
+        }),
+        MsoNw::ExistsSet(x, p) => subsets(word.len()).any(|s| {
+            let mut a = assignment.clone();
+            a.sets.insert(*x, s);
+            eval(word, &a, p)
+        }),
+        MsoNw::ForallSet(x, p) => subsets(word.len()).all(|s| {
+            let mut a = assignment.clone();
+            a.sets.insert(*x, s);
+            eval(word, &a, p)
+        }),
+    }
+}
+
+/// Evaluate a sentence.
+pub fn eval_sentence(word: &NestedWord, formula: &MsoNw) -> bool {
+    eval(word, &Assignment::new(), formula)
+}
+
+fn pos(assignment: &Assignment, var: PosVar) -> usize {
+    *assignment
+        .pos
+        .get(&var)
+        .unwrap_or_else(|| panic!("unbound position variable {var:?}"))
+}
+
+fn subsets(n: usize) -> impl Iterator<Item = BTreeSet<usize>> {
+    assert!(
+        n <= 20,
+        "second-order enumeration over {n} positions is infeasible; use the VPA pipeline"
+    );
+    (0u64..(1u64 << n)).map(move |mask| (0..n).filter(|i| mask & (1 << i) != 0).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::mso::VarFactory;
+
+    fn setup() -> (std::sync::Arc<Alphabet>, NestedWord) {
+        let mut a = Alphabet::new();
+        a.call("<a");
+        a.call("<b");
+        a.ret("a>");
+        a.ret("b>");
+        a.internal(".");
+        let alphabet = a.into_arc();
+        let word = NestedWord::from_names(
+            alphabet.clone(),
+            &["<a", "<a", "a>", "<b", "<a", "b>", ".", "b>", "<b", "<a", "a>"],
+        );
+        (alphabet, word)
+    }
+
+    #[test]
+    fn letter_and_order_atoms() {
+        let (alphabet, word) = setup();
+        let mut f = VarFactory::new();
+        let x = f.pos();
+        let call_a = alphabet.lookup("<a").unwrap();
+
+        let a = Assignment::new().with_pos(x, 0);
+        assert!(eval(&word, &a, &MsoNw::Letter(call_a, x)));
+        let a = Assignment::new().with_pos(x, 3);
+        assert!(!eval(&word, &a, &MsoNw::Letter(call_a, x)));
+
+        let y = f.pos();
+        let a = Assignment::new().with_pos(x, 2).with_pos(y, 5);
+        assert!(eval(&word, &a, &MsoNw::Less(x, y)));
+        assert!(!eval(&word, &a, &MsoNw::Less(y, x)));
+        assert!(!eval(&word, &a, &MsoNw::PosEq(x, y)));
+    }
+
+    #[test]
+    fn matching_atom_follows_the_nesting_relation() {
+        let (_, word) = setup();
+        let x = PosVar(0);
+        let y = PosVar(1);
+        let phi = MsoNw::Matched(x, y);
+        let yes = Assignment::new().with_pos(x, 3).with_pos(y, 7);
+        assert!(eval(&word, &yes, &phi));
+        let no = Assignment::new().with_pos(x, 0).with_pos(y, 2);
+        assert!(!eval(&word, &no, &phi));
+    }
+
+    #[test]
+    fn example_6_3_formula() {
+        // ϕ_{a,b}(x,y): the first ↓a after x and the first ↑b after y are ⊿-related.
+        // On Example 6.2, all pairs (i,j) with 2 ≤ i ≤ 4 and 1 ≤ j ≤ 5 (1-indexed) satisfy it.
+        let (alphabet, word) = setup();
+        let call_a = alphabet.lookup("<a").unwrap();
+        let ret_b = alphabet.lookup("b>").unwrap();
+
+        let x = PosVar(0);
+        let y = PosVar(1);
+        let x1 = PosVar(2);
+        let y1 = PosVar(3);
+        let z = PosVar(4);
+
+        let phi = MsoNw::exists_pos(
+            x1,
+            MsoNw::exists_pos(
+                y1,
+                MsoNw::conj([
+                    MsoNw::Letter(call_a, x1),
+                    MsoNw::Letter(ret_b, y1),
+                    MsoNw::Less(x, x1),
+                    MsoNw::Less(y, y1),
+                    MsoNw::Matched(x1, y1),
+                    MsoNw::forall_pos(
+                        z,
+                        MsoNw::conj([
+                            MsoNw::Less(x, z)
+                                .and(MsoNw::Less(z, x1))
+                                .implies(MsoNw::Letter(call_a, z).not()),
+                            MsoNw::Less(y, z)
+                                .and(MsoNw::Less(z, y1))
+                                .implies(MsoNw::Letter(ret_b, z).not()),
+                        ]),
+                    ),
+                ]),
+            ),
+        );
+
+        // paper's positions are 1-indexed; ours are 0-indexed
+        for i in 1..=3usize {
+            for j in 0..=4usize {
+                let a = Assignment::new().with_pos(x, i).with_pos(y, j);
+                assert!(eval(&word, &a, &phi), "expected ϕ to hold at ({i},{j})");
+            }
+        }
+        // a pair outside the range fails: x = 4 (0-indexed) means the first ↓a after x is
+        // position 9, which is matched to position 10 — an ↑a, not ↑b.
+        let a = Assignment::new().with_pos(x, 4).with_pos(y, 0);
+        assert!(!eval(&word, &a, &phi));
+    }
+
+    #[test]
+    fn second_order_quantification() {
+        let (_, word) = setup();
+        let mut f = VarFactory::new();
+        let set = f.set();
+        let x = f.pos();
+        // there is a set containing every call position and no return position
+        let call_or_not = MsoNw::forall_pos(
+            x,
+            MsoNw::is_in(x, set).iff(MsoNw::letter_among(
+                word.alphabet()
+                    .letters_of_kind(crate::alphabet::LetterKind::Call)
+                    .collect::<Vec<_>>(),
+                x,
+            )),
+        );
+        let phi = MsoNw::exists_set(set, call_or_not);
+        // use a short prefix to keep the subset enumeration small
+        let prefix = word.prefix(6);
+        assert!(eval_sentence(&prefix, &phi));
+    }
+
+    #[test]
+    fn succ_first_last_macros() {
+        let (_, word) = setup();
+        let x = PosVar(0);
+        let y = PosVar(1);
+        let z = PosVar(2);
+        let a = Assignment::new().with_pos(x, 3).with_pos(y, 4);
+        assert!(eval(&word, &a, &MsoNw::succ(x, y, z)));
+        let a = Assignment::new().with_pos(x, 3).with_pos(y, 5);
+        assert!(!eval(&word, &a, &MsoNw::succ(x, y, z)));
+
+        let a = Assignment::new().with_pos(x, 0);
+        assert!(eval(&word, &a, &MsoNw::first(x, z)));
+        let a = Assignment::new().with_pos(x, word.len() - 1);
+        assert!(eval(&word, &a, &MsoNw::last(x, z)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound position variable")]
+    fn unbound_variable_panics() {
+        let (_, word) = setup();
+        eval(&word, &Assignment::new(), &MsoNw::Less(PosVar(0), PosVar(1)));
+    }
+}

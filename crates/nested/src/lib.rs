@@ -1,0 +1,35 @@
+//! # rdms-nested — nested words, MSO over nested words, visibly pushdown automata
+//!
+//! The decidability result of the paper (Theorem 5.1) reduces recency-bounded model checking
+//! to the satisfiability problem of **monadic second-order logic over nested words**, citing
+//! Alur–Madhusudan for its decidability (the paper's "Fact 1"). This crate implements that
+//! machinery from scratch:
+//!
+//! * [`alphabet`] — visible (pushdown) alphabets: every letter is a call (push), return
+//!   (pop) or internal letter;
+//! * [`word`] — finite nested words: a word over a visible alphabet together with the
+//!   induced nesting relation `⊿` (computed by stack matching, with pending calls and
+//!   pending returns allowed, exactly as in the paper's Section 6.2);
+//! * [`mso`] — the logic MSO_NW: letter predicates `a(x)`, order `x < y`, nesting `x ⊿ y`,
+//!   membership `x ∈ X`, boolean connectives and first/second-order quantification;
+//! * [`eval`] — direct evaluation of MSO_NW formulae on concrete nested words (reference
+//!   semantics, exponential in the second-order quantifier depth — used for cross-validation
+//!   on small instances);
+//! * [`vpa`] — visibly pushdown automata: nondeterministic VPAs, membership, union, product,
+//!   determinization (the Alur–Madhusudan summary-pair construction), complementation,
+//!   relabelling/projection, emptiness and witness extraction;
+//! * [`compile`] — the MSO_NW → VPA compiler realising Fact 1: satisfiability and
+//!   model-checking of MSO_NW formulae by automata-theoretic means.
+
+pub mod alphabet;
+pub mod compile;
+pub mod eval;
+pub mod mso;
+pub mod vpa;
+pub mod word;
+
+pub use alphabet::{Alphabet, LetterId, LetterKind};
+pub use compile::{compile, is_satisfiable, satisfying_witness};
+pub use mso::MsoNw;
+pub use vpa::Vpa;
+pub use word::NestedWord;

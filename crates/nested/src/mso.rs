@@ -1,0 +1,413 @@
+//! Monadic second-order logic over nested words (MSO_NW, Section 6.2 of the paper).
+//!
+//! ```text
+//! ϕ ::= a(x) | x < y | x ⊿ y | x ∈ X | ¬ϕ | ϕ ∨ ϕ | ∃x.ϕ | ∃X.ϕ
+//! ```
+//!
+//! We additionally keep `∧`, `→`, `∀`, position equality and a handful of derived macros
+//! (`succ`, `first`, `last`, `x ≤ y`) as constructors — they all desugar to the core syntax
+//! for the purposes of the automaton translation, but keeping them first-class makes the
+//! (very large) formulae produced by `rdms-checker` much easier to read and to test.
+
+use crate::alphabet::LetterId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order position variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PosVar(pub u32);
+
+/// A second-order (set-of-positions) variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SetVar(pub u32);
+
+impl fmt::Debug for PosVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Debug for SetVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// Either kind of variable (used for free-variable bookkeeping in the compiler).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum MsoVar {
+    /// First-order position variable.
+    Pos(PosVar),
+    /// Second-order set variable.
+    Set(SetVar),
+}
+
+/// An MSO_NW formula.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MsoNw {
+    /// The constant true.
+    True,
+    /// `a(x)`: position `x` carries letter `a`.
+    Letter(LetterId, PosVar),
+    /// `x < y`.
+    Less(PosVar, PosVar),
+    /// `x = y` (derivable, kept atomic).
+    PosEq(PosVar, PosVar),
+    /// `x ⊿ y`: `x` is a call matched by return `y`.
+    Matched(PosVar, PosVar),
+    /// `x ∈ X`.
+    In(PosVar, SetVar),
+    /// Negation.
+    Not(Box<MsoNw>),
+    /// Conjunction.
+    And(Box<MsoNw>, Box<MsoNw>),
+    /// Disjunction.
+    Or(Box<MsoNw>, Box<MsoNw>),
+    /// First-order existential quantification.
+    ExistsPos(PosVar, Box<MsoNw>),
+    /// First-order universal quantification.
+    ForallPos(PosVar, Box<MsoNw>),
+    /// Second-order existential quantification.
+    ExistsSet(SetVar, Box<MsoNw>),
+    /// Second-order universal quantification.
+    ForallSet(SetVar, Box<MsoNw>),
+}
+
+impl MsoNw {
+    /// The constant false.
+    pub fn false_() -> MsoNw {
+        MsoNw::True.not()
+    }
+
+    /// Letter predicate `a(x)`.
+    pub fn letter(a: LetterId, x: PosVar) -> MsoNw {
+        MsoNw::Letter(a, x)
+    }
+
+    /// Any of the given letters at `x` (e.g. the paper's `Σint(x)` macro).
+    pub fn letter_among<I: IntoIterator<Item = LetterId>>(letters: I, x: PosVar) -> MsoNw {
+        MsoNw::disj(letters.into_iter().map(|a| MsoNw::Letter(a, x)))
+    }
+
+    /// `x < y`.
+    pub fn less(x: PosVar, y: PosVar) -> MsoNw {
+        MsoNw::Less(x, y)
+    }
+
+    /// `x ≤ y`.
+    pub fn leq(x: PosVar, y: PosVar) -> MsoNw {
+        MsoNw::Less(x, y).or(MsoNw::PosEq(x, y))
+    }
+
+    /// `x ⊿ y`.
+    pub fn matched(x: PosVar, y: PosVar) -> MsoNw {
+        MsoNw::Matched(x, y)
+    }
+
+    /// `x ∈ X`.
+    pub fn is_in(x: PosVar, set: SetVar) -> MsoNw {
+        MsoNw::In(x, set)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> MsoNw {
+        MsoNw::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: MsoNw) -> MsoNw {
+        MsoNw::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: MsoNw) -> MsoNw {
+        MsoNw::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Implication.
+    pub fn implies(self, other: MsoNw) -> MsoNw {
+        self.not().or(other)
+    }
+
+    /// Bi-implication.
+    pub fn iff(self, other: MsoNw) -> MsoNw {
+        self.clone().implies(other.clone()).and(other.implies(self))
+    }
+
+    /// Conjunction of many formulae (`true` if empty).
+    pub fn conj<I: IntoIterator<Item = MsoNw>>(items: I) -> MsoNw {
+        let mut iter = items.into_iter();
+        match iter.next() {
+            None => MsoNw::True,
+            Some(first) => iter.fold(first, MsoNw::and),
+        }
+    }
+
+    /// Disjunction of many formulae (`false` if empty).
+    pub fn disj<I: IntoIterator<Item = MsoNw>>(items: I) -> MsoNw {
+        let mut iter = items.into_iter();
+        match iter.next() {
+            None => MsoNw::false_(),
+            Some(first) => iter.fold(first, MsoNw::or),
+        }
+    }
+
+    /// `∃x.ϕ`.
+    pub fn exists_pos(x: PosVar, body: MsoNw) -> MsoNw {
+        MsoNw::ExistsPos(x, Box::new(body))
+    }
+
+    /// `∀x.ϕ`.
+    pub fn forall_pos(x: PosVar, body: MsoNw) -> MsoNw {
+        MsoNw::ForallPos(x, Box::new(body))
+    }
+
+    /// `∃X.ϕ`.
+    pub fn exists_set(set: SetVar, body: MsoNw) -> MsoNw {
+        MsoNw::ExistsSet(set, Box::new(body))
+    }
+
+    /// `∀X.ϕ`.
+    pub fn forall_set(set: SetVar, body: MsoNw) -> MsoNw {
+        MsoNw::ForallSet(set, Box::new(body))
+    }
+
+    /// Existential quantification over many position variables.
+    pub fn exists_pos_many<I: IntoIterator<Item = PosVar>>(vars: I, body: MsoNw) -> MsoNw {
+        let vars: Vec<PosVar> = vars.into_iter().collect();
+        vars.into_iter().rev().fold(body, |acc, v| MsoNw::exists_pos(v, acc))
+    }
+
+    /// Universal quantification over many position variables.
+    pub fn forall_pos_many<I: IntoIterator<Item = PosVar>>(vars: I, body: MsoNw) -> MsoNw {
+        let vars: Vec<PosVar> = vars.into_iter().collect();
+        vars.into_iter().rev().fold(body, |acc, v| MsoNw::forall_pos(v, acc))
+    }
+
+    /// `succ(x, y)`: `y` is the successor position of `x` (macro used in Example 4.1).
+    pub fn succ(x: PosVar, y: PosVar, scratch: PosVar) -> MsoNw {
+        // x < y ∧ ¬∃z. x < z < y
+        MsoNw::Less(x, y).and(
+            MsoNw::exists_pos(scratch, MsoNw::Less(x, scratch).and(MsoNw::Less(scratch, y))).not(),
+        )
+    }
+
+    /// `first(x)`: `x` is the first position.
+    pub fn first(x: PosVar, scratch: PosVar) -> MsoNw {
+        MsoNw::exists_pos(scratch, MsoNw::Less(scratch, x)).not()
+    }
+
+    /// `last(x)`: `x` is the last position.
+    pub fn last(x: PosVar, scratch: PosVar) -> MsoNw {
+        MsoNw::exists_pos(scratch, MsoNw::Less(x, scratch)).not()
+    }
+
+    /// The free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<MsoVar> {
+        let mut free = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut free);
+        free
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<MsoVar>, free: &mut BTreeSet<MsoVar>) {
+        let add = |v: MsoVar, bound: &BTreeSet<MsoVar>, free: &mut BTreeSet<MsoVar>| {
+            if !bound.contains(&v) {
+                free.insert(v);
+            }
+        };
+        match self {
+            MsoNw::True => {}
+            MsoNw::Letter(_, x) => add(MsoVar::Pos(*x), bound, free),
+            MsoNw::Less(x, y) | MsoNw::PosEq(x, y) | MsoNw::Matched(x, y) => {
+                add(MsoVar::Pos(*x), bound, free);
+                add(MsoVar::Pos(*y), bound, free);
+            }
+            MsoNw::In(x, set) => {
+                add(MsoVar::Pos(*x), bound, free);
+                add(MsoVar::Set(*set), bound, free);
+            }
+            MsoNw::Not(p) => p.collect_free(bound, free),
+            MsoNw::And(a, b) | MsoNw::Or(a, b) => {
+                a.collect_free(bound, free);
+                b.collect_free(bound, free);
+            }
+            MsoNw::ExistsPos(x, p) | MsoNw::ForallPos(x, p) => {
+                let v = MsoVar::Pos(*x);
+                let newly = bound.insert(v);
+                p.collect_free(bound, free);
+                if newly {
+                    bound.remove(&v);
+                }
+            }
+            MsoNw::ExistsSet(x, p) | MsoNw::ForallSet(x, p) => {
+                let v = MsoVar::Set(*x);
+                let newly = bound.insert(v);
+                p.collect_free(bound, free);
+                if newly {
+                    bound.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// Whether the formula is a sentence.
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            MsoNw::True
+            | MsoNw::Letter(..)
+            | MsoNw::Less(..)
+            | MsoNw::PosEq(..)
+            | MsoNw::Matched(..)
+            | MsoNw::In(..) => 1,
+            MsoNw::Not(p)
+            | MsoNw::ExistsPos(_, p)
+            | MsoNw::ForallPos(_, p)
+            | MsoNw::ExistsSet(_, p)
+            | MsoNw::ForallSet(_, p) => 1 + p.size(),
+            MsoNw::And(a, b) | MsoNw::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Quantifier nesting depth (first- and second-order).
+    pub fn quantifier_depth(&self) -> usize {
+        match self {
+            MsoNw::True
+            | MsoNw::Letter(..)
+            | MsoNw::Less(..)
+            | MsoNw::PosEq(..)
+            | MsoNw::Matched(..)
+            | MsoNw::In(..) => 0,
+            MsoNw::Not(p) => p.quantifier_depth(),
+            MsoNw::And(a, b) | MsoNw::Or(a, b) => a.quantifier_depth().max(b.quantifier_depth()),
+            MsoNw::ExistsPos(_, p)
+            | MsoNw::ForallPos(_, p)
+            | MsoNw::ExistsSet(_, p)
+            | MsoNw::ForallSet(_, p) => 1 + p.quantifier_depth(),
+        }
+    }
+}
+
+impl fmt::Debug for MsoNw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsoNw::True => write!(f, "true"),
+            MsoNw::Letter(a, x) => write!(f, "ℓ{}({x:?})", a.0),
+            MsoNw::Less(x, y) => write!(f, "{x:?} < {y:?}"),
+            MsoNw::PosEq(x, y) => write!(f, "{x:?} = {y:?}"),
+            MsoNw::Matched(x, y) => write!(f, "{x:?} ⊿ {y:?}"),
+            MsoNw::In(x, s) => write!(f, "{x:?} ∈ {s:?}"),
+            MsoNw::Not(p) => write!(f, "¬({p:?})"),
+            MsoNw::And(a, b) => write!(f, "({a:?} ∧ {b:?})"),
+            MsoNw::Or(a, b) => write!(f, "({a:?} ∨ {b:?})"),
+            MsoNw::ExistsPos(x, p) => write!(f, "∃{x:?}.({p:?})"),
+            MsoNw::ForallPos(x, p) => write!(f, "∀{x:?}.({p:?})"),
+            MsoNw::ExistsSet(x, p) => write!(f, "∃{x:?}.({p:?})"),
+            MsoNw::ForallSet(x, p) => write!(f, "∀{x:?}.({p:?})"),
+        }
+    }
+}
+
+/// A small factory handing out distinct position/set variables — convenient when building the
+/// large generated formulae of the checker.
+#[derive(Default)]
+pub struct VarFactory {
+    next_pos: u32,
+    next_set: u32,
+}
+
+impl VarFactory {
+    /// Create a factory starting at 0.
+    pub fn new() -> VarFactory {
+        VarFactory::default()
+    }
+
+    /// A fresh position variable.
+    pub fn pos(&mut self) -> PosVar {
+        let v = PosVar(self.next_pos);
+        self.next_pos += 1;
+        v
+    }
+
+    /// A fresh set variable.
+    pub fn set(&mut self) -> SetVar {
+        let v = SetVar(self.next_set);
+        self.next_set += 1;
+        v
+    }
+
+    /// Several fresh position variables.
+    pub fn pos_many(&mut self, n: usize) -> Vec<PosVar> {
+        (0..n).map(|_| self.pos()).collect()
+    }
+
+    /// Several fresh set variables.
+    pub fn set_many(&mut self, n: usize) -> Vec<SetVar> {
+        (0..n).map(|_| self.set()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u32) -> PosVar {
+        PosVar(i)
+    }
+    fn set(i: u32) -> SetVar {
+        SetVar(i)
+    }
+
+    #[test]
+    fn free_vars_and_sentences() {
+        let phi = MsoNw::exists_pos(x(0), MsoNw::Less(x(0), x(1)).and(MsoNw::is_in(x(0), set(0))));
+        assert_eq!(
+            phi.free_vars(),
+            BTreeSet::from([MsoVar::Pos(x(1)), MsoVar::Set(set(0))])
+        );
+        assert!(!phi.is_sentence());
+
+        let sentence = MsoNw::exists_set(set(0), MsoNw::forall_pos(x(1), MsoNw::exists_pos(x(0), phi.clone())));
+        assert!(sentence.is_sentence());
+        assert_eq!(sentence.quantifier_depth(), 4);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        // And + Less + Not + True = 4 nodes
+        let phi = MsoNw::Less(x(0), x(1)).and(MsoNw::True.not());
+        assert_eq!(phi.size(), 4);
+    }
+
+    #[test]
+    fn conj_disj_empty() {
+        assert_eq!(MsoNw::conj(vec![]), MsoNw::True);
+        assert_eq!(MsoNw::disj(vec![]), MsoNw::false_());
+    }
+
+    #[test]
+    fn var_factory_produces_distinct_variables() {
+        let mut f = VarFactory::new();
+        let a = f.pos();
+        let b = f.pos();
+        let s1 = f.set();
+        let s2 = f.set();
+        assert_ne!(a, b);
+        assert_ne!(s1, s2);
+        assert_eq!(f.pos_many(3).len(), 3);
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let phi = MsoNw::Matched(x(0), x(1)).implies(MsoNw::Letter(LetterId(2), x(1)));
+        let text = format!("{phi:?}");
+        assert!(text.contains('⊿'));
+        assert!(text.contains("ℓ2"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Determinization and complementation of VPAs (the Alur–Madhusudan summary-pair
+//! construction).
+//!
+//! A state of the deterministic automaton is a set `S ⊆ Q × Q` of pairs `(origin, current)`:
+//! `origin` is the state the original automaton was in at the time of the last pending call
+//! (or at the start of the word), `current` a state it can be in now. On a call the
+//! deterministic automaton pushes `(S, a)` onto its own stack and restarts the pair set; on a
+//! matching return it combines the popped context with the summary accumulated in between.
+//!
+//! The construction yields a *complete* deterministic VPA, so complementation is just
+//! flipping the accepting states.
+
+use crate::alphabet::LetterKind;
+use crate::vpa::Vpa;
+use std::collections::{BTreeMap, BTreeSet};
+
+type PairSet = BTreeSet<(usize, usize)>;
+
+/// Determinize a VPA. The result is deterministic (single initial state, at most one
+/// transition per letter/stack-symbol) and complete (exactly one transition), and accepts the
+/// same language.
+pub fn determinize(vpa: &Vpa) -> Vpa {
+    let mut states: Vec<PairSet> = Vec::new();
+    let mut state_ids: BTreeMap<PairSet, usize> = BTreeMap::new();
+    let mut stack_syms: Vec<(usize, crate::alphabet::LetterId)> = Vec::new();
+    let mut stack_ids: BTreeMap<(usize, crate::alphabet::LetterId), usize> = BTreeMap::new();
+
+    let intern_state = |s: PairSet, states: &mut Vec<PairSet>, ids: &mut BTreeMap<PairSet, usize>| -> usize {
+        if let Some(&id) = ids.get(&s) {
+            return id;
+        }
+        let id = states.len();
+        states.push(s.clone());
+        ids.insert(s, id);
+        id
+    };
+
+    let initial_set: PairSet = vpa.initial.iter().map(|&q| (q, q)).collect();
+    let initial_id = intern_state(initial_set, &mut states, &mut state_ids);
+
+    // transition tables of the deterministic automaton, filled as we discover states
+    let mut d_internal: BTreeSet<(usize, crate::alphabet::LetterId, usize)> = BTreeSet::new();
+    let mut d_call: BTreeSet<(usize, crate::alphabet::LetterId, usize, usize)> = BTreeSet::new();
+    let mut d_ret: BTreeSet<(usize, usize, crate::alphabet::LetterId, usize)> = BTreeSet::new();
+    let mut d_ret_empty: BTreeSet<(usize, crate::alphabet::LetterId, usize)> = BTreeSet::new();
+
+    // fixpoint: process (state, letter) and (state, stack symbol, return letter) combinations
+    // until no new state or stack symbol appears
+    let mut processed_states = 0;
+    let mut processed_ret: BTreeSet<(usize, usize)> = BTreeSet::new(); // (state, stack sym)
+    loop {
+        let mut changed = false;
+
+        // process newly discovered states
+        while processed_states < states.len() {
+            let sid = processed_states;
+            processed_states += 1;
+            changed = true;
+            let s = states[sid].clone();
+
+            for letter in vpa.alphabet.letters() {
+                match vpa.alphabet.kind(letter) {
+                    LetterKind::Internal => {
+                        let mut next: PairSet = BTreeSet::new();
+                        for &(origin, current) in &s {
+                            for &(p, a, p2) in &vpa.internal {
+                                if p == current && a == letter {
+                                    next.insert((origin, p2));
+                                }
+                            }
+                        }
+                        let tid = intern_state(next, &mut states, &mut state_ids);
+                        d_internal.insert((sid, letter, tid));
+                    }
+                    LetterKind::Call => {
+                        let mut next: PairSet = BTreeSet::new();
+                        for &(_, current) in &s {
+                            for &(p, a, p2, _gamma) in &vpa.call {
+                                if p == current && a == letter {
+                                    next.insert((p2, p2));
+                                }
+                            }
+                        }
+                        let tid = intern_state(next, &mut states, &mut state_ids);
+                        // the deterministic automaton pushes (source state, call letter)
+                        let sym = (sid, letter);
+                        let gid = *stack_ids.entry(sym).or_insert_with(|| {
+                            stack_syms.push(sym);
+                            stack_syms.len() - 1
+                        });
+                        d_call.insert((sid, letter, tid, gid));
+                    }
+                    LetterKind::Return => {
+                        // pending return (empty stack)
+                        let mut next: PairSet = BTreeSet::new();
+                        for &(origin, current) in &s {
+                            for &(p, a, p2) in &vpa.ret_empty {
+                                if p == current && a == letter {
+                                    next.insert((origin, p2));
+                                }
+                            }
+                        }
+                        let tid = intern_state(next, &mut states, &mut state_ids);
+                        d_ret_empty.insert((sid, letter, tid));
+                    }
+                }
+            }
+        }
+
+        // process (state, stack symbol) pairs for matched returns
+        let num_states_now = states.len();
+        let num_syms_now = stack_syms.len();
+        for sid in 0..num_states_now {
+            for gid in 0..num_syms_now {
+                if !processed_ret.insert((sid, gid)) {
+                    continue;
+                }
+                changed = true;
+                let s_current = states[sid].clone();
+                let (prev_sid, call_letter) = stack_syms[gid];
+                let s_prev = states[prev_sid].clone();
+                for letter in vpa.alphabet.letters_of_kind(LetterKind::Return).collect::<Vec<_>>() {
+                    let mut next: PairSet = BTreeSet::new();
+                    for &(origin, q1) in &s_prev {
+                        for &(p, a, q2, gamma) in &vpa.call {
+                            if p != q1 || a != call_letter {
+                                continue;
+                            }
+                            for &(q2b, q3) in &s_current {
+                                if q2b != q2 {
+                                    continue;
+                                }
+                                for &(p3, g, b, q4) in &vpa.ret {
+                                    if p3 == q3 && g == gamma && b == letter {
+                                        next.insert((origin, q4));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let tid = intern_state(next, &mut states, &mut state_ids);
+                    d_ret.insert((sid, gid, letter, tid));
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = Vpa::new(vpa.alphabet.clone(), states.len(), stack_syms.len().max(1));
+    out.initial.insert(initial_id);
+    for (sid, s) in states.iter().enumerate() {
+        if s.iter().any(|&(_, current)| vpa.finals.contains(&current)) {
+            out.finals.insert(sid);
+        }
+    }
+    out.internal = d_internal;
+    out.call = d_call;
+    out.ret = d_ret;
+    out.ret_empty = d_ret_empty;
+    out
+}
+
+/// Complement a VPA with respect to the set of *all* finite nested words over its alphabet
+/// (determinize, then flip the accepting states).
+pub fn complement(vpa: &Vpa) -> Vpa {
+    let mut det = determinize(vpa);
+    det.finals = (0..det.num_states).filter(|q| !det.finals.contains(q)).collect();
+    det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::vpa::ops::intersect;
+    use crate::word::NestedWord;
+    use std::sync::Arc;
+
+    fn alphabet() -> Arc<Alphabet> {
+        let mut a = Alphabet::new();
+        a.call("<");
+        a.ret(">");
+        a.internal("x");
+        a.internal("y");
+        a.into_arc()
+    }
+
+    /// Nondeterministic automaton: accepts words where some internal `x` occurs *inside* a
+    /// matched call/return pair (i.e. at nesting depth ≥ 1 below a matched call).
+    fn x_inside_matched_call(a: Arc<Alphabet>) -> Vpa {
+        let lt = a.lookup("<").unwrap();
+        let gt = a.lookup(">").unwrap();
+        let x = a.lookup("x").unwrap();
+        // states: 0 = searching, 1 = inside a guessed matched call (before x),
+        //         2 = inside, x seen (must still see the matching return), 3 = done
+        // stack: 0 = other, 1 = the guessed call
+        let mut vpa = Vpa::new(a, 4, 2);
+        vpa.set_initial(0);
+        vpa.set_final(3);
+        vpa.add_all_letter_loops(0, 0);
+        vpa.add_all_letter_loops(3, 0);
+        // guess the interesting call
+        vpa.add_call(0, lt, 1, 1);
+        // inside: anything, tracking only the guessed symbol's matching return
+        vpa.add_internal(1, x, 2);
+        let y = vpa.alphabet.lookup("y").unwrap();
+        vpa.add_internal(1, y, 1);
+        vpa.add_call(1, lt, 1, 0);
+        vpa.add_return(1, 0, gt, 1);
+        vpa.add_internal(2, x, 2);
+        vpa.add_internal(2, y, 2);
+        vpa.add_call(2, lt, 2, 0);
+        vpa.add_return(2, 0, gt, 2);
+        // the matching return of the guessed call
+        vpa.add_return(2, 1, gt, 3);
+        vpa
+    }
+
+    fn words(a: &Arc<Alphabet>) -> Vec<(NestedWord, bool)> {
+        // (word, should x-inside-matched-call hold?)
+        vec![
+            (NestedWord::from_names(a.clone(), &["<", "x", ">"]), true),
+            (NestedWord::from_names(a.clone(), &["<", "y", ">", "x"]), false),
+            (NestedWord::from_names(a.clone(), &["x"]), false),
+            (NestedWord::from_names(a.clone(), &["<", "<", "x", ">", ">"]), true),
+            (NestedWord::from_names(a.clone(), &["<", "x"]), false), // pending call: not matched
+            (NestedWord::from_names(a.clone(), &[">", "x", "<"]), false),
+            (NestedWord::from_names(a.clone(), &["y", "<", "y", "<", "x", ">", ">"]), true),
+            (NestedWord::from_names(a.clone(), &[]), false),
+        ]
+    }
+
+    #[test]
+    fn determinization_preserves_the_language() {
+        let a = alphabet();
+        let nd = x_inside_matched_call(a.clone());
+        let det = determinize(&nd);
+        for (word, expected) in words(&a) {
+            assert_eq!(nd.accepts(&word), expected, "nondeterministic on {word:?}");
+            assert_eq!(det.accepts(&word), expected, "deterministic on {word:?}");
+        }
+    }
+
+    #[test]
+    fn determinized_automaton_is_deterministic_and_complete() {
+        let a = alphabet();
+        let det = determinize(&x_inside_matched_call(a.clone()));
+        assert_eq!(det.initial.len(), 1);
+        // exactly one internal transition per (state, internal letter)
+        for q in 0..det.num_states {
+            for letter in a.letters() {
+                match a.kind(letter) {
+                    LetterKind::Internal => {
+                        assert_eq!(det.internal.iter().filter(|&&(p, l, _)| p == q && l == letter).count(), 1);
+                    }
+                    LetterKind::Call => {
+                        assert_eq!(det.call.iter().filter(|&&(p, l, _, _)| p == q && l == letter).count(), 1);
+                    }
+                    LetterKind::Return => {
+                        assert_eq!(det.ret_empty.iter().filter(|&&(p, l, _)| p == q && l == letter).count(), 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complement_is_exact() {
+        let a = alphabet();
+        let nd = x_inside_matched_call(a.clone());
+        let comp = complement(&nd);
+        for (word, expected) in words(&a) {
+            assert_eq!(comp.accepts(&word), !expected, "complement on {word:?}");
+        }
+        // the intersection of a language and its complement is empty on all sample words
+        let inter = intersect(&nd, &comp);
+        for (word, _) in words(&a) {
+            assert!(!inter.accepts(&word));
+        }
+    }
+
+    #[test]
+    fn double_complement_preserves_the_language() {
+        let a = alphabet();
+        let nd = x_inside_matched_call(a.clone());
+        let cc = complement(&complement(&nd));
+        for (word, expected) in words(&a) {
+            assert_eq!(cc.accepts(&word), expected, "double complement on {word:?}");
+        }
+    }
+}

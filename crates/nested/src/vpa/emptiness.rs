@@ -1,0 +1,248 @@
+//! Emptiness checking and witness extraction for VPAs.
+//!
+//! The algorithm is the standard summary saturation: first compute, for every pair of states
+//! `(q, q')`, whether `q'` is reachable from `q` by reading a *well-matched* nested word
+//! (internal letters and matched call/return pairs only); then explore what is reachable from
+//! the initial states when additionally allowing pending returns (which must all come first)
+//! and pending calls (which must all come last). Witness words are reconstructed from the
+//! derivations.
+
+use crate::alphabet::LetterId;
+use crate::vpa::Vpa;
+use crate::word::NestedWord;
+use std::collections::BTreeMap;
+
+/// Whether the automaton accepts at least one nested word.
+pub fn is_empty(vpa: &Vpa) -> bool {
+    shortest_witness(vpa).is_none()
+}
+
+/// A nested word accepted by the automaton, if any.
+///
+/// The witness is not guaranteed to be globally shortest, but it is minimal with respect to
+/// the saturation order, which keeps it small in practice.
+pub fn shortest_witness(vpa: &Vpa) -> Option<NestedWord> {
+    // well-matched summaries: (q, q') → witness word
+    let mut summaries: BTreeMap<(usize, usize), Vec<LetterId>> = BTreeMap::new();
+    for q in 0..vpa.num_states {
+        summaries.insert((q, q), Vec::new());
+    }
+
+    // saturate
+    loop {
+        let mut added: Vec<((usize, usize), Vec<LetterId>)> = Vec::new();
+        // internal extension
+        for (&(q, q1), w) in &summaries {
+            for &(p, a, p2) in &vpa.internal {
+                if p == q1 && !summaries.contains_key(&(q, p2)) {
+                    let mut w2 = w.clone();
+                    w2.push(a);
+                    added.push(((q, p2), w2));
+                }
+            }
+            // call/return wrapping: q →wm q1, q1 -call a/γ→ q2, q2 →wm q3, q3 -ret b pop γ→ q4
+            for &(p, a, q2, gamma) in &vpa.call {
+                if p != q1 {
+                    continue;
+                }
+                for (&(q2b, q3), inner) in &summaries {
+                    if q2b != q2 {
+                        continue;
+                    }
+                    for &(p3, g, b, q4) in &vpa.ret {
+                        if p3 == q3 && g == gamma && !summaries.contains_key(&(q, q4)) {
+                            let mut w2 = w.clone();
+                            w2.push(a);
+                            w2.extend(inner.iter().copied());
+                            w2.push(b);
+                            added.push(((q, q4), w2));
+                        }
+                    }
+                }
+            }
+        }
+        if added.is_empty() {
+            break;
+        }
+        for (key, w) in added {
+            summaries.entry(key).or_insert(w);
+        }
+    }
+
+    // phase 1: from the initial states, close under summaries and pending returns
+    let mut phase1: BTreeMap<usize, Vec<LetterId>> = vpa.initial.iter().map(|&q| (q, Vec::new())).collect();
+    saturate_phase(&mut phase1, |q| {
+        let mut succ: Vec<(usize, Vec<LetterId>)> = Vec::new();
+        for (&(p, p2), w) in &summaries {
+            if p == q && p2 != q {
+                succ.push((p2, w.clone()));
+            }
+        }
+        for &(p, a, p2) in &vpa.ret_empty {
+            if p == q {
+                succ.push((p2, vec![a]));
+            }
+        }
+        succ
+    });
+
+    // phase 2: additionally allow pending calls (and summaries after them)
+    let mut phase2 = phase1.clone();
+    saturate_phase(&mut phase2, |q| {
+        let mut succ: Vec<(usize, Vec<LetterId>)> = Vec::new();
+        for (&(p, p2), w) in &summaries {
+            if p == q && p2 != q {
+                succ.push((p2, w.clone()));
+            }
+        }
+        for &(p, a, p2, _gamma) in &vpa.call {
+            if p == q {
+                succ.push((p2, vec![a]));
+            }
+        }
+        succ
+    });
+
+    // accepting state reachable?
+    let mut best: Option<Vec<LetterId>> = None;
+    for (&q, w) in phase1.iter().chain(phase2.iter()) {
+        if vpa.finals.contains(&q) {
+            match &best {
+                Some(current) if current.len() <= w.len() => {}
+                _ => best = Some(w.clone()),
+            }
+        }
+    }
+    best.map(|letters| NestedWord::new(vpa.alphabet.clone(), letters))
+}
+
+/// Generic worklist closure: `reached` maps a state to a witness prefix; `successors` yields
+/// `(state, word-suffix)` edges.
+fn saturate_phase(
+    reached: &mut BTreeMap<usize, Vec<LetterId>>,
+    successors: impl Fn(usize) -> Vec<(usize, Vec<LetterId>)>,
+) {
+    let mut worklist: Vec<usize> = reached.keys().copied().collect();
+    while let Some(q) = worklist.pop() {
+        let prefix = reached[&q].clone();
+        for (q2, suffix) in successors(q) {
+            if !reached.contains_key(&q2) {
+                let mut w = prefix.clone();
+                w.extend(suffix);
+                reached.insert(q2, w);
+                worklist.push(q2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::vpa::ops::intersect;
+    use std::sync::Arc;
+
+    fn alphabet() -> Arc<Alphabet> {
+        let mut a = Alphabet::new();
+        a.call("<");
+        a.ret(">");
+        a.internal("x");
+        a.into_arc()
+    }
+
+    #[test]
+    fn universal_is_nonempty_and_empty_is_empty() {
+        let a = alphabet();
+        assert!(!is_empty(&Vpa::universal(a.clone())));
+        assert!(is_empty(&Vpa::empty_language(a.clone())));
+        // the universal automaton's witness is the empty word
+        let w = shortest_witness(&Vpa::universal(a)).unwrap();
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn witness_requires_matched_nesting() {
+        let a = alphabet();
+        let lt = a.lookup("<").unwrap();
+        let gt = a.lookup(">").unwrap();
+        let x = a.lookup("x").unwrap();
+        // accepts exactly < x > (via the stack)
+        let mut vpa = Vpa::new(a.clone(), 4, 1);
+        vpa.set_initial(0);
+        vpa.add_call(0, lt, 1, 0);
+        vpa.add_internal(1, x, 2);
+        vpa.add_return(2, 0, gt, 3);
+        vpa.set_final(3);
+
+        let w = shortest_witness(&vpa).expect("nonempty");
+        assert_eq!(w.len(), 3);
+        assert!(vpa.accepts(&w), "witness must be accepted: {w:?}");
+        assert!(w.check_nesting_laws());
+    }
+
+    #[test]
+    fn witness_with_pending_calls_and_returns() {
+        let a = alphabet();
+        let lt = a.lookup("<").unwrap();
+        let gt = a.lookup(">").unwrap();
+        // accepts exactly the words with one pending return followed by one pending call
+        let mut vpa = Vpa::new(a.clone(), 3, 1);
+        vpa.set_initial(0);
+        vpa.add_return_empty(0, gt, 1);
+        vpa.add_call(1, lt, 2, 0);
+        vpa.set_final(2);
+
+        let w = shortest_witness(&vpa).expect("nonempty");
+        assert!(vpa.accepts(&w));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pending_returns().len(), 1);
+        assert_eq!(w.pending_calls().len(), 1);
+    }
+
+    #[test]
+    fn empty_intersection_is_detected() {
+        let a = alphabet();
+        let x = a.lookup("x").unwrap();
+        // automaton 1: accepts words with at least one x
+        let mut has_x = Vpa::new(a.clone(), 2, 1);
+        has_x.set_initial(0);
+        has_x.set_final(1);
+        has_x.add_all_letter_loops(0, 0);
+        has_x.add_all_letter_loops(1, 0);
+        has_x.add_internal(0, x, 1);
+        // automaton 2: accepts words with no x at all
+        let mut no_x = Vpa::new(a.clone(), 1, 1);
+        no_x.set_initial(0);
+        no_x.set_final(0);
+        let lt = a.lookup("<").unwrap();
+        let gt = a.lookup(">").unwrap();
+        no_x.add_call(0, lt, 0, 0);
+        no_x.add_return(0, 0, gt, 0);
+        no_x.add_return_empty(0, gt, 0);
+
+        assert!(!is_empty(&has_x));
+        assert!(!is_empty(&no_x));
+        assert!(is_empty(&intersect(&has_x, &no_x)));
+    }
+
+    #[test]
+    fn witness_is_accepted_for_a_nondeterministic_automaton() {
+        let a = alphabet();
+        let lt = a.lookup("<").unwrap();
+        let gt = a.lookup(">").unwrap();
+        let x = a.lookup("x").unwrap();
+        // accepts words of the form < ... x ... > where the x is directly inside the
+        // outermost (matched) call — nondeterministic guess of the relevant call
+        let mut vpa = Vpa::new(a.clone(), 4, 2);
+        vpa.set_initial(0);
+        vpa.set_final(3);
+        vpa.add_all_letter_loops(0, 0);
+        vpa.add_call(0, lt, 1, 1);
+        vpa.add_internal(1, x, 2);
+        vpa.add_return(2, 1, gt, 3);
+        vpa.add_all_letter_loops(3, 0);
+        let w = shortest_witness(&vpa).expect("nonempty");
+        assert!(vpa.accepts(&w), "witness {w:?} must be accepted");
+    }
+}

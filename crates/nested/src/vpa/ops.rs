@@ -1,0 +1,395 @@
+//! Language operations on VPAs: union, intersection (product), relabelling.
+
+use crate::alphabet::{Alphabet, LetterId};
+use crate::vpa::Vpa;
+use std::sync::Arc;
+
+/// Union of two VPAs over the same alphabet (disjoint union of the automata).
+pub fn union(a: &Vpa, b: &Vpa) -> Vpa {
+    assert_eq!(a.alphabet.as_ref(), b.alphabet.as_ref(), "alphabet mismatch in union");
+    let offset_q = a.num_states;
+    let offset_g = a.num_stack;
+    let mut out = Vpa::new(a.alphabet.clone(), a.num_states + b.num_states, a.num_stack + b.num_stack);
+
+    out.initial.extend(a.initial.iter().copied());
+    out.finals.extend(a.finals.iter().copied());
+    out.internal.extend(a.internal.iter().copied());
+    out.call.extend(a.call.iter().copied());
+    out.ret.extend(a.ret.iter().copied());
+    out.ret_empty.extend(a.ret_empty.iter().copied());
+
+    out.initial.extend(b.initial.iter().map(|&q| q + offset_q));
+    out.finals.extend(b.finals.iter().map(|&q| q + offset_q));
+    out.internal
+        .extend(b.internal.iter().map(|&(q, l, q2)| (q + offset_q, l, q2 + offset_q)));
+    out.call.extend(
+        b.call
+            .iter()
+            .map(|&(q, l, q2, g)| (q + offset_q, l, q2 + offset_q, g + offset_g)),
+    );
+    out.ret.extend(
+        b.ret
+            .iter()
+            .map(|&(q, g, l, q2)| (q + offset_q, g + offset_g, l, q2 + offset_q)),
+    );
+    out.ret_empty
+        .extend(b.ret_empty.iter().map(|&(q, l, q2)| (q + offset_q, l, q2 + offset_q)));
+    out
+}
+
+/// Intersection of two VPAs over the same alphabet (synchronised product; stack symbols are
+/// pairs). Correctness relies on visibility: both automata always have equal stack heights on
+/// the same input, so pops and pending-return reads are synchronised.
+pub fn intersect(a: &Vpa, b: &Vpa) -> Vpa {
+    assert_eq!(a.alphabet.as_ref(), b.alphabet.as_ref(), "alphabet mismatch in intersection");
+    let pair_q = |qa: usize, qb: usize| qa * b.num_states + qb;
+    let pair_g = |ga: usize, gb: usize| ga * b.num_stack + gb;
+    let mut out = Vpa::new(
+        a.alphabet.clone(),
+        a.num_states * b.num_states,
+        (a.num_stack * b.num_stack).max(1),
+    );
+
+    for &qa in &a.initial {
+        for &qb in &b.initial {
+            out.initial.insert(pair_q(qa, qb));
+        }
+    }
+    for &qa in &a.finals {
+        for &qb in &b.finals {
+            out.finals.insert(pair_q(qa, qb));
+        }
+    }
+    for &(qa, la, qa2) in &a.internal {
+        for &(qb, lb, qb2) in &b.internal {
+            if la == lb {
+                out.internal.insert((pair_q(qa, qb), la, pair_q(qa2, qb2)));
+            }
+        }
+    }
+    for &(qa, la, qa2, ga) in &a.call {
+        for &(qb, lb, qb2, gb) in &b.call {
+            if la == lb {
+                out.call
+                    .insert((pair_q(qa, qb), la, pair_q(qa2, qb2), pair_g(ga, gb)));
+            }
+        }
+    }
+    for &(qa, ga, la, qa2) in &a.ret {
+        for &(qb, gb, lb, qb2) in &b.ret {
+            if la == lb {
+                out.ret
+                    .insert((pair_q(qa, qb), pair_g(ga, gb), la, pair_q(qa2, qb2)));
+            }
+        }
+    }
+    for &(qa, la, qa2) in &a.ret_empty {
+        for &(qb, lb, qb2) in &b.ret_empty {
+            if la == lb {
+                out.ret_empty.insert((pair_q(qa, qb), la, pair_q(qa2, qb2)));
+            }
+        }
+    }
+    out
+}
+
+/// Relabel an automaton *forwards* through `map : old letter → new letter` (used for
+/// projection, e.g. erasing a variable track in the MSO compilation: the image automaton is
+/// generally nondeterministic).
+///
+/// `map` must preserve letter kinds.
+pub fn relabel_forward(vpa: &Vpa, new_alphabet: Arc<Alphabet>, map: impl Fn(LetterId) -> LetterId) -> Vpa {
+    let mut out = Vpa::new(new_alphabet.clone(), vpa.num_states, vpa.num_stack);
+    out.initial = vpa.initial.clone();
+    out.finals = vpa.finals.clone();
+    for &(q, l, q2) in &vpa.internal {
+        out.internal.insert((q, map(l), q2));
+    }
+    for &(q, l, q2, g) in &vpa.call {
+        out.call.insert((q, map(l), q2, g));
+    }
+    for &(q, g, l, q2) in &vpa.ret {
+        out.ret.insert((q, g, map(l), q2));
+    }
+    for &(q, l, q2) in &vpa.ret_empty {
+        out.ret_empty.insert((q, map(l), q2));
+    }
+    debug_assert!(out
+        .internal
+        .iter()
+        .all(|&(_, l, _)| new_alphabet.kind(l) == crate::alphabet::LetterKind::Internal));
+    out
+}
+
+/// Relabel an automaton *backwards* through `map : new letter → old letter` (cylindrification:
+/// the automaton over the richer alphabet behaves on each new letter as the original did on
+/// its image).
+///
+/// `map` must preserve letter kinds.
+pub fn relabel_inverse(vpa: &Vpa, new_alphabet: Arc<Alphabet>, map: impl Fn(LetterId) -> LetterId) -> Vpa {
+    let mut out = Vpa::new(new_alphabet.clone(), vpa.num_states, vpa.num_stack);
+    out.initial = vpa.initial.clone();
+    out.finals = vpa.finals.clone();
+    for new_letter in new_alphabet.letters() {
+        let old_letter = map(new_letter);
+        for &(q, l, q2) in &vpa.internal {
+            if l == old_letter {
+                out.internal.insert((q, new_letter, q2));
+            }
+        }
+        for &(q, l, q2, g) in &vpa.call {
+            if l == old_letter {
+                out.call.insert((q, new_letter, q2, g));
+            }
+        }
+        for &(q, g, l, q2) in &vpa.ret {
+            if l == old_letter {
+                out.ret.insert((q, g, new_letter, q2));
+            }
+        }
+        for &(q, l, q2) in &vpa.ret_empty {
+            if l == old_letter {
+                out.ret_empty.insert((q, new_letter, q2));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::word::NestedWord;
+
+    fn alphabet() -> Arc<Alphabet> {
+        let mut a = Alphabet::new();
+        a.call("<");
+        a.ret(">");
+        a.internal("x");
+        a.internal("y");
+        a.into_arc()
+    }
+
+    /// Accepts words containing at least one internal `target` letter.
+    fn contains_internal(alphabet: Arc<Alphabet>, target: &str) -> Vpa {
+        let target = alphabet.lookup(target).unwrap();
+        let mut vpa = Vpa::new(alphabet.clone(), 2, 1);
+        vpa.set_initial(0);
+        vpa.set_final(1);
+        vpa.add_all_letter_loops(0, 0);
+        vpa.add_all_letter_loops(1, 0);
+        vpa.add_internal(0, target, 1);
+        vpa
+    }
+
+    #[test]
+    fn union_accepts_either() {
+        let a = alphabet();
+        let has_x = contains_internal(a.clone(), "x");
+        let has_y = contains_internal(a.clone(), "y");
+        let u = union(&has_x, &has_y);
+
+        let wx = NestedWord::from_names(a.clone(), &["<", "x", ">"]);
+        let wy = NestedWord::from_names(a.clone(), &["y"]);
+        let wnone = NestedWord::from_names(a.clone(), &["<", ">"]);
+        assert!(u.accepts(&wx));
+        assert!(u.accepts(&wy));
+        assert!(!u.accepts(&wnone));
+    }
+
+    #[test]
+    fn intersection_requires_both() {
+        let a = alphabet();
+        let has_x = contains_internal(a.clone(), "x");
+        let has_y = contains_internal(a.clone(), "y");
+        let i = intersect(&has_x, &has_y);
+
+        let both = NestedWord::from_names(a.clone(), &["x", "<", "y", ">"]);
+        let only_x = NestedWord::from_names(a.clone(), &["x", "x"]);
+        assert!(i.accepts(&both));
+        assert!(!i.accepts(&only_x));
+    }
+
+    #[test]
+    fn intersection_synchronises_the_stack() {
+        let a = alphabet();
+        // both operands are universal; their product must still accept words with pending
+        // calls and pending returns (stack synchronisation must not lose configurations)
+        let u1 = Vpa::universal(a.clone());
+        let u2 = Vpa::universal(a.clone());
+        let i = intersect(&u1, &u2);
+        for names in [&["<", "<", "x"][..], &[">", "<", ">"], &[">", ">", ">"]] {
+            assert!(i.accepts(&NestedWord::from_names(a.clone(), names)), "{names:?}");
+        }
+    }
+
+    #[test]
+    fn relabelling_round_trip() {
+        // big alphabet: two internal letters x0, x1 that both project to x in the small one
+        let mut small = Alphabet::new();
+        small.call("<");
+        small.ret(">");
+        small.internal("x");
+        let small = small.into_arc();
+        let mut big = Alphabet::new();
+        big.call("<");
+        big.ret(">");
+        big.internal("x0");
+        big.internal("x1");
+        let big = big.into_arc();
+
+        let project = |l: LetterId| {
+            let name = big.name(l);
+            let base = match name {
+                "x0" | "x1" => "x",
+                other => other,
+            };
+            small.lookup(base).unwrap()
+        };
+
+        // automaton over the big alphabet accepting exactly the single word "x1"
+        let x1 = big.lookup("x1").unwrap();
+        let mut vpa = Vpa::new(big.clone(), 2, 1);
+        vpa.set_initial(0);
+        vpa.add_internal(0, x1, 1);
+        vpa.set_final(1);
+
+        // forward relabelling (projection): accepts "x" over the small alphabet
+        let projected = relabel_forward(&vpa, small.clone(), project);
+        assert!(projected.accepts(&NestedWord::from_names(small.clone(), &["x"])));
+        assert!(!projected.accepts(&NestedWord::from_names(small.clone(), &["<", ">"])));
+
+        // inverse relabelling (cylindrification): lift back to the big alphabet; now both x0
+        // and x1 are accepted
+        let lifted = relabel_inverse(&projected, big.clone(), project);
+        assert!(lifted.accepts(&NestedWord::from_names(big.clone(), &["x0"])));
+        assert!(lifted.accepts(&NestedWord::from_names(big.clone(), &["x1"])));
+        assert!(!lifted.accepts(&NestedWord::from_names(big, &["x0", "x1"])));
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet mismatch")]
+    fn mismatched_alphabets_panic() {
+        let a = alphabet();
+        let mut other = Alphabet::new();
+        other.internal("z");
+        let other = other.into_arc();
+        let _ = union(&Vpa::universal(a), &Vpa::universal(other));
+    }
+}
+
+/// Remove states that are not reachable from an initial state or cannot reach a final state
+/// (both computed over the transition graph, ignoring stack consistency — a safe
+/// over-approximation of usefulness, so the language is preserved). States are renumbered
+/// densely; stack symbols are left untouched.
+pub fn trim(vpa: &Vpa) -> Vpa {
+    use std::collections::BTreeSet;
+    let mut forward: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); vpa.num_states];
+    let mut backward: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); vpa.num_states];
+    let add = |from: usize, to: usize, forward: &mut Vec<BTreeSet<usize>>, backward: &mut Vec<BTreeSet<usize>>| {
+        forward[from].insert(to);
+        backward[to].insert(from);
+    };
+    for &(q, _, q2) in &vpa.internal {
+        add(q, q2, &mut forward, &mut backward);
+    }
+    for &(q, _, q2, _) in &vpa.call {
+        add(q, q2, &mut forward, &mut backward);
+    }
+    for &(q, _, _, q2) in &vpa.ret {
+        add(q, q2, &mut forward, &mut backward);
+    }
+    for &(q, _, q2) in &vpa.ret_empty {
+        add(q, q2, &mut forward, &mut backward);
+    }
+
+    let closure = |seeds: &BTreeSet<usize>, edges: &Vec<BTreeSet<usize>>| -> BTreeSet<usize> {
+        let mut seen = seeds.clone();
+        let mut work: Vec<usize> = seeds.iter().copied().collect();
+        while let Some(q) = work.pop() {
+            for &q2 in &edges[q] {
+                if seen.insert(q2) {
+                    work.push(q2);
+                }
+            }
+        }
+        seen
+    };
+    let reachable = closure(&vpa.initial, &forward);
+    let productive = closure(&vpa.finals, &backward);
+    let useful: Vec<usize> = (0..vpa.num_states)
+        .filter(|q| reachable.contains(q) && productive.contains(q))
+        .collect();
+    if useful.is_empty() {
+        return Vpa::empty_language(vpa.alphabet.clone());
+    }
+    let index: std::collections::BTreeMap<usize, usize> =
+        useful.iter().enumerate().map(|(i, &q)| (q, i)).collect();
+
+    let mut out = Vpa::new(vpa.alphabet.clone(), useful.len(), vpa.num_stack.max(1));
+    out.initial = vpa.initial.iter().filter_map(|q| index.get(q).copied()).collect();
+    out.finals = vpa.finals.iter().filter_map(|q| index.get(q).copied()).collect();
+    for &(q, l, q2) in &vpa.internal {
+        if let (Some(&a), Some(&b)) = (index.get(&q), index.get(&q2)) {
+            out.internal.insert((a, l, b));
+        }
+    }
+    for &(q, l, q2, g) in &vpa.call {
+        if let (Some(&a), Some(&b)) = (index.get(&q), index.get(&q2)) {
+            out.call.insert((a, l, b, g));
+        }
+    }
+    for &(q, g, l, q2) in &vpa.ret {
+        if let (Some(&a), Some(&b)) = (index.get(&q), index.get(&q2)) {
+            out.ret.insert((a, g, l, b));
+        }
+    }
+    for &(q, l, q2) in &vpa.ret_empty {
+        if let (Some(&a), Some(&b)) = (index.get(&q), index.get(&q2)) {
+            out.ret_empty.insert((a, l, b));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod trim_tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::word::NestedWord;
+
+    #[test]
+    fn trim_preserves_the_language_and_drops_useless_states() {
+        let mut a = Alphabet::new();
+        a.call("<");
+        a.ret(">");
+        a.internal("x");
+        let a = a.into_arc();
+        let x = a.lookup("x").unwrap();
+
+        // states: 0 (initial) -x-> 1 (final); 2 unreachable; 3 reachable but dead
+        let mut vpa = Vpa::new(a.clone(), 4, 1);
+        vpa.set_initial(0);
+        vpa.set_final(1);
+        vpa.add_internal(0, x, 1);
+        vpa.add_internal(2, x, 1);
+        vpa.add_internal(0, x, 3);
+        let trimmed = trim(&vpa);
+        assert_eq!(trimmed.num_states, 2);
+        let w = NestedWord::from_names(a.clone(), &["x"]);
+        assert_eq!(vpa.accepts(&w), trimmed.accepts(&w));
+        let w2 = NestedWord::from_names(a, &["x", "x"]);
+        assert_eq!(vpa.accepts(&w2), trimmed.accepts(&w2));
+    }
+
+    #[test]
+    fn trim_of_an_empty_language_is_empty() {
+        let mut a = Alphabet::new();
+        a.internal("x");
+        let a = a.into_arc();
+        let vpa = Vpa::empty_language(a.clone());
+        let trimmed = trim(&vpa);
+        assert!(crate::vpa::emptiness::is_empty(&trimmed));
+    }
+}

@@ -1,0 +1,299 @@
+//! Finite nested words (Section 6.2 of the paper).
+
+use crate::alphabet::{Alphabet, LetterId, LetterKind};
+use std::fmt;
+use std::sync::Arc;
+
+/// A finite nested word: a word over a visible alphabet together with its (uniquely
+/// determined) nesting relation `⊿`.
+///
+/// Pending (unmatched) calls and returns are allowed, as in Alur–Madhusudan and as required
+/// by the paper's encoding (unmatched pushes represent the values still alive in the current
+/// active domain, cf. Remark 6.1).
+#[derive(Clone, PartialEq, Eq)]
+pub struct NestedWord {
+    alphabet: Arc<Alphabet>,
+    letters: Vec<LetterId>,
+    /// `matching[i] = Some(j)` iff positions `i` and `j` are related by `⊿` (in either
+    /// direction); `None` for internal letters and pending calls/returns.
+    matching: Vec<Option<usize>>,
+}
+
+impl NestedWord {
+    /// Build a nested word from a letter sequence; the nesting relation is computed by stack
+    /// matching (it is unique, cf. Section 6.2).
+    pub fn new(alphabet: Arc<Alphabet>, letters: Vec<LetterId>) -> NestedWord {
+        let mut matching = vec![None; letters.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, &letter) in letters.iter().enumerate() {
+            match alphabet.kind(letter) {
+                LetterKind::Call => stack.push(i),
+                LetterKind::Return => {
+                    if let Some(j) = stack.pop() {
+                        matching[i] = Some(j);
+                        matching[j] = Some(i);
+                    }
+                }
+                LetterKind::Internal => {}
+            }
+        }
+        NestedWord {
+            alphabet,
+            letters,
+            matching,
+        }
+    }
+
+    /// Build from letter names (convenience for tests and examples).
+    ///
+    /// # Panics
+    /// Panics if a name is unknown.
+    pub fn from_names(alphabet: Arc<Alphabet>, names: &[&str]) -> NestedWord {
+        let letters = names
+            .iter()
+            .map(|n| alphabet.lookup(n).unwrap_or_else(|| panic!("unknown letter {n}")))
+            .collect();
+        NestedWord::new(alphabet, letters)
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// Whether the word is empty.
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// The letter at `position`.
+    pub fn letter(&self, position: usize) -> LetterId {
+        self.letters[position]
+    }
+
+    /// The letters.
+    pub fn letters(&self) -> &[LetterId] {
+        &self.letters
+    }
+
+    /// The kind of the letter at `position`.
+    pub fn kind(&self, position: usize) -> LetterKind {
+        self.alphabet.kind(self.letters[position])
+    }
+
+    /// Whether `i ⊿ j` (with `i` the call and `j` the return).
+    pub fn nesting(&self, i: usize, j: usize) -> bool {
+        i < j && self.matching[i] == Some(j) && self.kind(i) == LetterKind::Call
+    }
+
+    /// The matching partner of `position`, if any.
+    pub fn matching(&self, position: usize) -> Option<usize> {
+        self.matching[position]
+    }
+
+    /// All nesting edges `(call, return)`.
+    pub fn nesting_edges(&self) -> Vec<(usize, usize)> {
+        (0..self.len())
+            .filter(|&i| self.kind(i) == LetterKind::Call)
+            .filter_map(|i| self.matching[i].map(|j| (i, j)))
+            .collect()
+    }
+
+    /// Pending (unmatched) call positions, in order.
+    pub fn pending_calls(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.kind(i) == LetterKind::Call && self.matching[i].is_none())
+            .collect()
+    }
+
+    /// Pending (unmatched) return positions, in order.
+    pub fn pending_returns(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.kind(i) == LetterKind::Return && self.matching[i].is_none())
+            .collect()
+    }
+
+    /// Pending calls strictly before `position` (i.e. unmatched *within the prefix up to but
+    /// excluding `position`*, even if matched later). This is exactly the quantity Remark 6.1
+    /// relates to `|adom(I_j)|`.
+    pub fn pending_calls_in_prefix(&self, position: usize) -> Vec<usize> {
+        let mut stack = Vec::new();
+        for i in 0..position.min(self.len()) {
+            match self.kind(i) {
+                LetterKind::Call => stack.push(i),
+                LetterKind::Return => {
+                    stack.pop();
+                }
+                LetterKind::Internal => {}
+            }
+        }
+        stack
+    }
+
+    /// The prefix of the first `len` positions (nesting recomputed).
+    pub fn prefix(&self, len: usize) -> NestedWord {
+        NestedWord::new(
+            self.alphabet.clone(),
+            self.letters[..len.min(self.len())].to_vec(),
+        )
+    }
+
+    /// Check the well-formedness conditions of the nesting relation from Section 6.2 — these
+    /// hold by construction, so this is used as a sanity oracle in property tests.
+    pub fn check_nesting_laws(&self) -> bool {
+        let edges = self.nesting_edges();
+        // order preservation and vertex-disjointness
+        for &(i, j) in &edges {
+            if i >= j {
+                return false;
+            }
+        }
+        for &(i, j) in &edges {
+            for &(k, l) in &edges {
+                if (i, j) != (k, l) {
+                    let set = std::collections::BTreeSet::from([i, j, k, l]);
+                    if set.len() != 4 {
+                        return false;
+                    }
+                    // no crossing: not i < k < j < l
+                    if i < k && k < j && j < l {
+                        return false;
+                    }
+                }
+            }
+        }
+        // a call strictly inside an edge must be matched (inside it), same for returns
+        for &(i, j) in &edges {
+            for p in i + 1..j {
+                match self.kind(p) {
+                    LetterKind::Call | LetterKind::Return => {
+                        match self.matching[p] {
+                            Some(q) => {
+                                if q <= i || q >= j {
+                                    return false;
+                                }
+                            }
+                            None => return false,
+                        }
+                    }
+                    LetterKind::Internal => {}
+                }
+            }
+        }
+        // all pending returns precede all pending calls
+        let pending_ret = self.pending_returns();
+        let pending_call = self.pending_calls();
+        if let (Some(&last_ret), Some(&first_call)) = (pending_ret.last(), pending_call.first()) {
+            if last_ret > first_call {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Debug for NestedWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.letters.iter().map(|&l| self.alphabet.name(l)).collect();
+        write!(f, "{}", names.join(" "))
+    }
+}
+
+impl fmt::Display for NestedWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_alphabet() -> Arc<Alphabet> {
+        let mut a = Alphabet::new();
+        a.call("<a");
+        a.call("<b");
+        a.ret("a>");
+        a.ret("b>");
+        a.internal(".");
+        a.into_arc()
+    }
+
+    /// The nested word of Example 6.2:
+    /// ↓a ↓a ↑a ↓b ↓a ↑b • ↑b ↓b ↓a ↑a  (positions 1..11 in the paper, 0..10 here).
+    fn example_6_2() -> NestedWord {
+        NestedWord::from_names(
+            example_alphabet(),
+            &["<a", "<a", "a>", "<b", "<a", "b>", ".", "b>", "<b", "<a", "a>"],
+        )
+    }
+
+    #[test]
+    fn example_6_2_nesting_edges() {
+        let w = example_6_2();
+        assert_eq!(w.len(), 11);
+        // matching computed by the stack discipline:
+        // pos1(↓a) ⊿ pos2(↑a); pos4(↓a) ⊿ pos5(↑b); pos3(↓b) ⊿ pos7(↑b); pos9(↓a) ⊿ pos10(↑a)
+        assert!(w.nesting(1, 2));
+        assert!(w.nesting(4, 5));
+        assert!(w.nesting(3, 7));
+        assert!(w.nesting(9, 10));
+        assert_eq!(w.nesting_edges().len(), 4);
+        // position 0 is a pending call, position 8 is a pending call
+        assert_eq!(w.pending_calls(), vec![0, 8]);
+        assert!(w.pending_returns().is_empty());
+        assert!(!w.nesting(0, 2));
+        assert!(w.check_nesting_laws());
+    }
+
+    #[test]
+    fn pending_returns_are_supported() {
+        let a = example_alphabet();
+        // a>  a>  <a : two pending returns then a pending call
+        let w = NestedWord::from_names(a, &["a>", "a>", "<a"]);
+        assert_eq!(w.pending_returns(), vec![0, 1]);
+        assert_eq!(w.pending_calls(), vec![2]);
+        assert!(w.check_nesting_laws());
+    }
+
+    #[test]
+    fn pending_calls_in_prefix_matches_remark_6_1() {
+        let w = example_6_2();
+        // before position 3, calls at 0,1 with 1 matched at 2 → only 0 pending
+        assert_eq!(w.pending_calls_in_prefix(3), vec![0]);
+        // before position 8: 0 pending (3,4 matched at 7,5)
+        assert_eq!(w.pending_calls_in_prefix(8), vec![0]);
+        // before position 11 (whole word): 0 and 8 pending
+        assert_eq!(w.pending_calls_in_prefix(11), vec![0, 8]);
+    }
+
+    #[test]
+    fn prefixes_recompute_matching() {
+        let w = example_6_2();
+        let p = w.prefix(4);
+        assert_eq!(p.len(), 4);
+        // in the prefix, position 3 (<b) is now pending
+        assert_eq!(p.pending_calls(), vec![0, 3]);
+        assert!(p.check_nesting_laws());
+    }
+
+    #[test]
+    fn internal_letters_have_no_matching() {
+        let w = example_6_2();
+        assert_eq!(w.kind(6), LetterKind::Internal);
+        assert_eq!(w.matching(6), None);
+    }
+
+    #[test]
+    fn empty_word() {
+        let w = NestedWord::new(example_alphabet(), vec![]);
+        assert!(w.is_empty());
+        assert!(w.check_nesting_laws());
+        assert!(w.nesting_edges().is_empty());
+    }
+}

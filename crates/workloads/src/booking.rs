@@ -1,0 +1,542 @@
+//! The restaurant-offer booking agency of Appendix C (artifact-centric, Figure 5
+//! lifecycles).
+//!
+//! The workload is parameterised by the number of restaurants, agents and customers and by
+//! the "gold customer" threshold `k`. Restaurants, agents, customers and the lifecycle state
+//! names are modelled as **constants** (the Appendix F.1 extension); offers, bookings, hosts
+//! and proposal URLs are injected as fresh values at run time, which is what makes the system
+//! unbounded in "many dimensions", as the paper stresses.
+//!
+//! One reading note: Appendix C's `checkP` / `reject` / `detProp` actions are written against
+//! `BState(b, drafting)` although the prose and Figure 5 route them through the submitted
+//! state; we follow the lifecycle of Figure 5 (submit moves `drafting → subm`, and the
+//! agent-side actions operate on `subm`).
+
+use rdms_core::action::ActionBuilder;
+use rdms_core::dms::DmsBuilder;
+use rdms_core::Dms;
+use rdms_db::{DataValue, Instance, Pattern, Query, RelName, Term, Var};
+
+/// Lifecycle state constants (Figure 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct States {
+    /// Offer states.
+    pub avail: DataValue,
+    /// Offer on hold.
+    pub onhold: DataValue,
+    /// Offer closed.
+    pub closed: DataValue,
+    /// Offer currently being booked.
+    pub booking: DataValue,
+    /// Booking being drafted by the customer.
+    pub drafting: DataValue,
+    /// Booking submitted to the agent.
+    pub subm: DataValue,
+    /// Booking finalized (proposal sent).
+    pub finalized: DataValue,
+    /// Booking to-be-validated (non-gold customers).
+    pub tbv: DataValue,
+    /// Booking accepted.
+    pub accepted: DataValue,
+    /// Booking canceled.
+    pub canceled: DataValue,
+}
+
+impl States {
+    fn new() -> States {
+        States {
+            avail: DataValue(9001),
+            onhold: DataValue(9002),
+            closed: DataValue(9003),
+            booking: DataValue(9004),
+            drafting: DataValue(9005),
+            subm: DataValue(9006),
+            finalized: DataValue(9007),
+            tbv: DataValue(9008),
+            accepted: DataValue(9009),
+            canceled: DataValue(9010),
+        }
+    }
+
+    fn all(&self) -> Vec<DataValue> {
+        vec![
+            self.avail, self.onhold, self.closed, self.booking, self.drafting, self.subm,
+            self.finalized, self.tbv, self.accepted, self.canceled,
+        ]
+    }
+}
+
+/// Configuration of the booking-agency workload.
+#[derive(Clone, Debug)]
+pub struct BookingConfig {
+    /// Number of restaurants.
+    pub restaurants: usize,
+    /// Number of agents.
+    pub agents: usize,
+    /// Number of registered customers.
+    pub customers: usize,
+    /// The gold-customer threshold `k` of the `Gold_k` query.
+    pub gold_k: usize,
+}
+
+impl Default for BookingConfig {
+    fn default() -> Self {
+        BookingConfig {
+            restaurants: 2,
+            agents: 2,
+            customers: 2,
+            gold_k: 1,
+        }
+    }
+}
+
+/// The built workload: the DMS plus the constants needed to drive and inspect it.
+#[derive(Clone, Debug)]
+pub struct BookingAgency {
+    /// The DMS.
+    pub dms: Dms,
+    /// Lifecycle state constants.
+    pub states: States,
+    /// Restaurant constants.
+    pub restaurants: Vec<DataValue>,
+    /// Agent constants.
+    pub agents: Vec<DataValue>,
+    /// Customer constants.
+    pub customers: Vec<DataValue>,
+    /// The gold threshold used in `accept1`/`accept2`.
+    pub gold_k: usize,
+}
+
+/// Build the booking agency.
+pub fn build(config: &BookingConfig) -> BookingAgency {
+    let states = States::new();
+    let restaurants: Vec<DataValue> = (0..config.restaurants).map(|i| DataValue(9100 + i as u64)).collect();
+    let agents: Vec<DataValue> = (0..config.agents).map(|i| DataValue(9200 + i as u64)).collect();
+    let customers: Vec<DataValue> = (0..config.customers).map(|i| DataValue(9300 + i as u64)).collect();
+
+    let r = RelName::new;
+    let v = Var::new;
+
+    let mut initial = Instance::new();
+    for &x in &restaurants {
+        initial.insert(r("Rest"), vec![x]);
+    }
+    for &x in &agents {
+        initial.insert(r("Ag"), vec![x]);
+    }
+    for &x in &customers {
+        initial.insert(r("Cust"), vec![x]);
+    }
+
+    let mut constants: Vec<DataValue> = states.all();
+    constants.extend(&restaurants);
+    constants.extend(&agents);
+    constants.extend(&customers);
+
+    let ostate = |o: Var, s: DataValue| Query::atom(r("OState"), [Term::Var(o), Term::Value(s)]);
+    let bstate = |b: Var, s: DataValue| Query::atom(r("BState"), [Term::Var(b), Term::Value(s)]);
+    let ostate_fact = |o: Term, s: DataValue| (r("OState"), vec![o, Term::Value(s)]);
+    let bstate_fact = |b: Term, s: DataValue| (r("BState"), vec![b, Term::Value(s)]);
+
+    // an agent is idle if she manages no offer at all
+    let agent_idle = |a: Var| {
+        Query::exists_many(
+            [v("_o"), v("_r")],
+            Query::atom(r("Offer"), [v("_o"), v("_r"), a]),
+        )
+        .not()
+    };
+
+    // newO1: an idle agent publishes a new offer
+    let new_o1 = ActionBuilder::new("newO1")
+        .fresh([v("y")])
+        .guard(
+            Query::atom(r("Rest"), [v("rr")])
+                .and(Query::atom(r("Ag"), [v("a")]))
+                .and(agent_idle(v("a"))),
+        )
+        .add(Pattern::from_facts([
+            (r("Offer"), vec![Term::Var(v("y")), Term::Var(v("rr")), Term::Var(v("a"))]),
+            ostate_fact(Term::Var(v("y")), states.avail),
+        ]));
+
+    // newO2: an agent managing an available offer receives a better one; the old goes on hold
+    let new_o2 = ActionBuilder::new("newO2")
+        .fresh([v("y")])
+        .guard(
+            Query::atom(r("Rest"), [v("rr")])
+                .and(Query::atom(r("Ag"), [v("a")]))
+                .and(Query::exists(v("_r"), Query::atom(r("Offer"), [v("o"), v("_r"), v("a")])))
+                .and(ostate(v("o"), states.avail)),
+        )
+        .del(Pattern::from_facts([ostate_fact(Term::Var(v("o")), states.avail)]))
+        .add(Pattern::from_facts([
+            (r("Offer"), vec![Term::Var(v("y")), Term::Var(v("rr")), Term::Var(v("a"))]),
+            ostate_fact(Term::Var(v("y")), states.avail),
+            ostate_fact(Term::Var(v("o")), states.onhold),
+        ]));
+
+    // resume: an idle agent picks up an on-hold offer and becomes its responsible agent
+    let resume = ActionBuilder::new("resume")
+        .guard(
+            Query::atom(r("Ag"), [v("a")])
+                .and(Query::atom(r("Offer"), [v("o"), v("rr"), v("a2")]))
+                .and(ostate(v("o"), states.onhold))
+                .and(agent_idle(v("a"))),
+        )
+        .del(Pattern::from_facts([
+            (r("Offer"), vec![Term::Var(v("o")), Term::Var(v("rr")), Term::Var(v("a2"))]),
+            ostate_fact(Term::Var(v("o")), states.onhold),
+        ]))
+        .add(Pattern::from_facts([
+            (r("Offer"), vec![Term::Var(v("o")), Term::Var(v("rr")), Term::Var(v("a"))]),
+            ostate_fact(Term::Var(v("o")), states.avail),
+        ]));
+
+    // closeO: an available offer expires
+    let close_o = ActionBuilder::new("closeO")
+        .guard(
+            Query::exists_many([v("_r"), v("_a")], Query::atom(r("Offer"), [v("o"), v("_r"), v("_a")]))
+                .and(ostate(v("o"), states.avail)),
+        )
+        .del(Pattern::from_facts([ostate_fact(Term::Var(v("o")), states.avail)]))
+        .add(Pattern::from_facts([ostate_fact(Term::Var(v("o")), states.closed)]));
+
+    // newB: a customer starts booking an available offer
+    let new_b = ActionBuilder::new("newB")
+        .fresh([v("y")])
+        .guard(
+            Query::atom(r("Cust"), [v("c")])
+                .and(Query::exists_many(
+                    [v("_r"), v("_a")],
+                    Query::atom(r("Offer"), [v("o"), v("_r"), v("_a")]),
+                ))
+                .and(ostate(v("o"), states.avail)),
+        )
+        .del(Pattern::from_facts([ostate_fact(Term::Var(v("o")), states.avail)]))
+        .add(Pattern::from_facts([
+            ostate_fact(Term::Var(v("o")), states.booking),
+            (r("Booking"), vec![Term::Var(v("y")), Term::Var(v("o")), Term::Var(v("c"))]),
+            bstate_fact(Term::Var(v("y")), states.drafting),
+        ]));
+
+    let booking_exists = |b: Var| {
+        Query::exists_many(
+            [v("_o"), v("_c")],
+            Query::atom(r("Booking"), [b, v("_o"), v("_c")]),
+        )
+    };
+
+    // addP1: the customer adds a registered customer as host
+    let add_p1 = ActionBuilder::new("addP1")
+        .guard(
+            booking_exists(v("b"))
+                .and(bstate(v("b"), states.drafting))
+                .and(Query::atom(r("Cust"), [v("h")])),
+        )
+        .add(Pattern::from_facts([(r("Hosts"), vec![Term::Var(v("b")), Term::Var(v("h"))])]));
+
+    // addP2: the customer adds an external person as host (fresh identifier)
+    let add_p2 = ActionBuilder::new("addP2")
+        .fresh([v("y")])
+        .guard(booking_exists(v("b")).and(bstate(v("b"), states.drafting)))
+        .add(Pattern::from_facts([(r("Hosts"), vec![Term::Var(v("b")), Term::Var(v("y"))])]));
+
+    // submit: drafting → submitted
+    let submit = ActionBuilder::new("submit")
+        .guard(booking_exists(v("b")).and(bstate(v("b"), states.drafting)))
+        .del(Pattern::from_facts([bstate_fact(Term::Var(v("b")), states.drafting)]))
+        .add(Pattern::from_facts([bstate_fact(Term::Var(v("b")), states.subm)]));
+
+    // checkP: the agent checks and removes hosts one by one
+    let check_p = ActionBuilder::new("checkP")
+        .guard(
+            booking_exists(v("b"))
+                .and(bstate(v("b"), states.subm))
+                .and(Query::atom(r("Hosts"), [v("b"), v("h")])),
+        )
+        .del(Pattern::from_facts([(r("Hosts"), vec![Term::Var(v("b")), Term::Var(v("h"))])]));
+
+    let no_hosts = |b: Var| Query::exists(v("_h"), Query::atom(r("Hosts"), [b, v("_h")])).not();
+
+    // reject: the agent rejects the submitted booking; the offer becomes available again
+    let reject = ActionBuilder::new("reject")
+        .guard(
+            Query::exists(v("_c"), Query::atom(r("Booking"), [v("b"), v("o"), v("_c")]))
+                .and(bstate(v("b"), states.subm))
+                .and(no_hosts(v("b"))),
+        )
+        .del(Pattern::from_facts([
+            bstate_fact(Term::Var(v("b")), states.subm),
+            ostate_fact(Term::Var(v("o")), states.booking),
+        ]))
+        .add(Pattern::from_facts([
+            bstate_fact(Term::Var(v("b")), states.canceled),
+            ostate_fact(Term::Var(v("o")), states.avail),
+        ]));
+
+    // detProp: the agent makes a customized proposal (fresh URL)
+    let det_prop = ActionBuilder::new("detProp")
+        .fresh([v("y")])
+        .guard(booking_exists(v("b")).and(bstate(v("b"), states.subm)).and(no_hosts(v("b"))))
+        .del(Pattern::from_facts([bstate_fact(Term::Var(v("b")), states.subm)]))
+        .add(Pattern::from_facts([
+            bstate_fact(Term::Var(v("b")), states.finalized),
+            (r("Prop"), vec![Term::Var(v("b")), Term::Var(v("y"))]),
+        ]));
+
+    // cancel: the customer cancels a finalized booking; the offer becomes available again
+    let cancel = ActionBuilder::new("cancel")
+        .guard(
+            Query::exists(v("_c"), Query::atom(r("Booking"), [v("b"), v("o"), v("_c")]))
+                .and(bstate(v("b"), states.finalized)),
+        )
+        .del(Pattern::from_facts([
+            bstate_fact(Term::Var(v("b")), states.finalized),
+            ostate_fact(Term::Var(v("o")), states.booking),
+        ]))
+        .add(Pattern::from_facts([
+            bstate_fact(Term::Var(v("b")), states.canceled),
+            ostate_fact(Term::Var(v("o")), states.avail),
+        ]));
+
+    // gold-customer query (over free variables c and rr)
+    let gold = gold_query(config.gold_k, v("c"), v("rr"), &states);
+
+    // accept1: a gold customer's acceptance is immediate; the offer closes
+    let accept1 = ActionBuilder::new("accept1")
+        .guard(
+            Query::atom(r("Booking"), [v("b"), v("o"), v("c")])
+                .and(bstate(v("b"), states.finalized))
+                .and(Query::exists(v("_a"), Query::atom(r("Offer"), [v("o"), v("rr"), v("_a")])))
+                .and(gold.clone()),
+        )
+        .del(Pattern::from_facts([
+            bstate_fact(Term::Var(v("b")), states.finalized),
+            ostate_fact(Term::Var(v("o")), states.booking),
+        ]))
+        .add(Pattern::from_facts([
+            bstate_fact(Term::Var(v("b")), states.accepted),
+            ostate_fact(Term::Var(v("o")), states.closed),
+        ]));
+
+    // accept2: a non-gold customer's acceptance goes to validation first
+    let accept2 = ActionBuilder::new("accept2")
+        .guard(
+            Query::atom(r("Booking"), [v("b"), v("o"), v("c")])
+                .and(bstate(v("b"), states.finalized))
+                .and(Query::exists(v("_a"), Query::atom(r("Offer"), [v("o"), v("rr"), v("_a")])))
+                .and(gold.not()),
+        )
+        .del(Pattern::from_facts([bstate_fact(Term::Var(v("b")), states.finalized)]))
+        .add(Pattern::from_facts([bstate_fact(Term::Var(v("b")), states.tbv)]));
+
+    // confirm: final validation of a to-be-validated booking; the offer closes
+    let confirm = ActionBuilder::new("confirm")
+        .guard(
+            Query::exists(v("_c"), Query::atom(r("Booking"), [v("b"), v("o"), v("_c")]))
+                .and(bstate(v("b"), states.tbv)),
+        )
+        .del(Pattern::from_facts([
+            bstate_fact(Term::Var(v("b")), states.tbv),
+            ostate_fact(Term::Var(v("o")), states.booking),
+        ]))
+        .add(Pattern::from_facts([
+            bstate_fact(Term::Var(v("b")), states.accepted),
+            ostate_fact(Term::Var(v("o")), states.closed),
+        ]));
+
+    let dms = DmsBuilder::new()
+        .relation("Offer", 3)
+        .relation("OState", 2)
+        .relation("Booking", 3)
+        .relation("BState", 2)
+        .relation("Hosts", 2)
+        .relation("Prop", 2)
+        .relation("Rest", 1)
+        .relation("Ag", 1)
+        .relation("Cust", 1)
+        .initial(initial)
+        .constants(constants)
+        .action(new_o1)
+        .action(new_o2)
+        .action(resume)
+        .action(close_o)
+        .action(new_b)
+        .action(add_p1)
+        .action(add_p2)
+        .action(submit)
+        .action(check_p)
+        .action(reject)
+        .action(det_prop)
+        .action(cancel)
+        .action(accept1)
+        .action(accept2)
+        .action(confirm)
+        .build()
+        .expect("booking agency DMS is valid");
+
+    BookingAgency {
+        dms,
+        states,
+        restaurants,
+        agents,
+        customers,
+        gold_k: config.gold_k,
+    }
+}
+
+/// The `Gold_k(c, r)` query of Example 5.2 / Appendix C: customer `c` has at least `k`
+/// distinct accepted bookings for offers of restaurant `r` in the (unboundedly growing)
+/// logged history.
+pub fn gold_query(k: usize, c: Var, restaurant: Var, states: &States) -> Query {
+    let r = RelName::new;
+    let mut conjuncts = Vec::new();
+    let offers: Vec<Var> = (0..k).map(|i| Var::new(&format!("_gold_o{i}"))).collect();
+    let bookings: Vec<Var> = (0..k).map(|i| Var::new(&format!("_gold_b{i}"))).collect();
+    for i in 0..k {
+        for j in 0..k {
+            if i != j {
+                conjuncts.push(Query::eq(offers[i], offers[j]).not());
+                conjuncts.push(Query::eq(bookings[i], bookings[j]).not());
+            }
+        }
+    }
+    for i in 0..k {
+        conjuncts.push(Query::atom(r("Booking"), [Term::Var(bookings[i]), Term::Var(offers[i]), Term::Var(c)]));
+        conjuncts.push(Query::atom(r("BState"), [Term::Var(bookings[i]), Term::Value(states.accepted)]));
+        conjuncts.push(Query::exists(
+            Var::new("_gold_a"),
+            Query::atom(r("Offer"), [Term::Var(offers[i]), Term::Var(restaurant), Term::Var(Var::new("_gold_a"))]),
+        ));
+    }
+    Query::exists_many(
+        offers.into_iter().chain(bookings.into_iter()),
+        Query::conj(conjuncts),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdms_core::{ConcreteSemantics, RecencySemantics};
+    use rdms_db::eval::holds;
+    use rdms_db::Substitution;
+
+    fn drive_by_names<'a>(
+        agency: &'a BookingAgency,
+        b: usize,
+        script: &[&str],
+    ) -> rdms_core::ExtendedRun {
+        let sem = RecencySemantics::new(&agency.dms, b);
+        let mut run = rdms_core::ExtendedRun::new(agency.dms.initial_bconfig());
+        for name in script {
+            let succs = sem.successors(run.last()).unwrap();
+            let (step, next) = succs
+                .into_iter()
+                .find(|(s, _)| agency.dms.action(s.action).unwrap().name() == *name)
+                .unwrap_or_else(|| panic!("action {name} not enabled"));
+            run.push(step, next);
+        }
+        run
+    }
+
+    #[test]
+    fn agency_builds() {
+        let agency = build(&BookingConfig::default());
+        assert_eq!(agency.dms.num_actions(), 15);
+        assert!(agency.dms.has_constants());
+        assert_eq!(agency.dms.max_arity(), 3);
+        // read-only registries are in the initial instance
+        assert_eq!(agency.dms.initial().relation_size(RelName::new("Rest")), 2);
+        assert_eq!(agency.dms.initial().relation_size(RelName::new("Cust")), 2);
+    }
+
+    #[test]
+    fn full_offer_and_booking_lifecycle() {
+        let agency = build(&BookingConfig::default());
+        // a non-gold customer books: offer → booking → drafting → hosts → submit → check →
+        // proposal → accept2 → confirm; the offer ends closed, the booking accepted.
+        let run = drive_by_names(
+            &agency,
+            4,
+            &[
+                "newO1", "newB", "addP2", "submit", "checkP", "detProp", "accept2", "confirm",
+            ],
+        );
+        let last = &run.last().instance;
+        let accepted_bookings = last
+            .relation(RelName::new("BState"))
+            .filter(|t| t[1] == agency.states.accepted)
+            .count();
+        assert_eq!(accepted_bookings, 1);
+        let closed_offers = last
+            .relation(RelName::new("OState"))
+            .filter(|t| t[1] == agency.states.closed)
+            .count();
+        assert_eq!(closed_offers, 1);
+        // the proposal URL is recorded
+        assert_eq!(last.relation_size(RelName::new("Prop")), 1);
+    }
+
+    #[test]
+    fn offers_can_be_put_on_hold_and_resumed() {
+        let agency = build(&BookingConfig::default());
+        let run = drive_by_names(&agency, 4, &["newO1", "newO2"]);
+        let last = &run.last().instance;
+        let onhold = last
+            .relation(RelName::new("OState"))
+            .filter(|t| t[1] == agency.states.onhold)
+            .count();
+        assert_eq!(onhold, 1);
+        // `resume` requires an *idle* agent; with two agents one is still idle
+        let sem = ConcreteSemantics::new(&agency.dms);
+        let resumable = sem
+            .successors(&run.last().as_config())
+            .unwrap()
+            .into_iter()
+            .any(|(s, _)| agency.dms.action(s.action).unwrap().name() == "resume");
+        assert!(resumable);
+    }
+
+    #[test]
+    fn gold_query_counts_accepted_bookings() {
+        let agency = build(&BookingConfig { gold_k: 1, ..Default::default() });
+        // after one full accepted lifecycle, the customer is gold for that restaurant
+        let run = drive_by_names(
+            &agency,
+            4,
+            &[
+                "newO1", "newB", "submit", "detProp", "accept2", "confirm",
+            ],
+        );
+        let last = &run.last().instance;
+        let gold = gold_query(1, Var::new("c"), Var::new("rr"), &agency.states);
+        // find the customer and restaurant actually used in the run
+        let booking = last.relation(RelName::new("Booking")).next().unwrap().clone();
+        let customer = booking[2];
+        let offer = booking[1];
+        let restaurant = last
+            .relation(RelName::new("Offer"))
+            .find(|t| t[0] == offer)
+            .unwrap()[1];
+        let sub = Substitution::from_pairs([(Var::new("c"), customer), (Var::new("rr"), restaurant)]);
+        assert!(holds(last, &sub, &gold).unwrap());
+        // before acceptance the customer is not gold
+        let before = &run.configs()[run.len() - 2].instance;
+        assert!(!holds(before, &sub, &gold).unwrap());
+        // and not gold for the other restaurant
+        let other = agency.restaurants.iter().copied().find(|&x| x != restaurant).unwrap();
+        let sub2 = Substitution::from_pairs([(Var::new("c"), customer), (Var::new("rr"), other)]);
+        assert!(!holds(last, &sub2, &gold).unwrap());
+    }
+
+    #[test]
+    fn unboundedly_many_offers_can_be_published() {
+        // the system is unbounded: agents can keep alternating newO2 (hold) to pile up offers
+        let agency = build(&BookingConfig::default());
+        let script = vec!["newO1", "newO2", "newO2", "newO2", "newO2"];
+        let run = drive_by_names(&agency, 3, &script);
+        assert_eq!(run.last().instance.relation_size(RelName::new("Offer")), 5);
+    }
+}

@@ -1,0 +1,46 @@
+//! Counter-machine workloads for the Appendix D undecidability reductions.
+
+pub use rdms_core::counter::binary::binary_reduction;
+pub use rdms_core::counter::machine::{pump_and_transfer, unreachable_target, CounterMachine};
+pub use rdms_core::counter::unary::unary_reduction;
+pub use rdms_core::counter::state_proposition;
+
+use rdms_core::counter::machine::{CounterOp, Instruction};
+
+/// A nondeterministic 2-counter machine with a "race": counter 0 is pumped an arbitrary
+/// number of times, then must be emptied exactly to reach the final state. Useful for
+/// exercising branching exploration (the deterministic [`pump_and_transfer`] family exercises
+/// depth).
+pub fn nondeterministic_race() -> CounterMachine {
+    CounterMachine::new(
+        3,
+        0,
+        2,
+        vec![
+            // state 0: either pump c0 or move on
+            Instruction { from: 0, op: CounterOp::Inc, counter: 0, to: 0 },
+            Instruction { from: 0, op: CounterOp::IfZero, counter: 1, to: 1 },
+            // state 1: drain c0
+            Instruction { from: 1, op: CounterOp::Dec, counter: 0, to: 1 },
+            Instruction { from: 1, op: CounterOp::IfZero, counter: 0, to: 2 },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn race_machine_reaches_its_final_state() {
+        let m = nondeterministic_race();
+        assert!(m.state_reachable(2, 1_000));
+    }
+
+    #[test]
+    fn reductions_build_for_the_race_machine() {
+        let m = nondeterministic_race();
+        assert_eq!(unary_reduction(&m).unwrap().num_actions(), 4);
+        assert_eq!(binary_reduction(&m).unwrap().num_actions(), 5);
+    }
+}

@@ -1,0 +1,128 @@
+//! The student enrollment scenario of the paper's introduction.
+//!
+//! Relations: `Enrolled/1`, `Graduated/1` and a proposition `open` (enrolment window).
+//! Actions:
+//! * `enroll`   — a fresh student enrols (while the window is open),
+//! * `graduate` — an enrolled student graduates,
+//! * `dropout`  — an enrolled student leaves without graduating,
+//! * `close`    — close the enrolment window.
+//!
+//! The introduction's property "every enrolled student eventually graduates"
+//! (`∀x∀u. Enrolled(u)@x ⇒ ∃y. y > x ∧ Graduated(u)@y`) fails for this system because of
+//! `dropout`; [`dms_without_dropout`] gives the variant for which it can hold.
+
+use rdms_core::action::ActionBuilder;
+use rdms_core::dms::DmsBuilder;
+use rdms_core::Dms;
+use rdms_db::{Pattern, Query, RelName, Term, Var};
+use rdms_logic::templates;
+use rdms_logic::MsoFo;
+
+fn builder(with_dropout: bool) -> Dms {
+    let r = RelName::new;
+    let v = Var::new;
+    let mut b = DmsBuilder::new()
+        .proposition("open")
+        .relation("Enrolled", 1)
+        .relation("Graduated", 1)
+        .initially_true("open")
+        .action(
+            ActionBuilder::new("enroll")
+                .fresh([v("s")])
+                .guard(Query::prop(r("open")))
+                .add(Pattern::from_facts([(r("Enrolled"), vec![Term::Var(v("s"))])])),
+        )
+        .action(
+            ActionBuilder::new("graduate")
+                .guard(Query::atom(r("Enrolled"), [v("s")]))
+                .del(Pattern::from_facts([(r("Enrolled"), vec![Term::Var(v("s"))])]))
+                .add(Pattern::from_facts([(r("Graduated"), vec![Term::Var(v("s"))])])),
+        )
+        .action(
+            ActionBuilder::new("close")
+                .guard(Query::prop(r("open")))
+                .del(Pattern::proposition(r("open"))),
+        );
+    if with_dropout {
+        b = b.action(
+            ActionBuilder::new("dropout")
+                .guard(Query::atom(r("Enrolled"), [v("s")]))
+                .del(Pattern::from_facts([(r("Enrolled"), vec![Term::Var(v("s"))])])),
+        );
+    }
+    b.build().expect("enrollment DMS is valid")
+}
+
+/// The full system (with `dropout`).
+pub fn dms() -> Dms {
+    builder(true)
+}
+
+/// The variant without `dropout`, for which the graduation response property is not refuted
+/// by any finite behaviour.
+pub fn dms_without_dropout() -> Dms {
+    builder(false)
+}
+
+/// The introduction's property, over this workload's schema.
+pub fn graduation_property() -> MsoFo {
+    templates::student_graduation()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdms_core::RecencySemantics;
+    use rdms_logic::msofo::eval_sentence;
+
+    #[test]
+    fn systems_build() {
+        assert_eq!(dms().num_actions(), 4);
+        assert_eq!(dms_without_dropout().num_actions(), 3);
+    }
+
+    #[test]
+    fn a_run_where_every_student_graduates_satisfies_the_property() {
+        let dms = dms();
+        let sem = RecencySemantics::new(&dms, 2);
+        // enroll, graduate, enroll, graduate
+        let c0 = dms.initial_bconfig();
+        let mut run = rdms_core::ExtendedRun::new(c0);
+        for _ in 0..2 {
+            let (step, next) = sem
+                .successors(run.last())
+                .unwrap()
+                .into_iter()
+                .find(|(s, _)| dms.action(s.action).unwrap().name() == "enroll")
+                .unwrap();
+            run.push(step, next);
+            let (step, next) = sem
+                .successors(run.last())
+                .unwrap()
+                .into_iter()
+                .find(|(s, _)| dms.action(s.action).unwrap().name() == "graduate")
+                .unwrap();
+            run.push(step, next);
+        }
+        let instances = run.instances();
+        assert!(eval_sentence(&instances, &graduation_property()));
+    }
+
+    #[test]
+    fn a_dropout_refutes_the_property() {
+        let dms = dms();
+        let sem = RecencySemantics::new(&dms, 2);
+        let c0 = dms.initial_bconfig();
+        let mut run = rdms_core::ExtendedRun::new(c0);
+        for name in ["enroll", "dropout"] {
+            let (step, next) = sem
+                .successors(run.last())
+                .unwrap()
+                .into_iter()
+                .find(|(s, _)| dms.action(s.action).unwrap().name() == name)
+                .unwrap();
+            run.push(step, next);
+        }
+        assert!(!eval_sentence(&run.instances(), &graduation_property()));
+    }
+}

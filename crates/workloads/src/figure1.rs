@@ -1,0 +1,60 @@
+//! Example 3.1 / Figure 1 / Example 5.1 / Example 6.1 of the paper, as a reusable workload.
+
+use rdms_core::dms::example_3_1;
+use rdms_core::{Dms, ExtendedRun, RecencySemantics, Step};
+use rdms_db::{DataValue, Substitution, Var};
+
+/// The DMS of Example 3.1 (schema `{p/0, R/1, Q/1}`, actions `α, β, γ, δ`).
+pub fn dms() -> Dms {
+    example_3_1()
+}
+
+/// The eight transition labels of the run depicted in Figure 1, with the paper's exact data
+/// values `e₁ … e₁₁`.
+pub fn figure_1_steps() -> Vec<Step> {
+    let v = Var::new;
+    let e = DataValue::e;
+    vec![
+        Step::new(0, Substitution::from_pairs([(v("v1"), e(1)), (v("v2"), e(2)), (v("v3"), e(3))])),
+        Step::new(1, Substitution::from_pairs([(v("u"), e(2)), (v("v1"), e(4)), (v("v2"), e(5))])),
+        Step::new(0, Substitution::from_pairs([(v("v1"), e(6)), (v("v2"), e(7)), (v("v3"), e(8))])),
+        Step::new(2, Substitution::from_pairs([(v("u"), e(7))])),
+        Step::new(3, Substitution::from_pairs([(v("u1"), e(8)), (v("u2"), e(6))])),
+        Step::new(3, Substitution::from_pairs([(v("u1"), e(4)), (v("u2"), e(5))])),
+        Step::new(3, Substitution::from_pairs([(v("u1"), e(3)), (v("u2"), e(3))])),
+        Step::new(0, Substitution::from_pairs([(v("v1"), e(9)), (v("v2"), e(10)), (v("v3"), e(11))])),
+    ]
+}
+
+/// The Figure 1 run, replayed under the `b`-bounded semantics (the figure's run is
+/// 2-recency-bounded, so any `b ≥ 2` works).
+pub fn figure_1_run(dms: &Dms, b: usize) -> ExtendedRun {
+    RecencySemantics::new(dms, b)
+        .execute(&figure_1_steps())
+        .expect("the Figure 1 run is a valid b-bounded run for b ≥ 2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdms_db::RelName;
+
+    #[test]
+    fn replay_matches_the_figure() {
+        let dms = dms();
+        let run = figure_1_run(&dms, 2);
+        assert_eq!(run.len(), 8);
+        // spot-check the 3rd instance of the figure: {p, R:e1,e6,e7, Q:e3,e4,e5,e8}
+        let i3 = &run.configs()[3].instance;
+        assert!(i3.proposition(RelName::new("p")));
+        assert_eq!(i3.relation_size(RelName::new("R")), 3);
+        assert_eq!(i3.relation_size(RelName::new("Q")), 4);
+    }
+
+    #[test]
+    fn minimal_recency_bound_is_two() {
+        let dms = dms();
+        let run = figure_1_run(&dms, 2);
+        assert_eq!(RecencySemantics::minimal_bound(&dms, &run), Some(2));
+    }
+}

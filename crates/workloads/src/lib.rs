@@ -1,0 +1,22 @@
+//! # rdms-workloads — paper examples and synthetic workload generators
+//!
+//! Every concrete system mentioned in the paper is materialised here as a ready-to-use
+//! [`rdms_core::Dms`], so that examples, integration tests and benchmarks all drive the same
+//! artefacts:
+//!
+//! * [`figure1`] — Example 3.1 with the exact run of Figure 1 (and Example 5.1 / 6.1 data);
+//! * [`enrollment`] — the introduction's student enrollment/graduation scenario;
+//! * [`booking`] — the Appendix C restaurant-offer booking agency (artifact-centric,
+//!   Figure 5 lifecycles), parameterised by the number of restaurants, agents and customers;
+//! * [`warehouse`] — the Appendix F.4 warehouse replenishment system with its bulk `NewO`
+//!   action;
+//! * [`counters`] — counter-machine workloads for the Appendix D reductions;
+//! * [`random`] — a seeded random DMS / random run generator used by property tests and
+//!   benchmarks.
+
+pub mod booking;
+pub mod counters;
+pub mod enrollment;
+pub mod figure1;
+pub mod random;
+pub mod warehouse;

@@ -1,0 +1,208 @@
+//! Seeded random DMS and random-run generation, for property tests and benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdms_core::action::ActionBuilder;
+use rdms_core::dms::DmsBuilder;
+use rdms_core::{Dms, ExtendedRun, RecencySemantics};
+use rdms_db::{Pattern, Query, RelName, Term, Var};
+
+/// Parameters of the random DMS generator.
+#[derive(Clone, Debug)]
+pub struct RandomDmsConfig {
+    /// Number of non-nullary relations.
+    pub relations: usize,
+    /// Maximum relation arity (≥ 1).
+    pub max_arity: usize,
+    /// Number of actions.
+    pub actions: usize,
+    /// Maximum number of action parameters.
+    pub max_params: usize,
+    /// Maximum number of fresh-input variables per action.
+    pub max_fresh: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDmsConfig {
+    fn default() -> Self {
+        RandomDmsConfig {
+            relations: 3,
+            max_arity: 2,
+            actions: 4,
+            max_params: 2,
+            max_fresh: 2,
+            seed: 0xD15C0,
+        }
+    }
+}
+
+/// Generate a pseudo-random (but always valid) DMS.
+///
+/// The shape follows the paper's model: every action's guard is a conjunction of positive
+/// atoms over its parameters (optionally with one negated atom), `Del` deletes some of the
+/// guard's atoms and `Add` inserts tuples mixing parameters and fresh values. A `seedRel`
+/// bootstrap action with only fresh variables guarantees that the system can always make
+/// progress from the empty instance.
+pub fn random_dms(config: &RandomDmsConfig) -> Dms {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = DmsBuilder::new();
+
+    let mut relations: Vec<(RelName, usize)> = Vec::new();
+    for i in 0..config.relations.max(1) {
+        let arity = rng.gen_range(1..=config.max_arity.max(1));
+        let name = format!("R{i}");
+        builder = builder.relation(&name, arity);
+        relations.push((RelName::new(&name), arity));
+    }
+
+    // bootstrap action: inserts fresh tuples into every relation
+    let mut fresh_vars = Vec::new();
+    let mut add = Pattern::new();
+    let mut next_fresh = 0usize;
+    for &(rel, arity) in &relations {
+        let args: Vec<Term> = (0..arity)
+            .map(|_| {
+                let v = Var::numbered("seed_v", next_fresh);
+                next_fresh += 1;
+                fresh_vars.push(v);
+                Term::Var(v)
+            })
+            .collect();
+        add.insert(rel, args);
+    }
+    builder = builder.action(
+        ActionBuilder::new("seedRel")
+            .fresh(fresh_vars)
+            .guard(Query::True)
+            .add(add),
+    );
+
+    for a in 0..config.actions {
+        let num_params = rng.gen_range(0..=config.max_params);
+        let num_fresh = rng.gen_range(if num_params == 0 { 1 } else { 0 }..=config.max_fresh.max(1));
+        let params: Vec<Var> = (0..num_params).map(|i| Var::numbered(&format!("a{a}_u"), i)).collect();
+        let fresh: Vec<Var> = (0..num_fresh).map(|i| Var::numbered(&format!("a{a}_v"), i)).collect();
+
+        // guard: for every parameter one positive atom containing it; optionally one negated atom
+        let mut guard_atoms: Vec<Query> = Vec::new();
+        for &p in &params {
+            let (rel, arity) = relations[rng.gen_range(0..relations.len())];
+            let args: Vec<Term> = (0..arity)
+                .map(|pos| {
+                    if pos == 0 {
+                        Term::Var(p)
+                    } else {
+                        Term::Var(*params.get(rng.gen_range(0..params.len())).unwrap_or(&p))
+                    }
+                })
+                .collect();
+            guard_atoms.push(Query::Atom(rel, args));
+        }
+        let mut guard = Query::conj(guard_atoms.clone());
+        if !params.is_empty() && rng.gen_bool(0.4) {
+            let (rel, arity) = relations[rng.gen_range(0..relations.len())];
+            let args: Vec<Term> = (0..arity)
+                .map(|_| Term::Var(params[rng.gen_range(0..params.len())]))
+                .collect();
+            guard = guard.and(Query::Atom(rel, args).not());
+        }
+
+        // del: a random subset of the positive guard atoms
+        let mut del = Pattern::new();
+        for atom in &guard_atoms {
+            if rng.gen_bool(0.5) {
+                if let Query::Atom(rel, args) = atom {
+                    del.insert(*rel, args.iter().copied());
+                }
+            }
+        }
+
+        // add: one tuple per fresh variable (ensuring ⃗v ⊆ adom(Add)), plus possibly params
+        let mut add = Pattern::new();
+        for &f in &fresh {
+            let (rel, arity) = relations[rng.gen_range(0..relations.len())];
+            let args: Vec<Term> = (0..arity)
+                .map(|pos| {
+                    if pos == 0 {
+                        Term::Var(f)
+                    } else if !params.is_empty() && rng.gen_bool(0.5) {
+                        Term::Var(params[rng.gen_range(0..params.len())])
+                    } else {
+                        Term::Var(f)
+                    }
+                })
+                .collect();
+            add.insert(rel, args);
+        }
+
+        builder = builder.action(
+            ActionBuilder::new(&format!("act{a}"))
+                .params(params)
+                .fresh(fresh)
+                .guard(guard)
+                .del(del)
+                .add(add),
+        );
+    }
+
+    builder.build().expect("randomly generated DMS is valid by construction")
+}
+
+/// A random `b`-bounded run of up to `steps` steps (stopping early at a deadlock), produced
+/// by a seeded random walk over the `b`-bounded successors.
+pub fn random_run(dms: &Dms, b: usize, steps: usize, seed: u64) -> ExtendedRun {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sem = RecencySemantics::new(dms, b);
+    let mut run = ExtendedRun::new(dms.initial_bconfig());
+    for _ in 0..steps {
+        let succs = sem.successors(run.last()).expect("successor computation");
+        if succs.is_empty() {
+            break;
+        }
+        let idx = rng.gen_range(0..succs.len());
+        let (step, next) = succs.into_iter().nth(idx).expect("index in range");
+        run.push(step, next);
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_dms_is_deterministic_in_the_seed() {
+        let a = random_dms(&RandomDmsConfig::default());
+        let b = random_dms(&RandomDmsConfig::default());
+        assert_eq!(a, b);
+        let c = random_dms(&RandomDmsConfig { seed: 99, ..Default::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_runs_are_b_bounded() {
+        let dms = random_dms(&RandomDmsConfig::default());
+        for seed in 0..5 {
+            let run = random_run(&dms, 3, 10, seed);
+            assert!(RecencySemantics::new(&dms, 3).is_b_bounded(&run));
+            // the bootstrap action guarantees at least one step is always possible
+            assert!(!run.is_empty());
+        }
+    }
+
+    #[test]
+    fn larger_configurations_scale() {
+        let dms = random_dms(&RandomDmsConfig {
+            relations: 5,
+            max_arity: 3,
+            actions: 8,
+            max_params: 3,
+            max_fresh: 2,
+            seed: 7,
+        });
+        assert_eq!(dms.num_actions(), 9);
+        let run = random_run(&dms, 4, 8, 1);
+        assert!(run.len() <= 8);
+    }
+}

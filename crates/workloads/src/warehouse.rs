@@ -1,0 +1,87 @@
+//! The warehouse replenishment system of Examples F.4 / F.5 (bulk operations).
+
+use rdms_core::action::ActionBuilder;
+use rdms_core::dms::DmsBuilder;
+use rdms_core::transform::bulk::{compile_bulk_dms, BulkAction, BulkRelations};
+use rdms_core::{CoreError, Dms};
+use rdms_db::{Pattern, Query, RelName, Term, Var};
+
+/// The base system: `TBO/1` (to-be-ordered products), `InOrder/2` (product, order), and a
+/// `stock` action that registers `products_per_stock` new products at a time while the
+/// `init` window is open.
+pub fn base_dms(products_per_stock: usize) -> Dms {
+    let r = RelName::new;
+    let product_vars: Vec<Var> = (0..products_per_stock).map(|i| Var::numbered("p", i)).collect();
+    let add = Pattern::from_facts(
+        product_vars
+            .iter()
+            .map(|&p| (r("TBO"), vec![Term::Var(p)]))
+            .collect::<Vec<_>>(),
+    );
+    DmsBuilder::new()
+        .proposition("init")
+        .relation("TBO", 1)
+        .relation("InOrder", 2)
+        .initially_true("init")
+        .action(
+            ActionBuilder::new("stock")
+                .fresh(product_vars)
+                .guard(Query::prop(r("init")))
+                .del(Pattern::proposition(r("init")))
+                .add(add),
+        )
+        .build()
+        .expect("warehouse DMS is valid")
+}
+
+/// The bulk action `NewO` of Example F.4: move *every* to-be-ordered product into a freshly
+/// created order.
+pub fn new_order_bulk() -> BulkAction {
+    let r = RelName::new;
+    let p = Var::new("p");
+    let o = Var::new("o");
+    BulkAction {
+        name: "NewO".into(),
+        params: vec![p],
+        fresh: vec![o],
+        guard: Query::atom(r("TBO"), [p]),
+        del: Pattern::from_facts([(r("TBO"), vec![Term::Var(p)])]),
+        add: Pattern::from_facts([(r("InOrder"), vec![Term::Var(p), Term::Var(o)])]),
+    }
+}
+
+/// The compiled system (Example F.5): the base system plus the seven standard actions that
+/// simulate the bulk `NewO` under a lock.
+pub fn compiled_dms(products_per_stock: usize) -> Result<(Dms, BulkRelations), CoreError> {
+    let (dms, mut rels) = compile_bulk_dms(&base_dms(products_per_stock), &[new_order_bulk()])?;
+    Ok((dms, rels.remove(0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdms_core::transform::bulk::apply_bulk;
+    use rdms_core::ConcreteSemantics;
+    use rdms_db::DataValue;
+
+    #[test]
+    fn base_and_compiled_build() {
+        let base = base_dms(3);
+        assert_eq!(base.num_actions(), 1);
+        let (compiled, rels) = compiled_dms(3).unwrap();
+        assert_eq!(compiled.num_actions(), 8);
+        assert!(rels.fresh_input.is_some());
+    }
+
+    #[test]
+    fn direct_bulk_on_the_example_f4_scenario() {
+        let dms = base_dms(4);
+        let sem = ConcreteSemantics::new(&dms);
+        let (_, stocked) = sem.successors(&dms.initial_config()).unwrap().remove(0);
+        let next = apply_bulk(&stocked, &new_order_bulk(), &[DataValue::e(500)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(next.instance.relation_size(RelName::new("TBO")), 0);
+        assert_eq!(next.instance.relation_size(RelName::new("InOrder")), 4);
+    }
+}

@@ -1,0 +1,240 @@
+//! Property-based tests (proptest) over the core invariants of the framework:
+//! instance algebra, abstraction/concretisation round trips, encoding validity, VPA
+//! operations against membership oracles, and query evaluation consistency.
+
+use proptest::prelude::*;
+use rdms::checker::RunEncoder;
+use rdms::core::symbolic;
+use rdms::core::RecencySemantics;
+use rdms::db::{answers, eval, DataValue, Instance, Query, RelName, Substitution, Var};
+use rdms::nested::{Alphabet, LetterKind, NestedWord, Vpa};
+use rdms::workloads::random::{random_dms, random_run, RandomDmsConfig};
+use std::sync::Arc;
+
+fn r(name: &str) -> RelName {
+    RelName::new(name)
+}
+
+// -----------------------------------------------------------------------------------------
+// instance algebra
+// -----------------------------------------------------------------------------------------
+
+fn arb_instance(max_values: u64) -> impl Strategy<Value = Instance> {
+    proptest::collection::vec((0u8..3, 1..=max_values, 1..=max_values), 0..12).prop_map(|facts| {
+        let mut instance = Instance::new();
+        for (rel, a, b) in facts {
+            match rel {
+                0 => instance.insert(r("P"), vec![DataValue(a)]),
+                1 => instance.insert(r("Q"), vec![DataValue(a)]),
+                _ => instance.insert(r("S"), vec![DataValue(a), DataValue(b)]),
+            };
+        }
+        instance
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `+` and `−` behave like relation-wise union and difference (Section 2).
+    #[test]
+    fn instance_algebra_laws(a in arb_instance(6), b in arb_instance(6)) {
+        let union = a.union(&b);
+        // union contains both operands
+        for (rel, tuple) in a.facts().chain(b.facts()) {
+            prop_assert!(union.contains(rel, tuple));
+        }
+        // difference removes exactly the facts of b
+        let diff = a.difference(&b);
+        for (rel, tuple) in a.facts() {
+            prop_assert_eq!(diff.contains(rel, tuple), !b.contains(rel, tuple));
+        }
+        // (a − b) + b ⊇ a
+        let back = diff.union(&b);
+        for (rel, tuple) in a.facts() {
+            prop_assert!(back.contains(rel, tuple));
+        }
+        // the active domain of the union is the union of active domains
+        let adom: std::collections::BTreeSet<_> =
+            a.active_domain().union(&b.active_domain()).copied().collect();
+        prop_assert_eq!(union.active_domain(), adom);
+    }
+
+    /// `Active(u)` characterises the active domain (Example 2.1) and answer enumeration
+    /// agrees with per-substitution evaluation.
+    #[test]
+    fn active_query_and_answers_agree(instance in arb_instance(6)) {
+        let schema = rdms::db::Schema::with_relations(&[("P", 1), ("Q", 1), ("S", 2)]);
+        let u = Var::new("u");
+        let active = rdms::db::query::active_query(&schema, u);
+        let ans = answers(&instance, &active).unwrap();
+        let values: std::collections::BTreeSet<_> = ans.iter().map(|s| s.get(u).unwrap()).collect();
+        prop_assert_eq!(values, instance.active_domain());
+
+        // spot-check `answers` against `holds` on a joined query
+        let q = Query::atom(r("P"), [u]).and(Query::atom(r("Q"), [u]).not());
+        let ans: std::collections::BTreeSet<_> = answers(&instance, &q).unwrap().into_iter().collect();
+        for value in instance.active_domain() {
+            let sub = Substitution::from_pairs([(u, value)]);
+            prop_assert_eq!(ans.contains(&sub), eval::holds(&instance, &sub, &q).unwrap());
+        }
+    }
+}
+
+// -----------------------------------------------------------------------------------------
+// runs, abstraction and encodings on randomly generated DMSs
+// -----------------------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random b-bounded runs abstract and concretise consistently, and their nested-word
+    /// encodings are valid and decode to isomorphic runs (Lemma E.1 + Section 6.3).
+    #[test]
+    fn abstraction_and_encoding_round_trip(seed in 0u64..500, b in 2usize..4, steps in 0usize..7) {
+        let dms = random_dms(&RandomDmsConfig { seed: seed % 7, ..Default::default() });
+        let run = random_run(&dms, b, steps, seed);
+        prop_assert!(RecencySemantics::new(&dms, b).is_b_bounded(&run));
+
+        // Abstr / Concr
+        let word = symbolic::abstraction(&dms, &run).expect("run is b-bounded");
+        let canonical = symbolic::concretize(&dms, b, &word).unwrap().expect("valid abstraction");
+        prop_assert_eq!(symbolic::abstraction(&dms, &canonical).unwrap(), word);
+        prop_assert!(rdms::core::iso::runs_isomorphic(&canonical, &run));
+
+        // nested-word encoding
+        let encoder = RunEncoder::new(&dms, b);
+        let encoded = encoder.encode(&run).expect("encodable");
+        prop_assert!(encoded.check_nesting_laws());
+        let decoded = encoder.decode(&encoded).expect("valid encoding");
+        prop_assert!(rdms::core::iso::runs_isomorphic(&decoded, &run));
+
+        // Remark 6.1: pending pushes before the last block equal |adom| before it
+        if !run.is_empty() {
+            let last_head = (0..encoded.len())
+                .filter(|&p| encoder.alphabet().symbolic(encoded.letter(p)).is_some())
+                .next_back()
+                .unwrap();
+            prop_assert_eq!(
+                encoded.pending_calls_in_prefix(last_head).len(),
+                run.configs()[run.len() - 1].instance.active_domain().len()
+            );
+        }
+    }
+}
+
+// -----------------------------------------------------------------------------------------
+// VPA operations against membership oracles
+// -----------------------------------------------------------------------------------------
+
+fn small_alphabet() -> Arc<Alphabet> {
+    let mut a = Alphabet::new();
+    a.call("<");
+    a.ret(">");
+    a.internal("x");
+    a.internal("y");
+    a.into_arc()
+}
+
+fn arb_word(alphabet: Arc<Alphabet>) -> impl Strategy<Value = NestedWord> {
+    proptest::collection::vec(0u32..4, 0..10)
+        .prop_map(move |ids| NestedWord::new(alphabet.clone(), ids.into_iter().map(rdms::nested::LetterId).collect()))
+}
+
+/// An automaton accepting words that contain the internal letter `x` at nesting depth ≥ 1
+/// (inside at least one pending-or-matched call).
+fn x_under_call(alphabet: Arc<Alphabet>) -> Vpa {
+    let lt = alphabet.lookup("<").unwrap();
+    let x = alphabet.lookup("x").unwrap();
+    let mut vpa = Vpa::new(alphabet, 3, 1);
+    vpa.set_initial(0);
+    vpa.set_final(2);
+    vpa.add_all_letter_loops(0, 0);
+    vpa.add_all_letter_loops(2, 0);
+    vpa.add_call(0, lt, 1, 0);
+    vpa.add_all_letter_loops(1, 0);
+    vpa.add_internal(1, x, 2);
+    vpa
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Determinization, complementation, union and intersection agree with the
+    /// nondeterministic membership oracle on random words.
+    #[test]
+    fn vpa_operations_respect_membership(word in arb_word(small_alphabet())) {
+        let alphabet = word.alphabet().clone();
+        let a = x_under_call(alphabet.clone());
+        let b = Vpa::universal(alphabet.clone());
+
+        let det = rdms::nested::vpa::determinize::determinize(&a);
+        prop_assert_eq!(det.accepts(&word), a.accepts(&word));
+
+        let comp = rdms::nested::vpa::determinize::complement(&a);
+        prop_assert_eq!(comp.accepts(&word), !a.accepts(&word));
+
+        let inter = rdms::nested::vpa::ops::intersect(&a, &b);
+        prop_assert_eq!(inter.accepts(&word), a.accepts(&word));
+
+        let uni = rdms::nested::vpa::ops::union(&a, &comp);
+        prop_assert!(uni.accepts(&word));
+
+        let trimmed = rdms::nested::vpa::ops::trim(&a);
+        prop_assert_eq!(trimmed.accepts(&word), a.accepts(&word));
+    }
+
+    /// Nesting laws hold for every word (the relation is computed by construction) and
+    /// prefixes preserve them.
+    #[test]
+    fn nesting_laws_hold(word in arb_word(small_alphabet()), cut in 0usize..10) {
+        prop_assert!(word.check_nesting_laws());
+        prop_assert!(word.prefix(cut).check_nesting_laws());
+        // matched pairs are call/return and ordered
+        for (i, j) in word.nesting_edges() {
+            prop_assert!(i < j);
+            prop_assert_eq!(word.kind(i), LetterKind::Call);
+            prop_assert_eq!(word.kind(j), LetterKind::Return);
+        }
+    }
+}
+
+// -----------------------------------------------------------------------------------------
+// MSO_NW compilation against direct evaluation
+// -----------------------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The compiled VPA of a fixed small sentence agrees with direct evaluation on random
+    /// words (the per-formula constructions are covered by unit tests; this checks the
+    /// pipeline end to end on arbitrary inputs).
+    #[test]
+    fn mso_compilation_agrees_with_direct_evaluation(word in arb_word(small_alphabet())) {
+        use rdms::nested::mso::{MsoNw, PosVar};
+        let alphabet = word.alphabet().clone();
+        let x_letter = alphabet.lookup("x").unwrap();
+        let c = PosVar(0);
+        let ret = PosVar(1);
+        let p = PosVar(2);
+        // "some matched call contains an x strictly inside"
+        let phi = MsoNw::exists_pos(
+            c,
+            MsoNw::exists_pos(
+                ret,
+                MsoNw::exists_pos(
+                    p,
+                    MsoNw::matched(c, ret)
+                        .and(MsoNw::less(c, p))
+                        .and(MsoNw::less(p, ret))
+                        .and(MsoNw::letter(x_letter, p)),
+                ),
+            ),
+        );
+        let compiled = rdms::nested::compile(&phi, &alphabet);
+        prop_assert_eq!(
+            compiled.check(&word, &rdms::nested::eval::Assignment::new()),
+            rdms::nested::eval::eval_sentence(&word, &phi)
+        );
+    }
+}
