@@ -115,7 +115,7 @@ impl<'a> HybridChecker<'a> {
             let on_word = rdms_nested::eval::eval_sentence(&word, &translated);
             // positions of the encoding denote the instances *before* each block (plus I₀)
             let instances = run.instances();
-            let covered = if run.len() == 0 { &instances[..1] } else { &instances[..run.len()] };
+            let covered = if run.is_empty() { &instances[..1] } else { &instances[..run.len()] };
             let on_run = rdms_logic::msofo::eval_sentence(covered, property);
             assert_eq!(
                 on_word, on_run,

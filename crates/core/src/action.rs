@@ -215,6 +215,8 @@ impl ActionBuilder {
     }
 
     /// Set the addition pattern.
+    // builder-style setter named after the paper's `Add` component, not arithmetic
+    #[allow(clippy::should_implement_trait)]
     pub fn add(mut self, add: Pattern) -> Self {
         self.add = add;
         self

@@ -100,12 +100,12 @@ impl SeqNo {
     /// Assign strictly increasing fresh numbers (above everything assigned so far) to the
     /// given values, in order. Returns the numbers used.
     pub fn assign_fresh<I: IntoIterator<Item = DataValue>>(&mut self, values: I) -> Vec<u64> {
-        let mut next = self.max_seq().map(|m| m + 1).unwrap_or(1);
+        let start = self.max_seq().map(|m| m + 1).unwrap_or(1);
         let mut used = Vec::new();
-        for v in values {
-            self.assign(v, next);
-            used.push(next);
-            next += 1;
+        for (i, v) in values.into_iter().enumerate() {
+            let n = start + i as u64;
+            self.assign(v, n);
+            used.push(n);
         }
         used
     }

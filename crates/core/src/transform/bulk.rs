@@ -454,7 +454,7 @@ mod tests {
     #[test]
     fn compiled_simulation_reaches_the_same_result_as_direct_bulk() {
         let (dms, bulk) = warehouse();
-        let (compiled, rels) = compile_bulk_dms(&dms, &[bulk.clone()]).unwrap();
+        let (compiled, rels) = compile_bulk_dms(&dms, std::slice::from_ref(&bulk)).unwrap();
         let rels = &rels[0];
         let sem = ConcreteSemantics::new(&compiled);
 

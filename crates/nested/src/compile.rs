@@ -751,8 +751,8 @@ mod tests {
         let empty = NestedWord::new(a.clone(), vec![]);
         assert!(compiled.check(&nonempty, &Assignment::new()));
         assert!(!compiled.check(&empty, &Assignment::new()));
-        assert_eq!(eval_sentence(&nonempty, &phi), true);
-        assert_eq!(eval_sentence(&empty, &phi), false);
+        assert!(eval_sentence(&nonempty, &phi));
+        assert!(!eval_sentence(&empty, &phi));
     }
 
     #[test]

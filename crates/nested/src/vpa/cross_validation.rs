@@ -1,0 +1,228 @@
+//! Cross-validation of the VPA operations against the direct MSO evaluator.
+//!
+//! Every test here checks an automaton-level operation (union, product/intersection,
+//! determinization, complementation, emptiness) against the reference semantics in
+//! [`crate::eval`]: the operand languages are given by small MSO_NW sentences (compiled
+//! through [`crate::compile`]) or by small hand-built automata whose language has a known
+//! MSO characterisation, and the operation's result is compared with the corresponding
+//! boolean combination of direct evaluations on **every** nested word up to a length bound.
+
+use crate::alphabet::{Alphabet, LetterId};
+use crate::compile::compile;
+use crate::eval::eval_sentence;
+use crate::mso::{MsoNw, VarFactory};
+use crate::vpa::determinize::{complement, determinize};
+use crate::vpa::emptiness::{is_empty, shortest_witness};
+use crate::vpa::ops::{intersect, trim, union};
+use crate::vpa::Vpa;
+use crate::word::NestedWord;
+use std::sync::Arc;
+
+fn base() -> Arc<Alphabet> {
+    let mut a = Alphabet::new();
+    a.call("<");
+    a.ret(">");
+    a.internal("x");
+    a.internal("y");
+    a.into_arc()
+}
+
+/// Every nested word over `a` of length at most `max_len` (all letter sequences are valid
+/// nested words; the nesting relation is computed from the letter kinds).
+fn all_words(a: &Arc<Alphabet>, max_len: usize) -> Vec<NestedWord> {
+    let letters: Vec<LetterId> = a.letters().collect();
+    let mut words = vec![Vec::new()];
+    let mut out: Vec<Vec<LetterId>> = vec![Vec::new()];
+    for _ in 0..max_len {
+        words = words
+            .iter()
+            .flat_map(|w| {
+                letters.iter().map(move |&l| {
+                    let mut w2 = w.clone();
+                    w2.push(l);
+                    w2
+                })
+            })
+            .collect();
+        out.extend(words.iter().cloned());
+    }
+    out.into_iter().map(|ls| NestedWord::new(a.clone(), ls)).collect()
+}
+
+/// `∃p. x(p)` — some position carries the internal letter `x`.
+fn phi_has_x(a: &Arc<Alphabet>) -> MsoNw {
+    let mut f = VarFactory::new();
+    let p = f.pos();
+    MsoNw::exists_pos(p, MsoNw::letter(a.lookup("x").unwrap(), p))
+}
+
+/// `∃c,r. c ⊿ r` — some matched call/return pair exists.
+fn phi_some_matched(_a: &Arc<Alphabet>) -> MsoNw {
+    let mut f = VarFactory::new();
+    let c = f.pos();
+    let r = f.pos();
+    MsoNw::exists_pos(c, MsoNw::exists_pos(r, MsoNw::matched(c, r)))
+}
+
+/// `∃c,r,p. c ⊿ r ∧ c < p ∧ p < r ∧ x(p)` — an `x` strictly inside a matched pair.
+fn phi_x_inside_matched(a: &Arc<Alphabet>) -> MsoNw {
+    let mut f = VarFactory::new();
+    let c = f.pos();
+    let r = f.pos();
+    let p = f.pos();
+    MsoNw::exists_pos(
+        c,
+        MsoNw::exists_pos(
+            r,
+            MsoNw::exists_pos(
+                p,
+                MsoNw::matched(c, r)
+                    .and(MsoNw::less(c, p))
+                    .and(MsoNw::less(p, r))
+                    .and(MsoNw::letter(a.lookup("x").unwrap(), p)),
+            ),
+        ),
+    )
+}
+
+/// Hand-built nondeterministic automaton for [`phi_x_inside_matched`]: guess the matched
+/// call, push a marked stack symbol for it, require an `x` before its matching return pops
+/// the mark.
+fn hand_built_x_inside_matched(a: Arc<Alphabet>) -> Vpa {
+    let lt = a.lookup("<").unwrap();
+    let gt = a.lookup(">").unwrap();
+    let x = a.lookup("x").unwrap();
+    let y = a.lookup("y").unwrap();
+    // states: 0 = searching, 1 = inside the guessed call (x not yet seen),
+    //         2 = inside, x seen, 3 = accept; stack: 0 = plain, 1 = the guessed call
+    let mut vpa = Vpa::new(a, 4, 2);
+    vpa.set_initial(0);
+    vpa.set_final(3);
+    vpa.add_all_letter_loops(0, 0);
+    vpa.add_all_letter_loops(3, 0);
+    vpa.add_call(0, lt, 1, 1);
+    vpa.add_internal(1, x, 2);
+    vpa.add_internal(1, y, 1);
+    vpa.add_call(1, lt, 1, 0);
+    vpa.add_return(1, 0, gt, 1);
+    vpa.add_internal(2, x, 2);
+    vpa.add_internal(2, y, 2);
+    vpa.add_call(2, lt, 2, 0);
+    vpa.add_return(2, 0, gt, 2);
+    vpa.add_return(2, 1, gt, 3);
+    vpa
+}
+
+#[test]
+fn hand_built_automaton_matches_its_mso_characterisation() {
+    let a = base();
+    let vpa = hand_built_x_inside_matched(a.clone());
+    let phi = phi_x_inside_matched(&a);
+    for word in all_words(&a, 4) {
+        assert_eq!(
+            vpa.accepts(&word),
+            eval_sentence(&word, &phi),
+            "hand-built automaton disagrees with MSO evaluation on {word:?}"
+        );
+    }
+}
+
+#[test]
+fn union_agrees_with_disjunction() {
+    let a = base();
+    let phi_x = phi_has_x(&a);
+    let phi_m = phi_some_matched(&a);
+    let u = union(&compile(&phi_x, &a).vpa, &compile(&phi_m, &a).vpa);
+    for word in all_words(&a, 4) {
+        assert_eq!(
+            u.accepts(&word),
+            eval_sentence(&word, &phi_x) || eval_sentence(&word, &phi_m),
+            "union disagrees with ∨ on {word:?}"
+        );
+    }
+}
+
+#[test]
+fn product_agrees_with_conjunction() {
+    let a = base();
+    let phi_x = phi_has_x(&a);
+    let phi_m = phi_some_matched(&a);
+    let product = intersect(&compile(&phi_x, &a).vpa, &compile(&phi_m, &a).vpa);
+    for word in all_words(&a, 4) {
+        assert_eq!(
+            product.accepts(&word),
+            eval_sentence(&word, &phi_x) && eval_sentence(&word, &phi_m),
+            "product disagrees with ∧ on {word:?}"
+        );
+    }
+}
+
+#[test]
+fn determinization_agrees_with_direct_evaluation() {
+    let a = base();
+    let nd = hand_built_x_inside_matched(a.clone());
+    let det = determinize(&nd);
+    let phi = phi_x_inside_matched(&a);
+    for word in all_words(&a, 4) {
+        assert_eq!(
+            det.accepts(&word),
+            eval_sentence(&word, &phi),
+            "determinization disagrees with MSO evaluation on {word:?}"
+        );
+    }
+}
+
+#[test]
+fn complementation_agrees_with_negation() {
+    let a = base();
+    let nd = hand_built_x_inside_matched(a.clone());
+    let comp = complement(&nd);
+    let phi = phi_x_inside_matched(&a);
+    for word in all_words(&a, 4) {
+        assert_eq!(
+            comp.accepts(&word),
+            !eval_sentence(&word, &phi),
+            "complement disagrees with ¬ on {word:?}"
+        );
+    }
+    // ... and on a compiled operand as well
+    let phi_x = phi_has_x(&a);
+    let comp_x = complement(&compile(&phi_x, &a).vpa);
+    for word in all_words(&a, 3) {
+        assert_eq!(comp_x.accepts(&word), !eval_sentence(&word, &phi_x));
+    }
+}
+
+#[test]
+fn trim_preserves_compiled_and_hand_built_languages() {
+    let a = base();
+    let nd = hand_built_x_inside_matched(a.clone());
+    let compiled = compile(&phi_some_matched(&a), &a).vpa;
+    for word in all_words(&a, 4) {
+        assert_eq!(trim(&nd).accepts(&word), nd.accepts(&word));
+        assert_eq!(trim(&compiled).accepts(&word), compiled.accepts(&word));
+    }
+}
+
+#[test]
+fn emptiness_agrees_with_the_evaluator() {
+    let a = base();
+    let nd = hand_built_x_inside_matched(a.clone());
+
+    // L ∩ ¬L is empty — for the hand-built and for a compiled automaton
+    assert!(is_empty(&intersect(&nd, &complement(&nd))));
+    let cx = compile(&phi_has_x(&a), &a).vpa;
+    assert!(is_empty(&intersect(&cx, &complement(&cx))));
+
+    // a contradictory sentence compiles to an empty automaton
+    let mut f = VarFactory::new();
+    let p = f.pos();
+    let x = a.lookup("x").unwrap();
+    let contradiction = MsoNw::exists_pos(p, MsoNw::letter(x, p).and(MsoNw::letter(x, p).not()));
+    assert!(is_empty(&compile(&contradiction, &a).vpa));
+
+    // non-empty automata yield witnesses that the evaluator confirms
+    let phi = phi_x_inside_matched(&a);
+    let witness = shortest_witness(&nd).expect("language is non-empty");
+    assert!(eval_sentence(&witness, &phi), "witness {witness:?} must satisfy the sentence");
+}

@@ -9,158 +9,333 @@
 //!
 //! The construction yields a *complete* deterministic VPA, so complementation is just
 //! flipping the accepting states.
+//!
+//! ## Implementation notes
+//!
+//! The naive construction pairs every discovered set-state with every stack symbol when
+//! computing matched-return transitions, which is quadratic in the number of discovered
+//! states *before* any of the per-transition work — on the automata produced by the MSO
+//! compilation pipeline (`crate::compile`) that blows up far past what the reachable part
+//! needs. This implementation therefore:
+//!
+//! * interns pair sets as sorted packed `u64` vectors in a hash map (cheap equality),
+//! * pre-indexes the input automaton's transitions by `(state, letter)` so successor sets
+//!   are computed by lookup instead of scanning the whole transition relation,
+//! * tracks which *configurations* `(set-state, top-of-stack)` are actually reachable —
+//!   via a context-propagation fixpoint — and only expands matched returns for those.
+//!
+//! Internal, call and pending-return transitions are still emitted for **every** discovered
+//! state (they are cheap, and keep the result total on those letters); only the matched
+//! return relation is restricted to viable `(state, stack symbol)` pairs. Combinations that
+//! are skipped can never occur in a run from the initial state, so the language — and the
+//! language of the complement — is unchanged.
 
-use crate::alphabet::LetterKind;
+use crate::alphabet::{LetterId, LetterKind};
 use crate::vpa::Vpa;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
-type PairSet = BTreeSet<(usize, usize)>;
+/// Contexts a set-state can be reached in: `ROOT` means "with an empty stack";
+/// `gid + 1` means "with stack symbol `gid` on top".
+const ROOT: usize = 0;
 
-/// Determinize a VPA. The result is deterministic (single initial state, at most one
-/// transition per letter/stack-symbol) and complete (exactly one transition), and accepts the
-/// same language.
-pub fn determinize(vpa: &Vpa) -> Vpa {
-    let mut states: Vec<PairSet> = Vec::new();
-    let mut state_ids: BTreeMap<PairSet, usize> = BTreeMap::new();
-    let mut stack_syms: Vec<(usize, crate::alphabet::LetterId)> = Vec::new();
-    let mut stack_ids: BTreeMap<(usize, crate::alphabet::LetterId), usize> = BTreeMap::new();
+struct Determinizer<'a> {
+    vpa: &'a Vpa,
+    n: u64,
+    internal_letters: Vec<LetterId>,
+    call_letters: Vec<LetterId>,
+    return_letters: Vec<LetterId>,
+    // (state, letter) → successors / (target, pushed γ) of the *input* automaton
+    internal_idx: HashMap<(usize, LetterId), Vec<usize>>,
+    call_idx: HashMap<(usize, LetterId), Vec<(usize, usize)>>,
+    ret_idx: HashMap<(usize, usize, LetterId), Vec<usize>>,
+    ret_empty_idx: HashMap<(usize, LetterId), Vec<usize>>,
+    // deterministic automaton under construction
+    states: Vec<Vec<u64>>,
+    state_ids: HashMap<Vec<u64>, usize>,
+    stack_syms: Vec<(usize, LetterId)>,
+    stack_ids: HashMap<(usize, LetterId), usize>,
+    d_internal: Vec<(usize, LetterId, usize)>,
+    d_call: Vec<(usize, LetterId, usize, usize)>,
+    d_ret: Vec<(usize, usize, LetterId, usize)>,
+    d_ret_empty: Vec<(usize, LetterId, usize)>,
+    // reachable contexts per state, and members per level (= context gid + 1)
+    state_ctxs: Vec<BTreeSet<usize>>,
+    level_members: Vec<BTreeSet<usize>>,
+}
 
-    let intern_state = |s: PairSet, states: &mut Vec<PairSet>, ids: &mut BTreeMap<PairSet, usize>| -> usize {
-        if let Some(&id) = ids.get(&s) {
+impl<'a> Determinizer<'a> {
+    fn new(vpa: &'a Vpa) -> Determinizer<'a> {
+        let mut internal_idx: HashMap<(usize, LetterId), Vec<usize>> = HashMap::new();
+        for &(q, a, q2) in &vpa.internal {
+            internal_idx.entry((q, a)).or_default().push(q2);
+        }
+        let mut call_idx: HashMap<(usize, LetterId), Vec<(usize, usize)>> = HashMap::new();
+        for &(q, a, q2, gamma) in &vpa.call {
+            call_idx.entry((q, a)).or_default().push((q2, gamma));
+        }
+        let mut ret_idx: HashMap<(usize, usize, LetterId), Vec<usize>> = HashMap::new();
+        for &(q, gamma, a, q2) in &vpa.ret {
+            ret_idx.entry((q, gamma, a)).or_default().push(q2);
+        }
+        let mut ret_empty_idx: HashMap<(usize, LetterId), Vec<usize>> = HashMap::new();
+        for &(q, a, q2) in &vpa.ret_empty {
+            ret_empty_idx.entry((q, a)).or_default().push(q2);
+        }
+        let of_kind = |kind: LetterKind| -> Vec<LetterId> {
+            vpa.alphabet.letters().filter(|&l| vpa.alphabet.kind(l) == kind).collect()
+        };
+        Determinizer {
+            n: vpa.num_states.max(1) as u64,
+            internal_letters: of_kind(LetterKind::Internal),
+            call_letters: of_kind(LetterKind::Call),
+            return_letters: of_kind(LetterKind::Return),
+            internal_idx,
+            call_idx,
+            ret_idx,
+            ret_empty_idx,
+            states: Vec::new(),
+            state_ids: HashMap::new(),
+            stack_syms: Vec::new(),
+            stack_ids: HashMap::new(),
+            d_internal: Vec::new(),
+            d_call: Vec::new(),
+            d_ret: Vec::new(),
+            d_ret_empty: Vec::new(),
+            state_ctxs: Vec::new(),
+            level_members: Vec::new(),
+            vpa,
+        }
+    }
+
+    fn pack(&self, origin: usize, current: usize) -> u64 {
+        debug_assert!(
+            (origin as u64) < self.n && (current as u64) < self.n,
+            "transition references state out of range (num_states = {})",
+            self.n
+        );
+        origin as u64 * self.n + current as u64
+    }
+
+    fn unpack(&self, packed: u64) -> (usize, usize) {
+        ((packed / self.n) as usize, (packed % self.n) as usize)
+    }
+
+    fn intern_state(&mut self, set: BTreeSet<u64>) -> usize {
+        let key: Vec<u64> = set.into_iter().collect();
+        if let Some(&id) = self.state_ids.get(&key) {
             return id;
         }
-        let id = states.len();
-        states.push(s.clone());
-        ids.insert(s, id);
+        let id = self.states.len();
+        self.states.push(key.clone());
+        self.state_ids.insert(key, id);
+        self.state_ctxs.push(BTreeSet::new());
         id
-    };
+    }
 
-    let initial_set: PairSet = vpa.initial.iter().map(|&q| (q, q)).collect();
-    let initial_id = intern_state(initial_set, &mut states, &mut state_ids);
+    fn intern_stack_sym(&mut self, sym: (usize, LetterId)) -> usize {
+        if let Some(&gid) = self.stack_ids.get(&sym) {
+            return gid;
+        }
+        let gid = self.stack_syms.len();
+        self.stack_syms.push(sym);
+        self.stack_ids.insert(sym, gid);
+        self.level_members.push(BTreeSet::new());
+        gid
+    }
 
-    // transition tables of the deterministic automaton, filled as we discover states
-    let mut d_internal: BTreeSet<(usize, crate::alphabet::LetterId, usize)> = BTreeSet::new();
-    let mut d_call: BTreeSet<(usize, crate::alphabet::LetterId, usize, usize)> = BTreeSet::new();
-    let mut d_ret: BTreeSet<(usize, usize, crate::alphabet::LetterId, usize)> = BTreeSet::new();
-    let mut d_ret_empty: BTreeSet<(usize, crate::alphabet::LetterId, usize)> = BTreeSet::new();
+    fn add_ctx(&mut self, sid: usize, ctx: usize) -> bool {
+        if !self.state_ctxs[sid].insert(ctx) {
+            return false;
+        }
+        if ctx > ROOT {
+            self.level_members[ctx - 1].insert(sid);
+        }
+        true
+    }
 
-    // fixpoint: process (state, letter) and (state, stack symbol, return letter) combinations
-    // until no new state or stack symbol appears
-    let mut processed_states = 0;
-    let mut processed_ret: BTreeSet<(usize, usize)> = BTreeSet::new(); // (state, stack sym)
-    loop {
-        let mut changed = false;
+    /// Emit internal, call and pending-return transitions for one discovered state.
+    fn process_state(&mut self, sid: usize) {
+        let s = self.states[sid].clone();
 
-        // process newly discovered states
-        while processed_states < states.len() {
-            let sid = processed_states;
-            processed_states += 1;
-            changed = true;
-            let s = states[sid].clone();
-
-            for letter in vpa.alphabet.letters() {
-                match vpa.alphabet.kind(letter) {
-                    LetterKind::Internal => {
-                        let mut next: PairSet = BTreeSet::new();
-                        for &(origin, current) in &s {
-                            for &(p, a, p2) in &vpa.internal {
-                                if p == current && a == letter {
-                                    next.insert((origin, p2));
-                                }
-                            }
-                        }
-                        let tid = intern_state(next, &mut states, &mut state_ids);
-                        d_internal.insert((sid, letter, tid));
-                    }
-                    LetterKind::Call => {
-                        let mut next: PairSet = BTreeSet::new();
-                        for &(_, current) in &s {
-                            for &(p, a, p2, _gamma) in &vpa.call {
-                                if p == current && a == letter {
-                                    next.insert((p2, p2));
-                                }
-                            }
-                        }
-                        let tid = intern_state(next, &mut states, &mut state_ids);
-                        // the deterministic automaton pushes (source state, call letter)
-                        let sym = (sid, letter);
-                        let gid = *stack_ids.entry(sym).or_insert_with(|| {
-                            stack_syms.push(sym);
-                            stack_syms.len() - 1
-                        });
-                        d_call.insert((sid, letter, tid, gid));
-                    }
-                    LetterKind::Return => {
-                        // pending return (empty stack)
-                        let mut next: PairSet = BTreeSet::new();
-                        for &(origin, current) in &s {
-                            for &(p, a, p2) in &vpa.ret_empty {
-                                if p == current && a == letter {
-                                    next.insert((origin, p2));
-                                }
-                            }
-                        }
-                        let tid = intern_state(next, &mut states, &mut state_ids);
-                        d_ret_empty.insert((sid, letter, tid));
+        for &a in &self.internal_letters.clone() {
+            let mut next: BTreeSet<u64> = BTreeSet::new();
+            for &packed in &s {
+                let (origin, current) = self.unpack(packed);
+                if let Some(targets) = self.internal_idx.get(&(current, a)) {
+                    for &t in targets {
+                        next.insert(self.pack(origin, t));
                     }
                 }
             }
+            let tid = self.intern_state(next);
+            self.d_internal.push((sid, a, tid));
         }
 
-        // process (state, stack symbol) pairs for matched returns
-        let num_states_now = states.len();
-        let num_syms_now = stack_syms.len();
-        for sid in 0..num_states_now {
-            for gid in 0..num_syms_now {
-                if !processed_ret.insert((sid, gid)) {
-                    continue;
+        for &a in &self.call_letters.clone() {
+            let mut next: BTreeSet<u64> = BTreeSet::new();
+            for &packed in &s {
+                let (_, current) = self.unpack(packed);
+                if let Some(targets) = self.call_idx.get(&(current, a)) {
+                    for &(t, _gamma) in targets {
+                        next.insert(self.pack(t, t));
+                    }
                 }
+            }
+            let tid = self.intern_state(next);
+            let gid = self.intern_stack_sym((sid, a));
+            self.d_call.push((sid, a, tid, gid));
+        }
+
+        for &b in &self.return_letters.clone() {
+            let mut next: BTreeSet<u64> = BTreeSet::new();
+            for &packed in &s {
+                let (origin, current) = self.unpack(packed);
+                if let Some(targets) = self.ret_empty_idx.get(&(current, b)) {
+                    for &t in targets {
+                        next.insert(self.pack(origin, t));
+                    }
+                }
+            }
+            let tid = self.intern_state(next);
+            self.d_ret_empty.push((sid, b, tid));
+        }
+    }
+
+    /// Emit matched-return transitions for one viable `(state, stack symbol)` pair.
+    fn process_return(&mut self, sid: usize, gid: usize) {
+        let (prev_sid, call_letter) = self.stack_syms[gid];
+        let s_prev = self.states[prev_sid].clone();
+        let s_current = self.states[sid].clone();
+
+        // group the current-level summaries by their origin (= the call's target state)
+        let mut current_by_origin: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &packed in &s_current {
+            let (q2, q3) = self.unpack(packed);
+            current_by_origin.entry(q2).or_default().push(q3);
+        }
+
+        for &b in &self.return_letters.clone() {
+            let mut next: BTreeSet<u64> = BTreeSet::new();
+            for &packed in &s_prev {
+                let (origin, q1) = self.unpack(packed);
+                let Some(calls) = self.call_idx.get(&(q1, call_letter)) else { continue };
+                for &(q2, gamma) in calls {
+                    let Some(currents) = current_by_origin.get(&q2) else { continue };
+                    for &q3 in currents {
+                        if let Some(targets) = self.ret_idx.get(&(q3, gamma, b)) {
+                            for &q4 in targets {
+                                next.insert(self.pack(origin, q4));
+                            }
+                        }
+                    }
+                }
+            }
+            let tid = self.intern_state(next);
+            self.d_ret.push((sid, gid, b, tid));
+        }
+    }
+
+    /// Propagate reachable contexts along the transitions discovered so far, to fixpoint.
+    ///
+    /// Soundly over-approximates the reachable `(state, top-of-stack)` configurations:
+    /// internal moves keep the context, calls open the pushed symbol's level, pending
+    /// returns exist only at the root, and a matched return restores any context its
+    /// pushing state was reachable in.
+    fn propagate_contexts(&mut self) {
+        loop {
+            let mut changed = false;
+            for i in 0..self.d_internal.len() {
+                let (s, _, t) = self.d_internal[i];
+                for ctx in self.state_ctxs[s].clone() {
+                    changed |= self.add_ctx(t, ctx);
+                }
+            }
+            for i in 0..self.d_ret_empty.len() {
+                let (s, _, t) = self.d_ret_empty[i];
+                if self.state_ctxs[s].contains(&ROOT) {
+                    changed |= self.add_ctx(t, ROOT);
+                }
+            }
+            for i in 0..self.d_call.len() {
+                let (s, _, t, g) = self.d_call[i];
+                if !self.state_ctxs[s].is_empty() {
+                    changed |= self.add_ctx(t, g + 1);
+                }
+            }
+            for i in 0..self.d_ret.len() {
+                let (s, g, _, t) = self.d_ret[i];
+                if self.state_ctxs[s].contains(&(g + 1)) {
+                    let (push_source, _) = self.stack_syms[g];
+                    for ctx in self.state_ctxs[push_source].clone() {
+                        changed |= self.add_ctx(t, ctx);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    fn run(mut self) -> Vpa {
+        let initial_set: BTreeSet<u64> =
+            self.vpa.initial.iter().map(|&q| self.pack(q, q)).collect();
+        let initial_id = self.intern_state(initial_set);
+        self.add_ctx(initial_id, ROOT);
+
+        let mut processed_states = 0;
+        let mut processed_ret: HashSet<(usize, usize)> = HashSet::new();
+        loop {
+            let mut changed = false;
+
+            while processed_states < self.states.len() {
+                let sid = processed_states;
+                processed_states += 1;
                 changed = true;
-                let s_current = states[sid].clone();
-                let (prev_sid, call_letter) = stack_syms[gid];
-                let s_prev = states[prev_sid].clone();
-                for letter in vpa.alphabet.letters_of_kind(LetterKind::Return).collect::<Vec<_>>() {
-                    let mut next: PairSet = BTreeSet::new();
-                    for &(origin, q1) in &s_prev {
-                        for &(p, a, q2, gamma) in &vpa.call {
-                            if p != q1 || a != call_letter {
-                                continue;
-                            }
-                            for &(q2b, q3) in &s_current {
-                                if q2b != q2 {
-                                    continue;
-                                }
-                                for &(p3, g, b, q4) in &vpa.ret {
-                                    if p3 == q3 && g == gamma && b == letter {
-                                        next.insert((origin, q4));
-                                    }
-                                }
-                            }
-                        }
+                self.process_state(sid);
+            }
+
+            self.propagate_contexts();
+
+            for gid in 0..self.stack_syms.len() {
+                for sid in self.level_members[gid].clone() {
+                    if processed_ret.insert((sid, gid)) {
+                        changed = true;
+                        self.process_return(sid, gid);
                     }
-                    let tid = intern_state(next, &mut states, &mut state_ids);
-                    d_ret.insert((sid, gid, letter, tid));
                 }
+            }
+
+            if !changed {
+                break;
             }
         }
 
-        if !changed {
-            break;
+        let mut out = Vpa::new(
+            self.vpa.alphabet.clone(),
+            self.states.len(),
+            self.stack_syms.len().max(1),
+        );
+        out.initial.insert(initial_id);
+        for (sid, s) in self.states.iter().enumerate() {
+            if s.iter().any(|&packed| self.vpa.finals.contains(&((packed % self.n) as usize))) {
+                out.finals.insert(sid);
+            }
         }
+        out.internal = self.d_internal.into_iter().collect();
+        out.call = self.d_call.into_iter().collect();
+        out.ret = self.d_ret.into_iter().collect();
+        out.ret_empty = self.d_ret_empty.into_iter().collect();
+        out
     }
+}
 
-    let mut out = Vpa::new(vpa.alphabet.clone(), states.len(), stack_syms.len().max(1));
-    out.initial.insert(initial_id);
-    for (sid, s) in states.iter().enumerate() {
-        if s.iter().any(|&(_, current)| vpa.finals.contains(&current)) {
-            out.finals.insert(sid);
-        }
-    }
-    out.internal = d_internal;
-    out.call = d_call;
-    out.ret = d_ret;
-    out.ret_empty = d_ret_empty;
-    out
+/// Determinize a VPA. The result is deterministic (single initial state, at most one
+/// transition per letter/stack-symbol) and accepts the same language; on internal, call and
+/// pending-return letters it is also complete (exactly one transition per discovered state),
+/// and matched-return transitions cover every reachable configuration.
+pub fn determinize(vpa: &Vpa) -> Vpa {
+    Determinizer::new(vpa).run()
 }
 
 /// Complement a VPA with respect to the set of *all* finite nested words over its alphabet
@@ -261,6 +436,76 @@ mod tests {
                     }
                     LetterKind::Return => {
                         assert_eq!(det.ret_empty.iter().filter(|&&(p, l, _)| p == q && l == letter).count(), 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matched_returns_cover_reachable_configurations() {
+        let a = alphabet();
+        let det = determinize(&x_inside_matched_call(a.clone()));
+        // at most one matched-return transition per (state, stack symbol, letter) —
+        // determinism of the pruned relation
+        let mut seen = std::collections::BTreeSet::new();
+        for &(q, g, l, _) in &det.ret {
+            assert!(seen.insert((q, g, l)), "duplicate return transition for {:?}", (q, g, l));
+        }
+        // ... and coverage: walking the deterministic automaton over every word up to
+        // length 5, each step must find exactly one applicable transition — in particular
+        // no matched return over a reachable configuration may have been pruned away.
+        let letters: Vec<_> = a.letters().collect();
+        let mut words: Vec<Vec<crate::alphabet::LetterId>> = vec![Vec::new()];
+        for _ in 0..5 {
+            words = words
+                .iter()
+                .flat_map(|w| {
+                    letters.iter().map(move |&l| {
+                        let mut w2 = w.clone();
+                        w2.push(l);
+                        w2
+                    })
+                })
+                .collect();
+            for word in &words {
+                let mut state = *det.initial.iter().next().unwrap();
+                let mut stack: Vec<usize> = Vec::new();
+                for &l in word {
+                    match det.alphabet.kind(l) {
+                        LetterKind::Internal => {
+                            let mut next =
+                                det.internal.iter().filter(|&&(p, a2, _)| p == state && a2 == l);
+                            state = next.next().expect("internal transition must exist").2;
+                        }
+                        LetterKind::Call => {
+                            let mut next =
+                                det.call.iter().filter(|&&(p, a2, _, _)| p == state && a2 == l);
+                            let &(_, _, t, g) = next.next().expect("call transition must exist");
+                            stack.push(g);
+                            state = t;
+                        }
+                        LetterKind::Return => match stack.pop() {
+                            Some(g) => {
+                                let mut next = det
+                                    .ret
+                                    .iter()
+                                    .filter(|&&(p, g2, a2, _)| p == state && g2 == g && a2 == l);
+                                state = next
+                                    .next()
+                                    .unwrap_or_else(|| {
+                                        panic!("matched return pruned for reachable configuration ({state}, {g})")
+                                    })
+                                    .3;
+                            }
+                            None => {
+                                let mut next = det
+                                    .ret_empty
+                                    .iter()
+                                    .filter(|&&(p, a2, _)| p == state && a2 == l);
+                                state = next.next().expect("pending-return transition must exist").2;
+                            }
+                        },
                     }
                 }
             }

@@ -126,10 +126,10 @@ fn saturate_phase(
     while let Some(q) = worklist.pop() {
         let prefix = reached[&q].clone();
         for (q2, suffix) in successors(q) {
-            if !reached.contains_key(&q2) {
+            if let std::collections::btree_map::Entry::Vacant(e) = reached.entry(q2) {
                 let mut w = prefix.clone();
                 w.extend(suffix);
-                reached.insert(q2, w);
+                e.insert(w);
                 worklist.push(q2);
             }
         }

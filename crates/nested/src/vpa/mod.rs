@@ -15,6 +15,9 @@ pub mod determinize;
 pub mod emptiness;
 pub mod ops;
 
+#[cfg(test)]
+mod cross_validation;
+
 use crate::alphabet::{Alphabet, LetterId, LetterKind};
 use crate::word::NestedWord;
 use std::collections::BTreeSet;

@@ -411,7 +411,7 @@ pub fn gold_query(k: usize, c: Var, restaurant: Var, states: &States) -> Query {
         ));
     }
     Query::exists_many(
-        offers.into_iter().chain(bookings.into_iter()),
+        offers.into_iter().chain(bookings),
         Query::conj(conjuncts),
     )
 }
@@ -423,8 +423,8 @@ mod tests {
     use rdms_db::eval::holds;
     use rdms_db::Substitution;
 
-    fn drive_by_names<'a>(
-        agency: &'a BookingAgency,
+    fn drive_by_names(
+        agency: &BookingAgency,
         b: usize,
         script: &[&str],
     ) -> rdms_core::ExtendedRun {

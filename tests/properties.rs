@@ -111,9 +111,7 @@ proptest! {
 
         // Remark 6.1: pending pushes before the last block equal |adom| before it
         if !run.is_empty() {
-            let last_head = (0..encoded.len())
-                .filter(|&p| encoder.alphabet().symbolic(encoded.letter(p)).is_some())
-                .next_back()
+            let last_head = (0..encoded.len()).rfind(|&p| encoder.alphabet().symbolic(encoded.letter(p)).is_some())
                 .unwrap();
             prop_assert_eq!(
                 encoded.pending_calls_in_prefix(last_head).len(),

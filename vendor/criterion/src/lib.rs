@@ -1,0 +1,197 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API the `rdms-bench` suites use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], `black_box`,
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! measure-and-print backend: each benchmark is warmed up once, then timed over an
+//! adaptively chosen iteration count, and the mean time per iteration is printed.
+//! There is no statistical analysis, no plotting, and no baseline storage.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from eliding a computation (thin wrapper over `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of a benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, rendered as `name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { full: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id carrying only a parameter (criterion's `from_parameter`).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, choosing the iteration count so the total measurement stays
+    /// within the configured budget, and record the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // one warmup call, which also tells us roughly how expensive the routine is
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let warmup = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = self.measurement_time;
+        let iters = (budget.as_nanos() / warmup.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        let per_iter = total / iters as u32;
+        println!("{:>14?}/iter ({iters} iterations)", per_iter);
+    }
+}
+
+fn run_bench(label: &str, sample_budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    print!("bench {label:<50} ");
+    let mut bencher = Bencher { measurement_time: sample_budget };
+    f(&mut bencher);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Criterion's sample-count knob; here it scales the per-benchmark time budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // criterion's default is 100 samples; scale our default budget accordingly
+        self.sample_budget = Duration::from_millis((n as u64).clamp(10, 200));
+        self
+    }
+
+    /// Ignored knob, accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.sample_budget = d / 10;
+        self
+    }
+
+    /// Benchmark `f` with `input`, under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_budget, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f` under `id` (no explicit input).
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_budget, f);
+        self
+    }
+
+    /// Finish the group (printing-only backend: nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // keep `cargo bench` runs quick: ~50ms of measurement per benchmark
+        Criterion { default_budget: Duration::from_millis(50) }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_budget: self.default_budget,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(&name.to_string(), self.default_budget, f);
+        self
+    }
+
+    /// Accepted for API compatibility with criterion's configuration builder.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_budget = Duration::from_millis((n as u64).clamp(10, 200));
+        self
+    }
+}
+
+/// Define a benchmark-group function that runs each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 2 + 2));
+    }
+}

@@ -1,0 +1,27 @@
+//! Runtime support for the derive macros. Not part of the public API.
+
+use crate::de::Deserialize;
+use crate::value::{Error, Value};
+
+/// Look up `key` in a struct's entry list, cloning the value.
+pub fn field_value(entries: &[(String, Value)], key: &str) -> Result<Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| Error(format!("missing field `{key}`")))
+}
+
+/// Deserialize a field of a struct from its entry list.
+pub fn get_field<'de, T: Deserialize<'de>>(
+    entries: &[(String, Value)],
+    key: &str,
+) -> Result<T, Error> {
+    let value = field_value(entries, key)?;
+    T::deserialize(value).map_err(|e| Error(format!("field `{key}`: {e}")))
+}
+
+/// Deserialize any `T` from an owned [`Value`].
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize(value)
+}

@@ -1,0 +1,44 @@
+//! Deserialization half. Unlike real serde's visitor-based model, a
+//! [`Deserializer`] here is anything that can produce a self-describing
+//! [`Value`](crate::value::Value) tree; `Deserialize` impls pattern-match on it.
+//! The external generic signatures (`D: Deserializer<'de>`, `D::Error`) match
+//! real serde, so downstream trait bounds compile unchanged.
+
+use crate::value::Value;
+use std::fmt::Display;
+
+/// Error type usable by deserializers; mirrors `serde::de::Error`.
+pub trait Error: Sized + Display {
+    /// Construct a custom error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A required field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+
+    /// Input had the wrong shape.
+    fn invalid_type(unexpected: &str, expected: &str) -> Self {
+        Self::custom(format_args!("invalid type: {unexpected}, expected {expected}"))
+    }
+}
+
+/// A data format that can be deserialized from; the `'de` lifetime is carried for
+/// signature compatibility with real serde (this value-based model never borrows).
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Yield the input as a self-describing [`Value`] tree.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A data structure that can be deserialized from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// `Deserialize` for any lifetime, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

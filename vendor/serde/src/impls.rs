@@ -1,0 +1,407 @@
+//! `Serialize` / `Deserialize` implementations for primitives and common std types.
+
+use crate::de::{Deserialize, Deserializer, Error as DeError};
+use crate::ser::{
+    Serialize, SerializeMap as _, SerializeSeq as _, SerializeTuple as _, Serializer,
+};
+use crate::value::{parse_json, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+use std::rc::Rc;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------------
+// primitives
+// ---------------------------------------------------------------------------------
+
+macro_rules! primitive_serialize {
+    ($($t:ty => $method:ident),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self)
+            }
+        }
+    )*};
+}
+
+primitive_serialize! {
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+    char => serialize_char,
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Rc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Arc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(value) => serializer.serialize_some(value),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// sequences, tuples, maps
+// ---------------------------------------------------------------------------------
+
+fn serialize_iter<S: Serializer, T: Serialize>(
+    serializer: S,
+    len: usize,
+    iter: impl Iterator<Item = T>,
+) -> Result<S::Ok, S::Error> {
+    let mut seq = serializer.serialize_seq(Some(len))?;
+    for item in iter {
+        seq.serialize_element(&item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, N, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self.iter())
+    }
+}
+
+macro_rules! tuple_serialize {
+    ($(($len:expr; $($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut tuple = serializer.serialize_tuple($len)?;
+                $( tuple.serialize_element(&self.$idx)?; )+
+                tuple.end()
+            }
+        }
+    )*};
+}
+
+tuple_serialize! {
+    (1; A.0)
+    (2; A.0, B.1)
+    (3; A.0, B.1, C.2)
+    (4; A.0, B.1, C.2, D.3)
+}
+
+fn serialize_map_iter<'a, S, K, V, I>(serializer: S, len: usize, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut map = serializer.serialize_map(Some(len))?;
+    for (key, value) in iter {
+        map.serialize_entry(key, value)?;
+    }
+    map.end()
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_map_iter(serializer, self.len(), self.iter())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_map_iter(serializer, self.len(), self.iter())
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Deserialize impls (value-based)
+// ---------------------------------------------------------------------------------
+
+macro_rules! int_deserialize {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.into_value()?;
+                let out = match value {
+                    Value::UInt(u) => <$t>::try_from(u).ok(),
+                    Value::Int(i) => <$t>::try_from(i).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| D::Error::invalid_type(value.kind(), stringify!($t)))
+            }
+        }
+    )*};
+}
+
+int_deserialize!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_deserialize {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.into_value()?;
+                value
+                    .as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| D::Error::invalid_type(value.kind(), stringify!($t)))
+            }
+        }
+    )*};
+}
+
+float_deserialize!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::invalid_type(other.kind(), "boolean")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(D::Error::invalid_type(other.kind(), "single-character string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::invalid_type(other.kind(), "string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(()),
+            other => Err(D::Error::invalid_type(other.kind(), "null")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Rc<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Rc::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Arc::new)
+    }
+}
+
+fn seq_items<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Vec<Value>, D::Error> {
+    match deserializer.into_value()? {
+        Value::Seq(items) => Ok(items),
+        other => Err(D::Error::invalid_type(other.kind(), "array")),
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        seq_items(deserializer)?
+            .into_iter()
+            .map(|item| T::deserialize(item).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        seq_items(deserializer)?
+            .into_iter()
+            .map(|item| T::deserialize(item).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        seq_items(deserializer)?
+            .into_iter()
+            .map(|item| T::deserialize(item).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+macro_rules! tuple_deserialize {
+    ($(($len:expr; $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                let items = seq_items(deserializer)?;
+                if items.len() != $len {
+                    return Err(__D::Error::custom(format_args!(
+                        "expected an array of length {}, got {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                let mut iter = items.into_iter();
+                Ok(($(
+                    $name::deserialize(iter.next().expect("length checked"))
+                        .map_err(__D::Error::custom)?,
+                )+))
+            }
+        }
+    )*};
+}
+
+tuple_deserialize! {
+    (1; A)
+    (2; A, B)
+    (3; A, B, C)
+    (4; A, B, C, D)
+}
+
+/// Recover a map key from its string form: try the string itself, then the string
+/// re-parsed as JSON (so integer keys round-trip).
+fn key_from_string<'de, K: Deserialize<'de>, E: DeError>(key: String) -> Result<K, E> {
+    match K::deserialize(Value::Str(key.clone())) {
+        Ok(k) => Ok(k),
+        Err(string_err) => match parse_json(&key) {
+            Ok(reparsed) => K::deserialize(reparsed).map_err(E::custom),
+            Err(_) => Err(E::custom(string_err)),
+        },
+    }
+}
+
+fn map_entries<'de, D: Deserializer<'de>>(
+    deserializer: D,
+) -> Result<Vec<(String, Value)>, D::Error> {
+    match deserializer.into_value()? {
+        Value::Map(entries) => Ok(entries),
+        other => Err(D::Error::invalid_type(other.kind(), "object")),
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        map_entries(deserializer)?
+            .into_iter()
+            .map(|(key, value)| {
+                Ok((
+                    key_from_string::<K, D::Error>(key)?,
+                    V::deserialize(value).map_err(D::Error::custom)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Eq + Hash, V: Deserialize<'de>> Deserialize<'de> for HashMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        map_entries(deserializer)?
+            .into_iter()
+            .map(|(key, value)| {
+                Ok((
+                    key_from_string::<K, D::Error>(key)?,
+                    V::deserialize(value).map_err(D::Error::custom)?,
+                ))
+            })
+            .collect()
+    }
+}

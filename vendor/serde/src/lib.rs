@@ -1,0 +1,29 @@
+//! Offline stand-in for the `serde` serialization framework.
+//!
+//! The **serialization half** is a faithful subset of serde's data model: the
+//! [`Serializer`] trait with the standard `serialize_*` methods, the seven compound
+//! serializer traits in [`ser`], and [`ser::Impossible`] — so hand-written serializers
+//! (such as the tiny one in `rdms-db`'s symbol tests) compile unchanged.
+//!
+//! The **deserialization half** is deliberately simpler than serde's visitor model:
+//! a [`Deserializer`] here is anything that can yield a self-describing
+//! [`value::Value`] tree (JSON-shaped), and [`Deserialize`] impls pattern-match on
+//! that tree. `Value` itself implements `Deserializer`, which is what the derive
+//! macro and `serde_json` build on. External signatures (`D: Deserializer<'de>`,
+//! `D::Error`) match real serde, so generic bounds in downstream code compile as-is.
+//!
+//! The derive macros are re-exported from the sibling `serde_derive` stub.
+
+pub mod ser;
+pub mod de;
+pub mod value;
+#[doc(hidden)]
+pub mod __private;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;

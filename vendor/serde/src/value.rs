@@ -1,0 +1,745 @@
+//! A JSON-shaped, self-describing value tree, with a compact printer, a parser,
+//! and a [`Serializer`] that builds values from the serde data model. This is the
+//! interchange type the stub's deserialization model and `serde_json` build on.
+
+use crate::de::{self, Deserializer};
+use crate::ser::{
+    self, Serialize, SerializeMap as _, SerializeSeq as _, Serializer,
+};
+use std::fmt;
+
+/// A self-describing value (JSON data model, with integers kept exact).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Key-value pairs in insertion order (duplicates kept as-is).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+
+    /// Compact JSON text (no whitespace), suitable for machine consumption.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Float(f) => {
+                if f.is_finite() {
+                    let text = f.to_string();
+                    out.push_str(&text);
+                    // keep floats recognisable as floats in the output
+                    if !text.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_json_string(s, out),
+            Value::Seq(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Map(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(key, out);
+                    out.push(':');
+                    value.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json_string())
+    }
+}
+
+/// Error type shared by the value serializer, the value deserializer and the JSON
+/// parser. `serde_json::Error` is an alias of this.
+#[derive(Clone, Debug)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Value as a Deserializer / Deserialize / Serialize participant
+// ---------------------------------------------------------------------------------
+
+impl<'de> Deserializer<'de> for Value {
+    type Error = Error;
+
+    fn into_value(self) -> Result<Value, Error> {
+        Ok(self)
+    }
+}
+
+impl<'de> crate::de::Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.into_value()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => serializer.serialize_unit(),
+            Value::Bool(b) => serializer.serialize_bool(*b),
+            Value::Int(i) => serializer.serialize_i64(*i),
+            Value::UInt(u) => serializer.serialize_u64(*u),
+            Value::Float(f) => serializer.serialize_f64(*f),
+            Value::Str(s) => serializer.serialize_str(s),
+            Value::Seq(items) => {
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Value::Map(entries) => {
+                let mut map = serializer.serialize_map(Some(entries.len()))?;
+                for (key, value) in entries {
+                    map.serialize_entry(key, value)?;
+                }
+                map.end()
+            }
+        }
+    }
+}
+
+/// Serialize any `Serialize` into a [`Value`] tree (infallible for tree-shaped data).
+pub fn to_value<T: ?Sized + Serialize>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+// ---------------------------------------------------------------------------------
+// ValueSerializer: the serde data model -> Value
+// ---------------------------------------------------------------------------------
+
+/// A [`Serializer`] that builds a [`Value`] tree.
+pub struct ValueSerializer;
+
+/// Render a serialized key `Value` as a map-key string (strings verbatim,
+/// everything else as its JSON text), matching serde_json's permissive behaviour
+/// for integer keys.
+fn key_string(key: Value) -> String {
+    match key {
+        Value::Str(s) => s,
+        other => other.to_json_string(),
+    }
+}
+
+pub struct SeqBuilder {
+    items: Vec<Value>,
+}
+
+pub struct MapBuilder {
+    entries: Vec<(String, Value)>,
+    pending_key: Option<String>,
+}
+
+pub struct StructBuilder {
+    entries: Vec<(String, Value)>,
+}
+
+pub struct VariantSeqBuilder {
+    variant: &'static str,
+    items: Vec<Value>,
+}
+
+pub struct VariantStructBuilder {
+    variant: &'static str,
+    entries: Vec<(String, Value)>,
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqBuilder;
+    type SerializeTuple = SeqBuilder;
+    type SerializeTupleStruct = SeqBuilder;
+    type SerializeTupleVariant = VariantSeqBuilder;
+    type SerializeMap = MapBuilder;
+    type SerializeStruct = StructBuilder;
+    type SerializeStructVariant = VariantStructBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i8(self, v: i8) -> Result<Value, Error> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i16(self, v: i16) -> Result<Value, Error> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i32(self, v: i32) -> Result<Value, Error> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) })
+    }
+    fn serialize_u8(self, v: u8) -> Result<Value, Error> {
+        Ok(Value::UInt(v as u64))
+    }
+    fn serialize_u16(self, v: u16) -> Result<Value, Error> {
+        Ok(Value::UInt(v as u64))
+    }
+    fn serialize_u32(self, v: u32) -> Result<Value, Error> {
+        Ok(Value::UInt(v as u64))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::UInt(v))
+    }
+    fn serialize_f32(self, v: f32) -> Result<Value, Error> {
+        Ok(Value::Float(v as f64))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::Float(v))
+    }
+    fn serialize_char(self, v: char) -> Result<Value, Error> {
+        Ok(Value::Str(v.to_string()))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::Str(v.to_owned()))
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<Value, Error> {
+        Ok(Value::Seq(v.iter().map(|&b| Value::UInt(b as u64)).collect()))
+    }
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, Error> {
+        Ok(Value::Str(variant.to_owned()))
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        Ok(Value::Map(vec![(variant.to_owned(), value.serialize(ValueSerializer)?)]))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, Error> {
+        Ok(SeqBuilder { items: Vec::with_capacity(len.unwrap_or(0)) })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<SeqBuilder, Error> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, len: usize) -> Result<SeqBuilder, Error> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<VariantSeqBuilder, Error> {
+        Ok(VariantSeqBuilder { variant, items: Vec::with_capacity(len) })
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder { entries: Vec::with_capacity(len.unwrap_or(0)), pending_key: None })
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<StructBuilder, Error> {
+        Ok(StructBuilder { entries: Vec::with_capacity(len) })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<VariantStructBuilder, Error> {
+        Ok(VariantStructBuilder { variant, entries: Vec::with_capacity(len) })
+    }
+}
+
+impl ser::SerializeSeq for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Seq(self.items))
+    }
+}
+
+impl ser::SerializeTuple for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Seq(self.items))
+    }
+}
+
+impl ser::SerializeTupleStruct for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Seq(self.items))
+    }
+}
+
+impl ser::SerializeTupleVariant for VariantSeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Map(vec![(self.variant.to_owned(), Value::Seq(self.items))]))
+    }
+}
+
+impl ser::SerializeMap for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Error> {
+        self.pending_key = Some(key_string(key.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        let key = self
+            .pending_key
+            .take()
+            .ok_or_else(|| Error("serialize_value called before serialize_key".to_owned()))?;
+        self.entries.push((key, value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Map(self.entries))
+    }
+}
+
+impl ser::SerializeStruct for StructBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.entries.push((key.to_owned(), value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Map(self.entries))
+    }
+}
+
+impl ser::SerializeStructVariant for VariantStructBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.entries.push((key.to_owned(), value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Map(vec![(self.variant.to_owned(), Value::Map(self.entries))]))
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// JSON parsing
+// ---------------------------------------------------------------------------------
+
+/// Parse JSON text into a [`Value`].
+pub fn parse_json(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", parser.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, Error> {
+        let b = self.peek().ok_or_else(|| Error("unexpected end of input".to_owned()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        let got = self.bump()?;
+        if got != b {
+            return Err(Error(format!(
+                "expected `{}` at offset {}, found `{}`",
+                b as char,
+                self.pos - 1,
+                got as char
+            )));
+        }
+        Ok(())
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), Error> {
+        for &b in keyword.as_bytes() {
+            self.expect(b)?;
+        }
+        Ok(())
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek().ok_or_else(|| Error("unexpected end of input".to_owned()))? {
+            b'n' => {
+                self.expect_keyword("null")?;
+                Ok(Value::Null)
+            }
+            b't' => {
+                self.expect_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            b'f' => {
+                self.expect_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            b'"' => Ok(Value::Str(self.parse_string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.bump()? {
+                        b',' => continue,
+                        b']' => return Ok(Value::Seq(items)),
+                        c => return Err(Error(format!("expected `,` or `]`, found `{}`", c as char))),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.bump()? {
+                        b',' => continue,
+                        b'}' => return Ok(Value::Map(entries)),
+                        c => return Err(Error(format!("expected `,` or `}}`, found `{}`", c as char))),
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            c => Err(Error(format!("unexpected character `{}` at offset {}", c as char, self.pos))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.bump()?;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump()?;
+                            code = code * 16
+                                + (d as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| Error("invalid \\u escape".to_owned()))?;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error("invalid \\u code point".to_owned()))?,
+                        );
+                    }
+                    c => return Err(Error(format!("invalid escape `\\{}`", c as char))),
+                },
+                _ => {
+                    // recover full UTF-8 characters from the byte stream
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    self.pos = start + len;
+                    if self.pos > self.bytes.len() {
+                        return Err(Error("truncated UTF-8 sequence".to_owned()));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error("invalid UTF-8 in string".to_owned()))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error(format!("invalid number `{text}`: {e}")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .map(|u| Value::Int(-(u as i64)))
+                .map_err(|e| Error(format!("invalid number `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|e| Error(format!("invalid number `{text}`: {e}")))
+        }
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_and_parse_round_trip() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::UInt(3)),
+            ("b".into(), Value::Float(1.5)),
+            ("c".into(), Value::Seq(vec![Value::Null, Value::Bool(true), Value::Int(-2)])),
+            ("d".into(), Value::Str("x \"quoted\"\nline".into())),
+        ]);
+        let text = v.to_json_string();
+        assert_eq!(parse_json(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn compact_output_shape() {
+        let v = Value::Map(vec![("recency_bound".into(), Value::UInt(3))]);
+        assert_eq!(v.to_json_string(), "{\"recency_bound\":3}");
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        assert_eq!(Value::Float(1500.0).to_json_string(), "1500.0");
+        assert!(matches!(parse_json("1500.0").unwrap(), Value::Float(_)));
+    }
+}

@@ -1,0 +1,602 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the item shapes this workspace uses — non-generic
+//! named structs, tuple structs, unit structs, and enums with unit / tuple / struct
+//! variants — honouring the field attributes `#[serde(skip)]`, `#[serde(default)]`,
+//! `#[serde(rename = "...")]` and `#[serde(with = "module")]`.
+//!
+//! The input item is parsed directly from the `proc_macro` token stream (no `syn`),
+//! and the generated impl is assembled as text and re-parsed, targeting the sibling
+//! `serde` stub: the full data-model `Serializer` on the write side and the
+//! value-based `Deserializer` on the read side.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------------
+// item model
+// ---------------------------------------------------------------------------------
+
+#[derive(Default)]
+struct SerdeOpts {
+    skip: bool,
+    default: bool,
+    rename: Option<String>,
+    with: Option<String>,
+}
+
+struct Field {
+    /// `None` for tuple-struct / tuple-variant fields.
+    name: Option<String>,
+    /// Verbatim token text of the field's type.
+    ty: String,
+    opts: SerdeOpts,
+}
+
+impl Field {
+    fn key(&self) -> String {
+        self.opts.rename.clone().unwrap_or_else(|| self.name.clone().expect("named field"))
+    }
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(Vec<Field>),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, fields: Vec<Field> },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------------------
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, word: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == word)
+}
+
+/// Consume leading `#[...]` attribute groups, folding any `#[serde(...)]` options.
+fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (SerdeOpts, usize) {
+    let mut opts = SerdeOpts::default();
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                parse_attr_group(&g.stream(), &mut opts);
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (opts, i)
+}
+
+/// If `stream` is `serde(...)`, fold its comma-separated options into `opts`.
+fn parse_attr_group(stream: &TokenStream, opts: &mut SerdeOpts) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.len() != 2 || !is_ident(&tokens[0], "serde") {
+        return;
+    }
+    let TokenTree::Group(args) = &tokens[1] else { return };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let TokenTree::Ident(word) = &args[i] else {
+            panic!("unsupported #[serde(...)] syntax");
+        };
+        match word.to_string().as_str() {
+            "skip" | "skip_serializing" | "skip_deserializing" => {
+                opts.skip = true;
+                i += 1;
+            }
+            "default" => {
+                opts.default = true;
+                i += 1;
+            }
+            "rename" | "with" => {
+                assert!(i + 2 < args.len() && is_punct(&args[i + 1], '='), "expected `= \"...\"`");
+                let text = args[i + 2].to_string();
+                let value = text.trim_matches('"').to_owned();
+                if word.to_string() == "rename" {
+                    opts.rename = Some(value);
+                } else {
+                    opts.with = Some(value);
+                }
+                i += 3;
+            }
+            other => panic!("unsupported #[serde({other})] attribute in offline serde_derive"),
+        }
+        if i < args.len() {
+            assert!(is_punct(&args[i], ','), "expected `,` between #[serde] options");
+            i += 1;
+        }
+    }
+}
+
+/// Skip `pub` / `pub(...)` visibility.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Collect the token text of a type, up to a top-level `,` (angle-depth aware).
+fn take_type(tokens: &[TokenTree], mut i: usize) -> (String, usize) {
+    let mut depth = 0i32;
+    let mut text = String::new();
+    while i < tokens.len() {
+        match &tokens[i] {
+            tt if is_punct(tt, '<') => depth += 1,
+            tt if is_punct(tt, '>') => depth -= 1,
+            tt if is_punct(tt, ',') && depth == 0 => break,
+            _ => {}
+        }
+        if !text.is_empty() {
+            text.push(' ');
+        }
+        text.push_str(&tokens[i].to_string());
+        i += 1;
+    }
+    (text, i)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (opts, next) = take_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected field name, found `{}`", tokens[i]);
+        };
+        assert!(is_punct(&tokens[i + 1], ':'), "expected `:` after field name");
+        let (ty, next) = take_type(&tokens, i + 2);
+        fields.push(Field { name: Some(name.to_string()), ty, opts });
+        i = next;
+        if i < tokens.len() {
+            assert!(is_punct(&tokens[i], ','), "expected `,` between fields");
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (opts, next) = take_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        let (ty, next) = take_type(&tokens, i);
+        fields.push(Field { name: None, ty, opts });
+        i = next;
+        if i < tokens.len() {
+            assert!(is_punct(&tokens[i], ','), "expected `,` between fields");
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_opts, next) = take_attrs(&tokens, i);
+        i = next;
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected variant name, found `{}`", tokens[i]);
+        };
+        i += 1;
+        let shape = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    i += 1;
+                    VariantShape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    i += 1;
+                    VariantShape::Struct(parse_named_fields(g.stream()))
+                }
+                _ => VariantShape::Unit,
+            }
+        } else {
+            VariantShape::Unit
+        };
+        variants.push(Variant { name: name.to_string(), shape });
+        if i < tokens.len() {
+            assert!(is_punct(&tokens[i], ','), "expected `,` between variants");
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (_opts, i) = take_attrs(&tokens, 0);
+    let mut i = skip_vis(&tokens, i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(kw) => kw.to_string(),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("expected item name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("offline serde_derive does not support generic types (deriving `{name}`)");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, fields: parse_tuple_fields(g.stream()) }
+            }
+            Some(tt) if is_punct(tt, ';') => Item::UnitStruct { name },
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// codegen: Serialize
+// ---------------------------------------------------------------------------------
+
+/// Emit an expression serializing `{access}` (of type `{ty}`) honouring `with`.
+fn ser_field_expr(field: &Field, access: &str) -> String {
+    match &field.opts.with {
+        None => format!("&{access}"),
+        Some(with) => format!(
+            "&{{
+                struct __SerdeWith<'__a>(&'__a {ty});
+                impl<'__a> ::serde::Serialize for __SerdeWith<'__a> {{
+                    fn serialize<__S: ::serde::Serializer>(&self, __s: __S)
+                        -> ::core::result::Result<__S::Ok, __S::Error> {{
+                        {with}::serialize(self.0, __s)
+                    }}
+                }}
+                __SerdeWith(&{access})
+            }}",
+            ty = field.ty,
+        ),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::UnitStruct { name } => (
+            name.clone(),
+            format!("::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")"),
+        ),
+        Item::TupleStruct { name, fields } if fields.len() == 1 => (
+            name.clone(),
+            format!(
+                "::serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", {})",
+                ser_field_expr(&fields[0], "self.0")
+            ),
+        ),
+        Item::TupleStruct { name, fields } => {
+            let mut body = format!(
+                "let mut __state = ::serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for (idx, field) in fields.iter().enumerate() {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, {})?;\n",
+                    ser_field_expr(field, &format!("self.{idx}"))
+                ));
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(__state)");
+            (name.clone(), body)
+        }
+        Item::NamedStruct { name, fields } => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.opts.skip).collect();
+            let mut body = format!(
+                "#[allow(unused_mut)] let mut __state = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                live.len()
+            );
+            for field in &live {
+                let access = format!("self.{}", field.name.as_ref().unwrap());
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{}\", {})?;\n",
+                    field.key(),
+                    ser_field_expr(field, &access)
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__state)");
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantShape::Tuple(fields) if fields.len() == 1 => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    VariantShape::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut __state = ::serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            binders.join(", "),
+                            fields.len()
+                        );
+                        for binder in &binders {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {binder})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(__state)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders: Vec<(String, String)> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| (f.name.clone().unwrap(), format!("__f{i}")))
+                            .collect();
+                        let pattern: Vec<String> =
+                            binders.iter().map(|(f, b)| format!("{f}: {b}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __state = ::serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            pattern.join(", "),
+                            fields.len()
+                        );
+                        for ((fname, binder), field) in binders.iter().zip(fields) {
+                            let key = field.opts.rename.clone().unwrap_or_else(|| fname.clone());
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{key}\", {binder})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__state)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            (name.clone(), format!("match self {{\n{arms}}}"))
+        }
+    };
+
+    format!(
+        "#[automatically_derived]
+        impl ::serde::Serialize for {name} {{
+            fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)
+                -> ::core::result::Result<__S::Ok, __S::Error> {{
+                {body}
+            }}
+        }}"
+    )
+}
+
+// ---------------------------------------------------------------------------------
+// codegen: Deserialize
+// ---------------------------------------------------------------------------------
+
+const CUSTOM: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+/// Emit an expression deserializing a named field from `__entries`.
+fn de_named_field_expr(field: &Field) -> String {
+    if field.opts.skip {
+        return "::core::default::Default::default()".to_owned();
+    }
+    let key = field.key();
+    if let Some(with) = &field.opts.with {
+        return format!(
+            "{with}::deserialize(::serde::__private::field_value(__entries, \"{key}\").map_err({CUSTOM})?).map_err({CUSTOM})?"
+        );
+    }
+    if field.opts.default {
+        return format!(
+            "match ::serde::__private::field_value(__entries, \"{key}\") {{
+                ::core::result::Result::Ok(__v) => ::serde::__private::from_value(__v).map_err({CUSTOM})?,
+                ::core::result::Result::Err(_) => ::core::default::Default::default(),
+            }}"
+        );
+    }
+    format!("::serde::__private::get_field(__entries, \"{key}\").map_err({CUSTOM})?")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::UnitStruct { name } => (
+            name.clone(),
+            format!(
+                "let _ = ::serde::Deserializer::into_value(__deserializer)?;
+                 ::core::result::Result::Ok({name})"
+            ),
+        ),
+        Item::TupleStruct { name, fields } if fields.len() == 1 => (
+            name.clone(),
+            format!(
+                "let __value = ::serde::Deserializer::into_value(__deserializer)?;
+                 ::core::result::Result::Ok({name}(::serde::__private::from_value(__value).map_err({CUSTOM})?))"
+            ),
+        ),
+        Item::TupleStruct { name, fields } => {
+            let n = fields.len();
+            let mut items = String::new();
+            for i in 0..n {
+                items.push_str(&format!(
+                    "::serde::__private::from_value(__items[{i}].clone()).map_err({CUSTOM})?,\n"
+                ));
+            }
+            (
+                name.clone(),
+                format!(
+                    "let __value = ::serde::Deserializer::into_value(__deserializer)?;
+                     let __items = __value.as_seq()
+                         .ok_or_else(|| {CUSTOM}(\"expected an array for tuple struct {name}\"))?;
+                     if __items.len() != {n} {{
+                         return ::core::result::Result::Err({CUSTOM}(
+                             \"wrong number of elements for tuple struct {name}\"));
+                     }}
+                     ::core::result::Result::Ok({name}({items}))"
+                ),
+            )
+        }
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for field in fields {
+                inits.push_str(&format!(
+                    "{}: {},\n",
+                    field.name.as_ref().unwrap(),
+                    de_named_field_expr(field)
+                ));
+            }
+            (
+                name.clone(),
+                format!(
+                    "let __value = ::serde::Deserializer::into_value(__deserializer)?;
+                     let __entries = __value.as_map()
+                         .ok_or_else(|| {CUSTOM}(\"expected a map for struct {name}\"))?;
+                     ::core::result::Result::Ok({name} {{ {inits} }})"
+                ),
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantShape::Tuple(fields) if fields.len() == 1 => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(
+                             ::serde::__private::from_value(__v.clone()).map_err({CUSTOM})?)),\n"
+                    )),
+                    VariantShape::Tuple(fields) => {
+                        let n = fields.len();
+                        let mut items = String::new();
+                        for i in 0..n {
+                            items.push_str(&format!(
+                                "::serde::__private::from_value(__items[{i}].clone()).map_err({CUSTOM})?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{
+                                 let __items = __v.as_seq()
+                                     .ok_or_else(|| {CUSTOM}(\"expected an array for variant {name}::{vname}\"))?;
+                                 if __items.len() != {n} {{
+                                     return ::core::result::Result::Err({CUSTOM}(
+                                         \"wrong number of elements for variant {name}::{vname}\"));
+                                 }}
+                                 ::core::result::Result::Ok({name}::{vname}({items}))
+                             }},\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for field in fields {
+                            inits.push_str(&format!(
+                                "{}: {},\n",
+                                field.name.as_ref().unwrap(),
+                                de_named_field_expr(field)
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{
+                                 let __entries = __v.as_map()
+                                     .ok_or_else(|| {CUSTOM}(\"expected a map for variant {name}::{vname}\"))?;
+                                 ::core::result::Result::Ok({name}::{vname} {{ {inits} }})
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            (
+                name.clone(),
+                format!(
+                    "let __value = ::serde::Deserializer::into_value(__deserializer)?;
+                     match &__value {{
+                         ::serde::value::Value::Str(__s) => match __s.as_str() {{
+                             {unit_arms}
+                             __other => ::core::result::Result::Err({CUSTOM}(
+                                 format_args!(\"unknown variant `{{__other}}` of enum {name}\"))),
+                         }},
+                         ::serde::value::Value::Map(__entries) if __entries.len() == 1 => {{
+                             let (__k, __v) = &__entries[0];
+                             match __k.as_str() {{
+                                 {data_arms}
+                                 __other => ::core::result::Result::Err({CUSTOM}(
+                                     format_args!(\"unknown variant `{{__other}}` of enum {name}\"))),
+                             }}
+                         }}
+                         __other => ::core::result::Result::Err({CUSTOM}(
+                             format_args!(\"expected externally tagged enum {name}, got {{}}\", __other.kind()))),
+                     }}"
+                ),
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]
+        impl<'de> ::serde::Deserialize<'de> for {name} {{
+            fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)
+                -> ::core::result::Result<Self, __D::Error> {{
+                {body}
+            }}
+        }}"
+    )
+}
+
+// ---------------------------------------------------------------------------------
+// entry points
+// ---------------------------------------------------------------------------------
+
+/// Derive `serde::Serialize` (offline stub).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (offline stub).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}

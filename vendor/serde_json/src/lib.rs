@@ -1,0 +1,124 @@
+//! Offline stand-in for `serde_json`, built on the `serde` stub's [`Value`] tree:
+//! compact/pretty printing, parsing, `to_string` / `from_str` / `to_value` /
+//! `from_value`, and the [`json!`] literal macro.
+
+pub use serde::value::Value;
+
+use serde::de::Deserialize;
+use serde::ser::Serialize;
+use serde::value::{parse_json, ValueSerializer};
+
+/// Error type for this crate (shared with the serde stub's value machinery).
+pub type Error = serde::value::Error;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String> {
+    Ok(value.serialize(ValueSerializer)?.to_json_string())
+}
+
+/// Serialize `value` to an indented JSON string.
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String> {
+    let tree = value.serialize(ValueSerializer)?;
+    let mut out = String::new();
+    write_pretty(&tree, 0, &mut out);
+    Ok(out)
+}
+
+fn write_pretty(value: &Value, indent: usize, out: &mut String) {
+    const STEP: usize = 2;
+    match value {
+        Value::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                write_pretty(item, indent + STEP, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                out.push_str(&Value::Str(key.clone()).to_json_string());
+                out.push_str(": ");
+                write_pretty(item, indent + STEP, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        other => out.push_str(&other.to_json_string()),
+    }
+}
+
+/// Parse a JSON string into any `Deserialize` type.
+pub fn from_str<'a, T: Deserialize<'a>>(input: &'a str) -> Result<T> {
+    T::deserialize(parse_json(input)?)
+}
+
+/// Parse a JSON string into a [`Value`].
+pub fn from_value<'a, T: Deserialize<'a>>(value: Value) -> Result<T> {
+    T::deserialize(value)
+}
+
+/// Serialize any `Serialize` into a [`Value`].
+pub fn to_value<T: ?Sized + Serialize>(value: &T) -> Result<Value> {
+    value.serialize(ValueSerializer)
+}
+
+/// Build a [`Value`] from a JSON-ish literal. Object values and array elements may
+/// be arbitrary Rust expressions (serialized through [`to_value`]); nested literal
+/// objects/arrays need their own `json!` call, mirroring common `serde_json` usage.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Seq(vec![ $( $crate::to_value(&$element).expect("json! element") ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Map(vec![
+            $( (($key).to_string(), $crate::to_value(&$value).expect("json! value")) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other).expect("json! value") };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let b = 3usize;
+        let v = json!({ "experiment": "E1", "b": b, "holds": true, "list": json!([1, 2]) });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"experiment":"E1","b":3,"holds":true,"list":[1,2]}"#
+        );
+        assert_eq!(json!(null), Value::Null);
+    }
+
+    #[test]
+    fn round_trip_via_str() {
+        let v: Vec<u64> = from_str("[1,2,3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn pretty_print() {
+        let v = json!({ "a": 1 });
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+}
