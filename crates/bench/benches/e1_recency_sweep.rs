@@ -11,12 +11,21 @@ use rdms_workloads::{enrollment, figure1};
 
 fn bench_recency_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_recency_sweep");
-    for (name, dms) in [("example_3_1", figure1::dms()), ("enrollment", enrollment::dms())] {
+    for (name, dms) in [
+        ("example_3_1", figure1::dms()),
+        ("enrollment", enrollment::dms()),
+    ] {
         for b in 1..=3usize {
             group.bench_with_input(BenchmarkId::new(name, b), &b, |bench, &b| {
                 bench.iter(|| {
                     Explorer::new(&dms, b)
-                        .with_config(ExplorerConfig { depth: 3, max_configs: 20_000 })
+                        .with_config(ExplorerConfig {
+                            depth: 3,
+                            max_configs: 20_000,
+                            // pin to the sequential engine: these suites gate against the committed
+                            // baseline, which must measure the same code path on every runner
+                            threads: 1,
+                        })
                         .reachable_state_count()
                 })
             });

@@ -36,14 +36,23 @@ fn bench_guard_consistency_vs_schema(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_guard_consistency_vs_schema");
     group.sample_size(10);
     for relations in [2usize, 4, 6] {
-        let dms = random_dms(&RandomDmsConfig { relations, actions: relations, seed: 11, ..Default::default() });
-        group.bench_with_input(BenchmarkId::new("relations_and_actions", relations), &relations, |bench, _| {
-            bench.iter(|| {
-                let encoder = RunEncoder::new(&dms, 1);
-                let formulas = Formulas::new(&dms, encoder.alphabet());
-                PhiValid::new(&dms, &formulas).guard_consistency().size()
-            })
+        let dms = random_dms(&RandomDmsConfig {
+            relations,
+            actions: relations,
+            seed: 11,
+            ..Default::default()
         });
+        group.bench_with_input(
+            BenchmarkId::new("relations_and_actions", relations),
+            &relations,
+            |bench, _| {
+                bench.iter(|| {
+                    let encoder = RunEncoder::new(&dms, 1);
+                    let formulas = Formulas::new(&dms, encoder.alphabet());
+                    PhiValid::new(&dms, &formulas).guard_consistency().size()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -70,5 +79,10 @@ fn bench_specification_translation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_phi_valid, bench_guard_consistency_vs_schema, bench_specification_translation);
+criterion_group!(
+    benches,
+    bench_phi_valid,
+    bench_guard_consistency_vs_schema,
+    bench_specification_translation
+);
 criterion_main!(benches);

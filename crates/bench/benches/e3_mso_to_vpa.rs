@@ -45,12 +45,19 @@ fn bench_compile(c: &mut Criterion) {
     group.sample_size(10);
     for depth in 1..=3usize {
         let phi = alternation(depth, &alphabet);
-        group.bench_with_input(BenchmarkId::new("quantifier_depth", depth), &depth, |bench, _| {
-            bench.iter(|| {
-                let compiled = rdms_nested::compile(&phi, &alphabet);
-                (compiled.vpa.num_states, rdms_nested::vpa::emptiness::is_empty(&compiled.vpa))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("quantifier_depth", depth),
+            &depth,
+            |bench, _| {
+                bench.iter(|| {
+                    let compiled = rdms_nested::compile(&phi, &alphabet);
+                    (
+                        compiled.vpa.num_states,
+                        rdms_nested::vpa::emptiness::is_empty(&compiled.vpa),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

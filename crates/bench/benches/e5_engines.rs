@@ -21,14 +21,22 @@ fn bench_engines(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("explorer", depth), &depth, |b, &depth| {
             b.iter(|| {
                 Explorer::new(&dms, 2)
-                    .with_config(ExplorerConfig { depth, max_configs: 10_000 })
+                    .with_config(ExplorerConfig {
+                        depth,
+                        max_configs: 10_000,
+                        // pin to the sequential engine: these suites gate against the committed
+                        // baseline, which must measure the same code path on every runner
+                        threads: 1,
+                    })
                     .check(&property)
                     .holds()
             })
         });
-        group.bench_with_input(BenchmarkId::new("hybrid_reduction", depth), &depth, |b, &depth| {
-            b.iter(|| HybridChecker::new(&dms, 2, depth).check(&property).holds())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hybrid_reduction", depth),
+            &depth,
+            |b, &depth| b.iter(|| HybridChecker::new(&dms, 2, depth).check(&property).holds()),
+        );
     }
     group.finish();
 }

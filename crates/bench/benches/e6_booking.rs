@@ -16,9 +16,14 @@ fn bench_booking(c: &mut Criterion) {
             Var::new("o"),
             Query::forall(
                 Var::new("c"),
-                Query::atom(RelName::new("Booking"), [Var::new("bk"), Var::new("o"), Var::new("c")]).implies(
-                    Query::exists(Var::new("st"), Query::atom(RelName::new("OState"), [Var::new("o"), Var::new("st")])),
-                ),
+                Query::atom(
+                    RelName::new("Booking"),
+                    [Var::new("bk"), Var::new("o"), Var::new("c")],
+                )
+                .implies(Query::exists(
+                    Var::new("st"),
+                    Query::atom(RelName::new("OState"), [Var::new("o"), Var::new("st")]),
+                )),
             ),
         ),
     );
@@ -29,7 +34,13 @@ fn bench_booking(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("recency_bound", b), &b, |bench, &b| {
             bench.iter(|| {
                 Explorer::new(&agency.dms, b)
-                    .with_config(ExplorerConfig { depth: 3, max_configs: 20_000 })
+                    .with_config(ExplorerConfig {
+                        depth: 3,
+                        max_configs: 20_000,
+                        // pin to the sequential engine: these suites gate against the committed
+                        // baseline, which must measure the same code path on every runner
+                        threads: 1,
+                    })
                     .check_invariant(&invariant)
                     .holds()
             })
@@ -39,7 +50,13 @@ fn bench_booking(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |bench, &depth| {
             bench.iter(|| {
                 Explorer::new(&agency.dms, 3)
-                    .with_config(ExplorerConfig { depth, max_configs: 20_000 })
+                    .with_config(ExplorerConfig {
+                        depth,
+                        max_configs: 20_000,
+                        // pin to the sequential engine: these suites gate against the committed
+                        // baseline, which must measure the same code path on every runner
+                        threads: 1,
+                    })
                     .check_invariant(&invariant)
                     .holds()
             })
@@ -51,7 +68,9 @@ fn bench_booking(c: &mut Criterion) {
 fn bench_simulation_throughput(c: &mut Criterion) {
     use rdms_core::{ExtendedRun, RecencySemantics};
     let agency = booking::build(&BookingConfig::default());
-    let script = ["newO1", "newB", "addP2", "submit", "checkP", "detProp", "accept2", "confirm"];
+    let script = [
+        "newO1", "newB", "addP2", "submit", "checkP", "detProp", "accept2", "confirm",
+    ];
     c.bench_function("e6_booking_lifecycle_simulation", |bench| {
         bench.iter(|| {
             let sem = RecencySemantics::new(&agency.dms, 4);

@@ -18,12 +18,16 @@ fn bench_encode_decode(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("encode", steps), &steps, |bench, _| {
             bench.iter(|| encoder.encode(&run).unwrap().len())
         });
-        group.bench_with_input(BenchmarkId::new("decode_validate", steps), &steps, |bench, _| {
-            bench.iter(|| encoder.decode(&word).unwrap().len())
-        });
-        group.bench_with_input(BenchmarkId::new("abstraction", steps), &steps, |bench, _| {
-            bench.iter(|| symbolic::abstraction(&dms, &run).unwrap().len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decode_validate", steps),
+            &steps,
+            |bench, _| bench.iter(|| encoder.decode(&word).unwrap().len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("abstraction", steps),
+            &steps,
+            |bench, _| bench.iter(|| symbolic::abstraction(&dms, &run).unwrap().len()),
+        );
         group.bench_with_input(BenchmarkId::new("concretize", steps), &steps, |bench, _| {
             let abs = symbolic::abstraction(&dms, &run).unwrap();
             bench.iter(|| symbolic::concretize(&dms, b, &abs).unwrap().unwrap().len())

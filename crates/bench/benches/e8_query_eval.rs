@@ -74,7 +74,8 @@ fn bench_gold_query(c: &mut Criterion) {
         }
         for k in [1usize, 2] {
             let gold = booking::gold_query(k, Var::new("c"), Var::new("rr"), states);
-            let sub = Substitution::from_pairs([(Var::new("c"), customer), (Var::new("rr"), restaurant)]);
+            let sub =
+                Substitution::from_pairs([(Var::new("c"), customer), (Var::new("rr"), restaurant)]);
             group.bench_with_input(
                 BenchmarkId::new(format!("gold_k{k}"), history),
                 &history,

@@ -1,0 +1,53 @@
+//! E9 — scaling of the work-stealing explorer with the thread count.
+//!
+//! Runs the same state-space searches over the wide-branching `inventory` workload with
+//! 1, 2, 4 and 8 worker threads. `threads = 1` is the legacy sequential depth-first loop,
+//! so the series directly quantifies the speedup of the parallel engine on the machine at
+//! hand. On a single-core machine (such as some CI containers) the series instead measures
+//! the pool's coordination overhead — the 2/4/8-thread times then sit slightly *above* the
+//! sequential one, which is itself a useful regression signal for the locking hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdms_checker::{Explorer, ExplorerConfig};
+use rdms_workloads::inventory;
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_parallel_scaling");
+    let dms = inventory::dms(2);
+    let invariant = inventory::reserved_items_are_off_the_shelf();
+    for threads in [1usize, 2, 4, 8] {
+        let config = ExplorerConfig {
+            depth: 6,
+            max_configs: 60_000,
+            threads,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("inventory_invariant", threads),
+            &threads,
+            |bench, _| {
+                bench.iter(|| {
+                    let verdict = Explorer::new(&dms, 3)
+                        .with_config(config)
+                        .check_invariant(&invariant);
+                    assert!(verdict.holds());
+                    verdict.stats().configs_explored
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("inventory_state_count", threads),
+            &threads,
+            |bench, _| {
+                bench.iter(|| {
+                    Explorer::new(&dms, 3)
+                        .with_config(config)
+                        .reachable_state_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

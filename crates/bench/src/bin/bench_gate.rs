@@ -1,0 +1,133 @@
+//! CI benchmark-regression gate.
+//!
+//! ```text
+//! bench_gate check <json_dir> <baseline.json>      # exit 1 if any suite regressed
+//! bench_gate baseline <json_dir> <out.json> [thr]  # (re)generate the committed baseline
+//! ```
+//!
+//! `<json_dir>` holds the `BENCH_*.json` summaries written by `cargo bench` when run with
+//! `BENCH_JSON_DIR=<json_dir>` (see the vendored criterion harness). A benchmark fails the
+//! check when its mean time exceeds `baseline × threshold`; the threshold lives in the
+//! baseline file (default 1.25, i.e. fail on >25% regressions).
+
+use rdms_bench::gate::{self, Summary, Verdict};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn load_summaries(dir: &Path) -> Result<Vec<Summary>, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no BENCH_*.json summaries in {}", dir.display()));
+    }
+    paths
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            gate::parse_summary(&text).map_err(|e| format!("{}: {e}", p.display()))
+        })
+        .collect()
+}
+
+fn check(json_dir: &Path, baseline_path: &Path) -> Result<bool, String> {
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+    let mut baseline = gate::parse_baseline(&baseline_text)
+        .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+    // escape hatch for noisy or slower-than-baseline machines: BENCH_GATE_THRESHOLD
+    // overrides the ratio committed in the baseline file (must stay > 1.0)
+    if let Ok(raw) = std::env::var("BENCH_GATE_THRESHOLD") {
+        let threshold: f64 = raw
+            .parse()
+            .map_err(|e| format!("bad BENCH_GATE_THRESHOLD: {e}"))?;
+        if threshold <= 1.0 {
+            return Err(format!(
+                "BENCH_GATE_THRESHOLD must exceed 1.0, got {threshold}"
+            ));
+        }
+        println!("threshold overridden by BENCH_GATE_THRESHOLD: {threshold}");
+        baseline.threshold = threshold;
+    }
+    let summaries = load_summaries(json_dir)?;
+    let report = gate::compare(&baseline, &summaries);
+    for (id, measured, verdict) in &report.entries {
+        match verdict {
+            Verdict::Ok(ratio) => println!(
+                "ok         {id}: {measured:.0} ns ({:+.1}% vs baseline)",
+                (ratio - 1.0) * 100.0
+            ),
+            Verdict::Regressed(ratio) => println!(
+                "REGRESSED  {id}: {measured:.0} ns ({:+.1}% vs baseline, threshold +{:.0}%)",
+                (ratio - 1.0) * 100.0,
+                (baseline.threshold - 1.0) * 100.0
+            ),
+            Verdict::NotInBaseline => {
+                println!("new        {id}: {measured:.0} ns (not in baseline)")
+            }
+        }
+    }
+    let regressions = report.regressions();
+    if regressions.is_empty() {
+        println!(
+            "bench gate passed: {} benchmarks within +{:.0}%",
+            report.entries.len(),
+            (baseline.threshold - 1.0) * 100.0
+        );
+        Ok(true)
+    } else {
+        println!(
+            "bench gate FAILED: {} regression(s): {}",
+            regressions.len(),
+            regressions.join(", ")
+        );
+        Ok(false)
+    }
+}
+
+fn write_baseline(json_dir: &Path, out: &Path, threshold: f64) -> Result<(), String> {
+    let summaries = load_summaries(json_dir)?;
+    let rendered = gate::render_baseline(&summaries, threshold);
+    std::fs::write(out, rendered).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "wrote baseline {} from {} suite(s)",
+        out.display(),
+        summaries.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [cmd, json_dir, baseline] if cmd == "check" => check(Path::new(json_dir), Path::new(baseline)).map(|passed| {
+            if passed {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }),
+        [cmd, json_dir, out, rest @ ..] if cmd == "baseline" && rest.len() <= 1 => {
+            let threshold = rest.first().map(|t| t.parse::<f64>()).transpose().map_err(|e| format!("bad threshold: {e}"));
+            threshold
+                .and_then(|t| write_baseline(Path::new(json_dir), Path::new(out), t.unwrap_or(1.25)))
+                .map(|()| ExitCode::SUCCESS)
+        }
+        _ => Err("usage: bench_gate check <json_dir> <baseline.json> | bench_gate baseline <json_dir> <out.json> [threshold]".to_owned()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("bench_gate: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,1 +1,242 @@
-//! Support crate for the rdms benchmark suite (all content lives in `benches/`).
+//! Support crate for the rdms benchmark suite: the criterion suites live in `benches/`,
+//! and [`gate`] implements the CI benchmark-regression check used by the `bench_gate` binary.
+
+pub mod gate {
+    //! Comparing `BENCH_*.json` summaries (written by the vendored criterion harness when
+    //! `BENCH_JSON_DIR` is set) against a committed baseline.
+    //!
+    //! The baseline (`crates/bench/benches/baseline.json`) maps benchmark ids to mean
+    //! nanoseconds per iteration and carries the failure threshold: a benchmark regresses
+    //! when its measured mean exceeds `baseline × threshold`. Benchmarks missing from the
+    //! baseline are reported but never fail the gate, so adding a suite does not require a
+    //! lock-step baseline update.
+
+    use serde_json::Value;
+    use std::collections::BTreeMap;
+
+    /// One parsed `BENCH_<suite>.json` summary.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Summary {
+        /// The bench target it came from (e.g. `e1_recency_sweep`).
+        pub suite: String,
+        /// `(benchmark id, mean nanoseconds per iteration)` in file order.
+        pub benchmarks: Vec<(String, f64)>,
+    }
+
+    /// The committed reference numbers.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Baseline {
+        /// Regression threshold as a ratio (`1.25` = fail when >25% slower than baseline).
+        pub threshold: f64,
+        /// Benchmark id → baseline mean nanoseconds per iteration.
+        pub benchmarks: BTreeMap<String, f64>,
+    }
+
+    /// The verdict for one measured benchmark.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Verdict {
+        /// Within threshold; the ratio `measured / baseline` is attached.
+        Ok(f64),
+        /// Slower than `baseline × threshold`.
+        Regressed(f64),
+        /// Not in the baseline (informational only).
+        NotInBaseline,
+    }
+
+    /// The gate's outcome over every summary.
+    #[derive(Debug, Clone, Default)]
+    pub struct Report {
+        /// `(benchmark id, measured mean ns, verdict)` for every measured benchmark.
+        pub entries: Vec<(String, f64, Verdict)>,
+    }
+
+    impl Report {
+        /// Ids that regressed.
+        pub fn regressions(&self) -> Vec<&str> {
+            self.entries
+                .iter()
+                .filter(|(_, _, v)| matches!(v, Verdict::Regressed(_)))
+                .map(|(id, _, _)| id.as_str())
+                .collect()
+        }
+
+        /// Whether the gate passes.
+        pub fn passed(&self) -> bool {
+            self.regressions().is_empty()
+        }
+    }
+
+    fn field<'v>(value: &'v Value, key: &str) -> Option<&'v Value> {
+        value
+            .as_map()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Parse one `BENCH_<suite>.json` summary.
+    pub fn parse_summary(json: &str) -> Result<Summary, String> {
+        let value =
+            serde_json::from_str::<Value>(json).map_err(|e| format!("invalid JSON: {e:?}"))?;
+        let suite = field(&value, "suite")
+            .and_then(Value::as_str)
+            .ok_or("summary is missing \"suite\"")?
+            .to_owned();
+        let raw = field(&value, "benchmarks")
+            .and_then(Value::as_seq)
+            .ok_or("summary is missing \"benchmarks\"")?;
+        let mut benchmarks = Vec::new();
+        for entry in raw {
+            let id = field(entry, "id")
+                .and_then(Value::as_str)
+                .ok_or("benchmark without \"id\"")?;
+            let mean = field(entry, "mean_ns")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("benchmark {id} without numeric \"mean_ns\""))?;
+            benchmarks.push((id.to_owned(), mean));
+        }
+        Ok(Summary { suite, benchmarks })
+    }
+
+    /// Parse the committed baseline file.
+    pub fn parse_baseline(json: &str) -> Result<Baseline, String> {
+        let value =
+            serde_json::from_str::<Value>(json).map_err(|e| format!("invalid JSON: {e:?}"))?;
+        let threshold = field(&value, "threshold")
+            .and_then(Value::as_f64)
+            .unwrap_or(1.25);
+        if threshold <= 1.0 {
+            return Err(format!("threshold must exceed 1.0, got {threshold}"));
+        }
+        let raw = field(&value, "benchmarks")
+            .and_then(Value::as_map)
+            .ok_or("baseline is missing \"benchmarks\"")?;
+        let mut benchmarks = BTreeMap::new();
+        for (id, mean) in raw {
+            let mean = mean
+                .as_f64()
+                .ok_or_else(|| format!("baseline entry {id} is not a number"))?;
+            benchmarks.insert(id.clone(), mean);
+        }
+        Ok(Baseline {
+            threshold,
+            benchmarks,
+        })
+    }
+
+    /// Compare measured summaries against the baseline.
+    pub fn compare(baseline: &Baseline, summaries: &[Summary]) -> Report {
+        let mut report = Report::default();
+        for summary in summaries {
+            for (id, measured) in &summary.benchmarks {
+                let verdict = match baseline.benchmarks.get(id) {
+                    Some(&reference) if reference > 0.0 => {
+                        let ratio = measured / reference;
+                        if ratio > baseline.threshold {
+                            Verdict::Regressed(ratio)
+                        } else {
+                            Verdict::Ok(ratio)
+                        }
+                    }
+                    _ => Verdict::NotInBaseline,
+                };
+                report.entries.push((id.clone(), *measured, verdict));
+            }
+        }
+        report
+    }
+
+    /// Merge summaries into the baseline JSON text (used to (re)generate
+    /// `benches/baseline.json` after an intentional performance change).
+    pub fn render_baseline(summaries: &[Summary], threshold: f64) -> String {
+        let mut merged: BTreeMap<&str, f64> = BTreeMap::new();
+        for summary in summaries {
+            for (id, mean) in &summary.benchmarks {
+                merged.insert(id, *mean);
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"threshold\": {threshold},\n  \"benchmarks\": {{"
+        ));
+        for (i, (id, mean)) in merged.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{id}\": {mean:.1}"));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        const SUMMARY: &str = r#"{
+            "suite": "e1_recency_sweep",
+            "benchmarks": [
+                {"id": "e1_recency_sweep/example_3_1/1", "mean_ns": 1000.0, "iterations": 50},
+                {"id": "e1_recency_sweep/example_3_1/2", "mean_ns": 2600.0, "iterations": 20},
+                {"id": "e1_recency_sweep/new_suite/1", "mean_ns": 10.0, "iterations": 5}
+            ]
+        }"#;
+
+        const BASELINE: &str = r#"{
+            "threshold": 1.25,
+            "benchmarks": {
+                "e1_recency_sweep/example_3_1/1": 900.0,
+                "e1_recency_sweep/example_3_1/2": 2000.0
+            }
+        }"#;
+
+        #[test]
+        fn summaries_and_baselines_parse() {
+            let summary = parse_summary(SUMMARY).unwrap();
+            assert_eq!(summary.suite, "e1_recency_sweep");
+            assert_eq!(summary.benchmarks.len(), 3);
+            let baseline = parse_baseline(BASELINE).unwrap();
+            assert_eq!(baseline.threshold, 1.25);
+            assert_eq!(baseline.benchmarks.len(), 2);
+        }
+
+        #[test]
+        fn regressions_are_flagged_and_new_benchmarks_tolerated() {
+            let baseline = parse_baseline(BASELINE).unwrap();
+            let report = compare(&baseline, &[parse_summary(SUMMARY).unwrap()]);
+            // 1000/900 ≈ 1.11 within threshold; 2600/2000 = 1.3 regressed; third not in baseline
+            assert_eq!(report.regressions(), vec!["e1_recency_sweep/example_3_1/2"]);
+            assert!(!report.passed());
+            assert!(matches!(report.entries[0].2, Verdict::Ok(_)));
+            assert!(matches!(report.entries[2].2, Verdict::NotInBaseline));
+        }
+
+        #[test]
+        fn within_threshold_passes() {
+            let baseline = parse_baseline(
+                r#"{"threshold": 2.0, "benchmarks": {"e1_recency_sweep/example_3_1/2": 2000.0}}"#,
+            )
+            .unwrap();
+            let report = compare(&baseline, &[parse_summary(SUMMARY).unwrap()]);
+            assert!(report.passed());
+        }
+
+        #[test]
+        fn bad_inputs_are_rejected() {
+            assert!(parse_summary("{}").is_err());
+            assert!(parse_baseline(r#"{"threshold": 0.5, "benchmarks": {}}"#).is_err());
+            assert!(parse_baseline(r#"{"benchmarks": 3}"#).is_err());
+        }
+
+        #[test]
+        fn baseline_round_trips_through_render() {
+            let summary = parse_summary(SUMMARY).unwrap();
+            let rendered = render_baseline(std::slice::from_ref(&summary), 1.25);
+            let parsed = parse_baseline(&rendered).unwrap();
+            assert_eq!(parsed.threshold, 1.25);
+            assert_eq!(parsed.benchmarks.len(), 3);
+            // a fresh run measured identically passes against its own baseline
+            assert!(compare(&parsed, &[summary]).passed());
+        }
+    }
+}

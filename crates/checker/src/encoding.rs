@@ -43,7 +43,9 @@ impl EncodingAlphabet {
         let mut internal = BTreeMap::new();
         let mut internal_rev = BTreeMap::new();
         for letter in symbolic_alphabet(dms, b) {
-            let action = dms.action(letter.action).expect("letter built from this DMS");
+            let action = dms
+                .action(letter.action)
+                .expect("letter built from this DMS");
             let sub: Vec<String> = letter
                 .sub
                 .iter()
@@ -170,9 +172,17 @@ pub enum DecodeError {
     /// A block is syntactically malformed (condition 0 of Section 6.3.1).
     MalformedBlock { block: usize, reason: String },
     /// The number of pops does not match `|Recent_b(I)|` (condition 1).
-    InconsistentM { block: usize, expected: usize, got: usize },
+    InconsistentM {
+        block: usize,
+        expected: usize,
+        got: usize,
+    },
     /// The set of surviving pushes does not match the live elements (condition 2).
-    InconsistentJ { block: usize, expected: Vec<usize>, got: Vec<usize> },
+    InconsistentJ {
+        block: usize,
+        expected: Vec<usize>,
+        got: Vec<usize>,
+    },
     /// The action guard is not satisfied under the decoded substitution, or the symbolic
     /// letter refers to a recency index that does not exist (condition 3 / condition `Cnd`).
     NotEnabled { block: usize },
@@ -315,7 +325,10 @@ impl<'a> RunEncoder<'a> {
             }
 
             // condition 0 (remaining part): the fresh pushes match the action's fresh count
-            let action = self.dms.action(block.letter.action).expect("validated above");
+            let action = self
+                .dms
+                .action(block.letter.action)
+                .expect("validated above");
             if block.fresh != action.num_fresh() {
                 return Err(DecodeError::MalformedBlock {
                     block: index,
@@ -411,7 +424,9 @@ impl<'a> RunEncoder<'a> {
                         if i != expected {
                             return Err(DecodeError::MalformedBlock {
                                 block: block_index,
-                                reason: format!("fresh push ↓{i} out of order (expected ↓{expected})"),
+                                reason: format!(
+                                    "fresh push ↓{i} out of order (expected ↓{expected})"
+                                ),
                             });
                         }
                         fresh += 1;
@@ -453,19 +468,42 @@ mod tests {
         let v = Var::new;
         let e = DataValue::e;
         vec![
-            rdms_core::Step::new(0, Substitution::from_pairs([(v("v1"), e(1)), (v("v2"), e(2)), (v("v3"), e(3))])),
-            rdms_core::Step::new(1, Substitution::from_pairs([(v("u"), e(2)), (v("v1"), e(4)), (v("v2"), e(5))])),
-            rdms_core::Step::new(0, Substitution::from_pairs([(v("v1"), e(6)), (v("v2"), e(7)), (v("v3"), e(8))])),
+            rdms_core::Step::new(
+                0,
+                Substitution::from_pairs([(v("v1"), e(1)), (v("v2"), e(2)), (v("v3"), e(3))]),
+            ),
+            rdms_core::Step::new(
+                1,
+                Substitution::from_pairs([(v("u"), e(2)), (v("v1"), e(4)), (v("v2"), e(5))]),
+            ),
+            rdms_core::Step::new(
+                0,
+                Substitution::from_pairs([(v("v1"), e(6)), (v("v2"), e(7)), (v("v3"), e(8))]),
+            ),
             rdms_core::Step::new(2, Substitution::from_pairs([(v("u"), e(7))])),
-            rdms_core::Step::new(3, Substitution::from_pairs([(v("u1"), e(8)), (v("u2"), e(6))])),
-            rdms_core::Step::new(3, Substitution::from_pairs([(v("u1"), e(4)), (v("u2"), e(5))])),
-            rdms_core::Step::new(3, Substitution::from_pairs([(v("u1"), e(3)), (v("u2"), e(3))])),
-            rdms_core::Step::new(0, Substitution::from_pairs([(v("v1"), e(9)), (v("v2"), e(10)), (v("v3"), e(11))])),
+            rdms_core::Step::new(
+                3,
+                Substitution::from_pairs([(v("u1"), e(8)), (v("u2"), e(6))]),
+            ),
+            rdms_core::Step::new(
+                3,
+                Substitution::from_pairs([(v("u1"), e(4)), (v("u2"), e(5))]),
+            ),
+            rdms_core::Step::new(
+                3,
+                Substitution::from_pairs([(v("u1"), e(3)), (v("u2"), e(3))]),
+            ),
+            rdms_core::Step::new(
+                0,
+                Substitution::from_pairs([(v("v1"), e(9)), (v("v2"), e(10)), (v("v3"), e(11))]),
+            ),
         ]
     }
 
     fn figure_1_run(dms: &Dms) -> ExtendedRun {
-        RecencySemantics::new(dms, 2).execute(&figure_1_steps()).unwrap()
+        RecencySemantics::new(dms, 2)
+            .execute(&figure_1_steps())
+            .unwrap()
     }
 
     #[test]
@@ -498,21 +536,54 @@ mod tests {
         let expected: Vec<String> = vec![
             "I0",
             // B1: α:ε ↓−1↓−2↓−3
-            "⟨alpha:{v1↦-1,v2↦-2,v3↦-3}⟩", "↓-1", "↓-2", "↓-3",
+            "⟨alpha:{v1↦-1,v2↦-2,v3↦-3}⟩",
+            "↓-1",
+            "↓-2",
+            "↓-3",
             // B2: β:u↦1 ↑0↑1 ↓0 ↓−1↓−2
-            "⟨beta:{u↦1,v1↦-1,v2↦-2}⟩", "↑0", "↑1", "↓0", "↓-1", "↓-2",
+            "⟨beta:{u↦1,v1↦-1,v2↦-2}⟩",
+            "↑0",
+            "↑1",
+            "↓0",
+            "↓-1",
+            "↓-2",
             // B3: α:ε ↑0↑1 ↓1↓0 ↓−1↓−2↓−3
-            "⟨alpha:{v1↦-1,v2↦-2,v3↦-3}⟩", "↑0", "↑1", "↓1", "↓0", "↓-1", "↓-2", "↓-3",
+            "⟨alpha:{v1↦-1,v2↦-2,v3↦-3}⟩",
+            "↑0",
+            "↑1",
+            "↓1",
+            "↓0",
+            "↓-1",
+            "↓-2",
+            "↓-3",
             // B4: γ:u↦1 ↑0↑1 ↓0
-            "⟨gamma:{u↦1}⟩", "↑0", "↑1", "↓0",
+            "⟨gamma:{u↦1}⟩",
+            "↑0",
+            "↑1",
+            "↓0",
             // B5: δ:u1↦0,u2↦1 ↑0↑1
-            "⟨delta:{u1↦0,u2↦1}⟩", "↑0", "↑1",
+            "⟨delta:{u1↦0,u2↦1}⟩",
+            "↑0",
+            "↑1",
             // B6: δ:u1↦1,u2↦0 ↑0↑1 ↓0
-            "⟨delta:{u1↦1,u2↦0}⟩", "↑0", "↑1", "↓0",
+            "⟨delta:{u1↦1,u2↦0}⟩",
+            "↑0",
+            "↑1",
+            "↓0",
             // B7: δ:u1↦1,u2↦1 ↑0↑1 ↓0
-            "⟨delta:{u1↦1,u2↦1}⟩", "↑0", "↑1", "↓0",
+            "⟨delta:{u1↦1,u2↦1}⟩",
+            "↑0",
+            "↑1",
+            "↓0",
             // B8: α:ε ↑0↑1 ↓1↓0 ↓−1↓−2↓−3
-            "⟨alpha:{v1↦-1,v2↦-2,v3↦-3}⟩", "↑0", "↑1", "↓1", "↓0", "↓-1", "↓-2", "↓-3",
+            "⟨alpha:{v1↦-1,v2↦-2,v3↦-3}⟩",
+            "↑0",
+            "↑1",
+            "↓1",
+            "↓0",
+            "↓-1",
+            "↓-2",
+            "↓-3",
         ]
         .into_iter()
         .map(str::to_owned)
@@ -573,14 +644,18 @@ mod tests {
 
         // missing I₀
         let no_i0 = NestedWord::new(alphabet.clone(), word.letters()[1..].to_vec());
-        assert_eq!(encoder.decode(&no_i0), Err(DecodeError::MissingInitialLetter));
+        assert_eq!(
+            encoder.decode(&no_i0),
+            Err(DecodeError::MissingInitialLetter)
+        );
 
         // drop one pop from block B2 (position 6 is ↑0): m becomes inconsistent
         let mut letters = word.letters().to_vec();
         letters.remove(6);
         let bad_m = NestedWord::new(alphabet.clone(), letters);
         match encoder.decode(&bad_m) {
-            Err(DecodeError::InconsistentM { block: 1, .. }) | Err(DecodeError::MalformedBlock { block: 1, .. }) => {}
+            Err(DecodeError::InconsistentM { block: 1, .. })
+            | Err(DecodeError::MalformedBlock { block: 1, .. }) => {}
             other => panic!("expected an m/shape violation in block 1, got {other:?}"),
         }
 
@@ -600,7 +675,8 @@ mod tests {
             .head_letters()
             .find(|&l| alphabet.name(l).starts_with("⟨beta"))
             .unwrap();
-        let not_enabled = NestedWord::new(alphabet.clone(), vec![encoder.alphabet().i0(), beta_letter]);
+        let not_enabled =
+            NestedWord::new(alphabet.clone(), vec![encoder.alphabet().i0(), beta_letter]);
         assert!(matches!(
             encoder.decode(&not_enabled),
             Err(DecodeError::NotEnabled { block: 0 })
@@ -637,7 +713,9 @@ mod tests {
                 let (step, next) = succs.into_iter().nth(idx).unwrap();
                 run.push(step, next);
             }
-            let word = encoder.encode(&run).expect("run generated under the same bound");
+            let word = encoder
+                .encode(&run)
+                .expect("run generated under the same bound");
             assert!(word.check_nesting_laws());
             let decoded = encoder.decode(&word).expect("valid encoding");
             // the decoded (canonical) run has the same abstraction as the original

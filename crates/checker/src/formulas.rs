@@ -119,9 +119,16 @@ impl<'a> Formulas<'a> {
     /// recency indices `indices` from `R` (a disjunction over the matching `α:s` letters).
     pub fn del_pred(&self, relation: RelName, indices: &[usize], x: PosVar) -> MsoNw {
         let letters = self.enc.head_letters().filter(|&l| {
-            let Some(sym) = self.enc.symbolic(l) else { return false };
+            let Some(sym) = self.enc.symbolic(l) else {
+                return false;
+            };
             // we need the action to resolve the Del pattern
-            self.matching_pattern(sym, relation, indices.iter().map(|&i| i as i64).collect(), true)
+            self.matching_pattern(
+                sym,
+                relation,
+                indices.iter().map(|&i| i as i64).collect(),
+                true,
+            )
         });
         MsoNw::letter_among(letters.collect::<Vec<_>>(), x)
     }
@@ -130,7 +137,9 @@ impl<'a> Formulas<'a> {
     /// denote the block's fresh elements.
     pub fn add_pred(&self, relation: RelName, indices: &[i64], x: PosVar) -> MsoNw {
         let letters = self.enc.head_letters().filter(|&l| {
-            let Some(sym) = self.enc.symbolic(l) else { return false };
+            let Some(sym) = self.enc.symbolic(l) else {
+                return false;
+            };
             self.matching_pattern(sym, relation, indices.to_vec(), false)
         });
         MsoNw::letter_among(letters.collect::<Vec<_>>(), x)
@@ -146,15 +155,20 @@ impl<'a> Formulas<'a> {
         indices: Vec<i64>,
         del: bool,
     ) -> bool {
-        let Ok(action) = self.dms.action(sym.action) else { return false };
+        let Ok(action) = self.dms.action(sym.action) else {
+            return false;
+        };
         let pattern = if del { action.del() } else { action.add() };
         pattern.facts().any(|(rel, args)| {
             rel == relation
                 && args.len() == indices.len()
-                && args.iter().zip(indices.iter()).all(|(term, &want)| match term {
-                    Term::Var(v) => sym.sub.get(*v) == Some(want),
-                    Term::Value(_) => false,
-                })
+                && args
+                    .iter()
+                    .zip(indices.iter())
+                    .all(|(term, &want)| match term {
+                        Term::Var(v) => sym.sub.get(*v) == Some(want),
+                        Term::Value(_) => false,
+                    })
         })
     }
 
@@ -191,7 +205,12 @@ impl<'a> Formulas<'a> {
         let index_range: Vec<i64> = (-eta..b).collect();
         // one set variable per index
         let sets: Vec<(i64, SetVar)> = index_range.iter().map(|&k| (k, self.fresh_set())).collect();
-        let set_of = |k: i64| sets.iter().find(|&&(idx, _)| idx == k).map(|&(_, s)| s).expect("index in range");
+        let set_of = |k: i64| {
+            sets.iter()
+                .find(|&&(idx, _)| idx == k)
+                .map(|&(_, s)| s)
+                .expect("index in range")
+        };
 
         let x1 = self.fresh_pos();
         let x2 = self.fresh_pos();
@@ -219,7 +238,9 @@ impl<'a> Formulas<'a> {
 
         let premise = MsoNw::is_in(x, set_of(i)).and(closed);
         let body = premise.implies(MsoNw::is_in(y, set_of(j)));
-        sets.iter().rev().fold(body, |acc, &(_, s)| MsoNw::forall_set(s, acc))
+        sets.iter()
+            .rev()
+            .fold(body, |acc, &(_, s)| MsoNw::forall_set(s, acc))
     }
 
     /// `ϕ_Recent^m(x)`: just before executing the block of `x`, the active domain has at
@@ -254,7 +275,6 @@ impl<'a> Formulas<'a> {
         self.eq(0, 0, x, y).size()
     }
 }
-
 
 impl<'a> Formulas<'a> {
     /// All index vectors of length `arity` over the range `lo‥=hi`.
@@ -297,7 +317,11 @@ impl<'a> Formulas<'a> {
             );
             let mut deletions = Vec::new();
             for ms in Self::index_vectors(args.len(), 0, b - 1) {
-                let del = self.del_pred(relation, &ms.iter().map(|&m| m as usize).collect::<Vec<_>>(), z);
+                let del = self.del_pred(
+                    relation,
+                    &ms.iter().map(|&m| m as usize).collect::<Vec<_>>(),
+                    z,
+                );
                 let link = MsoNw::conj(
                     ells.iter()
                         .zip(ms.iter())
@@ -359,7 +383,11 @@ impl<'a> Formulas<'a> {
             );
             let mut deletions = Vec::new();
             for ms in Self::index_vectors(args.len(), 0, b - 1) {
-                let del = self.del_pred(relation, &ms.iter().map(|&m| m as usize).collect::<Vec<_>>(), z);
+                let del = self.del_pred(
+                    relation,
+                    &ms.iter().map(|&m| m as usize).collect::<Vec<_>>(),
+                    z,
+                );
                 let link = MsoNw::conj(
                     ells.iter()
                         .zip(ms.iter())
@@ -395,7 +423,10 @@ impl<'a> Formulas<'a> {
         for (relation, arity) in self.dms.schema().non_nullary() {
             // the element appears at position j of some tuple of `relation`
             for j in 0..arity {
-                let other_vars: Vec<PosVar> = (0..arity).filter(|&k| k != j).map(|_| self.fresh_pos()).collect();
+                let other_vars: Vec<PosVar> = (0..arity)
+                    .filter(|&k| k != j)
+                    .map(|_| self.fresh_pos())
+                    .collect();
                 for other_indices in Self::index_vectors(arity - 1, -eta, b - 1) {
                     let mut args: Vec<(PosVar, i64)> = Vec::with_capacity(arity);
                     let mut others = other_vars.iter().zip(other_indices.iter());
@@ -451,7 +482,11 @@ pub fn element_at(
             seen_heads += 1;
         }
         if p == pos {
-            block = if seen_heads == 0 { None } else { Some(seen_heads - 1) };
+            block = if seen_heads == 0 {
+                None
+            } else {
+                Some(seen_heads - 1)
+            };
             break;
         }
     }
@@ -491,11 +526,23 @@ mod tests {
         let x = PosVar(0);
 
         // position 0 is I₀ (internal, not a head); position 1 is the α head; position 2 is ↓−1
-        for (pos, is_int, is_head, is_push) in [(0usize, true, false, false), (1, true, true, false), (2, false, false, true)] {
+        for (pos, is_int, is_head, is_push) in [
+            (0usize, true, false, false),
+            (1, true, true, false),
+            (2, false, false, true),
+        ] {
             let a = Assignment::new().with_pos(x, pos);
-            assert_eq!(eval(&word, &a, &formulas.sigma_int(x)), is_int, "Σint at {pos}");
+            assert_eq!(
+                eval(&word, &a, &formulas.sigma_int(x)),
+                is_int,
+                "Σint at {pos}"
+            );
             assert_eq!(eval(&word, &a, &formulas.head(x)), is_head, "head at {pos}");
-            assert_eq!(eval(&word, &a, &formulas.sigma_push(x)), is_push, "Σ↓ at {pos}");
+            assert_eq!(
+                eval(&word, &a, &formulas.sigma_push(x)),
+                is_push,
+                "Σ↓ at {pos}"
+            );
         }
         // position 6 is ↑0 of block B2
         let a = Assignment::new().with_pos(x, 6);
@@ -589,13 +636,25 @@ mod tests {
             .unwrap();
 
         assert_eq!(procedural_eq(&encoder, &word, b1, -2, b2, 1), Some(true));
-        assert_eq!(procedural_eq(&encoder, &word, b2, -2, b7_head, 0), Some(true));
+        assert_eq!(
+            procedural_eq(&encoder, &word, b2, -2, b7_head, 0),
+            Some(true)
+        );
         assert_eq!(procedural_eq(&encoder, &word, b1, -1, b2, 1), Some(false));
 
         // element_at resolves fresh and recent indices to the paper's values
-        assert_eq!(element_at(&encoder, &word, &run, b1, -2), Some(DataValue::e(2)));
-        assert_eq!(element_at(&encoder, &word, &run, b2, 1), Some(DataValue::e(2)));
-        assert_eq!(element_at(&encoder, &word, &run, b7_head, 0), Some(DataValue::e(5)));
+        assert_eq!(
+            element_at(&encoder, &word, &run, b1, -2),
+            Some(DataValue::e(2))
+        );
+        assert_eq!(
+            element_at(&encoder, &word, &run, b2, 1),
+            Some(DataValue::e(2))
+        );
+        assert_eq!(
+            element_at(&encoder, &word, &run, b7_head, 0),
+            Some(DataValue::e(5))
+        );
     }
 
     #[test]

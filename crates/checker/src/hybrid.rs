@@ -20,14 +20,14 @@
 //! integration tests use it for).
 
 use crate::encoding::RunEncoder;
+use crate::explorer::{ExplorerConfig, SearchDriver};
 use crate::formulas::Formulas;
 use crate::phi_valid::PhiValid;
 use crate::translate::Translator;
-use crate::verdict::{CheckStats, Verdict};
+use crate::verdict::Verdict;
 use rdms_core::{Dms, ExtendedRun, RecencySemantics};
 use rdms_logic::msofo::MsoFo;
 use rdms_nested::mso::MsoNw;
-use std::time::Instant;
 
 /// The hybrid engine for one DMS / recency bound.
 pub struct HybridChecker<'a> {
@@ -60,42 +60,41 @@ impl<'a> HybridChecker<'a> {
     /// The data-quantified fragment needs the `Eq` machinery, which cannot be evaluated
     /// directly; use the [`crate::explorer`] engine for it.
     pub fn check(&self, property: &MsoFo) -> Verdict {
-        let start = Instant::now();
         let encoder = RunEncoder::new(self.dms, self.b);
         let formulas = Formulas::new(self.dms, encoder.alphabet());
         let translated = Translator::new(&formulas).specification(property);
 
-        let mut stats = CheckStats {
-            recency_bound: self.b,
-            depth_bound: self.depth,
-            ..Default::default()
-        };
-        let sem = RecencySemantics::new(self.dms, self.b);
-        let mut stack = vec![ExtendedRun::new(self.dms.initial_bconfig())];
-        let mut exhausted = true;
-        while let Some(run) = stack.pop() {
-            stats.prefixes_checked += 1;
-            let word = encoder.encode(&run).expect("explored prefixes are b-bounded");
-            if !rdms_nested::eval::eval_sentence(&word, &translated) {
-                stats.elapsed = start.elapsed();
-                return Verdict::Violated { counterexample: run, stats };
-            }
-            if run.len() >= self.depth {
-                continue;
-            }
-            if stats.configs_explored >= 5_000 {
-                exhausted = false;
-                continue;
-            }
-            for (step, next) in sem.successors(run.last()).expect("successors") {
-                stats.configs_explored += 1;
-                let mut extended = run.clone();
-                extended.push(step, next);
-                stack.push(extended);
-            }
+        // reuse the explorer's sequential search core; the encoder's formula cache is
+        // single-threaded, so this engine stays on the threads=1 path
+        let driver = SearchDriver::new(
+            self.dms,
+            self.b,
+            ExplorerConfig {
+                depth: self.depth,
+                max_configs: 5_000,
+                threads: 1,
+            },
+            false,
+        );
+        let outcome = driver.search_sequential(
+            ExtendedRun::new(self.dms.initial_bconfig()),
+            |run: &ExtendedRun| {
+                let word = encoder
+                    .encode(run)
+                    .expect("explored prefixes are b-bounded");
+                !rdms_nested::eval::eval_sentence(&word, &translated)
+            },
+        );
+        match outcome.hit {
+            Some(counterexample) => Verdict::Violated {
+                counterexample,
+                stats: outcome.stats,
+            },
+            None => Verdict::Holds {
+                complete: !outcome.budget_cutoff,
+                stats: outcome.stats,
+            },
         }
-        stats.elapsed = start.elapsed();
-        Verdict::Holds { complete: exhausted, stats }
     }
 
     /// Cross-validate the Section 6.5 translation on every explored prefix: the translated
@@ -111,14 +110,21 @@ impl<'a> HybridChecker<'a> {
         let mut stack = vec![ExtendedRun::new(self.dms.initial_bconfig())];
         let mut checked = 0;
         while let Some(run) = stack.pop() {
-            let word = encoder.encode(&run).expect("explored prefixes are b-bounded");
+            let word = encoder
+                .encode(&run)
+                .expect("explored prefixes are b-bounded");
             let on_word = rdms_nested::eval::eval_sentence(&word, &translated);
             // positions of the encoding denote the instances *before* each block (plus I₀)
             let instances = run.instances();
-            let covered = if run.is_empty() { &instances[..1] } else { &instances[..run.len()] };
+            let covered = if run.is_empty() {
+                &instances[..1]
+            } else {
+                &instances[..run.len()]
+            };
             let on_run = rdms_logic::msofo::eval_sentence(covered, property);
             assert_eq!(
-                on_word, on_run,
+                on_word,
+                on_run,
                 "translation disagreement on a {}-step prefix for {property:?}",
                 run.len()
             );
@@ -153,8 +159,12 @@ mod tests {
         // the encoding's positions denote the instances *before* each block, so a depth-(k+1)
         // hybrid exploration covers the same instances as a depth-k explorer run
         let hybrid = HybridChecker::new(&dms, 2, 3);
-        let explorer = crate::explorer::Explorer::new(&dms, 2)
-            .with_config(crate::explorer::ExplorerConfig { depth: 2, max_configs: 2_000 });
+        let explorer =
+            crate::explorer::Explorer::new(&dms, 2).with_config(crate::explorer::ExplorerConfig {
+                depth: 2,
+                max_configs: 2_000,
+                ..Default::default()
+            });
 
         for property in [
             templates::invariant(Query::prop(r("p"))),
@@ -186,7 +196,10 @@ mod tests {
         let dms = example_3_1();
         let hybrid = HybridChecker::new(&dms, 2, 2);
         let checked = hybrid.cross_validate(&templates::never(r("p")));
-        assert!(checked >= 5, "should cover several prefixes, covered {checked}");
+        assert!(
+            checked >= 5,
+            "should cover several prefixes, covered {checked}"
+        );
     }
 
     #[test]

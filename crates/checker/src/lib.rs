@@ -35,5 +35,5 @@ pub mod translate;
 pub mod verdict;
 
 pub use encoding::{EncodingAlphabet, RunEncoder};
-pub use explorer::{Explorer, ExplorerConfig};
+pub use explorer::{default_threads, Explorer, ExplorerConfig};
 pub use verdict::{CheckStats, Verdict};

@@ -61,7 +61,8 @@ impl<'a> PhiValid<'a> {
                 xi,
                 MsoNw::letter(self.enc().pop(i), xi).implies(MsoNw::exists_pos(
                     yi,
-                    MsoNw::succ(yi, xi, f.fresh_pos()).and(MsoNw::letter(self.enc().pop(i - 1), yi)),
+                    MsoNw::succ(yi, xi, f.fresh_pos())
+                        .and(MsoNw::letter(self.enc().pop(i - 1), yi)),
                 )),
             ));
         }
@@ -97,7 +98,8 @@ impl<'a> PhiValid<'a> {
         let mut conjuncts = Vec::new();
         for i in 0..self.enc().bound() {
             let y = f.fresh_pos();
-            let has_pop = MsoNw::exists_pos(y, f.block_eq(x, y).and(MsoNw::letter(self.enc().pop(i), y)));
+            let has_pop =
+                MsoNw::exists_pos(y, f.block_eq(x, y).and(MsoNw::letter(self.enc().pop(i), y)));
             conjuncts.push(f.recent_at_least(i, x).iff(has_pop));
         }
         MsoNw::forall_pos(x, f.head(x).implies(MsoNw::conj(conjuncts)))
@@ -126,7 +128,13 @@ impl<'a> PhiValid<'a> {
         for letter in self.enc().head_letters() {
             let sym = self.enc().symbolic(letter).expect("head letter").clone();
             let action = self.dms.action(sym.action).expect("letter from this DMS");
-            let guard = translator.query_at_block(action.guard(), sym.action, &sym.sub, x, &Default::default());
+            let guard = translator.query_at_block(
+                action.guard(),
+                sym.action,
+                &sym.sub,
+                x,
+                &Default::default(),
+            );
             conjuncts.push(MsoNw::letter(letter, x).implies(guard));
         }
         MsoNw::forall_pos(x, MsoNw::conj(conjuncts))
@@ -158,10 +166,16 @@ mod tests {
             let formulas = Formulas::for_encoder(&encoder);
             let phi = PhiValid::new(&dms, &formulas);
             let sentence = phi.build();
-            assert!(sentence.free_vars().is_empty(), "ϕ_valid must be a sentence (b = {b})");
+            assert!(
+                sentence.free_vars().is_empty(),
+                "ϕ_valid must be a sentence (b = {b})"
+            );
             sizes.push(sentence.size());
         }
-        assert!(sizes[0] < sizes[1], "ϕ_valid must grow with the recency bound: {sizes:?}");
+        assert!(
+            sizes[0] < sizes[1],
+            "ϕ_valid must grow with the recency bound: {sizes:?}"
+        );
     }
 
     #[test]

@@ -157,9 +157,8 @@ impl<'a> Translator<'a> {
                     per_letter.push(MsoNw::letter(letter, xpos).and(translated));
                 }
                 self.formulas.sigma_int(xpos).and(
-                    MsoNw::disj(per_letter)
-                        .or(MsoNw::letter(self.formulas.alphabet().i0(), xpos)
-                            .and(self.query_rec(q, xpos, data_env))),
+                    MsoNw::disj(per_letter).or(MsoNw::letter(self.formulas.alphabet().i0(), xpos)
+                        .and(self.query_rec(q, xpos, data_env))),
                 )
             }
             MsoFo::Less(x, y) => MsoNw::less(pos_var(*x), pos_var(*y)),
@@ -170,7 +169,9 @@ impl<'a> Translator<'a> {
             MsoFo::Or(p, q) => self.spec_rec(p, data_env).or(self.spec_rec(q, data_env)),
             MsoFo::ExistsPos(x, p) => MsoNw::exists_pos(
                 pos_var(*x),
-                self.formulas.sigma_int(pos_var(*x)).and(self.spec_rec(p, data_env)),
+                self.formulas
+                    .sigma_int(pos_var(*x))
+                    .and(self.spec_rec(p, data_env)),
             ),
             MsoFo::ForallPos(x, p) => MsoNw::forall_pos(
                 pos_var(*x),

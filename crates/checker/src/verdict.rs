@@ -53,7 +53,10 @@ impl Verdict {
 impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Verdict::Violated { counterexample, stats } => write!(
+            Verdict::Violated {
+                counterexample,
+                stats,
+            } => write!(
                 f,
                 "VIOLATED (counterexample of {} steps; {} prefixes, {} configurations explored)",
                 counterexample.len(),
@@ -63,7 +66,11 @@ impl fmt::Display for Verdict {
             Verdict::Holds { complete, stats } => write!(
                 f,
                 "HOLDS{} ({} prefixes, {} configurations explored)",
-                if *complete { " (exhaustive for this bound)" } else { " (up to the depth bound)" },
+                if *complete {
+                    " (exhaustive for this bound)"
+                } else {
+                    " (up to the depth bound)"
+                },
                 stats.prefixes_checked,
                 stats.configs_explored
             ),
@@ -85,6 +92,17 @@ pub struct CheckStats {
     pub configs_explored: usize,
     /// Number of configurations skipped because an isomorphic one had been expanded.
     pub configs_deduplicated: usize,
+    /// Number of worker threads the search ran on (`1` = the legacy sequential order).
+    pub threads: usize,
+    /// Throughput of each worker, in configurations admitted per second, indexed by worker.
+    /// Sequential searches report a single entry.
+    pub per_thread_configs_per_sec: Vec<f64>,
+    /// Fraction of generated configurations that were isomorphism-duplicates of an already
+    /// seen one: `configs_deduplicated / configs_explored` (`0` when nothing was generated or
+    /// the search does not deduplicate).
+    pub dedup_hit_rate: f64,
+    /// Largest number of frontier entries that were pending at any one time.
+    pub peak_frontier: usize,
     /// Wall-clock time.
     #[serde(with = "duration_millis")]
     pub elapsed: Duration,
@@ -112,14 +130,23 @@ mod tests {
 
     #[test]
     fn verdict_accessors() {
-        let stats = CheckStats { recency_bound: 2, ..Default::default() };
-        let holds = Verdict::Holds { complete: true, stats: stats.clone() };
+        let stats = CheckStats {
+            recency_bound: 2,
+            ..Default::default()
+        };
+        let holds = Verdict::Holds {
+            complete: true,
+            stats: stats.clone(),
+        };
         assert!(holds.holds());
         assert!(holds.counterexample().is_none());
         assert!(holds.to_string().contains("HOLDS"));
 
         let run = ExtendedRun::new(BConfig::initial(Instance::new()));
-        let violated = Verdict::Violated { counterexample: run, stats };
+        let violated = Verdict::Violated {
+            counterexample: run,
+            stats,
+        };
         assert!(!violated.holds());
         assert!(violated.counterexample().is_some());
         assert!(violated.to_string().contains("VIOLATED"));
@@ -133,10 +160,15 @@ mod tests {
             prefixes_checked: 10,
             configs_explored: 42,
             configs_deduplicated: 7,
+            threads: 4,
+            per_thread_configs_per_sec: vec![10.5, 11.0, 9.25, 12.0],
+            dedup_hit_rate: 0.25,
+            peak_frontier: 17,
             elapsed: Duration::from_millis(1500),
         };
         let json = serde_json::to_string(&stats).unwrap();
         assert!(json.contains("\"recency_bound\":3"));
+        assert!(json.contains("\"threads\":4"));
         let back: CheckStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, stats);
     }

@@ -56,7 +56,10 @@ impl Action {
         let fresh: BTreeSet<Var> = self.fresh.iter().copied().collect();
 
         if let Some(&v) = params.intersection(&fresh).next() {
-            return Err(CoreError::ParamFreshOverlap { action: name, var: v });
+            return Err(CoreError::ParamFreshOverlap {
+                action: name,
+                var: v,
+            });
         }
 
         let guard_free = self.guard.free_vars();
@@ -70,19 +73,28 @@ impl Action {
 
         for v in self.del.variables() {
             if !params.contains(&v) {
-                return Err(CoreError::DelUsesUnknownVariable { action: name, var: v });
+                return Err(CoreError::DelUsesUnknownVariable {
+                    action: name,
+                    var: v,
+                });
             }
         }
 
         let add_vars = self.add.variables();
         for v in &add_vars {
             if !params.contains(v) && !fresh.contains(v) {
-                return Err(CoreError::AddUsesUnknownVariable { action: name, var: *v });
+                return Err(CoreError::AddUsesUnknownVariable {
+                    action: name,
+                    var: *v,
+                });
             }
         }
         for v in &self.fresh {
             if !add_vars.contains(v) {
-                return Err(CoreError::FreshNotInAdd { action: name, var: *v });
+                return Err(CoreError::FreshNotInAdd {
+                    action: name,
+                    var: *v,
+                });
             }
         }
         Ok(())
@@ -227,7 +239,9 @@ impl ActionBuilder {
         let params = self
             .params
             .unwrap_or_else(|| self.guard.free_vars().into_iter().collect());
-        Action::new(&self.name, params, self.fresh, self.guard, self.del, self.add)
+        Action::new(
+            &self.name, params, self.fresh, self.guard, self.del, self.add,
+        )
     }
 }
 

@@ -158,7 +158,9 @@ impl BConfig {
     /// and are ordered after all numbered values.
     pub fn adom_by_recency(&self) -> Vec<DataValue> {
         let mut values: Vec<DataValue> = self.instance.active_domain().into_iter().collect();
-        values.sort_by_key(|&v| std::cmp::Reverse(self.seq_no.get(v).map(|n| n as i64).unwrap_or(-1)));
+        values.sort_by_key(|&v| {
+            std::cmp::Reverse(self.seq_no.get(v).map(|n| n as i64).unwrap_or(-1))
+        });
         values
     }
 

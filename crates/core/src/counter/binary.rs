@@ -41,7 +41,10 @@ pub fn init_proposition() -> RelName {
 
 /// Build the DMS of the binary (UCQ) reduction for a **2-counter** machine.
 pub fn binary_reduction(machine: &CounterMachine) -> Result<Dms, CoreError> {
-    assert_eq!(machine.num_counters, 2, "the binary reduction encodes exactly two counters");
+    assert_eq!(
+        machine.num_counters, 2,
+        "the binary reduction encodes exactly two counters"
+    );
     let mut builder = DmsBuilder::new()
         .proposition(init_proposition().as_str())
         .relation(top_relation(0).as_str(), 1)

@@ -59,7 +59,10 @@ impl CounterMachine {
     ) -> CounterMachine {
         assert!(initial < num_states, "initial state out of range");
         for ins in &instructions {
-            assert!(ins.from < num_states && ins.to < num_states, "state out of range");
+            assert!(
+                ins.from < num_states && ins.to < num_states,
+                "state out of range"
+            );
             assert!(ins.counter < num_counters, "counter out of range");
         }
         CounterMachine {
@@ -89,13 +92,19 @@ impl CounterMachine {
                 CounterOp::Inc => {
                     let mut counters = config.counters.clone();
                     counters[ins.counter] += 1;
-                    result.push(MachineConfig { state: ins.to, counters });
+                    result.push(MachineConfig {
+                        state: ins.to,
+                        counters,
+                    });
                 }
                 CounterOp::Dec => {
                     if config.counters[ins.counter] > 0 {
                         let mut counters = config.counters.clone();
                         counters[ins.counter] -= 1;
-                        result.push(MachineConfig { state: ins.to, counters });
+                        result.push(MachineConfig {
+                            state: ins.to,
+                            counters,
+                        });
                     }
                 }
                 CounterOp::IfZero => {
@@ -159,12 +168,37 @@ pub fn pump_and_transfer(n: u64) -> CounterMachine {
     let final_state = pump_states + 2;
     let mut instructions = Vec::new();
     for i in 0..n {
-        instructions.push(Instruction { from: i, op: CounterOp::Inc, counter: 0, to: i + 1 });
+        instructions.push(Instruction {
+            from: i,
+            op: CounterOp::Inc,
+            counter: 0,
+            to: i + 1,
+        });
     }
-    instructions.push(Instruction { from: n, op: CounterOp::IfZero, counter: 1, to: transfer_a });
-    instructions.push(Instruction { from: transfer_a, op: CounterOp::Dec, counter: 0, to: transfer_b });
-    instructions.push(Instruction { from: transfer_b, op: CounterOp::Inc, counter: 1, to: transfer_a });
-    instructions.push(Instruction { from: transfer_a, op: CounterOp::IfZero, counter: 0, to: final_state });
+    instructions.push(Instruction {
+        from: n,
+        op: CounterOp::IfZero,
+        counter: 1,
+        to: transfer_a,
+    });
+    instructions.push(Instruction {
+        from: transfer_a,
+        op: CounterOp::Dec,
+        counter: 0,
+        to: transfer_b,
+    });
+    instructions.push(Instruction {
+        from: transfer_b,
+        op: CounterOp::Inc,
+        counter: 1,
+        to: transfer_a,
+    });
+    instructions.push(Instruction {
+        from: transfer_a,
+        op: CounterOp::IfZero,
+        counter: 0,
+        to: final_state,
+    });
     CounterMachine::new(final_state + 1, 0, 2, instructions)
 }
 
@@ -176,8 +210,18 @@ pub fn unreachable_target() -> CounterMachine {
         0,
         2,
         vec![
-            Instruction { from: 0, op: CounterOp::IfZero, counter: 0, to: 1 },
-            Instruction { from: 1, op: CounterOp::Dec, counter: 0, to: 2 },
+            Instruction {
+                from: 0,
+                op: CounterOp::IfZero,
+                counter: 0,
+                to: 1,
+            },
+            Instruction {
+                from: 1,
+                op: CounterOp::Dec,
+                counter: 0,
+                to: 2,
+            },
         ],
     )
 }
@@ -210,8 +254,18 @@ mod tests {
             0,
             1,
             vec![
-                Instruction { from: 0, op: CounterOp::Dec, counter: 0, to: 1 },
-                Instruction { from: 0, op: CounterOp::IfZero, counter: 0, to: 0 },
+                Instruction {
+                    from: 0,
+                    op: CounterOp::Dec,
+                    counter: 0,
+                    to: 1,
+                },
+                Instruction {
+                    from: 0,
+                    op: CounterOp::IfZero,
+                    counter: 0,
+                    to: 0,
+                },
             ],
         );
         let c0 = m.initial_config();
@@ -220,7 +274,10 @@ mod tests {
         assert_eq!(succ.len(), 1);
         assert_eq!(succ[0].state, 0);
 
-        let c_pos = MachineConfig { state: 0, counters: vec![2] };
+        let c_pos = MachineConfig {
+            state: 0,
+            counters: vec![2],
+        };
         let succ = m.successors(&c_pos);
         assert_eq!(succ.len(), 1);
         assert_eq!(succ[0].state, 1);
@@ -244,7 +301,12 @@ mod tests {
             1,
             0,
             1,
-            vec![Instruction { from: 0, op: CounterOp::Inc, counter: 5, to: 0 }],
+            vec![Instruction {
+                from: 0,
+                op: CounterOp::Inc,
+                counter: 5,
+                to: 0,
+            }],
         );
     }
 }

@@ -80,7 +80,9 @@ impl Dms {
 
     /// The action at `index`.
     pub fn action(&self, index: usize) -> Result<&Action, CoreError> {
-        self.actions.get(index).ok_or(CoreError::NoSuchAction(index))
+        self.actions
+            .get(index)
+            .ok_or(CoreError::NoSuchAction(index))
     }
 
     /// Look up an action by name.
@@ -113,7 +115,11 @@ impl Dms {
 
     /// `η = max_{α ∈ acts} |α·new|`: the maximum number of fresh inputs of any action.
     pub fn max_fresh(&self) -> usize {
-        self.actions.iter().map(Action::num_fresh).max().unwrap_or(0)
+        self.actions
+            .iter()
+            .map(Action::num_fresh)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum relation arity of the schema.
@@ -168,7 +174,8 @@ impl DmsBuilder {
 
     /// Set a proposition to true in the initial instance.
     pub fn initially_true(mut self, name: &str) -> Self {
-        self.initial.set_proposition(rdms_db::RelName::new(name), true);
+        self.initial
+            .set_proposition(rdms_db::RelName::new(name), true);
         self
     }
 
@@ -335,8 +342,13 @@ mod tests {
             .guard(Query::eq(v("u"), DataValue::e(3)).and(Query::atom(r("R"), [v("u")])))
             .build()
             .unwrap();
-        let err = Dms::new(schema.clone(), Instance::new(), vec![action.clone()], BTreeSet::new())
-            .unwrap_err();
+        let err = Dms::new(
+            schema.clone(),
+            Instance::new(),
+            vec![action.clone()],
+            BTreeSet::new(),
+        )
+        .unwrap_err();
         assert!(matches!(err, CoreError::UndeclaredConstant { .. }));
 
         let ok = Dms::new(

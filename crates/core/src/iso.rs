@@ -9,12 +9,19 @@
 //! * [`canonical_config_key`] — a canonical form of a `b`-bounded configuration obtained by
 //!   relabelling active-domain values by their recency rank; two configurations with the same
 //!   key have isomorphic futures, which is what the bounded explorer uses to deduplicate its
-//!   search space.
+//!   search space,
+//! * [`KeyInterner`] / [`intern_canonical_config`] — a process-wide interner mapping
+//!   canonical keys to dense `u64` ids, so that a concurrent seen-set can deduplicate
+//!   configurations with an integer probe instead of comparing whole instances.
 
 use crate::config::BConfig;
 use crate::run::ExtendedRun;
+use parking_lot::RwLock;
 use rdms_db::{DataValue, Instance};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// A canonical form of a configuration: the instance with every non-constant active-domain
 /// value replaced by its recency rank (`0` = most recent), leaving declared constants fixed.
@@ -43,7 +50,12 @@ pub fn canonical_config_key(config: &BConfig, constants: &BTreeSet<DataValue>) -
 }
 
 /// Try to extend a partial bijection with `a ↦ b`; returns `false` on conflict.
-fn extend(map: &mut BTreeMap<DataValue, DataValue>, rev: &mut BTreeMap<DataValue, DataValue>, a: DataValue, b: DataValue) -> bool {
+fn extend(
+    map: &mut BTreeMap<DataValue, DataValue>,
+    rev: &mut BTreeMap<DataValue, DataValue>,
+    a: DataValue,
+    b: DataValue,
+) -> bool {
     match (map.get(&a), rev.get(&b)) {
         (Some(&b2), _) if b2 != b => false,
         (_, Some(&a2)) if a2 != a => false,
@@ -84,12 +96,112 @@ pub fn runs_isomorphic(left: &ExtendedRun, right: &ExtendedRun) -> bool {
             }
         }
         // Now the instances must agree after renaming.
-        let renamed = lc.instance.map_values(|v| map.get(&v).copied().unwrap_or(v));
+        let renamed = lc
+            .instance
+            .map_values(|v| map.get(&v).copied().unwrap_or(v));
         if renamed != rc.instance {
             return false;
         }
     }
     true
+}
+
+/// Number of lock shards of a [`KeyInterner`]; a power of two so the shard index is a mask.
+const INTERNER_SHARDS: usize = 16;
+
+/// A process-wide interner mapping canonical configuration keys (instances produced by
+/// [`canonical_config_key`]) to dense `u64` ids.
+///
+/// Two configurations receive the same id iff their canonical keys are equal, i.e. iff they
+/// are isomorphic in the sense of Lemma E.1. The parallel explorer keys its concurrent
+/// seen-set by these ids, turning deduplication into an integer-set probe; repeated searches
+/// over the same state space (recency sweeps, benchmarks) additionally reuse earlier
+/// internings instead of re-comparing instances.
+///
+/// The interner is sharded (16 reader-writer locks) so concurrent workers
+/// interning distinct keys rarely contend. Ids are unique and stable for the lifetime of the
+/// process but **not** contiguous per search — treat them as opaque.
+///
+/// **Memory**: the global instance retains every canonical key ever interned, deliberately —
+/// that is what lets repeated searches (recency sweeps, benchmarks, the hybrid engine's
+/// re-checks) skip re-canonicalised comparisons. Memory is bounded by the number of
+/// *distinct* abstract states the process ever visits, not by the number of searches. The
+/// explorer always dedups through the global instance ([`intern_canonical_config`]);
+/// [`KeyInterner::new`] exists for tools and tests that need an isolated, droppable id
+/// space when using the interner directly.
+pub struct KeyInterner {
+    shards: Vec<RwLock<HashMap<Instance, u64>>>,
+    next: AtomicU64,
+}
+
+impl KeyInterner {
+    /// A fresh, empty interner (the explorer uses the [`KeyInterner::global`] instance; a
+    /// private interner is only useful for tests and tools that need isolated id spaces).
+    pub fn new() -> KeyInterner {
+        KeyInterner {
+            shards: (0..INTERNER_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide interner shared by every search.
+    pub fn global() -> &'static KeyInterner {
+        static GLOBAL: OnceLock<KeyInterner> = OnceLock::new();
+        GLOBAL.get_or_init(KeyInterner::new)
+    }
+
+    fn shard_of(&self, key: &Instance) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) & (INTERNER_SHARDS - 1)
+    }
+
+    /// Intern `key`, returning its id. Idempotent: equal keys always map to the same id.
+    pub fn intern(&self, key: Instance) -> u64 {
+        let shard = &self.shards[self.shard_of(&key)];
+        if let Some(&id) = shard.read().get(&key) {
+            return id;
+        }
+        let mut map = shard.write();
+        if let Some(&id) = map.get(&key) {
+            return id;
+        }
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        map.insert(key, id);
+        id
+    }
+
+    /// The id of `key`, if it has been interned.
+    pub fn get(&self, key: &Instance) -> Option<u64> {
+        self.shards[self.shard_of(key)].read().get(key).copied()
+    }
+
+    /// Number of distinct keys interned so far.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no key has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for KeyInterner {
+    fn default() -> Self {
+        KeyInterner::new()
+    }
+}
+
+/// Canonicalise `config` (relabelling by recency rank, as [`canonical_config_key`]) and
+/// intern the key in the [`KeyInterner::global`] interner, returning its dense id.
+///
+/// This is the fast path the explorer's deduplication uses: two configurations get the same
+/// id iff they admit the same `b`-bounded futures up to isomorphism.
+pub fn intern_canonical_config(config: &BConfig, constants: &BTreeSet<DataValue>) -> u64 {
+    KeyInterner::global().intern(canonical_config_key(config, constants))
 }
 
 /// Check whether two plain instances are isomorphic under *some* bijection of their active
@@ -174,13 +286,11 @@ mod tests {
         let shifted: Vec<Step> = figure_1_steps()
             .into_iter()
             .map(|s| {
-                let subst = Substitution::from_pairs(
-                    s.subst.iter().map(|(var, val)| {
-                        // shift only fresh values (the ones being introduced); parameters refer
-                        // to earlier values, so shift everything consistently by +100
-                        (var, DataValue(val.index() + 100))
-                    }),
-                );
+                let subst = Substitution::from_pairs(s.subst.iter().map(|(var, val)| {
+                    // shift only fresh values (the ones being introduced); parameters refer
+                    // to earlier values, so shift everything consistently by +100
+                    (var, DataValue(val.index() + 100))
+                }));
                 Step::new(s.action, subst)
             })
             .collect();
@@ -202,7 +312,10 @@ mod tests {
         let run1 = sem.execute(&full[..2]).unwrap();
         // Take a different second step (β with u ↦ e1 instead of e2).
         let mut alt = full[..2].to_vec();
-        alt[1] = Step::new(1, Substitution::from_pairs([(v("u"), e(1)), (v("v1"), e(4)), (v("v2"), e(5))]));
+        alt[1] = Step::new(
+            1,
+            Substitution::from_pairs([(v("u"), e(1)), (v("v1"), e(4)), (v("v2"), e(5))]),
+        );
         let sem3 = RecencySemantics::new(&dms, 3);
         let run2 = sem3.execute(&alt).unwrap();
         assert!(!runs_isomorphic(&run1, &run2));
@@ -219,7 +332,11 @@ mod tests {
             .map(|s| {
                 Step::new(
                     s.action,
-                    Substitution::from_pairs(s.subst.iter().map(|(var, val)| (var, DataValue(val.index() + 50)))),
+                    Substitution::from_pairs(
+                        s.subst
+                            .iter()
+                            .map(|(var, val)| (var, DataValue(val.index() + 50))),
+                    ),
                 )
             })
             .collect();
@@ -238,6 +355,73 @@ mod tests {
             canonical_config_key(&run1.configs()[1], &consts),
             canonical_config_key(&run1.configs()[2], &consts)
         );
+    }
+
+    #[test]
+    fn interner_ids_identify_isomorphic_configurations() {
+        let dms = example_3_1();
+        let sem = RecencySemantics::new(&dms, 2);
+        let run1 = sem.execute(&figure_1_steps()).unwrap();
+        let shifted: Vec<Step> = figure_1_steps()
+            .into_iter()
+            .map(|s| {
+                Step::new(
+                    s.action,
+                    Substitution::from_pairs(
+                        s.subst
+                            .iter()
+                            .map(|(var, val)| (var, DataValue(val.index() + 300))),
+                    ),
+                )
+            })
+            .collect();
+        let run2 = sem.execute(&shifted).unwrap();
+
+        let consts = BTreeSet::new();
+        for (c1, c2) in run1.configs().iter().zip(run2.configs().iter()) {
+            assert_eq!(
+                intern_canonical_config(c1, &consts),
+                intern_canonical_config(c2, &consts)
+            );
+        }
+        assert_ne!(
+            intern_canonical_config(&run1.configs()[1], &consts),
+            intern_canonical_config(&run1.configs()[2], &consts)
+        );
+    }
+
+    #[test]
+    fn private_interner_is_idempotent_and_concurrent() {
+        let interner = KeyInterner::new();
+        assert!(interner.is_empty());
+        let a = Instance::from_facts([(r("R"), vec![e(1)])]);
+        let b = Instance::from_facts([(r("R"), vec![e(2)])]);
+        let id_a = interner.intern(a.clone());
+        assert_eq!(interner.intern(a.clone()), id_a);
+        assert_ne!(interner.intern(b.clone()), id_a);
+        assert_eq!(interner.get(&a), Some(id_a));
+        assert_eq!(interner.len(), 2);
+
+        // concurrent interning of the same keys must agree on the ids
+        let ids: Vec<Vec<u64>> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..64u64)
+                            .map(|i| interner.intern(Instance::from_facts([(r("R"), vec![e(i)])])))
+                            .collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for other in &ids[1..] {
+            assert_eq!(&ids[0], other);
+        }
+        // the 64 singleton instances include the earlier {R(e1)} and {R(e2)}
+        assert_eq!(interner.len(), 64);
     }
 
     #[test]

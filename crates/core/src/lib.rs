@@ -34,6 +34,7 @@ pub use action::{Action, ActionBuilder};
 pub use config::{BConfig, Config, SeqNo};
 pub use dms::{Dms, DmsBuilder};
 pub use error::CoreError;
+pub use iso::{canonical_config_key, intern_canonical_config, KeyInterner};
 pub use recency::{recent_b, RecencySemantics};
 pub use run::{ExtendedRun, Step};
 pub use semantics::ConcreteSemantics;

@@ -136,7 +136,8 @@ impl<'a> RecencySemantics<'a> {
                     .complete_with_canonical_fresh(&plain, action, &guard_sub);
                 match self.apply(config, index, &subst) {
                     Ok(next) => result.push((Step::new(index, subst), next)),
-                    Err(CoreError::NotInstantiating { .. }) | Err(CoreError::RecencyViolation { .. }) => {}
+                    Err(CoreError::NotInstantiating { .. })
+                    | Err(CoreError::RecencyViolation { .. }) => {}
                     Err(e) => return Err(e),
                 }
             }
@@ -216,14 +217,35 @@ pub(crate) mod tests {
     /// Replay the full run of Figure 1 (8 steps) with the paper's exact substitutions.
     pub fn figure_1_steps() -> Vec<Step> {
         vec![
-            Step::new(0, Substitution::from_pairs([(v("v1"), e(1)), (v("v2"), e(2)), (v("v3"), e(3))])),
-            Step::new(1, Substitution::from_pairs([(v("u"), e(2)), (v("v1"), e(4)), (v("v2"), e(5))])),
-            Step::new(0, Substitution::from_pairs([(v("v1"), e(6)), (v("v2"), e(7)), (v("v3"), e(8))])),
+            Step::new(
+                0,
+                Substitution::from_pairs([(v("v1"), e(1)), (v("v2"), e(2)), (v("v3"), e(3))]),
+            ),
+            Step::new(
+                1,
+                Substitution::from_pairs([(v("u"), e(2)), (v("v1"), e(4)), (v("v2"), e(5))]),
+            ),
+            Step::new(
+                0,
+                Substitution::from_pairs([(v("v1"), e(6)), (v("v2"), e(7)), (v("v3"), e(8))]),
+            ),
             Step::new(2, Substitution::from_pairs([(v("u"), e(7))])),
-            Step::new(3, Substitution::from_pairs([(v("u1"), e(8)), (v("u2"), e(6))])),
-            Step::new(3, Substitution::from_pairs([(v("u1"), e(4)), (v("u2"), e(5))])),
-            Step::new(3, Substitution::from_pairs([(v("u1"), e(3)), (v("u2"), e(3))])),
-            Step::new(0, Substitution::from_pairs([(v("v1"), e(9)), (v("v2"), e(10)), (v("v3"), e(11))])),
+            Step::new(
+                3,
+                Substitution::from_pairs([(v("u1"), e(8)), (v("u2"), e(6))]),
+            ),
+            Step::new(
+                3,
+                Substitution::from_pairs([(v("u1"), e(4)), (v("u2"), e(5))]),
+            ),
+            Step::new(
+                3,
+                Substitution::from_pairs([(v("u1"), e(3)), (v("u2"), e(3))]),
+            ),
+            Step::new(
+                0,
+                Substitution::from_pairs([(v("v1"), e(9)), (v("v2"), e(10)), (v("v3"), e(11))]),
+            ),
         ]
     }
 
@@ -246,7 +268,9 @@ pub(crate) mod tests {
     fn figure_1_run_is_replayable_at_bound_2() {
         let dms = example_3_1();
         let sem = RecencySemantics::new(&dms, 2);
-        let run = sem.execute(&figure_1_steps()).expect("Figure 1 is a 2-bounded run");
+        let run = sem
+            .execute(&figure_1_steps())
+            .expect("Figure 1 is a 2-bounded run");
         assert_eq!(run.len(), 8);
         assert!(sem.is_b_bounded(&run));
 
@@ -328,7 +352,10 @@ pub(crate) mod tests {
             counts.push(sem.successors(&c1).unwrap().len());
         }
         for w in counts.windows(2) {
-            assert!(w[0] <= w[1], "successor counts must be monotone in b: {counts:?}");
+            assert!(
+                w[0] <= w[1],
+                "successor counts must be monotone in b: {counts:?}"
+            );
         }
     }
 
@@ -351,7 +378,13 @@ pub(crate) mod tests {
         // corrupt the last configuration
         let mut bad = run.last().clone();
         bad.instance.insert(r("R"), vec![e(99)]);
-        run.push(Step::new(0, Substitution::from_pairs([(v("v1"), e(100)), (v("v2"), e(101)), (v("v3"), e(102))])), bad);
+        run.push(
+            Step::new(
+                0,
+                Substitution::from_pairs([(v("v1"), e(100)), (v("v2"), e(101)), (v("v3"), e(102))]),
+            ),
+            bad,
+        );
         assert!(!sem.is_b_bounded(&run));
     }
 }

@@ -79,7 +79,9 @@ impl ExtendedRun {
 
     /// The last configuration.
     pub fn last(&self) -> &BConfig {
-        self.configs.last().expect("runs always hold ≥ 1 configuration")
+        self.configs
+            .last()
+            .expect("runs always hold ≥ 1 configuration")
     }
 
     /// The generated run `ρ = I₀, I₁, I₂, …`: the database instances along the run.
@@ -146,7 +148,10 @@ mod tests {
         let mut run = ExtendedRun::new(c0);
         run.push(Step::new(0, Substitution::empty()), c1);
         run.push(
-            Step::new(1, Substitution::from_pairs([(rdms_db::Var::new("u"), e(1))])),
+            Step::new(
+                1,
+                Substitution::from_pairs([(rdms_db::Var::new("u"), e(1))]),
+            ),
             c2,
         );
         run

@@ -328,11 +328,8 @@ mod tests {
         let c0 = dms.initial_config();
 
         let (alpha_idx, _) = dms.action_by_name("alpha").unwrap();
-        let alpha_sub = Substitution::from_pairs([
-            (v("v1"), e(1)),
-            (v("v2"), e(2)),
-            (v("v3"), e(3)),
-        ]);
+        let alpha_sub =
+            Substitution::from_pairs([(v("v1"), e(1)), (v("v2"), e(2)), (v("v3"), e(3))]);
         let c1 = sem.apply(&c0, alpha_idx, &alpha_sub).unwrap();
         assert!(c1.instance.contains(r("R"), &[e(1)]));
         assert!(c1.instance.contains(r("R"), &[e(2)]));
@@ -340,11 +337,7 @@ mod tests {
         assert!(c1.instance.proposition(r("p")));
 
         let (beta_idx, _) = dms.action_by_name("beta").unwrap();
-        let beta_sub = Substitution::from_pairs([
-            (v("u"), e(2)),
-            (v("v1"), e(4)),
-            (v("v2"), e(5)),
-        ]);
+        let beta_sub = Substitution::from_pairs([(v("u"), e(2)), (v("v1"), e(4)), (v("v2"), e(5))]);
         let c2 = sem.apply(&c1, beta_idx, &beta_sub).unwrap();
         // After β: { R: e1, Q: e3,e4,e5 }, p deleted
         assert!(!c2.instance.proposition(r("p")));

@@ -61,7 +61,12 @@ impl SymbolicSubstitution {
     /// The restriction to non-negative indices (action parameters only).
     pub fn params_only(&self) -> SymbolicSubstitution {
         SymbolicSubstitution {
-            map: self.map.iter().filter(|(_, &i)| i >= 0).map(|(&v, &i)| (v, i)).collect(),
+            map: self
+                .map
+                .iter()
+                .filter(|(_, &i)| i >= 0)
+                .map(|(&v, &i)| (v, i))
+                .collect(),
         }
     }
 }
@@ -164,7 +169,10 @@ pub fn abstract_step(dms: &Dms, before: &BConfig, step: &Step) -> Option<Symboli
     for (k, &v) in action.fresh().iter().enumerate() {
         map.insert(v, -((k + 1) as i64));
     }
-    Some(SymbolicLetter::new(step.action, SymbolicSubstitution { map }))
+    Some(SymbolicLetter::new(
+        step.action,
+        SymbolicSubstitution { map },
+    ))
 }
 
 /// `Abstr(ρ̂)`: the symbolic word of an extended run.
@@ -227,7 +235,9 @@ pub fn concretize_step(
     let sem = RecencySemantics::new(dms, b);
     match sem.apply(config, letter.action, &subst) {
         Ok(next) => Ok(Some((Step::new(letter.action, subst), next))),
-        Err(CoreError::NotInstantiating { .. }) | Err(CoreError::RecencyViolation { .. }) => Ok(None),
+        Err(CoreError::NotInstantiating { .. }) | Err(CoreError::RecencyViolation { .. }) => {
+            Ok(None)
+        }
         Err(e) => Err(e),
     }
 }
@@ -308,13 +318,22 @@ mod tests {
             vec![("u1", 1), ("u2", 1)],
             vec![],
         ];
-        let expected_actions = ["alpha", "beta", "alpha", "gamma", "delta", "delta", "delta", "alpha"];
+        let expected_actions = [
+            "alpha", "beta", "alpha", "gamma", "delta", "delta", "delta", "alpha",
+        ];
 
         assert_eq!(word.len(), 8);
         for (i, letter) in word.iter().enumerate() {
-            assert_eq!(dms.action(letter.action).unwrap().name(), expected_actions[i]);
+            assert_eq!(
+                dms.action(letter.action).unwrap().name(),
+                expected_actions[i]
+            );
             for (name, idx) in &expected_param_indices[i] {
-                assert_eq!(letter.sub.get(v(name)), Some(*idx), "step {i}, variable {name}");
+                assert_eq!(
+                    letter.sub.get(v(name)),
+                    Some(*idx),
+                    "step {i}, variable {name}"
+                );
             }
         }
     }
@@ -327,7 +346,9 @@ mod tests {
         let sem = RecencySemantics::new(&dms, 2);
         let run = sem.execute(&figure_1_steps()).unwrap();
         let word = abstraction(&dms, &run).unwrap();
-        let rebuilt = concretize(&dms, 2, &word).unwrap().expect("valid abstraction");
+        let rebuilt = concretize(&dms, 2, &word)
+            .unwrap()
+            .expect("valid abstraction");
         assert_eq!(rebuilt.configs(), run.configs());
         assert_eq!(rebuilt.steps(), run.steps());
     }
@@ -366,11 +387,11 @@ mod tests {
             symbolic_substitutions(alpha, 5).into_iter().next().unwrap(),
         );
         // After one α there are 3 active values; recency index 4 does not exist.
-        let gamma_letter = SymbolicLetter::new(
-            gamma_idx,
-            SymbolicSubstitution::from_pairs([(v("u"), 4)]),
-        );
-        assert!(concretize(&dms, 5, &[alpha_letter, gamma_letter]).unwrap().is_none());
+        let gamma_letter =
+            SymbolicLetter::new(gamma_idx, SymbolicSubstitution::from_pairs([(v("u"), 4)]));
+        assert!(concretize(&dms, 5, &[alpha_letter, gamma_letter])
+            .unwrap()
+            .is_none());
     }
 
     #[test]

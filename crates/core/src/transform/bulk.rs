@@ -212,7 +212,12 @@ pub fn compile_bulk_dms(
         actions.extend(compile_one(bulk, rels, &no_lock)?);
     }
 
-    let compiled = Dms::new(schema, dms.initial().clone(), actions, dms.constants().clone())?;
+    let compiled = Dms::new(
+        schema,
+        dms.initial().clone(),
+        actions,
+        dms.constants().clone(),
+    )?;
     Ok((compiled, relations))
 }
 
@@ -225,7 +230,9 @@ fn compile_one(
     let u_terms: Vec<Term> = bulk.params.iter().map(|&v| Term::Var(v)).collect();
     let v_terms: Vec<Term> = bulk.fresh.iter().map(|&v| Term::Var(v)).collect();
     let exists_guard = Query::exists_many(bulk.params.iter().copied(), bulk.guard.clone());
-    let not_busy = Query::prop(rels.del_phase).not().and(Query::prop(rels.add_phase).not());
+    let not_busy = Query::prop(rels.del_phase)
+        .not()
+        .and(Query::prop(rels.add_phase).not());
 
     let mut actions = Vec::new();
 
@@ -276,7 +283,9 @@ fn compile_one(
             &format!("EnableU_{n}"),
             vec![],
             vec![],
-            Query::prop(rels.lock).and(not_busy.clone()).and(all_transferred),
+            Query::prop(rels.lock)
+                .and(not_busy.clone())
+                .and(all_transferred),
             Pattern::new(),
             Pattern::proposition(rels.del_phase),
         )?);
@@ -300,7 +309,11 @@ fn compile_one(
 
     // DelToAdd_β: no pending deletion left → switch to the addition phase.
     {
-        let no_todo = Query::exists_many(bulk.params.iter().copied(), Query::Atom(rels.todo, u_terms.clone())).not();
+        let no_todo = Query::exists_many(
+            bulk.params.iter().copied(),
+            Query::Atom(rels.todo, u_terms.clone()),
+        )
+        .not();
         actions.push(Action::new(
             &format!("DelToAdd_{n}"),
             vec![],
@@ -346,7 +359,14 @@ fn compile_one(
             params.extend(bulk.fresh.iter().copied());
             del.insert(fresh_input, v_terms.iter().copied());
         }
-        actions.push(Action::new(&format!("Finalize_{n}"), params, vec![], guard, del, Pattern::new())?);
+        actions.push(Action::new(
+            &format!("Finalize_{n}"),
+            params,
+            vec![],
+            guard,
+            del,
+            Pattern::new(),
+        )?);
     }
 
     Ok(actions)
@@ -409,7 +429,9 @@ mod tests {
         let (_, c1) = sem.successors(&c0).unwrap().remove(0);
         assert_eq!(c1.instance.relation_size(r("TBO")), 3);
 
-        let c2 = apply_bulk(&c1, &bulk, &[e(100)]).unwrap().expect("guard has answers");
+        let c2 = apply_bulk(&c1, &bulk, &[e(100)])
+            .unwrap()
+            .expect("guard has answers");
         assert_eq!(c2.instance.relation_size(r("TBO")), 0);
         assert_eq!(c2.instance.relation_size(r("InOrder")), 3);
         // all three products point at the same fresh order
@@ -493,7 +515,10 @@ mod tests {
                 }
             }
         }
-        assert!(rels.is_quiescent(&current.instance), "protocol must terminate");
+        assert!(
+            rels.is_quiescent(&current.instance),
+            "protocol must terminate"
+        );
 
         // compare, ignoring accessory relations and up to renaming of the fresh order id
         let stripped = rels.strip(&current.instance);

@@ -107,7 +107,10 @@ impl ConstantRemoval {
                     new_rel,
                     residual
                         .into_iter()
-                        .map(|t| t.as_value().expect("residual terms of a ground fact are values"))
+                        .map(|t| {
+                            t.as_value()
+                                .expect("residual terms of a ground fact are values")
+                        })
                         .collect(),
                 );
             }
@@ -334,7 +337,12 @@ pub fn remove_constants(dms: &Dms) -> Result<(Dms, ConstantRemoval), CoreError> 
     for action in dms.actions() {
         actions.extend(removal.compact_action(action)?);
     }
-    let compacted = Dms::new(removal.new_schema.clone(), initial, actions, BTreeSet::new())?;
+    let compacted = Dms::new(
+        removal.new_schema.clone(),
+        initial,
+        actions,
+        BTreeSet::new(),
+    )?;
     Ok((compacted, removal))
 }
 
@@ -372,14 +380,20 @@ mod tests {
             .action(
                 ActionBuilder::new("alpha")
                     .guard(Query::atom(r("R"), [v("u"), v("u")]))
-                    .del(Pattern::from_facts([(r("R"), vec![Term::Var(v("u")), Term::Var(v("u"))])]))
+                    .del(Pattern::from_facts([(
+                        r("R"),
+                        vec![Term::Var(v("u")), Term::Var(v("u"))],
+                    )]))
                     .add(Pattern::from_facts([(r("Q"), vec![Term::Var(v("u"))])])),
             )
             .action(
                 ActionBuilder::new("beta")
                     .fresh([v("w")])
                     .guard(Query::True)
-                    .add(Pattern::from_facts([(r("R"), vec![Term::Var(v("w")), Term::Var(v("w"))])])),
+                    .add(Pattern::from_facts([(
+                        r("R"),
+                        vec![Term::Var(v("w")), Term::Var(v("w"))],
+                    )])),
             )
             .build()
             .unwrap()

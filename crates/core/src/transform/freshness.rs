@@ -42,7 +42,12 @@ pub fn weaken_freshness(
         actions.extend(expand_one(action, &arb, hist)?);
     }
 
-    Dms::new(schema, dms.initial().clone(), actions, dms.constants().clone())
+    Dms::new(
+        schema,
+        dms.initial().clone(),
+        actions,
+        dms.constants().clone(),
+    )
 }
 
 /// Expand a single action given the set of its fresh variables that are arbitrary inputs.
@@ -140,8 +145,7 @@ mod tests {
     fn expansion_count_is_exponential_in_arbitrary_inputs() {
         let dms = example_3_1();
         // make all three of α's inputs arbitrary: 2³ = 8 variants of α; β, γ, δ unchanged
-        let arbitrary =
-            BTreeMap::from([("alpha".to_owned(), vec![v("v1"), v("v2"), v("v3")])]);
+        let arbitrary = BTreeMap::from([("alpha".to_owned(), vec![v("v1"), v("v2"), v("v3")])]);
         let weakened = weaken_freshness(&dms, &arbitrary).unwrap();
         assert_eq!(weakened.num_actions(), 8 + 1 + 1 + 1);
         assert!(weakened.schema().contains(r(HIST)));

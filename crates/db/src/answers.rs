@@ -124,9 +124,18 @@ fn eval_set(
         Query::Or(a, b) => {
             // Cylindrify both sides to the union of free variables before taking the union.
             let free: BTreeSet<Var> = query.free_vars();
-            let left = cylindrify(eval_set(instance, universe, a)?, &a.free_vars(), &free, universe);
-            let right =
-                cylindrify(eval_set(instance, universe, b)?, &b.free_vars(), &free, universe);
+            let left = cylindrify(
+                eval_set(instance, universe, a)?,
+                &a.free_vars(),
+                &free,
+                universe,
+            );
+            let right = cylindrify(
+                eval_set(instance, universe, b)?,
+                &b.free_vars(),
+                &free,
+                universe,
+            );
             Ok(left.union(&right).cloned().collect())
         }
         Query::Not(q) => {
@@ -264,7 +273,11 @@ mod tests {
     #[test]
     fn atom_with_constant() {
         let i = sample();
-        let ans = answers(&i, &Query::atom(r("S"), [Term::Value(e(1)), Term::Var(v("u"))])).unwrap();
+        let ans = answers(
+            &i,
+            &Query::atom(r("S"), [Term::Value(e(1)), Term::Var(v("u"))]),
+        )
+        .unwrap();
         assert_eq!(ans.len(), 1);
         assert_eq!(ans[0].get(v("u")), Some(e(2)));
     }
@@ -357,8 +370,14 @@ mod tests {
         let i = sample();
         let queries = vec![
             Query::atom(r("R"), [v("u")]).and(Query::atom(r("Q"), [v("u")]).not()),
-            Query::exists(v("y"), Query::atom(r("S"), [v("x"), v("y")]).and(Query::atom(r("R"), [v("y")]))),
-            Query::forall(v("y"), Query::atom(r("Q"), [v("y")]).implies(Query::atom(r("R"), [v("y")]))),
+            Query::exists(
+                v("y"),
+                Query::atom(r("S"), [v("x"), v("y")]).and(Query::atom(r("R"), [v("y")])),
+            ),
+            Query::forall(
+                v("y"),
+                Query::atom(r("Q"), [v("y")]).implies(Query::atom(r("R"), [v("y")])),
+            ),
             Query::atom(r("R"), [v("u")]).or(Query::atom(r("Q"), [v("u")])),
         ];
         for q in queries {

@@ -49,9 +49,7 @@ fn eval(
         }
         Query::Eq(a, b) => Ok(resolve(subst, a)? == resolve(subst, b)?),
         Query::Not(q) => Ok(!eval(instance, adom, subst, q)?),
-        Query::And(a, b) => {
-            Ok(eval(instance, adom, subst, a)? && eval(instance, adom, subst, b)?)
-        }
+        Query::And(a, b) => Ok(eval(instance, adom, subst, a)? && eval(instance, adom, subst, b)?),
         Query::Or(a, b) => Ok(eval(instance, adom, subst, a)? || eval(instance, adom, subst, b)?),
         Query::Exists(v, q) => {
             for &e in adom {
@@ -143,11 +141,17 @@ mod tests {
     fn quantifiers_range_over_active_domain() {
         let i = sample();
         // exists u. R(u) & Q(u)  — true (e2)
-        let q = Query::exists(v("u"), Query::atom(r("R"), [v("u")]).and(Query::atom(r("Q"), [v("u")])));
+        let q = Query::exists(
+            v("u"),
+            Query::atom(r("R"), [v("u")]).and(Query::atom(r("Q"), [v("u")])),
+        );
         assert!(holds_boolean(&i, &q).unwrap());
 
         // forall u. R(u) | Q(u)  — true: adom = {e1,e2,e3} all in R or Q
-        let q = Query::forall(v("u"), Query::atom(r("R"), [v("u")]).or(Query::atom(r("Q"), [v("u")])));
+        let q = Query::forall(
+            v("u"),
+            Query::atom(r("R"), [v("u")]).or(Query::atom(r("Q"), [v("u")])),
+        );
         assert!(holds_boolean(&i, &q).unwrap());
 
         // forall u. R(u) — false (e3 only in Q)

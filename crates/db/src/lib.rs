@@ -10,7 +10,7 @@
 //! * **database instances** ([`Instance`]) with the `+` / `−` instance algebra and the
 //!   **active domain** operation,
 //! * **FOL(R)** queries with equality ([`Query`]), their active-domain semantics
-//!   ([`eval`]/[`answers`]) and a small concrete syntax ([`parser`]),
+//!   ([`eval`]/[`mod@answers`]) and a small concrete syntax ([`parser`]),
 //! * **substitutions** ([`Substitution`]) and **variable patterns** ([`Pattern`]) — database
 //!   instances over variables, used as the `Del` / `Add` components of DMS actions
 //!   (`Substitute(I, σ)` in the paper).

@@ -69,39 +69,66 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, DbError> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
-                tokens.push(SpannedTok { tok: Tok::LParen, offset: i });
+                tokens.push(SpannedTok {
+                    tok: Tok::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(SpannedTok { tok: Tok::RParen, offset: i });
+                tokens.push(SpannedTok {
+                    tok: Tok::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(SpannedTok { tok: Tok::Comma, offset: i });
+                tokens.push(SpannedTok {
+                    tok: Tok::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(SpannedTok { tok: Tok::Dot, offset: i });
+                tokens.push(SpannedTok {
+                    tok: Tok::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             '!' => {
-                tokens.push(SpannedTok { tok: Tok::Bang, offset: i });
+                tokens.push(SpannedTok {
+                    tok: Tok::Bang,
+                    offset: i,
+                });
                 i += 1;
             }
             '&' => {
-                tokens.push(SpannedTok { tok: Tok::Amp, offset: i });
+                tokens.push(SpannedTok {
+                    tok: Tok::Amp,
+                    offset: i,
+                });
                 i += 1;
             }
             '|' => {
-                tokens.push(SpannedTok { tok: Tok::Pipe, offset: i });
+                tokens.push(SpannedTok {
+                    tok: Tok::Pipe,
+                    offset: i,
+                });
                 i += 1;
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(SpannedTok { tok: Tok::Implies, offset: i });
+                    tokens.push(SpannedTok {
+                        tok: Tok::Implies,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedTok { tok: Tok::Eq, offset: i });
+                    tokens.push(SpannedTok {
+                        tok: Tok::Eq,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
@@ -121,7 +148,10 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, DbError> {
                     position: i,
                     message: "constant out of range".into(),
                 })?;
-                tokens.push(SpannedTok { tok: Tok::Const(n), offset: i });
+                tokens.push(SpannedTok {
+                    tok: Tok::Const(n),
+                    offset: i,
+                });
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -329,10 +359,18 @@ mod tests {
     fn parse_connectives_with_precedence() {
         // & binds tighter than |, which binds tighter than =>
         let q = parse_query("p & q | s").unwrap();
-        assert_eq!(q, Query::prop(r("p")).and(Query::prop(r("q"))).or(Query::prop(r("s"))));
+        assert_eq!(
+            q,
+            Query::prop(r("p"))
+                .and(Query::prop(r("q")))
+                .or(Query::prop(r("s")))
+        );
 
         let q = parse_query("p => q | s").unwrap();
-        assert_eq!(q, Query::prop(r("p")).implies(Query::prop(r("q")).or(Query::prop(r("s")))));
+        assert_eq!(
+            q,
+            Query::prop(r("p")).implies(Query::prop(r("q")).or(Query::prop(r("s"))))
+        );
     }
 
     #[test]
@@ -341,13 +379,17 @@ mod tests {
         // quantifier body is a unary, so `exists u.` scopes over `R(u)` only unless parenthesised
         assert_eq!(
             q,
-            Query::exists(v("u"), Query::atom(r("R"), [v("u")])).and(Query::atom(r("Q"), [v("u")]).not())
+            Query::exists(v("u"), Query::atom(r("R"), [v("u")]))
+                .and(Query::atom(r("Q"), [v("u")]).not())
         );
 
         let q = parse_query("exists u. (R(u) & !Q(u))").unwrap();
         assert_eq!(
             q,
-            Query::exists(v("u"), Query::atom(r("R"), [v("u")]).and(Query::atom(r("Q"), [v("u")]).not()))
+            Query::exists(
+                v("u"),
+                Query::atom(r("R"), [v("u")]).and(Query::atom(r("Q"), [v("u")]).not())
+            )
         );
 
         let q = parse_query("forall u, w. (S(u, w))").unwrap();

@@ -226,7 +226,10 @@ mod tests {
     #[test]
     fn substitution_can_collapse_facts() {
         // R(u) and R(w) collapse to one fact when σ(u) = σ(w)
-        let p = Pattern::from_facts([(r("R"), vec![Term::Var(v("u"))]), (r("R"), vec![Term::Var(v("w"))])]);
+        let p = Pattern::from_facts([
+            (r("R"), vec![Term::Var(v("u"))]),
+            (r("R"), vec![Term::Var(v("w"))]),
+        ]);
         let s = Substitution::from_pairs([(v("u"), e(5)), (v("w"), e(5))]);
         let inst = p.substitute(&s).unwrap();
         assert_eq!(inst.len(), 1);

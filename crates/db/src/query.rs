@@ -390,7 +390,10 @@ mod tests {
         assert!(!q.is_boolean());
 
         // forall u. exists w. R(u,w) — boolean
-        let q2 = Query::forall(v("u"), Query::exists(v("w"), Query::atom(r("R"), [v("u"), v("w")])));
+        let q2 = Query::forall(
+            v("u"),
+            Query::exists(v("w"), Query::atom(r("R"), [v("u"), v("w")])),
+        );
         assert!(q2.is_boolean());
         assert_eq!(q2.quantifier_depth(), 2);
     }
@@ -398,7 +401,8 @@ mod tests {
     #[test]
     fn shadowing_inside_binder() {
         // R(u) & exists u. Q(u): outer occurrence of u is free, inner is bound.
-        let q = Query::atom(r("R"), [v("u")]).and(Query::exists(v("u"), Query::atom(r("Q"), [v("u")])));
+        let q =
+            Query::atom(r("R"), [v("u")]).and(Query::exists(v("u"), Query::atom(r("Q"), [v("u")])));
         assert_eq!(q.free_vars(), BTreeSet::from([v("u")]));
     }
 
@@ -432,10 +436,12 @@ mod tests {
 
     #[test]
     fn substitution_respects_binders() {
-        let map: std::collections::BTreeMap<Var, Term> =
-            [(v("u"), Term::Value(DataValue::e(3)))].into_iter().collect();
+        let map: std::collections::BTreeMap<Var, Term> = [(v("u"), Term::Value(DataValue::e(3)))]
+            .into_iter()
+            .collect();
         // R(u) & exists u. Q(u)  → R(e3) & exists u. Q(u)
-        let q = Query::atom(r("R"), [v("u")]).and(Query::exists(v("u"), Query::atom(r("Q"), [v("u")])));
+        let q =
+            Query::atom(r("R"), [v("u")]).and(Query::exists(v("u"), Query::atom(r("Q"), [v("u")])));
         let q2 = q.substitute_terms(&map);
         assert_eq!(
             q2,
@@ -471,7 +477,10 @@ mod tests {
 
     #[test]
     fn display_round_trips_visually() {
-        let q = Query::exists(v("u"), Query::atom(r("R"), [v("u")]).and(Query::prop(r("p")).not()));
+        let q = Query::exists(
+            v("u"),
+            Query::atom(r("R"), [v("u")]).and(Query::prop(r("p")).not()),
+        );
         let s = format!("{q}");
         assert!(s.contains("exists u."));
         assert!(s.contains("R(u)"));

@@ -194,7 +194,10 @@ mod tests {
     #[test]
     fn apply_term_and_merge() {
         let s = Substitution::from_pairs([(v("u"), DataValue::e(4))]);
-        assert_eq!(s.apply_term(Term::Var(v("u"))), Term::Value(DataValue::e(4)));
+        assert_eq!(
+            s.apply_term(Term::Var(v("u"))),
+            Term::Value(DataValue::e(4))
+        );
         assert_eq!(s.apply_term(Term::Var(v("x"))), Term::Var(v("x")));
         assert_eq!(
             s.apply_term(Term::Value(DataValue::e(9))),

@@ -162,33 +162,125 @@ mod tests {
                 self.0 = format!("\"{v}\"");
                 Ok(())
             }
-            fn serialize_bool(self, _: bool) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_i8(self, _: i8) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_i16(self, _: i16) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_i32(self, _: i32) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_i64(self, _: i64) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_u8(self, _: u8) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_u16(self, _: u16) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_u32(self, _: u32) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_u64(self, _: u64) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_f32(self, _: f32) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_f64(self, _: f64) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_char(self, _: char) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_bytes(self, _: &[u8]) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_none(self) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_some<T: ?Sized + serde::Serialize>(self, _: &T) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_unit(self) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_unit_struct(self, _: &'static str) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_unit_variant(self, _: &'static str, _: u32, _: &'static str) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_newtype_struct<T: ?Sized + serde::Serialize>(self, _: &'static str, _: &T) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_newtype_variant<T: ?Sized + serde::Serialize>(self, _: &'static str, _: u32, _: &'static str, _: &T) -> Result<(), Self::Error> { Err(std::fmt::Error) }
-            fn serialize_seq(self, _: Option<usize>) -> Result<Self::SerializeSeq, Self::Error> { Err(std::fmt::Error) }
-            fn serialize_tuple(self, _: usize) -> Result<Self::SerializeTuple, Self::Error> { Err(std::fmt::Error) }
-            fn serialize_tuple_struct(self, _: &'static str, _: usize) -> Result<Self::SerializeTupleStruct, Self::Error> { Err(std::fmt::Error) }
-            fn serialize_tuple_variant(self, _: &'static str, _: u32, _: &'static str, _: usize) -> Result<Self::SerializeTupleVariant, Self::Error> { Err(std::fmt::Error) }
-            fn serialize_map(self, _: Option<usize>) -> Result<Self::SerializeMap, Self::Error> { Err(std::fmt::Error) }
-            fn serialize_struct(self, _: &'static str, _: usize) -> Result<Self::SerializeStruct, Self::Error> { Err(std::fmt::Error) }
-            fn serialize_struct_variant(self, _: &'static str, _: u32, _: &'static str, _: usize) -> Result<Self::SerializeStructVariant, Self::Error> { Err(std::fmt::Error) }
+            fn serialize_bool(self, _: bool) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_i8(self, _: i8) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_i16(self, _: i16) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_i32(self, _: i32) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_i64(self, _: i64) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_u8(self, _: u8) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_u16(self, _: u16) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_u32(self, _: u32) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_u64(self, _: u64) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_f32(self, _: f32) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_f64(self, _: f64) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_char(self, _: char) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_bytes(self, _: &[u8]) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_none(self) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_some<T: ?Sized + serde::Serialize>(
+                self,
+                _: &T,
+            ) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_unit(self) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_unit_struct(self, _: &'static str) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_unit_variant(
+                self,
+                _: &'static str,
+                _: u32,
+                _: &'static str,
+            ) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_newtype_struct<T: ?Sized + serde::Serialize>(
+                self,
+                _: &'static str,
+                _: &T,
+            ) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_newtype_variant<T: ?Sized + serde::Serialize>(
+                self,
+                _: &'static str,
+                _: u32,
+                _: &'static str,
+                _: &T,
+            ) -> Result<(), Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_seq(self, _: Option<usize>) -> Result<Self::SerializeSeq, Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_tuple(self, _: usize) -> Result<Self::SerializeTuple, Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_tuple_struct(
+                self,
+                _: &'static str,
+                _: usize,
+            ) -> Result<Self::SerializeTupleStruct, Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_tuple_variant(
+                self,
+                _: &'static str,
+                _: u32,
+                _: &'static str,
+                _: usize,
+            ) -> Result<Self::SerializeTupleVariant, Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_map(self, _: Option<usize>) -> Result<Self::SerializeMap, Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_struct(
+                self,
+                _: &'static str,
+                _: usize,
+            ) -> Result<Self::SerializeStruct, Self::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_struct_variant(
+                self,
+                _: &'static str,
+                _: u32,
+                _: &'static str,
+                _: usize,
+            ) -> Result<Self::SerializeStructVariant, Self::Error> {
+                Err(std::fmt::Error)
+            }
         }
         let mut s = S(String::new());
         serde::Serialize::serialize(sym, &mut s).unwrap();

@@ -96,12 +96,7 @@ impl FoLtl {
 
     /// Evaluate over a finite run prefix at position `position` (finite-trace semantics:
     /// `G` means "for the rest of the prefix", `X` is false at the last position).
-    pub fn eval_at(
-        &self,
-        run: &[Instance],
-        data: &Substitution,
-        position: usize,
-    ) -> bool {
+    pub fn eval_at(&self, run: &[Instance], data: &Substitution, position: usize) -> bool {
         match self {
             FoLtl::Query(q) => {
                 let instance = &run[position];
@@ -122,9 +117,8 @@ impl FoLtl {
             FoLtl::Next(p) => position + 1 < run.len() && p.eval_at(run, data, position + 1),
             FoLtl::Globally(p) => (position..run.len()).all(|i| p.eval_at(run, data, i)),
             FoLtl::Finally(p) => (position..run.len()).any(|i| p.eval_at(run, data, i)),
-            FoLtl::Until(a, b) => (position..run.len()).any(|i| {
-                b.eval_at(run, data, i) && (position..i).all(|j| a.eval_at(run, data, j))
-            }),
+            FoLtl::Until(a, b) => (position..run.len())
+                .any(|i| b.eval_at(run, data, i) && (position..i).all(|j| a.eval_at(run, data, j))),
             FoLtl::ExistsData(u, p) => crate::msofo::global_adom(run).into_iter().any(|e| {
                 let mut d = data.clone();
                 d.bind(*u, e);
@@ -158,9 +152,7 @@ impl FoLtl {
                 MsoFo::exists_pos(
                     y,
                     MsoFo::Less(at, y)
-                        .and(
-                            MsoFo::exists_pos(z, MsoFo::Less(at, z).and(MsoFo::Less(z, y))).not(),
-                        )
+                        .and(MsoFo::exists_pos(z, MsoFo::Less(at, z).and(MsoFo::Less(z, y))).not())
                         .and(p.to_msofo_at(y, next_var + 2)),
                 )
             }
@@ -211,7 +203,9 @@ impl FoLtl {
         // ∃x₀. first(x₀) ∧ φ(x₀)
         MsoFo::exists_pos(
             x0,
-            MsoFo::exists_pos(scratch, MsoFo::Less(scratch, x0)).not().and(self.to_msofo_at(x0, 2)),
+            MsoFo::exists_pos(scratch, MsoFo::Less(scratch, x0))
+                .not()
+                .and(self.to_msofo_at(x0, 2)),
         )
     }
 }
@@ -261,7 +255,11 @@ mod tests {
         vec![
             Instance::from_facts([(r("p"), vec![]), (r("Enrolled"), vec![e(1)])]),
             Instance::from_facts([(r("Enrolled"), vec![e(1)]), (r("Enrolled"), vec![e(2)])]),
-            Instance::from_facts([(r("p"), vec![]), (r("Graduated"), vec![e(1)]), (r("Enrolled"), vec![e(2)])]),
+            Instance::from_facts([
+                (r("p"), vec![]),
+                (r("Graduated"), vec![e(1)]),
+                (r("Enrolled"), vec![e(2)]),
+            ]),
         ]
     }
 
@@ -273,7 +271,7 @@ mod tests {
         assert!(!p.clone().globally().eval(&run)); // fails at position 1
         assert!(p.clone().finally().eval(&run));
         assert!(p.clone().next().not().eval(&run)); // p does not hold at position 1
-        // p U Enrolled(e2)? Enrolled(e2) first true at position 1, p holds at 0: true
+                                                    // p U Enrolled(e2)? Enrolled(e2) first true at position 1, p holds at 0: true
         let enrolled2 = FoLtl::query(Query::atom(r("Enrolled"), [rdms_db::Term::Value(e(2))]));
         assert!(p.clone().until(enrolled2).eval(&run));
         // X at the last position is false
@@ -309,7 +307,8 @@ mod tests {
             FoLtl::query(Query::prop(r("p"))).globally(),
             FoLtl::query(Query::prop(r("p"))).finally(),
             FoLtl::query(Query::prop(r("p"))).next(),
-            FoLtl::query(Query::prop(r("p"))).until(FoLtl::query(Query::atom(r("Graduated"), [u])).exists_data_wrap(u)),
+            FoLtl::query(Query::prop(r("p")))
+                .until(FoLtl::query(Query::atom(r("Graduated"), [u])).exists_data_wrap(u)),
             FoLtl::forall_data(
                 u,
                 FoLtl::query(Query::atom(r("Enrolled"), [u]))

@@ -151,39 +151,54 @@ impl MsoFo {
     /// The free position variables.
     pub fn free_pos_vars(&self) -> BTreeSet<PosVar> {
         let mut free = BTreeSet::new();
-        self.walk_free(&mut BTreeSet::new(), &mut BTreeSet::new(), &mut BTreeSet::new(), &mut |v, bound| {
-            if let FreeOccurrence::Pos(x) = v {
-                if !bound {
-                    free.insert(x);
+        self.walk_free(
+            &mut BTreeSet::new(),
+            &mut BTreeSet::new(),
+            &mut BTreeSet::new(),
+            &mut |v, bound| {
+                if let FreeOccurrence::Pos(x) = v {
+                    if !bound {
+                        free.insert(x);
+                    }
                 }
-            }
-        });
+            },
+        );
         free
     }
 
     /// The free set variables.
     pub fn free_set_vars(&self) -> BTreeSet<SetVar> {
         let mut free = BTreeSet::new();
-        self.walk_free(&mut BTreeSet::new(), &mut BTreeSet::new(), &mut BTreeSet::new(), &mut |v, bound| {
-            if let FreeOccurrence::Set(x) = v {
-                if !bound {
-                    free.insert(x);
+        self.walk_free(
+            &mut BTreeSet::new(),
+            &mut BTreeSet::new(),
+            &mut BTreeSet::new(),
+            &mut |v, bound| {
+                if let FreeOccurrence::Set(x) = v {
+                    if !bound {
+                        free.insert(x);
+                    }
                 }
-            }
-        });
+            },
+        );
         free
     }
 
     /// The free data variables (data variables of embedded queries not bound by `∃g`/`∀g`).
     pub fn free_data_vars(&self) -> BTreeSet<Var> {
         let mut free = BTreeSet::new();
-        self.walk_free(&mut BTreeSet::new(), &mut BTreeSet::new(), &mut BTreeSet::new(), &mut |v, bound| {
-            if let FreeOccurrence::Data(x) = v {
-                if !bound {
-                    free.insert(x);
+        self.walk_free(
+            &mut BTreeSet::new(),
+            &mut BTreeSet::new(),
+            &mut BTreeSet::new(),
+            &mut |v, bound| {
+                if let FreeOccurrence::Data(x) = v {
+                    if !bound {
+                        free.insert(x);
+                    }
                 }
-            }
-        });
+            },
+        );
         free
     }
 
@@ -244,7 +259,11 @@ impl MsoFo {
     pub fn visit<F: FnMut(&MsoFo)>(&self, f: &mut F) {
         f(self);
         match self {
-            MsoFo::True | MsoFo::QueryAt(..) | MsoFo::Less(..) | MsoFo::PosEq(..) | MsoFo::In(..) => {}
+            MsoFo::True
+            | MsoFo::QueryAt(..)
+            | MsoFo::Less(..)
+            | MsoFo::PosEq(..)
+            | MsoFo::In(..) => {}
             MsoFo::Not(p)
             | MsoFo::ExistsPos(_, p)
             | MsoFo::ForallPos(_, p)
@@ -477,8 +496,14 @@ mod tests {
     fn query_at_and_order() {
         let run = student_run();
         let phi = MsoFo::query_at(Query::prop(r("p")), x(0));
-        let a0 = RunAssignment { pos: BTreeMap::from([(x(0), 0)]), ..Default::default() };
-        let a1 = RunAssignment { pos: BTreeMap::from([(x(0), 1)]), ..Default::default() };
+        let a0 = RunAssignment {
+            pos: BTreeMap::from([(x(0), 0)]),
+            ..Default::default()
+        };
+        let a1 = RunAssignment {
+            pos: BTreeMap::from([(x(0), 1)]),
+            ..Default::default()
+        };
         assert!(eval(&run, &a0, &phi));
         assert!(!eval(&run, &a1, &phi));
 
@@ -510,15 +535,17 @@ mod tests {
         // restricted to student e1 only, it holds
         let phi_e1 = MsoFo::forall_pos(
             x(0),
-            MsoFo::query_at(Query::atom(r("Enrolled"), [rdms_db::Term::Value(e(1))]), x(0)).implies(
-                MsoFo::exists_pos(
+            MsoFo::query_at(
+                Query::atom(r("Enrolled"), [rdms_db::Term::Value(e(1))]),
+                x(0),
+            )
+            .implies(MsoFo::exists_pos(
+                x(1),
+                MsoFo::Less(x(0), x(1)).and(MsoFo::query_at(
+                    Query::atom(r("Graduated"), [rdms_db::Term::Value(e(1))]),
                     x(1),
-                    MsoFo::Less(x(0), x(1)).and(MsoFo::query_at(
-                        Query::atom(r("Graduated"), [rdms_db::Term::Value(e(1))]),
-                        x(1),
-                    )),
-                ),
-            ),
+                )),
+            )),
         );
         // note: constant-valued queries are allowed here because evaluation only requires the
         // *free variables* of Q to be active.
@@ -533,7 +560,10 @@ mod tests {
         let u = v("u");
         let phi = MsoFo::exists_data(
             u,
-            MsoFo::exists_pos(x(0), MsoFo::query_at(Query::atom(r("Graduated"), [u]), x(0))),
+            MsoFo::exists_pos(
+                x(0),
+                MsoFo::query_at(Query::atom(r("Graduated"), [u]), x(0)),
+            ),
         );
         assert!(eval_sentence(&run, &phi));
     }
@@ -552,7 +582,11 @@ mod tests {
         // Enrolled(u) with u ↦ e1 is syntactically in I₁ — but wait, Enrolled(e1) *is* in I₁.
         // Use Graduated instead: Graduated(u)@1 with u ↦ e1: e1 is active at 1 (Enrolled(e1)),
         // but Graduated(e1) ∉ I₁ → false by query evaluation.
-        assert!(!eval(&run, &a, &MsoFo::query_at(Query::atom(r("Graduated"), [u]), x(0))));
+        assert!(!eval(
+            &run,
+            &a,
+            &MsoFo::query_at(Query::atom(r("Graduated"), [u]), x(0))
+        ));
         // and at a position where the value is not active at all, the atom is false outright
         let run2 = vec![
             Instance::from_facts([(r("Enrolled"), vec![e(5)])]),
@@ -563,7 +597,11 @@ mod tests {
             data: Substitution::from_pairs([(u, e(5))]),
             ..Default::default()
         };
-        assert!(!eval(&run2, &a2, &MsoFo::query_at(Query::atom(r("Enrolled"), [u]), x(0))));
+        assert!(!eval(
+            &run2,
+            &a2,
+            &MsoFo::query_at(Query::atom(r("Enrolled"), [u]), x(0))
+        ));
     }
 
     #[test]
@@ -574,8 +612,14 @@ mod tests {
         let phi = MsoFo::exists_set(
             set,
             MsoFo::conj([
-                MsoFo::exists_pos(x(0), MsoFo::query_at(Query::prop(r("p")), x(0)).and(MsoFo::In(x(0), set))),
-                MsoFo::forall_pos(x(1), MsoFo::In(x(1), set).implies(MsoFo::query_at(Query::prop(r("p")), x(1)))),
+                MsoFo::exists_pos(
+                    x(0),
+                    MsoFo::query_at(Query::prop(r("p")), x(0)).and(MsoFo::In(x(0), set)),
+                ),
+                MsoFo::forall_pos(
+                    x(1),
+                    MsoFo::In(x(1), set).implies(MsoFo::query_at(Query::prop(r("p")), x(1))),
+                ),
             ]),
         );
         assert!(eval_sentence(&run, &phi));
@@ -586,8 +630,10 @@ mod tests {
     #[test]
     fn free_variable_computation() {
         let u = v("u");
-        let phi = MsoFo::query_at(Query::atom(r("R"), [u]), x(0))
-            .and(MsoFo::exists_data(u, MsoFo::query_at(Query::atom(r("R"), [u]), x(1))));
+        let phi = MsoFo::query_at(Query::atom(r("R"), [u]), x(0)).and(MsoFo::exists_data(
+            u,
+            MsoFo::query_at(Query::atom(r("R"), [u]), x(1)),
+        ));
         assert_eq!(phi.free_pos_vars(), BTreeSet::from([x(0), x(1)]));
         assert_eq!(phi.free_data_vars(), BTreeSet::from([u]));
         assert!(phi.free_set_vars().is_empty());

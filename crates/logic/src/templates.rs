@@ -135,7 +135,8 @@ mod tests {
         // "some Enrolled or Graduated fact exists" holds everywhere
         let q = Query::exists(
             Var::new("u"),
-            Query::atom(r("Enrolled"), [Var::new("u")]).or(Query::atom(r("Graduated"), [Var::new("u")])),
+            Query::atom(r("Enrolled"), [Var::new("u")])
+                .or(Query::atom(r("Graduated"), [Var::new("u")])),
         );
         assert!(eval_sentence(&run, &invariant(q)));
     }
@@ -152,7 +153,10 @@ mod tests {
     fn propositional_response_template() {
         let run = run();
         assert!(eval_sentence(&run, &propositional_response(r("p"), r("q"))));
-        assert!(!eval_sentence(&run, &propositional_response(r("q"), r("p"))));
+        assert!(!eval_sentence(
+            &run,
+            &propositional_response(r("q"), r("p"))
+        ));
     }
 
     #[test]
@@ -161,9 +165,15 @@ mod tests {
         // under an unsatisfiable constraint, any property holds vacuously
         let constraint = Query::prop(r("neverTrue"));
         let hard_property = proposition_reachable(r("absent"));
-        assert!(eval_sentence(&run, &under_constraint(constraint, hard_property.clone())));
+        assert!(eval_sentence(
+            &run,
+            &under_constraint(constraint, hard_property.clone())
+        ));
         // under a trivial constraint, the property's own value decides
-        assert!(!eval_sentence(&run, &under_constraint(Query::True, hard_property)));
+        assert!(!eval_sentence(
+            &run,
+            &under_constraint(Query::True, hard_property)
+        ));
     }
 
     #[test]
@@ -173,6 +183,9 @@ mod tests {
         assert!(!eval_sentence(&run, &infinitely_often(Query::prop(r("q")))));
         // but on the prefix without the last position, q@2 exists after both 0 and 1 … still
         // false for the same reason at the last position of that prefix
-        assert!(!eval_sentence(&run[..2], &infinitely_often(Query::prop(r("q")))));
+        assert!(!eval_sentence(
+            &run[..2],
+            &infinitely_often(Query::prop(r("q")))
+        ));
     }
 }

@@ -106,8 +106,7 @@ impl Alphabet {
 
     /// Iterate over the letters of a given kind.
     pub fn letters_of_kind(&self, kind: LetterKind) -> impl Iterator<Item = LetterId> + '_ {
-        self.letters()
-            .filter(move |&l| self.kind(l) == kind)
+        self.letters().filter(move |&l| self.kind(l) == kind)
     }
 
     /// Wrap in an `Arc` (alphabets are shared by words and automata).

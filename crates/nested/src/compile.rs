@@ -39,7 +39,10 @@ pub struct TrackedAlphabet {
 impl TrackedAlphabet {
     /// Build the tracked alphabet for the given (sorted, duplicate-free) variable list.
     pub fn new(base: Arc<Alphabet>, vars: Vec<MsoVar>) -> TrackedAlphabet {
-        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "variables must be sorted and distinct");
+        debug_assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "variables must be sorted and distinct"
+        );
         if vars.is_empty() {
             return TrackedAlphabet {
                 alphabet: base.clone(),
@@ -225,33 +228,51 @@ fn compile_rec(formula: &MsoNw, base: &Arc<Alphabet>) -> (Vpa, Vec<MsoVar>) {
         MsoNw::True => (Vpa::universal(base.clone()), vec![]),
         MsoNw::Letter(a, x) => {
             let tracked = TrackedAlphabet::new(base.clone(), vec![MsoVar::Pos(*x)]);
-            (letter_automaton(&tracked, *a, MsoVar::Pos(*x)), tracked.vars.clone())
+            (
+                letter_automaton(&tracked, *a, MsoVar::Pos(*x)),
+                tracked.vars.clone(),
+            )
         }
         MsoNw::Less(x, y) => {
             let vars = two_vars(MsoVar::Pos(*x), MsoVar::Pos(*y));
             let tracked = TrackedAlphabet::new(base.clone(), vars.clone());
-            (less_automaton(&tracked, MsoVar::Pos(*x), MsoVar::Pos(*y)), vars)
+            (
+                less_automaton(&tracked, MsoVar::Pos(*x), MsoVar::Pos(*y)),
+                vars,
+            )
         }
         MsoNw::PosEq(x, y) => {
             if x == y {
                 // x = x: require only that the position exists
                 let tracked = TrackedAlphabet::new(base.clone(), vec![MsoVar::Pos(*x)]);
-                (exists_marked_automaton(&tracked, MsoVar::Pos(*x)), tracked.vars.clone())
+                (
+                    exists_marked_automaton(&tracked, MsoVar::Pos(*x)),
+                    tracked.vars.clone(),
+                )
             } else {
                 let vars = two_vars(MsoVar::Pos(*x), MsoVar::Pos(*y));
                 let tracked = TrackedAlphabet::new(base.clone(), vars.clone());
-                (same_position_automaton(&tracked, MsoVar::Pos(*x), MsoVar::Pos(*y)), vars)
+                (
+                    same_position_automaton(&tracked, MsoVar::Pos(*x), MsoVar::Pos(*y)),
+                    vars,
+                )
             }
         }
         MsoNw::Matched(x, y) => {
             let vars = two_vars(MsoVar::Pos(*x), MsoVar::Pos(*y));
             let tracked = TrackedAlphabet::new(base.clone(), vars.clone());
-            (matched_automaton(&tracked, MsoVar::Pos(*x), MsoVar::Pos(*y)), vars)
+            (
+                matched_automaton(&tracked, MsoVar::Pos(*x), MsoVar::Pos(*y)),
+                vars,
+            )
         }
         MsoNw::In(x, set) => {
             let vars = two_vars(MsoVar::Pos(*x), MsoVar::Set(*set));
             let tracked = TrackedAlphabet::new(base.clone(), vars.clone());
-            (same_position_automaton(&tracked, MsoVar::Pos(*x), MsoVar::Set(*set)), vars)
+            (
+                same_position_automaton(&tracked, MsoVar::Pos(*x), MsoVar::Set(*set)),
+                vars,
+            )
         }
         MsoNw::Not(p) => {
             let (vpa, vars) = compile_rec(p, base);
@@ -485,7 +506,8 @@ fn matched_automaton(tracked: &TrackedAlphabet, x: MsoVar, y: MsoVar) -> Vpa {
     vpa.set_initial(0);
     vpa.set_final(2);
 
-    let unmarked: Vec<LetterId> = letters_where(tracked, |_, m| m & xb == 0 && m & yb == 0).collect();
+    let unmarked: Vec<LetterId> =
+        letters_where(tracked, |_, m| m & xb == 0 && m & yb == 0).collect();
     for &l in &unmarked {
         match alphabet.kind(l) {
             LetterKind::Internal => {
@@ -693,7 +715,10 @@ mod tests {
         );
         assert!(is_satisfiable(&phi, &a));
         let (word, _) = satisfying_witness(&phi, &a).unwrap();
-        assert!(eval_sentence(&word, &phi), "witness {word:?} must satisfy the sentence");
+        assert!(
+            eval_sentence(&word, &phi),
+            "witness {word:?} must satisfy the sentence"
+        );
 
         // unsatisfiable: a position that is both a call and matched as a return
         let q = f.pos();

@@ -3,7 +3,7 @@
 //! This is the textbook semantics: first-order variables range over positions, second-order
 //! variables over sets of positions. Second-order quantification enumerates all `2^n`
 //! subsets, so this evaluator is only meant for small words — it serves as the *oracle*
-//! against which the VPA compilation ([`crate::compile`]) is cross-validated in tests.
+//! against which the VPA compilation ([`crate::compile()`]) is cross-validated in tests.
 
 use crate::mso::{MsoNw, PosVar, SetVar};
 use crate::word::NestedWord;
@@ -121,7 +121,9 @@ mod tests {
         let alphabet = a.into_arc();
         let word = NestedWord::from_names(
             alphabet.clone(),
-            &["<a", "<a", "a>", "<b", "<a", "b>", ".", "b>", "<b", "<a", "a>"],
+            &[
+                "<a", "<a", "a>", "<b", "<a", "b>", ".", "b>", "<b", "<a", "a>",
+            ],
         );
         (alphabet, word)
     }
@@ -252,6 +254,10 @@ mod tests {
     #[should_panic(expected = "unbound position variable")]
     fn unbound_variable_panics() {
         let (_, word) = setup();
-        eval(&word, &Assignment::new(), &MsoNw::Less(PosVar(0), PosVar(1)));
+        eval(
+            &word,
+            &Assignment::new(),
+            &MsoNw::Less(PosVar(0), PosVar(1)),
+        );
     }
 }

@@ -18,7 +18,7 @@
 //! * [`vpa`] — visibly pushdown automata: nondeterministic VPAs, membership, union, product,
 //!   determinization (the Alur–Madhusudan summary-pair construction), complementation,
 //!   relabelling/projection, emptiness and witness extraction;
-//! * [`compile`] — the MSO_NW → VPA compiler realising Fact 1: satisfiability and
+//! * [`mod@compile`] — the MSO_NW → VPA compiler realising Fact 1: satisfiability and
 //!   model-checking of MSO_NW formulae by automata-theoretic means.
 
 pub mod alphabet;

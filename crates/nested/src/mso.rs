@@ -177,20 +177,28 @@ impl MsoNw {
     /// Existential quantification over many position variables.
     pub fn exists_pos_many<I: IntoIterator<Item = PosVar>>(vars: I, body: MsoNw) -> MsoNw {
         let vars: Vec<PosVar> = vars.into_iter().collect();
-        vars.into_iter().rev().fold(body, |acc, v| MsoNw::exists_pos(v, acc))
+        vars.into_iter()
+            .rev()
+            .fold(body, |acc, v| MsoNw::exists_pos(v, acc))
     }
 
     /// Universal quantification over many position variables.
     pub fn forall_pos_many<I: IntoIterator<Item = PosVar>>(vars: I, body: MsoNw) -> MsoNw {
         let vars: Vec<PosVar> = vars.into_iter().collect();
-        vars.into_iter().rev().fold(body, |acc, v| MsoNw::forall_pos(v, acc))
+        vars.into_iter()
+            .rev()
+            .fold(body, |acc, v| MsoNw::forall_pos(v, acc))
     }
 
     /// `succ(x, y)`: `y` is the successor position of `x` (macro used in Example 4.1).
     pub fn succ(x: PosVar, y: PosVar, scratch: PosVar) -> MsoNw {
         // x < y ∧ ¬∃z. x < z < y
         MsoNw::Less(x, y).and(
-            MsoNw::exists_pos(scratch, MsoNw::Less(x, scratch).and(MsoNw::Less(scratch, y))).not(),
+            MsoNw::exists_pos(
+                scratch,
+                MsoNw::Less(x, scratch).and(MsoNw::Less(scratch, y)),
+            )
+            .not(),
         )
     }
 
@@ -366,14 +374,20 @@ mod tests {
 
     #[test]
     fn free_vars_and_sentences() {
-        let phi = MsoNw::exists_pos(x(0), MsoNw::Less(x(0), x(1)).and(MsoNw::is_in(x(0), set(0))));
+        let phi = MsoNw::exists_pos(
+            x(0),
+            MsoNw::Less(x(0), x(1)).and(MsoNw::is_in(x(0), set(0))),
+        );
         assert_eq!(
             phi.free_vars(),
             BTreeSet::from([MsoVar::Pos(x(1)), MsoVar::Set(set(0))])
         );
         assert!(!phi.is_sentence());
 
-        let sentence = MsoNw::exists_set(set(0), MsoNw::forall_pos(x(1), MsoNw::exists_pos(x(0), phi.clone())));
+        let sentence = MsoNw::exists_set(
+            set(0),
+            MsoNw::forall_pos(x(1), MsoNw::exists_pos(x(0), phi.clone())),
+        );
         assert!(sentence.is_sentence());
         assert_eq!(sentence.quantifier_depth(), 4);
     }

@@ -46,7 +46,9 @@ fn all_words(a: &Arc<Alphabet>, max_len: usize) -> Vec<NestedWord> {
             .collect();
         out.extend(words.iter().cloned());
     }
-    out.into_iter().map(|ls| NestedWord::new(a.clone(), ls)).collect()
+    out.into_iter()
+        .map(|ls| NestedWord::new(a.clone(), ls))
+        .collect()
 }
 
 /// `∃p. x(p)` — some position carries the internal letter `x`.
@@ -224,5 +226,8 @@ fn emptiness_agrees_with_the_evaluator() {
     // non-empty automata yield witnesses that the evaluator confirms
     let phi = phi_x_inside_matched(&a);
     let witness = shortest_witness(&nd).expect("language is non-empty");
-    assert!(eval_sentence(&witness, &phi), "witness {witness:?} must satisfy the sentence");
+    assert!(
+        eval_sentence(&witness, &phi),
+        "witness {witness:?} must satisfy the sentence"
+    );
 }

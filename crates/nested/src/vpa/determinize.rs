@@ -82,7 +82,10 @@ impl<'a> Determinizer<'a> {
             ret_empty_idx.entry((q, a)).or_default().push(q2);
         }
         let of_kind = |kind: LetterKind| -> Vec<LetterId> {
-            vpa.alphabet.letters().filter(|&l| vpa.alphabet.kind(l) == kind).collect()
+            vpa.alphabet
+                .letters()
+                .filter(|&l| vpa.alphabet.kind(l) == kind)
+                .collect()
         };
         Determinizer {
             n: vpa.num_states.max(1) as u64,
@@ -218,9 +221,13 @@ impl<'a> Determinizer<'a> {
             let mut next: BTreeSet<u64> = BTreeSet::new();
             for &packed in &s_prev {
                 let (origin, q1) = self.unpack(packed);
-                let Some(calls) = self.call_idx.get(&(q1, call_letter)) else { continue };
+                let Some(calls) = self.call_idx.get(&(q1, call_letter)) else {
+                    continue;
+                };
                 for &(q2, gamma) in calls {
-                    let Some(currents) = current_by_origin.get(&q2) else { continue };
+                    let Some(currents) = current_by_origin.get(&q2) else {
+                        continue;
+                    };
                     for &q3 in currents {
                         if let Some(targets) = self.ret_idx.get(&(q3, gamma, b)) {
                             for &q4 in targets {
@@ -318,7 +325,9 @@ impl<'a> Determinizer<'a> {
         );
         out.initial.insert(initial_id);
         for (sid, s) in self.states.iter().enumerate() {
-            if s.iter().any(|&packed| self.vpa.finals.contains(&((packed % self.n) as usize))) {
+            if s.iter()
+                .any(|&packed| self.vpa.finals.contains(&((packed % self.n) as usize)))
+            {
                 out.finals.insert(sid);
             }
         }
@@ -342,7 +351,9 @@ pub fn determinize(vpa: &Vpa) -> Vpa {
 /// (determinize, then flip the accepting states).
 pub fn complement(vpa: &Vpa) -> Vpa {
     let mut det = determinize(vpa);
-    det.finals = (0..det.num_states).filter(|q| !det.finals.contains(q)).collect();
+    det.finals = (0..det.num_states)
+        .filter(|q| !det.finals.contains(q))
+        .collect();
     det
 }
 
@@ -398,12 +409,21 @@ mod tests {
         // (word, should x-inside-matched-call hold?)
         vec![
             (NestedWord::from_names(a.clone(), &["<", "x", ">"]), true),
-            (NestedWord::from_names(a.clone(), &["<", "y", ">", "x"]), false),
+            (
+                NestedWord::from_names(a.clone(), &["<", "y", ">", "x"]),
+                false,
+            ),
             (NestedWord::from_names(a.clone(), &["x"]), false),
-            (NestedWord::from_names(a.clone(), &["<", "<", "x", ">", ">"]), true),
+            (
+                NestedWord::from_names(a.clone(), &["<", "<", "x", ">", ">"]),
+                true,
+            ),
             (NestedWord::from_names(a.clone(), &["<", "x"]), false), // pending call: not matched
             (NestedWord::from_names(a.clone(), &[">", "x", "<"]), false),
-            (NestedWord::from_names(a.clone(), &["y", "<", "y", "<", "x", ">", ">"]), true),
+            (
+                NestedWord::from_names(a.clone(), &["y", "<", "y", "<", "x", ">", ">"]),
+                true,
+            ),
             (NestedWord::from_names(a.clone(), &[]), false),
         ]
     }
@@ -429,13 +449,31 @@ mod tests {
             for letter in a.letters() {
                 match a.kind(letter) {
                     LetterKind::Internal => {
-                        assert_eq!(det.internal.iter().filter(|&&(p, l, _)| p == q && l == letter).count(), 1);
+                        assert_eq!(
+                            det.internal
+                                .iter()
+                                .filter(|&&(p, l, _)| p == q && l == letter)
+                                .count(),
+                            1
+                        );
                     }
                     LetterKind::Call => {
-                        assert_eq!(det.call.iter().filter(|&&(p, l, _, _)| p == q && l == letter).count(), 1);
+                        assert_eq!(
+                            det.call
+                                .iter()
+                                .filter(|&&(p, l, _, _)| p == q && l == letter)
+                                .count(),
+                            1
+                        );
                     }
                     LetterKind::Return => {
-                        assert_eq!(det.ret_empty.iter().filter(|&&(p, l, _)| p == q && l == letter).count(), 1);
+                        assert_eq!(
+                            det.ret_empty
+                                .iter()
+                                .filter(|&&(p, l, _)| p == q && l == letter)
+                                .count(),
+                            1
+                        );
                     }
                 }
             }
@@ -450,7 +488,11 @@ mod tests {
         // determinism of the pruned relation
         let mut seen = std::collections::BTreeSet::new();
         for &(q, g, l, _) in &det.ret {
-            assert!(seen.insert((q, g, l)), "duplicate return transition for {:?}", (q, g, l));
+            assert!(
+                seen.insert((q, g, l)),
+                "duplicate return transition for {:?}",
+                (q, g, l)
+            );
         }
         // ... and coverage: walking the deterministic automaton over every word up to
         // length 5, each step must find exactly one applicable transition — in particular
@@ -474,13 +516,17 @@ mod tests {
                 for &l in word {
                     match det.alphabet.kind(l) {
                         LetterKind::Internal => {
-                            let mut next =
-                                det.internal.iter().filter(|&&(p, a2, _)| p == state && a2 == l);
+                            let mut next = det
+                                .internal
+                                .iter()
+                                .filter(|&&(p, a2, _)| p == state && a2 == l);
                             state = next.next().expect("internal transition must exist").2;
                         }
                         LetterKind::Call => {
-                            let mut next =
-                                det.call.iter().filter(|&&(p, a2, _, _)| p == state && a2 == l);
+                            let mut next = det
+                                .call
+                                .iter()
+                                .filter(|&&(p, a2, _, _)| p == state && a2 == l);
                             let &(_, _, t, g) = next.next().expect("call transition must exist");
                             stack.push(g);
                             state = t;
@@ -503,7 +549,8 @@ mod tests {
                                     .ret_empty
                                     .iter()
                                     .filter(|&&(p, a2, _)| p == state && a2 == l);
-                                state = next.next().expect("pending-return transition must exist").2;
+                                state =
+                                    next.next().expect("pending-return transition must exist").2;
                             }
                         },
                     }

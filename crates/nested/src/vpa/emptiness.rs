@@ -70,7 +70,8 @@ pub fn shortest_witness(vpa: &Vpa) -> Option<NestedWord> {
     }
 
     // phase 1: from the initial states, close under summaries and pending returns
-    let mut phase1: BTreeMap<usize, Vec<LetterId>> = vpa.initial.iter().map(|&q| (q, Vec::new())).collect();
+    let mut phase1: BTreeMap<usize, Vec<LetterId>> =
+        vpa.initial.iter().map(|&q| (q, Vec::new())).collect();
     saturate_phase(&mut phase1, |q| {
         let mut succ: Vec<(usize, Vec<LetterId>)> = Vec::new();
         for (&(p, p2), w) in &summaries {

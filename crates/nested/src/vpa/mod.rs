@@ -294,7 +294,13 @@ mod tests {
     fn well_matched_language() {
         let alphabet = simple_alphabet();
         let vpa = well_matched_calls(alphabet.clone());
-        let accept = [&["<", ">"][..], &["<", "<", ">", ">"], &[">", "<", ">"], &["i"], &[]];
+        let accept = [
+            &["<", ">"][..],
+            &["<", "<", ">", ">"],
+            &[">", "<", ">"],
+            &["i"],
+            &[],
+        ];
         for names in accept {
             assert!(vpa.accepts(&NestedWord::from_names(alphabet.clone(), names)));
         }

@@ -6,10 +6,18 @@ use std::sync::Arc;
 
 /// Union of two VPAs over the same alphabet (disjoint union of the automata).
 pub fn union(a: &Vpa, b: &Vpa) -> Vpa {
-    assert_eq!(a.alphabet.as_ref(), b.alphabet.as_ref(), "alphabet mismatch in union");
+    assert_eq!(
+        a.alphabet.as_ref(),
+        b.alphabet.as_ref(),
+        "alphabet mismatch in union"
+    );
     let offset_q = a.num_states;
     let offset_g = a.num_stack;
-    let mut out = Vpa::new(a.alphabet.clone(), a.num_states + b.num_states, a.num_stack + b.num_stack);
+    let mut out = Vpa::new(
+        a.alphabet.clone(),
+        a.num_states + b.num_states,
+        a.num_stack + b.num_stack,
+    );
 
     out.initial.extend(a.initial.iter().copied());
     out.finals.extend(a.finals.iter().copied());
@@ -20,8 +28,11 @@ pub fn union(a: &Vpa, b: &Vpa) -> Vpa {
 
     out.initial.extend(b.initial.iter().map(|&q| q + offset_q));
     out.finals.extend(b.finals.iter().map(|&q| q + offset_q));
-    out.internal
-        .extend(b.internal.iter().map(|&(q, l, q2)| (q + offset_q, l, q2 + offset_q)));
+    out.internal.extend(
+        b.internal
+            .iter()
+            .map(|&(q, l, q2)| (q + offset_q, l, q2 + offset_q)),
+    );
     out.call.extend(
         b.call
             .iter()
@@ -32,8 +43,11 @@ pub fn union(a: &Vpa, b: &Vpa) -> Vpa {
             .iter()
             .map(|&(q, g, l, q2)| (q + offset_q, g + offset_g, l, q2 + offset_q)),
     );
-    out.ret_empty
-        .extend(b.ret_empty.iter().map(|&(q, l, q2)| (q + offset_q, l, q2 + offset_q)));
+    out.ret_empty.extend(
+        b.ret_empty
+            .iter()
+            .map(|&(q, l, q2)| (q + offset_q, l, q2 + offset_q)),
+    );
     out
 }
 
@@ -41,7 +55,11 @@ pub fn union(a: &Vpa, b: &Vpa) -> Vpa {
 /// pairs). Correctness relies on visibility: both automata always have equal stack heights on
 /// the same input, so pops and pending-return reads are synchronised.
 pub fn intersect(a: &Vpa, b: &Vpa) -> Vpa {
-    assert_eq!(a.alphabet.as_ref(), b.alphabet.as_ref(), "alphabet mismatch in intersection");
+    assert_eq!(
+        a.alphabet.as_ref(),
+        b.alphabet.as_ref(),
+        "alphabet mismatch in intersection"
+    );
     let pair_q = |qa: usize, qb: usize| qa * b.num_states + qb;
     let pair_g = |ga: usize, gb: usize| ga * b.num_stack + gb;
     let mut out = Vpa::new(
@@ -98,7 +116,11 @@ pub fn intersect(a: &Vpa, b: &Vpa) -> Vpa {
 /// generally nondeterministic).
 ///
 /// `map` must preserve letter kinds.
-pub fn relabel_forward(vpa: &Vpa, new_alphabet: Arc<Alphabet>, map: impl Fn(LetterId) -> LetterId) -> Vpa {
+pub fn relabel_forward(
+    vpa: &Vpa,
+    new_alphabet: Arc<Alphabet>,
+    map: impl Fn(LetterId) -> LetterId,
+) -> Vpa {
     let mut out = Vpa::new(new_alphabet.clone(), vpa.num_states, vpa.num_stack);
     out.initial = vpa.initial.clone();
     out.finals = vpa.finals.clone();
@@ -126,7 +148,11 @@ pub fn relabel_forward(vpa: &Vpa, new_alphabet: Arc<Alphabet>, map: impl Fn(Lett
 /// its image).
 ///
 /// `map` must preserve letter kinds.
-pub fn relabel_inverse(vpa: &Vpa, new_alphabet: Arc<Alphabet>, map: impl Fn(LetterId) -> LetterId) -> Vpa {
+pub fn relabel_inverse(
+    vpa: &Vpa,
+    new_alphabet: Arc<Alphabet>,
+    map: impl Fn(LetterId) -> LetterId,
+) -> Vpa {
     let mut out = Vpa::new(new_alphabet.clone(), vpa.num_states, vpa.num_stack);
     out.initial = vpa.initial.clone();
     out.finals = vpa.finals.clone();
@@ -220,7 +246,10 @@ mod tests {
         let u2 = Vpa::universal(a.clone());
         let i = intersect(&u1, &u2);
         for names in [&["<", "<", "x"][..], &[">", "<", ">"], &[">", ">", ">"]] {
-            assert!(i.accepts(&NestedWord::from_names(a.clone(), names)), "{names:?}");
+            assert!(
+                i.accepts(&NestedWord::from_names(a.clone(), names)),
+                "{names:?}"
+            );
         }
     }
 
@@ -287,7 +316,10 @@ pub fn trim(vpa: &Vpa) -> Vpa {
     use std::collections::BTreeSet;
     let mut forward: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); vpa.num_states];
     let mut backward: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); vpa.num_states];
-    let add = |from: usize, to: usize, forward: &mut Vec<BTreeSet<usize>>, backward: &mut Vec<BTreeSet<usize>>| {
+    let add = |from: usize,
+               to: usize,
+               forward: &mut Vec<BTreeSet<usize>>,
+               backward: &mut Vec<BTreeSet<usize>>| {
         forward[from].insert(to);
         backward[to].insert(from);
     };
@@ -328,8 +360,16 @@ pub fn trim(vpa: &Vpa) -> Vpa {
         useful.iter().enumerate().map(|(i, &q)| (q, i)).collect();
 
     let mut out = Vpa::new(vpa.alphabet.clone(), useful.len(), vpa.num_stack.max(1));
-    out.initial = vpa.initial.iter().filter_map(|q| index.get(q).copied()).collect();
-    out.finals = vpa.finals.iter().filter_map(|q| index.get(q).copied()).collect();
+    out.initial = vpa
+        .initial
+        .iter()
+        .filter_map(|q| index.get(q).copied())
+        .collect();
+    out.finals = vpa
+        .finals
+        .iter()
+        .filter_map(|q| index.get(q).copied())
+        .collect();
     for &(q, l, q2) in &vpa.internal {
         if let (Some(&a), Some(&b)) = (index.get(&q), index.get(&q2)) {
             out.internal.insert((a, l, b));

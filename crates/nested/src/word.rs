@@ -51,7 +51,11 @@ impl NestedWord {
     pub fn from_names(alphabet: Arc<Alphabet>, names: &[&str]) -> NestedWord {
         let letters = names
             .iter()
-            .map(|n| alphabet.lookup(n).unwrap_or_else(|| panic!("unknown letter {n}")))
+            .map(|n| {
+                alphabet
+                    .lookup(n)
+                    .unwrap_or_else(|| panic!("unknown letter {n}"))
+            })
             .collect();
         NestedWord::new(alphabet, letters)
     }
@@ -171,16 +175,14 @@ impl NestedWord {
         for &(i, j) in &edges {
             for p in i + 1..j {
                 match self.kind(p) {
-                    LetterKind::Call | LetterKind::Return => {
-                        match self.matching[p] {
-                            Some(q) => {
-                                if q <= i || q >= j {
-                                    return false;
-                                }
+                    LetterKind::Call | LetterKind::Return => match self.matching[p] {
+                        Some(q) => {
+                            if q <= i || q >= j {
+                                return false;
                             }
-                            None => return false,
                         }
-                    }
+                        None => return false,
+                    },
                     LetterKind::Internal => {}
                 }
             }
@@ -199,7 +201,11 @@ impl NestedWord {
 
 impl fmt::Debug for NestedWord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let names: Vec<&str> = self.letters.iter().map(|&l| self.alphabet.name(l)).collect();
+        let names: Vec<&str> = self
+            .letters
+            .iter()
+            .map(|&l| self.alphabet.name(l))
+            .collect();
         write!(f, "{}", names.join(" "))
     }
 }
@@ -229,7 +235,9 @@ mod tests {
     fn example_6_2() -> NestedWord {
         NestedWord::from_names(
             example_alphabet(),
-            &["<a", "<a", "a>", "<b", "<a", "b>", ".", "b>", "<b", "<a", "a>"],
+            &[
+                "<a", "<a", "a>", "<b", "<a", "b>", ".", "b>", "<b", "<a", "a>",
+            ],
         )
     }
 

@@ -60,8 +60,16 @@ impl States {
 
     fn all(&self) -> Vec<DataValue> {
         vec![
-            self.avail, self.onhold, self.closed, self.booking, self.drafting, self.subm,
-            self.finalized, self.tbv, self.accepted, self.canceled,
+            self.avail,
+            self.onhold,
+            self.closed,
+            self.booking,
+            self.drafting,
+            self.subm,
+            self.finalized,
+            self.tbv,
+            self.accepted,
+            self.canceled,
         ]
     }
 }
@@ -110,9 +118,15 @@ pub struct BookingAgency {
 /// Build the booking agency.
 pub fn build(config: &BookingConfig) -> BookingAgency {
     let states = States::new();
-    let restaurants: Vec<DataValue> = (0..config.restaurants).map(|i| DataValue(9100 + i as u64)).collect();
-    let agents: Vec<DataValue> = (0..config.agents).map(|i| DataValue(9200 + i as u64)).collect();
-    let customers: Vec<DataValue> = (0..config.customers).map(|i| DataValue(9300 + i as u64)).collect();
+    let restaurants: Vec<DataValue> = (0..config.restaurants)
+        .map(|i| DataValue(9100 + i as u64))
+        .collect();
+    let agents: Vec<DataValue> = (0..config.agents)
+        .map(|i| DataValue(9200 + i as u64))
+        .collect();
+    let customers: Vec<DataValue> = (0..config.customers)
+        .map(|i| DataValue(9300 + i as u64))
+        .collect();
 
     let r = RelName::new;
     let v = Var::new;
@@ -156,7 +170,10 @@ pub fn build(config: &BookingConfig) -> BookingAgency {
                 .and(agent_idle(v("a"))),
         )
         .add(Pattern::from_facts([
-            (r("Offer"), vec![Term::Var(v("y")), Term::Var(v("rr")), Term::Var(v("a"))]),
+            (
+                r("Offer"),
+                vec![Term::Var(v("y")), Term::Var(v("rr")), Term::Var(v("a"))],
+            ),
             ostate_fact(Term::Var(v("y")), states.avail),
         ]));
 
@@ -166,12 +183,21 @@ pub fn build(config: &BookingConfig) -> BookingAgency {
         .guard(
             Query::atom(r("Rest"), [v("rr")])
                 .and(Query::atom(r("Ag"), [v("a")]))
-                .and(Query::exists(v("_r"), Query::atom(r("Offer"), [v("o"), v("_r"), v("a")])))
+                .and(Query::exists(
+                    v("_r"),
+                    Query::atom(r("Offer"), [v("o"), v("_r"), v("a")]),
+                ))
                 .and(ostate(v("o"), states.avail)),
         )
-        .del(Pattern::from_facts([ostate_fact(Term::Var(v("o")), states.avail)]))
+        .del(Pattern::from_facts([ostate_fact(
+            Term::Var(v("o")),
+            states.avail,
+        )]))
         .add(Pattern::from_facts([
-            (r("Offer"), vec![Term::Var(v("y")), Term::Var(v("rr")), Term::Var(v("a"))]),
+            (
+                r("Offer"),
+                vec![Term::Var(v("y")), Term::Var(v("rr")), Term::Var(v("a"))],
+            ),
             ostate_fact(Term::Var(v("y")), states.avail),
             ostate_fact(Term::Var(v("o")), states.onhold),
         ]));
@@ -185,22 +211,37 @@ pub fn build(config: &BookingConfig) -> BookingAgency {
                 .and(agent_idle(v("a"))),
         )
         .del(Pattern::from_facts([
-            (r("Offer"), vec![Term::Var(v("o")), Term::Var(v("rr")), Term::Var(v("a2"))]),
+            (
+                r("Offer"),
+                vec![Term::Var(v("o")), Term::Var(v("rr")), Term::Var(v("a2"))],
+            ),
             ostate_fact(Term::Var(v("o")), states.onhold),
         ]))
         .add(Pattern::from_facts([
-            (r("Offer"), vec![Term::Var(v("o")), Term::Var(v("rr")), Term::Var(v("a"))]),
+            (
+                r("Offer"),
+                vec![Term::Var(v("o")), Term::Var(v("rr")), Term::Var(v("a"))],
+            ),
             ostate_fact(Term::Var(v("o")), states.avail),
         ]));
 
     // closeO: an available offer expires
     let close_o = ActionBuilder::new("closeO")
         .guard(
-            Query::exists_many([v("_r"), v("_a")], Query::atom(r("Offer"), [v("o"), v("_r"), v("_a")]))
-                .and(ostate(v("o"), states.avail)),
+            Query::exists_many(
+                [v("_r"), v("_a")],
+                Query::atom(r("Offer"), [v("o"), v("_r"), v("_a")]),
+            )
+            .and(ostate(v("o"), states.avail)),
         )
-        .del(Pattern::from_facts([ostate_fact(Term::Var(v("o")), states.avail)]))
-        .add(Pattern::from_facts([ostate_fact(Term::Var(v("o")), states.closed)]));
+        .del(Pattern::from_facts([ostate_fact(
+            Term::Var(v("o")),
+            states.avail,
+        )]))
+        .add(Pattern::from_facts([ostate_fact(
+            Term::Var(v("o")),
+            states.closed,
+        )]));
 
     // newB: a customer starts booking an available offer
     let new_b = ActionBuilder::new("newB")
@@ -213,10 +254,16 @@ pub fn build(config: &BookingConfig) -> BookingAgency {
                 ))
                 .and(ostate(v("o"), states.avail)),
         )
-        .del(Pattern::from_facts([ostate_fact(Term::Var(v("o")), states.avail)]))
+        .del(Pattern::from_facts([ostate_fact(
+            Term::Var(v("o")),
+            states.avail,
+        )]))
         .add(Pattern::from_facts([
             ostate_fact(Term::Var(v("o")), states.booking),
-            (r("Booking"), vec![Term::Var(v("y")), Term::Var(v("o")), Term::Var(v("c"))]),
+            (
+                r("Booking"),
+                vec![Term::Var(v("y")), Term::Var(v("o")), Term::Var(v("c"))],
+            ),
             bstate_fact(Term::Var(v("y")), states.drafting),
         ]));
 
@@ -234,19 +281,31 @@ pub fn build(config: &BookingConfig) -> BookingAgency {
                 .and(bstate(v("b"), states.drafting))
                 .and(Query::atom(r("Cust"), [v("h")])),
         )
-        .add(Pattern::from_facts([(r("Hosts"), vec![Term::Var(v("b")), Term::Var(v("h"))])]));
+        .add(Pattern::from_facts([(
+            r("Hosts"),
+            vec![Term::Var(v("b")), Term::Var(v("h"))],
+        )]));
 
     // addP2: the customer adds an external person as host (fresh identifier)
     let add_p2 = ActionBuilder::new("addP2")
         .fresh([v("y")])
         .guard(booking_exists(v("b")).and(bstate(v("b"), states.drafting)))
-        .add(Pattern::from_facts([(r("Hosts"), vec![Term::Var(v("b")), Term::Var(v("y"))])]));
+        .add(Pattern::from_facts([(
+            r("Hosts"),
+            vec![Term::Var(v("b")), Term::Var(v("y"))],
+        )]));
 
     // submit: drafting → submitted
     let submit = ActionBuilder::new("submit")
         .guard(booking_exists(v("b")).and(bstate(v("b"), states.drafting)))
-        .del(Pattern::from_facts([bstate_fact(Term::Var(v("b")), states.drafting)]))
-        .add(Pattern::from_facts([bstate_fact(Term::Var(v("b")), states.subm)]));
+        .del(Pattern::from_facts([bstate_fact(
+            Term::Var(v("b")),
+            states.drafting,
+        )]))
+        .add(Pattern::from_facts([bstate_fact(
+            Term::Var(v("b")),
+            states.subm,
+        )]));
 
     // checkP: the agent checks and removes hosts one by one
     let check_p = ActionBuilder::new("checkP")
@@ -255,16 +314,22 @@ pub fn build(config: &BookingConfig) -> BookingAgency {
                 .and(bstate(v("b"), states.subm))
                 .and(Query::atom(r("Hosts"), [v("b"), v("h")])),
         )
-        .del(Pattern::from_facts([(r("Hosts"), vec![Term::Var(v("b")), Term::Var(v("h"))])]));
+        .del(Pattern::from_facts([(
+            r("Hosts"),
+            vec![Term::Var(v("b")), Term::Var(v("h"))],
+        )]));
 
     let no_hosts = |b: Var| Query::exists(v("_h"), Query::atom(r("Hosts"), [b, v("_h")])).not();
 
     // reject: the agent rejects the submitted booking; the offer becomes available again
     let reject = ActionBuilder::new("reject")
         .guard(
-            Query::exists(v("_c"), Query::atom(r("Booking"), [v("b"), v("o"), v("_c")]))
-                .and(bstate(v("b"), states.subm))
-                .and(no_hosts(v("b"))),
+            Query::exists(
+                v("_c"),
+                Query::atom(r("Booking"), [v("b"), v("o"), v("_c")]),
+            )
+            .and(bstate(v("b"), states.subm))
+            .and(no_hosts(v("b"))),
         )
         .del(Pattern::from_facts([
             bstate_fact(Term::Var(v("b")), states.subm),
@@ -278,8 +343,15 @@ pub fn build(config: &BookingConfig) -> BookingAgency {
     // detProp: the agent makes a customized proposal (fresh URL)
     let det_prop = ActionBuilder::new("detProp")
         .fresh([v("y")])
-        .guard(booking_exists(v("b")).and(bstate(v("b"), states.subm)).and(no_hosts(v("b"))))
-        .del(Pattern::from_facts([bstate_fact(Term::Var(v("b")), states.subm)]))
+        .guard(
+            booking_exists(v("b"))
+                .and(bstate(v("b"), states.subm))
+                .and(no_hosts(v("b"))),
+        )
+        .del(Pattern::from_facts([bstate_fact(
+            Term::Var(v("b")),
+            states.subm,
+        )]))
         .add(Pattern::from_facts([
             bstate_fact(Term::Var(v("b")), states.finalized),
             (r("Prop"), vec![Term::Var(v("b")), Term::Var(v("y"))]),
@@ -288,8 +360,11 @@ pub fn build(config: &BookingConfig) -> BookingAgency {
     // cancel: the customer cancels a finalized booking; the offer becomes available again
     let cancel = ActionBuilder::new("cancel")
         .guard(
-            Query::exists(v("_c"), Query::atom(r("Booking"), [v("b"), v("o"), v("_c")]))
-                .and(bstate(v("b"), states.finalized)),
+            Query::exists(
+                v("_c"),
+                Query::atom(r("Booking"), [v("b"), v("o"), v("_c")]),
+            )
+            .and(bstate(v("b"), states.finalized)),
         )
         .del(Pattern::from_facts([
             bstate_fact(Term::Var(v("b")), states.finalized),
@@ -308,7 +383,10 @@ pub fn build(config: &BookingConfig) -> BookingAgency {
         .guard(
             Query::atom(r("Booking"), [v("b"), v("o"), v("c")])
                 .and(bstate(v("b"), states.finalized))
-                .and(Query::exists(v("_a"), Query::atom(r("Offer"), [v("o"), v("rr"), v("_a")])))
+                .and(Query::exists(
+                    v("_a"),
+                    Query::atom(r("Offer"), [v("o"), v("rr"), v("_a")]),
+                ))
                 .and(gold.clone()),
         )
         .del(Pattern::from_facts([
@@ -325,17 +403,29 @@ pub fn build(config: &BookingConfig) -> BookingAgency {
         .guard(
             Query::atom(r("Booking"), [v("b"), v("o"), v("c")])
                 .and(bstate(v("b"), states.finalized))
-                .and(Query::exists(v("_a"), Query::atom(r("Offer"), [v("o"), v("rr"), v("_a")])))
+                .and(Query::exists(
+                    v("_a"),
+                    Query::atom(r("Offer"), [v("o"), v("rr"), v("_a")]),
+                ))
                 .and(gold.not()),
         )
-        .del(Pattern::from_facts([bstate_fact(Term::Var(v("b")), states.finalized)]))
-        .add(Pattern::from_facts([bstate_fact(Term::Var(v("b")), states.tbv)]));
+        .del(Pattern::from_facts([bstate_fact(
+            Term::Var(v("b")),
+            states.finalized,
+        )]))
+        .add(Pattern::from_facts([bstate_fact(
+            Term::Var(v("b")),
+            states.tbv,
+        )]));
 
     // confirm: final validation of a to-be-validated booking; the offer closes
     let confirm = ActionBuilder::new("confirm")
         .guard(
-            Query::exists(v("_c"), Query::atom(r("Booking"), [v("b"), v("o"), v("_c")]))
-                .and(bstate(v("b"), states.tbv)),
+            Query::exists(
+                v("_c"),
+                Query::atom(r("Booking"), [v("b"), v("o"), v("_c")]),
+            )
+            .and(bstate(v("b"), states.tbv)),
         )
         .del(Pattern::from_facts([
             bstate_fact(Term::Var(v("b")), states.tbv),
@@ -403,17 +493,27 @@ pub fn gold_query(k: usize, c: Var, restaurant: Var, states: &States) -> Query {
         }
     }
     for i in 0..k {
-        conjuncts.push(Query::atom(r("Booking"), [Term::Var(bookings[i]), Term::Var(offers[i]), Term::Var(c)]));
-        conjuncts.push(Query::atom(r("BState"), [Term::Var(bookings[i]), Term::Value(states.accepted)]));
+        conjuncts.push(Query::atom(
+            r("Booking"),
+            [Term::Var(bookings[i]), Term::Var(offers[i]), Term::Var(c)],
+        ));
+        conjuncts.push(Query::atom(
+            r("BState"),
+            [Term::Var(bookings[i]), Term::Value(states.accepted)],
+        ));
         conjuncts.push(Query::exists(
             Var::new("_gold_a"),
-            Query::atom(r("Offer"), [Term::Var(offers[i]), Term::Var(restaurant), Term::Var(Var::new("_gold_a"))]),
+            Query::atom(
+                r("Offer"),
+                [
+                    Term::Var(offers[i]),
+                    Term::Var(restaurant),
+                    Term::Var(Var::new("_gold_a")),
+                ],
+            ),
         ));
     }
-    Query::exists_many(
-        offers.into_iter().chain(bookings),
-        Query::conj(conjuncts),
-    )
+    Query::exists_many(offers.into_iter().chain(bookings), Query::conj(conjuncts))
 }
 
 #[cfg(test)]
@@ -423,11 +523,7 @@ mod tests {
     use rdms_db::eval::holds;
     use rdms_db::Substitution;
 
-    fn drive_by_names(
-        agency: &BookingAgency,
-        b: usize,
-        script: &[&str],
-    ) -> rdms_core::ExtendedRun {
+    fn drive_by_names(agency: &BookingAgency, b: usize, script: &[&str]) -> rdms_core::ExtendedRun {
         let sem = RecencySemantics::new(&agency.dms, b);
         let mut run = rdms_core::ExtendedRun::new(agency.dms.initial_bconfig());
         for name in script {
@@ -501,32 +597,43 @@ mod tests {
 
     #[test]
     fn gold_query_counts_accepted_bookings() {
-        let agency = build(&BookingConfig { gold_k: 1, ..Default::default() });
+        let agency = build(&BookingConfig {
+            gold_k: 1,
+            ..Default::default()
+        });
         // after one full accepted lifecycle, the customer is gold for that restaurant
         let run = drive_by_names(
             &agency,
             4,
-            &[
-                "newO1", "newB", "submit", "detProp", "accept2", "confirm",
-            ],
+            &["newO1", "newB", "submit", "detProp", "accept2", "confirm"],
         );
         let last = &run.last().instance;
         let gold = gold_query(1, Var::new("c"), Var::new("rr"), &agency.states);
         // find the customer and restaurant actually used in the run
-        let booking = last.relation(RelName::new("Booking")).next().unwrap().clone();
+        let booking = last
+            .relation(RelName::new("Booking"))
+            .next()
+            .unwrap()
+            .clone();
         let customer = booking[2];
         let offer = booking[1];
         let restaurant = last
             .relation(RelName::new("Offer"))
             .find(|t| t[0] == offer)
             .unwrap()[1];
-        let sub = Substitution::from_pairs([(Var::new("c"), customer), (Var::new("rr"), restaurant)]);
+        let sub =
+            Substitution::from_pairs([(Var::new("c"), customer), (Var::new("rr"), restaurant)]);
         assert!(holds(last, &sub, &gold).unwrap());
         // before acceptance the customer is not gold
         let before = &run.configs()[run.len() - 2].instance;
         assert!(!holds(before, &sub, &gold).unwrap());
         // and not gold for the other restaurant
-        let other = agency.restaurants.iter().copied().find(|&x| x != restaurant).unwrap();
+        let other = agency
+            .restaurants
+            .iter()
+            .copied()
+            .find(|&x| x != restaurant)
+            .unwrap();
         let sub2 = Substitution::from_pairs([(Var::new("c"), customer), (Var::new("rr"), other)]);
         assert!(!holds(last, &sub2, &gold).unwrap());
     }

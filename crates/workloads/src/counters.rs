@@ -2,8 +2,8 @@
 
 pub use rdms_core::counter::binary::binary_reduction;
 pub use rdms_core::counter::machine::{pump_and_transfer, unreachable_target, CounterMachine};
-pub use rdms_core::counter::unary::unary_reduction;
 pub use rdms_core::counter::state_proposition;
+pub use rdms_core::counter::unary::unary_reduction;
 
 use rdms_core::counter::machine::{CounterOp, Instruction};
 
@@ -18,11 +18,31 @@ pub fn nondeterministic_race() -> CounterMachine {
         2,
         vec![
             // state 0: either pump c0 or move on
-            Instruction { from: 0, op: CounterOp::Inc, counter: 0, to: 0 },
-            Instruction { from: 0, op: CounterOp::IfZero, counter: 1, to: 1 },
+            Instruction {
+                from: 0,
+                op: CounterOp::Inc,
+                counter: 0,
+                to: 0,
+            },
+            Instruction {
+                from: 0,
+                op: CounterOp::IfZero,
+                counter: 1,
+                to: 1,
+            },
             // state 1: drain c0
-            Instruction { from: 1, op: CounterOp::Dec, counter: 0, to: 1 },
-            Instruction { from: 1, op: CounterOp::IfZero, counter: 0, to: 2 },
+            Instruction {
+                from: 1,
+                op: CounterOp::Dec,
+                counter: 0,
+                to: 1,
+            },
+            Instruction {
+                from: 1,
+                op: CounterOp::IfZero,
+                counter: 0,
+                to: 2,
+            },
         ],
     )
 }

@@ -30,13 +30,22 @@ fn builder(with_dropout: bool) -> Dms {
             ActionBuilder::new("enroll")
                 .fresh([v("s")])
                 .guard(Query::prop(r("open")))
-                .add(Pattern::from_facts([(r("Enrolled"), vec![Term::Var(v("s"))])])),
+                .add(Pattern::from_facts([(
+                    r("Enrolled"),
+                    vec![Term::Var(v("s"))],
+                )])),
         )
         .action(
             ActionBuilder::new("graduate")
                 .guard(Query::atom(r("Enrolled"), [v("s")]))
-                .del(Pattern::from_facts([(r("Enrolled"), vec![Term::Var(v("s"))])]))
-                .add(Pattern::from_facts([(r("Graduated"), vec![Term::Var(v("s"))])])),
+                .del(Pattern::from_facts([(
+                    r("Enrolled"),
+                    vec![Term::Var(v("s"))],
+                )]))
+                .add(Pattern::from_facts([(
+                    r("Graduated"),
+                    vec![Term::Var(v("s"))],
+                )])),
         )
         .action(
             ActionBuilder::new("close")
@@ -47,7 +56,10 @@ fn builder(with_dropout: bool) -> Dms {
         b = b.action(
             ActionBuilder::new("dropout")
                 .guard(Query::atom(r("Enrolled"), [v("s")]))
-                .del(Pattern::from_facts([(r("Enrolled"), vec![Term::Var(v("s"))])])),
+                .del(Pattern::from_facts([(
+                    r("Enrolled"),
+                    vec![Term::Var(v("s"))],
+                )])),
         );
     }
     b.build().expect("enrollment DMS is valid")

@@ -15,14 +15,35 @@ pub fn figure_1_steps() -> Vec<Step> {
     let v = Var::new;
     let e = DataValue::e;
     vec![
-        Step::new(0, Substitution::from_pairs([(v("v1"), e(1)), (v("v2"), e(2)), (v("v3"), e(3))])),
-        Step::new(1, Substitution::from_pairs([(v("u"), e(2)), (v("v1"), e(4)), (v("v2"), e(5))])),
-        Step::new(0, Substitution::from_pairs([(v("v1"), e(6)), (v("v2"), e(7)), (v("v3"), e(8))])),
+        Step::new(
+            0,
+            Substitution::from_pairs([(v("v1"), e(1)), (v("v2"), e(2)), (v("v3"), e(3))]),
+        ),
+        Step::new(
+            1,
+            Substitution::from_pairs([(v("u"), e(2)), (v("v1"), e(4)), (v("v2"), e(5))]),
+        ),
+        Step::new(
+            0,
+            Substitution::from_pairs([(v("v1"), e(6)), (v("v2"), e(7)), (v("v3"), e(8))]),
+        ),
         Step::new(2, Substitution::from_pairs([(v("u"), e(7))])),
-        Step::new(3, Substitution::from_pairs([(v("u1"), e(8)), (v("u2"), e(6))])),
-        Step::new(3, Substitution::from_pairs([(v("u1"), e(4)), (v("u2"), e(5))])),
-        Step::new(3, Substitution::from_pairs([(v("u1"), e(3)), (v("u2"), e(3))])),
-        Step::new(0, Substitution::from_pairs([(v("v1"), e(9)), (v("v2"), e(10)), (v("v3"), e(11))])),
+        Step::new(
+            3,
+            Substitution::from_pairs([(v("u1"), e(8)), (v("u2"), e(6))]),
+        ),
+        Step::new(
+            3,
+            Substitution::from_pairs([(v("u1"), e(4)), (v("u2"), e(5))]),
+        ),
+        Step::new(
+            3,
+            Substitution::from_pairs([(v("u1"), e(3)), (v("u2"), e(3))]),
+        ),
+        Step::new(
+            0,
+            Substitution::from_pairs([(v("v1"), e(9)), (v("v2"), e(10)), (v("v3"), e(11))]),
+        ),
     ]
 }
 

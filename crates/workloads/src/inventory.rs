@@ -1,0 +1,162 @@
+//! A wide-branching inventory / order-fulfilment scenario, sized to exercise the parallel
+//! explorer.
+//!
+//! Relations: `Stocked/1` (items on the shelf), `Order/1` (open orders), `Reserved/2`
+//! (item, order), `Shipped/2`, and a proposition `open` (the receiving dock).
+//! Actions:
+//! * `receive` — a batch of `width` fresh items arrives (while the dock is open),
+//! * `place_order` — a fresh order is opened (while the dock is open),
+//! * `reserve` — a stocked item is reserved for an order (taking it off the shelf),
+//! * `ship` — a reserved item is shipped against its order,
+//! * `cancel` — a reservation is released, returning the item to the shelf,
+//! * `close` — close the receiving dock.
+//!
+//! The `reserve` action instantiates over *pairs* of recent values (item × order), so the
+//! `b`-bounded configuration graph branches quadratically in the recency bound: a single
+//! frontier entry spawns many successors, each requiring guard evaluation over a growing
+//! instance. That makes this workload the canonical stress test for the work-stealing
+//! explorer (bench `e9_parallel_scaling`), where trace workloads like `figure1` are too
+//! narrow to keep several workers busy.
+
+use rdms_core::action::ActionBuilder;
+use rdms_core::dms::DmsBuilder;
+use rdms_core::Dms;
+use rdms_db::{Pattern, Query, RelName, Term, Var};
+
+fn r(name: &str) -> RelName {
+    RelName::new(name)
+}
+
+/// The inventory system with `width` fresh items per `receive` batch (`width ≥ 1`).
+pub fn dms(width: usize) -> Dms {
+    let v = Var::new;
+    let batch: Vec<Var> = (0..width.max(1)).map(|k| Var::numbered("i", k)).collect();
+    let receive_add = Pattern::from_facts(
+        batch
+            .iter()
+            .map(|&item| (r("Stocked"), vec![Term::Var(item)]))
+            .collect::<Vec<_>>(),
+    );
+    DmsBuilder::new()
+        .proposition("open")
+        .relation("Stocked", 1)
+        .relation("Order", 1)
+        .relation("Reserved", 2)
+        .relation("Shipped", 2)
+        .initially_true("open")
+        .action(
+            ActionBuilder::new("receive")
+                .fresh(batch)
+                .guard(Query::prop(r("open")))
+                .add(receive_add),
+        )
+        .action(
+            ActionBuilder::new("place_order")
+                .fresh([v("o")])
+                .guard(Query::prop(r("open")))
+                .add(Pattern::from_facts([(r("Order"), vec![Term::Var(v("o"))])])),
+        )
+        .action(
+            ActionBuilder::new("reserve")
+                .guard(Query::atom(r("Stocked"), [v("i")]).and(Query::atom(r("Order"), [v("o")])))
+                .del(Pattern::from_facts([(
+                    r("Stocked"),
+                    vec![Term::Var(v("i"))],
+                )]))
+                .add(Pattern::from_facts([(
+                    r("Reserved"),
+                    vec![Term::Var(v("i")), Term::Var(v("o"))],
+                )])),
+        )
+        .action(
+            ActionBuilder::new("ship")
+                .guard(Query::atom(r("Reserved"), [v("i"), v("o")]))
+                .del(Pattern::from_facts([(
+                    r("Reserved"),
+                    vec![Term::Var(v("i")), Term::Var(v("o"))],
+                )]))
+                .add(Pattern::from_facts([(
+                    r("Shipped"),
+                    vec![Term::Var(v("i")), Term::Var(v("o"))],
+                )])),
+        )
+        .action(
+            ActionBuilder::new("cancel")
+                .guard(Query::atom(r("Reserved"), [v("i"), v("o")]))
+                .del(Pattern::from_facts([(
+                    r("Reserved"),
+                    vec![Term::Var(v("i")), Term::Var(v("o"))],
+                )]))
+                .add(Pattern::from_facts([(
+                    r("Stocked"),
+                    vec![Term::Var(v("i"))],
+                )])),
+        )
+        .action(
+            ActionBuilder::new("close")
+                .guard(Query::prop(r("open")))
+                .del(Pattern::proposition(r("open"))),
+        )
+        .build()
+        .expect("inventory DMS is valid")
+}
+
+/// The state invariant "a reserved item is never simultaneously on the shelf"
+/// (`∀i∀o. Reserved(i, o) ⇒ ¬Stocked(i)`). It holds: `reserve` removes the item from
+/// `Stocked`, and `cancel` restores it only after deleting the reservation.
+pub fn reserved_items_are_off_the_shelf() -> Query {
+    let (i, o) = (Var::new("i"), Var::new("o"));
+    Query::forall(
+        i,
+        Query::forall(
+            o,
+            Query::atom(r("Reserved"), [i, o]).implies(Query::atom(r("Stocked"), [i]).not()),
+        ),
+    )
+}
+
+/// The reachability target "some item was shipped against some order"
+/// (`∃i∃o. Shipped(i, o)`); reachable in four steps (receive, place_order, reserve, ship).
+pub fn something_shipped() -> Query {
+    let (i, o) = (Var::new("i"), Var::new("o"));
+    Query::exists(i, Query::exists(o, Query::atom(r("Shipped"), [i, o])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdms_core::RecencySemantics;
+
+    #[test]
+    fn system_builds_at_every_width() {
+        for width in 1..=4 {
+            let dms = dms(width);
+            assert_eq!(dms.num_actions(), 6);
+        }
+    }
+
+    #[test]
+    fn reserve_branches_over_item_order_pairs() {
+        // after receive(2 items) + place_order there are 2 stocked × 1 order = 2 reserve
+        // moves (all values still inside a recency window of ≥ 3)
+        let dms = dms(2);
+        let sem = RecencySemantics::new(&dms, 3);
+        let mut config = dms.initial_bconfig();
+        for name in ["receive", "place_order"] {
+            let (_, next) = sem
+                .successors(&config)
+                .unwrap()
+                .into_iter()
+                .find(|(s, _)| dms.action(s.action).unwrap().name() == name)
+                .unwrap();
+            config = next;
+        }
+        let reserves = sem
+            .successors(&config)
+            .unwrap()
+            .into_iter()
+            .filter(|(s, _)| dms.action(s.action).unwrap().name() == "reserve")
+            .count();
+        assert_eq!(reserves, 2);
+    }
+}

@@ -10,6 +10,8 @@
 //!   Figure 5 lifecycles), parameterised by the number of restaurants, agents and customers;
 //! * [`warehouse`] — the Appendix F.4 warehouse replenishment system with its bulk `NewO`
 //!   action;
+//! * [`inventory`] — a wide-branching order-fulfilment scenario sized to exercise the
+//!   parallel explorer (bench E9);
 //! * [`counters`] — counter-machine workloads for the Appendix D reductions;
 //! * [`random`] — a seeded random DMS / random run generator used by property tests and
 //!   benchmarks.
@@ -18,5 +20,6 @@ pub mod booking;
 pub mod counters;
 pub mod enrollment;
 pub mod figure1;
+pub mod inventory;
 pub mod random;
 pub mod warehouse;

@@ -80,9 +80,14 @@ pub fn random_dms(config: &RandomDmsConfig) -> Dms {
 
     for a in 0..config.actions {
         let num_params = rng.gen_range(0..=config.max_params);
-        let num_fresh = rng.gen_range(if num_params == 0 { 1 } else { 0 }..=config.max_fresh.max(1));
-        let params: Vec<Var> = (0..num_params).map(|i| Var::numbered(&format!("a{a}_u"), i)).collect();
-        let fresh: Vec<Var> = (0..num_fresh).map(|i| Var::numbered(&format!("a{a}_v"), i)).collect();
+        let num_fresh =
+            rng.gen_range(if num_params == 0 { 1 } else { 0 }..=config.max_fresh.max(1));
+        let params: Vec<Var> = (0..num_params)
+            .map(|i| Var::numbered(&format!("a{a}_u"), i))
+            .collect();
+        let fresh: Vec<Var> = (0..num_fresh)
+            .map(|i| Var::numbered(&format!("a{a}_v"), i))
+            .collect();
 
         // guard: for every parameter one positive atom containing it; optionally one negated atom
         let mut guard_atoms: Vec<Query> = Vec::new();
@@ -146,7 +151,9 @@ pub fn random_dms(config: &RandomDmsConfig) -> Dms {
         );
     }
 
-    builder.build().expect("randomly generated DMS is valid by construction")
+    builder
+        .build()
+        .expect("randomly generated DMS is valid by construction")
 }
 
 /// A random `b`-bounded run of up to `steps` steps (stopping early at a deadlock), produced
@@ -176,7 +183,10 @@ mod tests {
         let a = random_dms(&RandomDmsConfig::default());
         let b = random_dms(&RandomDmsConfig::default());
         assert_eq!(a, b);
-        let c = random_dms(&RandomDmsConfig { seed: 99, ..Default::default() });
+        let c = random_dms(&RandomDmsConfig {
+            seed: 99,
+            ..Default::default()
+        });
         assert_ne!(a, c);
     }
 

@@ -11,7 +11,9 @@ use rdms_db::{Pattern, Query, RelName, Term, Var};
 /// `init` window is open.
 pub fn base_dms(products_per_stock: usize) -> Dms {
     let r = RelName::new;
-    let product_vars: Vec<Var> = (0..products_per_stock).map(|i| Var::numbered("p", i)).collect();
+    let product_vars: Vec<Var> = (0..products_per_stock)
+        .map(|i| Var::numbered("p", i))
+        .collect();
     let add = Pattern::from_facts(
         product_vars
             .iter()

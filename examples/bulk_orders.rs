@@ -17,22 +17,34 @@ fn main() {
     let base = warehouse::base_dms(products);
     let bulk = warehouse::new_order_bulk();
     println!("== Appendix F.4: warehouse replenishment ==");
-    println!("  base system: {} actions; bulk action: {}", base.num_actions(), bulk.name);
+    println!(
+        "  base system: {} actions; bulk action: {}",
+        base.num_actions(),
+        bulk.name
+    );
 
     // stock the warehouse
     let sem = ConcreteSemantics::new(&base);
     let (_, stocked) = sem.successors(&base.initial_config()).unwrap().remove(0);
-    println!("  after stocking: TBO holds {} products", stocked.instance.relation_size(RelName::new("TBO")));
+    println!(
+        "  after stocking: TBO holds {} products",
+        stocked.instance.relation_size(RelName::new("TBO"))
+    );
 
     // 1. direct retrieve-all-answers-per-step semantics
     let fresh_order = sem.canonical_fresh(&stocked, 1)[0];
-    let direct = apply_bulk(&stocked, &bulk, &[fresh_order]).unwrap().unwrap();
+    let direct = apply_bulk(&stocked, &bulk, &[fresh_order])
+        .unwrap()
+        .unwrap();
     println!("\n== direct bulk semantics ==");
     println!("  {}", direct.instance);
 
     // 2. compiled simulation (Example F.5): run the locked protocol to quiescence
     let (compiled, rels) = warehouse::compiled_dms(products).unwrap();
-    println!("\n== compiled simulation (lock-protected, {} actions) ==", compiled.num_actions());
+    println!(
+        "\n== compiled simulation (lock-protected, {} actions) ==",
+        compiled.num_actions()
+    );
     for action in compiled.actions() {
         println!("    {}", action.name());
     }
@@ -52,7 +64,11 @@ fn main() {
             .find(|(s, _)| compiled.action(s.action).unwrap().name() != "stock");
         match next {
             Some((step, cfg)) => {
-                println!("  step {:2}: {}", steps + 1, compiled.action(step.action).unwrap().name());
+                println!(
+                    "  step {:2}: {}",
+                    steps + 1,
+                    compiled.action(step.action).unwrap().name()
+                );
                 current = cfg;
                 steps += 1;
                 if rels.is_quiescent(&current.instance) {

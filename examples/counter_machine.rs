@@ -12,14 +12,29 @@ fn main() {
     let machine = pump_and_transfer(3);
     let target = machine.num_states - 1;
     println!("== Appendix D: a 2-counter machine ==");
-    println!("  states: {}, instructions: {}", machine.num_states, machine.instructions.len());
-    println!("  final state {target} reachable (direct simulation)? {}", machine.state_reachable(target, 100_000));
+    println!(
+        "  states: {}, instructions: {}",
+        machine.num_states,
+        machine.instructions.len()
+    );
+    println!(
+        "  final state {target} reachable (direct simulation)? {}",
+        machine.state_reachable(target, 100_000)
+    );
 
     // Reduction 1: two unary relations, full FOL guards.
     let unary = unary_reduction(&machine).unwrap();
     println!("\n== unary reduction (two unary relations, FOL guards) ==");
-    println!("  schema size: {}, actions: {}, max arity: {}", unary.schema().len(), unary.num_actions(), unary.max_arity());
-    println!("  all guards UCQ? {} (ifz needs negation)", unary.all_guards_ucq());
+    println!(
+        "  schema size: {}, actions: {}, max arity: {}",
+        unary.schema().len(),
+        unary.num_actions(),
+        unary.max_arity()
+    );
+    println!(
+        "  all guards UCQ? {} (ifz needs negation)",
+        unary.all_guards_ucq()
+    );
     let sem = ConcreteSemantics::new(&unary);
     let prop = RelName::new(&state_proposition(target));
     println!(
@@ -30,7 +45,12 @@ fn main() {
     // Reduction 2: one binary relation, UCQ guards only.
     let binary = binary_reduction(&machine).unwrap();
     println!("\n== binary reduction (one binary relation, UCQ guards) ==");
-    println!("  schema size: {}, actions: {}, max arity: {}", binary.schema().len(), binary.num_actions(), binary.max_arity());
+    println!(
+        "  schema size: {}, actions: {}, max arity: {}",
+        binary.schema().len(),
+        binary.num_actions(),
+        binary.max_arity()
+    );
     println!("  all guards UCQ? {}", binary.all_guards_ucq());
     let sem = ConcreteSemantics::new(&binary);
     println!(
@@ -46,14 +66,23 @@ fn main() {
     let small_binary = binary_reduction(&small).unwrap();
     let small_prop = RelName::new(&state_proposition(small.num_states - 1));
     for b in [1usize, 2, 3] {
-        let explorer = Explorer::new(&small_binary, b).with_config(ExplorerConfig { depth: 10, max_configs: 30_000 });
+        let explorer = Explorer::new(&small_binary, b).with_config(ExplorerConfig {
+            depth: 10,
+            max_configs: 30_000,
+            // threads: 1 keeps the printed statistics byte-identical run to run
+            threads: 1,
+        });
         let (reachable, stats) = explorer.proposition_reachable(small_prop);
         println!(
             "  b = {b}: final state reachable = {reachable:5}  (configurations explored: {})",
             stats.configs_explored
         );
     }
-    println!("\nIncreasing the recency bound verifies strictly more behaviours (Section 5): the zero");
-    println!("test needs the chain's Zero element inside the recency window, so it only fires once");
+    println!(
+        "\nIncreasing the recency bound verifies strictly more behaviours (Section 5): the zero"
+    );
+    println!(
+        "test needs the chain's Zero element inside the recency window, so it only fires once"
+    );
     println!("the bound covers the whole counter chain.");
 }

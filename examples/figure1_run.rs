@@ -26,9 +26,22 @@ fn main() {
 
     // Example 5.1: it is 2-recency-bounded (and not 1-recency-bounded)
     println!("\n== Example 5.1: recency boundedness ==");
-    println!("  minimal recency bound of the run: {:?}", RecencySemantics::minimal_bound(&dms, &run));
-    println!("  replayable at b = 1? {}", RecencySemantics::new(&dms, 1).execute(&figure1::figure_1_steps()).is_ok());
-    println!("  replayable at b = 2? {}", RecencySemantics::new(&dms, 2).execute(&figure1::figure_1_steps()).is_ok());
+    println!(
+        "  minimal recency bound of the run: {:?}",
+        RecencySemantics::minimal_bound(&dms, &run)
+    );
+    println!(
+        "  replayable at b = 1? {}",
+        RecencySemantics::new(&dms, 1)
+            .execute(&figure1::figure_1_steps())
+            .is_ok()
+    );
+    println!(
+        "  replayable at b = 2? {}",
+        RecencySemantics::new(&dms, 2)
+            .execute(&figure1::figure_1_steps())
+            .is_ok()
+    );
 
     // Example 6.1: the abstract generating sequence
     println!("\n== Example 6.1: abstract generating sequence ==");
@@ -39,14 +52,26 @@ fn main() {
     }
 
     // Concr ∘ Abstr is the identity on this (canonical) run
-    let rebuilt = symbolic::concretize(&dms, b, &word).unwrap().expect("valid abstraction");
-    println!("  Concr(Abstr(run)) == run ? {}", rebuilt.configs() == run.configs());
+    let rebuilt = symbolic::concretize(&dms, b, &word)
+        .unwrap()
+        .expect("valid abstraction");
+    println!(
+        "  Concr(Abstr(run)) == run ? {}",
+        rebuilt.configs() == run.configs()
+    );
 
     // Figure 2: the nested-word encoding
     println!("\n== Figure 2: nested-word encoding ==");
     let encoder = RunEncoder::new(&dms, b);
-    let encoding = encoder.encode(&run).expect("2-bounded run encodes at b = 2");
-    println!("  {} letters, {} nesting edges, {} pending pushes", encoding.len(), encoding.nesting_edges().len(), encoding.pending_calls().len());
+    let encoding = encoder
+        .encode(&run)
+        .expect("2-bounded run encodes at b = 2");
+    println!(
+        "  {} letters, {} nesting edges, {} pending pushes",
+        encoding.len(),
+        encoding.nesting_edges().len(),
+        encoding.pending_calls().len()
+    );
     println!("  {encoding}");
     println!("  valid encoding? {}", encoder.is_valid_encoding(&encoding));
 
@@ -70,5 +95,8 @@ fn main() {
 
     // decode back
     let decoded = encoder.decode(&encoding).expect("valid");
-    println!("\n  decode(encode(run)) == run ? {}", decoded.configs() == run.configs());
+    println!(
+        "\n  decode(encode(run)) == run ? {}",
+        decoded.configs() == run.configs()
+    );
 }

@@ -18,19 +18,34 @@ fn main() {
             ActionBuilder::new("open_ticket")
                 .fresh([Var::new("t")])
                 .guard(Query::prop(RelName::new("service_open")))
-                .add(Pattern::from_facts([(RelName::new("Open"), vec![Term::Var(Var::new("t"))])])),
+                .add(Pattern::from_facts([(
+                    RelName::new("Open"),
+                    vec![Term::Var(Var::new("t"))],
+                )])),
         )
         .action(
             ActionBuilder::new("resolve")
                 .guard(Query::atom(RelName::new("Open"), [Var::new("t")]))
-                .del(Pattern::from_facts([(RelName::new("Open"), vec![Term::Var(Var::new("t"))])]))
-                .add(Pattern::from_facts([(RelName::new("Resolved"), vec![Term::Var(Var::new("t"))])])),
+                .del(Pattern::from_facts([(
+                    RelName::new("Open"),
+                    vec![Term::Var(Var::new("t"))],
+                )]))
+                .add(Pattern::from_facts([(
+                    RelName::new("Resolved"),
+                    vec![Term::Var(Var::new("t"))],
+                )])),
         )
         .action(
             ActionBuilder::new("escalate")
                 .guard(Query::atom(RelName::new("Open"), [Var::new("t")]))
-                .del(Pattern::from_facts([(RelName::new("Open"), vec![Term::Var(Var::new("t"))])]))
-                .add(Pattern::from_facts([(RelName::new("Escalated"), vec![Term::Var(Var::new("t"))])])),
+                .del(Pattern::from_facts([(
+                    RelName::new("Open"),
+                    vec![Term::Var(Var::new("t"))],
+                )]))
+                .add(Pattern::from_facts([(
+                    RelName::new("Escalated"),
+                    vec![Term::Var(Var::new("t"))],
+                )])),
         )
         .build()
         .expect("valid DMS");
@@ -55,7 +70,12 @@ fn main() {
     println!("\nafter 4 steps the database is: {}", run.last().instance);
 
     // Model check at recency bound b.
-    let explorer = Explorer::new(&dms, b).with_config(ExplorerConfig { depth: 5, max_configs: 20_000 });
+    let explorer = Explorer::new(&dms, b).with_config(ExplorerConfig {
+        depth: 5,
+        max_configs: 20_000,
+        // threads: 1 keeps the printed statistics byte-identical run to run
+        threads: 1,
+    });
 
     // 1. Invariant: no ticket is both escalated and resolved.
     let t = Var::new("t");
@@ -69,8 +89,10 @@ fn main() {
     println!("\n[invariant]  escalated ∧ resolved is impossible: {verdict}");
 
     // 2. Reachability: some ticket can be resolved.
-    let (witness, _, stats) =
-        explorer.find_reachable_instance(&Query::exists(t, Query::atom(RelName::new("Resolved"), [t])));
+    let (witness, _, stats) = explorer.find_reachable_instance(&Query::exists(
+        t,
+        Query::atom(RelName::new("Resolved"), [t]),
+    ));
     match witness {
         Some(run) => println!(
             "[reachable]  a resolved ticket is reachable in {} steps ({} configurations explored)",
@@ -90,6 +112,10 @@ fn main() {
     let verdict = explorer.check(&property);
     println!("[response ]  every open ticket is eventually closed: {verdict}");
     if let Some(cex) = verdict.counterexample() {
-        println!("             counterexample prefix of {} steps: {}", cex.len(), cex.last().instance);
+        println!(
+            "             counterexample prefix of {} steps: {}",
+            cex.len(),
+            cex.last().instance
+        );
     }
 }

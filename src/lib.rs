@@ -46,10 +46,12 @@ pub use rdms_workloads as workloads;
 pub mod prelude {
     pub use rdms_checker::{CheckStats, Explorer, ExplorerConfig, RunEncoder, Verdict};
     pub use rdms_core::{
-        Action, ActionBuilder, BConfig, Config, ConcreteSemantics, Dms, DmsBuilder, ExtendedRun,
+        Action, ActionBuilder, BConfig, ConcreteSemantics, Config, Dms, DmsBuilder, ExtendedRun,
         RecencySemantics, Step,
     };
-    pub use rdms_db::{DataValue, Instance, Pattern, Query, RelName, Schema, Substitution, Term, Var};
+    pub use rdms_db::{
+        DataValue, Instance, Pattern, Query, RelName, Schema, Substitution, Term, Var,
+    };
     pub use rdms_logic::{templates, FoLtl, MsoFo};
     pub use rdms_nested::{Alphabet, MsoNw, NestedWord, Vpa};
 }

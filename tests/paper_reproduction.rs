@@ -83,13 +83,17 @@ fn f6_counter_machine_reductions_agree() {
 
     let unary = unary_reduction(&machine).unwrap();
     assert_eq!(
-        ConcreteSemantics::new(&unary).proposition_reachable(prop, 10_000, 30).unwrap(),
+        ConcreteSemantics::new(&unary)
+            .proposition_reachable(prop, 10_000, 30)
+            .unwrap(),
         expected
     );
     let binary = binary_reduction(&machine).unwrap();
     assert!(binary.all_guards_ucq());
     assert_eq!(
-        ConcreteSemantics::new(&binary).proposition_reachable(prop, 10_000, 30).unwrap(),
+        ConcreteSemantics::new(&binary)
+            .proposition_reachable(prop, 10_000, 30)
+            .unwrap(),
         expected
     );
 
@@ -120,8 +124,11 @@ fn f7_constant_removal_end_to_end() {
         .action(
             ActionBuilder::new("attach")
                 .fresh([Var::new("x")])
-                .guard(Query::atom(r("Mark"), [Term::Var(Var::new("m")), ]))
-                .add(Pattern::from_facts([(r("Item"), vec![Term::Var(Var::new("x")), Term::Var(Var::new("m"))])])),
+                .guard(Query::atom(r("Mark"), [Term::Var(Var::new("m"))]))
+                .add(Pattern::from_facts([(
+                    r("Item"),
+                    vec![Term::Var(Var::new("x")), Term::Var(Var::new("m"))],
+                )])),
         )
         .build()
         .unwrap();
@@ -132,8 +139,12 @@ fn f7_constant_removal_end_to_end() {
     assert_eq!(&removal.expand_instance(compacted.initial()), dms.initial());
 
     // the reachable instances of both systems coincide up to isomorphism after expansion
-    let orig: Vec<_> = ConcreteSemantics::new(&dms).reachable_configs(50, 2).unwrap();
-    let comp: Vec<_> = ConcreteSemantics::new(&compacted).reachable_configs(50, 2).unwrap();
+    let orig: Vec<_> = ConcreteSemantics::new(&dms)
+        .reachable_configs(50, 2)
+        .unwrap();
+    let comp: Vec<_> = ConcreteSemantics::new(&compacted)
+        .reachable_configs(50, 2)
+        .unwrap();
     assert_eq!(orig.len(), comp.len());
     for c in &comp {
         let expanded = removal.expand_instance(&c.instance);
@@ -177,9 +188,13 @@ fn f10_bulk_compilation() {
     let base = warehouse::base_dms(3);
     let sem = ConcreteSemantics::new(&base);
     let (_, stocked) = sem.successors(&base.initial_config()).unwrap().remove(0);
-    let next = bulk::apply_bulk(&stocked, &warehouse::new_order_bulk(), &[rdms::db::DataValue::e(900)])
-        .unwrap()
-        .unwrap();
+    let next = bulk::apply_bulk(
+        &stocked,
+        &warehouse::new_order_bulk(),
+        &[rdms::db::DataValue::e(900)],
+    )
+    .unwrap()
+    .unwrap();
     assert_eq!(next.instance.relation_size(r("InOrder")), 3);
 }
 
@@ -196,9 +211,19 @@ fn t2_reduction_pipeline_cross_validation() {
 
     // the engines agree on the verdicts
     let hybrid3 = rdms::checker::hybrid::HybridChecker::new(&dms, 2, 3);
-    let explorer = Explorer::new(&dms, 2).with_config(ExplorerConfig { depth: 2, max_configs: 5_000 });
-    for property in [templates::never(r("p")), templates::invariant(Query::prop(r("p")))] {
-        assert_eq!(hybrid3.check(&property).holds(), explorer.check(&property).holds());
+    let explorer = Explorer::new(&dms, 2).with_config(ExplorerConfig {
+        depth: 2,
+        max_configs: 5_000,
+        ..Default::default()
+    });
+    for property in [
+        templates::never(r("p")),
+        templates::invariant(Query::prop(r("p"))),
+    ] {
+        assert_eq!(
+            hybrid3.check(&property).holds(),
+            explorer.check(&property).holds()
+        );
     }
 }
 
@@ -209,7 +234,11 @@ fn e1_recency_sweep_is_monotone() {
     for dms in [figure1::dms(), enrollment::dms()] {
         let mut counts = Vec::new();
         for b in 1..=3 {
-            let explorer = Explorer::new(&dms, b).with_config(ExplorerConfig { depth: 3, max_configs: 20_000 });
+            let explorer = Explorer::new(&dms, b).with_config(ExplorerConfig {
+                depth: 3,
+                max_configs: 20_000,
+                ..Default::default()
+            });
             counts.push(explorer.reachable_state_count().0);
         }
         assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
@@ -221,7 +250,11 @@ fn e1_recency_sweep_is_monotone() {
 #[test]
 fn introduction_student_property() {
     let dms = enrollment::dms();
-    let explorer = Explorer::new(&dms, 2).with_config(ExplorerConfig { depth: 4, max_configs: 20_000 });
+    let explorer = Explorer::new(&dms, 2).with_config(ExplorerConfig {
+        depth: 4,
+        max_configs: 20_000,
+        ..Default::default()
+    });
     let property = enrollment::graduation_property();
     let verdict = explorer.check(&property);
     assert!(!verdict.holds(), "a dropout refutes the property");

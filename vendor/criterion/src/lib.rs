@@ -5,10 +5,115 @@
 //! and the [`criterion_group!`]/[`criterion_main!`] macros — with a simple
 //! measure-and-print backend: each benchmark is warmed up once, then timed over an
 //! adaptively chosen iteration count, and the mean time per iteration is printed.
-//! There is no statistical analysis, no plotting, and no baseline storage.
+//! There is no statistical analysis and no plotting.
+//!
+//! Two environment variables support machine-readable CI runs:
+//!
+//! * `CRITERION_MEASURE_MS` — per-benchmark measurement budget in milliseconds,
+//!   overriding every configured budget (the CI `bench-smoke` job sets a small value);
+//! * `BENCH_JSON_DIR` — when set, [`criterion_main!`] writes a JSON summary of every
+//!   benchmark's mean iteration time to `$BENCH_JSON_DIR/BENCH_<suite prefix>.json`
+//!   (e.g. `BENCH_e1.json` for the `e1_recency_sweep` bench target), which the
+//!   `bench_gate` tool compares against the committed baseline.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One measured benchmark: label, mean nanoseconds per iteration, iteration count.
+struct Record {
+    label: String,
+    mean_ns: f64,
+    iterations: u64,
+}
+
+/// Results accumulated by every [`Bencher::iter`] call of this process.
+static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+fn record(label: &str, mean_ns: f64, iterations: u64) {
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(Record {
+            label: label.to_owned(),
+            mean_ns,
+            iterations,
+        });
+}
+
+/// The measurement budget override from `CRITERION_MEASURE_MS`, if set.
+fn budget_override() -> Option<Duration> {
+    let ms: u64 = std::env::var("CRITERION_MEASURE_MS").ok()?.parse().ok()?;
+    Some(Duration::from_millis(ms.max(1)))
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// The bench-target name this process was built from (`e1_recency_sweep` for the binary
+/// `e1_recency_sweep-<hash>`), if it can be determined.
+fn suite_name() -> Option<String> {
+    let exe = std::env::current_exe().ok()?;
+    let stem = exe.file_stem()?.to_str()?;
+    // cargo appends `-<metadata hash>` to bench binaries; strip it when present
+    Some(match stem.rfind('-') {
+        Some(cut) if stem[cut + 1..].chars().all(|c| c.is_ascii_hexdigit()) => {
+            stem[..cut].to_owned()
+        }
+        _ => stem.to_owned(),
+    })
+}
+
+/// Write the accumulated results as `BENCH_<suite prefix>.json` under `BENCH_JSON_DIR`.
+/// A no-op unless that environment variable is set. Called by [`criterion_main!`] after all
+/// groups have run; safe to call directly from hand-rolled `main`s.
+pub fn write_json_summary() {
+    let Some(dir) = std::env::var_os("BENCH_JSON_DIR") else {
+        return;
+    };
+    let Some(suite) = suite_name() else {
+        return;
+    };
+    // `e1_recency_sweep` → `e1`; suites without an underscore keep their full name
+    let short = suite.split('_').next().unwrap_or(&suite);
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut body = String::new();
+    body.push_str(&format!(
+        "{{\n  \"suite\": \"{}\",\n  \"benchmarks\": [",
+        json_escape(&suite)
+    ));
+    for (i, rec) in results.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "\n    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}}}",
+            json_escape(&rec.label),
+            rec.mean_ns,
+            rec.iterations
+        ));
+    }
+    body.push_str("\n  ]\n}\n");
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("criterion: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("BENCH_{short}.json"));
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("criterion: cannot write {}: {e}", path.display());
+    } else {
+        println!("criterion: wrote {}", path.display());
+    }
+}
 
 /// Prevent the optimiser from eliding a computation (thin wrapper over `std::hint`).
 pub fn black_box<T>(x: T) -> T {
@@ -23,12 +128,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A two-part id, rendered as `name/parameter`.
     pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
-        BenchmarkId { full: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
     }
 
     /// An id carrying only a parameter (criterion's `from_parameter`).
     pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
-        BenchmarkId { full: parameter.to_string() }
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
     }
 }
 
@@ -40,6 +149,7 @@ impl Display for BenchmarkId {
 
 /// Timing loop handed to benchmark closures.
 pub struct Bencher {
+    label: String,
     measurement_time: Duration,
 }
 
@@ -52,7 +162,7 @@ impl Bencher {
         black_box(routine());
         let warmup = warmup_start.elapsed().max(Duration::from_nanos(1));
 
-        let budget = self.measurement_time;
+        let budget = budget_override().unwrap_or(self.measurement_time);
         let iters = (budget.as_nanos() / warmup.as_nanos()).clamp(1, 1_000_000) as u64;
         let start = Instant::now();
         for _ in 0..iters {
@@ -61,12 +171,16 @@ impl Bencher {
         let total = start.elapsed();
         let per_iter = total / iters as u32;
         println!("{:>14?}/iter ({iters} iterations)", per_iter);
+        record(&self.label, total.as_nanos() as f64 / iters as f64, iters);
     }
 }
 
 fn run_bench(label: &str, sample_budget: Duration, f: impl FnOnce(&mut Bencher)) {
     print!("bench {label:<50} ");
-    let mut bencher = Bencher { measurement_time: sample_budget };
+    let mut bencher = Bencher {
+        label: label.to_owned(),
+        measurement_time: sample_budget,
+    };
     f(&mut bencher);
 }
 
@@ -123,7 +237,9 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // keep `cargo bench` runs quick: ~50ms of measurement per benchmark
-        Criterion { default_budget: Duration::from_millis(50) }
+        Criterion {
+            default_budget: Duration::from_millis(50),
+        }
     }
 }
 
@@ -170,12 +286,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Define `main` for a `harness = false` bench target.
+/// Define `main` for a `harness = false` bench target. After every group has run, a JSON
+/// summary is written when `BENCH_JSON_DIR` is set (see [`write_json_summary`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_summary();
         }
     };
 }
@@ -188,10 +306,22 @@ mod tests {
     fn group_and_function_run() {
         let mut c = Criterion::default().sample_size(10);
         let mut group = c.benchmark_group("g");
-        group.sample_size(10).bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| {
-            b.iter(|| x + 1)
-        });
+        group
+            .sample_size(10)
+            .bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| b.iter(|| x + 1));
         group.finish();
         c.bench_function("standalone", |b| b.iter(|| 2 + 2));
+        // every measurement is recorded for the JSON summary
+        let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(results
+            .iter()
+            .any(|r| r.label == "standalone" && r.mean_ns > 0.0));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_escape("plain/id_1"), "plain/id_1");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
     }
 }

@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` property-testing crate.
 //!
 //! Supports the subset of the proptest 1.x API used by this workspace's test suites:
-//! the [`proptest!`] macro (including `#![proptest_config(...)]`), [`Strategy`] with
+//! the [`proptest!`] macro (including `#![proptest_config(...)]`), [`strategy::Strategy`] with
 //! `prop_map`, integer-range and tuple strategies, [`collection::vec`], and the
 //! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
 //!
@@ -20,14 +20,20 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64, max_shrink_iters: 0 }
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
         }
     }
 
     impl ProptestConfig {
         /// A configuration running `cases` random cases.
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases, ..Default::default() }
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
         }
     }
 
@@ -173,7 +179,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: core::ops::Range<usize>,

@@ -99,7 +99,10 @@ pub trait Rng: RngCore {
 
     /// Return `true` with probability `p`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         f64::sample(self) < p
     }
 }

@@ -1,6 +1,6 @@
 //! Deserialization half. Unlike real serde's visitor-based model, a
 //! [`Deserializer`] here is anything that can produce a self-describing
-//! [`Value`](crate::value::Value) tree; `Deserialize` impls pattern-match on it.
+//! [`Value`] tree; `Deserialize` impls pattern-match on it.
 //! The external generic signatures (`D: Deserializer<'de>`, `D::Error`) match
 //! real serde, so downstream trait bounds compile unchanged.
 
@@ -19,7 +19,9 @@ pub trait Error: Sized + Display {
 
     /// Input had the wrong shape.
     fn invalid_type(unexpected: &str, expected: &str) -> Self {
-        Self::custom(format_args!("invalid type: {unexpected}, expected {expected}"))
+        Self::custom(format_args!(
+            "invalid type: {unexpected}, expected {expected}"
+        ))
     }
 }
 

@@ -244,7 +244,10 @@ impl<'de> Deserialize<'de> for char {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         match deserializer.into_value()? {
             Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
-            other => Err(D::Error::invalid_type(other.kind(), "single-character string")),
+            other => Err(D::Error::invalid_type(
+                other.kind(),
+                "single-character string",
+            )),
         }
     }
 }

@@ -14,11 +14,11 @@
 //!
 //! The derive macros are re-exported from the sibling `serde_derive` stub.
 
-pub mod ser;
-pub mod de;
-pub mod value;
 #[doc(hidden)]
 pub mod __private;
+pub mod de;
+pub mod ser;
+pub mod value;
 
 pub use de::{Deserialize, Deserializer};
 pub use ser::{Serialize, Serializer};

@@ -3,9 +3,7 @@
 //! interchange type the stub's deserialization model and `serde_json` build on.
 
 use crate::de::{self, Deserializer};
-use crate::ser::{
-    self, Serialize, SerializeMap as _, SerializeSeq as _, Serializer,
-};
+use crate::ser::{self, Serialize, SerializeMap as _, SerializeSeq as _, Serializer};
 use std::fmt;
 
 /// A self-describing value (JSON data model, with integers kept exact).
@@ -303,7 +301,11 @@ impl Serializer for ValueSerializer {
         self.serialize_i64(v as i64)
     }
     fn serialize_i64(self, v: i64) -> Result<Value, Error> {
-        Ok(if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) })
+        Ok(if v >= 0 {
+            Value::UInt(v as u64)
+        } else {
+            Value::Int(v)
+        })
     }
     fn serialize_u8(self, v: u8) -> Result<Value, Error> {
         Ok(Value::UInt(v as u64))
@@ -330,7 +332,9 @@ impl Serializer for ValueSerializer {
         Ok(Value::Str(v.to_owned()))
     }
     fn serialize_bytes(self, v: &[u8]) -> Result<Value, Error> {
-        Ok(Value::Seq(v.iter().map(|&b| Value::UInt(b as u64)).collect()))
+        Ok(Value::Seq(
+            v.iter().map(|&b| Value::UInt(b as u64)).collect(),
+        ))
     }
     fn serialize_none(self) -> Result<Value, Error> {
         Ok(Value::Null)
@@ -366,10 +370,15 @@ impl Serializer for ValueSerializer {
         variant: &'static str,
         value: &T,
     ) -> Result<Value, Error> {
-        Ok(Value::Map(vec![(variant.to_owned(), value.serialize(ValueSerializer)?)]))
+        Ok(Value::Map(vec![(
+            variant.to_owned(),
+            value.serialize(ValueSerializer)?,
+        )]))
     }
     fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, Error> {
-        Ok(SeqBuilder { items: Vec::with_capacity(len.unwrap_or(0)) })
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
     }
     fn serialize_tuple(self, len: usize) -> Result<SeqBuilder, Error> {
         self.serialize_seq(Some(len))
@@ -384,13 +393,21 @@ impl Serializer for ValueSerializer {
         variant: &'static str,
         len: usize,
     ) -> Result<VariantSeqBuilder, Error> {
-        Ok(VariantSeqBuilder { variant, items: Vec::with_capacity(len) })
+        Ok(VariantSeqBuilder {
+            variant,
+            items: Vec::with_capacity(len),
+        })
     }
     fn serialize_map(self, len: Option<usize>) -> Result<MapBuilder, Error> {
-        Ok(MapBuilder { entries: Vec::with_capacity(len.unwrap_or(0)), pending_key: None })
+        Ok(MapBuilder {
+            entries: Vec::with_capacity(len.unwrap_or(0)),
+            pending_key: None,
+        })
     }
     fn serialize_struct(self, _name: &'static str, len: usize) -> Result<StructBuilder, Error> {
-        Ok(StructBuilder { entries: Vec::with_capacity(len) })
+        Ok(StructBuilder {
+            entries: Vec::with_capacity(len),
+        })
     }
     fn serialize_struct_variant(
         self,
@@ -399,7 +416,10 @@ impl Serializer for ValueSerializer {
         variant: &'static str,
         len: usize,
     ) -> Result<VariantStructBuilder, Error> {
-        Ok(VariantStructBuilder { variant, entries: Vec::with_capacity(len) })
+        Ok(VariantStructBuilder {
+            variant,
+            entries: Vec::with_capacity(len),
+        })
     }
 }
 
@@ -447,7 +467,10 @@ impl ser::SerializeTupleVariant for VariantSeqBuilder {
         Ok(())
     }
     fn end(self) -> Result<Value, Error> {
-        Ok(Value::Map(vec![(self.variant.to_owned(), Value::Seq(self.items))]))
+        Ok(Value::Map(vec![(
+            self.variant.to_owned(),
+            Value::Seq(self.items),
+        )]))
     }
 }
 
@@ -479,7 +502,8 @@ impl ser::SerializeStruct for StructBuilder {
         key: &'static str,
         value: &T,
     ) -> Result<(), Error> {
-        self.entries.push((key.to_owned(), value.serialize(ValueSerializer)?));
+        self.entries
+            .push((key.to_owned(), value.serialize(ValueSerializer)?));
         Ok(())
     }
     fn end(self) -> Result<Value, Error> {
@@ -495,11 +519,15 @@ impl ser::SerializeStructVariant for VariantStructBuilder {
         key: &'static str,
         value: &T,
     ) -> Result<(), Error> {
-        self.entries.push((key.to_owned(), value.serialize(ValueSerializer)?));
+        self.entries
+            .push((key.to_owned(), value.serialize(ValueSerializer)?));
         Ok(())
     }
     fn end(self) -> Result<Value, Error> {
-        Ok(Value::Map(vec![(self.variant.to_owned(), Value::Map(self.entries))]))
+        Ok(Value::Map(vec![(
+            self.variant.to_owned(),
+            Value::Map(self.entries),
+        )]))
     }
 }
 
@@ -509,12 +537,18 @@ impl ser::SerializeStructVariant for VariantStructBuilder {
 
 /// Parse JSON text into a [`Value`].
 pub fn parse_json(input: &str) -> Result<Value, Error> {
-    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let value = parser.parse_value()?;
     parser.skip_ws();
     if parser.pos != parser.bytes.len() {
-        return Err(Error(format!("trailing characters at offset {}", parser.pos)));
+        return Err(Error(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
     }
     Ok(value)
 }
@@ -530,7 +564,9 @@ impl<'a> Parser<'a> {
     }
 
     fn bump(&mut self) -> Result<u8, Error> {
-        let b = self.peek().ok_or_else(|| Error("unexpected end of input".to_owned()))?;
+        let b = self
+            .peek()
+            .ok_or_else(|| Error("unexpected end of input".to_owned()))?;
         self.pos += 1;
         Ok(b)
     }
@@ -562,7 +598,10 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_value(&mut self) -> Result<Value, Error> {
-        match self.peek().ok_or_else(|| Error("unexpected end of input".to_owned()))? {
+        match self
+            .peek()
+            .ok_or_else(|| Error("unexpected end of input".to_owned()))?
+        {
             b'n' => {
                 self.expect_keyword("null")?;
                 Ok(Value::Null)
@@ -591,7 +630,12 @@ impl<'a> Parser<'a> {
                     match self.bump()? {
                         b',' => continue,
                         b']' => return Ok(Value::Seq(items)),
-                        c => return Err(Error(format!("expected `,` or `]`, found `{}`", c as char))),
+                        c => {
+                            return Err(Error(format!(
+                                "expected `,` or `]`, found `{}`",
+                                c as char
+                            )))
+                        }
                     }
                 }
             }
@@ -615,12 +659,20 @@ impl<'a> Parser<'a> {
                     match self.bump()? {
                         b',' => continue,
                         b'}' => return Ok(Value::Map(entries)),
-                        c => return Err(Error(format!("expected `,` or `}}`, found `{}`", c as char))),
+                        c => {
+                            return Err(Error(format!(
+                                "expected `,` or `}}`, found `{}`",
+                                c as char
+                            )))
+                        }
                     }
                 }
             }
             b'-' | b'0'..=b'9' => self.parse_number(),
-            c => Err(Error(format!("unexpected character `{}` at offset {}", c as char, self.pos))),
+            c => Err(Error(format!(
+                "unexpected character `{}` at offset {}",
+                c as char, self.pos
+            ))),
         }
     }
 
@@ -724,7 +776,10 @@ mod tests {
         let v = Value::Map(vec![
             ("a".into(), Value::UInt(3)),
             ("b".into(), Value::Float(1.5)),
-            ("c".into(), Value::Seq(vec![Value::Null, Value::Bool(true), Value::Int(-2)])),
+            (
+                "c".into(),
+                Value::Seq(vec![Value::Null, Value::Bool(true), Value::Int(-2)]),
+            ),
             ("d".into(), Value::Str("x \"quoted\"\nline".into())),
         ]);
         let text = v.to_json_string();

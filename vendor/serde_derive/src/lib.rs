@@ -33,7 +33,10 @@ struct Field {
 
 impl Field {
     fn key(&self) -> String {
-        self.opts.rename.clone().unwrap_or_else(|| self.name.clone().expect("named field"))
+        self.opts
+            .rename
+            .clone()
+            .unwrap_or_else(|| self.name.clone().expect("named field"))
     }
 }
 
@@ -49,10 +52,21 @@ struct Variant {
 }
 
 enum Item {
-    NamedStruct { name: String, fields: Vec<Field> },
-    TupleStruct { name: String, fields: Vec<Field> },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 // ---------------------------------------------------------------------------------
@@ -89,7 +103,9 @@ fn parse_attr_group(stream: &TokenStream, opts: &mut SerdeOpts) {
     if tokens.len() != 2 || !is_ident(&tokens[0], "serde") {
         return;
     }
-    let TokenTree::Group(args) = &tokens[1] else { return };
+    let TokenTree::Group(args) = &tokens[1] else {
+        return;
+    };
     let args: Vec<TokenTree> = args.stream().into_iter().collect();
     let mut i = 0;
     while i < args.len() {
@@ -106,7 +122,10 @@ fn parse_attr_group(stream: &TokenStream, opts: &mut SerdeOpts) {
                 i += 1;
             }
             "rename" | "with" => {
-                assert!(i + 2 < args.len() && is_punct(&args[i + 1], '='), "expected `= \"...\"`");
+                assert!(
+                    i + 2 < args.len() && is_punct(&args[i + 1], '='),
+                    "expected `= \"...\"`"
+                );
                 let text = args[i + 2].to_string();
                 let value = text.trim_matches('"').to_owned();
                 if word.to_string() == "rename" {
@@ -119,7 +138,10 @@ fn parse_attr_group(stream: &TokenStream, opts: &mut SerdeOpts) {
             other => panic!("unsupported #[serde({other})] attribute in offline serde_derive"),
         }
         if i < args.len() {
-            assert!(is_punct(&args[i], ','), "expected `,` between #[serde] options");
+            assert!(
+                is_punct(&args[i], ','),
+                "expected `,` between #[serde] options"
+            );
             i += 1;
         }
     }
@@ -170,9 +192,16 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         let TokenTree::Ident(name) = &tokens[i] else {
             panic!("expected field name, found `{}`", tokens[i]);
         };
-        assert!(is_punct(&tokens[i + 1], ':'), "expected `:` after field name");
+        assert!(
+            is_punct(&tokens[i + 1], ':'),
+            "expected `:` after field name"
+        );
         let (ty, next) = take_type(&tokens, i + 2);
-        fields.push(Field { name: Some(name.to_string()), ty, opts });
+        fields.push(Field {
+            name: Some(name.to_string()),
+            ty,
+            opts,
+        });
         i = next;
         if i < tokens.len() {
             assert!(is_punct(&tokens[i], ','), "expected `,` between fields");
@@ -190,7 +219,11 @@ fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
         let (opts, next) = take_attrs(&tokens, i);
         i = skip_vis(&tokens, next);
         let (ty, next) = take_type(&tokens, i);
-        fields.push(Field { name: None, ty, opts });
+        fields.push(Field {
+            name: None,
+            ty,
+            opts,
+        });
         i = next;
         if i < tokens.len() {
             assert!(is_punct(&tokens[i], ','), "expected `,` between fields");
@@ -226,7 +259,10 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
         } else {
             VariantShape::Unit
         };
-        variants.push(Variant { name: name.to_string(), shape });
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
         if i < tokens.len() {
             assert!(is_punct(&tokens[i], ','), "expected `,` between variants");
             i += 1;
@@ -256,19 +292,24 @@ fn parse_item(input: TokenStream) -> Item {
 
     match keyword.as_str() {
         "struct" => match tokens.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                Item::TupleStruct { name, fields: parse_tuple_fields(g.stream()) }
+                Item::TupleStruct {
+                    name,
+                    fields: parse_tuple_fields(g.stream()),
+                }
             }
             Some(tt) if is_punct(tt, ';') => Item::UnitStruct { name },
             other => panic!("unsupported struct body: {other:?}"),
         },
         "enum" => match tokens.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Item::Enum { name, variants: parse_variants(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
             other => panic!("unsupported enum body: {other:?}"),
         },
         other => panic!("cannot derive for `{other}` items"),
@@ -591,12 +632,16 @@ fn gen_deserialize(item: &Item) -> String {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derive `serde::Deserialize` (offline stub).
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
