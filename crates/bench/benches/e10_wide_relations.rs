@@ -1,0 +1,57 @@
+//! E10 — copy-on-write instance sharing on a wide schema.
+//!
+//! The `wide` ledger workload has `n` single-column relations and one action per ledger,
+//! each touching exactly one relation; after the seeding step every transition rewrites one
+//! ledger and leaves the other `n − 1` untouched. Per-successor cost under a value-semantics
+//! instance representation is Θ(n) (clone every relation, re-canonicalise every relation);
+//! under the copy-on-write representation it is O(1) amortised. Sweeping `n` with a fixed
+//! search budget therefore measures exactly the representation effect — `threads = 1` keeps
+//! parallelism out of the picture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdms_checker::{Explorer, ExplorerConfig};
+use rdms_workloads::wide;
+
+fn bench_wide_relations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_wide_relations");
+    for relations in [8usize, 24, 48] {
+        let dms = wide::dms(relations);
+        let invariant = wide::first_ledger_stays_populated();
+        let config = ExplorerConfig {
+            depth: 5,
+            max_configs: 20_000,
+            // pin to the sequential engine: these suites gate against the committed
+            // baseline, which must measure the same code path on every runner
+            threads: 1,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("ledger_invariant", relations),
+            &relations,
+            |bench, _| {
+                bench.iter(|| {
+                    let verdict = Explorer::new(&dms, 3)
+                        .with_config(config)
+                        .check_invariant(&invariant);
+                    assert!(verdict.holds());
+                    verdict.stats().configs_explored
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ledger_state_count", relations),
+            &relations,
+            |bench, _| {
+                bench.iter(|| {
+                    Explorer::new(&dms, 3)
+                        .with_config(config)
+                        .reachable_state_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wide_relations);
+criterion_main!(benches);

@@ -25,6 +25,7 @@ fn bench_recency_sweep(c: &mut Criterion) {
                             // pin to the sequential engine: these suites gate against the committed
                             // baseline, which must measure the same code path on every runner
                             threads: 1,
+                            ..Default::default()
                         })
                         .reachable_state_count()
                 })

@@ -27,6 +27,7 @@ fn bench_engines(c: &mut Criterion) {
                         // pin to the sequential engine: these suites gate against the committed
                         // baseline, which must measure the same code path on every runner
                         threads: 1,
+                        ..Default::default()
                     })
                     .check(&property)
                     .holds()

@@ -40,6 +40,7 @@ fn bench_booking(c: &mut Criterion) {
                         // pin to the sequential engine: these suites gate against the committed
                         // baseline, which must measure the same code path on every runner
                         threads: 1,
+                        ..Default::default()
                     })
                     .check_invariant(&invariant)
                     .holds()
@@ -56,6 +57,7 @@ fn bench_booking(c: &mut Criterion) {
                         // pin to the sequential engine: these suites gate against the committed
                         // baseline, which must measure the same code path on every runner
                         threads: 1,
+                        ..Default::default()
                     })
                     .check_invariant(&invariant)
                     .holds()

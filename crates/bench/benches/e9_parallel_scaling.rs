@@ -20,6 +20,8 @@ fn bench_parallel_scaling(c: &mut Criterion) {
             depth: 6,
             max_configs: 60_000,
             threads,
+            // e9 measures parallel scaling itself: never demote to the sequential engine
+            parallel_threshold: 0,
         };
         group.bench_with_input(
             BenchmarkId::new("inventory_invariant", threads),

@@ -57,6 +57,22 @@ fn check(json_dir: &Path, baseline_path: &Path) -> Result<bool, String> {
         println!("threshold overridden by BENCH_GATE_THRESHOLD: {threshold}");
         baseline.threshold = threshold;
     }
+    // the ceilings are absolute nanoseconds measured on the committing machine; on a much
+    // slower runner, scale them instead of disabling the directional gate entirely
+    if let Ok(raw) = std::env::var("BENCH_GATE_CEILING_SCALE") {
+        let scale: f64 = raw
+            .parse()
+            .map_err(|e| format!("bad BENCH_GATE_CEILING_SCALE: {e}"))?;
+        if scale <= 0.0 {
+            return Err(format!(
+                "BENCH_GATE_CEILING_SCALE must be positive, got {scale}"
+            ));
+        }
+        println!("ceilings scaled by BENCH_GATE_CEILING_SCALE: {scale}");
+        for max in baseline.ceilings.values_mut() {
+            *max *= scale;
+        }
+    }
     let summaries = load_summaries(json_dir)?;
     let report = gate::compare(&baseline, &summaries);
     for (id, measured, verdict) in &report.entries {
@@ -69,6 +85,11 @@ fn check(json_dir: &Path, baseline_path: &Path) -> Result<bool, String> {
                 "REGRESSED  {id}: {measured:.0} ns ({:+.1}% vs baseline, threshold +{:.0}%)",
                 (ratio - 1.0) * 100.0,
                 (baseline.threshold - 1.0) * 100.0
+            ),
+            Verdict::AboveCeiling(ratio) => println!(
+                "CEILING    {id}: {measured:.0} ns ({:.2}× the committed absolute ceiling — \
+                 an optimisation this suite locks in has been lost)",
+                ratio
             ),
             Verdict::NotInBaseline => {
                 println!("new        {id}: {measured:.0} ns (not in baseline)")
@@ -95,12 +116,26 @@ fn check(json_dir: &Path, baseline_path: &Path) -> Result<bool, String> {
 
 fn write_baseline(json_dir: &Path, out: &Path, threshold: f64) -> Result<(), String> {
     let summaries = load_summaries(json_dir)?;
-    let rendered = gate::render_baseline(&summaries, threshold);
+    // ceilings are committed policy, not measurements: carry them over from the baseline
+    // being replaced so a refresh cannot silently drop a locked-in win. Only a genuinely
+    // absent file means "no previous ceilings" — any other read error must abort, or a
+    // transient I/O failure would quietly disable the directional gates.
+    let ceilings = match std::fs::read_to_string(out) {
+        Ok(previous) => {
+            gate::parse_baseline(&previous)
+                .map_err(|e| format!("existing {} is invalid: {e}", out.display()))?
+                .ceilings
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Default::default(),
+        Err(e) => return Err(format!("cannot read existing {}: {e}", out.display())),
+    };
+    let rendered = gate::render_baseline(&summaries, threshold, &ceilings);
     std::fs::write(out, rendered).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     println!(
-        "wrote baseline {} from {} suite(s)",
+        "wrote baseline {} from {} suite(s) ({} ceiling(s) preserved)",
         out.display(),
-        summaries.len()
+        summaries.len(),
+        ceilings.len()
     );
     Ok(())
 }

@@ -30,6 +30,12 @@ pub mod gate {
         pub threshold: f64,
         /// Benchmark id → baseline mean nanoseconds per iteration.
         pub benchmarks: BTreeMap<String, f64>,
+        /// Benchmark id → **absolute** upper bound in nanoseconds. Ceilings lock in a
+        /// *directional* win: after an intentional optimisation, the pre-optimisation mean
+        /// (scaled by the improvement being claimed) is committed here, so sliding back to
+        /// the slow path fails the gate even across ordinary baseline refreshes. Unlike
+        /// `benchmarks`, a ceiling applies regardless of the relative threshold.
+        pub ceilings: BTreeMap<String, f64>,
     }
 
     /// The verdict for one measured benchmark.
@@ -39,6 +45,9 @@ pub mod gate {
         Ok(f64),
         /// Slower than `baseline × threshold`.
         Regressed(f64),
+        /// Slower than the committed absolute ceiling; the ratio `measured / ceiling` is
+        /// attached. Fails the gate even when the relative comparison passes.
+        AboveCeiling(f64),
         /// Not in the baseline (informational only).
         NotInBaseline,
     }
@@ -51,11 +60,11 @@ pub mod gate {
     }
 
     impl Report {
-        /// Ids that regressed.
+        /// Ids that fail the gate (relative regressions and ceiling violations).
         pub fn regressions(&self) -> Vec<&str> {
             self.entries
                 .iter()
-                .filter(|(_, _, v)| matches!(v, Verdict::Regressed(_)))
+                .filter(|(_, _, v)| matches!(v, Verdict::Regressed(_) | Verdict::AboveCeiling(_)))
                 .map(|(id, _, _)| id.as_str())
                 .collect()
         }
@@ -118,27 +127,47 @@ pub mod gate {
                 .ok_or_else(|| format!("baseline entry {id} is not a number"))?;
             benchmarks.insert(id.clone(), mean);
         }
+        let mut ceilings = BTreeMap::new();
+        if let Some(raw) = field(&value, "ceilings").and_then(Value::as_map) {
+            for (id, max) in raw {
+                let max = max
+                    .as_f64()
+                    .ok_or_else(|| format!("ceiling entry {id} is not a number"))?;
+                ceilings.insert(id.clone(), max);
+            }
+        }
         Ok(Baseline {
             threshold,
             benchmarks,
+            ceilings,
         })
     }
 
-    /// Compare measured summaries against the baseline.
+    /// Compare measured summaries against the baseline. A ceiling violation dominates the
+    /// relative verdict: an entry both above its ceiling and within the threshold is still
+    /// a failure.
     pub fn compare(baseline: &Baseline, summaries: &[Summary]) -> Report {
         let mut report = Report::default();
         for summary in summaries {
             for (id, measured) in &summary.benchmarks {
-                let verdict = match baseline.benchmarks.get(id) {
-                    Some(&reference) if reference > 0.0 => {
-                        let ratio = measured / reference;
-                        if ratio > baseline.threshold {
-                            Verdict::Regressed(ratio)
-                        } else {
-                            Verdict::Ok(ratio)
+                let ceiling = baseline
+                    .ceilings
+                    .get(id)
+                    .filter(|&&max| max > 0.0 && *measured > max);
+                let verdict = if let Some(&max) = ceiling {
+                    Verdict::AboveCeiling(measured / max)
+                } else {
+                    match baseline.benchmarks.get(id) {
+                        Some(&reference) if reference > 0.0 => {
+                            let ratio = measured / reference;
+                            if ratio > baseline.threshold {
+                                Verdict::Regressed(ratio)
+                            } else {
+                                Verdict::Ok(ratio)
+                            }
                         }
+                        _ => Verdict::NotInBaseline,
                     }
-                    _ => Verdict::NotInBaseline,
                 };
                 report.entries.push((id.clone(), *measured, verdict));
             }
@@ -147,8 +176,13 @@ pub mod gate {
     }
 
     /// Merge summaries into the baseline JSON text (used to (re)generate
-    /// `benches/baseline.json` after an intentional performance change).
-    pub fn render_baseline(summaries: &[Summary], threshold: f64) -> String {
+    /// `benches/baseline.json` after an intentional performance change). `ceilings` are
+    /// policy, not measurements — pass the previous baseline's so a refresh preserves them.
+    pub fn render_baseline(
+        summaries: &[Summary],
+        threshold: f64,
+        ceilings: &BTreeMap<String, f64>,
+    ) -> String {
         let mut merged: BTreeMap<&str, f64> = BTreeMap::new();
         for summary in summaries {
             for (id, mean) in &summary.benchmarks {
@@ -165,7 +199,18 @@ pub mod gate {
             }
             out.push_str(&format!("\n    \"{id}\": {mean:.1}"));
         }
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  }");
+        if !ceilings.is_empty() {
+            out.push_str(",\n  \"ceilings\": {");
+            for (i, (id, max)) in ceilings.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n    \"{id}\": {max:.1}"));
+            }
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -231,11 +276,63 @@ pub mod gate {
         #[test]
         fn baseline_round_trips_through_render() {
             let summary = parse_summary(SUMMARY).unwrap();
-            let rendered = render_baseline(std::slice::from_ref(&summary), 1.25);
+            let rendered = render_baseline(std::slice::from_ref(&summary), 1.25, &BTreeMap::new());
             let parsed = parse_baseline(&rendered).unwrap();
             assert_eq!(parsed.threshold, 1.25);
             assert_eq!(parsed.benchmarks.len(), 3);
+            assert!(parsed.ceilings.is_empty());
             // a fresh run measured identically passes against its own baseline
+            assert!(compare(&parsed, &[summary]).passed());
+        }
+
+        #[test]
+        fn ceilings_gate_the_direction_not_just_the_ratio() {
+            // the measured 1000 ns is within the relative threshold of its 900 ns baseline,
+            // but above the committed 950 ns ceiling — the gate must fail
+            let baseline = parse_baseline(
+                r#"{
+                    "threshold": 1.25,
+                    "benchmarks": {
+                        "e1_recency_sweep/example_3_1/1": 900.0,
+                        "e1_recency_sweep/example_3_1/2": 3000.0
+                    },
+                    "ceilings": {
+                        "e1_recency_sweep/example_3_1/1": 950.0,
+                        "e1_recency_sweep/new_suite/1": 50.0
+                    }
+                }"#,
+            )
+            .unwrap();
+            assert_eq!(baseline.ceilings.len(), 2);
+            let report = compare(&baseline, &[parse_summary(SUMMARY).unwrap()]);
+            assert_eq!(
+                report.regressions(),
+                vec!["e1_recency_sweep/example_3_1/1"],
+                "entry 1 violates its ceiling; entry 3 (10 ns) is under its 50 ns ceiling"
+            );
+            assert!(matches!(report.entries[0].2, Verdict::AboveCeiling(_)));
+            // a ceiling applies even to entries absent from "benchmarks"
+            assert!(matches!(
+                report.entries[2].2,
+                Verdict::Ok(_) | Verdict::NotInBaseline
+            ));
+
+            // raising the measured value above the new-suite ceiling fails it too
+            let slow = Summary {
+                suite: "e1_recency_sweep".into(),
+                benchmarks: vec![("e1_recency_sweep/new_suite/1".into(), 80.0)],
+            };
+            let report = compare(&baseline, &[slow]);
+            assert_eq!(report.regressions(), vec!["e1_recency_sweep/new_suite/1"]);
+        }
+
+        #[test]
+        fn render_preserves_ceilings() {
+            let summary = parse_summary(SUMMARY).unwrap();
+            let ceilings = BTreeMap::from([("e1_recency_sweep/example_3_1/1".to_owned(), 1500.0)]);
+            let rendered = render_baseline(std::slice::from_ref(&summary), 1.25, &ceilings);
+            let parsed = parse_baseline(&rendered).unwrap();
+            assert_eq!(parsed.ceilings, ceilings);
             assert!(compare(&parsed, &[summary]).passed());
         }
     }

@@ -28,7 +28,12 @@
 //! visit order and statistics accounting as the original sequential explorer) or by a
 //! **work-stealing thread pool** (`threads > 1`, the default whenever the machine has more
 //! than one core). Each worker owns a deque, pushes and pops its own work LIFO, and steals
-//! FIFO from its peers when it runs dry.
+//! FIFO from its peers when it runs dry. The worker threads themselves are spawned **once
+//! per process** and reused across searches (overlapping searches fall back to a one-off
+//! scoped spawn rather than queueing behind each other), and a `threads > 1` request whose
+//! estimated search size is below [`ExplorerConfig::parallel_threshold`] is demoted to the
+//! sequential engine — on a tiny search, distributing the frontier costs more than it
+//! saves. [`CheckStats::threads`] reports the engine that actually ran.
 //!
 //! One dedup refinement applies to *both* paths (it is what makes them agree): the seen-set
 //! records the shallowest depth per state and re-expands on strictly shallower rediscovery,
@@ -66,10 +71,12 @@
 //! were admitted can still differ between thread counts; verdicts are deterministic
 //! whenever the search completes within budget.
 
+use crate::pool;
 use crate::verdict::{CheckStats, Verdict};
 use parking_lot::Mutex;
 use rdms_core::iso::intern_canonical_config;
 use rdms_core::{BConfig, Dms, ExtendedRun, RecencySemantics, Step};
+use rdms_db::metrics::MetricsSnapshot;
 use rdms_db::{answers, DataValue, Query};
 use rdms_logic::msofo::{eval_sentence, MsoFo};
 use std::collections::hash_map::Entry;
@@ -84,6 +91,12 @@ pub fn default_threads() -> usize {
         .map(|n| n.get())
         .unwrap_or(1)
 }
+
+/// Default for [`ExplorerConfig::parallel_threshold`]: a multi-threaded search whose
+/// estimated size (branching^depth, capped by `max_configs`) is below this many
+/// configurations runs on the sequential engine instead — distributing a few hundred
+/// successor computations costs more than it saves.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4096;
 
 /// Exploration budget.
 #[derive(Clone, Copy, Debug)]
@@ -102,6 +115,11 @@ pub struct ExplorerConfig {
     /// prefix order) but whose diagnostic statistics (`prefixes_checked`, `peak_frontier`,
     /// …) may vary run to run.
     pub threads: usize,
+    /// Estimated search size below which a `threads > 1` request still runs the sequential
+    /// engine (the adaptive fallback; `0` disables it and always honours `threads`). The
+    /// estimate is `(Σ_actions b^|params|)^depth`, capped by `max_configs`. The engine that
+    /// actually ran is reported in [`CheckStats::threads`].
+    pub parallel_threshold: usize,
 }
 
 impl Default for ExplorerConfig {
@@ -110,6 +128,7 @@ impl Default for ExplorerConfig {
             depth: 8,
             max_configs: 20_000,
             threads: default_threads(),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
     }
 }
@@ -118,6 +137,13 @@ impl ExplorerConfig {
     /// This configuration with the given thread count (`0` is clamped to `1`).
     pub fn with_threads(mut self, threads: usize) -> ExplorerConfig {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// This configuration with the given adaptive-fallback threshold (`0` disables the
+    /// fallback).
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> ExplorerConfig {
+        self.parallel_threshold = threshold;
         self
     }
 }
@@ -360,18 +386,56 @@ impl<'a> SearchDriver<'a> {
         }
     }
 
-    /// Run the search. Dispatches to the sequential loop for `threads <= 1` and to the
-    /// work-stealing pool otherwise.
+    /// Run the search. Dispatches to the sequential loop for `threads <= 1` — or when the
+    /// estimated search size is below [`ExplorerConfig::parallel_threshold`] (the adaptive
+    /// fallback) — and to the work-stealing pool otherwise.
     pub fn search<N, F>(&self, root: N, is_hit: F) -> SearchOutcome<N>
     where
         N: SearchNode,
         F: Fn(&N) -> bool + Sync,
     {
-        if self.config.threads <= 1 {
+        if self.effective_threads() <= 1 {
             self.search_sequential(root, is_hit)
         } else {
             self.search_parallel(root, is_hit)
         }
+    }
+
+    /// The thread count the search will actually use: the configured one, demoted to `1`
+    /// when the estimated work cannot amortise the cost of distributing it.
+    fn effective_threads(&self) -> usize {
+        let threads = self.config.threads.max(1);
+        if threads == 1 || self.config.parallel_threshold == 0 {
+            return threads;
+        }
+        if self.estimated_work() < self.config.parallel_threshold {
+            1
+        } else {
+            threads
+        }
+    }
+
+    /// A cheap upper-bound-shaped estimate of the search size: per-configuration branching
+    /// `Σ_actions b^|params|` (every parameter ranges over the ≤ b recency-window values),
+    /// raised to the depth budget and capped by `max_configs`.
+    fn estimated_work(&self) -> usize {
+        let b = self.sem.bound().max(1);
+        let branching: usize = self
+            .sem
+            .dms()
+            .actions()
+            .iter()
+            .map(|action| b.saturating_pow(action.params().len() as u32).max(1))
+            .sum::<usize>()
+            .max(1);
+        let mut estimate = 1usize;
+        for _ in 0..self.config.depth {
+            estimate = estimate.saturating_mul(branching);
+            if estimate >= self.config.max_configs {
+                break;
+            }
+        }
+        estimate.min(self.config.max_configs)
     }
 
     /// The legacy sequential depth-first search. Kept callable with a non-`Sync` predicate
@@ -383,6 +447,7 @@ impl<'a> SearchDriver<'a> {
         F: FnMut(&N) -> bool,
     {
         let start = Instant::now();
+        let metrics_before = rdms_db::metrics::snapshot();
         let mut stats = self.base_stats(1);
         let mut depth_cutoff = false;
         let mut budget_cutoff = false;
@@ -441,7 +506,7 @@ impl<'a> SearchDriver<'a> {
         stats.elapsed = start.elapsed();
         stats.peak_frontier = peak;
         let load = [(stats.configs_explored, stats.elapsed)];
-        finish_stats(&mut stats, &load);
+        finish_stats(&mut stats, &load, &metrics_before);
         SearchOutcome {
             hit,
             stats,
@@ -451,13 +516,17 @@ impl<'a> SearchDriver<'a> {
         }
     }
 
-    /// The work-stealing parallel search.
+    /// The work-stealing parallel search. Workers come from the process-wide lazily-spawned
+    /// [`pool`]; when the pool is busy with another search (overlapping searches from
+    /// different user threads), a one-off scoped spawn is used instead, so searches never
+    /// serialise behind each other.
     fn search_parallel<N, F>(&self, root: N, is_hit: F) -> SearchOutcome<N>
     where
         N: SearchNode,
         F: Fn(&N) -> bool + Sync,
     {
         let start = Instant::now();
+        let metrics_before = rdms_db::metrics::snapshot();
         let threads = self.config.threads.max(2);
         let shared = Shared::new(threads, self.dedup);
         if self.dedup {
@@ -469,19 +538,20 @@ impl<'a> SearchDriver<'a> {
             node: root,
         });
 
-        let worker_loads: Vec<(usize, Duration)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|me| {
-                    let shared = &shared;
-                    let is_hit = &is_hit;
-                    scope.spawn(move || self.worker(me, shared, is_hit))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
+        let loads: Mutex<Vec<(usize, Duration)>> = Mutex::new(vec![(0, Duration::ZERO); threads]);
+        let job = |me: usize| {
+            let load = self.worker(me, &shared, &is_hit);
+            loads.lock()[me] = load;
+        };
+        if !pool::run(threads, &job) {
+            let job = &job;
+            std::thread::scope(|scope| {
+                for me in 0..threads {
+                    scope.spawn(move || job(me));
+                }
+            });
+        }
+        let worker_loads = loads.into_inner();
 
         let mut stats = self.base_stats(threads);
         stats.prefixes_checked = shared.prefixes.load(Ordering::Relaxed);
@@ -489,7 +559,7 @@ impl<'a> SearchDriver<'a> {
         stats.configs_deduplicated = shared.deduped.load(Ordering::Relaxed);
         stats.peak_frontier = shared.peak.load(Ordering::Relaxed);
         stats.elapsed = start.elapsed();
-        finish_stats(&mut stats, &worker_loads);
+        finish_stats(&mut stats, &worker_loads, &metrics_before);
         SearchOutcome {
             hit: shared.best.into_inner().map(|(_, node)| node),
             stats,
@@ -726,8 +796,13 @@ fn record_min_depth(seen: &mut HashMap<u64, usize>, id: u64, depth: usize) -> bo
     }
 }
 
-/// Fill in the derived statistics fields from per-worker `(admitted, busy time)` loads.
-fn finish_stats(stats: &mut CheckStats, worker_loads: &[(usize, Duration)]) {
+/// Fill in the derived statistics fields from per-worker `(admitted, busy time)` loads and
+/// the sharing/index counter deltas of this search.
+fn finish_stats(
+    stats: &mut CheckStats,
+    worker_loads: &[(usize, Duration)],
+    metrics_before: &MetricsSnapshot,
+) {
     stats.per_thread_configs_per_sec = worker_loads
         .iter()
         .map(|&(admitted, busy)| admitted as f64 / busy.as_secs_f64().max(1e-9))
@@ -737,6 +812,11 @@ fn finish_stats(stats: &mut CheckStats, worker_loads: &[(usize, Duration)]) {
     } else {
         stats.configs_deduplicated as f64 / stats.configs_explored as f64
     };
+    let delta = rdms_db::metrics::snapshot().since(metrics_before);
+    stats.relations_shared = delta.relations_shared;
+    stats.relations_materialized = delta.relations_materialized;
+    stats.index_probes = delta.index_probes();
+    stats.index_hit_rate = delta.index_hit_rate();
 }
 
 #[cfg(test)]
@@ -973,9 +1053,15 @@ mod tests {
             .build()
             .expect("valid dead-end DMS");
 
-        // the state space is {start}, {R(x)}, {}: exactly 2 admitted successors
+        // the state space is {start}, {R(x)}, {}: exactly 2 admitted successors.
+        // parallel_threshold 0 forces the parallel engine despite the tiny budget — the
+        // budget accounting under test lives on that path.
         for threads in [1, 4] {
-            let exact = Explorer::new(&dms, 2).with_config(config(8, 2).with_threads(threads));
+            let exact = Explorer::new(&dms, 2).with_config(
+                config(8, 2)
+                    .with_threads(threads)
+                    .with_parallel_threshold(0),
+            );
             let (count, saturated) = exact.reachable_state_count();
             assert_eq!(count, 3);
             assert!(
@@ -996,7 +1082,11 @@ mod tests {
             assert!(!reachable);
             assert!(stats.configs_explored <= 2);
 
-            let truncated = Explorer::new(&dms, 2).with_config(config(8, 1).with_threads(threads));
+            let truncated = Explorer::new(&dms, 2).with_config(
+                config(8, 1)
+                    .with_threads(threads)
+                    .with_parallel_threshold(0),
+            );
             let (_, saturated) = truncated.reachable_state_count();
             assert!(
                 !saturated,
@@ -1015,5 +1105,51 @@ mod tests {
         assert_eq!(stats.threads, 1);
         assert_eq!(stats.per_thread_configs_per_sec.len(), 1);
         assert!(stats.per_thread_configs_per_sec[0] > 0.0);
+    }
+
+    #[test]
+    fn sharing_and_index_statistics_are_reported() {
+        let dms = example_3_1();
+        let explorer = Explorer::new(&dms, 2).with_config(config(4, 50_000).with_threads(1));
+        let verdict = explorer.check_invariant(&Query::True);
+        let stats = verdict.stats();
+        // the search clones configurations constantly; the COW representation must have
+        // shared far more relation handles than it materialised
+        assert!(stats.relations_shared > 0);
+        assert!(stats.relations_shared > stats.relations_materialized);
+        assert!(stats.index_probes > 0);
+        // the exact rate depends on how often tiny relations amortise their caches (and on
+        // concurrent tests sharing the process-wide counters) — only require both cases
+        // to have been observed
+        assert!(
+            stats.index_hit_rate > 0.0 && stats.index_hit_rate < 1.0,
+            "rate {}",
+            stats.index_hit_rate
+        );
+    }
+
+    #[test]
+    fn tiny_searches_fall_back_to_the_sequential_engine() {
+        let dms = example_3_1();
+        // depth 3 on example_3_1 estimates 9³ = 729 configurations — under the default
+        // threshold, so an 8-thread request must run sequentially…
+        let small = Explorer::new(&dms, 2).with_config(config(3, 50_000).with_threads(8));
+        let verdict = small.check_invariant(&Query::True);
+        assert_eq!(verdict.stats().threads, 1);
+
+        // …while disabling the fallback honours the request on the same search…
+        let forced = Explorer::new(&dms, 2)
+            .with_config(config(3, 50_000).with_threads(8).with_parallel_threshold(0));
+        let verdict = forced.check_invariant(&Query::True);
+        assert_eq!(verdict.stats().threads, 8);
+
+        // …and a deep search clears the default threshold by itself
+        let large = Explorer::new(&dms, 2).with_config(config(4, 50_000).with_threads(4));
+        let verdict = large.check_invariant(&Query::True);
+        assert_eq!(verdict.stats().threads, 4);
+
+        // verdicts agree regardless of which engine ran
+        assert!(!small.check_invariant(&Query::prop(r("p"))).holds());
+        assert!(!forced.check_invariant(&Query::prop(r("p"))).holds());
     }
 }

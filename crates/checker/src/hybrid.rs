@@ -73,6 +73,7 @@ impl<'a> HybridChecker<'a> {
                 depth: self.depth,
                 max_configs: 5_000,
                 threads: 1,
+                ..Default::default()
             },
             false,
         );

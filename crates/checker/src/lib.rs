@@ -31,9 +31,10 @@ pub mod explorer;
 pub mod formulas;
 pub mod hybrid;
 pub mod phi_valid;
+mod pool;
 pub mod translate;
 pub mod verdict;
 
 pub use encoding::{EncodingAlphabet, RunEncoder};
-pub use explorer::{default_threads, Explorer, ExplorerConfig};
+pub use explorer::{default_threads, Explorer, ExplorerConfig, DEFAULT_PARALLEL_THRESHOLD};
 pub use verdict::{CheckStats, Verdict};

@@ -103,6 +103,20 @@ pub struct CheckStats {
     pub dedup_hit_rate: f64,
     /// Largest number of frontier entries that were pending at any one time.
     pub peak_frontier: usize,
+    /// Relation handles shared by reference when instances were cloned during this search
+    /// (the copy-on-write fast path). Counted from process-wide counters, so the figure is
+    /// approximate when unrelated searches run concurrently.
+    pub relations_shared: u64,
+    /// Relations deep-copied because a shared handle was written to (clone-on-first-write
+    /// slow path). `relations_shared / (relations_shared + relations_materialized)` is the
+    /// sharing rate of the search.
+    pub relations_materialized: u64,
+    /// Probes of the per-relation caches (first-column index, column values, active-domain
+    /// values, canonical fragments) issued during this search.
+    pub index_probes: u64,
+    /// Fraction of [`Self::index_probes`] answered from an already-built cache rather than
+    /// by building one.
+    pub index_hit_rate: f64,
     /// Wall-clock time.
     #[serde(with = "duration_millis")]
     pub elapsed: Duration,
@@ -164,6 +178,10 @@ mod tests {
             per_thread_configs_per_sec: vec![10.5, 11.0, 9.25, 12.0],
             dedup_hit_rate: 0.25,
             peak_frontier: 17,
+            relations_shared: 420,
+            relations_materialized: 42,
+            index_probes: 1000,
+            index_hit_rate: 0.875,
             elapsed: Duration::from_millis(1500),
         };
         let json = serde_json::to_string(&stats).unwrap();

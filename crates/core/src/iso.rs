@@ -33,6 +33,16 @@ use std::sync::OnceLock;
 /// Rank values are re-based at `u64::MAX/2` downwards so they can never collide with declared
 /// constants (which are small in practice); the offset is irrelevant as long as it is applied
 /// consistently.
+///
+/// The relabelling is **incremental**: it goes through
+/// [`Instance::map_values_shared`](rdms_db::Instance::map_values_shared), so a relation whose
+/// values the rank mapping leaves fixed (constants-only relations, propositions) shares its
+/// storage with the source instance, and a relation relabelled exactly as on the previous
+/// canonicalisation of the same (shared) storage reuses the cached result. When a successor
+/// configuration touches 1 of N relations and the recency ranks of the untouched relations'
+/// values are unchanged, only the delta is re-canonicalised — and the interner re-hashes only
+/// the touched relation, because instance hashing runs over per-relation cached content
+/// hashes.
 pub fn canonical_config_key(config: &BConfig, constants: &BTreeSet<DataValue>) -> Instance {
     let mut mapping: BTreeMap<DataValue, DataValue> = BTreeMap::new();
     const RANK_BASE: u64 = u64::MAX / 2;
@@ -44,9 +54,7 @@ pub fn canonical_config_key(config: &BConfig, constants: &BTreeSet<DataValue>) -
     {
         mapping.insert(value, DataValue(RANK_BASE + rank as u64));
     }
-    config
-        .instance
-        .map_values(|v| mapping.get(&v).copied().unwrap_or(v))
+    config.instance.map_values_shared(&mapping)
 }
 
 /// Try to extend a partial bijection with `a ↦ b`; returns `false` on conflict.

@@ -117,10 +117,18 @@ impl<'a> RecencySemantics<'a> {
     }
 
     /// All `b`-bounded successors of `config`, using canonical fresh values.
+    ///
+    /// Like [`ConcreteSemantics::successors`], the hot path avoids per-successor
+    /// re-validation: the recency filter on parameters subsumes the `adom` membership check
+    /// (the window is a subset of the active domain), guard answers satisfy the guard by
+    /// construction, and canonical fresh values are history-fresh, injective and
+    /// constant-free by construction. Guard answers are consumed by value, so no
+    /// substitution is cloned per successor.
     pub fn successors(&self, config: &BConfig) -> Result<Vec<(Step, BConfig)>, CoreError> {
         let window = self.recent(config);
         let constants = self.dms().constants();
         let plain = config.as_config();
+        let fresh_base = self.concrete.fresh_base(&plain);
         let mut result = Vec::new();
         for (index, action) in self.dms().actions().iter().enumerate() {
             'answers: for guard_sub in self.concrete.guard_answers(&plain, action)? {
@@ -131,15 +139,24 @@ impl<'a> RecencySemantics<'a> {
                         _ => continue 'answers,
                     }
                 }
-                let subst = self
-                    .concrete
-                    .complete_with_canonical_fresh(&plain, action, &guard_sub);
-                match self.apply(config, index, &subst) {
-                    Ok(next) => result.push((Step::new(index, subst), next)),
-                    Err(CoreError::NotInstantiating { .. })
-                    | Err(CoreError::RecencyViolation { .. }) => {}
-                    Err(e) => return Err(e),
+                let mut subst = guard_sub;
+                let fresh_values: Vec<DataValue> = (1..=action.num_fresh() as u64)
+                    .map(|k| DataValue(fresh_base + k))
+                    .collect();
+                for (&var, &value) in action.fresh().iter().zip(fresh_values.iter()) {
+                    subst.bind(var, value);
                 }
+                let next = self.concrete.apply_substituted(&plain, action, &subst)?;
+                let mut seq_no = config.seq_no.clone();
+                seq_no.assign_fresh(fresh_values);
+                result.push((
+                    Step::new(index, subst),
+                    BConfig {
+                        instance: next.instance,
+                        history: next.history,
+                        seq_no,
+                    },
+                ));
             }
         }
         Ok(result)

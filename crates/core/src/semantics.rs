@@ -127,16 +127,45 @@ impl<'a> ConcreteSemantics<'a> {
     ) -> Result<Config, CoreError> {
         let action = self.dms.action(action_index)?;
         self.check_instantiating(config, action, subst)?;
+        self.apply_substituted(config, action, subst)
+    }
 
+    /// Apply `action` under an **already-validated** instantiating substitution: compute the
+    /// update and extend the history, skipping the instantiation checks. The successor
+    /// enumerations use this internally — their guard answers are instantiating by
+    /// construction, so re-evaluating the guard per successor (as the public [`Self::apply`]
+    /// must) would double the cost of the hot path.
+    pub(crate) fn apply_substituted(
+        &self,
+        config: &Config,
+        action: &Action,
+        subst: &Substitution,
+    ) -> Result<Config, CoreError> {
         let del = action.del().substitute(subst)?;
         let add = action.add().substitute(subst)?;
         let instance = config.instance.apply_update(&del, &add);
 
         let mut history = config.history.clone();
         for &v in action.fresh() {
-            history.insert(subst.get(v).expect("checked above"));
+            history.insert(subst.get(v).expect("fresh variables are bound"));
         }
         Ok(Config { instance, history })
+    }
+
+    /// The largest value index occurring in the history, the active domain or the declared
+    /// constants — the base above which canonical fresh values are drawn. Computed once per
+    /// configuration by the successor enumeration instead of once per guard answer; the
+    /// sets are sorted (or per-relation cached), so no active-domain set is materialised.
+    pub(crate) fn fresh_base(&self, config: &Config) -> u64 {
+        let history_max = config.history.iter().next_back().map(|v| v.index());
+        let constants_max = self.dms.constants().iter().next_back().map(|v| v.index());
+        let adom_max = config.instance.max_value().map(|v| v.index());
+        history_max
+            .into_iter()
+            .chain(constants_max)
+            .chain(adom_max)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Canonical fresh values for extending `config`: the `count` smallest values strictly
@@ -146,16 +175,8 @@ impl<'a> ConcreteSemantics<'a> {
     /// canonical choice `e_{n+1}, …, e_{n+k}` (with `n = |H|`) used by the paper's canonical
     /// runs whenever the history has no gaps.
     pub fn canonical_fresh(&self, config: &Config, count: usize) -> Vec<DataValue> {
-        let mut max = 0u64;
-        for &v in config
-            .history
-            .iter()
-            .chain(self.dms.constants().iter())
-            .chain(config.instance.active_domain().iter())
-        {
-            max = max.max(v.index());
-        }
-        (1..=count as u64).map(|k| DataValue(max + k)).collect()
+        let base = self.fresh_base(config);
+        (1..=count as u64).map(|k| DataValue(base + k)).collect()
     }
 
     /// All successor configurations of `config`, using canonical fresh values for the
@@ -164,24 +185,33 @@ impl<'a> ConcreteSemantics<'a> {
     /// The unbounded graph `C_S` has one edge per *choice* of fresh values (infinitely many);
     /// restricting to the canonical choice loses nothing up to isomorphism (Lemma E.1), which
     /// is how every exploration in this workspace proceeds.
+    ///
+    /// The enumeration takes ownership of each guard answer (no per-successor substitution
+    /// clone), hoists the active-domain and fresh-value-base computations out of the answer
+    /// loop, and applies actions through the unchecked path — every check of
+    /// [`Self::check_instantiating`] holds by construction here, except parameter membership
+    /// in `adom(I) ∪ constants`, which is tested explicitly (a guard answer can bind a
+    /// parameter to a constant of the query outside the active domain; such bindings are
+    /// simply not edges of the configuration graph).
     pub fn successors(&self, config: &Config) -> Result<Vec<(Step, Config)>, CoreError> {
+        let adom = config.instance.active_domain();
+        let constants = self.dms.constants();
+        let fresh_base = self.fresh_base(config);
         let mut result = Vec::new();
         for (index, action) in self.dms.actions().iter().enumerate() {
-            for guard_sub in self.guard_answers(config, action)? {
-                let fresh_values = self.canonical_fresh(config, action.num_fresh());
-                let mut subst = guard_sub.clone();
-                for (&var, &value) in action.fresh().iter().zip(fresh_values.iter()) {
-                    subst.bind(var, value);
-                }
-                match self.apply(config, index, &subst) {
-                    Ok(next) => result.push((Step::new(index, subst), next)),
-                    Err(CoreError::NotInstantiating { .. }) => {
-                        // A guard answer can fail instantiation when it binds a parameter to a
-                        // constant that is outside the active domain; such bindings are simply
-                        // not edges of the configuration graph.
+            'answers: for guard_sub in self.guard_answers(config, action)? {
+                for &u in action.params() {
+                    match guard_sub.get(u) {
+                        Some(value) if adom.contains(&value) || constants.contains(&value) => {}
+                        _ => continue 'answers,
                     }
-                    Err(e) => return Err(e),
                 }
+                let mut subst = guard_sub;
+                for (offset, &var) in action.fresh().iter().enumerate() {
+                    subst.bind(var, DataValue(fresh_base + 1 + offset as u64));
+                }
+                let next = self.apply_substituted(config, action, &subst)?;
+                result.push((Step::new(index, subst), next));
             }
         }
         Ok(result)
@@ -198,6 +228,9 @@ impl<'a> ConcreteSemantics<'a> {
         max_configs: usize,
         max_depth: usize,
     ) -> Result<Vec<Config>, CoreError> {
+        // `Instance`'s interior mutability is cache-only and invisible to Eq/Ord/Hash, so
+        // configurations are sound set keys
+        #[allow(clippy::mutable_key_type)]
         let mut seen: BTreeSet<Config> = BTreeSet::new();
         let initial = self.dms.initial_config();
         let mut frontier = vec![initial.clone()];
@@ -230,6 +263,8 @@ impl<'a> ConcreteSemantics<'a> {
         max_configs: usize,
         max_depth: usize,
     ) -> Result<bool, CoreError> {
+        // cache-only interior mutability, see `reachable_configs`
+        #[allow(clippy::mutable_key_type)]
         let mut seen: BTreeSet<Config> = BTreeSet::new();
         let initial = self.dms.initial_config();
         if initial.instance.proposition(proposition) {

@@ -19,7 +19,7 @@ use crate::query::Query;
 use crate::substitution::Substitution;
 use crate::term::{Term, Var};
 use crate::value::DataValue;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// The answers `ans(Q, I)` of `Q` over `I`: all substitutions `σ : Free-Vars(Q) → adom(I)`
 /// (plus constants appearing in `Q`, which per Appendix F.1 are allowed to appear in answers
@@ -36,12 +36,12 @@ pub fn answers(instance: &Instance, query: &Query) -> Result<Vec<Substitution>, 
     universe.extend(query.constants());
 
     let rows = eval_set(instance, &universe, query)?;
-    // Normalise to substitutions over exactly the free variables.
-    let mut out: BTreeSet<Substitution> = BTreeSet::new();
-    for row in rows {
-        out.insert(row.restrict(free.iter()));
-    }
-    Ok(out.into_iter().collect())
+    // Every row of eval_set already binds exactly the free variables (the join relies on
+    // the same invariant), so no per-row restriction is needed.
+    debug_assert!(rows
+        .iter()
+        .all(|row| row.len() == free.len() && free.iter().all(|&v| row.binds(v))));
+    Ok(rows.into_iter().collect())
 }
 
 /// Whether the query has at least one answer.
@@ -59,27 +59,23 @@ fn eval_set(
         Query::True => Ok(BTreeSet::from([Substitution::empty()])),
         Query::Atom(rel, terms) => {
             let mut rows = BTreeSet::new();
-            'tuples: for tuple in instance.relation(*rel) {
-                if tuple.len() != terms.len() {
-                    continue;
-                }
-                let mut sub = Substitution::empty();
-                for (term, &value) in terms.iter().zip(tuple.iter()) {
-                    match term {
-                        Term::Value(c) => {
-                            if *c != value {
-                                continue 'tuples;
-                            }
+            // a constant in the first position is answered through the relation's
+            // first-column index instead of a full scan
+            match terms.first() {
+                Some(Term::Value(c)) => {
+                    for tuple in instance.relation_with_first(*rel, *c) {
+                        if let Some(sub) = unify_tuple(terms, tuple) {
+                            rows.insert(sub);
                         }
-                        Term::Var(v) => match sub.get(*v) {
-                            Some(prev) if prev != value => continue 'tuples,
-                            _ => {
-                                sub.bind(*v, value);
-                            }
-                        },
                     }
                 }
-                rows.insert(sub);
+                _ => {
+                    for tuple in instance.relation(*rel) {
+                        if let Some(sub) = unify_tuple(terms, tuple) {
+                            rows.insert(sub);
+                        }
+                    }
+                }
             }
             Ok(rows)
         }
@@ -111,15 +107,7 @@ fn eval_set(
         Query::And(a, b) => {
             let left = eval_set(instance, universe, a)?;
             let right = eval_set(instance, universe, b)?;
-            let mut rows = BTreeSet::new();
-            for l in &left {
-                for rgt in &right {
-                    if l.compatible(rgt) {
-                        rows.insert(l.merged(rgt));
-                    }
-                }
-            }
-            Ok(rows)
+            Ok(join(left, right, &a.free_vars(), &b.free_vars()))
         }
         Query::Or(a, b) => {
             // Cylindrify both sides to the union of free variables before taking the union.
@@ -186,6 +174,92 @@ fn eval_set(
             Ok(rows)
         }
     }
+}
+
+/// Match one tuple against an atom's term list, returning the induced bindings (`None` on
+/// arity or constant mismatch, or when a repeated variable meets two different values).
+fn unify_tuple(terms: &[Term], tuple: &[DataValue]) -> Option<Substitution> {
+    if tuple.len() != terms.len() {
+        return None;
+    }
+    let mut sub = Substitution::empty();
+    for (term, &value) in terms.iter().zip(tuple.iter()) {
+        match term {
+            Term::Value(c) => {
+                if *c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => match sub.get(*v) {
+                Some(prev) if prev != value => return None,
+                _ => {
+                    sub.bind(*v, value);
+                }
+            },
+        }
+    }
+    Some(sub)
+}
+
+/// The natural join of two row sets (conjunction). Every row of `eval_set(q)` binds exactly
+/// `Free-Vars(q)`, so the join can key both sides on the shared variables and probe a hash
+/// table — O(|L| + |R| + output) — instead of testing all |L|·|R| pairs for compatibility.
+/// Rows that (defensively) miss a shared binding fall back to the pairwise path.
+fn join(
+    left: BTreeSet<Substitution>,
+    right: BTreeSet<Substitution>,
+    left_vars: &BTreeSet<Var>,
+    right_vars: &BTreeSet<Var>,
+) -> BTreeSet<Substitution> {
+    let shared: Vec<Var> = left_vars.intersection(right_vars).copied().collect();
+    let mut rows = BTreeSet::new();
+    // tiny products (typical action guards) are faster pairwise than through a hash table
+    if shared.is_empty() || left.len().saturating_mul(right.len()) <= 64 {
+        for l in &left {
+            for rgt in &right {
+                if l.compatible(rgt) {
+                    rows.insert(l.merged(rgt));
+                }
+            }
+        }
+        return rows;
+    }
+    let key_of = |row: &Substitution| -> Option<Vec<DataValue>> {
+        shared.iter().map(|&v| row.get(v)).collect()
+    };
+    let mut by_key: HashMap<Vec<DataValue>, Vec<&Substitution>> = HashMap::new();
+    let mut unkeyed: Vec<&Substitution> = Vec::new();
+    for rgt in &right {
+        match key_of(rgt) {
+            Some(key) => by_key.entry(key).or_default().push(rgt),
+            None => unkeyed.push(rgt),
+        }
+    }
+    for l in &left {
+        match key_of(l) {
+            Some(key) => {
+                if let Some(matches) = by_key.get(&key) {
+                    for rgt in matches {
+                        // equal keys make the rows agree on every variable bound by both
+                        rows.insert(l.merged(rgt));
+                    }
+                }
+                for rgt in &unkeyed {
+                    if l.compatible(rgt) {
+                        rows.insert(l.merged(rgt));
+                    }
+                }
+            }
+            None => {
+                for rgt in &right {
+                    if l.compatible(rgt) {
+                        rows.insert(l.merged(rgt));
+                    }
+                }
+            }
+        }
+    }
+    rows
 }
 
 /// Extend every row over `from` to rows over `to ⊇ from` by enumerating the universe for the

@@ -2,22 +2,39 @@
 //!
 //! [`holds`] implements the judgement `I, σ ⊨ Q`. Quantifiers range over the **active
 //! domain** `adom(I)`, as the paper's semantics prescribes.
+//!
+//! Two representation-level optimisations keep the semantics intact while avoiding the
+//! naive active-domain cross product:
+//!
+//! * quantified variables are bound on a **binding stack** pushed/popped in place, instead
+//!   of cloning the whole substitution per candidate value;
+//! * before enumerating `adom(I)` for a quantifier, the evaluator derives a sound
+//!   **candidate set** for the bound variable from the query's positive atoms, answered
+//!   from the per-column value indexes cached on the instance ([`Instance::column_values`]).
+//!   `∃u. R(u,w) ∧ …` only tries the first-column values of `R`; `∀u. Q(u) → …` only tries
+//!   values that can refute the implication, i.e. the values of `Q`. Candidate sets are
+//!   always subsets of `adom(I)` (they come from the instance's own columns), so the
+//!   active-domain semantics is unchanged — checked against full enumeration by property
+//!   tests.
 
 use crate::error::DbError;
 use crate::instance::Instance;
 use crate::query::Query;
 use crate::substitution::Substitution;
-use crate::term::Term;
+use crate::term::{Term, Var};
 use crate::value::DataValue;
-use std::collections::BTreeSet;
 
 /// Evaluate `I, σ ⊨ Q`.
 ///
 /// `σ` must bind every free variable of `Q`; otherwise an [`DbError::UnboundVariable`] error
 /// is returned. Quantified variables range over `adom(I)`.
 pub fn holds(instance: &Instance, subst: &Substitution, query: &Query) -> Result<bool, DbError> {
-    let adom = instance.active_domain();
-    eval(instance, &adom, subst, query)
+    let adom: Vec<DataValue> = instance.active_domain().into_iter().collect();
+    let mut env = Env {
+        base: subst,
+        stack: Vec::new(),
+    };
+    eval(instance, &adom, &mut env, query)
 }
 
 /// Evaluate a boolean query (no free variables) against an instance.
@@ -25,17 +42,37 @@ pub fn holds_boolean(instance: &Instance, query: &Query) -> Result<bool, DbError
     holds(instance, &Substitution::empty(), query)
 }
 
-fn resolve(subst: &Substitution, term: &Term) -> Result<DataValue, DbError> {
+/// The evaluation environment: the caller's substitution plus a stack of quantifier
+/// bindings (innermost last). Pushing/popping a binding is O(1) and allocation-free after
+/// the first few frames, where the previous implementation cloned the substitution for
+/// every candidate value of every quantifier.
+struct Env<'a> {
+    base: &'a Substitution,
+    stack: Vec<(Var, DataValue)>,
+}
+
+impl Env<'_> {
+    fn get(&self, var: Var) -> Option<DataValue> {
+        self.stack
+            .iter()
+            .rev()
+            .find(|(v, _)| *v == var)
+            .map(|&(_, d)| d)
+            .or_else(|| self.base.get(var))
+    }
+}
+
+fn resolve(env: &Env<'_>, term: &Term) -> Result<DataValue, DbError> {
     match term {
         Term::Value(v) => Ok(*v),
-        Term::Var(v) => subst.get(*v).ok_or(DbError::UnboundVariable(*v)),
+        Term::Var(v) => env.get(*v).ok_or(DbError::UnboundVariable(*v)),
     }
 }
 
 fn eval(
     instance: &Instance,
-    adom: &BTreeSet<DataValue>,
-    subst: &Substitution,
+    adom: &[DataValue],
+    env: &mut Env<'_>,
     query: &Query,
 ) -> Result<bool, DbError> {
     match query {
@@ -43,33 +80,153 @@ fn eval(
         Query::Atom(rel, terms) => {
             let tuple: Vec<DataValue> = terms
                 .iter()
-                .map(|t| resolve(subst, t))
+                .map(|t| resolve(env, t))
                 .collect::<Result<_, _>>()?;
             Ok(instance.contains(*rel, &tuple))
         }
-        Query::Eq(a, b) => Ok(resolve(subst, a)? == resolve(subst, b)?),
-        Query::Not(q) => Ok(!eval(instance, adom, subst, q)?),
-        Query::And(a, b) => Ok(eval(instance, adom, subst, a)? && eval(instance, adom, subst, b)?),
-        Query::Or(a, b) => Ok(eval(instance, adom, subst, a)? || eval(instance, adom, subst, b)?),
+        Query::Eq(a, b) => Ok(resolve(env, a)? == resolve(env, b)?),
+        Query::Not(q) => Ok(!eval(instance, adom, env, q)?),
+        Query::And(a, b) => Ok(eval(instance, adom, env, a)? && eval(instance, adom, env, b)?),
+        Query::Or(a, b) => Ok(eval(instance, adom, env, a)? || eval(instance, adom, env, b)?),
         Query::Exists(v, q) => {
-            for &e in adom {
-                let extended = subst.extended(*v, e);
-                if eval(instance, adom, &extended, q)? {
+            let candidates = satisfaction_candidates(instance, q, *v);
+            let domain: &[DataValue] = candidates.as_deref().unwrap_or(adom);
+            for &e in domain {
+                env.stack.push((*v, e));
+                let result = eval(instance, adom, env, q);
+                env.stack.pop();
+                if result? {
                     return Ok(true);
                 }
             }
             Ok(false)
         }
         Query::Forall(v, q) => {
-            for &e in adom {
-                let extended = subst.extended(*v, e);
-                if !eval(instance, adom, &extended, q)? {
+            // only values that can *refute* the body need to be tried; everything else in
+            // adom satisfies it by construction of the candidate set
+            let candidates = refutation_candidates(instance, q, *v);
+            let domain: &[DataValue] = candidates.as_deref().unwrap_or(adom);
+            for &e in domain {
+                env.stack.push((*v, e));
+                let result = eval(instance, adom, env, q);
+                env.stack.pop();
+                if !result? {
                     return Ok(false);
                 }
             }
             Ok(true)
         }
     }
+}
+
+/// A sound over-approximation of the values `e ∈ adom(I)` for which `query` can hold with
+/// `v ↦ e` (under *any* assignment of the other variables), or `None` when the query does
+/// not constrain `v` through a positive atom. Always a subset of `adom(I)` and sorted
+/// ascending, since every base set is a column of the instance.
+fn satisfaction_candidates(instance: &Instance, query: &Query, v: Var) -> Option<Vec<DataValue>> {
+    match query {
+        Query::Atom(rel, terms) => {
+            let col = terms.iter().position(|t| *t == Term::Var(v))?;
+            Some(instance.column_values(*rel, col).to_vec())
+        }
+        // a conjunction constrains v if either conjunct does (intersect when both do)
+        Query::And(a, b) => narrow(
+            satisfaction_candidates(instance, a, v),
+            satisfaction_candidates(instance, b, v),
+        ),
+        // a disjunction constrains v only if both branches do
+        Query::Or(a, b) => Some(merge_union(
+            satisfaction_candidates(instance, a, v)?,
+            satisfaction_candidates(instance, b, v)?,
+        )),
+        Query::Not(q) => refutation_candidates(instance, q, v),
+        Query::Exists(w, q) | Query::Forall(w, q) if *w != v => {
+            satisfaction_candidates(instance, q, v)
+        }
+        _ => None,
+    }
+}
+
+/// Dually: a sound over-approximation of the values for which `query` can be *false* with
+/// `v ↦ e`, or `None` when unconstrained.
+fn refutation_candidates(instance: &Instance, query: &Query, v: Var) -> Option<Vec<DataValue>> {
+    match query {
+        Query::Not(q) => satisfaction_candidates(instance, q, v),
+        // refuting a conjunction = refuting either conjunct
+        Query::And(a, b) => Some(merge_union(
+            refutation_candidates(instance, a, v)?,
+            refutation_candidates(instance, b, v)?,
+        )),
+        // refuting a disjunction = refuting both branches
+        Query::Or(a, b) => narrow(
+            refutation_candidates(instance, a, v),
+            refutation_candidates(instance, b, v),
+        ),
+        Query::Exists(w, q) | Query::Forall(w, q) if *w != v => {
+            refutation_candidates(instance, q, v)
+        }
+        _ => None,
+    }
+}
+
+/// Combine two optional constraints: intersect when both constrain, else keep the one that
+/// does.
+fn narrow(a: Option<Vec<DataValue>>, b: Option<Vec<DataValue>>) -> Option<Vec<DataValue>> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(merge_intersect(a, b)),
+        (Some(a), None) => Some(a),
+        (None, b) => b,
+    }
+}
+
+fn merge_intersect(a: Vec<DataValue>, b: Vec<DataValue>) -> Vec<DataValue> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn merge_union(a: Vec<DataValue>, b: Vec<DataValue>) -> Vec<DataValue> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+                x
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                i += 1;
+                x
+            }
+            (Some(_), Some(&y)) => {
+                j += 1;
+                y
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!("loop condition"),
+        };
+        out.push(next);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -193,5 +350,126 @@ mod tests {
         }
         let s = Substitution::from_pairs([(v("u"), e(99))]);
         assert!(!holds(&i, &s, &active).unwrap());
+    }
+
+    #[test]
+    fn shadowed_quantifier_variables_resolve_innermost_first() {
+        let i = sample();
+        // exists u. Q(u) & exists u. R(u): inner u shadows outer; both must hold
+        let q = Query::exists(
+            v("u"),
+            Query::atom(r("Q"), [v("u")]).and(Query::exists(v("u"), Query::atom(r("R"), [v("u")]))),
+        );
+        assert!(holds_boolean(&i, &q).unwrap());
+        // exists u. R(u) & (exists u. R(u) & Q(u)) & !Q(u): outer u must be e1
+        let q = Query::exists(
+            v("u"),
+            Query::atom(r("R"), [v("u")])
+                .and(Query::exists(
+                    v("u"),
+                    Query::atom(r("R"), [v("u")]).and(Query::atom(r("Q"), [v("u")])),
+                ))
+                .and(Query::atom(r("Q"), [v("u")]).not()),
+        );
+        assert!(holds_boolean(&i, &q).unwrap());
+    }
+
+    #[test]
+    fn candidate_restriction_agrees_with_full_enumeration() {
+        // queries mixing positive/negative atoms, disjunction and nesting, evaluated both
+        // ways on an instance where candidate sets genuinely prune
+        let i = Instance::from_facts([
+            (r("R"), vec![e(1)]),
+            (r("R"), vec![e(2)]),
+            (r("Q"), vec![e(2)]),
+            (r("Q"), vec![e(3)]),
+            (r("S"), vec![e(1), e(4)]),
+            (r("S"), vec![e(2), e(4)]),
+        ]);
+        let u = v("u");
+        let w = v("w");
+        let queries = [
+            Query::exists(u, Query::atom(r("R"), [u]).and(Query::atom(r("Q"), [u]))),
+            Query::exists(u, Query::atom(r("R"), [u]).or(Query::atom(r("Q"), [u]))),
+            Query::forall(
+                u,
+                Query::atom(r("Q"), [u]).implies(Query::atom(r("R"), [u])),
+            ),
+            Query::forall(
+                u,
+                Query::exists(w, Query::atom(r("S"), [w, u]))
+                    .implies(Query::atom(r("Q"), [u]).not()),
+            ),
+            Query::exists(u, Query::atom(r("Q"), [u]).not()),
+            Query::forall(
+                u,
+                Query::atom(r("R"), [u])
+                    .not()
+                    .or(Query::atom(r("S"), [u, w]).not()),
+            ),
+        ];
+        let s = Substitution::from_pairs([(w, e(4))]);
+        for q in queries {
+            let fast = holds(&i, &s, &q).unwrap();
+            let slow = reference_holds(&i, &s, &q).unwrap();
+            assert_eq!(fast, slow, "disagreement on {q}");
+        }
+    }
+
+    /// The pre-index reference semantics: full active-domain enumeration with substitution
+    /// cloning. Kept in tests as the oracle for the candidate-restricted evaluator.
+    pub(crate) fn reference_holds(
+        instance: &Instance,
+        subst: &Substitution,
+        query: &Query,
+    ) -> Result<bool, DbError> {
+        fn resolve(subst: &Substitution, term: &Term) -> Result<DataValue, DbError> {
+            match term {
+                Term::Value(v) => Ok(*v),
+                Term::Var(v) => subst.get(*v).ok_or(DbError::UnboundVariable(*v)),
+            }
+        }
+        fn go(
+            instance: &Instance,
+            adom: &std::collections::BTreeSet<DataValue>,
+            subst: &Substitution,
+            query: &Query,
+        ) -> Result<bool, DbError> {
+            match query {
+                Query::True => Ok(true),
+                Query::Atom(rel, terms) => {
+                    let tuple: Vec<DataValue> = terms
+                        .iter()
+                        .map(|t| resolve(subst, t))
+                        .collect::<Result<_, _>>()?;
+                    Ok(instance.contains(*rel, &tuple))
+                }
+                Query::Eq(a, b) => Ok(resolve(subst, a)? == resolve(subst, b)?),
+                Query::Not(q) => Ok(!go(instance, adom, subst, q)?),
+                Query::And(a, b) => {
+                    Ok(go(instance, adom, subst, a)? && go(instance, adom, subst, b)?)
+                }
+                Query::Or(a, b) => {
+                    Ok(go(instance, adom, subst, a)? || go(instance, adom, subst, b)?)
+                }
+                Query::Exists(v, q) => {
+                    for &e in adom {
+                        if go(instance, adom, &subst.extended(*v, e), q)? {
+                            return Ok(true);
+                        }
+                    }
+                    Ok(false)
+                }
+                Query::Forall(v, q) => {
+                    for &e in adom {
+                        if !go(instance, adom, &subst.extended(*v, e), q)? {
+                            return Ok(false);
+                        }
+                    }
+                    Ok(true)
+                }
+            }
+        }
+        go(instance, &instance.active_domain(), subst, query)
     }
 }

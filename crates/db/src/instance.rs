@@ -1,17 +1,242 @@
 //! Database instances over a schema and the data domain.
 
+use crate::metrics;
 use crate::schema::{RelName, Schema};
 use crate::value::{DataValue, Tuple};
-use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use parking_lot::Mutex;
+use serde::ser::SerializeStruct;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
+
+/// The shared storage of one relation: its tuple set plus lazily-built caches.
+///
+/// A `Relation` is immutable once shared (the instance clones it on first write — see
+/// [`Instance`]), so every cache is computed at most once per storage node and is reused by
+/// all instances sharing the node:
+///
+/// * `values` — the sorted distinct data values occurring anywhere in the relation (the
+///   relation's contribution to `adom`),
+/// * `columns` — the sorted distinct values per column position,
+/// * `first_index` — a hash index from first-column value to the tuples starting with it,
+/// * `content_hash` — a hash of the tuple set, making instance hashing O(#relations),
+/// * `canon` — the most recent canonical relabelling of this relation (keyed by where the
+///   relation's values map), so that a relation untouched between a configuration and its
+///   successor is not re-canonicalised when both are interned.
+struct Relation {
+    tuples: BTreeSet<Tuple>,
+    values: OnceLock<Vec<DataValue>>,
+    columns: OnceLock<Vec<Vec<DataValue>>>,
+    first_index: OnceLock<HashMap<DataValue, Vec<Tuple>>>,
+    content_hash: OnceLock<u64>,
+    canon: Mutex<Option<(Vec<DataValue>, Arc<Relation>)>>,
+}
+
+impl Relation {
+    fn from_tuples(tuples: BTreeSet<Tuple>) -> Relation {
+        Relation {
+            tuples,
+            values: OnceLock::new(),
+            columns: OnceLock::new(),
+            first_index: OnceLock::new(),
+            content_hash: OnceLock::new(),
+            canon: Mutex::new(None),
+        }
+    }
+
+    fn singleton(tuple: Tuple) -> Relation {
+        Relation::from_tuples(BTreeSet::from([tuple]))
+    }
+
+    /// Sorted distinct values occurring anywhere in the relation.
+    fn values(&self) -> &[DataValue] {
+        if let Some(values) = self.values.get() {
+            metrics::count_index_hit();
+            return values;
+        }
+        metrics::count_index_build();
+        self.values.get_or_init(|| {
+            let set: BTreeSet<DataValue> = self.tuples.iter().flatten().copied().collect();
+            set.into_iter().collect()
+        })
+    }
+
+    /// Sorted distinct values at column `col` (empty when no tuple is that wide).
+    fn column_values(&self, col: usize) -> &[DataValue] {
+        if let Some(columns) = self.columns.get() {
+            metrics::count_index_hit();
+            return columns.get(col).map(Vec::as_slice).unwrap_or(&[]);
+        }
+        metrics::count_index_build();
+        let columns = self.columns.get_or_init(|| {
+            let width = self.tuples.iter().map(Vec::len).max().unwrap_or(0);
+            (0..width)
+                .map(|c| {
+                    let set: BTreeSet<DataValue> = self
+                        .tuples
+                        .iter()
+                        .filter_map(|t| t.get(c))
+                        .copied()
+                        .collect();
+                    set.into_iter().collect()
+                })
+                .collect()
+        });
+        columns.get(col).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The tuples whose first component is `value`. Relations too small to amortise an
+    /// index are answered by a filtered scan; larger ones build the hash index once (per
+    /// shared storage node) and probe it.
+    fn with_first(&self, value: DataValue) -> WithFirst<'_> {
+        if let Some(index) = self.first_index.get() {
+            metrics::count_index_hit();
+            return WithFirst::Indexed(index.get(&value).map(Vec::as_slice).unwrap_or(&[]).iter());
+        }
+        if self.tuples.len() < FIRST_INDEX_MIN_TUPLES {
+            return WithFirst::Scan {
+                tuples: self.tuples.iter(),
+                value,
+            };
+        }
+        metrics::count_index_build();
+        let index = self.first_index.get_or_init(|| {
+            let mut index: HashMap<DataValue, Vec<Tuple>> = HashMap::new();
+            // BTreeSet iteration keeps each bucket sorted, so probes are deterministic
+            for tuple in &self.tuples {
+                if let Some(&first) = tuple.first() {
+                    index.entry(first).or_default().push(tuple.clone());
+                }
+            }
+            index
+        });
+        WithFirst::Indexed(index.get(&value).map(Vec::as_slice).unwrap_or(&[]).iter())
+    }
+
+    /// A hash of the tuple set, cached on the shared storage. Equal tuple sets produce equal
+    /// hashes (same iteration order, same hasher), which is what [`Instance`]'s `Hash` needs.
+    fn content_hash(&self) -> u64 {
+        *self.content_hash.get_or_init(|| {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            hasher.write_usize(self.tuples.len());
+            for tuple in &self.tuples {
+                tuple.hash(&mut hasher);
+            }
+            hasher.finish()
+        })
+    }
+
+    /// This relation with every value `v` replaced by `mapping[v]` (identity outside the
+    /// mapping), reusing the cached relabelling when the relevant part of the mapping is
+    /// unchanged — the incremental step of canonical-key computation.
+    fn map_values_cached(
+        self: &Arc<Relation>,
+        mapping: &BTreeMap<DataValue, DataValue>,
+    ) -> Arc<Relation> {
+        let values = self.values();
+        // Fast path: the mapping is the identity on every value of this relation.
+        if values
+            .iter()
+            .all(|v| mapping.get(v).is_none_or(|target| target == v))
+        {
+            metrics::count_index_hit();
+            return Arc::clone(self);
+        }
+        let targets: Vec<DataValue> = values
+            .iter()
+            .map(|v| mapping.get(v).copied().unwrap_or(*v))
+            .collect();
+        {
+            let cache = self.canon.lock();
+            if let Some((cached_targets, mapped)) = cache.as_ref() {
+                if *cached_targets == targets {
+                    metrics::count_index_hit();
+                    return Arc::clone(mapped);
+                }
+            }
+        }
+        metrics::count_index_build();
+        let mapped: BTreeSet<Tuple> = self
+            .tuples
+            .iter()
+            .map(|tuple| {
+                tuple
+                    .iter()
+                    .map(|v| mapping.get(v).copied().unwrap_or(*v))
+                    .collect()
+            })
+            .collect();
+        let mapped = Arc::new(Relation::from_tuples(mapped));
+        *self.canon.lock() = Some((targets, Arc::clone(&mapped)));
+        mapped
+    }
+}
+
+impl Relation {
+    /// Drop every lazy cache (requires exclusive access). Must precede any mutation of
+    /// `tuples` — see [`make_mut`].
+    fn reset_caches(&mut self) {
+        self.values = OnceLock::new();
+        self.columns = OnceLock::new();
+        self.first_index = OnceLock::new();
+        self.content_hash = OnceLock::new();
+        *self.canon.get_mut() = None;
+    }
+}
+
+impl Clone for Relation {
+    /// Cloning drops the caches: the only reason the instance deep-copies a relation is an
+    /// impending mutation, after which they would be stale anyway.
+    fn clone(&self) -> Relation {
+        Relation::from_tuples(self.tuples.clone())
+    }
+}
+
+/// Minimum tuple count before [`Relation::with_first`] builds the hash index; below this a
+/// filtered scan is cheaper than constructing (and allocating) the index for few probes.
+const FIRST_INDEX_MIN_TUPLES: usize = 16;
+
+/// Iterator over a relation's tuples with a fixed first component (see
+/// [`Relation::with_first`]).
+enum WithFirst<'a> {
+    Indexed(std::slice::Iter<'a, Tuple>),
+    Scan {
+        tuples: std::collections::btree_set::Iter<'a, Tuple>,
+        value: DataValue,
+    },
+}
+
+impl<'a> Iterator for WithFirst<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        match self {
+            WithFirst::Indexed(iter) => iter.next(),
+            WithFirst::Scan { tuples, value } => tuples.find(|tuple| tuple.first() == Some(value)),
+        }
+    }
+}
 
 /// A database instance `I ∈ DB-Inst-Set(R, ∆)`: for every relation name a finite set of
 /// tuples over the data domain.
 ///
-/// The representation is deliberately deterministic (`BTreeMap` / `BTreeSet`): instances are
-/// hashed and compared when the checker deduplicates configurations modulo isomorphism, and
-/// tests rely on stable iteration order.
+/// The representation is deliberately deterministic (`BTreeMap` of sorted tuple sets):
+/// instances are hashed and compared when the checker deduplicates configurations modulo
+/// isomorphism, and tests rely on stable iteration order.
+///
+/// # Copy-on-write sharing
+///
+/// Each relation's tuple set lives behind an [`Arc`]: cloning an instance shares every
+/// relation with the original, and a mutation deep-copies only the relation it touches
+/// (clone-on-first-write). A successor configuration produced by an action that updates 1 of
+/// N relations therefore shares the other N−1 with its parent — together with their
+/// lazily-built caches (active-domain values, per-column values, a first-column hash index,
+/// a content hash, and the latest canonical relabelling). The sharing is observable only
+/// through performance and through [`Instance::shared_relations`]; the value semantics is
+/// exactly that of a plain `BTreeMap<RelName, BTreeSet<Tuple>>` (checked by property tests).
 ///
 /// Following the paper:
 /// * `I₁ + I₂` is relation-wise union ([`Instance::union`]),
@@ -19,9 +244,25 @@ use std::fmt;
 /// * `adom(I)` is the set of values occurring in some fact ([`Instance::active_domain`]),
 /// * a nullary relation (proposition) `p` is *true* in `I` iff `p() ∈ I`
 ///   ([`Instance::proposition`]).
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Default)]
 pub struct Instance {
-    relations: BTreeMap<RelName, BTreeSet<Tuple>>,
+    /// Invariant: no entry maps to an empty tuple set (mirrors the pre-COW representation,
+    /// which dropped a relation's entry when its last tuple was removed).
+    relations: BTreeMap<RelName, Arc<Relation>>,
+}
+
+/// Grant mutable access to `arc`'s relation ahead of a mutation: deep-copy unless this
+/// instance is the sole owner, and — either way — drop the lazy caches, which describe the
+/// pre-mutation tuple set. (The shared path gets fresh caches from `Relation::clone`; the
+/// sole-owner path mutates in place and must reset them explicitly, or stale
+/// values/index/hash data would survive the write.)
+fn make_mut(arc: &mut Arc<Relation>) -> &mut Relation {
+    if Arc::strong_count(arc) > 1 {
+        metrics::count_materialized();
+    }
+    let data = Arc::make_mut(arc);
+    data.reset_caches();
+    data
 }
 
 impl Instance {
@@ -32,7 +273,18 @@ impl Instance {
 
     /// Insert the fact `rel(tuple…)`. Returns `true` if the fact was not already present.
     pub fn insert(&mut self, rel: RelName, tuple: Tuple) -> bool {
-        self.relations.entry(rel).or_default().insert(tuple)
+        match self.relations.entry(rel) {
+            Entry::Vacant(entry) => {
+                entry.insert(Arc::new(Relation::singleton(tuple)));
+                true
+            }
+            Entry::Occupied(mut entry) => {
+                if entry.get().tuples.contains(&tuple) {
+                    return false; // no-op inserts never materialise a shared relation
+                }
+                make_mut(entry.get_mut()).tuples.insert(tuple)
+            }
+        }
     }
 
     /// Insert a fact, checking the tuple's arity against `schema`.
@@ -48,27 +300,18 @@ impl Instance {
 
     /// Remove the fact `rel(tuple…)`. Returns `true` if it was present.
     pub fn remove(&mut self, rel: RelName, tuple: &[DataValue]) -> bool {
-        let mut emptied = false;
-        let removed = match self.relations.get_mut(&rel) {
-            Some(set) => {
-                let r = set.remove(tuple);
-                emptied = set.is_empty();
-                r
-            }
-            None => false,
+        let Entry::Occupied(mut entry) = self.relations.entry(rel) else {
+            return false;
         };
-        if emptied {
-            self.relations.remove(&rel);
+        if !entry.get().tuples.contains(tuple) {
+            return false; // no-op removals never materialise a shared relation
         }
-        removed
-    }
-
-    /// Whether the fact `rel(tuple…)` is present.
-    pub fn contains(&self, rel: RelName, tuple: &[DataValue]) -> bool {
-        self.relations
-            .get(&rel)
-            .map(|set| set.contains(tuple))
-            .unwrap_or(false)
+        if entry.get().tuples.len() == 1 {
+            // removing the last tuple drops the relation entry entirely
+            entry.remove();
+            return true;
+        }
+        make_mut(entry.get_mut()).tuples.remove(tuple)
     }
 
     /// Set the truth value of a proposition (nullary relation).
@@ -85,21 +328,68 @@ impl Instance {
         self.contains(rel, &[])
     }
 
-    /// The tuples of relation `rel` (empty slice view if the relation has no tuples).
+    /// Whether the fact `rel(tuple…)` is present.
+    pub fn contains(&self, rel: RelName, tuple: &[DataValue]) -> bool {
+        self.relations
+            .get(&rel)
+            .map(|data| data.tuples.contains(tuple))
+            .unwrap_or(false)
+    }
+
+    /// The tuples of relation `rel` (empty iterator if the relation has no tuples).
     pub fn relation(&self, rel: RelName) -> impl Iterator<Item = &Tuple> + '_ {
-        self.relations.get(&rel).into_iter().flatten()
+        self.relations
+            .get(&rel)
+            .into_iter()
+            .flat_map(|data| data.tuples.iter())
+    }
+
+    /// The tuples of `rel` whose **first** component is `value`, answered through a lazily
+    /// built (and `Arc`-shared) hash index. Query evaluation uses this to bind variables by
+    /// index probe instead of scanning the whole relation.
+    pub fn relation_with_first(
+        &self,
+        rel: RelName,
+        value: DataValue,
+    ) -> impl Iterator<Item = &Tuple> + '_ {
+        self.relations
+            .get(&rel)
+            .map(|data| data.with_first(value))
+            .into_iter()
+            .flatten()
+    }
+
+    /// The sorted distinct values occurring at column `col` of `rel` (cached on the shared
+    /// relation storage). Quantifier evaluation uses this to restrict a bound variable's
+    /// range to the values that can actually satisfy an atom.
+    pub fn column_values(&self, rel: RelName, col: usize) -> &[DataValue] {
+        self.relations
+            .get(&rel)
+            .map(|data| data.column_values(col))
+            .unwrap_or(&[])
+    }
+
+    /// The sorted distinct values occurring anywhere in `rel` (cached on the shared storage).
+    pub fn relation_values(&self, rel: RelName) -> &[DataValue] {
+        self.relations
+            .get(&rel)
+            .map(|data| data.values())
+            .unwrap_or(&[])
     }
 
     /// The number of tuples in relation `rel`.
     pub fn relation_size(&self, rel: RelName) -> usize {
-        self.relations.get(&rel).map(|s| s.len()).unwrap_or(0)
+        self.relations
+            .get(&rel)
+            .map(|data| data.tuples.len())
+            .unwrap_or(0)
     }
 
     /// Iterate over all facts as `(relation, tuple)` pairs, deterministically.
     pub fn facts(&self) -> impl Iterator<Item = (RelName, &Tuple)> + '_ {
         self.relations
             .iter()
-            .flat_map(|(&rel, tuples)| tuples.iter().map(move |t| (rel, t)))
+            .flat_map(|(&rel, data)| data.tuples.iter().map(move |t| (rel, t)))
     }
 
     /// The relation names that have at least one tuple in this instance.
@@ -109,19 +399,30 @@ impl Instance {
 
     /// Total number of facts.
     pub fn len(&self) -> usize {
-        self.relations.values().map(|s| s.len()).sum()
+        self.relations.values().map(|data| data.tuples.len()).sum()
     }
 
     /// Whether the instance contains no facts.
     pub fn is_empty(&self) -> bool {
-        self.relations.values().all(|s| s.is_empty())
+        self.relations.is_empty()
     }
 
     /// The active domain `adom(I)`: every data value occurring in some fact.
+    ///
+    /// Uses a relation's cached value vector when one has already been built, but does not
+    /// *force* the caches: on a freshly materialised relation that is queried once, a direct
+    /// fact scan is cheaper than building the cache it would never reuse.
     pub fn active_domain(&self) -> BTreeSet<DataValue> {
         let mut adom = BTreeSet::new();
-        for (_, tuple) in self.facts() {
-            adom.extend(tuple.iter().copied());
+        for data in self.relations.values() {
+            match data.values.get() {
+                Some(values) => adom.extend(values.iter().copied()),
+                None => {
+                    for tuple in &data.tuples {
+                        adom.extend(tuple.iter().copied());
+                    }
+                }
+            }
         }
         adom
     }
@@ -129,23 +430,92 @@ impl Instance {
     /// Whether `value ∈ adom(I)`, i.e. the value occurs in some fact (the paper's
     /// `Active(u)` query of Example 2.1 characterises exactly this set).
     pub fn is_active(&self, value: DataValue) -> bool {
-        self.facts().any(|(_, tuple)| tuple.contains(&value))
+        self.relations
+            .values()
+            .any(|data| data.values().binary_search(&value).is_ok())
     }
 
-    /// Relation-wise union `I₁ + I₂`.
+    /// The largest value in `adom(I)`, if any — answered without materialising the whole
+    /// active domain (and without forcing the per-relation caches).
+    pub fn max_value(&self) -> Option<DataValue> {
+        self.relations
+            .values()
+            .filter_map(|data| match data.values.get() {
+                Some(values) => values.last().copied(),
+                None => data.tuples.iter().flatten().max().copied(),
+            })
+            .max()
+    }
+
+    /// How many relations of `self` share their storage with `other` (i.e. point at the
+    /// same `Arc` node). Diagnostic for the copy-on-write representation.
+    pub fn shared_relations(&self, other: &Instance) -> usize {
+        self.relations
+            .iter()
+            .filter(|(rel, data)| {
+                other
+                    .relations
+                    .get(rel)
+                    .is_some_and(|theirs| Arc::ptr_eq(data, theirs))
+            })
+            .count()
+    }
+
+    /// Relation-wise union `I₁ + I₂`. Relations absent from `self` are shared with `other`
+    /// rather than copied; relations whose tuples are already all present stay shared with
+    /// `self`.
     pub fn union(&self, other: &Instance) -> Instance {
         let mut result = self.clone();
-        for (rel, tuple) in other.facts() {
-            result.insert(rel, tuple.clone());
+        for (&rel, data) in &other.relations {
+            match result.relations.entry(rel) {
+                Entry::Vacant(entry) => {
+                    entry.insert(Arc::clone(data));
+                }
+                Entry::Occupied(mut entry) => {
+                    if Arc::ptr_eq(entry.get(), data) {
+                        continue;
+                    }
+                    let missing: Vec<Tuple> = data
+                        .tuples
+                        .difference(&entry.get().tuples)
+                        .cloned()
+                        .collect();
+                    if missing.is_empty() {
+                        continue;
+                    }
+                    let target = make_mut(entry.get_mut());
+                    target.tuples.extend(missing);
+                }
+            }
         }
         result
     }
 
-    /// Relation-wise difference `I₁ − I₂`.
+    /// Relation-wise difference `I₁ − I₂`. Relations with no tuple to remove stay shared
+    /// with `self`.
     pub fn difference(&self, other: &Instance) -> Instance {
         let mut result = self.clone();
-        for (rel, tuple) in other.facts() {
-            result.remove(rel, tuple);
+        for (&rel, data) in &other.relations {
+            let Entry::Occupied(mut entry) = result.relations.entry(rel) else {
+                continue;
+            };
+            let present: Vec<&Tuple> = data
+                .tuples
+                .iter()
+                .filter(|t| entry.get().tuples.contains(*t))
+                .collect();
+            if present.is_empty() {
+                continue;
+            }
+            if present.len() == entry.get().tuples.len() {
+                entry.remove();
+                continue;
+            }
+            let present: Vec<Tuple> = present.into_iter().cloned().collect();
+            let target = make_mut(entry.get_mut());
+            for tuple in &present {
+                target.tuples.remove(tuple);
+            }
         }
         result
     }
@@ -167,6 +537,16 @@ impl Instance {
         inst
     }
 
+    fn from_relation_sets(relations: BTreeMap<RelName, BTreeSet<Tuple>>) -> Instance {
+        Instance {
+            relations: relations
+                .into_iter()
+                .filter(|(_, tuples)| !tuples.is_empty())
+                .map(|(rel, tuples)| (rel, Arc::new(Relation::from_tuples(tuples))))
+                .collect(),
+        }
+    }
+
     /// Rename every data value through `f` (used for isomorphism checks and canonicalisation).
     pub fn map_values<F: Fn(DataValue) -> DataValue>(&self, f: F) -> Instance {
         let mut inst = Instance::new();
@@ -174,6 +554,22 @@ impl Instance {
             inst.insert(rel, tuple.iter().map(|&v| f(v)).collect());
         }
         inst
+    }
+
+    /// Rename every value through `mapping` (identity outside it), **reusing shared
+    /// storage**: a relation whose values the mapping leaves fixed is shared as-is, and a
+    /// relation relabelled the same way as on the previous call reuses its cached
+    /// relabelling. This is the incremental step behind canonical configuration keys — a
+    /// successor that touched 1 of N relations re-canonicalises at most that one relation
+    /// (plus any whose value *ranks* shifted).
+    pub fn map_values_shared(&self, mapping: &BTreeMap<DataValue, DataValue>) -> Instance {
+        Instance {
+            relations: self
+                .relations
+                .iter()
+                .map(|(&rel, data)| (rel, data.map_values_cached(mapping)))
+                .collect(),
+        }
     }
 
     /// Check every fact's arity against `schema`.
@@ -185,12 +581,104 @@ impl Instance {
     }
 }
 
+impl Clone for Instance {
+    fn clone(&self) -> Instance {
+        metrics::count_shared(self.relations.len() as u64);
+        Instance {
+            relations: self.relations.clone(),
+        }
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Instance) -> bool {
+        if self.relations.len() != other.relations.len() {
+            return false;
+        }
+        self.relations
+            .iter()
+            .zip(other.relations.iter())
+            .all(|((rel_a, a), (rel_b, b))| {
+                rel_a == rel_b && (Arc::ptr_eq(a, b) || a.tuples == b.tuples)
+            })
+    }
+}
+
+impl Eq for Instance {}
+
+impl PartialOrd for Instance {
+    fn partial_cmp(&self, other: &Instance) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Instance {
+    /// Lexicographic over `(relation, tuple set)` pairs — identical to the ordering of the
+    /// pre-COW `BTreeMap<RelName, BTreeSet<Tuple>>` representation.
+    fn cmp(&self, other: &Instance) -> std::cmp::Ordering {
+        self.relations
+            .iter()
+            .map(|(&rel, data)| (rel, &data.tuples))
+            .cmp(
+                other
+                    .relations
+                    .iter()
+                    .map(|(&rel, data)| (rel, &data.tuples)),
+            )
+    }
+}
+
+impl Hash for Instance {
+    /// Hashes the cached per-relation content hashes, so re-hashing an instance whose
+    /// relations are shared with an already-hashed one is O(#relations), not O(#facts).
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.relations.len());
+        for (rel, data) in &self.relations {
+            rel.hash(state);
+            state.write_u64(data.content_hash());
+        }
+    }
+}
+
+impl Serialize for Instance {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // same wire shape as the old derived impl: a struct with a "relations" map
+        let relations: BTreeMap<RelName, &BTreeSet<Tuple>> = self
+            .relations
+            .iter()
+            .map(|(&rel, data)| (rel, &data.tuples))
+            .collect();
+        let mut state = serializer.serialize_struct("Instance", 1)?;
+        state.serialize_field("relations", &relations)?;
+        state.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Instance {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error;
+        let value = deserializer.into_value()?;
+        let entries = value
+            .as_map()
+            .ok_or_else(|| D::Error::custom("expected a map for struct Instance"))?;
+        let relations = entries
+            .iter()
+            .find(|(key, _)| key == "relations")
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| D::Error::custom("missing field `relations`"))?;
+        let relations = BTreeMap::<RelName, BTreeSet<Tuple>>::deserialize(relations)
+            .map_err(D::Error::custom)?;
+        // empty tuple sets are normalised away (the in-memory invariant)
+        Ok(Instance::from_relation_sets(relations))
+    }
+}
+
 impl fmt::Display for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
         let mut first = true;
-        for (rel, tuples) in &self.relations {
-            for tuple in tuples {
+        for (rel, data) in &self.relations {
+            for tuple in &data.tuples {
                 if !first {
                     write!(f, ", ")?;
                 }
@@ -348,5 +836,157 @@ mod tests {
         assert!(i.insert_checked(&schema, r("R"), vec![e(1)]).is_ok());
         assert!(i.insert_checked(&schema, r("R"), vec![e(1), e(2)]).is_err());
         assert!(i.insert_checked(&schema, r("Nope"), vec![e(1)]).is_err());
+    }
+
+    // -------------------------------------------------------------------------------------
+    // copy-on-write representation
+    // -------------------------------------------------------------------------------------
+
+    #[test]
+    fn clones_share_storage_until_written() {
+        let mut i = Instance::from_facts([
+            (r("A"), vec![e(1)]),
+            (r("B"), vec![e(2)]),
+            (r("C"), vec![e(3)]),
+        ]);
+        let snapshot = i.clone();
+        assert_eq!(i.shared_relations(&snapshot), 3);
+
+        // writing one relation materialises only that one
+        i.insert(r("B"), vec![e(9)]);
+        assert_eq!(i.shared_relations(&snapshot), 2);
+        assert!(snapshot.contains(r("B"), &[e(2)]));
+        assert!(!snapshot.contains(r("B"), &[e(9)]));
+        assert!(i.contains(r("B"), &[e(2)]));
+
+        // no-op writes keep sharing intact
+        let again = i.clone();
+        i.insert(r("A"), vec![e(1)]);
+        i.remove(r("C"), &[e(99)]);
+        assert_eq!(i.shared_relations(&again), 3);
+    }
+
+    #[test]
+    fn union_and_difference_share_untouched_relations() {
+        let base = Instance::from_facts([(r("A"), vec![e(1)]), (r("B"), vec![e(2)])]);
+        let add = Instance::from_facts([(r("C"), vec![e(3)])]);
+        let u = base.union(&add);
+        assert_eq!(u.shared_relations(&base), 2);
+        assert_eq!(u.shared_relations(&add), 1);
+
+        let del = Instance::from_facts([(r("B"), vec![e(2)])]);
+        let d = base.difference(&del);
+        assert_eq!(d.shared_relations(&base), 1);
+        assert!(!d.contains(r("B"), &[e(2)]));
+    }
+
+    #[test]
+    fn equality_hash_and_ordering_ignore_sharing() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = Instance::from_facts([(r("R"), vec![e(1)]), (r("Q"), vec![e(2)])]);
+        let b = a.clone(); // shares storage
+        let c = Instance::from_facts([(r("Q"), vec![e(2)]), (r("R"), vec![e(1)])]); // rebuilt
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a.cmp(&c), std::cmp::Ordering::Equal);
+        let hash = |i: &Instance| {
+            let mut h = DefaultHasher::new();
+            i.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        assert_eq!(hash(&a), hash(&c));
+
+        let d = Instance::from_facts([(r("R"), vec![e(1)])]);
+        assert_ne!(a, d);
+        // ordering is total and antisymmetric, exactly as the value representation's
+        assert_ne!(a.cmp(&d), std::cmp::Ordering::Equal);
+        assert_eq!(a.cmp(&d), d.cmp(&a).reverse());
+    }
+
+    #[test]
+    fn mutating_a_sole_owner_resets_warm_caches() {
+        use std::collections::hash_map::DefaultHasher;
+        // warm every cache on an unshared relation, then mutate in place: the caches must
+        // be rebuilt, not served stale (regression test — Arc::make_mut does not clone for
+        // a sole owner, so the reset must be explicit)
+        let mut i = Instance::from_facts([(r("R"), vec![e(1), e(5)])]);
+        assert!(i.is_active(e(1))); // warms `values`
+        assert_eq!(i.column_values(r("R"), 0), &[e(1)]); // warms `columns`
+        assert_eq!(i.relation_with_first(r("R"), e(1)).count(), 1);
+        let hash = |inst: &Instance| {
+            let mut h = DefaultHasher::new();
+            inst.hash(&mut h);
+            h.finish()
+        };
+        let _ = hash(&i); // warms `content_hash`
+
+        i.insert(r("R"), vec![e(2), e(6)]);
+        assert!(i.is_active(e(2)));
+        assert_eq!(i.column_values(r("R"), 0), &[e(1), e(2)]);
+        assert_eq!(i.relation_values(r("R")), &[e(1), e(2), e(5), e(6)]);
+        assert_eq!(i.max_value(), Some(e(6)));
+        let rebuilt =
+            Instance::from_facts([(r("R"), vec![e(1), e(5)]), (r("R"), vec![e(2), e(6)])]);
+        assert_eq!(
+            hash(&i),
+            hash(&rebuilt),
+            "content hash must track the mutation"
+        );
+
+        i.remove(r("R"), &[e(1), e(5)]);
+        assert!(!i.is_active(e(1)));
+        assert_eq!(i.column_values(r("R"), 0), &[e(2)]);
+        let rebuilt = Instance::from_facts([(r("R"), vec![e(2), e(6)])]);
+        assert_eq!(hash(&i), hash(&rebuilt));
+    }
+
+    #[test]
+    fn first_column_index_and_column_values() {
+        let i = Instance::from_facts([
+            (r("S"), vec![e(1), e(2)]),
+            (r("S"), vec![e(1), e(3)]),
+            (r("S"), vec![e(2), e(3)]),
+        ]);
+        let hits: Vec<&Tuple> = i.relation_with_first(r("S"), e(1)).collect();
+        assert_eq!(hits, vec![&vec![e(1), e(2)], &vec![e(1), e(3)]]);
+        assert_eq!(i.relation_with_first(r("S"), e(9)).count(), 0);
+        assert_eq!(i.relation_with_first(r("Zzz"), e(1)).count(), 0);
+
+        assert_eq!(i.column_values(r("S"), 0), &[e(1), e(2)]);
+        assert_eq!(i.column_values(r("S"), 1), &[e(2), e(3)]);
+        assert!(i.column_values(r("S"), 2).is_empty());
+        assert_eq!(i.relation_values(r("S")), &[e(1), e(2), e(3)]);
+    }
+
+    #[test]
+    fn map_values_shared_agrees_with_map_values() {
+        let i = Instance::from_facts([
+            (r("R"), vec![e(1), e(2)]),
+            (r("Q"), vec![e(3)]),
+            (r("p"), vec![]),
+        ]);
+        let mapping = BTreeMap::from([(e(1), e(10)), (e(2), e(20))]);
+        let shared = i.map_values_shared(&mapping);
+        let scratch = i.map_values(|v| mapping.get(&v).copied().unwrap_or(v));
+        assert_eq!(shared, scratch);
+        // Q and p are untouched by the mapping: their storage is shared with the original
+        assert_eq!(shared.shared_relations(&i), 2);
+        // a second identical mapping reuses the cached relabelling of R
+        let again = i.map_values_shared(&mapping);
+        assert_eq!(again, scratch);
+        assert_eq!(again.shared_relations(&shared), 3);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_facts() {
+        let i = Instance::from_facts([
+            (r("R"), vec![e(1), e(2)]),
+            (r("Q"), vec![e(3)]),
+            (r("p"), vec![]),
+        ]);
+        let value = serde::value::to_value(&i).unwrap();
+        let back = Instance::deserialize(value).unwrap();
+        assert_eq!(back, i);
     }
 }

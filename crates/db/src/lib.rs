@@ -47,6 +47,7 @@ pub mod answers;
 pub mod error;
 pub mod eval;
 pub mod instance;
+pub mod metrics;
 pub mod parser;
 pub mod pattern;
 pub mod query;

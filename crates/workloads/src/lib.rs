@@ -12,6 +12,8 @@
 //!   action;
 //! * [`inventory`] — a wide-branching order-fulfilment scenario sized to exercise the
 //!   parallel explorer (bench E9);
+//! * [`wide`] — a wide-schema ledger system (many relations, one touched per action) sized
+//!   to exercise the copy-on-write instance representation (bench E10);
 //! * [`counters`] — counter-machine workloads for the Appendix D reductions;
 //! * [`random`] — a seeded random DMS / random run generator used by property tests and
 //!   benchmarks.
@@ -23,3 +25,4 @@ pub mod figure1;
 pub mod inventory;
 pub mod random;
 pub mod warehouse;
+pub mod wide;

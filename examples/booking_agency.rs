@@ -74,6 +74,7 @@ fn main() {
         max_configs: 30_000,
         // threads: 1 keeps the printed statistics byte-identical run to run
         threads: 1,
+        ..Default::default()
     });
 
     // every booking belongs to exactly one (existing) offer

@@ -71,6 +71,7 @@ fn main() {
             max_configs: 30_000,
             // threads: 1 keeps the printed statistics byte-identical run to run
             threads: 1,
+            ..Default::default()
         });
         let (reachable, stats) = explorer.proposition_reachable(small_prop);
         println!(

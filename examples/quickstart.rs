@@ -75,6 +75,7 @@ fn main() {
         max_configs: 20_000,
         // threads: 1 keeps the printed statistics byte-identical run to run
         threads: 1,
+        ..Default::default()
     });
 
     // 1. Invariant: no ticket is both escalated and resolved.

@@ -25,6 +25,7 @@ fn sweep(name: &str, dms: &Dms, property: &MsoFo, max_b: usize, depth: usize) {
             max_configs: 50_000,
             // threads: 1 keeps the printed statistics byte-identical run to run
             threads: 1,
+            ..Default::default()
         });
         let (states, saturated) = explorer.reachable_state_count();
         let verdict = explorer.check(property);

@@ -82,6 +82,143 @@ proptest! {
 }
 
 // -----------------------------------------------------------------------------------------
+// the copy-on-write representation against plain value semantics
+// -----------------------------------------------------------------------------------------
+
+type Model = std::collections::BTreeMap<RelName, std::collections::BTreeSet<Vec<DataValue>>>;
+
+/// Assert that a COW instance holds exactly the model's facts, in the model's order, and
+/// that it is `Eq`/`Ord`/`Hash`-identical to an instance rebuilt from scratch (no sharing).
+fn assert_matches_model(instance: &Instance, model: &Model) {
+    let instance_facts: Vec<(RelName, Vec<DataValue>)> = instance
+        .facts()
+        .map(|(rel, tuple)| (rel, tuple.clone()))
+        .collect();
+    let model_facts: Vec<(RelName, Vec<DataValue>)> = model
+        .iter()
+        .flat_map(|(&rel, tuples)| tuples.iter().map(move |t| (rel, t.clone())))
+        .collect();
+    assert_eq!(instance_facts, model_facts, "fact sets or orders diverge");
+
+    let rebuilt = Instance::from_facts(model_facts);
+    assert_eq!(instance, &rebuilt);
+    assert_eq!(
+        instance.cmp(&rebuilt),
+        std::cmp::Ordering::Equal,
+        "Ord must ignore sharing"
+    );
+    use std::hash::{Hash, Hasher};
+    let hash_of = |i: &Instance| {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        i.hash(&mut h);
+        h.finish()
+    };
+    assert_eq!(
+        hash_of(instance),
+        hash_of(&rebuilt),
+        "Hash must ignore sharing"
+    );
+    assert_eq!(instance.len(), rebuilt.len());
+    assert_eq!(instance.active_domain(), rebuilt.active_domain());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random interleavings of inserts, removals, unions, differences and clones leave the
+    /// COW instance observably identical to a plain `BTreeMap<RelName, BTreeSet<Tuple>>`,
+    /// including on snapshots taken mid-sequence (which keep sharing storage with an
+    /// instance that is mutated afterwards).
+    #[test]
+    fn cow_instance_matches_value_semantics(
+        ops in proptest::collection::vec((0u8..6, 0u8..3, 1u64..6, 1u64..6), 0..48)
+    ) {
+        let rels = [r("P"), r("Q"), r("S")];
+        let mut instance = Instance::new();
+        let mut model = Model::new();
+        let mut snapshots: Vec<(Instance, Model)> = Vec::new();
+        for (op, rel_index, a, b) in ops {
+            let rel = rels[rel_index as usize];
+            let tuple = if rel_index == 2 {
+                vec![DataValue(a), DataValue(b)]
+            } else {
+                vec![DataValue(a)]
+            };
+            // warm the lazy caches before every operation, so a mutation that failed to
+            // invalidate them would surface in the model comparisons below
+            let _ = instance.is_active(DataValue(a));
+            let _ = instance.relation_with_first(rel, DataValue(a)).count();
+            let _ = instance.column_values(rel, 0);
+            match op {
+                0 | 1 => {
+                    let fresh_cow = instance.insert(rel, tuple.clone());
+                    let fresh_model = model.entry(rel).or_default().insert(tuple);
+                    prop_assert_eq!(fresh_cow, fresh_model);
+                }
+                2 => {
+                    let removed_cow = instance.remove(rel, &tuple);
+                    let removed_model = model.get_mut(&rel).is_some_and(|s| s.remove(&tuple));
+                    if model.get(&rel).is_some_and(|s| s.is_empty()) {
+                        model.remove(&rel);
+                    }
+                    prop_assert_eq!(removed_cow, removed_model);
+                }
+                3 => {
+                    let other = Instance::from_facts([(rel, tuple.clone())]);
+                    instance = instance.union(&other);
+                    model.entry(rel).or_default().insert(tuple);
+                }
+                4 => {
+                    let other = Instance::from_facts([(rel, tuple.clone())]);
+                    instance = instance.difference(&other);
+                    if let Some(s) = model.get_mut(&rel) {
+                        s.remove(&tuple);
+                        if s.is_empty() {
+                            model.remove(&rel);
+                        }
+                    }
+                }
+                _ => snapshots.push((instance.clone(), model.clone())),
+            }
+        }
+        assert_matches_model(&instance, &model);
+        // snapshots share storage with the mutated instance; value semantics must hold anyway
+        for (snapshot, model_at_snapshot) in &snapshots {
+            assert_matches_model(snapshot, model_at_snapshot);
+        }
+    }
+
+    /// The incremental canonical key (per-relation cached relabelling) equals from-scratch
+    /// canonicalisation on every configuration of random b-bounded runs, and recomputing a
+    /// key (cache-warm path) is stable.
+    #[test]
+    fn incremental_canonical_keys_match_scratch(seed in 0u64..2_000, b in 1usize..4, steps in 0usize..7) {
+        use rdms::core::iso::canonical_config_key;
+        let dms = random_dms(&RandomDmsConfig { seed: seed % 13, ..Default::default() });
+        let run = random_run(&dms, b, steps, seed);
+        let constants = dms.constants();
+        for config in run.configs() {
+            let key = canonical_config_key(config, constants);
+            // the from-scratch reference: same rank mapping, uncached relabelling
+            let mut mapping = std::collections::BTreeMap::new();
+            const RANK_BASE: u64 = u64::MAX / 2;
+            for (rank, value) in config
+                .adom_by_recency()
+                .into_iter()
+                .filter(|v| !constants.contains(v))
+                .enumerate()
+            {
+                mapping.insert(value, DataValue(RANK_BASE + rank as u64));
+            }
+            let scratch = config.instance.map_values(|v| mapping.get(&v).copied().unwrap_or(v));
+            prop_assert_eq!(&key, &scratch, "incremental key diverges from scratch canonicalisation");
+            let again = canonical_config_key(config, constants);
+            prop_assert_eq!(&again, &scratch, "cache-warm recomputation diverges");
+        }
+    }
+}
+
+// -----------------------------------------------------------------------------------------
 // runs, abstraction and encodings on randomly generated DMSs
 // -----------------------------------------------------------------------------------------
 
@@ -255,7 +392,14 @@ proptest! {
     fn parallel_explorer_matches_sequential(seed in 0u64..10_000, threads in 2usize..6, b in 1usize..4) {
         use rdms::checker::{Explorer, ExplorerConfig};
         let dms = random_dms(&RandomDmsConfig { seed, ..Default::default() });
-        let sequential_config = ExplorerConfig { depth: 3, max_configs: 500_000, threads: 1 };
+        // parallel_threshold 0: these tests compare the two engines, so the parallel one
+        // must actually run even though depth-3 searches are under the adaptive threshold
+        let sequential_config = ExplorerConfig {
+            depth: 3,
+            max_configs: 500_000,
+            threads: 1,
+            parallel_threshold: 0,
+        };
         let parallel_config = ExplorerConfig { threads, ..sequential_config };
         let sequential = Explorer::new(&dms, b).with_config(sequential_config);
         let parallel = Explorer::new(&dms, b).with_config(parallel_config);
@@ -294,7 +438,12 @@ proptest! {
         use rdms::checker::{Explorer, ExplorerConfig};
         let dms = random_dms(&RandomDmsConfig { seed, ..Default::default() });
         let explorer = Explorer::new(&dms, 2)
-            .with_config(ExplorerConfig { depth: 3, max_configs: 500_000, threads });
+            .with_config(ExplorerConfig {
+                depth: 3,
+                max_configs: 500_000,
+                threads,
+                parallel_threshold: 0,
+            });
         let u = Var::new("u");
         let r0_empty = Query::exists(u, Query::atom(r("R0"), [u])).not();
         // trace searches: the whole counterexample is reproducible
