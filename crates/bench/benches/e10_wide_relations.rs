@@ -31,7 +31,7 @@ fn bench_wide_relations(c: &mut Criterion) {
             |bench, _| {
                 bench.iter(|| {
                     let verdict = Explorer::new(&dms, 3)
-                        .with_config(config)
+                        .with_config(config.clone())
                         .check_invariant(&invariant);
                     assert!(verdict.holds());
                     verdict.stats().configs_explored
@@ -44,7 +44,7 @@ fn bench_wide_relations(c: &mut Criterion) {
             |bench, _| {
                 bench.iter(|| {
                     Explorer::new(&dms, 3)
-                        .with_config(config)
+                        .with_config(config.clone())
                         .reachable_state_count()
                 })
             },

@@ -1,0 +1,67 @@
+//! E11 — per-successor cost vs. run depth on the deep-history audit workload.
+//!
+//! The `audit` workload runs deterministically (one successor per configuration) while its
+//! history grows by one value per step and its active domain stays constant. Two groups
+//! isolate the configuration-layer cost:
+//!
+//! * `audit_chain/<depth>` — build the whole depth-`d` run by repeated `successors` calls.
+//!   A configuration layer that deep-clones `history`/`seq_no` pays O(|H|) per step, i.e.
+//!   O(d²) per chain; the persistent layer pays O(log d) per step, i.e. O(d log d) per
+//!   chain. Doubling the depth must therefore roughly double (not quadruple) the time.
+//! * `audit_successor_at_depth/<depth>` — a single `successors` call at a configuration of
+//!   the given depth (the chain is built outside the measurement). This is the direct
+//!   "per-successor cost is flat in depth" measurement the baseline ceilings lock in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdms_core::{BConfig, RecencySemantics};
+use rdms_workloads::audit;
+
+const STREAMS: usize = 4;
+
+/// The configuration reached after `depth` deterministic steps.
+fn config_at_depth(sem: &RecencySemantics<'_>, depth: usize) -> BConfig {
+    let mut config = sem.dms().initial_bconfig();
+    for _ in 0..depth {
+        let mut succs = sem.successors(&config).expect("audit successors");
+        assert_eq!(succs.len(), 1, "audit runs are deterministic");
+        config = succs.pop().expect("one successor").1;
+    }
+    config
+}
+
+fn bench_deep_history(c: &mut Criterion) {
+    let dms = audit::dms(STREAMS);
+    let b = audit::recency_bound(STREAMS);
+    let sem = RecencySemantics::new(&dms, b);
+
+    let mut group = c.benchmark_group("e11_deep_history");
+    for depth in [16usize, 64, 256, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("audit_chain", depth),
+            &depth,
+            |bench, _| {
+                bench.iter(|| {
+                    let tip = config_at_depth(&sem, depth);
+                    assert_eq!(tip.history().len(), STREAMS + depth - 1);
+                    tip.adom_size()
+                })
+            },
+        );
+        let deep = config_at_depth(&sem, depth);
+        group.bench_with_input(
+            BenchmarkId::new("audit_successor_at_depth", depth),
+            &depth,
+            |bench, _| {
+                bench.iter(|| {
+                    let succs = sem.successors(&deep).expect("audit successors");
+                    assert_eq!(succs.len(), 1);
+                    succs
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deep_history);
+criterion_main!(benches);

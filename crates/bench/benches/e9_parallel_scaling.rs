@@ -22,6 +22,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
             threads,
             // e9 measures parallel scaling itself: never demote to the sequential engine
             parallel_threshold: 0,
+            ..Default::default()
         };
         group.bench_with_input(
             BenchmarkId::new("inventory_invariant", threads),
@@ -29,7 +30,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
             |bench, _| {
                 bench.iter(|| {
                     let verdict = Explorer::new(&dms, 3)
-                        .with_config(config)
+                        .with_config(config.clone())
                         .check_invariant(&invariant);
                     assert!(verdict.holds());
                     verdict.stats().configs_explored
@@ -42,7 +43,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
             |bench, _| {
                 bench.iter(|| {
                     Explorer::new(&dms, 3)
-                        .with_config(config)
+                        .with_config(config.clone())
                         .reachable_state_count()
                 })
             },

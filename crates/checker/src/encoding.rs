@@ -269,8 +269,8 @@ impl<'a> RunEncoder<'a> {
                 letters.push(self.alphabet.pop(i));
             }
             // surviving recent elements, most recent pushed last ⇒ indices in descending order
-            let after_adom = after.instance.active_domain();
-            let by_recency = before.adom_by_recency();
+            let after_adom = after.instance().active_domain();
+            let by_recency = before.recency_ranks();
             let mut survivors: Vec<usize> = (0..m)
                 .filter(|&j| after_adom.contains(&by_recency[j]))
                 .collect();
@@ -310,8 +310,8 @@ impl<'a> RunEncoder<'a> {
             }
 
             // condition 2: the surviving indices are exactly the live ones
-            let after_adom = after.instance.active_domain();
-            let by_recency = before.adom_by_recency();
+            let after_adom = after.instance().active_domain();
+            let by_recency = before.recency_ranks();
             let mut expected: Vec<usize> = (0..m)
                 .filter(|&j| after_adom.contains(&by_recency[j]))
                 .collect();
@@ -613,7 +613,7 @@ mod tests {
             .collect();
         assert_eq!(head_positions.len(), run.len());
         for (j, &head) in head_positions.iter().enumerate() {
-            let adom_size = run.configs()[j].instance.active_domain().len();
+            let adom_size = run.configs()[j].instance().active_domain().len();
             assert_eq!(
                 word.pending_calls_in_prefix(head).len(),
                 adom_size,

@@ -74,14 +74,15 @@
 use crate::pool;
 use crate::verdict::{CheckStats, Verdict};
 use parking_lot::Mutex;
-use rdms_core::iso::intern_canonical_config;
-use rdms_core::{BConfig, Dms, ExtendedRun, RecencySemantics, Step};
-use rdms_db::metrics::MetricsSnapshot;
+use rdms_core::iso::intern_canonical_config_in;
+use rdms_core::{BConfig, Dms, ExtendedRun, KeyInterner, RecencySemantics, Step};
+use rdms_db::metrics::{record_into, SearchCounters};
 use rdms_db::{answers, DataValue, Query};
 use rdms_logic::msofo::{eval_sentence, MsoFo};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The number of worker threads used when [`ExplorerConfig`] does not pin one: the machine's
@@ -99,7 +100,7 @@ pub fn default_threads() -> usize {
 pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4096;
 
 /// Exploration budget.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExplorerConfig {
     /// Maximum number of actions per explored run prefix.
     pub depth: usize,
@@ -120,6 +121,14 @@ pub struct ExplorerConfig {
     /// estimate is `(Σ_actions b^|params|)^depth`, capped by `max_configs`. The engine that
     /// actually ran is reported in [`CheckStats::threads`].
     pub parallel_threshold: usize,
+    /// The canonical-key interner this search deduplicates through. `None` (the default)
+    /// uses [`KeyInterner::global`], which retains every key ever interned for the lifetime
+    /// of the process — the right trade for repeated searches over the same state space.
+    /// Embedders checking **many unrelated DMSs** can supply a private interner instead and
+    /// drop it afterwards, bounding interner memory by the interner's lifetime. Searches
+    /// over the same system may share one handle (ids are stable per interner); ids from
+    /// different interners are unrelated.
+    pub interner: Option<Arc<KeyInterner>>,
 }
 
 impl Default for ExplorerConfig {
@@ -129,6 +138,7 @@ impl Default for ExplorerConfig {
             max_configs: 20_000,
             threads: default_threads(),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            interner: None,
         }
     }
 }
@@ -144,6 +154,13 @@ impl ExplorerConfig {
     /// fallback).
     pub fn with_parallel_threshold(mut self, threshold: usize) -> ExplorerConfig {
         self.parallel_threshold = threshold;
+        self
+    }
+
+    /// This configuration deduplicating through the given private interner instead of the
+    /// process-wide one (see [`ExplorerConfig::interner`]).
+    pub fn with_interner(mut self, interner: Arc<KeyInterner>) -> ExplorerConfig {
+        self.interner = Some(interner);
         self
     }
 }
@@ -177,7 +194,7 @@ impl<'a> Explorer<'a> {
     }
 
     fn driver(&self, dedup: bool) -> SearchDriver<'a> {
-        SearchDriver::new(self.dms, self.b, self.config, dedup)
+        SearchDriver::new(self.dms, self.b, self.config.clone(), dedup)
     }
 
     /// Check that **every** `b`-bounded run prefix (up to the depth budget) satisfies the
@@ -219,7 +236,7 @@ impl<'a> Explorer<'a> {
         let outcome = self.driver(true).search(
             ExtendedRun::new(self.dms.initial_bconfig()),
             |run: &ExtendedRun| {
-                !rdms_db::eval::holds_boolean(&run.last().instance, invariant).unwrap_or(false)
+                !rdms_db::eval::holds_boolean(run.last().instance(), invariant).unwrap_or(false)
             },
         );
         match outcome.hit {
@@ -244,7 +261,7 @@ impl<'a> Explorer<'a> {
         let outcome = self.driver(true).search(
             ExtendedRun::new(self.dms.initial_bconfig()),
             |run: &ExtendedRun| {
-                answers(&run.last().instance, target)
+                answers(run.last().instance(), target)
                     .map(|a| !a.is_empty())
                     .unwrap_or(false)
             },
@@ -377,6 +394,15 @@ impl<'a> SearchDriver<'a> {
         }
     }
 
+    /// The interner this search deduplicates through: the configured private one, else the
+    /// process-wide instance.
+    fn interner(&self) -> &KeyInterner {
+        self.config
+            .interner
+            .as_deref()
+            .unwrap_or_else(|| KeyInterner::global())
+    }
+
     fn base_stats(&self, threads: usize) -> CheckStats {
         CheckStats {
             recency_bound: self.sem.bound(),
@@ -447,7 +473,7 @@ impl<'a> SearchDriver<'a> {
         F: FnMut(&N) -> bool,
     {
         let start = Instant::now();
-        let metrics_before = rdms_db::metrics::snapshot();
+        let counters = Arc::new(SearchCounters::new());
         let mut stats = self.base_stats(1);
         let mut depth_cutoff = false;
         let mut budget_cutoff = false;
@@ -458,55 +484,63 @@ impl<'a> SearchDriver<'a> {
         // property the parallel engine (and the sequential/parallel equivalence tests)
         // relies on.
         let mut seen: HashMap<u64, usize> = HashMap::new();
-        if self.dedup {
-            seen.insert(intern_canonical_config(root.tip(), &self.constants), 0);
-        }
+        let interner = self.interner();
 
         let mut hit = None;
-        let mut stack = vec![root];
-        let mut peak = 1usize;
-        while let Some(node) = stack.pop() {
-            stats.prefixes_checked += 1;
-            if is_hit(&node) {
-                hit = Some(node);
-                break;
+        {
+            let _scope = record_into(&counters);
+            if self.dedup {
+                seen.insert(
+                    intern_canonical_config_in(interner, root.tip(), &self.constants),
+                    0,
+                );
             }
-            if node.depth() >= self.config.depth {
-                depth_cutoff = true;
-                continue;
-            }
-            if budget_cutoff {
-                // the budget is exhausted and known to have truncated the search already;
-                // nothing below this node can be admitted
-                continue;
-            }
-            let child_depth = node.depth() + 1;
-            for (step, next) in self
-                .sem
-                .successors(node.tip())
-                .expect("successor computation")
-            {
-                if stats.configs_explored >= self.config.max_configs {
-                    budget_cutoff = true;
+            let mut stack = vec![root];
+            let mut peak = 1usize;
+            while let Some(node) = stack.pop() {
+                stats.prefixes_checked += 1;
+                if is_hit(&node) {
+                    hit = Some(node);
                     break;
                 }
-                stats.configs_explored += 1;
-                if self.dedup {
-                    let id = intern_canonical_config(&next, &self.constants);
-                    if !record_min_depth(&mut seen, id, child_depth) {
-                        stats.configs_deduplicated += 1;
-                        continue;
-                    }
+                if node.depth() >= self.config.depth {
+                    depth_cutoff = true;
+                    continue;
                 }
-                stack.push(node.child(step, next));
-                peak = peak.max(stack.len());
+                if budget_cutoff {
+                    // the budget is exhausted and known to have truncated the search
+                    // already; nothing below this node can be admitted
+                    continue;
+                }
+                let child_depth = node.depth() + 1;
+                for (step, next) in self
+                    .sem
+                    .successors(node.tip())
+                    .expect("successor computation")
+                {
+                    if stats.configs_explored >= self.config.max_configs {
+                        budget_cutoff = true;
+                        break;
+                    }
+                    stats.configs_explored += 1;
+                    if self.dedup {
+                        let id = intern_canonical_config_in(interner, &next, &self.constants);
+                        if !record_min_depth(&mut seen, id, child_depth) {
+                            stats.configs_deduplicated += 1;
+                            continue;
+                        }
+                    }
+                    stack.push(node.child(step, next));
+                    peak = peak.max(stack.len());
+                }
             }
+            stats.peak_frontier = peak;
+            // `_scope` drops here, flushing this thread's tallies into `counters`
         }
 
         stats.elapsed = start.elapsed();
-        stats.peak_frontier = peak;
         let load = [(stats.configs_explored, stats.elapsed)];
-        finish_stats(&mut stats, &load, &metrics_before);
+        finish_stats(&mut stats, &load, &counters);
         SearchOutcome {
             hit,
             stats,
@@ -526,11 +560,15 @@ impl<'a> SearchDriver<'a> {
         F: Fn(&N) -> bool + Sync,
     {
         let start = Instant::now();
-        let metrics_before = rdms_db::metrics::snapshot();
+        let counters = Arc::new(SearchCounters::new());
         let threads = self.config.threads.max(2);
         let shared = Shared::new(threads, self.dedup);
         if self.dedup {
-            shared.seen_insert(intern_canonical_config(root.tip(), &self.constants), 0);
+            let _scope = record_into(&counters);
+            shared.seen_insert(
+                intern_canonical_config_in(self.interner(), root.tip(), &self.constants),
+                0,
+            );
         }
         shared.pending.store(1, Ordering::SeqCst);
         shared.deques[0].lock().push_back(Task {
@@ -540,6 +578,10 @@ impl<'a> SearchDriver<'a> {
 
         let loads: Mutex<Vec<(usize, Duration)>> = Mutex::new(vec![(0, Duration::ZERO); threads]);
         let job = |me: usize| {
+            // every worker records this search's counter traffic into the shared exact
+            // per-search counters; the guard flushes when the worker finishes, before the
+            // pool/scope join below — so the final snapshot is complete
+            let _scope = record_into(&counters);
             let load = self.worker(me, &shared, &is_hit);
             loads.lock()[me] = load;
         };
@@ -559,7 +601,7 @@ impl<'a> SearchDriver<'a> {
         stats.configs_deduplicated = shared.deduped.load(Ordering::Relaxed);
         stats.peak_frontier = shared.peak.load(Ordering::Relaxed);
         stats.elapsed = start.elapsed();
-        finish_stats(&mut stats, &worker_loads, &metrics_before);
+        finish_stats(&mut stats, &worker_loads, &counters);
         SearchOutcome {
             hit: shared.best.into_inner().map(|(_, node)| node),
             stats,
@@ -687,7 +729,7 @@ impl<'a> SearchDriver<'a> {
                 continue;
             }
             if self.dedup {
-                let id = intern_canonical_config(&next, &self.constants);
+                let id = intern_canonical_config_in(self.interner(), &next, &self.constants);
                 if !shared.seen_insert(id, child_depth) {
                     shared.deduped.fetch_add(1, Ordering::Relaxed);
                     continue;
@@ -797,11 +839,13 @@ fn record_min_depth(seen: &mut HashMap<u64, usize>, id: u64, depth: usize) -> bo
 }
 
 /// Fill in the derived statistics fields from per-worker `(admitted, busy time)` loads and
-/// the sharing/index counter deltas of this search.
+/// this search's exact sharing/index counters (every thread that worked for the search
+/// recorded into them through a [`record_into`] scope, so the figures are exact even when
+/// unrelated searches run concurrently).
 fn finish_stats(
     stats: &mut CheckStats,
     worker_loads: &[(usize, Duration)],
-    metrics_before: &MetricsSnapshot,
+    counters: &SearchCounters,
 ) {
     stats.per_thread_configs_per_sec = worker_loads
         .iter()
@@ -812,11 +856,11 @@ fn finish_stats(
     } else {
         stats.configs_deduplicated as f64 / stats.configs_explored as f64
     };
-    let delta = rdms_db::metrics::snapshot().since(metrics_before);
-    stats.relations_shared = delta.relations_shared;
-    stats.relations_materialized = delta.relations_materialized;
-    stats.index_probes = delta.index_probes();
-    stats.index_hit_rate = delta.index_hit_rate();
+    let mine = counters.snapshot();
+    stats.relations_shared = mine.relations_shared;
+    stats.relations_materialized = mine.relations_materialized;
+    stats.index_probes = mine.index_probes();
+    stats.index_hit_rate = mine.index_hit_rate();
 }
 
 #[cfg(test)]
@@ -846,7 +890,7 @@ mod tests {
         let verdict = explorer.check_invariant(&Query::prop(r("p")));
         assert!(!verdict.holds());
         let cex = verdict.counterexample().unwrap();
-        assert!(!cex.last().instance.proposition(r("p")));
+        assert!(!cex.last().instance().proposition(r("p")));
         // the counterexample is a genuine b-bounded run
         assert!(RecencySemantics::new(&dms, 2).is_b_bounded(cex));
     }
@@ -1019,7 +1063,7 @@ mod tests {
         for _ in 0..3 {
             let verdict = explorer.check_invariant(&Query::prop(r("p")));
             let cex = verdict.counterexample().expect("violated");
-            assert!(!cex.last().instance.proposition(r("p")));
+            assert!(!cex.last().instance().proposition(r("p")));
             assert!(RecencySemantics::new(&dms, 2).is_b_bounded(cex));
         }
     }
@@ -1118,14 +1162,106 @@ mod tests {
         assert!(stats.relations_shared > 0);
         assert!(stats.relations_shared > stats.relations_materialized);
         assert!(stats.index_probes > 0);
-        // the exact rate depends on how often tiny relations amortise their caches (and on
-        // concurrent tests sharing the process-wide counters) — only require both cases
-        // to have been observed
+        // the exact rate depends on how often tiny relations amortise their caches — only
+        // require both cases to have been observed
         assert!(
             stats.index_hit_rate > 0.0 && stats.index_hit_rate < 1.0,
             "rate {}",
             stats.index_hit_rate
         );
+    }
+
+    #[test]
+    fn sharing_and_index_statistics_are_exact_under_concurrent_searches() {
+        use rdms_core::dms::DmsBuilder;
+        use rdms_db::Instance;
+
+        // Two structurally identical DMSs with *separate* relation storage: the same
+        // sequential search over either must issue exactly the same counter traffic.
+        let build = || example_3_1();
+        let reference_dms = build();
+        let reference = Explorer::new(&reference_dms, 2)
+            .with_config(config(4, 50_000).with_threads(1))
+            .check_invariant(&Query::True);
+
+        // Re-run the same search while other threads generate heavy unrelated counter
+        // traffic (searches of their own plus raw instance churn). With global-delta
+        // accounting these figures were polluted; the per-search scopes must report
+        // exactly the isolated numbers.
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let concurrent = std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let noisy_dms = DmsBuilder::new()
+                        .proposition("p")
+                        .initially_true("p")
+                        .build()
+                        .unwrap();
+                    while !stop.load(Ordering::Relaxed) {
+                        // unrelated searches + instance clones + index probes
+                        let _ = Explorer::new(&noisy_dms, 1)
+                            .with_config(config(2, 100).with_threads(1))
+                            .check_invariant(&Query::True);
+                        let mut inst = Instance::new();
+                        for i in 0..32u64 {
+                            inst.insert(rdms_db::RelName::new("N"), vec![rdms_db::DataValue(i)]);
+                        }
+                        let copy = inst.clone();
+                        let _ = copy
+                            .relation_with_first(rdms_db::RelName::new("N"), rdms_db::DataValue(3))
+                            .count();
+                    }
+                });
+            }
+            let observed_dms = build();
+            let observed = Explorer::new(&observed_dms, 2)
+                .with_config(config(4, 50_000).with_threads(1))
+                .check_invariant(&Query::True);
+            stop.store(true, Ordering::Relaxed);
+            observed
+        });
+
+        let a = reference.stats();
+        let b = concurrent.stats();
+        assert_eq!(a.relations_shared, b.relations_shared);
+        assert_eq!(a.relations_materialized, b.relations_materialized);
+        assert_eq!(a.index_probes, b.index_probes);
+        assert_eq!(a.index_hit_rate, b.index_hit_rate);
+    }
+
+    #[test]
+    fn private_interners_bound_memory_and_agree_with_the_global_one() {
+        use rdms_core::KeyInterner;
+        use std::sync::Arc;
+
+        let dms = example_3_1();
+        let interner = Arc::new(KeyInterner::new());
+        let private = Explorer::new(&dms, 2).with_config(
+            config(3, 10_000)
+                .with_threads(1)
+                .with_interner(Arc::clone(&interner)),
+        );
+        let global = Explorer::new(&dms, 2).with_config(config(3, 10_000).with_threads(1));
+
+        // identical verdicts and state counts through either interner
+        let (count_private, sat_private) = private.reachable_state_count();
+        let (count_global, sat_global) = global.reachable_state_count();
+        assert_eq!(count_private, count_global);
+        assert_eq!(sat_private, sat_global);
+        assert_eq!(
+            private.check_invariant(&Query::prop(r("p"))).holds(),
+            global.check_invariant(&Query::prop(r("p"))).holds()
+        );
+
+        // the private interner holds exactly this system's distinct canonical keys (the
+        // memory an embedder reclaims by dropping the handle), not the process-wide table
+        assert_eq!(interner.len(), count_private);
+
+        // a second search over the same system through the same handle re-uses the ids
+        // instead of growing the table
+        let (again, _) = private.reachable_state_count();
+        assert_eq!(again, count_private);
+        assert_eq!(interner.len(), count_private);
     }
 
     #[test]

@@ -104,8 +104,9 @@ pub struct CheckStats {
     /// Largest number of frontier entries that were pending at any one time.
     pub peak_frontier: usize,
     /// Relation handles shared by reference when instances were cloned during this search
-    /// (the copy-on-write fast path). Counted from process-wide counters, so the figure is
-    /// approximate when unrelated searches run concurrently.
+    /// (the copy-on-write fast path). Counted through a per-search metrics scope
+    /// ([`rdms_db::metrics::SearchCounters`]), so the figure is **exact** for this search
+    /// even when unrelated searches run concurrently.
     pub relations_shared: u64,
     /// Relations deep-copied because a shared handle was written to (clone-on-first-write
     /// slow path). `relations_shared / (relations_shared + relations_materialized)` is the

@@ -1,10 +1,145 @@
 //! Configurations of a DMS: database instance + history set (+ sequence numbering for the
 //! recency-bounded semantics).
+//!
+//! # Persistent history and sequence numbering
+//!
+//! Both the history set `H` and the sequence numbering `seq_no` grow by a handful of fresh
+//! values per transition but are carried (and formerly deep-cloned) by **every** successor
+//! configuration — an O(|H|) cost per successor that grows linearly with search depth.
+//! [`History`] and [`SeqNo`] therefore wrap the path-copying persistent map of
+//! [`crate::persist`]: cloning is one `Arc` clone, and a successor that introduces `k` fresh
+//! values pays O(k log |H|). Their *value semantics* — `Eq`, `Ord`, `Hash`, the serde wire
+//! format — are exactly those of the `BTreeSet<DataValue>` / `BTreeMap<DataValue, u64>` they
+//! replace, pinned by model-based property tests.
+//!
+//! # Cached recency ranks
+//!
+//! [`BConfig`] additionally caches its **recency order** — the active-domain values sorted
+//! most-recent-first — behind an `Arc`, computed on first use and shared by clones. Every
+//! consumer of the order ([`BConfig::adom_by_recency`], [`BConfig::recency_index`],
+//! [`BConfig::value_at_recency`], the `Recent_b` window, the canonical configuration keys of
+//! [`crate::iso`]) reads the cached vector instead of re-sorting the active domain. The
+//! cache is sound because the fields are private: the mutating accessors
+//! ([`BConfig::instance_mut`], [`BConfig::seq_no_mut`]) invalidate it, and nothing else can
+//! change the inputs it was derived from.
 
+use crate::persist::PMap;
 use rdms_db::{DataValue, Instance};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use serde::ser::SerializeStruct;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// The history set `H ⊆ ∆` of a configuration: every value encountered so far.
+///
+/// A persistent (structurally shared) ordered set — O(1) clone, O(log |H|) insert and
+/// lookup. Histories only ever grow, so no removal is offered. Value semantics match
+/// `BTreeSet<DataValue>` (including the serde wire format).
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct History {
+    set: PMap<DataValue, ()>,
+}
+
+impl History {
+    /// The empty history.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Number of values in the history.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Whether `value ∈ H`.
+    pub fn contains(&self, value: &DataValue) -> bool {
+        self.set.contains_key(value)
+    }
+
+    /// Add `value` to the history. Returns `true` if it was not already present. The
+    /// pre-insert history (and every clone of it) is unaffected: only the O(log |H|)
+    /// search path is copied.
+    pub fn insert(&mut self, value: DataValue) -> bool {
+        self.set.insert(value, ()).is_none()
+    }
+
+    /// Add every value of `iter` to the history.
+    pub fn extend<I: IntoIterator<Item = DataValue>>(&mut self, iter: I) {
+        for value in iter {
+            self.insert(value);
+        }
+    }
+
+    /// Iterate over the values in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = DataValue> + '_ {
+        self.set.iter().map(|(&v, ())| v)
+    }
+
+    /// The largest value in the history, if any (O(log |H|)).
+    ///
+    /// Named `max_value` (not `max`) so it cannot be shadowed by `Ord::max`, which method
+    /// resolution would otherwise prefer for a by-value receiver.
+    pub fn max_value(&self) -> Option<DataValue> {
+        self.set.max_entry().map(|(&v, ())| v)
+    }
+}
+
+impl FromIterator<DataValue> for History {
+    fn from_iter<I: IntoIterator<Item = DataValue>>(iter: I) -> History {
+        let mut history = History::new();
+        history.extend(iter);
+        history
+    }
+}
+
+impl<'a> IntoIterator for &'a History {
+    type Item = DataValue;
+    type IntoIter = Box<dyn Iterator<Item = DataValue> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl PartialEq<BTreeSet<DataValue>> for History {
+    fn eq(&self, other: &BTreeSet<DataValue>) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<History> for BTreeSet<DataValue> {
+    fn eq(&self, other: &History) -> bool {
+        other == self
+    }
+}
+
+impl fmt::Debug for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl Serialize for History {
+    /// Same wire shape as the `BTreeSet<DataValue>` this type replaced: a sequence of
+    /// values in ascending order.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let values: BTreeSet<DataValue> = self.iter().collect();
+        values.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for History {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let values = BTreeSet::<DataValue>::deserialize(deserializer)?;
+        Ok(values.into_iter().collect())
+    }
+}
 
 /// A configuration `⟨I, H⟩` of the (unbounded) configuration graph `C_S`: the current
 /// database instance and the history set of every value encountered so far.
@@ -13,7 +148,7 @@ pub struct Config {
     /// The current database instance `I`.
     pub instance: Instance,
     /// The history set `H ⊆ ∆`.
-    pub history: BTreeSet<DataValue>,
+    pub history: History,
 }
 
 impl Config {
@@ -25,7 +160,7 @@ impl Config {
     pub fn initial(instance: Instance) -> Config {
         Config {
             instance,
-            history: BTreeSet::new(),
+            history: History::new(),
         }
     }
 
@@ -43,9 +178,45 @@ impl fmt::Debug for Config {
 
 /// An injective sequence numbering `seq_no : H → ℕ` recording, for every value in the
 /// history, when it entered the active domain (Section 5).
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+///
+/// Persistent like [`History`]: O(1) clone, O(log |H|) assignment and lookup, with the
+/// highest assigned number tracked inline so fresh numbering is O(1) rather than a scan.
+#[derive(Clone, Default)]
 pub struct SeqNo {
-    map: std::collections::BTreeMap<DataValue, u64>,
+    map: PMap<DataValue, u64>,
+    /// The largest number assigned so far — derived data maintained on every assignment,
+    /// excluded from the hand-written `Eq`/`Ord`/`Hash` below (it is a function of `map`,
+    /// so including it would be redundant today and a trap the moment it becomes lazy or
+    /// approximate).
+    max: Option<u64>,
+}
+
+impl PartialEq for SeqNo {
+    fn eq(&self, other: &SeqNo) -> bool {
+        self.map == other.map
+    }
+}
+
+impl Eq for SeqNo {}
+
+impl PartialOrd for SeqNo {
+    fn partial_cmp(&self, other: &SeqNo) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SeqNo {
+    /// The `BTreeMap` ordering of the underlying numbering: lexicographic over the ordered
+    /// `(value, number)` entries.
+    fn cmp(&self, other: &SeqNo) -> std::cmp::Ordering {
+        self.map.cmp(&other.map)
+    }
+}
+
+impl std::hash::Hash for SeqNo {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.map.hash(state);
+    }
 }
 
 impl SeqNo {
@@ -64,9 +235,9 @@ impl SeqNo {
         self.map.contains_key(&value)
     }
 
-    /// The highest assigned sequence number, if any.
+    /// The highest assigned sequence number, if any (O(1) — tracked on assignment).
     pub fn max_seq(&self) -> Option<u64> {
-        self.map.values().copied().max()
+        self.max
     }
 
     /// Number of assigned values.
@@ -82,19 +253,26 @@ impl SeqNo {
     /// Assign `value ↦ n`.
     ///
     /// # Panics
-    /// Panics if `value` already has a different number or `n` is already used by a different
-    /// value (the numbering must stay injective and stable — sequence numbers are never
-    /// reused, cf. Section 5).
+    /// Panics if `value` already has a different number, or — in debug builds — if `n` is
+    /// already used by a different value (the numbering must stay injective and stable;
+    /// sequence numbers are never reused, cf. Section 5). The uniqueness scan is debug-only:
+    /// numbers at most [`Self::max_seq`] *may* be in use, and verifying which would cost
+    /// O(|H|) per assignment — quadratic over a run. Release builds accept any `n` above the
+    /// tracked maximum unconditionally (the only case the hot path produces, via
+    /// [`Self::assign_fresh`]) and skip the scan below it.
     pub fn assign(&mut self, value: DataValue, n: u64) {
         if let Some(existing) = self.map.get(&value) {
             assert_eq!(*existing, n, "sequence number of {value} must not change");
             return;
         }
-        assert!(
-            !self.map.values().any(|&m| m == n),
-            "sequence number {n} already in use"
-        );
+        if self.max.is_some_and(|max| n <= max) {
+            debug_assert!(
+                !self.map.iter().any(|(_, &m)| m == n),
+                "sequence number {n} already in use"
+            );
+        }
         self.map.insert(value, n);
+        self.max = Some(self.max.map_or(n, |max| max.max(n)));
     }
 
     /// Assign strictly increasing fresh numbers (above everything assigned so far) to the
@@ -123,25 +301,105 @@ impl fmt::Debug for SeqNo {
     }
 }
 
+impl Serialize for SeqNo {
+    /// Same wire shape as the old derived impl: a struct with a "map" field holding the
+    /// value → number map.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let map: BTreeMap<DataValue, u64> = self.iter().collect();
+        let mut state = serializer.serialize_struct("SeqNo", 1)?;
+        state.serialize_field("map", &map)?;
+        state.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for SeqNo {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error;
+        let value = deserializer.into_value()?;
+        let entries = value
+            .as_map()
+            .ok_or_else(|| D::Error::custom("expected a map for struct SeqNo"))?;
+        let map = entries
+            .iter()
+            .find(|(key, _)| key == "map")
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| D::Error::custom("missing field `map`"))?;
+        let map = BTreeMap::<DataValue, u64>::deserialize(map).map_err(D::Error::custom)?;
+        let max = map.values().copied().max();
+        Ok(SeqNo {
+            map: map.into_iter().collect(),
+            max,
+        })
+    }
+}
+
 /// A configuration `⟨I, H, seq_no⟩` of the `b`-bounded configuration graph `C^b_S`.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+///
+/// The fields are private so the cached recency order (see the module docs) cannot go
+/// stale: read through [`Self::instance`] / [`Self::history`] / [`Self::seq_no`], mutate
+/// through the corresponding `*_mut` accessors, which invalidate the cache as needed.
+#[derive(Default)]
 pub struct BConfig {
     /// The current database instance `I`.
-    pub instance: Instance,
+    instance: Instance,
     /// The history set `H`.
-    pub history: BTreeSet<DataValue>,
+    history: History,
     /// The sequence numbering `seq_no : H → ℕ`.
-    pub seq_no: SeqNo,
+    seq_no: SeqNo,
+    /// Cached recency order: `adom(I)` sorted most-recent-first (see
+    /// [`Self::recency_ranks`]). Derived from `instance` and `seq_no`; invalidated by their
+    /// `*_mut` accessors; shared by clones; invisible to `Eq`/`Ord`/`Hash`/serde.
+    ranks: OnceLock<Arc<[DataValue]>>,
 }
 
 impl BConfig {
     /// The initial configuration `⟨I₀, ∅, ϵ⟩`.
     pub fn initial(instance: Instance) -> BConfig {
+        BConfig::new(instance, History::new(), SeqNo::empty())
+    }
+
+    /// Assemble a configuration from its three components.
+    pub fn new(instance: Instance, history: History, seq_no: SeqNo) -> BConfig {
         BConfig {
             instance,
-            history: BTreeSet::new(),
-            seq_no: SeqNo::empty(),
+            history,
+            seq_no,
+            ranks: OnceLock::new(),
         }
+    }
+
+    /// The current database instance `I`.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The history set `H`.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The sequence numbering `seq_no : H → ℕ`.
+    pub fn seq_no(&self) -> &SeqNo {
+        &self.seq_no
+    }
+
+    /// Mutable access to the instance. Invalidates the cached recency order (the active
+    /// domain may change).
+    pub fn instance_mut(&mut self) -> &mut Instance {
+        self.ranks.take();
+        &mut self.instance
+    }
+
+    /// Mutable access to the history. The recency order does not depend on `H`, so the
+    /// cache survives.
+    pub fn history_mut(&mut self) -> &mut History {
+        &mut self.history
+    }
+
+    /// Mutable access to the sequence numbering. Invalidates the cached recency order.
+    pub fn seq_no_mut(&mut self) -> &mut SeqNo {
+        self.ranks.take();
+        &mut self.seq_no
     }
 
     /// Forget the sequence numbering, yielding the underlying [`Config`].
@@ -152,43 +410,147 @@ impl BConfig {
         }
     }
 
-    /// The active-domain values ordered from most recent to least recent.
+    /// The active-domain values ordered from most recent to least recent, computed once per
+    /// configuration and shared by clones.
     ///
     /// Values without a sequence number (declared constants) are considered *least* recent
-    /// and are ordered after all numbered values.
+    /// and are ordered after all numbered values (among themselves, in ascending value
+    /// order — the sort is stable over the ascending active domain).
+    pub fn recency_ranks(&self) -> &Arc<[DataValue]> {
+        self.ranks.get_or_init(|| {
+            let mut keyed: Vec<(std::cmp::Reverse<i64>, DataValue)> = self
+                .instance
+                .active_domain()
+                .into_iter()
+                .map(|v| {
+                    let seq = self.seq_no.get(v).map(|n| n as i64).unwrap_or(-1);
+                    (std::cmp::Reverse(seq), v)
+                })
+                .collect();
+            // ascending by Reverse(seq) = descending by seq; stable, so unnumbered values
+            // keep their ascending order
+            keyed.sort_by_key(|&(key, _)| key);
+            keyed.into_iter().map(|(_, v)| v).collect()
+        })
+    }
+
+    /// The active-domain values ordered from most recent to least recent (a copy of the
+    /// cached order; use [`Self::recency_ranks`] to borrow it).
     pub fn adom_by_recency(&self) -> Vec<DataValue> {
-        let mut values: Vec<DataValue> = self.instance.active_domain().into_iter().collect();
-        values.sort_by_key(|&v| {
-            std::cmp::Reverse(self.seq_no.get(v).map(|n| n as i64).unwrap_or(-1))
-        });
-        values
+        self.recency_ranks().to_vec()
     }
 
     /// The recency index of `value` in the current instance: the number of active-domain
     /// elements with a strictly higher sequence number (`s_j(u)` in Section 6.1). Returns
     /// `None` if `value` is not in the active domain.
+    ///
+    /// Unnumbered values (declared constants) share the rank below every numbered value:
+    /// the index of such a value is the count of *numbered* active values, whichever
+    /// position the cached order puts it at.
     pub fn recency_index(&self, value: DataValue) -> Option<usize> {
-        if !self.instance.is_active(value) {
-            return None;
+        let ranks = self.recency_ranks();
+        let position = ranks.iter().position(|&v| v == value)?;
+        if self.seq_no.get(value).is_some() {
+            return Some(position);
         }
-        let my_seq = self.seq_no.get(value).map(|n| n as i64).unwrap_or(-1);
-        let higher = self
-            .instance
-            .active_domain()
-            .into_iter()
-            .filter(|&e| self.seq_no.get(e).map(|n| n as i64).unwrap_or(-1) > my_seq)
-            .count();
-        Some(higher)
+        // `value` is unnumbered: every unnumbered active value ties with it, so only the
+        // numbered ones count as strictly more recent
+        Some(ranks.iter().filter(|&&v| self.seq_no.contains(v)).count())
     }
 
     /// The value with the given recency index, if any.
     pub fn value_at_recency(&self, index: usize) -> Option<DataValue> {
-        self.adom_by_recency().get(index).copied()
+        self.recency_ranks().get(index).copied()
     }
 
     /// Number of values in the active domain.
     pub fn adom_size(&self) -> usize {
-        self.instance.active_domain().len()
+        self.recency_ranks().len()
+    }
+}
+
+impl Clone for BConfig {
+    /// Clones share the already-computed recency order (it is behind an `Arc`); a clone
+    /// whose order was not yet computed computes its own on first use.
+    fn clone(&self) -> BConfig {
+        let ranks = OnceLock::new();
+        if let Some(computed) = self.ranks.get() {
+            let _ = ranks.set(Arc::clone(computed));
+        }
+        BConfig {
+            instance: self.instance.clone(),
+            history: self.history.clone(),
+            seq_no: self.seq_no.clone(),
+            ranks,
+        }
+    }
+}
+
+impl PartialEq for BConfig {
+    fn eq(&self, other: &BConfig) -> bool {
+        self.instance == other.instance
+            && self.history == other.history
+            && self.seq_no == other.seq_no
+    }
+}
+
+impl Eq for BConfig {}
+
+impl PartialOrd for BConfig {
+    fn partial_cmp(&self, other: &BConfig) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BConfig {
+    /// Lexicographic over `(instance, history, seq_no)` — the derived ordering of the
+    /// pre-cache representation.
+    fn cmp(&self, other: &BConfig) -> std::cmp::Ordering {
+        self.instance
+            .cmp(&other.instance)
+            .then_with(|| self.history.cmp(&other.history))
+            .then_with(|| self.seq_no.cmp(&other.seq_no))
+    }
+}
+
+impl std::hash::Hash for BConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.instance.hash(state);
+        self.history.hash(state);
+        self.seq_no.hash(state);
+    }
+}
+
+impl Serialize for BConfig {
+    /// Same wire shape as the old derived impl: a struct with instance/history/seq_no
+    /// fields (the rank cache is derived data and never serialised).
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut state = serializer.serialize_struct("BConfig", 3)?;
+        state.serialize_field("instance", &self.instance)?;
+        state.serialize_field("history", &self.history)?;
+        state.serialize_field("seq_no", &self.seq_no)?;
+        state.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for BConfig {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error;
+        let value = deserializer.into_value()?;
+        let entries = value
+            .as_map()
+            .ok_or_else(|| D::Error::custom("expected a map for struct BConfig"))?;
+        let field = |name: &str| {
+            entries
+                .iter()
+                .find(|(key, _)| key == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| D::Error::custom(format!("missing field `{name}`")))
+        };
+        let instance = Instance::deserialize(field("instance")?).map_err(D::Error::custom)?;
+        let history = History::deserialize(field("history")?).map_err(D::Error::custom)?;
+        let seq_no = SeqNo::deserialize(field("seq_no")?).map_err(D::Error::custom)?;
+        Ok(BConfig::new(instance, history, seq_no))
     }
 }
 
@@ -231,6 +593,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "uniqueness scan is debug-only")]
     #[should_panic(expected = "already in use")]
     fn seqno_numbers_are_never_reused() {
         let mut s = SeqNo::empty();
@@ -247,15 +610,47 @@ mod tests {
     }
 
     #[test]
+    fn seqno_max_tracks_out_of_order_assignments() {
+        let mut s = SeqNo::empty();
+        s.assign(e(1), 7);
+        assert_eq!(s.max_seq(), Some(7));
+        s.assign(e(2), 3); // below the max, legitimately unused
+        assert_eq!(s.max_seq(), Some(7));
+        assert_eq!(s.assign_fresh([e(3)]), vec![8]);
+        assert_eq!(s.max_seq(), Some(8));
+    }
+
+    #[test]
+    fn history_and_seqno_clones_are_persistent() {
+        let mut h: History = (1..=100).map(e).collect();
+        let snapshot = h.clone();
+        assert!(h.insert(e(500)));
+        assert!(!h.insert(e(500)));
+        assert!(h.contains(&e(500)));
+        assert!(!snapshot.contains(&e(500)));
+        assert_eq!(snapshot.len(), 100);
+        assert_eq!(h.len(), 101);
+        assert_eq!(h.max_value(), Some(e(500)));
+
+        let mut s = SeqNo::empty();
+        s.assign_fresh((1..=100).map(e));
+        let frozen = s.clone();
+        s.assign_fresh([e(500)]);
+        assert_eq!(s.get(e(500)), Some(101));
+        assert_eq!(frozen.get(e(500)), None);
+        assert_eq!(frozen.max_seq(), Some(100));
+    }
+
+    #[test]
     fn recency_index_counts_strictly_more_recent() {
         let mut cfg = BConfig::initial(Instance::new());
-        cfg.instance.insert(r("R"), vec![e(1)]);
-        cfg.instance.insert(r("R"), vec![e(2)]);
-        cfg.instance.insert(r("Q"), vec![e(3)]);
-        cfg.history.extend([e(1), e(2), e(3)]);
-        cfg.seq_no.assign(e(1), 1);
-        cfg.seq_no.assign(e(2), 2);
-        cfg.seq_no.assign(e(3), 3);
+        cfg.instance_mut().insert(r("R"), vec![e(1)]);
+        cfg.instance_mut().insert(r("R"), vec![e(2)]);
+        cfg.instance_mut().insert(r("Q"), vec![e(3)]);
+        cfg.history_mut().extend([e(1), e(2), e(3)]);
+        cfg.seq_no_mut().assign(e(1), 1);
+        cfg.seq_no_mut().assign(e(2), 2);
+        cfg.seq_no_mut().assign(e(3), 3);
 
         assert_eq!(cfg.recency_index(e(3)), Some(0)); // most recent
         assert_eq!(cfg.recency_index(e(2)), Some(1));
@@ -270,12 +665,12 @@ mod tests {
     fn recency_index_skips_deleted_values() {
         // e2 was seen (has a sequence number) but is no longer active: it does not count.
         let mut cfg = BConfig::initial(Instance::new());
-        cfg.instance.insert(r("R"), vec![e(1)]);
-        cfg.instance.insert(r("R"), vec![e(3)]);
-        cfg.history.extend([e(1), e(2), e(3)]);
-        cfg.seq_no.assign(e(1), 1);
-        cfg.seq_no.assign(e(2), 2);
-        cfg.seq_no.assign(e(3), 3);
+        cfg.instance_mut().insert(r("R"), vec![e(1)]);
+        cfg.instance_mut().insert(r("R"), vec![e(3)]);
+        cfg.history_mut().extend([e(1), e(2), e(3)]);
+        cfg.seq_no_mut().assign(e(1), 1);
+        cfg.seq_no_mut().assign(e(2), 2);
+        cfg.seq_no_mut().assign(e(3), 3);
 
         assert_eq!(cfg.recency_index(e(1)), Some(1));
         assert_eq!(cfg.recency_index(e(2)), None);
@@ -285,12 +680,33 @@ mod tests {
     fn constants_are_least_recent() {
         let mut cfg = BConfig::initial(Instance::new());
         // e100 is a constant: active but never numbered
-        cfg.instance.insert(r("R"), vec![e(100)]);
-        cfg.instance.insert(r("R"), vec![e(1)]);
-        cfg.history.insert(e(1));
-        cfg.seq_no.assign(e(1), 1);
+        cfg.instance_mut().insert(r("R"), vec![e(100)]);
+        cfg.instance_mut().insert(r("R"), vec![e(1)]);
+        cfg.history_mut().insert(e(1));
+        cfg.seq_no_mut().assign(e(1), 1);
         assert_eq!(cfg.adom_by_recency(), vec![e(1), e(100)]);
         assert_eq!(cfg.recency_index(e(100)), Some(1));
+    }
+
+    #[test]
+    fn rank_cache_is_invalidated_by_mutation_and_shared_by_clones() {
+        let mut cfg = BConfig::initial(Instance::new());
+        cfg.instance_mut().insert(r("R"), vec![e(1)]);
+        cfg.history_mut().insert(e(1));
+        cfg.seq_no_mut().assign(e(1), 1);
+        assert_eq!(cfg.adom_by_recency(), vec![e(1)]);
+
+        // clones share the computed order
+        let clone = cfg.clone();
+        assert!(Arc::ptr_eq(cfg.recency_ranks(), clone.recency_ranks()));
+
+        // instance mutation after the cache was computed must re-derive the order
+        cfg.instance_mut().insert(r("R"), vec![e(2)]);
+        cfg.history_mut().insert(e(2));
+        cfg.seq_no_mut().assign(e(2), 2);
+        assert_eq!(cfg.adom_by_recency(), vec![e(2), e(1)]);
+        // the earlier clone still sees the old order
+        assert_eq!(clone.adom_by_recency(), vec![e(1)]);
     }
 
     #[test]
@@ -303,5 +719,39 @@ mod tests {
 
         let bcfg = BConfig::initial(inst);
         assert_eq!(bcfg.as_config(), cfg);
+    }
+
+    #[test]
+    fn history_serde_matches_the_btreeset_wire_format() {
+        let history: History = [e(3), e(1), e(2)].into_iter().collect();
+        let as_set: BTreeSet<DataValue> = history.iter().collect();
+        let via_history = serde::value::to_value(&history).unwrap();
+        let via_set = serde::value::to_value(&as_set).unwrap();
+        assert_eq!(via_history, via_set);
+        let back = History::deserialize(via_history).unwrap();
+        assert_eq!(back, history);
+    }
+
+    #[test]
+    fn seqno_serde_round_trips_and_restores_the_max() {
+        let mut s = SeqNo::empty();
+        s.assign(e(5), 9);
+        s.assign(e(1), 4);
+        let value = serde::value::to_value(&s).unwrap();
+        let back = SeqNo::deserialize(value).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.max_seq(), Some(9));
+    }
+
+    #[test]
+    fn bconfig_serde_round_trips() {
+        let mut cfg = BConfig::initial(Instance::from_facts([(r("R"), vec![e(1)])]));
+        cfg.history_mut().insert(e(1));
+        cfg.seq_no_mut().assign(e(1), 1);
+        let _ = cfg.recency_ranks(); // a warm cache must not leak into the wire format
+        let value = serde::value::to_value(&cfg).unwrap();
+        let back = BConfig::deserialize(value).unwrap();
+        assert_eq!(back, cfg);
+        assert_eq!(back.adom_by_recency(), cfg.adom_by_recency());
     }
 }

@@ -19,6 +19,7 @@ use crate::run::ExtendedRun;
 use parking_lot::RwLock;
 use rdms_db::{DataValue, Instance};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -47,14 +48,14 @@ pub fn canonical_config_key(config: &BConfig, constants: &BTreeSet<DataValue>) -
     let mut mapping: BTreeMap<DataValue, DataValue> = BTreeMap::new();
     const RANK_BASE: u64 = u64::MAX / 2;
     for (rank, value) in config
-        .adom_by_recency()
-        .into_iter()
+        .recency_ranks()
+        .iter()
         .filter(|v| !constants.contains(v))
         .enumerate()
     {
-        mapping.insert(value, DataValue(RANK_BASE + rank as u64));
+        mapping.insert(*value, DataValue(RANK_BASE + rank as u64));
     }
-    config.instance.map_values_shared(&mapping)
+    config.instance().map_values_shared(&mapping)
 }
 
 /// Try to extend a partial bijection with `a ↦ b`; returns `false` on conflict.
@@ -91,10 +92,10 @@ pub fn runs_isomorphic(left: &ExtendedRun, right: &ExtendedRun) -> bool {
 
     for (lc, rc) in left.configs().iter().zip(right.configs().iter()) {
         // Values ordered by sequence number (i.e. order of first appearance).
-        let mut lvals: Vec<DataValue> = lc.history.iter().copied().collect();
-        lvals.sort_by_key(|&v| lc.seq_no.get(v).unwrap_or(u64::MAX));
-        let mut rvals: Vec<DataValue> = rc.history.iter().copied().collect();
-        rvals.sort_by_key(|&v| rc.seq_no.get(v).unwrap_or(u64::MAX));
+        let mut lvals: Vec<DataValue> = lc.history().iter().collect();
+        lvals.sort_by_key(|&v| lc.seq_no().get(v).unwrap_or(u64::MAX));
+        let mut rvals: Vec<DataValue> = rc.history().iter().collect();
+        rvals.sort_by_key(|&v| rc.seq_no().get(v).unwrap_or(u64::MAX));
         if lvals.len() != rvals.len() {
             return false;
         }
@@ -105,9 +106,9 @@ pub fn runs_isomorphic(left: &ExtendedRun, right: &ExtendedRun) -> bool {
         }
         // Now the instances must agree after renaming.
         let renamed = lc
-            .instance
+            .instance()
             .map_values(|v| map.get(&v).copied().unwrap_or(v));
-        if renamed != rc.instance {
+        if &renamed != rc.instance() {
             return false;
         }
     }
@@ -140,6 +141,14 @@ const INTERNER_SHARDS: usize = 16;
 pub struct KeyInterner {
     shards: Vec<RwLock<HashMap<Instance, u64>>>,
     next: AtomicU64,
+}
+
+impl fmt::Debug for KeyInterner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KeyInterner")
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl KeyInterner {
@@ -209,7 +218,19 @@ impl Default for KeyInterner {
 /// This is the fast path the explorer's deduplication uses: two configurations get the same
 /// id iff they admit the same `b`-bounded futures up to isomorphism.
 pub fn intern_canonical_config(config: &BConfig, constants: &BTreeSet<DataValue>) -> u64 {
-    KeyInterner::global().intern(canonical_config_key(config, constants))
+    intern_canonical_config_in(KeyInterner::global(), config, constants)
+}
+
+/// [`intern_canonical_config`] against a caller-supplied interner. Embedders that check
+/// many unrelated DMSs can hand each search (or group of searches) its own
+/// [`KeyInterner`], bounding interner memory by the interner's lifetime instead of the
+/// process's. Ids from different interners are unrelated — never mix them in one seen-set.
+pub fn intern_canonical_config_in(
+    interner: &KeyInterner,
+    config: &BConfig,
+    constants: &BTreeSet<DataValue>,
+) -> u64 {
+    interner.intern(canonical_config_key(config, constants))
 }
 
 /// Check whether two plain instances are isomorphic under *some* bijection of their active
@@ -435,9 +456,9 @@ mod tests {
     #[test]
     fn constants_are_not_relabelled() {
         let mut cfg = BConfig::initial(Instance::new());
-        cfg.instance.insert(r("R"), vec![e(42), e(1)]);
-        cfg.history.insert(e(1));
-        cfg.seq_no.assign(e(1), 1);
+        cfg.instance_mut().insert(r("R"), vec![e(42), e(1)]);
+        cfg.history_mut().insert(e(1));
+        cfg.seq_no_mut().assign(e(1), 1);
         let consts = BTreeSet::from([e(42)]);
         let key = canonical_config_key(&cfg, &consts);
         // e42 stays, e1 is relabelled

@@ -24,6 +24,7 @@ pub mod counter;
 pub mod dms;
 pub mod error;
 pub mod iso;
+pub mod persist;
 pub mod recency;
 pub mod run;
 pub mod semantics;
@@ -31,10 +32,12 @@ pub mod symbolic;
 pub mod transform;
 
 pub use action::{Action, ActionBuilder};
-pub use config::{BConfig, Config, SeqNo};
+pub use config::{BConfig, Config, History, SeqNo};
 pub use dms::{Dms, DmsBuilder};
 pub use error::CoreError;
-pub use iso::{canonical_config_key, intern_canonical_config, KeyInterner};
+pub use iso::{
+    canonical_config_key, intern_canonical_config, intern_canonical_config_in, KeyInterner,
+};
 pub use recency::{recent_b, RecencySemantics};
 pub use run::{ExtendedRun, Step};
 pub use semantics::ConcreteSemantics;

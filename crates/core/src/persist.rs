@@ -1,0 +1,418 @@
+//! Persistent (structurally shared) ordered maps for the configuration layer.
+//!
+//! [`PMap`] is a path-copying weight-balanced binary search tree (the balancing scheme of
+//! Adams' trees, as used by Haskell's `Data.Map`): every node is behind an [`Arc`], an
+//! insert rebuilds only the O(log n) nodes on the search path and shares the rest with the
+//! source tree, and a clone is a single `Arc` clone. This is what makes cloning a
+//! configuration's history (and sequence numbering) O(1) and extending it O(Δ log n),
+//! independent of how long the run already is — the representation behind
+//! [`crate::config::History`] and [`crate::config::SeqNo`].
+//!
+//! Only the operations the configuration layer needs are provided: **insert, lookup,
+//! ordered iteration, min/max** — no deletion (histories and sequence numberings only ever
+//! grow), which keeps the rebalancing small and easy to audit. Value semantics (`Eq`, `Ord`,
+//! `Hash` over the ordered entry sequence) match `BTreeMap`'s, which the model-based
+//! property tests pin down.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Balancing constants of Adams' weight-balanced trees (the `Data.Map` pair, proven valid
+/// for insert-only workloads): a node is rebalanced when one subtree outweighs the other
+/// more than `DELTA`-fold; `RATIO` picks between a single and a double rotation.
+const DELTA: usize = 3;
+const RATIO: usize = 2;
+
+struct Node<K, V> {
+    size: usize,
+    key: K,
+    value: V,
+    left: Link<K, V>,
+    right: Link<K, V>,
+}
+
+type Link<K, V> = Option<Arc<Node<K, V>>>;
+
+fn size<K, V>(link: &Link<K, V>) -> usize {
+    link.as_ref().map_or(0, |node| node.size)
+}
+
+fn node<K, V>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Link<K, V> {
+    Some(Arc::new(Node {
+        size: size(&left) + size(&right) + 1,
+        key,
+        value,
+        left,
+        right,
+    }))
+}
+
+/// Rebuild a node whose subtrees differ by at most one insertion, restoring the weight
+/// invariant with a single or double rotation where needed.
+fn balance<K: Clone, V: Clone>(
+    key: K,
+    value: V,
+    left: Link<K, V>,
+    right: Link<K, V>,
+) -> Link<K, V> {
+    let (ls, rs) = (size(&left), size(&right));
+    if ls + rs <= 1 {
+        return node(key, value, left, right);
+    }
+    if rs > DELTA * ls {
+        // right-heavy: rotate left
+        let r = right.expect("right-heavy node has a right child");
+        if size(&r.left) < RATIO * size(&r.right) {
+            // single rotation
+            node(
+                r.key.clone(),
+                r.value.clone(),
+                node(key, value, left, r.left.clone()),
+                r.right.clone(),
+            )
+        } else {
+            // double rotation through the right child's left child
+            let rl = r.left.as_ref().expect("double rotation pivot").clone();
+            node(
+                rl.key.clone(),
+                rl.value.clone(),
+                node(key, value, left, rl.left.clone()),
+                node(
+                    r.key.clone(),
+                    r.value.clone(),
+                    rl.right.clone(),
+                    r.right.clone(),
+                ),
+            )
+        }
+    } else if ls > DELTA * rs {
+        // left-heavy: rotate right (mirror image)
+        let l = left.expect("left-heavy node has a left child");
+        if size(&l.right) < RATIO * size(&l.left) {
+            node(
+                l.key.clone(),
+                l.value.clone(),
+                l.left.clone(),
+                node(key, value, l.right.clone(), right),
+            )
+        } else {
+            let lr = l.right.as_ref().expect("double rotation pivot").clone();
+            node(
+                lr.key.clone(),
+                lr.value.clone(),
+                node(
+                    l.key.clone(),
+                    l.value.clone(),
+                    l.left.clone(),
+                    lr.left.clone(),
+                ),
+                node(key, value, lr.right.clone(), right),
+            )
+        }
+    } else {
+        node(key, value, left, right)
+    }
+}
+
+/// Path-copying insert. Returns the new root and the previous value of `key`, if any
+/// (an existing key has its value replaced; the set-flavoured callers treat `Some` as
+/// "already present").
+fn insert<K: Clone + Ord, V: Clone>(
+    link: &Link<K, V>,
+    key: K,
+    value: V,
+) -> (Link<K, V>, Option<V>) {
+    match link {
+        None => (node(key, value, None, None), None),
+        Some(n) => match key.cmp(&n.key) {
+            Ordering::Less => {
+                let (left, previous) = insert(&n.left, key, value);
+                let root = if previous.is_some() {
+                    // replacement: sizes unchanged, no rebalancing needed
+                    node(n.key.clone(), n.value.clone(), left, n.right.clone())
+                } else {
+                    balance(n.key.clone(), n.value.clone(), left, n.right.clone())
+                };
+                (root, previous)
+            }
+            Ordering::Greater => {
+                let (right, previous) = insert(&n.right, key, value);
+                let root = if previous.is_some() {
+                    node(n.key.clone(), n.value.clone(), n.left.clone(), right)
+                } else {
+                    balance(n.key.clone(), n.value.clone(), n.left.clone(), right)
+                };
+                (root, previous)
+            }
+            Ordering::Equal => (
+                node(key, value, n.left.clone(), n.right.clone()),
+                Some(n.value.clone()),
+            ),
+        },
+    }
+}
+
+/// A persistent ordered map with `Arc`-shared structure: O(1) clone, O(log n) path-copying
+/// insert, O(log n) lookup, ordered iteration. See the module docs.
+pub struct PMap<K, V> {
+    root: Link<K, V>,
+}
+
+impl<K, V> PMap<K, V> {
+    /// The empty map.
+    pub fn new() -> PMap<K, V> {
+        PMap { root: None }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        size(&self.root)
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Whether `self` and `other` share their root node (and hence their entire contents):
+    /// a constant-time *sufficient* test for equality, used to validate derived caches.
+    pub fn ptr_eq(&self, other: &PMap<K, V>) -> bool {
+        match (&self.root, &other.root) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Iterate over the entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut iter = Iter { stack: Vec::new() };
+        iter.push_left_spine(&self.root);
+        iter
+    }
+}
+
+impl<K: Ord, V> PMap<K, V> {
+    /// The value stored under `key`, if any.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut current = &self.root;
+        while let Some(n) = current {
+            match key.cmp(&n.key) {
+                Ordering::Less => current = &n.left,
+                Ordering::Greater => current = &n.right,
+                Ordering::Equal => return Some(&n.value),
+            }
+        }
+        None
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// The entry with the largest key, if any.
+    pub fn max_entry(&self) -> Option<(&K, &V)> {
+        let mut current = self.root.as_ref()?;
+        while let Some(right) = current.right.as_ref() {
+            current = right;
+        }
+        Some((&current.key, &current.value))
+    }
+}
+
+impl<K: Clone + Ord, V: Clone> PMap<K, V> {
+    /// Insert `key ↦ value`, path-copying the search path (everything else is shared with
+    /// the pre-insert map). Returns the previous value if the key was already present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (root, previous) = insert(&self.root, key, value);
+        self.root = root;
+        previous
+    }
+}
+
+impl<K, V> Default for PMap<K, V> {
+    fn default() -> Self {
+        PMap::new()
+    }
+}
+
+impl<K, V> Clone for PMap<K, V> {
+    fn clone(&self) -> Self {
+        PMap {
+            root: self.root.clone(),
+        }
+    }
+}
+
+impl<K: PartialEq, V: PartialEq> PartialEq for PMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.ptr_eq(other) {
+            return true;
+        }
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl<K: Eq, V: Eq> Eq for PMap<K, V> {}
+
+impl<K: Ord, V: Ord> PartialOrd for PMap<K, V> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord, V: Ord> Ord for PMap<K, V> {
+    /// Lexicographic over the ordered `(key, value)` sequence — identical to
+    /// `BTreeMap`'s ordering.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.iter().cmp(other.iter())
+    }
+}
+
+impl<K: std::hash::Hash, V: std::hash::Hash> std::hash::Hash for PMap<K, V> {
+    /// Hashes the length followed by the ordered entries — the same data `BTreeMap`'s
+    /// `Hash` feeds the hasher, so equal contents hash equal regardless of tree shape.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_usize(self.len());
+        for (key, value) in self.iter() {
+            key.hash(state);
+            value.hash(state);
+        }
+    }
+}
+
+impl<K: Clone + Ord, V: Clone> FromIterator<(K, V)> for PMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = PMap::new();
+        for (key, value) in iter {
+            map.insert(key, value);
+        }
+        map
+    }
+}
+
+impl<K: std::fmt::Debug, V: std::fmt::Debug> std::fmt::Debug for PMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// In-order borrowing iterator over a [`PMap`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+}
+
+impl<'a, K, V> Iter<'a, K, V> {
+    fn push_left_spine(&mut self, mut link: &'a Link<K, V>) {
+        while let Some(n) = link {
+            self.stack.push(n);
+            link = &n.left;
+        }
+    }
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        self.push_left_spine(&n.right);
+        Some((&n.key, &n.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// The weight invariant every reachable tree must satisfy.
+    fn check_balanced<K, V>(link: &Link<K, V>) -> usize {
+        match link {
+            None => 0,
+            Some(n) => {
+                let (ls, rs) = (check_balanced(&n.left), check_balanced(&n.right));
+                assert_eq!(n.size, ls + rs + 1, "cached size must be exact");
+                if ls + rs > 1 {
+                    assert!(
+                        ls <= DELTA * rs && rs <= DELTA * ls,
+                        "weight invariant violated: left={ls} right={rs}"
+                    );
+                }
+                ls + rs + 1
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_btreemap_on_ascending_descending_and_mixed_inserts() {
+        let patterns: Vec<Vec<u64>> = vec![
+            (0..200).collect(),
+            (0..200).rev().collect(),
+            (0..200).map(|i| (i * 7919) % 200).collect(),
+            vec![5, 5, 5, 1, 1, 9],
+        ];
+        for keys in patterns {
+            let mut pmap: PMap<u64, u64> = PMap::new();
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            for (tick, k) in keys.into_iter().enumerate() {
+                let expected = model.insert(k, tick as u64);
+                assert_eq!(pmap.insert(k, tick as u64), expected);
+                check_balanced(&pmap.root);
+            }
+            assert_eq!(pmap.len(), model.len());
+            assert!(pmap
+                .iter()
+                .map(|(&k, &v)| (k, v))
+                .eq(model.iter().map(|(&k, &v)| (k, v))));
+            assert_eq!(
+                pmap.max_entry().map(|(&k, &v)| (k, v)),
+                model.last_key_value().map(|(&k, &v)| (k, v))
+            );
+            for probe in 0..210 {
+                assert_eq!(pmap.get(&probe), model.get(&probe));
+            }
+        }
+    }
+
+    #[test]
+    fn clones_share_structure_and_diverge_on_insert() {
+        let mut a: PMap<u64, ()> = (0..64).map(|i| (i, ())).collect();
+        let snapshot = a.clone();
+        assert!(a.ptr_eq(&snapshot));
+        a.insert(1000, ());
+        assert!(!a.ptr_eq(&snapshot));
+        assert_eq!(snapshot.len(), 64);
+        assert_eq!(a.len(), 65);
+        assert!(a.contains_key(&1000));
+        assert!(!snapshot.contains_key(&1000));
+    }
+
+    #[test]
+    fn value_semantics_ignore_tree_shape() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // same contents reached by different insertion orders: different shapes, equal values
+        let ascending: PMap<u64, u64> = (0..100).map(|i| (i, i * 2)).collect();
+        let descending: PMap<u64, u64> = (0..100).rev().map(|i| (i, i * 2)).collect();
+        assert!(!ascending.ptr_eq(&descending));
+        assert_eq!(ascending, descending);
+        assert_eq!(ascending.cmp(&descending), Ordering::Equal);
+        let hash = |m: &PMap<u64, u64>| {
+            let mut h = DefaultHasher::new();
+            m.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&ascending), hash(&descending));
+
+        let mut smaller = ascending.clone();
+        smaller.insert(0, 999);
+        assert_ne!(ascending, smaller);
+        // ordering is the BTreeMap ordering: first differing entry decides
+        let model_a: BTreeMap<u64, u64> = (0..100).map(|i| (i, i * 2)).collect();
+        let mut model_b = model_a.clone();
+        model_b.insert(0, 999);
+        assert_eq!(ascending.cmp(&smaller), model_a.cmp(&model_b));
+    }
+}

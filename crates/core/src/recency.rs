@@ -17,7 +17,7 @@ use std::collections::BTreeSet;
 /// enter the window when `|adom(I)| ≤ b` (by maximality), mirroring the fact that in the
 /// compiled constant-free system they are not data values at all.
 pub fn recent_b(config: &BConfig, b: usize) -> BTreeSet<DataValue> {
-    config.adom_by_recency().into_iter().take(b).collect()
+    config.recency_ranks().iter().copied().take(b).collect()
 }
 
 /// The `b`-bounded execution semantics of a DMS.
@@ -101,7 +101,7 @@ impl<'a> RecencySemantics<'a> {
             .concrete
             .apply(&config.as_config(), action_index, subst)?;
 
-        let mut seq_no = config.seq_no.clone();
+        let mut seq_no = config.seq_no().clone();
         let fresh_values: Vec<DataValue> = action
             .fresh()
             .iter()
@@ -109,11 +109,7 @@ impl<'a> RecencySemantics<'a> {
             .collect();
         seq_no.assign_fresh(fresh_values);
 
-        Ok(BConfig {
-            instance: next.instance,
-            history: next.history,
-            seq_no,
-        })
+        Ok(BConfig::new(next.instance, next.history, seq_no))
     }
 
     /// All `b`-bounded successors of `config`, using canonical fresh values.
@@ -127,11 +123,18 @@ impl<'a> RecencySemantics<'a> {
     pub fn successors(&self, config: &BConfig) -> Result<Vec<(Step, BConfig)>, CoreError> {
         let window = self.recent(config);
         let constants = self.dms().constants();
-        let plain = config.as_config();
-        let fresh_base = self.concrete.fresh_base(&plain);
+        let fresh_base = self
+            .concrete
+            .fresh_base_parts(config.instance(), config.history());
+        // the cached recency order *is* adom(I); rebuild the sorted set once per
+        // configuration and share it across every action's guard evaluation
+        let adom: BTreeSet<DataValue> = config.recency_ranks().iter().copied().collect();
         let mut result = Vec::new();
         for (index, action) in self.dms().actions().iter().enumerate() {
-            'answers: for guard_sub in self.concrete.guard_answers(&plain, action)? {
+            'answers: for guard_sub in
+                self.concrete
+                    .guard_answers_within(config.instance(), &adom, index, action)?
+            {
                 // recency filter on parameters
                 for &u in action.params() {
                     match guard_sub.get(u) {
@@ -146,16 +149,17 @@ impl<'a> RecencySemantics<'a> {
                 for (&var, &value) in action.fresh().iter().zip(fresh_values.iter()) {
                     subst.bind(var, value);
                 }
-                let next = self.concrete.apply_substituted(&plain, action, &subst)?;
-                let mut seq_no = config.seq_no.clone();
+                let next = self.concrete.apply_parts(
+                    config.instance(),
+                    config.history(),
+                    action,
+                    &subst,
+                )?;
+                let mut seq_no = config.seq_no().clone();
                 seq_no.assign_fresh(fresh_values);
                 result.push((
                     Step::new(index, subst),
-                    BConfig {
-                        instance: next.instance,
-                        history: next.history,
-                        seq_no,
-                    },
+                    BConfig::new(next.instance, next.history, seq_no),
                 ));
             }
         }
@@ -176,7 +180,7 @@ impl<'a> RecencySemantics<'a> {
     /// Check that an already-built extended run is a valid `b`-bounded run of the DMS
     /// (Example 5.1 checks that the Figure 1 run is 2-recency-bounded).
     pub fn is_b_bounded(&self, run: &ExtendedRun) -> bool {
-        if run.configs().first().map(|c| &c.instance) != Some(self.dms().initial()) {
+        if run.configs().first().map(|c| c.instance()) != Some(self.dms().initial()) {
             return false;
         }
         for (i, step) in run.steps().iter().enumerate() {
@@ -269,12 +273,12 @@ pub(crate) mod tests {
     #[test]
     fn recent_window_basics() {
         let mut cfg = BConfig::initial(Instance::new());
-        cfg.instance.insert(r("R"), vec![e(1)]);
-        cfg.instance.insert(r("R"), vec![e(2)]);
-        cfg.instance.insert(r("Q"), vec![e(3)]);
+        cfg.instance_mut().insert(r("R"), vec![e(1)]);
+        cfg.instance_mut().insert(r("R"), vec![e(2)]);
+        cfg.instance_mut().insert(r("Q"), vec![e(3)]);
         for (i, val) in [e(1), e(2), e(3)].into_iter().enumerate() {
-            cfg.history.insert(val);
-            cfg.seq_no.assign(val, (i + 1) as u64);
+            cfg.history_mut().insert(val);
+            cfg.seq_no_mut().assign(val, (i + 1) as u64);
         }
         assert_eq!(recent_b(&cfg, 2), BTreeSet::from([e(2), e(3)]));
         assert_eq!(recent_b(&cfg, 5), BTreeSet::from([e(1), e(2), e(3)]));
@@ -292,7 +296,7 @@ pub(crate) mod tests {
         assert!(sem.is_b_bounded(&run));
 
         // The final instance in Figure 1 (after the last α) is {p, R:e1,e9,e10, Q:e5,e11}.
-        let last = &run.last().instance;
+        let last = run.last().instance();
         assert!(last.proposition(r("p")));
         for i in [1, 9, 10] {
             assert!(last.contains(r("R"), &[e(i)]), "R(e{i}) expected");
@@ -383,8 +387,8 @@ pub(crate) mod tests {
         let run = sem.execute(&figure_1_steps()[..1]).unwrap();
         let cfg = run.last();
         // α's fresh order is (v1, v2, v3) ↦ (e1, e2, e3): sequence numbers must increase that way
-        assert!(cfg.seq_no.get(e(1)).unwrap() < cfg.seq_no.get(e(2)).unwrap());
-        assert!(cfg.seq_no.get(e(2)).unwrap() < cfg.seq_no.get(e(3)).unwrap());
+        assert!(cfg.seq_no().get(e(1)).unwrap() < cfg.seq_no().get(e(2)).unwrap());
+        assert!(cfg.seq_no().get(e(2)).unwrap() < cfg.seq_no().get(e(3)).unwrap());
     }
 
     #[test]
@@ -394,7 +398,7 @@ pub(crate) mod tests {
         let mut run = sem.execute(&figure_1_steps()[..2]).unwrap();
         // corrupt the last configuration
         let mut bad = run.last().clone();
-        bad.instance.insert(r("R"), vec![e(99)]);
+        bad.instance_mut().insert(r("R"), vec![e(99)]);
         run.push(
             Step::new(
                 0,

@@ -86,14 +86,14 @@ impl ExtendedRun {
 
     /// The generated run `ρ = I₀, I₁, I₂, …`: the database instances along the run.
     pub fn instances(&self) -> Vec<Instance> {
-        self.configs.iter().map(|c| c.instance.clone()).collect()
+        self.configs.iter().map(|c| c.instance().clone()).collect()
     }
 
     /// The global active domain `Gadom(ρ) = ⋃_i adom(I_i)`.
     pub fn global_active_domain(&self) -> std::collections::BTreeSet<rdms_db::DataValue> {
         self.configs
             .iter()
-            .flat_map(|c| c.instance.active_domain())
+            .flat_map(|c| c.instance().active_domain())
             .collect()
     }
 
@@ -110,9 +110,9 @@ impl ExtendedRun {
 impl fmt::Debug for ExtendedRun {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "ExtendedRun ({} steps):", self.len())?;
-        write!(f, "  {}", self.configs[0].instance)?;
+        write!(f, "  {}", self.configs[0].instance())?;
         for (step, cfg) in self.steps.iter().zip(self.configs.iter().skip(1)) {
-            write!(f, "\n  --{step:?}--> {}", cfg.instance)?;
+            write!(f, "\n  --{step:?}--> {}", cfg.instance())?;
         }
         Ok(())
     }
@@ -132,18 +132,18 @@ mod tests {
 
     fn two_step_run() -> ExtendedRun {
         let mut c0 = BConfig::initial(Instance::new());
-        c0.instance.set_proposition(r("p"), true);
+        c0.instance_mut().set_proposition(r("p"), true);
 
         let mut c1 = c0.clone();
-        c1.instance.insert(r("R"), vec![e(1)]);
-        c1.history.insert(e(1));
-        c1.seq_no.assign(e(1), 1);
+        c1.instance_mut().insert(r("R"), vec![e(1)]);
+        c1.history_mut().insert(e(1));
+        c1.seq_no_mut().assign(e(1), 1);
 
         let mut c2 = c1.clone();
-        c2.instance.remove(r("R"), &[e(1)]);
-        c2.instance.insert(r("Q"), vec![e(2)]);
-        c2.history.insert(e(2));
-        c2.seq_no.assign(e(2), 2);
+        c2.instance_mut().remove(r("R"), &[e(1)]);
+        c2.instance_mut().insert(r("Q"), vec![e(2)]);
+        c2.history_mut().insert(e(2));
+        c2.seq_no_mut().assign(e(2), 2);
 
         let mut run = ExtendedRun::new(c0);
         run.push(Step::new(0, Substitution::empty()), c1);
@@ -165,7 +165,7 @@ mod tests {
         assert_eq!(run.configs().len(), 3);
         assert_eq!(run.steps().len(), 2);
         assert_eq!(run.instances().len(), 3);
-        assert!(run.last().instance.contains(r("Q"), &[e(2)]));
+        assert!(run.last().instance().contains(r("Q"), &[e(2)]));
     }
 
     #[test]

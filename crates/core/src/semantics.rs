@@ -2,10 +2,11 @@
 
 use crate::action::Action;
 use crate::config::Config;
+use crate::config::History;
 use crate::dms::Dms;
 use crate::error::CoreError;
 use crate::run::Step;
-use rdms_db::{answers, eval, DataValue, Substitution, Var};
+use rdms_db::{answers, answers_with_constants, eval, DataValue, Instance, Substitution, Var};
 use std::collections::BTreeSet;
 
 /// The concrete (unbounded) execution semantics of a DMS.
@@ -25,12 +26,23 @@ use std::collections::BTreeSet;
 /// `H' = H ∪ σ(⃗v)`.
 pub struct ConcreteSemantics<'a> {
     dms: &'a Dms,
+    /// The constants named by each action's guard, indexed like `dms.actions()`. Computed
+    /// once here so the successor enumeration does not walk every guard on every
+    /// configuration just to rediscover (usually) the empty set.
+    guard_constants: Vec<BTreeSet<DataValue>>,
 }
 
 impl<'a> ConcreteSemantics<'a> {
     /// Wrap a DMS.
     pub fn new(dms: &'a Dms) -> ConcreteSemantics<'a> {
-        ConcreteSemantics { dms }
+        ConcreteSemantics {
+            dms,
+            guard_constants: dms
+                .actions()
+                .iter()
+                .map(|action| action.guard().constants())
+                .collect(),
+        }
     }
 
     /// The underlying DMS.
@@ -50,6 +62,25 @@ impl<'a> ConcreteSemantics<'a> {
         // sure every parameter is bound (boolean guards with parameters cannot occur because
         // Free-Vars(Q) = ⃗u is enforced at construction).
         Ok(ans)
+    }
+
+    /// [`Self::guard_answers`] for the action at `index`, with the active domain supplied by
+    /// the caller: the successor enumerations compute `adom(I)` once per configuration, and
+    /// the cached guard constants skip the per-call query walk (and — constant-free guards,
+    /// the common case — any universe copy).
+    pub(crate) fn guard_answers_within(
+        &self,
+        instance: &Instance,
+        adom: &BTreeSet<DataValue>,
+        index: usize,
+        action: &Action,
+    ) -> Result<Vec<Substitution>, CoreError> {
+        Ok(answers_with_constants(
+            instance,
+            adom,
+            &self.guard_constants[index],
+            action.guard(),
+        )?)
     }
 
     /// Check that `subst` is an instantiating substitution for `action` at `config`.
@@ -141,15 +172,38 @@ impl<'a> ConcreteSemantics<'a> {
         action: &Action,
         subst: &Substitution,
     ) -> Result<Config, CoreError> {
-        let del = action.del().substitute(subst)?;
-        let add = action.add().substitute(subst)?;
-        let instance = config.instance.apply_update(&del, &add);
+        self.apply_parts(&config.instance, &config.history, action, subst)
+    }
 
-        let mut history = config.history.clone();
+    /// [`Self::apply_substituted`] on a configuration given as its parts, so callers holding
+    /// a [`crate::config::BConfig`] need not assemble (and clone into) a [`Config`] first.
+    pub(crate) fn apply_parts(
+        &self,
+        instance: &Instance,
+        history: &History,
+        action: &Action,
+        subst: &Substitution,
+    ) -> Result<Config, CoreError> {
+        // `I' = (I − Substitute(Del, σ)) + Substitute(Add, σ)`, streamed: all deletions are
+        // applied before any addition (so a fact both deleted and added survives, exactly as
+        // the set-operation formulation prescribes), directly onto one clone of `I` —
+        // no intermediate del/add instances, no whole-map difference/union passes.
+        let mut next = instance.clone();
+        action.del().substitute_into(subst, |rel, tuple| {
+            next.remove(rel, &tuple);
+        })?;
+        action.add().substitute_into(subst, |rel, tuple| {
+            next.insert(rel, tuple);
+        })?;
+
+        let mut history = history.clone();
         for &v in action.fresh() {
             history.insert(subst.get(v).expect("fresh variables are bound"));
         }
-        Ok(Config { instance, history })
+        Ok(Config {
+            instance: next,
+            history,
+        })
     }
 
     /// The largest value index occurring in the history, the active domain or the declared
@@ -157,9 +211,14 @@ impl<'a> ConcreteSemantics<'a> {
     /// configuration by the successor enumeration instead of once per guard answer; the
     /// sets are sorted (or per-relation cached), so no active-domain set is materialised.
     pub(crate) fn fresh_base(&self, config: &Config) -> u64 {
-        let history_max = config.history.iter().next_back().map(|v| v.index());
+        self.fresh_base_parts(&config.instance, &config.history)
+    }
+
+    /// [`Self::fresh_base`] on a configuration given as its parts.
+    pub(crate) fn fresh_base_parts(&self, instance: &Instance, history: &History) -> u64 {
+        let history_max = history.max_value().map(|v| v.index());
         let constants_max = self.dms.constants().iter().next_back().map(|v| v.index());
-        let adom_max = config.instance.max_value().map(|v| v.index());
+        let adom_max = instance.max_value().map(|v| v.index());
         history_max
             .into_iter()
             .chain(constants_max)
@@ -199,7 +258,9 @@ impl<'a> ConcreteSemantics<'a> {
         let fresh_base = self.fresh_base(config);
         let mut result = Vec::new();
         for (index, action) in self.dms.actions().iter().enumerate() {
-            'answers: for guard_sub in self.guard_answers(config, action)? {
+            'answers: for guard_sub in
+                self.guard_answers_within(&config.instance, &adom, index, action)?
+            {
                 for &u in action.params() {
                     match guard_sub.get(u) {
                         Some(value) if adom.contains(&value) || constants.contains(&value) => {}

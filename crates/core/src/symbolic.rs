@@ -194,7 +194,7 @@ pub fn concretize_step(
     letter: &SymbolicLetter,
 ) -> Result<Option<(Step, BConfig)>, CoreError> {
     let action = dms.action(letter.action)?;
-    let by_recency = config.adom_by_recency();
+    let by_recency = config.recency_ranks();
 
     // Reconstruct σ on the parameters: recency index i denotes the unique value of that index.
     let mut subst = Substitution::empty();
@@ -216,16 +216,16 @@ pub fn concretize_step(
 
     // Guard check (condition Cnd).
     let guard_sub = subst.restrict(action.params().iter());
-    if !eval::holds(&config.instance, &guard_sub, action.guard())? {
+    if !eval::holds(config.instance(), &guard_sub, action.guard())? {
         return Ok(None);
     }
 
     // Canonical fresh values e_{n+1}, …  where n = |H| (plus constants safety margin).
-    let mut max = config.history.len() as u64;
+    let mut max = config.history().len() as u64;
     for &c in dms.constants() {
         max = max.max(c.index());
     }
-    for &h in &config.history {
+    if let Some(h) = config.history().max_value() {
         max = max.max(h.index());
     }
     for (k, &v) in action.fresh().iter().enumerate() {

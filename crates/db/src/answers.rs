@@ -28,19 +28,63 @@ use std::collections::{BTreeSet, HashMap};
 /// For a boolean query the result is `[ε]` when the query holds and `[]` otherwise, matching
 /// the paper's convention.
 pub fn answers(instance: &Instance, query: &Query) -> Result<Vec<Substitution>, DbError> {
-    let free: Vec<Var> = query.free_vars().into_iter().collect();
-    let mut universe = instance.active_domain();
-    // Constants named in the query can be answers to equality atoms even when outside adom;
-    // including them is harmless (they only survive if the query holds) and needed for the
-    // constants extension.
-    universe.extend(query.constants());
+    answers_within(instance, &instance.active_domain(), query)
+}
 
-    let rows = eval_set(instance, &universe, query)?;
+/// [`answers`] with the active domain supplied by the caller. `adom` **must** equal
+/// `instance.active_domain()` — callers evaluating several queries against one instance
+/// (the successor enumerations evaluate every action guard) compute it once instead of once
+/// per query. When the query names no constants outside `adom`, the set is used as-is
+/// (no copy).
+pub fn answers_within(
+    instance: &Instance,
+    adom: &BTreeSet<DataValue>,
+    query: &Query,
+) -> Result<Vec<Substitution>, DbError> {
+    answers_with_constants(instance, adom, &query.constants(), query)
+}
+
+/// [`answers_within`] with the query's constants supplied by the caller (callers that
+/// evaluate a fixed query repeatedly — action guards — cache the constant set and skip the
+/// per-call query walk). `constants` **must** equal `query.constants()`.
+///
+/// Constants named in the query can be answers to equality atoms even when outside adom;
+/// including them in the universe is harmless (they only survive if the query holds) and
+/// needed for the constants extension. When every constant already lies in `adom` — in
+/// particular for constant-free queries — the set is used as-is (no copy).
+pub fn answers_with_constants(
+    instance: &Instance,
+    adom: &BTreeSet<DataValue>,
+    constants: &BTreeSet<DataValue>,
+    query: &Query,
+) -> Result<Vec<Substitution>, DbError> {
+    if constants.iter().all(|c| adom.contains(c)) {
+        answers_with_universe(instance, adom, query)
+    } else {
+        let mut universe = adom.clone();
+        universe.extend(constants.iter().copied());
+        answers_with_universe(instance, &universe, query)
+    }
+}
+
+/// The innermost answer enumeration: `universe` must already be `adom(I)` extended with the
+/// query's constants.
+fn answers_with_universe(
+    instance: &Instance,
+    universe: &BTreeSet<DataValue>,
+    query: &Query,
+) -> Result<Vec<Substitution>, DbError> {
+    let rows = eval_set(instance, universe, query)?;
     // Every row of eval_set already binds exactly the free variables (the join relies on
-    // the same invariant), so no per-row restriction is needed.
-    debug_assert!(rows
-        .iter()
-        .all(|row| row.len() == free.len() && free.iter().all(|&v| row.binds(v))));
+    // the same invariant), so no per-row restriction is needed. The free-variable walk is
+    // itself debug-only: it allocates per call and release builds only need the rows.
+    #[cfg(debug_assertions)]
+    {
+        let free: Vec<Var> = query.free_vars().into_iter().collect();
+        debug_assert!(rows
+            .iter()
+            .all(|row| row.len() == free.len() && free.iter().all(|&v| row.binds(v))));
+    }
     Ok(rows.into_iter().collect())
 }
 
@@ -59,17 +103,18 @@ fn eval_set(
         Query::True => Ok(BTreeSet::from([Substitution::empty()])),
         Query::Atom(rel, terms) => {
             let mut rows = BTreeSet::new();
-            // a constant in the first position is answered through the relation's
-            // first-column index instead of a full scan
-            match terms.first() {
-                Some(Term::Value(c)) => {
-                    for tuple in instance.relation_with_first(*rel, *c) {
+            // an atom with constants is answered through a per-column index probe instead
+            // of a full scan; with several bound columns the most selective one is chosen
+            match probe_column(instance, *rel, terms) {
+                Probe::Empty => {}
+                Probe::At(col, value) => {
+                    for tuple in instance.relation_with_value_at(*rel, col, value) {
                         if let Some(sub) = unify_tuple(terms, tuple) {
                             rows.insert(sub);
                         }
                     }
                 }
-                _ => {
+                Probe::Scan => {
                     for tuple in instance.relation(*rel) {
                         if let Some(sub) = unify_tuple(terms, tuple) {
                             rows.insert(sub);
@@ -106,6 +151,12 @@ fn eval_set(
         }
         Query::And(a, b) => {
             let left = eval_set(instance, universe, a)?;
+            if left.is_empty() {
+                // a join with the empty side is empty: skip evaluating the other conjunct
+                // (action guards are conjunctions headed by a cheap enabling test, so this
+                // is the common path for disabled actions)
+                return Ok(left);
+            }
             let right = eval_set(instance, universe, b)?;
             Ok(join(left, right, &a.free_vars(), &b.free_vars()))
         }
@@ -176,6 +227,41 @@ fn eval_set(
     }
 }
 
+/// How to answer an atom: provably no match, an index probe at one column, or a full scan.
+enum Probe {
+    /// Some bound column's constant does not occur in that column at all.
+    Empty,
+    /// Probe the per-column index (or filtered scan for tiny relations) at this position.
+    At(usize, DataValue),
+    /// No term is bound: enumerate the relation.
+    Scan,
+}
+
+/// Select how to answer `rel(terms…)`: among the constant-bound columns, first rule out the
+/// atom entirely if any constant is absent from its column's (cached, sorted) value set,
+/// then probe the **most selective** column — the one with the most distinct values, i.e.
+/// the smallest expected bucket. Unbound atoms fall back to a scan.
+fn probe_column(instance: &Instance, rel: crate::RelName, terms: &[Term]) -> Probe {
+    let mut best: Option<(usize, DataValue, usize)> = None;
+    for (col, term) in terms.iter().enumerate() {
+        let Term::Value(c) = term else { continue };
+        let column = instance.column_values(rel, col);
+        if column.binary_search(c).is_err() {
+            return Probe::Empty;
+        }
+        if best
+            .as_ref()
+            .is_none_or(|&(_, _, distinct)| column.len() > distinct)
+        {
+            best = Some((col, *c, column.len()));
+        }
+    }
+    match best {
+        Some((col, value, _)) => Probe::At(col, value),
+        None => Probe::Scan,
+    }
+}
+
 /// Match one tuple against an atom's term list, returning the induced bindings (`None` on
 /// arity or constant mismatch, or when a repeated variable meets two different values).
 fn unify_tuple(terms: &[Term], tuple: &[DataValue]) -> Option<Substitution> {
@@ -211,6 +297,14 @@ fn join(
     left_vars: &BTreeSet<Var>,
     right_vars: &BTreeSet<Var>,
 ) -> BTreeSet<Substitution> {
+    // identity shortcuts: a singleton empty row (a satisfied boolean conjunct — action
+    // guards are typically `proposition ∧ query`) joins to the other side unchanged
+    if left.len() == 1 && left.iter().next().is_some_and(Substitution::is_empty) {
+        return right;
+    }
+    if right.len() == 1 && right.iter().next().is_some_and(Substitution::is_empty) {
+        return left;
+    }
     let shared: Vec<Var> = left_vars.intersection(right_vars).copied().collect();
     let mut rows = BTreeSet::new();
     // tiny products (typical action guards) are faster pairwise than through a hash table
@@ -354,6 +448,49 @@ mod tests {
         .unwrap();
         assert_eq!(ans.len(), 1);
         assert_eq!(ans[0].get(v("u")), Some(e(2)));
+    }
+
+    #[test]
+    fn atom_with_constant_in_a_non_first_position() {
+        let i = sample();
+        // S(u, e2): the constant sits in the second column; answered by a column probe
+        let ans = answers(
+            &i,
+            &Query::atom(r("S"), [Term::Var(v("u")), Term::Value(e(2))]),
+        )
+        .unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0].get(v("u")), Some(e(1)));
+        // a constant absent from its column rules the atom out without a scan
+        let none = answers(
+            &i,
+            &Query::atom(r("S"), [Term::Var(v("u")), Term::Value(e(9))]),
+        )
+        .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn multi_column_probe_selection_agrees_with_scans() {
+        // a skewed relation: column 0 has 2 distinct values, column 2 has 30 — probe
+        // selection must pick the selective column, and the answers must match a scan
+        let mut i = Instance::new();
+        for k in 0..30u64 {
+            i.insert(r("W"), vec![e(k % 2), e(k % 3), e(100 + k)]);
+        }
+        for (a, c) in [(0u64, 100u64), (1, 101), (0, 129), (1, 999)] {
+            let q = Query::atom(
+                r("W"),
+                [Term::Value(e(a)), Term::Var(v("u")), Term::Value(e(c))],
+            );
+            let fast: BTreeSet<Substitution> = answers(&i, &q).unwrap().into_iter().collect();
+            let slow: BTreeSet<Substitution> = i
+                .relation(r("W"))
+                .filter(|t| t[0] == e(a) && t[2] == e(c))
+                .map(|t| Substitution::from_pairs([(v("u"), t[1])]))
+                .collect();
+            assert_eq!(fast, slow, "W({a}, u, {c})");
+        }
     }
 
     #[test]

@@ -12,6 +12,9 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
 
+/// One column's hash index: the value at that column → the tuples carrying it there.
+type ColumnIndex = HashMap<DataValue, Vec<Tuple>>;
+
 /// The shared storage of one relation: its tuple set plus lazily-built caches.
 ///
 /// A `Relation` is immutable once shared (the instance clones it on first write — see
@@ -21,7 +24,8 @@ use std::sync::{Arc, OnceLock};
 /// * `values` — the sorted distinct data values occurring anywhere in the relation (the
 ///   relation's contribution to `adom`),
 /// * `columns` — the sorted distinct values per column position,
-/// * `first_index` — a hash index from first-column value to the tuples starting with it,
+/// * `indexes` — per-column hash indexes from a column's value to the tuples carrying it
+///   there, each built independently on first probe of that column,
 /// * `content_hash` — a hash of the tuple set, making instance hashing O(#relations),
 /// * `canon` — the most recent canonical relabelling of this relation (keyed by where the
 ///   relation's values map), so that a relation untouched between a configuration and its
@@ -30,7 +34,9 @@ struct Relation {
     tuples: BTreeSet<Tuple>,
     values: OnceLock<Vec<DataValue>>,
     columns: OnceLock<Vec<Vec<DataValue>>>,
-    first_index: OnceLock<HashMap<DataValue, Vec<Tuple>>>,
+    /// Outer cell: one slot per column position (sized to the widest tuple on first use).
+    /// Inner cells: the column's hash index, built only when that column is probed.
+    indexes: OnceLock<Vec<OnceLock<ColumnIndex>>>,
     content_hash: OnceLock<u64>,
     canon: Mutex<Option<(Vec<DataValue>, Arc<Relation>)>>,
 }
@@ -41,7 +47,7 @@ impl Relation {
             tuples,
             values: OnceLock::new(),
             columns: OnceLock::new(),
-            first_index: OnceLock::new(),
+            indexes: OnceLock::new(),
             content_hash: OnceLock::new(),
             canon: Mutex::new(None),
         }
@@ -88,32 +94,49 @@ impl Relation {
         columns.get(col).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// The tuples whose first component is `value`. Relations too small to amortise an
-    /// index are answered by a filtered scan; larger ones build the hash index once (per
-    /// shared storage node) and probe it.
-    fn with_first(&self, value: DataValue) -> WithFirst<'_> {
-        if let Some(index) = self.first_index.get() {
-            metrics::count_index_hit();
-            return WithFirst::Indexed(index.get(&value).map(Vec::as_slice).unwrap_or(&[]).iter());
+    /// The tuples whose component at position `col` is `value`. Relations too small to
+    /// amortise an index are answered by a filtered scan; larger ones build the column's
+    /// hash index once (per shared storage node, per column) and probe it.
+    fn with_value_at(&self, col: usize, value: DataValue) -> WithValueAt<'_> {
+        if let Some(slots) = self.indexes.get() {
+            if let Some(Some(index)) = slots.get(col).map(OnceLock::get) {
+                metrics::count_index_hit();
+                return WithValueAt::Indexed(
+                    index.get(&value).map(Vec::as_slice).unwrap_or(&[]).iter(),
+                );
+            }
         }
-        if self.tuples.len() < FIRST_INDEX_MIN_TUPLES {
-            return WithFirst::Scan {
+        if self.tuples.len() < COLUMN_INDEX_MIN_TUPLES {
+            return WithValueAt::Scan {
                 tuples: self.tuples.iter(),
+                col,
                 value,
             };
         }
-        metrics::count_index_build();
-        let index = self.first_index.get_or_init(|| {
-            let mut index: HashMap<DataValue, Vec<Tuple>> = HashMap::new();
+        let slots = self.indexes.get_or_init(|| {
+            let width = self.tuples.iter().map(Vec::len).max().unwrap_or(0);
+            (0..width).map(|_| OnceLock::new()).collect()
+        });
+        let Some(slot) = slots.get(col) else {
+            // no tuple is wide enough for this column: nothing can match
+            return WithValueAt::Indexed([].iter());
+        };
+        if slot.get().is_some() {
+            metrics::count_index_hit();
+        } else {
+            metrics::count_index_build();
+        }
+        let index = slot.get_or_init(|| {
+            let mut index: ColumnIndex = HashMap::new();
             // BTreeSet iteration keeps each bucket sorted, so probes are deterministic
             for tuple in &self.tuples {
-                if let Some(&first) = tuple.first() {
-                    index.entry(first).or_default().push(tuple.clone());
+                if let Some(&at) = tuple.get(col) {
+                    index.entry(at).or_default().push(tuple.clone());
                 }
             }
             index
         });
-        WithFirst::Indexed(index.get(&value).map(Vec::as_slice).unwrap_or(&[]).iter())
+        WithValueAt::Indexed(index.get(&value).map(Vec::as_slice).unwrap_or(&[]).iter())
     }
 
     /// A hash of the tuple set, cached on the shared storage. Equal tuple sets produce equal
@@ -181,7 +204,7 @@ impl Relation {
     fn reset_caches(&mut self) {
         self.values = OnceLock::new();
         self.columns = OnceLock::new();
-        self.first_index = OnceLock::new();
+        self.indexes = OnceLock::new();
         self.content_hash = OnceLock::new();
         *self.canon.get_mut() = None;
     }
@@ -195,27 +218,31 @@ impl Clone for Relation {
     }
 }
 
-/// Minimum tuple count before [`Relation::with_first`] builds the hash index; below this a
-/// filtered scan is cheaper than constructing (and allocating) the index for few probes.
-const FIRST_INDEX_MIN_TUPLES: usize = 16;
+/// Minimum tuple count before [`Relation::with_value_at`] builds a column's hash index;
+/// below this a filtered scan is cheaper than constructing (and allocating) the index for
+/// few probes.
+const COLUMN_INDEX_MIN_TUPLES: usize = 16;
 
-/// Iterator over a relation's tuples with a fixed first component (see
-/// [`Relation::with_first`]).
-enum WithFirst<'a> {
+/// Iterator over a relation's tuples with a fixed component at one column (see
+/// [`Relation::with_value_at`]).
+enum WithValueAt<'a> {
     Indexed(std::slice::Iter<'a, Tuple>),
     Scan {
         tuples: std::collections::btree_set::Iter<'a, Tuple>,
+        col: usize,
         value: DataValue,
     },
 }
 
-impl<'a> Iterator for WithFirst<'a> {
+impl<'a> Iterator for WithValueAt<'a> {
     type Item = &'a Tuple;
 
     fn next(&mut self) -> Option<&'a Tuple> {
         match self {
-            WithFirst::Indexed(iter) => iter.next(),
-            WithFirst::Scan { tuples, value } => tuples.find(|tuple| tuple.first() == Some(value)),
+            WithValueAt::Indexed(iter) => iter.next(),
+            WithValueAt::Scan { tuples, col, value } => {
+                tuples.find(|tuple| tuple.get(*col) == Some(value))
+            }
         }
     }
 }
@@ -344,17 +371,29 @@ impl Instance {
             .flat_map(|data| data.tuples.iter())
     }
 
-    /// The tuples of `rel` whose **first** component is `value`, answered through a lazily
-    /// built (and `Arc`-shared) hash index. Query evaluation uses this to bind variables by
-    /// index probe instead of scanning the whole relation.
+    /// The tuples of `rel` whose **first** component is `value` — shorthand for
+    /// [`Self::relation_with_value_at`] at column 0.
     pub fn relation_with_first(
         &self,
         rel: RelName,
         value: DataValue,
     ) -> impl Iterator<Item = &Tuple> + '_ {
+        self.relation_with_value_at(rel, 0, value)
+    }
+
+    /// The tuples of `rel` whose component at position `col` is `value`, answered through a
+    /// lazily built (and `Arc`-shared) per-column hash index. Query evaluation uses this to
+    /// answer atoms with a bound term at **any** position by index probe instead of scanning
+    /// the whole relation.
+    pub fn relation_with_value_at(
+        &self,
+        rel: RelName,
+        col: usize,
+        value: DataValue,
+    ) -> impl Iterator<Item = &Tuple> + '_ {
         self.relations
             .get(&rel)
-            .map(|data| data.with_first(value))
+            .map(|data| data.with_value_at(col, value))
             .into_iter()
             .flatten()
     }
@@ -957,6 +996,52 @@ mod tests {
         assert_eq!(i.column_values(r("S"), 1), &[e(2), e(3)]);
         assert!(i.column_values(r("S"), 2).is_empty());
         assert_eq!(i.relation_values(r("S")), &[e(1), e(2), e(3)]);
+    }
+
+    #[test]
+    fn non_first_column_index_probes_agree_with_scans() {
+        // small relation (scan path) and large relation (indexed path) must answer column
+        // probes identically
+        let mut small = Instance::new();
+        small.insert(r("S"), vec![e(1), e(7)]);
+        small.insert(r("S"), vec![e(2), e(7)]);
+        small.insert(r("S"), vec![e(3), e(8)]);
+        let hits: Vec<&Tuple> = small.relation_with_value_at(r("S"), 1, e(7)).collect();
+        assert_eq!(hits, vec![&vec![e(1), e(7)], &vec![e(2), e(7)]]);
+        assert_eq!(small.relation_with_value_at(r("S"), 1, e(9)).count(), 0);
+        assert_eq!(small.relation_with_value_at(r("S"), 5, e(7)).count(), 0);
+        assert_eq!(small.relation_with_value_at(r("Zzz"), 1, e(7)).count(), 0);
+
+        let mut large = Instance::new();
+        for i in 0..40u64 {
+            large.insert(r("T"), vec![e(i), e(i % 4), e(100 + i)]);
+        }
+        for col in 0..3 {
+            for probe in [e(0), e(2), e(17), e(105), e(999)] {
+                let indexed: Vec<&Tuple> =
+                    large.relation_with_value_at(r("T"), col, probe).collect();
+                let scanned: Vec<&Tuple> = large
+                    .relation(r("T"))
+                    .filter(|t| t.get(col) == Some(&probe))
+                    .collect();
+                assert_eq!(indexed, scanned, "col {col} probe {probe}");
+            }
+        }
+        // a probe past every tuple's width finds nothing (and must not panic)
+        assert_eq!(large.relation_with_value_at(r("T"), 3, e(0)).count(), 0);
+    }
+
+    #[test]
+    fn column_indexes_track_mutation() {
+        let mut i = Instance::new();
+        for k in 0..20u64 {
+            i.insert(r("R"), vec![e(k), e(k % 2)]);
+        }
+        assert_eq!(i.relation_with_value_at(r("R"), 1, e(0)).count(), 10);
+        i.insert(r("R"), vec![e(100), e(0)]);
+        assert_eq!(i.relation_with_value_at(r("R"), 1, e(0)).count(), 11);
+        i.remove(r("R"), &[e(100), e(0)]);
+        assert_eq!(i.relation_with_value_at(r("R"), 1, e(0)).count(), 10);
     }
 
     #[test]

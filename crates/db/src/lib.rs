@@ -57,7 +57,7 @@ pub mod symbol;
 pub mod term;
 pub mod value;
 
-pub use answers::answers;
+pub use answers::{answers, answers_with_constants, answers_within};
 pub use error::DbError;
 pub use instance::Instance;
 pub use pattern::Pattern;

@@ -1,17 +1,25 @@
-//! Process-wide counters for the copy-on-write instance representation and the lazy
-//! relation indexes.
+//! Counters for the copy-on-write instance representation and the lazy relation indexes.
 //!
 //! [`crate::Instance`] shares relation storage between clones (`Arc` per relation) and only
 //! materialises a private copy of a relation on first write. These counters record how often
 //! each case occurs, plus how often query evaluation could answer a probe from an
-//! already-built index. The checking engines snapshot the counters around a search and
-//! report the deltas in their statistics.
+//! already-built index.
 //!
-//! The counters are global (relaxed atomics), so concurrent searches see each other's
-//! traffic; treat per-search deltas as approximate whenever several searches run at once.
+//! Two accounting levels exist:
+//!
+//! * **global** (relaxed atomics, process-wide): [`snapshot`] reads them; deltas between two
+//!   snapshots are approximate whenever several searches run at once;
+//! * **scoped** ([`SearchCounters`] + [`record_into`]): a consumer that wants *exact*
+//!   per-search figures allocates a [`SearchCounters`] and enters a recording scope on every
+//!   thread working for that search. All counter traffic issued by a thread inside a scope
+//!   is additionally tallied into the scope's counters (buffered thread-locally, flushed
+//!   when the scope guard drops), so concurrent unrelated searches never pollute each
+//!   other's numbers. The checking engines report these exact figures in their statistics.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Number of per-counter shards. Each thread is pinned to one shard (round-robin), so the
 /// hot-loop increments issued by concurrent search workers land on different cache lines
@@ -60,22 +68,117 @@ fn total(counter: &Counter) -> u64 {
         .sum()
 }
 
+/// The four counter kinds, used to index the scoped tallies.
+const SHARED: usize = 0;
+const MATERIALIZED: usize = 1;
+const HITS: usize = 2;
+const BUILDS: usize = 3;
+
+/// Exact per-search counters. Allocate one per logical search, share it (`Arc`) with every
+/// worker thread of that search, and have each worker hold a [`record_into`] guard while it
+/// works; [`SearchCounters::snapshot`] then returns figures that count exactly the traffic
+/// of this search, regardless of what other searches do concurrently.
+#[derive(Debug, Default)]
+pub struct SearchCounters {
+    counts: [AtomicU64; 4],
+}
+
+impl SearchCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> SearchCounters {
+        SearchCounters::default()
+    }
+
+    /// The current totals. Exact once every recording scope targeting these counters has
+    /// been dropped (worker threads flush their buffered tallies on scope exit).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            relations_shared: self.counts[SHARED].load(Ordering::Relaxed),
+            relations_materialized: self.counts[MATERIALIZED].load(Ordering::Relaxed),
+            index_hits: self.counts[HITS].load(Ordering::Relaxed),
+            index_builds: self.counts[BUILDS].load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One thread's buffered contribution to a [`SearchCounters`]: plain cells while the scope
+/// is live (no atomic traffic in the hot loop), flushed on drop.
+struct LocalTally {
+    target: Arc<SearchCounters>,
+    counts: [Cell<u64>; 4],
+}
+
+thread_local! {
+    /// The recording scopes active on this thread, innermost last. Counter traffic is
+    /// tallied into every active scope, so a search nested inside another (an engine
+    /// re-checking inside a hit predicate, say) is counted by both.
+    static ACTIVE_SCOPES: RefCell<Vec<Rc<LocalTally>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard returned by [`record_into`]; dropping it flushes this thread's buffered tallies
+/// into the target [`SearchCounters`] and ends the scope.
+pub struct MetricsScope {
+    tally: Rc<LocalTally>,
+}
+
+/// Start recording this thread's counter traffic into `counters` (in addition to the global
+/// counters) until the returned guard drops.
+pub fn record_into(counters: &Arc<SearchCounters>) -> MetricsScope {
+    let tally = Rc::new(LocalTally {
+        target: Arc::clone(counters),
+        counts: Default::default(),
+    });
+    ACTIVE_SCOPES.with(|scopes| scopes.borrow_mut().push(Rc::clone(&tally)));
+    MetricsScope { tally }
+}
+
+impl Drop for MetricsScope {
+    fn drop(&mut self) {
+        ACTIVE_SCOPES.with(|scopes| {
+            let mut scopes = scopes.borrow_mut();
+            if let Some(at) = scopes.iter().rposition(|t| Rc::ptr_eq(t, &self.tally)) {
+                scopes.remove(at);
+            }
+        });
+        for (kind, cell) in self.tally.counts.iter().enumerate() {
+            let n = cell.get();
+            if n > 0 {
+                self.tally.target.counts[kind].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Tally `n` into every recording scope active on this thread.
+fn scoped_add(kind: usize, n: u64) {
+    ACTIVE_SCOPES.with(|scopes| {
+        for tally in scopes.borrow().iter() {
+            let cell = &tally.counts[kind];
+            cell.set(cell.get() + n);
+        }
+    });
+}
+
 pub(crate) fn count_shared(n: u64) {
     RELATIONS_SHARED[shard()].0.fetch_add(n, Ordering::Relaxed);
+    scoped_add(SHARED, n);
 }
 
 pub(crate) fn count_materialized() {
     RELATIONS_MATERIALIZED[shard()]
         .0
         .fetch_add(1, Ordering::Relaxed);
+    scoped_add(MATERIALIZED, 1);
 }
 
 pub(crate) fn count_index_hit() {
     INDEX_HITS[shard()].0.fetch_add(1, Ordering::Relaxed);
+    scoped_add(HITS, 1);
 }
 
 pub(crate) fn count_index_build() {
     INDEX_BUILDS[shard()].0.fetch_add(1, Ordering::Relaxed);
+    scoped_add(BUILDS, 1);
 }
 
 /// A point-in-time reading of the sharing/index counters.
@@ -173,5 +276,63 @@ mod tests {
         assert!(delta.relations_materialized >= 1);
         assert!(delta.index_hits >= 1);
         assert!(delta.index_builds >= 1);
+    }
+
+    #[test]
+    fn scoped_counters_are_exact_and_flushed_on_drop() {
+        let mine = Arc::new(SearchCounters::new());
+        {
+            let _scope = record_into(&mine);
+            count_shared(5);
+            count_index_hit();
+            // buffered: nothing flushed while the scope is live
+            assert_eq!(mine.snapshot(), MetricsSnapshot::default());
+        }
+        let after = mine.snapshot();
+        assert_eq!(after.relations_shared, 5);
+        assert_eq!(after.index_hits, 1);
+        assert_eq!(after.relations_materialized, 0);
+
+        // traffic outside the scope is not attributed
+        count_shared(100);
+        assert_eq!(mine.snapshot(), after);
+    }
+
+    #[test]
+    fn scoped_counters_ignore_traffic_of_other_threads() {
+        let mine = Arc::new(SearchCounters::new());
+        let noisy = std::thread::spawn(|| {
+            for _ in 0..1_000 {
+                count_shared(1);
+                count_materialized();
+            }
+        });
+        {
+            let _scope = record_into(&mine);
+            count_shared(2);
+        }
+        noisy.join().unwrap();
+        let got = mine.snapshot();
+        assert_eq!(got.relations_shared, 2, "only this thread's scoped traffic");
+        assert_eq!(got.relations_materialized, 0);
+    }
+
+    #[test]
+    fn nested_scopes_both_record() {
+        let outer = Arc::new(SearchCounters::new());
+        let inner = Arc::new(SearchCounters::new());
+        {
+            let _o = record_into(&outer);
+            count_index_build();
+            {
+                let _i = record_into(&inner);
+                count_index_hit();
+            }
+            count_index_build();
+        }
+        assert_eq!(inner.snapshot().index_hits, 1);
+        assert_eq!(inner.snapshot().index_builds, 0);
+        assert_eq!(outer.snapshot().index_hits, 1);
+        assert_eq!(outer.snapshot().index_builds, 2);
     }
 }

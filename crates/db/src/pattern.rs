@@ -107,6 +107,21 @@ impl Pattern {
     /// Every variable of the pattern must be bound by `σ`; otherwise an error is returned.
     pub fn substitute(&self, subst: &Substitution) -> Result<Instance, DbError> {
         let mut inst = Instance::new();
+        self.substitute_into(subst, |rel, tuple| {
+            inst.insert(rel, tuple);
+        })?;
+        Ok(inst)
+    }
+
+    /// Stream `Substitute(I, σ)` fact by fact into `apply`, without materialising an
+    /// [`Instance`]. The action hot path applies a del/add pattern pair directly onto one
+    /// clone of the source instance this way, instead of building two throwaway instances
+    /// and running whole-map set operations over them.
+    pub fn substitute_into(
+        &self,
+        subst: &Substitution,
+        mut apply: impl FnMut(RelName, Vec<DataValue>),
+    ) -> Result<(), DbError> {
         for (rel, args) in self.facts() {
             let tuple: Vec<DataValue> = args
                 .iter()
@@ -115,9 +130,9 @@ impl Pattern {
                     Term::Var(v) => subst.get(*v).ok_or(DbError::UnboundVariable(*v)),
                 })
                 .collect::<Result<_, _>>()?;
-            inst.insert(rel, tuple);
+            apply(rel, tuple);
         }
-        Ok(inst)
+        Ok(())
     }
 
     /// Rewrite the pattern by mapping every term through `f` (used by the transformations of

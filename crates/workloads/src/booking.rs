@@ -560,7 +560,7 @@ mod tests {
                 "newO1", "newB", "addP2", "submit", "checkP", "detProp", "accept2", "confirm",
             ],
         );
-        let last = &run.last().instance;
+        let last = run.last().instance();
         let accepted_bookings = last
             .relation(RelName::new("BState"))
             .filter(|t| t[1] == agency.states.accepted)
@@ -579,7 +579,7 @@ mod tests {
     fn offers_can_be_put_on_hold_and_resumed() {
         let agency = build(&BookingConfig::default());
         let run = drive_by_names(&agency, 4, &["newO1", "newO2"]);
-        let last = &run.last().instance;
+        let last = run.last().instance();
         let onhold = last
             .relation(RelName::new("OState"))
             .filter(|t| t[1] == agency.states.onhold)
@@ -607,7 +607,7 @@ mod tests {
             4,
             &["newO1", "newB", "submit", "detProp", "accept2", "confirm"],
         );
-        let last = &run.last().instance;
+        let last = run.last().instance();
         let gold = gold_query(1, Var::new("c"), Var::new("rr"), &agency.states);
         // find the customer and restaurant actually used in the run
         let booking = last
@@ -625,7 +625,7 @@ mod tests {
             Substitution::from_pairs([(Var::new("c"), customer), (Var::new("rr"), restaurant)]);
         assert!(holds(last, &sub, &gold).unwrap());
         // before acceptance the customer is not gold
-        let before = &run.configs()[run.len() - 2].instance;
+        let before = run.configs()[run.len() - 2].instance();
         assert!(!holds(before, &sub, &gold).unwrap());
         // and not gold for the other restaurant
         let other = agency
@@ -644,6 +644,9 @@ mod tests {
         let agency = build(&BookingConfig::default());
         let script = vec!["newO1", "newO2", "newO2", "newO2", "newO2"];
         let run = drive_by_names(&agency, 3, &script);
-        assert_eq!(run.last().instance.relation_size(RelName::new("Offer")), 5);
+        assert_eq!(
+            run.last().instance().relation_size(RelName::new("Offer")),
+            5
+        );
     }
 }

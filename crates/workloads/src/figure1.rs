@@ -66,7 +66,7 @@ mod tests {
         let run = figure_1_run(&dms, 2);
         assert_eq!(run.len(), 8);
         // spot-check the 3rd instance of the figure: {p, R:e1,e6,e7, Q:e3,e4,e5,e8}
-        let i3 = &run.configs()[3].instance;
+        let i3 = run.configs()[3].instance();
         assert!(i3.proposition(RelName::new("p")));
         assert_eq!(i3.relation_size(RelName::new("R")), 3);
         assert_eq!(i3.relation_size(RelName::new("Q")), 4);

@@ -10,6 +10,9 @@
 //!   Figure 5 lifecycles), parameterised by the number of restaurants, agents and customers;
 //! * [`warehouse`] — the Appendix F.4 warehouse replenishment system with its bulk `NewO`
 //!   action;
+//! * [`audit`] — an append-only audit-log scenario whose history outgrows its active domain
+//!   (deterministic deep runs), sized to exercise the persistent history/seq-no
+//!   representation (bench E11);
 //! * [`inventory`] — a wide-branching order-fulfilment scenario sized to exercise the
 //!   parallel explorer (bench E9);
 //! * [`wide`] — a wide-schema ledger system (many relations, one touched per action) sized
@@ -18,6 +21,7 @@
 //! * [`random`] — a seeded random DMS / random run generator used by property tests and
 //!   benchmarks.
 
+pub mod audit;
 pub mod booking;
 pub mod counters;
 pub mod enrollment;

@@ -85,9 +85,9 @@ mod tests {
         assert_eq!(succs.len(), 1, "only seed can fire initially");
         let seeded = &succs[0].1;
         for i in 0..6 {
-            assert_eq!(seeded.instance.relation_size(ledger(i)), 1, "ledger {i}");
+            assert_eq!(seeded.instance().relation_size(ledger(i)), 1, "ledger {i}");
         }
-        assert!(!seeded.instance.proposition(RelName::new("init")));
+        assert!(!seeded.instance().proposition(RelName::new("init")));
     }
 
     #[test]
@@ -101,7 +101,7 @@ mod tests {
         assert_eq!(succs.len(), 3);
         for (_, next) in &succs {
             assert_eq!(
-                next.instance.shared_relations(&seeded.instance),
+                next.instance().shared_relations(seeded.instance()),
                 n - 1,
                 "a rotation must share all untouched ledgers with its parent"
             );

@@ -41,13 +41,13 @@ fn main() {
         run.push(step, next);
         println!(
             "  after {name:<8}: {} facts, {} active values",
-            run.last().instance.len(),
-            run.last().instance.active_domain().len()
+            run.last().instance().len(),
+            run.last().instance().active_domain().len()
         );
     }
 
     // The gold-customer query over the logged history (Example 5.2).
-    let last = &run.last().instance;
+    let last = run.last().instance();
     let booking_fact = last
         .relation(RelName::new("Booking"))
         .next()
@@ -128,6 +128,6 @@ fn main() {
     }
     println!(
         "\n== unboundedness ==\n  after 6 publications the database holds {} offers (and can keep growing)",
-        pile.last().instance.relation_size(RelName::new("Offer"))
+        pile.last().instance().relation_size(RelName::new("Offer"))
     );
 }

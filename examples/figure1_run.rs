@@ -21,7 +21,7 @@ fn main() {
     let run = figure1::figure_1_run(&dms, b);
     println!("\n== Figure 1: the run (replayed) ==");
     for (i, config) in run.configs().iter().enumerate() {
-        println!("  I{i} = {}", config.instance);
+        println!("  I{i} = {}", config.instance());
     }
 
     // Example 5.1: it is 2-recency-bounded (and not 1-recency-bounded)
@@ -89,7 +89,7 @@ fn main() {
             j + 1,
             encoding.pending_calls_in_prefix(head).len(),
             j,
-            run.configs()[j].instance.active_domain().len()
+            run.configs()[j].instance().active_domain().len()
         );
     }
 

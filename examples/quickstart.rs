@@ -67,7 +67,7 @@ fn main() {
             .expect("action enabled");
         run.push(step, next);
     }
-    println!("\nafter 4 steps the database is: {}", run.last().instance);
+    println!("\nafter 4 steps the database is: {}", run.last().instance());
 
     // Model check at recency bound b.
     let explorer = Explorer::new(&dms, b).with_config(ExplorerConfig {
@@ -116,7 +116,7 @@ fn main() {
         println!(
             "             counterexample prefix of {} steps: {}",
             cex.len(),
-            cex.last().instance
+            cex.last().instance()
         );
     }
 }

@@ -64,7 +64,7 @@ fn f5_booking_agency_lifecycle() {
     }
     let accepted = run
         .last()
-        .instance
+        .instance()
         .relation(r("BState"))
         .filter(|t| t[1] == agency.states.accepted)
         .count();

@@ -210,10 +210,178 @@ proptest! {
             {
                 mapping.insert(value, DataValue(RANK_BASE + rank as u64));
             }
-            let scratch = config.instance.map_values(|v| mapping.get(&v).copied().unwrap_or(v));
+            let scratch = config.instance().map_values(|v| mapping.get(&v).copied().unwrap_or(v));
             prop_assert_eq!(&key, &scratch, "incremental key diverges from scratch canonicalisation");
             let again = canonical_config_key(config, constants);
             prop_assert_eq!(&again, &scratch, "cache-warm recomputation diverges");
+        }
+    }
+}
+
+// -----------------------------------------------------------------------------------------
+// the persistent history / sequence numbering against plain value semantics
+// -----------------------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random interleavings of inserts and clones leave the persistent `History`
+    /// observably identical to a plain `BTreeSet<DataValue>`, including on snapshots taken
+    /// mid-sequence (which keep sharing tree structure with a history that grows
+    /// afterwards), and `Eq`/`Ord`/`Hash` ignore the tree shape.
+    #[test]
+    fn persistent_history_matches_btreeset_semantics(
+        ops in proptest::collection::vec((0u8..4, 1u64..48), 0..64)
+    ) {
+        use rdms::core::History;
+        use serde::Deserialize;
+        use std::collections::BTreeSet;
+
+        let mut history = History::new();
+        let mut model: BTreeSet<DataValue> = BTreeSet::new();
+        let mut snapshots: Vec<(History, BTreeSet<DataValue>)> = Vec::new();
+        for (op, raw) in ops {
+            let value = DataValue(raw);
+            match op {
+                0 | 1 => {
+                    prop_assert_eq!(history.insert(value), model.insert(value));
+                }
+                2 => {
+                    prop_assert_eq!(history.contains(&value), model.contains(&value));
+                    prop_assert_eq!(history.max_value(), model.last().copied());
+                }
+                _ => snapshots.push((history.clone(), model.clone())),
+            }
+        }
+        snapshots.push((history, model));
+        for (history, model) in &snapshots {
+            prop_assert_eq!(history.len(), model.len());
+            prop_assert!(history.iter().eq(model.iter().copied()), "iteration order diverges");
+            prop_assert_eq!(history.max_value(), model.last().copied());
+            prop_assert!(history == model, "History/BTreeSet equality bridge");
+
+            // a history rebuilt from scratch (different tree shape) is Eq/Ord/Hash-equal
+            let rebuilt: History = model.iter().copied().collect();
+            prop_assert!(history == &rebuilt);
+            prop_assert_eq!(history.cmp(&rebuilt), std::cmp::Ordering::Equal);
+            use std::hash::{Hash, Hasher};
+            let hash_of = |h: &History| {
+                let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                h.hash(&mut hasher);
+                hasher.finish()
+            };
+            prop_assert_eq!(hash_of(history), hash_of(&rebuilt), "Hash must ignore tree shape");
+
+            // the serde wire format is exactly the BTreeSet one
+            let via_history = serde::value::to_value(history).unwrap();
+            let via_set = serde::value::to_value(model).unwrap();
+            prop_assert_eq!(&via_history, &via_set, "wire format diverges from BTreeSet");
+            prop_assert!(&History::deserialize(via_history).unwrap() == history);
+        }
+        // pairwise ordering agrees with the model ordering
+        for (ha, ma) in &snapshots {
+            for (hb, mb) in &snapshots {
+                prop_assert_eq!(ha.cmp(hb), ma.cmp(mb), "Ord diverges from BTreeSet");
+            }
+        }
+    }
+
+    /// Random assignment sequences leave the persistent `SeqNo` observably identical to a
+    /// plain `BTreeMap<DataValue, u64>` (lookups, iteration, max tracking, ordering), with
+    /// snapshots sharing structure across later assignments.
+    #[test]
+    fn persistent_seqno_matches_btreemap_semantics(
+        ops in proptest::collection::vec((0u8..4, 1u64..32), 0..48)
+    ) {
+        use rdms::core::SeqNo;
+        use serde::Deserialize;
+        use std::collections::BTreeMap;
+
+        let mut seq = SeqNo::empty();
+        let mut model: BTreeMap<DataValue, u64> = BTreeMap::new();
+        let mut snapshots: Vec<(SeqNo, BTreeMap<DataValue, u64>)> = Vec::new();
+        for (op, raw) in ops {
+            let value = DataValue(raw);
+            match op {
+                0 | 1 => {
+                    // fresh assignment through the hot-path API
+                    match model.entry(value) {
+                        std::collections::btree_map::Entry::Vacant(slot) => {
+                            let used = seq.assign_fresh([value]);
+                            prop_assert_eq!(used.len(), 1);
+                            slot.insert(used[0]);
+                        }
+                        std::collections::btree_map::Entry::Occupied(slot) => {
+                            // re-assigning the same number is the documented no-op
+                            seq.assign(value, *slot.get());
+                        }
+                    }
+                }
+                2 => {
+                    prop_assert_eq!(seq.get(value), model.get(&value).copied());
+                    prop_assert_eq!(seq.contains(value), model.contains_key(&value));
+                    prop_assert_eq!(seq.max_seq(), model.values().copied().max());
+                }
+                _ => snapshots.push((seq.clone(), model.clone())),
+            }
+        }
+        snapshots.push((seq, model));
+        for (seq, model) in &snapshots {
+            prop_assert_eq!(seq.len(), model.len());
+            prop_assert!(seq.iter().eq(model.iter().map(|(&v, &n)| (v, n))), "iteration diverges");
+            prop_assert_eq!(seq.max_seq(), model.values().copied().max(), "tracked max diverges");
+            // serde round trip restores contents and the tracked max
+            let value = serde::value::to_value(seq).unwrap();
+            let back = SeqNo::deserialize(value).unwrap();
+            prop_assert!(&back == seq);
+            prop_assert_eq!(back.max_seq(), seq.max_seq());
+        }
+        for (sa, ma) in &snapshots {
+            for (sb, mb) in &snapshots {
+                prop_assert_eq!(
+                    sa.cmp(sb),
+                    ma.iter().cmp(mb.iter()),
+                    "Ord diverges from BTreeMap"
+                );
+            }
+        }
+    }
+
+    /// After arbitrary successor chains, every configuration's cached recency ranks equal a
+    /// from-scratch stable sort of the active domain by descending sequence number — and
+    /// `recency_index`/`value_at_recency`/`recent_b` are consistent with that order.
+    #[test]
+    fn cached_recency_ranks_match_scratch_sort(seed in 0u64..2_000, b in 1usize..4, steps in 0usize..7) {
+        let dms = random_dms(&RandomDmsConfig { seed: seed % 13, ..Default::default() });
+        let run = random_run(&dms, b, steps, seed);
+        for config in run.configs() {
+            // from-scratch reference: ascending adom, stably sorted by descending seq_no
+            // (unnumbered values — declared constants — last, among themselves ascending)
+            let mut scratch: Vec<DataValue> =
+                config.instance().active_domain().into_iter().collect();
+            scratch.sort_by_key(|&v| {
+                std::cmp::Reverse(config.seq_no().get(v).map(|n| n as i64).unwrap_or(-1))
+            });
+            prop_assert_eq!(&config.adom_by_recency(), &scratch, "cached ranks diverge");
+            // a clone shares the cache; re-reading must be stable
+            let clone = config.clone();
+            prop_assert_eq!(&clone.adom_by_recency(), &scratch);
+
+            for (position, &value) in scratch.iter().enumerate() {
+                prop_assert_eq!(clone.value_at_recency(position), Some(value));
+                let expected_index = scratch
+                    .iter()
+                    .filter(|&&other| {
+                        config.seq_no().get(other).map(|n| n as i64).unwrap_or(-1)
+                            > config.seq_no().get(value).map(|n| n as i64).unwrap_or(-1)
+                    })
+                    .count();
+                prop_assert_eq!(config.recency_index(value), Some(expected_index));
+            }
+            let window = rdms::core::recent_b(config, b);
+            let expected: std::collections::BTreeSet<DataValue> =
+                scratch.iter().copied().take(b).collect();
+            prop_assert_eq!(window, expected, "Recent_b diverges from the rank prefix");
         }
     }
 }
@@ -252,7 +420,7 @@ proptest! {
                 .unwrap();
             prop_assert_eq!(
                 encoded.pending_calls_in_prefix(last_head).len(),
-                run.configs()[run.len() - 1].instance.active_domain().len()
+                run.configs()[run.len() - 1].instance().active_domain().len()
             );
         }
     }
@@ -399,8 +567,9 @@ proptest! {
             max_configs: 500_000,
             threads: 1,
             parallel_threshold: 0,
+            ..Default::default()
         };
-        let parallel_config = ExplorerConfig { threads, ..sequential_config };
+        let parallel_config = ExplorerConfig { threads, ..sequential_config.clone() };
         let sequential = Explorer::new(&dms, b).with_config(sequential_config);
         let parallel = Explorer::new(&dms, b).with_config(parallel_config);
 
@@ -443,6 +612,7 @@ proptest! {
                 max_configs: 500_000,
                 threads,
                 parallel_threshold: 0,
+                ..Default::default()
             });
         let u = Var::new("u");
         let r0_empty = Query::exists(u, Query::atom(r("R0"), [u])).not();
