@@ -1,20 +1,27 @@
 //! CI benchmark-regression gate.
 //!
 //! ```text
-//! bench_gate check <json_dir> <baseline.json>      # exit 1 if any suite regressed
-//! bench_gate baseline <json_dir> <out.json> [thr]  # (re)generate the committed baseline
+//! bench_gate check <json_dir> <baseline.json>        # exit 1 if any suite regressed
+//! bench_gate baseline <json_dir> <out.json> [thr]    # (re)generate the committed baseline
+//! bench_gate trajectory <json_dir> <out_dir> <sha>   # record summaries under out_dir/<sha>/
 //! ```
 //!
 //! `<json_dir>` holds the `BENCH_*.json` summaries written by `cargo bench` when run with
 //! `BENCH_JSON_DIR=<json_dir>` (see the vendored criterion harness). A benchmark fails the
 //! check when its mean time exceeds `baseline × threshold`; the threshold lives in the
 //! baseline file (default 1.25, i.e. fail on >25% regressions).
+//!
+//! `check` additionally appends a markdown comparison table (baseline vs current vs delta,
+//! ceiling hits) to the file named by `$GITHUB_STEP_SUMMARY` when that variable is set, so
+//! CI job summaries carry the full comparison. `trajectory` copies the summaries into a
+//! per-commit directory (and refreshes its `INDEX.md`), which CI commits back to the
+//! repository — that is what turns the per-run artifacts into a durable perf history.
 
 use rdms_bench::gate::{self, Summary, Verdict};
 use std::path::Path;
 use std::process::ExitCode;
 
-fn load_summaries(dir: &Path) -> Result<Vec<Summary>, String> {
+fn summary_paths(dir: &Path) -> Result<Vec<std::path::PathBuf>, String> {
     let mut paths: Vec<_> = std::fs::read_dir(dir)
         .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -28,7 +35,11 @@ fn load_summaries(dir: &Path) -> Result<Vec<Summary>, String> {
     if paths.is_empty() {
         return Err(format!("no BENCH_*.json summaries in {}", dir.display()));
     }
-    paths
+    Ok(paths)
+}
+
+fn load_summaries(dir: &Path) -> Result<Vec<Summary>, String> {
+    summary_paths(dir)?
         .iter()
         .map(|p| {
             let text = std::fs::read_to_string(p)
@@ -96,6 +107,16 @@ fn check(json_dir: &Path, baseline_path: &Path) -> Result<bool, String> {
             }
         }
     }
+    // surface the comparison in the CI job summary, when running under GitHub Actions
+    if let Ok(step_summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if !step_summary.is_empty() {
+            let table = gate::render_markdown(&baseline, &report);
+            let mut contents = std::fs::read_to_string(&step_summary).unwrap_or_default();
+            contents.push_str(&table);
+            std::fs::write(&step_summary, contents)
+                .map_err(|e| format!("cannot write {step_summary}: {e}"))?;
+        }
+    }
     let regressions = report.regressions();
     if regressions.is_empty() {
         println!(
@@ -140,6 +161,51 @@ fn write_baseline(json_dir: &Path, out: &Path, threshold: f64) -> Result<(), Str
     Ok(())
 }
 
+/// Record the smoke-run summaries under `out_dir/<commit>/` and refresh `out_dir/INDEX.md`
+/// (one line per recorded commit, newest first), so the perf trajectory survives as plain
+/// files in the repository instead of expiring with CI artifacts.
+fn trajectory(json_dir: &Path, out_dir: &Path, commit: &str) -> Result<(), String> {
+    if commit.is_empty() || !commit.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return Err(format!("commit key {commit:?} is not a plain hex/alnum id"));
+    }
+    let paths = summary_paths(json_dir)?;
+    let entry_dir = out_dir.join(commit);
+    std::fs::create_dir_all(&entry_dir)
+        .map_err(|e| format!("cannot create {}: {e}", entry_dir.display()))?;
+    let mut totals: Vec<String> = Vec::new();
+    for source in &paths {
+        let text = std::fs::read_to_string(source)
+            .map_err(|e| format!("cannot read {}: {e}", source.display()))?;
+        let summary =
+            gate::parse_summary(&text).map_err(|e| format!("{}: {e}", source.display()))?;
+        let name = source.file_name().expect("summary files have names");
+        std::fs::copy(source, entry_dir.join(name))
+            .map_err(|e| format!("cannot copy {}: {e}", source.display()))?;
+        totals.push(format!("{} ({})", summary.suite, summary.benchmarks.len()));
+    }
+    // prepend this commit to the index, dropping any previous line for the same commit
+    let index_path = out_dir.join("INDEX.md");
+    let previous = std::fs::read_to_string(&index_path).unwrap_or_default();
+    let header = "# Bench trajectory\n\nOne directory per recorded commit; newest first. \
+                  Each holds the smoke-run `BENCH_*.json` summaries for that commit.\n";
+    let marker = format!("- [`{commit}`]({commit}/)");
+    let mut lines: Vec<String> = vec![marker.clone() + &format!(" — {}", totals.join(", "))];
+    lines.extend(
+        previous
+            .lines()
+            .filter(|line| line.starts_with("- ") && !line.starts_with(&marker))
+            .map(str::to_owned),
+    );
+    std::fs::write(&index_path, format!("{header}\n{}\n", lines.join("\n")))
+        .map_err(|e| format!("cannot write {}: {e}", index_path.display()))?;
+    println!(
+        "recorded {} suite(s) under {}",
+        paths.len(),
+        entry_dir.display()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
@@ -156,7 +222,10 @@ fn main() -> ExitCode {
                 .and_then(|t| write_baseline(Path::new(json_dir), Path::new(out), t.unwrap_or(1.25)))
                 .map(|()| ExitCode::SUCCESS)
         }
-        _ => Err("usage: bench_gate check <json_dir> <baseline.json> | bench_gate baseline <json_dir> <out.json> [threshold]".to_owned()),
+        [cmd, json_dir, out_dir, commit] if cmd == "trajectory" => {
+            trajectory(Path::new(json_dir), Path::new(out_dir), commit).map(|()| ExitCode::SUCCESS)
+        }
+        _ => Err("usage: bench_gate check <json_dir> <baseline.json> | bench_gate baseline <json_dir> <out.json> [threshold] | bench_gate trajectory <json_dir> <out_dir> <commit>".to_owned()),
     };
     match result {
         Ok(code) => code,

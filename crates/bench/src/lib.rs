@@ -175,6 +175,59 @@ pub mod gate {
         report
     }
 
+    /// Format mean nanoseconds with a human-scale unit (`1234.5` → `"1.23 µs"`).
+    pub fn format_ns(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.2} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.2} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.2} µs", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    }
+
+    /// Render the gate's outcome as a GitHub-flavoured markdown comparison table (one row
+    /// per measured benchmark: baseline vs current, relative delta, ceiling status) —
+    /// written to `$GITHUB_STEP_SUMMARY` by the `bench_gate` binary so every CI run shows
+    /// the comparison without digging through logs.
+    pub fn render_markdown(baseline: &Baseline, report: &Report) -> String {
+        let mut out = String::new();
+        out.push_str("### Bench gate\n\n");
+        out.push_str(&format!(
+            "{} benchmark(s), threshold +{:.0}%: **{}**\n\n",
+            report.entries.len(),
+            (baseline.threshold - 1.0) * 100.0,
+            if report.passed() { "passed" } else { "FAILED" }
+        ));
+        out.push_str("| Benchmark | Baseline | Current | Δ | Ceiling | Status |\n");
+        out.push_str("|---|---:|---:|---:|---:|---|\n");
+        for (id, measured, verdict) in &report.entries {
+            let reference = baseline.benchmarks.get(id);
+            let ceiling = baseline.ceilings.get(id);
+            let delta = match reference {
+                Some(&reference) if reference > 0.0 => {
+                    format!("{:+.1}%", (measured / reference - 1.0) * 100.0)
+                }
+                _ => "—".to_owned(),
+            };
+            let status = match verdict {
+                Verdict::Ok(_) => "ok",
+                Verdict::Regressed(_) => "**regressed**",
+                Verdict::AboveCeiling(_) => "**above ceiling**",
+                Verdict::NotInBaseline => "new",
+            };
+            out.push_str(&format!(
+                "| `{id}` | {} | {} | {delta} | {} | {status} |\n",
+                reference.map_or_else(|| "—".to_owned(), |&r| format_ns(r)),
+                format_ns(*measured),
+                ceiling.map_or_else(|| "—".to_owned(), |&c| format_ns(c)),
+            ));
+        }
+        out
+    }
+
     /// Merge summaries into the baseline JSON text (used to (re)generate
     /// `benches/baseline.json` after an intentional performance change). `ceilings` are
     /// policy, not measurements — pass the previous baseline's so a refresh preserves them.
@@ -324,6 +377,51 @@ pub mod gate {
             };
             let report = compare(&baseline, &[slow]);
             assert_eq!(report.regressions(), vec!["e1_recency_sweep/new_suite/1"]);
+        }
+
+        #[test]
+        fn nanosecond_formatting_scales_units() {
+            assert_eq!(format_ns(850.4), "850 ns");
+            assert_eq!(format_ns(1234.5), "1.23 µs");
+            assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+            assert_eq!(format_ns(3_200_000_000.0), "3.20 s");
+        }
+
+        #[test]
+        fn markdown_table_lists_every_entry_with_its_verdict() {
+            let baseline = parse_baseline(BASELINE).unwrap();
+            let report = compare(&baseline, &[parse_summary(SUMMARY).unwrap()]);
+            let table = render_markdown(&baseline, &report);
+            assert!(table.contains("**FAILED**"));
+            assert!(table.contains(
+                "| `e1_recency_sweep/example_3_1/1` | 900 ns | 1.00 µs | +11.1% | — | ok |"
+            ));
+            assert!(table.contains("| `e1_recency_sweep/example_3_1/2` | 2.00 µs | 2.60 µs | +30.0% | — | **regressed** |"));
+            assert!(table.contains("| `e1_recency_sweep/new_suite/1` | — | 10 ns | — | — | new |"));
+
+            // a passing report says so
+            let lenient = parse_baseline(
+                r#"{"threshold": 2.0, "benchmarks": {"e1_recency_sweep/example_3_1/2": 2000.0}}"#,
+            )
+            .unwrap();
+            let report = compare(&lenient, &[parse_summary(SUMMARY).unwrap()]);
+            assert!(render_markdown(&lenient, &report).contains("**passed**"));
+        }
+
+        #[test]
+        fn markdown_table_shows_ceilings() {
+            let baseline = parse_baseline(
+                r#"{
+                    "threshold": 1.25,
+                    "benchmarks": {"e1_recency_sweep/example_3_1/1": 900.0},
+                    "ceilings": {"e1_recency_sweep/example_3_1/1": 950.0}
+                }"#,
+            )
+            .unwrap();
+            let report = compare(&baseline, &[parse_summary(SUMMARY).unwrap()]);
+            let table = render_markdown(&baseline, &report);
+            assert!(table.contains("950 ns"));
+            assert!(table.contains("**above ceiling**"));
         }
 
         #[test]

@@ -250,9 +250,10 @@ impl<'a> RunEncoder<'a> {
     /// parameter outside the recency window), mirroring the partiality of `Abstr`.
     pub fn encode(&self, run: &ExtendedRun) -> Option<NestedWord> {
         let mut letters = vec![self.alphabet.i0()];
+        let configs = run.configs();
         for (index, step) in run.steps().iter().enumerate() {
-            let before = &run.configs()[index];
-            let after = &run.configs()[index + 1];
+            let before = configs[index];
+            let after = configs[index + 1];
             let action = self.dms.action(step.action).ok()?;
 
             let symbolic = abstract_step(self.dms, before, step)?;

@@ -491,12 +491,14 @@ pub fn element_at(
         }
     }
     let block = block?;
-    let before = run.configs().get(block)?;
+    let configs = run.configs();
+    let before = configs.get(block)?;
     if index >= 0 {
         before.value_at_recency(index as usize)
     } else {
         // the (-index)-th fresh input of the step
-        let step = run.steps().get(block)?;
+        let steps = run.steps();
+        let step = steps.get(block)?;
         let action = encoder.dms().action(step.action).ok()?;
         let var = action.fresh().get((-index - 1) as usize)?;
         step.subst.get(*var)

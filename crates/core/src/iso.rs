@@ -84,13 +84,13 @@ fn extend(
 /// here because fresh values are totally ordered by their first appearance (sequence
 /// numbers), exactly the argument used in Appendix E.
 pub fn runs_isomorphic(left: &ExtendedRun, right: &ExtendedRun) -> bool {
-    if left.configs().len() != right.configs().len() {
+    if left.len() != right.len() {
         return false;
     }
     let mut map: BTreeMap<DataValue, DataValue> = BTreeMap::new();
     let mut rev: BTreeMap<DataValue, DataValue> = BTreeMap::new();
 
-    for (lc, rc) in left.configs().iter().zip(right.configs().iter()) {
+    for (lc, rc) in left.configs().into_iter().zip(right.configs()) {
         // Values ordered by sequence number (i.e. order of first appearance).
         let mut lvals: Vec<DataValue> = lc.history().iter().collect();
         lvals.sort_by_key(|&v| lc.seq_no().get(v).unwrap_or(u64::MAX));
@@ -381,8 +381,8 @@ mod tests {
 
         // Different instants generally have different keys.
         assert_ne!(
-            canonical_config_key(&run1.configs()[1], &consts),
-            canonical_config_key(&run1.configs()[2], &consts)
+            canonical_config_key(run1.configs()[1], &consts),
+            canonical_config_key(run1.configs()[2], &consts)
         );
     }
 
@@ -414,8 +414,8 @@ mod tests {
             );
         }
         assert_ne!(
-            intern_canonical_config(&run1.configs()[1], &consts),
-            intern_canonical_config(&run1.configs()[2], &consts)
+            intern_canonical_config(run1.configs()[1], &consts),
+            intern_canonical_config(run1.configs()[2], &consts)
         );
     }
 

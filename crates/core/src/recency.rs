@@ -180,15 +180,16 @@ impl<'a> RecencySemantics<'a> {
     /// Check that an already-built extended run is a valid `b`-bounded run of the DMS
     /// (Example 5.1 checks that the Figure 1 run is 2-recency-bounded).
     pub fn is_b_bounded(&self, run: &ExtendedRun) -> bool {
-        if run.configs().first().map(|c| c.instance()) != Some(self.dms().initial()) {
+        let configs = run.configs();
+        if configs.first().map(|c| c.instance()) != Some(self.dms().initial()) {
             return false;
         }
         for (i, step) in run.steps().iter().enumerate() {
-            let before = &run.configs()[i];
-            let after = &run.configs()[i + 1];
+            let before = configs[i];
+            let after = configs[i + 1];
             match self.apply(before, step.action, &step.subst) {
                 Ok(next) => {
-                    if &next != after {
+                    if next != *after {
                         return false;
                     }
                 }
@@ -203,8 +204,9 @@ impl<'a> RecencySemantics<'a> {
     /// run of the DMS at all).
     pub fn minimal_bound(dms: &Dms, run: &ExtendedRun) -> Option<usize> {
         let mut bound = 0usize;
+        let configs = run.configs();
         for (i, step) in run.steps().iter().enumerate() {
-            let before = &run.configs()[i];
+            let before = configs[i];
             let action = dms.action(step.action).ok()?;
             for &u in action.params() {
                 let value = step.subst.get(u)?;

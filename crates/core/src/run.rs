@@ -2,8 +2,10 @@
 
 use crate::config::BConfig;
 use rdms_db::{Instance, Substitution};
-use serde::{Deserialize, Serialize};
+use serde::ser::SerializeStruct;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
+use std::sync::Arc;
 
 /// One transition label: which action was applied and under which substitution
 /// (the `α : σ` edge labels of the configuration graph).
@@ -28,91 +30,233 @@ impl fmt::Debug for Step {
     }
 }
 
+/// One node of the persistent run spine: the configuration reached, the transition that
+/// produced it (`None` at the root), and the `Arc`-shared prefix leading here.
+struct Node {
+    /// Number of steps taken from the initial configuration to reach this node.
+    depth: usize,
+    /// The transition into this configuration; `None` exactly at the root.
+    step: Option<Step>,
+    config: BConfig,
+    parent: Option<Arc<Node>>,
+}
+
+impl Drop for Node {
+    /// Tear the owned part of the spine down **iteratively**: the derived drop would
+    /// recurse once per node (`Node` → parent `Arc` → `Node` → …) and overflow the stack
+    /// on the deep runs this representation exists to make cheap. Unlinking each uniquely
+    /// owned parent before dropping it bounds the recursion at one level; a parent that
+    /// is still shared stops the walk (it survives, and its own drop continues the
+    /// unlinking when its last owner goes away — `get_mut`'s atomic uniqueness check
+    /// makes this safe under concurrent drops of clones).
+    fn drop(&mut self) {
+        let mut next = self.parent.take();
+        while let Some(mut arc) = next {
+            next = Arc::get_mut(&mut arc).and_then(|node| node.parent.take());
+        }
+    }
+}
+
 /// A finite prefix of an extended run
 /// `⟨I₀,H₀,seq₀⟩ →^{α₀:σ₀} ⟨I₁,H₁,seq₁⟩ →^{α₁:σ₁} …`.
 ///
 /// The paper's runs are infinite; every algorithm in this workspace manipulates finite
 /// prefixes (of unbounded length), which is also what the nested-word encoding and the
-/// bounded checking engines consume. `configs.len() == steps.len() + 1` always holds.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// bounded checking engines consume.
+///
+/// The prefix is stored as a **persistent spine**: a cons list of `Arc`-shared nodes, newest
+/// first. Cloning a run is one `Arc` clone and [`ExtendedRun::push`] allocates a single node
+/// — both O(1) regardless of the run's length — so the explorer's trace searches pay
+/// constant time per frontier child where the previous `Vec<BConfig>` representation cloned
+/// the whole prefix (O(depth) per extension). All sibling extensions of a run share its
+/// spine. Value semantics (`Eq`, the serde wire format: a struct of `configs` and `steps`
+/// vectors with `configs.len() == steps.len() + 1`) are unchanged from the `Vec` form.
+#[derive(Clone)]
 pub struct ExtendedRun {
-    configs: Vec<BConfig>,
-    steps: Vec<Step>,
+    tip: Arc<Node>,
 }
 
 impl ExtendedRun {
     /// The length-0 run sitting at `initial`.
     pub fn new(initial: BConfig) -> ExtendedRun {
         ExtendedRun {
-            configs: vec![initial],
-            steps: Vec::new(),
+            tip: Arc::new(Node {
+                depth: 0,
+                step: None,
+                config: initial,
+                parent: None,
+            }),
         }
     }
 
-    /// Append a transition. The caller is responsible for `next` actually being a successor
-    /// of the current last configuration under `step` (the semantics modules provide checked
-    /// ways of extending runs).
+    /// Append a transition: one node allocation, sharing the whole existing spine with
+    /// every other extension of this run. The caller is responsible for `next` actually
+    /// being a successor of the current last configuration under `step` (the semantics
+    /// modules provide checked ways of extending runs).
     pub fn push(&mut self, step: Step, next: BConfig) {
-        self.steps.push(step);
-        self.configs.push(next);
+        self.tip = Arc::new(Node {
+            depth: self.tip.depth + 1,
+            step: Some(step),
+            config: next,
+            parent: Some(Arc::clone(&self.tip)),
+        });
     }
 
     /// Number of transitions taken.
     pub fn len(&self) -> usize {
-        self.steps.len()
+        self.tip.depth
     }
 
     /// Whether no transition has been taken yet.
     pub fn is_empty(&self) -> bool {
-        self.steps.is_empty()
+        self.tip.depth == 0
+    }
+
+    /// Walk the spine from the root to the tip.
+    fn nodes(&self) -> impl Iterator<Item = &Node> {
+        let mut chain = Vec::with_capacity(self.tip.depth + 1);
+        let mut current = Some(&*self.tip);
+        while let Some(node) = current {
+            chain.push(node);
+            current = node.parent.as_deref();
+        }
+        chain.into_iter().rev()
     }
 
     /// The configurations `⟨I_j, H_j, seq_j⟩`, in order (one more than the steps).
-    pub fn configs(&self) -> &[BConfig] {
-        &self.configs
+    pub fn configs(&self) -> Vec<&BConfig> {
+        self.nodes().map(|node| &node.config).collect()
     }
 
     /// The transition labels, in order.
-    pub fn steps(&self) -> &[Step] {
-        &self.steps
+    pub fn steps(&self) -> Vec<&Step> {
+        self.nodes().filter_map(|node| node.step.as_ref()).collect()
     }
 
     /// The last configuration.
     pub fn last(&self) -> &BConfig {
-        self.configs
-            .last()
-            .expect("runs always hold ≥ 1 configuration")
+        &self.tip.config
     }
 
     /// The generated run `ρ = I₀, I₁, I₂, …`: the database instances along the run.
     pub fn instances(&self) -> Vec<Instance> {
-        self.configs.iter().map(|c| c.instance().clone()).collect()
+        self.nodes()
+            .map(|node| node.config.instance().clone())
+            .collect()
     }
 
     /// The global active domain `Gadom(ρ) = ⋃_i adom(I_i)`.
     pub fn global_active_domain(&self) -> std::collections::BTreeSet<rdms_db::DataValue> {
-        self.configs
-            .iter()
-            .flat_map(|c| c.instance().active_domain())
+        self.nodes()
+            .flat_map(|node| node.config.instance().active_domain())
             .collect()
     }
 
-    /// The prefix consisting of the first `len` steps.
+    /// The prefix consisting of the first `len` steps: a walk up the spine that **shares**
+    /// the returned prefix with this run (no configuration is cloned).
     pub fn prefix(&self, len: usize) -> ExtendedRun {
         let len = len.min(self.len());
-        ExtendedRun {
-            configs: self.configs[..=len].to_vec(),
-            steps: self.steps[..len].to_vec(),
+        let mut node = &self.tip;
+        while node.depth > len {
+            node = node.parent.as_ref().expect("non-root nodes have parents");
         }
+        ExtendedRun {
+            tip: Arc::clone(node),
+        }
+    }
+
+    /// Whether `self` and `other` share their tip node (and hence their entire contents):
+    /// a constant-time *sufficient* test for equality.
+    pub fn ptr_eq(&self, other: &ExtendedRun) -> bool {
+        Arc::ptr_eq(&self.tip, &other.tip)
+    }
+}
+
+impl PartialEq for ExtendedRun {
+    /// Value equality over the `(config, step)` sequences, with two structural shortcuts:
+    /// runs of different lengths differ, and spines that become pointer-identical while
+    /// walking back (extensions of a shared prefix) are equal from there down.
+    fn eq(&self, other: &ExtendedRun) -> bool {
+        if self.tip.depth != other.tip.depth {
+            return false;
+        }
+        let mut a = &self.tip;
+        let mut b = &other.tip;
+        loop {
+            if Arc::ptr_eq(a, b) {
+                return true;
+            }
+            if a.step != b.step || a.config != b.config {
+                return false;
+            }
+            match (a.parent.as_ref(), b.parent.as_ref()) {
+                (Some(pa), Some(pb)) => {
+                    a = pa;
+                    b = pb;
+                }
+                (None, None) => return true,
+                _ => unreachable!("equal depths imply equal spine lengths"),
+            }
+        }
+    }
+}
+
+impl Eq for ExtendedRun {}
+
+impl Serialize for ExtendedRun {
+    /// Same wire shape as the previous `Vec`-backed derive: a struct with `configs` and
+    /// `steps` sequence fields.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let configs: Vec<&BConfig> = self.configs();
+        let steps: Vec<&Step> = self.steps();
+        let mut state = serializer.serialize_struct("ExtendedRun", 2)?;
+        state.serialize_field("configs", &configs)?;
+        state.serialize_field("steps", &steps)?;
+        state.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for ExtendedRun {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error;
+        let value = deserializer.into_value()?;
+        let entries = value
+            .as_map()
+            .ok_or_else(|| D::Error::custom("expected a map for struct ExtendedRun"))?;
+        let field = |name: &str| {
+            entries
+                .iter()
+                .find(|(key, _)| key == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| D::Error::custom(format!("missing field `{name}`")))
+        };
+        let configs = Vec::<BConfig>::deserialize(field("configs")?).map_err(D::Error::custom)?;
+        let steps = Vec::<Step>::deserialize(field("steps")?).map_err(D::Error::custom)?;
+        if configs.len() != steps.len() + 1 {
+            return Err(D::Error::custom(format!(
+                "an extended run holds one more configuration than steps, got {} and {}",
+                configs.len(),
+                steps.len()
+            )));
+        }
+        let mut configs = configs.into_iter();
+        let mut run = ExtendedRun::new(configs.next().expect("len >= 1 checked above"));
+        for (step, config) in steps.into_iter().zip(configs) {
+            run.push(step, config);
+        }
+        Ok(run)
     }
 }
 
 impl fmt::Debug for ExtendedRun {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "ExtendedRun ({} steps):", self.len())?;
-        write!(f, "  {}", self.configs[0].instance())?;
-        for (step, cfg) in self.steps.iter().zip(self.configs.iter().skip(1)) {
-            write!(f, "\n  --{step:?}--> {}", cfg.instance())?;
+        let mut nodes = self.nodes();
+        let root = nodes.next().expect("runs always hold ≥ 1 configuration");
+        write!(f, "  {}", root.config.instance())?;
+        for node in nodes {
+            let step = node.step.as_ref().expect("non-root nodes carry steps");
+            write!(f, "\n  --{step:?}--> {}", node.config.instance())?;
         }
         Ok(())
     }
@@ -190,6 +334,108 @@ mod tests {
         let p9 = run.prefix(9);
         assert_eq!(p9.len(), 2);
         assert_eq!(p9, run);
+        // a prefix is not a copy: it shares the run's spine
+        assert!(p9.ptr_eq(&run));
+        assert!(run.prefix(1).ptr_eq(&run.prefix(1)));
+    }
+
+    #[test]
+    fn extensions_share_the_prefix_spine_without_cloning_it() {
+        let base = two_step_run();
+        let tail = Arc::clone(&base.tip);
+
+        // two independent extensions of the same prefix
+        let mut left = base.clone();
+        let mut right = base.clone();
+        let mut c3 = base.last().clone();
+        c3.instance_mut().insert(r("R"), vec![e(3)]);
+        left.push(Step::new(0, Substitution::empty()), c3.clone());
+        right.push(Step::new(1, Substitution::empty()), c3);
+
+        // both children point at the *same* prefix nodes — nothing was deep-copied, and
+        // the original run still is that prefix
+        let parent_of = |run: &ExtendedRun| Arc::clone(run.tip.parent.as_ref().unwrap());
+        assert!(Arc::ptr_eq(&parent_of(&left), &tail));
+        assert!(Arc::ptr_eq(&parent_of(&right), &tail));
+        assert_eq!(left.prefix(2), base);
+        assert!(left.prefix(2).ptr_eq(&base));
+
+        // the siblings differ only in their tip
+        assert_ne!(left, right);
+        assert_eq!(left.len(), 3);
+        assert_eq!(right.len(), 3);
+    }
+
+    #[test]
+    fn equality_is_by_value_not_by_spine_identity() {
+        // build the same run twice from scratch: different spines, equal values
+        let a = two_step_run();
+        let b = two_step_run();
+        assert!(!a.ptr_eq(&b));
+        assert_eq!(a, b);
+        // runs of different lengths or contents differ
+        assert_ne!(a, a.prefix(1));
+        let mut c = a.clone();
+        let mut bad = a.last().clone();
+        bad.instance_mut().insert(r("R"), vec![e(99)]);
+        c.push(Step::new(0, Substitution::empty()), bad);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn serde_wire_format_matches_the_vec_representation() {
+        // the old derived impl serialised `{ configs: [...], steps: [...] }`; the
+        // persistent spine must produce the identical value tree
+        let run = two_step_run();
+        let configs: Vec<BConfig> = run.configs().into_iter().cloned().collect();
+        let steps: Vec<Step> = run.steps().into_iter().cloned().collect();
+
+        #[derive(Serialize)]
+        struct VecForm {
+            configs: Vec<BConfig>,
+            steps: Vec<Step>,
+        }
+        let via_run = serde::value::to_value(&run).unwrap();
+        let via_vecs = serde::value::to_value(&VecForm { configs, steps }).unwrap();
+        assert_eq!(via_run, via_vecs);
+
+        // and the round trip restores an equal run
+        let back = ExtendedRun::deserialize(via_run).unwrap();
+        assert_eq!(back, run);
+    }
+
+    #[test]
+    fn deserialisation_rejects_mismatched_lengths() {
+        let run = two_step_run();
+        #[derive(Serialize)]
+        struct VecForm {
+            configs: Vec<BConfig>,
+            steps: Vec<Step>,
+        }
+        let broken = VecForm {
+            configs: run.configs().into_iter().cloned().collect(),
+            steps: Vec::new(),
+        };
+        let value = serde::value::to_value(&broken).unwrap();
+        assert!(ExtendedRun::deserialize(value).is_err());
+    }
+
+    #[test]
+    fn very_deep_runs_drop_without_recursing() {
+        // the derived drop would recurse once per node and overflow the stack at this
+        // depth; the iterative `Node::drop` must tear the spine down in a loop
+        let mut run = ExtendedRun::new(BConfig::initial(Instance::new()));
+        for i in 0..200_000u64 {
+            let mut next = run.last().clone();
+            next.history_mut().insert(e(i + 1));
+            run.push(Step::new(0, Substitution::empty()), next);
+        }
+        assert_eq!(run.len(), 200_000);
+        // a clone sharing the whole spine must survive the original's drop
+        let shared = run.prefix(100_000);
+        drop(run);
+        assert_eq!(shared.len(), 100_000);
+        drop(shared);
     }
 
     #[test]

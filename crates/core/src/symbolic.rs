@@ -177,10 +177,11 @@ pub fn abstract_step(dms: &Dms, before: &BConfig, step: &Step) -> Option<Symboli
 
 /// `Abstr(ρ̂)`: the symbolic word of an extended run.
 pub fn abstraction(dms: &Dms, run: &ExtendedRun) -> Option<Vec<SymbolicLetter>> {
+    let configs = run.configs();
     run.steps()
         .iter()
         .enumerate()
-        .map(|(i, step)| abstract_step(dms, &run.configs()[i], step))
+        .map(|(i, step)| abstract_step(dms, configs[i], step))
         .collect()
 }
 

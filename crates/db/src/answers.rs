@@ -1,25 +1,30 @@
 //! Answer enumeration: `ans(Q, I)`, the set of substitutions of `Free-Vars(Q)` under which
 //! the query holds.
 //!
-//! The evaluation is a small relational-algebra style engine:
+//! The evaluation is a small relational-algebra style engine over `Rows` — flat sorted
+//! tables with one column per free variable of the query node (see the `rows` module for
+//! the representation):
 //!
-//! * positive atoms are answered by scanning and unifying against the relation's tuples,
-//! * conjunction is a natural join,
+//! * positive atoms are answered by index probes or scans, unifying each tuple straight
+//!   into the node's flat row buffer,
+//! * conjunction is a natural join (hash-partitioned above a small-product cutoff),
 //! * disjunction, negation and universal quantification fall back to active-domain
 //!   enumeration (exactly the semantics of the paper — answers are always drawn from
-//!   `adom(I)`),
+//!   `adom(I)`), realised as linear merges of sorted runs,
 //! * existential quantification is projection.
 //!
-//! The result always agrees with per-substitution evaluation via [`crate::eval::holds`];
-//! this is checked by property tests.
+//! The result always agrees with per-substitution evaluation via [`crate::eval::holds`],
+//! and with the previous `BTreeSet<Substitution>`-per-node evaluator **including the
+//! answer order**; both are checked by property tests.
 
 use crate::error::DbError;
 use crate::instance::Instance;
 use crate::query::Query;
+use crate::rows::{merge_vars, unify_tuple_into, Rows};
 use crate::substitution::Substitution;
 use crate::term::{Term, Var};
 use crate::value::DataValue;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// The answers `ans(Q, I)` of `Q` over `I`: all substitutions `σ : Free-Vars(Q) → adom(I)`
 /// (plus constants appearing in `Q`, which per Appendix F.1 are allowed to appear in answers
@@ -75,17 +80,20 @@ fn answers_with_universe(
     query: &Query,
 ) -> Result<Vec<Substitution>, DbError> {
     let rows = eval_set(instance, universe, query)?;
-    // Every row of eval_set already binds exactly the free variables (the join relies on
-    // the same invariant), so no per-row restriction is needed. The free-variable walk is
-    // itself debug-only: it allocates per call and release builds only need the rows.
+    // Every non-empty node produces rows over exactly its free variables (the join relies
+    // on the same invariant; empties may carry a truncated signature), so no per-row
+    // restriction is needed. The free-variable walk is debug-only: it allocates per call
+    // and release builds only need the rows.
     #[cfg(debug_assertions)]
     {
         let free: Vec<Var> = query.free_vars().into_iter().collect();
-        debug_assert!(rows
-            .iter()
-            .all(|row| row.len() == free.len() && free.iter().all(|&v| row.binds(v))));
+        if rows.is_empty() {
+            debug_assert!(rows.vars().iter().all(|v| free.contains(v)));
+        } else {
+            debug_assert_eq!(rows.vars(), free.as_slice());
+        }
     }
-    Ok(rows.into_iter().collect())
+    Ok(rows.substitutions())
 }
 
 /// Whether the query has at least one answer.
@@ -93,111 +101,115 @@ pub fn has_answer(instance: &Instance, query: &Query) -> Result<bool, DbError> {
     Ok(!answers(instance, query)?.is_empty())
 }
 
-/// Evaluate to the set of satisfying substitutions over `Free-Vars(query)`.
+/// Evaluate to the sorted row set over `Free-Vars(query)`.
+///
+/// Signature invariant: a **non-empty** result's columns are exactly `Free-Vars(query)`;
+/// an **empty** result may carry only a *subset* (the conjunction's short-circuit skips the
+/// un-evaluated conjunct's variable walk — the hot path for disabled action guards). Every
+/// consumer that derives a signature from a child therefore either tolerates truncated
+/// empties (join, projection, cylindrification: empty in, empty out) or recomputes the
+/// exact free variables when the child is empty (negation, universal quantification).
 fn eval_set(
     instance: &Instance,
     universe: &BTreeSet<DataValue>,
     query: &Query,
-) -> Result<BTreeSet<Substitution>, DbError> {
+) -> Result<Rows, DbError> {
     match query {
-        Query::True => Ok(BTreeSet::from([Substitution::empty()])),
+        Query::True => Ok(Rows::unit()),
         Query::Atom(rel, terms) => {
-            let mut rows = BTreeSet::new();
+            let mut vars: Vec<Var> = terms.iter().filter_map(Term::as_var).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            if vars.is_empty() {
+                // propositional or all-constant atom: {ε} iff a tuple matches
+                return Ok(if atom_holds(instance, *rel, terms) {
+                    Rows::unit()
+                } else {
+                    Rows::empty(vars)
+                });
+            }
+            let mut data = Vec::new();
             // an atom with constants is answered through a per-column index probe instead
             // of a full scan; with several bound columns the most selective one is chosen
             match probe_column(instance, *rel, terms) {
                 Probe::Empty => {}
                 Probe::At(col, value) => {
                     for tuple in instance.relation_with_value_at(*rel, col, value) {
-                        if let Some(sub) = unify_tuple(terms, tuple) {
-                            rows.insert(sub);
-                        }
+                        unify_tuple_into(&vars, terms, tuple, &mut data);
                     }
                 }
                 Probe::Scan => {
                     for tuple in instance.relation(*rel) {
-                        if let Some(sub) = unify_tuple(terms, tuple) {
-                            rows.insert(sub);
-                        }
+                        unify_tuple_into(&vars, terms, tuple, &mut data);
                     }
                 }
             }
-            Ok(rows)
+            Ok(Rows::from_unsorted(vars, data))
         }
-        Query::Eq(a, b) => {
-            let mut rows = BTreeSet::new();
-            match (a, b) {
-                (Term::Value(x), Term::Value(y)) => {
-                    if x == y {
-                        rows.insert(Substitution::empty());
-                    }
-                }
-                (Term::Var(v), Term::Value(c)) | (Term::Value(c), Term::Var(v)) => {
-                    rows.insert(Substitution::from_pairs([(*v, *c)]));
-                }
-                (Term::Var(v), Term::Var(w)) => {
-                    if v == w {
-                        for &e in universe {
-                            rows.insert(Substitution::from_pairs([(*v, e)]));
-                        }
-                    } else {
-                        for &e in universe {
-                            rows.insert(Substitution::from_pairs([(*v, e), (*w, e)]));
-                        }
-                    }
+        Query::Eq(a, b) => Ok(match (a, b) {
+            (Term::Value(x), Term::Value(y)) => {
+                if x == y {
+                    Rows::unit()
+                } else {
+                    Rows::empty(Vec::new())
                 }
             }
-            Ok(rows)
-        }
+            (Term::Var(v), Term::Value(c)) | (Term::Value(c), Term::Var(v)) => {
+                Rows::from_sorted(vec![*v], vec![*c])
+            }
+            (Term::Var(v), Term::Var(w)) => {
+                if v == w {
+                    // the universe iterates ascending, so the rows come out sorted
+                    Rows::from_sorted(vec![*v], universe.iter().copied().collect())
+                } else {
+                    let vars = merge_vars(&[*v], &[*w]);
+                    let data = universe.iter().flat_map(|&e| [e, e]).collect();
+                    Rows::from_sorted(vars, data)
+                }
+            }
+        }),
         Query::And(a, b) => {
             let left = eval_set(instance, universe, a)?;
             if left.is_empty() {
                 // a join with the empty side is empty: skip evaluating the other conjunct
-                // (action guards are conjunctions headed by a cheap enabling test, so this
-                // is the common path for disabled actions)
+                // — and its variable walk — entirely (action guards are conjunctions
+                // headed by a cheap enabling test, so this is the common, allocation-free
+                // path for disabled actions). The result's signature is truncated to the
+                // left conjunct's; see the signature invariant above.
                 return Ok(left);
             }
             let right = eval_set(instance, universe, b)?;
-            Ok(join(left, right, &a.free_vars(), &b.free_vars()))
+            Ok(left.join(right))
         }
         Query::Or(a, b) => {
             // Cylindrify both sides to the union of free variables before taking the union.
-            let free: BTreeSet<Var> = query.free_vars();
-            let left = cylindrify(
-                eval_set(instance, universe, a)?,
-                &a.free_vars(),
-                &free,
-                universe,
-            );
-            let right = cylindrify(
-                eval_set(instance, universe, b)?,
-                &b.free_vars(),
-                &free,
-                universe,
-            );
-            Ok(left.union(&right).cloned().collect())
+            let free: Vec<Var> = query.free_vars().into_iter().collect();
+            let left = eval_set(instance, universe, a)?.cylindrify(&free, universe)?;
+            let right = eval_set(instance, universe, b)?.cylindrify(&free, universe)?;
+            Ok(left.union(&right))
         }
         Query::Not(q) => {
-            // Complement within adom^free_vars.
-            let free: Vec<Var> = q.free_vars().into_iter().collect();
+            // Complement within universe^free_vars: one linear merge of two sorted runs.
             let positive = eval_set(instance, universe, q)?;
-            let mut rows = BTreeSet::new();
-            for cand in enumerate(universe, &free) {
-                if !positive.contains(&cand) {
-                    rows.insert(cand);
-                }
+            if positive.is_empty() {
+                // an empty child may carry a truncated signature; the complement is the
+                // full table over the *exact* free variables
+                let free: Vec<Var> = q.free_vars().into_iter().collect();
+                return Rows::full(universe, &free);
             }
-            Ok(rows)
+            Ok(Rows::full(universe, positive.vars())?.difference(&positive))
         }
         Query::Exists(v, q) => {
             // If the bound variable does not occur in the body, ∃v.q still requires a witness
-            // value for v, so it is false whenever the universe is empty.
-            if !q.free_vars().contains(v) && universe.is_empty() {
-                return Ok(BTreeSet::new());
+            // value for v, so it is false whenever the universe is empty. (Test the universe
+            // first: the variable check walks the query.)
+            if universe.is_empty() && !q.free_vars().contains(v) {
+                let free: Vec<Var> = q.free_vars().into_iter().collect();
+                return Ok(Rows::empty(free));
             }
             let inner = eval_set(instance, universe, q)?;
-            let keep: Vec<Var> = q.free_vars().into_iter().filter(|x| x != v).collect();
-            Ok(inner.into_iter().map(|s| s.restrict(keep.iter())).collect())
+            let keep: Vec<Var> = inner.vars().iter().copied().filter(|x| x != v).collect();
+            Ok(inner.project(&keep))
         }
         Query::Forall(v, q) => {
             // σ is an answer iff for every e in the universe, σ[v↦e] satisfies q.
@@ -207,24 +219,98 @@ fn eval_set(
                 // does not depend on v; an empty universe still yields vacuous truth).
                 if universe.is_empty() {
                     let free: Vec<Var> = q.free_vars().into_iter().collect();
-                    return Ok(enumerate(universe, &free).into_iter().collect());
+                    return Rows::full(universe, &free);
                 }
                 return eval_set(instance, universe, q);
             }
             let inner = eval_set(instance, universe, q)?;
-            let outer_vars: Vec<Var> = q.free_vars().into_iter().filter(|x| x != v).collect();
-            let mut rows = BTreeSet::new();
-            for cand in enumerate(universe, &outer_vars) {
-                let all = universe
-                    .iter()
-                    .all(|&e| inner.contains(&cand.extended(*v, e)));
-                if all {
-                    rows.insert(cand);
+            if inner.is_empty() {
+                // possibly-truncated signature: with values to cover, no assignment can
+                // (the result is empty, so a truncated signature is fine upward); over an
+                // empty universe ∀ is vacuous, which needs the exact outer variables
+                if universe.is_empty() {
+                    let outer: Vec<Var> = q.free_vars().into_iter().filter(|x| x != v).collect();
+                    return Ok(if outer.is_empty() {
+                        Rows::unit()
+                    } else {
+                        Rows::empty(outer)
+                    });
                 }
+                let outer: Vec<Var> = inner.vars().iter().copied().filter(|x| x != v).collect();
+                return Ok(Rows::empty(outer));
             }
-            Ok(rows)
+            forall_over(inner, *v, universe)
         }
     }
+}
+
+/// Whether an atom with no variables (a proposition, or all-constant columns) holds.
+fn atom_holds(instance: &Instance, rel: crate::RelName, terms: &[Term]) -> bool {
+    let matches = |tuple: &[DataValue]| {
+        tuple.len() == terms.len()
+            && terms
+                .iter()
+                .zip(tuple.iter())
+                .all(|(t, &value)| matches!(t, Term::Value(c) if *c == value))
+    };
+    match probe_column(instance, rel, terms) {
+        Probe::Empty => false,
+        Probe::At(col, value) => instance
+            .relation_with_value_at(rel, col, value)
+            .any(|tuple| matches(tuple)),
+        Probe::Scan => instance.relation(rel).any(|tuple| matches(tuple)),
+    }
+}
+
+/// Universal quantification over a column: keep the assignments of the remaining columns
+/// under which **every** universe value appears for `v`. Every cell of `inner` lies in the
+/// universe (rows are built from instance tuples and universe enumeration only), and the
+/// rows are distinct, so a group of rows agreeing on the outer columns covers the whole
+/// universe exactly when its size is `|universe|` — one sort + one linear group scan.
+fn forall_over(inner: Rows, v: Var, universe: &BTreeSet<DataValue>) -> Result<Rows, DbError> {
+    // a non-empty inner has the exact signature (see `eval_set`), and its rows draw from
+    // the universe, so the universe cannot be empty here
+    debug_assert!(!inner.is_empty() && !universe.is_empty());
+    let v_col = inner
+        .vars()
+        .binary_search(&v)
+        .expect("quantified variable is free in the body");
+    let outer: Vec<Var> = inner.vars().iter().copied().filter(|&x| x != v).collect();
+    if outer.is_empty() {
+        // rows over [v] are distinct values of v
+        return Ok(if inner.len() == universe.len() {
+            Rows::unit()
+        } else {
+            Rows::empty(Vec::new())
+        });
+    }
+    // reorder every row to (outer columns…, v) so sorting groups by the outer assignment
+    let width = inner.width();
+    let outer_width = width - 1;
+    let mut reordered: Vec<DataValue> = Vec::with_capacity(inner.len() * width);
+    for row in inner.iter() {
+        for (i, &value) in row.iter().enumerate() {
+            if i != v_col {
+                reordered.push(value);
+            }
+        }
+        reordered.push(row[v_col]);
+    }
+    let mut rows: Vec<&[DataValue]> = reordered.chunks_exact(width).collect();
+    rows.sort_unstable();
+    let mut data = Vec::new();
+    let mut at = 0;
+    while at < rows.len() {
+        let mut end = at + 1;
+        while end < rows.len() && rows[end][..outer_width] == rows[at][..outer_width] {
+            end += 1;
+        }
+        if end - at == universe.len() {
+            data.extend_from_slice(&rows[at][..outer_width]);
+        }
+        at = end;
+    }
+    Ok(Rows::from_sorted(outer, data))
 }
 
 /// How to answer an atom: provably no match, an index probe at one column, or a full scan.
@@ -262,122 +348,8 @@ fn probe_column(instance: &Instance, rel: crate::RelName, terms: &[Term]) -> Pro
     }
 }
 
-/// Match one tuple against an atom's term list, returning the induced bindings (`None` on
-/// arity or constant mismatch, or when a repeated variable meets two different values).
-fn unify_tuple(terms: &[Term], tuple: &[DataValue]) -> Option<Substitution> {
-    if tuple.len() != terms.len() {
-        return None;
-    }
-    let mut sub = Substitution::empty();
-    for (term, &value) in terms.iter().zip(tuple.iter()) {
-        match term {
-            Term::Value(c) => {
-                if *c != value {
-                    return None;
-                }
-            }
-            Term::Var(v) => match sub.get(*v) {
-                Some(prev) if prev != value => return None,
-                _ => {
-                    sub.bind(*v, value);
-                }
-            },
-        }
-    }
-    Some(sub)
-}
-
-/// The natural join of two row sets (conjunction). Every row of `eval_set(q)` binds exactly
-/// `Free-Vars(q)`, so the join can key both sides on the shared variables and probe a hash
-/// table — O(|L| + |R| + output) — instead of testing all |L|·|R| pairs for compatibility.
-/// Rows that (defensively) miss a shared binding fall back to the pairwise path.
-fn join(
-    left: BTreeSet<Substitution>,
-    right: BTreeSet<Substitution>,
-    left_vars: &BTreeSet<Var>,
-    right_vars: &BTreeSet<Var>,
-) -> BTreeSet<Substitution> {
-    // identity shortcuts: a singleton empty row (a satisfied boolean conjunct — action
-    // guards are typically `proposition ∧ query`) joins to the other side unchanged
-    if left.len() == 1 && left.iter().next().is_some_and(Substitution::is_empty) {
-        return right;
-    }
-    if right.len() == 1 && right.iter().next().is_some_and(Substitution::is_empty) {
-        return left;
-    }
-    let shared: Vec<Var> = left_vars.intersection(right_vars).copied().collect();
-    let mut rows = BTreeSet::new();
-    // tiny products (typical action guards) are faster pairwise than through a hash table
-    if shared.is_empty() || left.len().saturating_mul(right.len()) <= 64 {
-        for l in &left {
-            for rgt in &right {
-                if l.compatible(rgt) {
-                    rows.insert(l.merged(rgt));
-                }
-            }
-        }
-        return rows;
-    }
-    let key_of = |row: &Substitution| -> Option<Vec<DataValue>> {
-        shared.iter().map(|&v| row.get(v)).collect()
-    };
-    let mut by_key: HashMap<Vec<DataValue>, Vec<&Substitution>> = HashMap::new();
-    let mut unkeyed: Vec<&Substitution> = Vec::new();
-    for rgt in &right {
-        match key_of(rgt) {
-            Some(key) => by_key.entry(key).or_default().push(rgt),
-            None => unkeyed.push(rgt),
-        }
-    }
-    for l in &left {
-        match key_of(l) {
-            Some(key) => {
-                if let Some(matches) = by_key.get(&key) {
-                    for rgt in matches {
-                        // equal keys make the rows agree on every variable bound by both
-                        rows.insert(l.merged(rgt));
-                    }
-                }
-                for rgt in &unkeyed {
-                    if l.compatible(rgt) {
-                        rows.insert(l.merged(rgt));
-                    }
-                }
-            }
-            None => {
-                for rgt in &right {
-                    if l.compatible(rgt) {
-                        rows.insert(l.merged(rgt));
-                    }
-                }
-            }
-        }
-    }
-    rows
-}
-
-/// Extend every row over `from` to rows over `to ⊇ from` by enumerating the universe for the
-/// missing variables.
-fn cylindrify(
-    rows: BTreeSet<Substitution>,
-    from: &BTreeSet<Var>,
-    to: &BTreeSet<Var>,
-    universe: &BTreeSet<DataValue>,
-) -> BTreeSet<Substitution> {
-    let missing: Vec<Var> = to.difference(from).copied().collect();
-    if missing.is_empty() {
-        return rows;
-    }
-    let mut out = BTreeSet::new();
-    for row in rows {
-        for extension in enumerate(universe, &missing) {
-            out.insert(row.merged(&extension));
-        }
-    }
-    out
-}
-
-/// All substitutions of `vars` over `universe`.
+/// All substitutions of `vars` over `universe` (test oracle for the row-based evaluator).
+#[cfg(test)]
 fn enumerate(universe: &BTreeSet<DataValue>, vars: &[Var]) -> Vec<Substitution> {
     let mut result = vec![Substitution::empty()];
     for &v in vars {

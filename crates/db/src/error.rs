@@ -23,6 +23,10 @@ pub enum DbError {
     },
     /// A query was evaluated under a substitution that does not bind one of its free variables.
     UnboundVariable(Var),
+    /// Answering the query would require enumerating more candidate rows than fit in an
+    /// address space (`|universe|^variables` overflows) — the evaluation is refused
+    /// rather than silently truncated.
+    AnswerSpaceOverflow { variables: usize, universe: usize },
     /// A query string could not be parsed.
     Parse { position: usize, message: String },
 }
@@ -48,6 +52,13 @@ impl fmt::Display for DbError {
                 "relation {relation} declared with conflicting arities {first} and {second}"
             ),
             DbError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            DbError::AnswerSpaceOverflow {
+                variables,
+                universe,
+            } => write!(
+                f,
+                "enumerating {universe}^{variables} candidate rows overflows the answer space"
+            ),
             DbError::Parse { position, message } => {
                 write!(f, "parse error at offset {position}: {message}")
             }

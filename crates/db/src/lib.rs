@@ -51,6 +51,7 @@ pub mod metrics;
 pub mod parser;
 pub mod pattern;
 pub mod query;
+pub(crate) mod rows;
 pub mod schema;
 pub mod substitution;
 pub mod symbol;

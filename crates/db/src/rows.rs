@@ -1,0 +1,668 @@
+//! Sorted-row answer sets: the intermediate representation of [`crate::answers`].
+//!
+//! A [`Rows`] value is a set of substitutions that all bind exactly the same variables —
+//! the *column signature* — stored as one flat `Vec<DataValue>` in row-major order, with
+//! the rows sorted lexicographically and deduplicated. Every node of the query evaluator
+//! produces rows over `Free-Vars(node)`, so instead of a `BTreeSet<Substitution>` (one
+//! tree map allocation per row per node) the evaluator moves flat vectors around:
+//!
+//! * union / difference are linear merges of two sorted runs,
+//! * membership is a binary search,
+//! * the natural join hash-partitions on the shared columns and emits straight into the
+//!   output's flat buffer,
+//! * building from unsorted matches is one sort + dedup pass.
+//!
+//! Because the signature is kept **sorted by variable**, comparing two rows column by
+//! column is exactly the ordering `BTreeMap<Var, DataValue>` gives equal-domain
+//! substitutions — so [`Rows::substitutions`] yields answers in precisely the order the
+//! previous `BTreeSet<Substitution>` representation iterated them (pinned by the model
+//! tests; the explorer's legacy successor order depends on it).
+
+use crate::error::DbError;
+use crate::substitution::Substitution;
+use crate::term::{Term, Var};
+use crate::value::DataValue;
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+
+/// A set of equal-domain substitutions as a flat sorted table. See the module docs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Rows {
+    /// The column signature, sorted ascending and distinct.
+    vars: Vec<Var>,
+    /// Number of rows (needed explicitly: a zero-column table still distinguishes the
+    /// empty set from the singleton `{ε}`).
+    len: usize,
+    /// Row-major cell storage: `len × vars.len()` values, rows sorted lexicographically
+    /// and distinct.
+    data: Vec<DataValue>,
+}
+
+impl Rows {
+    /// The empty set of rows over the given (sorted, distinct) signature.
+    pub fn empty(vars: Vec<Var>) -> Rows {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "signature not sorted");
+        Rows {
+            vars,
+            len: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// The singleton `{ε}`: one row over no columns (a satisfied boolean query).
+    pub fn unit() -> Rows {
+        Rows {
+            vars: Vec::new(),
+            len: 1,
+            data: Vec::new(),
+        }
+    }
+
+    /// Build from possibly unsorted, possibly duplicated row data (`data.len()` must be a
+    /// multiple of the signature width): one sort + dedup pass restores the invariant.
+    ///
+    /// The signature must be non-empty — a flat buffer of zero-column rows cannot carry a
+    /// row count, so zero-column tables are built with [`Rows::unit`] / [`Rows::empty`].
+    pub fn from_unsorted(vars: Vec<Var>, data: Vec<DataValue>) -> Rows {
+        let width = vars.len();
+        assert!(width > 0, "zero-column tables are unit() or empty()");
+        debug_assert_eq!(data.len() % width, 0, "ragged row data");
+        if data.len() <= width {
+            // zero or one row is already sorted and distinct (the typical action guard:
+            // tiny relations, few answers)
+            return Rows {
+                len: data.len() / width,
+                vars,
+                data,
+            };
+        }
+        let mut rows: Vec<&[DataValue]> = data.chunks_exact(width).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        let mut packed = Vec::with_capacity(rows.len() * width);
+        for row in &rows {
+            packed.extend_from_slice(row);
+        }
+        Rows {
+            len: packed.len() / width,
+            vars,
+            data: packed,
+        }
+    }
+
+    /// Build from row data already sorted and deduplicated (callers that emit in order).
+    pub fn from_sorted(vars: Vec<Var>, data: Vec<DataValue>) -> Rows {
+        let width = vars.len();
+        // a zero-column data buffer carries no row count: treat any content as one ε row
+        let len = data
+            .len()
+            .checked_div(width)
+            .unwrap_or(usize::from(!data.is_empty()));
+        let rows = Rows { vars, len, data };
+        debug_assert!(
+            rows.iter().zip(rows.iter().skip(1)).all(|(a, b)| a < b),
+            "rows not sorted/deduplicated"
+        );
+        rows
+    }
+
+    /// The column signature (sorted ascending).
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this is the singleton `{ε}` (the identity of the natural join).
+    pub fn is_unit(&self) -> bool {
+        self.width() == 0 && self.len == 1
+    }
+
+    /// The `i`-th row.
+    #[cfg(test)]
+    pub fn row(&self, i: usize) -> &[DataValue] {
+        &self.data[i * self.width()..(i + 1) * self.width()]
+    }
+
+    /// Iterate over the rows in ascending lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &[DataValue]> + '_ {
+        let width = self.width();
+        // `chunks_exact(0)` panics; a zero-column table has `len` copies of the empty row
+        (0..self.len).map(move |i| &self.data[i * width..i * width + width])
+    }
+
+    /// Binary-search membership of a full-width row.
+    #[cfg(test)]
+    pub fn contains_row(&self, row: &[DataValue]) -> bool {
+        debug_assert_eq!(row.len(), self.width());
+        if self.width() == 0 {
+            return self.len > 0;
+        }
+        self.binary_search(row).is_ok()
+    }
+
+    #[cfg(test)]
+    fn binary_search(&self, row: &[DataValue]) -> Result<usize, usize> {
+        let width = self.width();
+        let mut lo = 0usize;
+        let mut hi = self.len;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.data[mid * width..mid * width + width].cmp(row) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// The union of two row sets over the **same** signature: a linear merge.
+    pub fn union(&self, other: &Rows) -> Rows {
+        debug_assert_eq!(self.vars, other.vars);
+        if self.width() == 0 {
+            return if self.len + other.len > 0 {
+                Rows::unit()
+            } else {
+                Rows::empty(Vec::new())
+            };
+        }
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        let mut left = self.iter().peekable();
+        let mut right = other.iter().peekable();
+        loop {
+            match (left.peek(), right.peek()) {
+                (Some(&l), Some(&r)) => match l.cmp(r) {
+                    Ordering::Less => {
+                        data.extend_from_slice(l);
+                        left.next();
+                    }
+                    Ordering::Greater => {
+                        data.extend_from_slice(r);
+                        right.next();
+                    }
+                    Ordering::Equal => {
+                        data.extend_from_slice(l);
+                        left.next();
+                        right.next();
+                    }
+                },
+                (Some(&l), None) => {
+                    data.extend_from_slice(l);
+                    left.next();
+                }
+                (None, Some(&r)) => {
+                    data.extend_from_slice(r);
+                    right.next();
+                }
+                (None, None) => break,
+            }
+        }
+        Rows::from_sorted(self.vars.clone(), data)
+    }
+
+    /// The rows of `self` not in `other` (same signature): a linear merge.
+    pub fn difference(&self, other: &Rows) -> Rows {
+        debug_assert_eq!(self.vars, other.vars);
+        if self.width() == 0 {
+            return if self.len > 0 && other.len == 0 {
+                Rows::unit()
+            } else {
+                Rows::empty(Vec::new())
+            };
+        }
+        let mut data = Vec::with_capacity(self.data.len());
+        let mut right = other.iter().peekable();
+        'rows: for l in self.iter() {
+            while let Some(&r) = right.peek() {
+                match r.cmp(l) {
+                    Ordering::Less => {
+                        right.next();
+                    }
+                    Ordering::Equal => continue 'rows,
+                    Ordering::Greater => break,
+                }
+            }
+            data.extend_from_slice(l);
+        }
+        Rows::from_sorted(self.vars.clone(), data)
+    }
+
+    /// Project onto `keep ⊆ vars` (existential quantification drops the bound column),
+    /// re-sorting and deduplicating the surviving columns.
+    pub fn project(&self, keep: &[Var]) -> Rows {
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]));
+        if keep.is_empty() {
+            // every row projects to ε
+            return if self.is_empty() {
+                Rows::empty(Vec::new())
+            } else {
+                Rows::unit()
+            };
+        }
+        let positions: Vec<usize> = keep
+            .iter()
+            .map(|v| {
+                self.vars
+                    .binary_search(v)
+                    .expect("projection variable must be a column")
+            })
+            .collect();
+        if positions.len() == self.width() {
+            return self.clone();
+        }
+        let mut data = Vec::with_capacity(self.len * positions.len());
+        for row in self.iter() {
+            data.extend(positions.iter().map(|&p| row[p]));
+        }
+        Rows::from_unsorted(keep.to_vec(), data)
+    }
+
+    /// The natural join `self ⋈ other`: rows agreeing on the shared columns, merged over
+    /// the union signature. Small products are joined pairwise; larger ones hash-partition
+    /// `other` on the shared columns and probe per left row — O(|L| + |R| + output).
+    /// Consumes both sides so the identity cases move instead of cloning.
+    pub fn join(self, other: Rows) -> Rows {
+        // identity shortcuts: `{ε}` (a satisfied boolean conjunct — action guards are
+        // typically `proposition ∧ query`) joins to the other side unchanged
+        if self.is_unit() {
+            return other;
+        }
+        if other.is_unit() {
+            return self;
+        }
+        let vars = merge_vars(&self.vars, &other.vars);
+        if self.is_empty() || other.is_empty() {
+            return Rows::empty(vars);
+        }
+        // for every output column: take it from self (negative index) or from other
+        enum Source {
+            Left(usize),
+            Right(usize),
+        }
+        let sources: Vec<Source> = vars
+            .iter()
+            .map(|v| match self.vars.binary_search(v) {
+                Ok(i) => Source::Left(i),
+                Err(_) => Source::Right(other.vars.binary_search(v).expect("merged var")),
+            })
+            .collect();
+        let shared: Vec<(usize, usize)> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| other.vars.binary_search(v).ok().map(|j| (i, j)))
+            .collect();
+        let mut data = Vec::new();
+        let mut emit = |l: &[DataValue], r: &[DataValue]| {
+            data.extend(sources.iter().map(|s| match s {
+                Source::Left(i) => l[*i],
+                Source::Right(j) => r[*j],
+            }));
+        };
+        // tiny products (typical action guards) are faster pairwise than through a table
+        if shared.is_empty() || self.len.saturating_mul(other.len) <= 64 {
+            for l in self.iter() {
+                for r in other.iter() {
+                    if shared.iter().all(|&(i, j)| l[i] == r[j]) {
+                        emit(l, r);
+                    }
+                }
+            }
+        } else {
+            let mut by_key: std::collections::HashMap<Vec<DataValue>, Vec<&[DataValue]>> =
+                std::collections::HashMap::new();
+            for r in other.iter() {
+                let key: Vec<DataValue> = shared.iter().map(|&(_, j)| r[j]).collect();
+                by_key.entry(key).or_default().push(r);
+            }
+            for l in self.iter() {
+                let key: Vec<DataValue> = shared.iter().map(|&(i, _)| l[i]).collect();
+                if let Some(matches) = by_key.get(&key) {
+                    for r in matches {
+                        emit(l, r);
+                    }
+                }
+            }
+        }
+        Rows::from_unsorted(vars, data)
+    }
+
+    /// Extend every row over the columns in `to ⊇ vars` by enumerating `universe` for the
+    /// missing columns (cylindrification, for disjunction). Fails like [`Rows::full`] when
+    /// the extension space overflows.
+    pub fn cylindrify(self, to: &[Var], universe: &BTreeSet<DataValue>) -> Result<Rows, DbError> {
+        debug_assert!(to.windows(2).all(|w| w[0] < w[1]));
+        if to == self.vars.as_slice() {
+            return Ok(self);
+        }
+        if self.is_empty() {
+            // nothing to extend — and this restores the exact signature on empties that
+            // carry a truncated one (see the `eval_set` signature invariant)
+            return Ok(Rows::empty(to.to_vec()));
+        }
+        let missing: Vec<Var> = to
+            .iter()
+            .copied()
+            .filter(|v| self.vars.binary_search(v).is_err())
+            .collect();
+        let full = Rows::full(universe, &missing)?;
+        Ok(self.join(full))
+    }
+
+    /// All `|universe|^k` rows over the given (sorted, distinct) signature, in order.
+    ///
+    /// Refuses with [`DbError::AnswerSpaceOverflow`] when the row count (or the cell
+    /// count) does not fit a `usize` — an unchecked multiply would wrap in release
+    /// builds and make the complement/∀ evaluations silently drop answers.
+    pub fn full(universe: &BTreeSet<DataValue>, vars: &[Var]) -> Result<Rows, DbError> {
+        if vars.is_empty() {
+            return Ok(Rows::unit());
+        }
+        let uni: Vec<DataValue> = universe.iter().copied().collect();
+        if uni.is_empty() {
+            return Ok(Rows::empty(vars.to_vec()));
+        }
+        let width = vars.len();
+        let overflow = || DbError::AnswerSpaceOverflow {
+            variables: width,
+            universe: uni.len(),
+        };
+        let count = uni
+            .len()
+            .checked_pow(u32::try_from(width).map_err(|_| overflow())?)
+            .ok_or_else(overflow)?;
+        let cells = count.checked_mul(width).ok_or_else(overflow)?;
+        let mut data = Vec::with_capacity(cells);
+        let mut odometer = vec![0usize; width];
+        for _ in 0..count {
+            data.extend(odometer.iter().map(|&i| uni[i]));
+            // increment least-significant-last, so rows come out in lexicographic order
+            for digit in (0..width).rev() {
+                odometer[digit] += 1;
+                if odometer[digit] < uni.len() {
+                    break;
+                }
+                odometer[digit] = 0;
+            }
+        }
+        Ok(Rows::from_sorted(vars.to_vec(), data))
+    }
+
+    /// The rows as substitutions, in row order — identical to the iteration order of the
+    /// `BTreeSet<Substitution>` this representation replaced (see the module docs).
+    pub fn substitutions(&self) -> Vec<Substitution> {
+        self.iter()
+            .map(|row| Substitution::from_pairs(self.vars.iter().copied().zip(row.iter().copied())))
+            .collect()
+    }
+}
+
+/// Merge two sorted signatures into their sorted union.
+pub(crate) fn merge_vars(a: &[Var], b: &[Var]) -> Vec<Var> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                out.push(x);
+                i += 1;
+            }
+            (Some(_), Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (Some(&x), None) => {
+                out.push(x);
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    out
+}
+
+/// Match one tuple against an atom's term list over the atom's (sorted) signature,
+/// appending the bound values in signature order to `out` on success. Returns `false` on
+/// arity or constant mismatch, or when a repeated variable meets two different values
+/// (nothing is appended then).
+pub(crate) fn unify_tuple_into(
+    vars: &[Var],
+    terms: &[Term],
+    tuple: &[DataValue],
+    out: &mut Vec<DataValue>,
+) -> bool {
+    if tuple.len() != terms.len() {
+        return false;
+    }
+    debug_assert!(vars.len() <= 64, "atom arity bounds the signature width");
+    let base = out.len();
+    out.resize(base + vars.len(), DataValue(0));
+    // which columns are bound so far, as a bitmask (arities are tiny; no per-call buffer)
+    let mut bound = 0u64;
+    for (term, &value) in terms.iter().zip(tuple.iter()) {
+        match term {
+            Term::Value(c) => {
+                if *c != value {
+                    out.truncate(base);
+                    return false;
+                }
+            }
+            Term::Var(v) => {
+                let col = vars.binary_search(v).expect("atom variable is a column");
+                if bound & (1 << col) != 0 && out[base + col] != value {
+                    out.truncate(base);
+                    return false;
+                }
+                bound |= 1 << col;
+                out[base + col] = value;
+            }
+        }
+    }
+    debug_assert_eq!(
+        bound.count_ones() as usize,
+        vars.len(),
+        "every column bound by the atom"
+    );
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+    fn e(i: u64) -> DataValue {
+        DataValue::e(i)
+    }
+
+    fn rows(vars: &[Var], rows: &[&[u64]]) -> Rows {
+        let data = rows.iter().flat_map(|r| r.iter().map(|&i| e(i))).collect();
+        Rows::from_unsorted(vars.to_vec(), data)
+    }
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let u = v("u");
+        let w = v("w");
+        let t = rows(&[u, w], &[&[2, 1], &[1, 1], &[2, 1], &[1, 2]]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.row(0), &[e(1), e(1)]);
+        assert_eq!(t.row(1), &[e(1), e(2)]);
+        assert_eq!(t.row(2), &[e(2), e(1)]);
+        assert!(t.contains_row(&[e(2), e(1)]));
+        assert!(!t.contains_row(&[e(2), e(2)]));
+    }
+
+    #[test]
+    fn zero_column_tables_distinguish_empty_from_unit() {
+        let empty = Rows::empty(Vec::new());
+        let unit = Rows::unit();
+        assert!(empty.is_empty());
+        assert!(unit.is_unit());
+        assert_ne!(empty, unit);
+        assert_eq!(unit.substitutions(), vec![Substitution::empty()]);
+        assert!(empty.substitutions().is_empty());
+        // projecting away every column collapses to ε-rows without losing the count
+        let t = rows(&[v("u")], &[&[1], &[2]]);
+        assert!(t.project(&[]).is_unit());
+        assert!(Rows::empty(vec![v("u")]).project(&[]).is_empty());
+    }
+
+    #[test]
+    fn union_and_difference_are_set_operations() {
+        let u = v("u");
+        let a = rows(&[u], &[&[1], &[3], &[5]]);
+        let b = rows(&[u], &[&[2], &[3], &[4]]);
+        let both = a.union(&b);
+        assert_eq!(
+            both.iter().map(|r| r[0]).collect::<Vec<_>>(),
+            vec![e(1), e(2), e(3), e(4), e(5)]
+        );
+        let only_a = a.difference(&b);
+        assert_eq!(
+            only_a.iter().map(|r| r[0]).collect::<Vec<_>>(),
+            vec![e(1), e(5)]
+        );
+    }
+
+    #[test]
+    fn join_merges_on_shared_columns() {
+        let (x, y, z) = (v("x"), v("y"), v("z"));
+        let left = rows(&[x, y], &[&[1, 2], &[3, 4]]);
+        let right = rows(&[y, z], &[&[2, 9], &[2, 8], &[5, 7]]);
+        let joined = left.clone().join(right.clone());
+        assert_eq!(joined.vars(), &[x, y, z]);
+        assert_eq!(joined.len(), 2);
+        assert_eq!(joined.row(0), &[e(1), e(2), e(8)]);
+        assert_eq!(joined.row(1), &[e(1), e(2), e(9)]);
+        // the unit is the identity
+        assert_eq!(Rows::unit().join(left.clone()), left);
+        assert_eq!(left.clone().join(Rows::unit()), left);
+        // joining with an empty side is empty over the union signature
+        let nothing = left.clone().join(Rows::empty(vec![z]));
+        assert!(nothing.is_empty());
+        assert_eq!(nothing.vars(), &[x, y, z]);
+    }
+
+    #[test]
+    fn hash_and_pairwise_joins_agree() {
+        let (x, y, z) = (v("x"), v("y"), v("z"));
+        // > 64 pairs forces the hash path; compare against the pairwise result
+        let left_rows: Vec<Vec<u64>> = (0..12).map(|i| vec![i, i % 3]).collect();
+        let right_rows: Vec<Vec<u64>> = (0..12).map(|i| vec![i % 3, 100 + i]).collect();
+        let left = rows(
+            &[x, y],
+            &left_rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>(),
+        );
+        let right = rows(
+            &[y, z],
+            &right_rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>(),
+        );
+        let joined = left.clone().join(right.clone());
+        let mut expected = Vec::new();
+        for l in left.iter() {
+            for r in right.iter() {
+                if l[1] == r[0] {
+                    expected.extend_from_slice(&[l[0], l[1], r[1]]);
+                }
+            }
+        }
+        assert_eq!(joined, Rows::from_unsorted(vec![x, y, z], expected));
+    }
+
+    #[test]
+    fn full_enumerates_in_order_and_projection_drops_columns() {
+        let (x, y) = (v("x"), v("y"));
+        let universe = BTreeSet::from([e(1), e(2), e(3)]);
+        let all = Rows::full(&universe, &[x, y]).unwrap();
+        assert_eq!(all.len(), 9);
+        assert_eq!(all.row(0), &[e(1), e(1)]);
+        assert_eq!(all.row(8), &[e(3), e(3)]);
+        let firsts = all.project(&[x]);
+        assert_eq!(firsts.len(), 3);
+        assert_eq!(firsts.vars(), &[x]);
+        // cylindrifying back re-creates the full table
+        assert_eq!(firsts.cylindrify(&[x, y], &universe).unwrap(), all);
+    }
+
+    #[test]
+    fn infeasible_enumerations_are_refused_not_truncated() {
+        // 2^70 rows overflows any usize: `full` must error out instead of wrapping the
+        // count in release builds and silently answering from a truncated table
+        let universe = BTreeSet::from([e(1), e(2)]);
+        let vars: Vec<Var> = (0..70).map(|i| Var::numbered("x", i)).collect();
+        let err = Rows::full(&universe, &vars).unwrap_err();
+        assert!(matches!(err, DbError::AnswerSpaceOverflow { .. }));
+        assert!(err.to_string().contains("2^70"));
+    }
+
+    #[test]
+    fn substitutions_come_out_in_btreeset_order() {
+        let (x, y) = (v("x"), v("y"));
+        let t = rows(&[x, y], &[&[2, 1], &[1, 2], &[1, 1]]);
+        let subs = t.substitutions();
+        let via_set: Vec<Substitution> = subs
+            .iter()
+            .cloned()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        assert_eq!(subs, via_set, "row order must equal BTreeSet order");
+    }
+
+    #[test]
+    fn unify_tuple_respects_constants_and_repeated_variables() {
+        let u = v("u");
+        let terms = [Term::Var(u), Term::Value(e(7)), Term::Var(u)];
+        let mut out = Vec::new();
+        assert!(unify_tuple_into(
+            &[u],
+            &terms,
+            &[e(3), e(7), e(3)],
+            &mut out
+        ));
+        assert_eq!(out, vec![e(3)]);
+        // repeated variable with two different values
+        assert!(!unify_tuple_into(
+            &[u],
+            &terms,
+            &[e(3), e(7), e(4)],
+            &mut out
+        ));
+        // constant mismatch
+        assert!(!unify_tuple_into(
+            &[u],
+            &terms,
+            &[e(3), e(8), e(3)],
+            &mut out
+        ));
+        // arity mismatch
+        assert!(!unify_tuple_into(&[u], &terms, &[e(3), e(7)], &mut out));
+        assert_eq!(out, vec![e(3)], "failed unifications must not append");
+    }
+}
