@@ -117,19 +117,43 @@ fn check(json_dir: &Path, baseline_path: &Path) -> Result<bool, String> {
                 .map_err(|e| format!("cannot write {step_summary}: {e}"))?;
         }
     }
+    for entry in &report.ratios {
+        match entry.ratio {
+            Some(ratio) if entry.passed() => println!(
+                "ok         {} vs {}: {ratio:.2}x (ratio ceiling {:.2}x)",
+                entry.id, entry.vs, entry.max
+            ),
+            Some(ratio) => println!(
+                "RATIO      {} vs {}: {ratio:.2}x exceeds the committed {:.2}x ceiling",
+                entry.id, entry.vs, entry.max
+            ),
+            None => println!(
+                "RATIO      {} vs {}: not measured this run — the lock cannot be checked",
+                entry.id, entry.vs
+            ),
+        }
+    }
     let regressions = report.regressions();
-    if regressions.is_empty() {
+    let ratio_failures = report.ratio_failures();
+    if report.passed() {
         println!(
-            "bench gate passed: {} benchmarks within +{:.0}%",
+            "bench gate passed: {} benchmarks within +{:.0}%, {} ratio ceiling(s) held",
             report.entries.len(),
-            (baseline.threshold - 1.0) * 100.0
+            (baseline.threshold - 1.0) * 100.0,
+            report.ratios.len()
         );
         Ok(true)
     } else {
+        let mut failed: Vec<String> = regressions.iter().map(|id| id.to_string()).collect();
+        failed.extend(
+            ratio_failures
+                .iter()
+                .map(|r| format!("{} vs {}", r.id, r.vs)),
+        );
         println!(
             "bench gate FAILED: {} regression(s): {}",
-            regressions.len(),
-            regressions.join(", ")
+            failed.len(),
+            failed.join(", ")
         );
         Ok(false)
     }
@@ -137,26 +161,27 @@ fn check(json_dir: &Path, baseline_path: &Path) -> Result<bool, String> {
 
 fn write_baseline(json_dir: &Path, out: &Path, threshold: f64) -> Result<(), String> {
     let summaries = load_summaries(json_dir)?;
-    // ceilings are committed policy, not measurements: carry them over from the baseline
-    // being replaced so a refresh cannot silently drop a locked-in win. Only a genuinely
-    // absent file means "no previous ceilings" — any other read error must abort, or a
-    // transient I/O failure would quietly disable the directional gates.
-    let ceilings = match std::fs::read_to_string(out) {
+    // ceilings and ratio ceilings are committed policy, not measurements: carry them over
+    // from the baseline being replaced so a refresh cannot silently drop a locked-in win.
+    // Only a genuinely absent file means "no previous ceilings" — any other read error must
+    // abort, or a transient I/O failure would quietly disable the directional gates.
+    let (ceilings, ratios) = match std::fs::read_to_string(out) {
         Ok(previous) => {
-            gate::parse_baseline(&previous)
-                .map_err(|e| format!("existing {} is invalid: {e}", out.display()))?
-                .ceilings
+            let previous = gate::parse_baseline(&previous)
+                .map_err(|e| format!("existing {} is invalid: {e}", out.display()))?;
+            (previous.ceilings, previous.ratios)
         }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Default::default(),
         Err(e) => return Err(format!("cannot read existing {}: {e}", out.display())),
     };
-    let rendered = gate::render_baseline(&summaries, threshold, &ceilings);
+    let rendered = gate::render_baseline(&summaries, threshold, &ceilings, &ratios);
     std::fs::write(out, rendered).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     println!(
-        "wrote baseline {} from {} suite(s) ({} ceiling(s) preserved)",
+        "wrote baseline {} from {} suite(s) ({} ceiling(s), {} ratio ceiling(s) preserved)",
         out.display(),
         summaries.len(),
-        ceilings.len()
+        ceilings.len(),
+        ratios.len()
     );
     Ok(())
 }

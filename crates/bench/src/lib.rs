@@ -36,6 +36,44 @@ pub mod gate {
         /// the slow path fails the gate even across ordinary baseline refreshes. Unlike
         /// `benchmarks`, a ceiling applies regardless of the relative threshold.
         pub ceilings: BTreeMap<String, f64>,
+        /// Benchmark id → **relative** upper bound against *another benchmark measured in
+        /// the same run*. Where `ceilings` pin absolute (machine-specific) nanoseconds,
+        /// a ratio ceiling pins a machine-independent relationship — e.g. "checking with
+        /// certificate emission on must stay within 25% of emission off" — and therefore
+        /// survives runner-hardware changes and baseline refreshes unscaled.
+        pub ratios: BTreeMap<String, RatioCeiling>,
+    }
+
+    /// A relative ceiling: the keyed benchmark's mean must stay below
+    /// `mean(vs) × max`, both measured in the same run.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct RatioCeiling {
+        /// The benchmark id to divide by.
+        pub vs: String,
+        /// The maximum allowed ratio (`1.25` = at most 25% slower than `vs`).
+        pub max: f64,
+    }
+
+    /// The outcome of one ratio-ceiling rule: `id` vs `vs`, the measured ratio (`None`
+    /// when either side was not measured — which fails the gate, otherwise a missing
+    /// suite would silently disable the lock), and the committed maximum.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct RatioEntry {
+        /// The constrained benchmark id.
+        pub id: String,
+        /// The reference benchmark id.
+        pub vs: String,
+        /// `mean(id) / mean(vs)` measured this run, if both sides were measured.
+        pub ratio: Option<f64>,
+        /// The committed maximum ratio.
+        pub max: f64,
+    }
+
+    impl RatioEntry {
+        /// Whether this rule passes (both sides measured and within the bound).
+        pub fn passed(&self) -> bool {
+            self.ratio.is_some_and(|r| r <= self.max)
+        }
     }
 
     /// The verdict for one measured benchmark.
@@ -57,6 +95,8 @@ pub mod gate {
     pub struct Report {
         /// `(benchmark id, measured mean ns, verdict)` for every measured benchmark.
         pub entries: Vec<(String, f64, Verdict)>,
+        /// One entry per ratio-ceiling rule in the baseline.
+        pub ratios: Vec<RatioEntry>,
     }
 
     impl Report {
@@ -69,9 +109,14 @@ pub mod gate {
                 .collect()
         }
 
+        /// Ratio-ceiling rules that fail the gate.
+        pub fn ratio_failures(&self) -> Vec<&RatioEntry> {
+            self.ratios.iter().filter(|r| !r.passed()).collect()
+        }
+
         /// Whether the gate passes.
         pub fn passed(&self) -> bool {
-            self.regressions().is_empty()
+            self.regressions().is_empty() && self.ratio_failures().is_empty()
         }
     }
 
@@ -136,10 +181,27 @@ pub mod gate {
                 ceilings.insert(id.clone(), max);
             }
         }
+        let mut ratios = BTreeMap::new();
+        if let Some(raw) = field(&value, "ratios").and_then(Value::as_map) {
+            for (id, rule) in raw {
+                let vs = field(rule, "vs")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("ratio entry {id} is missing \"vs\""))?
+                    .to_owned();
+                let max = field(rule, "max")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("ratio entry {id} is missing numeric \"max\""))?;
+                if max <= 0.0 {
+                    return Err(format!("ratio entry {id} must have a positive max"));
+                }
+                ratios.insert(id.clone(), RatioCeiling { vs, max });
+            }
+        }
         Ok(Baseline {
             threshold,
             benchmarks,
             ceilings,
+            ratios,
         })
     }
 
@@ -171,6 +233,22 @@ pub mod gate {
                 };
                 report.entries.push((id.clone(), *measured, verdict));
             }
+        }
+        let measured: BTreeMap<&str, f64> = summaries
+            .iter()
+            .flat_map(|s| s.benchmarks.iter().map(|(id, mean)| (id.as_str(), *mean)))
+            .collect();
+        for (id, rule) in &baseline.ratios {
+            let ratio = match (measured.get(id.as_str()), measured.get(rule.vs.as_str())) {
+                (Some(&num), Some(&den)) if den > 0.0 => Some(num / den),
+                _ => None,
+            };
+            report.ratios.push(RatioEntry {
+                id: id.clone(),
+                vs: rule.vs.clone(),
+                ratio,
+                max: rule.max,
+            });
         }
         report
     }
@@ -225,16 +303,32 @@ pub mod gate {
                 ceiling.map_or_else(|| "—".to_owned(), |&c| format_ns(c)),
             ));
         }
+        if !report.ratios.is_empty() {
+            out.push_str("\n| Ratio ceiling | Measured | Max | Status |\n");
+            out.push_str("|---|---:|---:|---|\n");
+            for entry in &report.ratios {
+                let measured = entry
+                    .ratio
+                    .map_or_else(|| "not measured".to_owned(), |r| format!("{r:.2}×"));
+                let status = if entry.passed() { "ok" } else { "**FAILED**" };
+                out.push_str(&format!(
+                    "| `{}` vs `{}` | {measured} | {:.2}× | {status} |\n",
+                    entry.id, entry.vs, entry.max
+                ));
+            }
+        }
         out
     }
 
     /// Merge summaries into the baseline JSON text (used to (re)generate
-    /// `benches/baseline.json` after an intentional performance change). `ceilings` are
-    /// policy, not measurements — pass the previous baseline's so a refresh preserves them.
+    /// `benches/baseline.json` after an intentional performance change). `ceilings` and
+    /// `ratios` are policy, not measurements — pass the previous baseline's so a refresh
+    /// preserves them.
     pub fn render_baseline(
         summaries: &[Summary],
         threshold: f64,
         ceilings: &BTreeMap<String, f64>,
+        ratios: &BTreeMap<String, RatioCeiling>,
     ) -> String {
         let mut merged: BTreeMap<&str, f64> = BTreeMap::new();
         for summary in summaries {
@@ -260,6 +354,19 @@ pub mod gate {
                     out.push(',');
                 }
                 out.push_str(&format!("\n    \"{id}\": {max:.1}"));
+            }
+            out.push_str("\n  }");
+        }
+        if !ratios.is_empty() {
+            out.push_str(",\n  \"ratios\": {");
+            for (i, (id, rule)) in ratios.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n    \"{id}\": {{\"vs\": \"{}\", \"max\": {}}}",
+                    rule.vs, rule.max
+                ));
             }
             out.push_str("\n  }");
         }
@@ -329,11 +436,17 @@ pub mod gate {
         #[test]
         fn baseline_round_trips_through_render() {
             let summary = parse_summary(SUMMARY).unwrap();
-            let rendered = render_baseline(std::slice::from_ref(&summary), 1.25, &BTreeMap::new());
+            let rendered = render_baseline(
+                std::slice::from_ref(&summary),
+                1.25,
+                &BTreeMap::new(),
+                &BTreeMap::new(),
+            );
             let parsed = parse_baseline(&rendered).unwrap();
             assert_eq!(parsed.threshold, 1.25);
             assert_eq!(parsed.benchmarks.len(), 3);
             assert!(parsed.ceilings.is_empty());
+            assert!(parsed.ratios.is_empty());
             // a fresh run measured identically passes against its own baseline
             assert!(compare(&parsed, &[summary]).passed());
         }
@@ -425,13 +538,82 @@ pub mod gate {
         }
 
         #[test]
-        fn render_preserves_ceilings() {
+        fn render_preserves_ceilings_and_ratios() {
             let summary = parse_summary(SUMMARY).unwrap();
             let ceilings = BTreeMap::from([("e1_recency_sweep/example_3_1/1".to_owned(), 1500.0)]);
-            let rendered = render_baseline(std::slice::from_ref(&summary), 1.25, &ceilings);
+            let ratios = BTreeMap::from([(
+                "e1_recency_sweep/example_3_1/2".to_owned(),
+                RatioCeiling {
+                    vs: "e1_recency_sweep/example_3_1/1".to_owned(),
+                    max: 3.0,
+                },
+            )]);
+            let rendered =
+                render_baseline(std::slice::from_ref(&summary), 1.25, &ceilings, &ratios);
             let parsed = parse_baseline(&rendered).unwrap();
             assert_eq!(parsed.ceilings, ceilings);
+            assert_eq!(parsed.ratios, ratios);
             assert!(compare(&parsed, &[summary]).passed());
+        }
+
+        #[test]
+        fn ratio_ceilings_bound_one_benchmark_against_another() {
+            // 2600 / 1000 = 2.6: within a 3.0× ratio ceiling, above a 2.0× one
+            let lenient = parse_baseline(
+                r#"{
+                    "threshold": 1.25,
+                    "benchmarks": {},
+                    "ratios": {
+                        "e1_recency_sweep/example_3_1/2":
+                            {"vs": "e1_recency_sweep/example_3_1/1", "max": 3.0}
+                    }
+                }"#,
+            )
+            .unwrap();
+            let report = compare(&lenient, &[parse_summary(SUMMARY).unwrap()]);
+            assert!(report.passed());
+            assert_eq!(report.ratios.len(), 1);
+            assert!((report.ratios[0].ratio.unwrap() - 2.6).abs() < 1e-9);
+
+            let strict = parse_baseline(
+                r#"{
+                    "threshold": 1.25,
+                    "benchmarks": {},
+                    "ratios": {
+                        "e1_recency_sweep/example_3_1/2":
+                            {"vs": "e1_recency_sweep/example_3_1/1", "max": 2.0}
+                    }
+                }"#,
+            )
+            .unwrap();
+            let report = compare(&strict, &[parse_summary(SUMMARY).unwrap()]);
+            assert!(!report.passed());
+            assert_eq!(report.ratio_failures().len(), 1);
+            assert!(render_markdown(&strict, &report).contains("**FAILED**"));
+
+            // a rule whose reference was never measured must fail, not silently pass
+            let dangling = parse_baseline(
+                r#"{
+                    "threshold": 1.25,
+                    "benchmarks": {},
+                    "ratios": {
+                        "e1_recency_sweep/example_3_1/2": {"vs": "not_measured", "max": 2.0}
+                    }
+                }"#,
+            )
+            .unwrap();
+            let report = compare(&dangling, &[parse_summary(SUMMARY).unwrap()]);
+            assert!(!report.passed());
+            assert_eq!(report.ratio_failures()[0].ratio, None);
+
+            // malformed rules are rejected at parse time
+            assert!(
+                parse_baseline(r#"{"benchmarks": {}, "ratios": {"a": {"max": 2.0}}}"#).is_err()
+            );
+            assert!(parse_baseline(
+                r#"{"benchmarks": {}, "ratios": {"a": {"vs": "b", "max": 0.0}}}"#
+            )
+            .is_err());
         }
     }
 }

@@ -1,0 +1,163 @@
+//! Content digests and the Merkle-style commitment over the explored state set.
+//!
+//! The digest is 64-bit FNV-1a over a length-prefixed encoding of the instance. It is a
+//! *content* hash, not a cryptographic one: certificates defend against accidental
+//! corruption and against an engine bug silently changing a state, not against an adversary
+//! engineering collisions. The encoding is part of the wire specification — the engine
+//! streams it over its own representation while recording, and the verifier recomputes it
+//! from [`InstanceData`]; both sides iterate relations in ascending name order and tuples in
+//! ascending lexicographic order, so the digests agree byte for byte.
+
+use crate::wire::InstanceData;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64 hasher. Public so the engine side can stream the instance
+/// encoding without first materialising an [`InstanceData`].
+#[derive(Clone, Debug)]
+pub struct Hasher(u64);
+
+impl Hasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Hasher {
+        Hasher(FNV_OFFSET)
+    }
+
+    /// Absorb one byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.0 = (self.0 ^ byte as u64).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Absorb raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorb a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher::new()
+    }
+}
+
+/// The digest of a relational instance.
+///
+/// Encoding: the number of relations, then per relation (ascending name order) the name
+/// bytes, a `0xFF` terminator, the tuple count, and per tuple (ascending order) its length
+/// followed by its values, all integers as little-endian `u64`.
+pub fn instance_digest(instance: &InstanceData) -> u64 {
+    let mut h = Hasher::new();
+    h.write_u64(instance.len() as u64);
+    for (rel, tuples) in instance {
+        h.write_bytes(rel.as_bytes());
+        h.write_u8(0xFF);
+        h.write_u64(tuples.len() as u64);
+        for tuple in tuples {
+            h.write_u64(tuple.len() as u64);
+            for &v in tuple {
+                h.write_u64(v);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Combine two digests into a parent node digest. The `0x01` tag domain-separates interior
+/// nodes from the leaf digests themselves.
+fn combine(left: u64, right: u64) -> u64 {
+    let mut h = Hasher::new();
+    h.write_u8(0x01);
+    h.write_u64(left);
+    h.write_u64(right);
+    h.finish()
+}
+
+/// The Merkle-style commitment over a set of state digests.
+///
+/// The leaves are the digests sorted ascending; levels are built by combining adjacent
+/// pairs (an odd last leaf is promoted unchanged) until one root remains. The empty set
+/// commits to a fixed tag value.
+pub fn merkle_root(digests: &[u64]) -> u64 {
+    let mut level: Vec<u64> = digests.to_vec();
+    level.sort_unstable();
+    if level.is_empty() {
+        let mut h = Hasher::new();
+        h.write_bytes(b"rdms-cert-empty");
+        return h.finish();
+    }
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            next.push(match pair {
+                [l, r] => combine(*l, *r),
+                [odd] => *odd,
+                _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+            });
+        }
+        level = next;
+    }
+    level[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn inst(facts: &[(&str, &[&[u64]])]) -> InstanceData {
+        facts
+            .iter()
+            .map(|(rel, tuples)| {
+                (
+                    rel.to_string(),
+                    tuples.iter().map(|t| t.to_vec()).collect::<BTreeSet<_>>(),
+                )
+            })
+            .collect::<BTreeMap<_, _>>()
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let a = inst(&[("R", &[&[1, 2], &[3, 4]]), ("p", &[&[]])]);
+        let b = inst(&[("p", &[&[]]), ("R", &[&[3, 4], &[1, 2]])]);
+        // same content in any insertion order → same digest
+        assert_eq!(instance_digest(&a), instance_digest(&b));
+        // any content change → different digest
+        let c = inst(&[("R", &[&[1, 2], &[3, 5]]), ("p", &[&[]])]);
+        assert_ne!(instance_digest(&a), instance_digest(&c));
+        let d = inst(&[("R", &[&[1, 2], &[3, 4]])]);
+        assert_ne!(instance_digest(&a), instance_digest(&d));
+    }
+
+    #[test]
+    fn digest_distinguishes_tuple_boundaries() {
+        // R = {(1,2)} vs R = {(1),(2)} — flattened values are identical, the length
+        // prefixes must separate them
+        let joined = inst(&[("R2", &[&[1, 2]])]);
+        let split = inst(&[("R2", &[&[1], &[2]])]);
+        assert_ne!(instance_digest(&joined), instance_digest(&split));
+    }
+
+    #[test]
+    fn merkle_root_is_order_insensitive_and_tamper_sensitive() {
+        let root = merkle_root(&[10, 20, 30, 40, 50]);
+        assert_eq!(root, merkle_root(&[50, 30, 10, 40, 20]));
+        assert_ne!(root, merkle_root(&[10, 20, 30, 40]));
+        assert_ne!(root, merkle_root(&[10, 20, 30, 40, 51]));
+        assert_ne!(merkle_root(&[]), merkle_root(&[0]));
+        assert_eq!(merkle_root(&[7]), 7);
+    }
+}

@@ -1,0 +1,582 @@
+//! Formula evaluation over wire instances.
+//!
+//! Two evaluators, both mirroring the engine's semantics node for node:
+//!
+//! * [`holds`] — boolean satisfaction under a substitution, quantifiers ranging over the
+//!   instance's active domain (the engine's `rdms_db::eval::holds`). Used for guard checks
+//!   during witness replay and for the invariant itself.
+//! * [`eval_set`] — the full answer set of a formula over an explicit universe (the
+//!   engine's `rdms_db::answers` evaluator). Used to enumerate guard answers when
+//!   recomputing the successors of a committed state; the relational (join/project)
+//!   evaluation keeps safety verification tractable where naive assignment enumeration
+//!   would not be.
+//!
+//! The per-node semantics — including the corner cases around empty universes, truncated
+//! signatures of empty intermediate results, and quantified variables that do not occur in
+//! the body — are deliberately byte-for-byte translations of the engine's, because a
+//! certificate only verifies when both sides compute the *same* successor sets.
+
+use crate::verify::VerifyError;
+use crate::wire::{Formula, InstanceData, PatTerm};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Whether `formula` holds in `instance` under the bindings in `base`, quantifiers ranging
+/// over `adom`. Unbound free variables are an error (certificates validate formulas as
+/// closed or guard-shaped before evaluating, so this only fires on malformed input).
+pub(crate) fn holds(
+    instance: &InstanceData,
+    adom: &BTreeSet<u64>,
+    base: &BTreeMap<String, u64>,
+    formula: &Formula,
+) -> Result<bool, VerifyError> {
+    let mut stack = Vec::new();
+    holds_rec(instance, adom, base, &mut stack, formula)
+}
+
+fn lookup(
+    stack: &[(String, u64)],
+    base: &BTreeMap<String, u64>,
+    var: &str,
+) -> Result<u64, VerifyError> {
+    // innermost quantifier binding first (shadowing), then the base substitution
+    for (v, value) in stack.iter().rev() {
+        if v == var {
+            return Ok(*value);
+        }
+    }
+    base.get(var)
+        .copied()
+        .ok_or_else(|| VerifyError::UnboundVariable(var.to_string()))
+}
+
+fn resolve(
+    term: &PatTerm,
+    stack: &[(String, u64)],
+    base: &BTreeMap<String, u64>,
+) -> Result<u64, VerifyError> {
+    match term {
+        PatTerm::Value(c) => Ok(*c),
+        PatTerm::Var(v) => lookup(stack, base, v),
+    }
+}
+
+fn holds_rec(
+    instance: &InstanceData,
+    adom: &BTreeSet<u64>,
+    base: &BTreeMap<String, u64>,
+    stack: &mut Vec<(String, u64)>,
+    formula: &Formula,
+) -> Result<bool, VerifyError> {
+    match formula {
+        Formula::True => Ok(true),
+        Formula::Atom(rel, terms) => {
+            let tuple: Vec<u64> = terms
+                .iter()
+                .map(|t| resolve(t, stack, base))
+                .collect::<Result<_, _>>()?;
+            Ok(instance.get(rel).is_some_and(|ts| ts.contains(&tuple)))
+        }
+        Formula::Eq(a, b) => Ok(resolve(a, stack, base)? == resolve(b, stack, base)?),
+        Formula::Not(q) => Ok(!holds_rec(instance, adom, base, stack, q)?),
+        Formula::And(a, b) => Ok(holds_rec(instance, adom, base, stack, a)?
+            && holds_rec(instance, adom, base, stack, b)?),
+        Formula::Or(a, b) => Ok(holds_rec(instance, adom, base, stack, a)?
+            || holds_rec(instance, adom, base, stack, b)?),
+        Formula::Exists(v, q) => {
+            for &value in adom {
+                stack.push((v.clone(), value));
+                let result = holds_rec(instance, adom, base, stack, q);
+                stack.pop();
+                if result? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Forall(v, q) => {
+            for &value in adom {
+                stack.push((v.clone(), value));
+                let result = holds_rec(instance, adom, base, stack, q);
+                stack.pop();
+                if !result? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+/// An answer set: rows over a sorted variable signature.
+///
+/// Invariant (mirroring the engine): a *non-empty* answer set's signature is exactly the
+/// sorted free variables of the formula it came from; an empty one may carry a truncated
+/// signature (short-circuited conjunctions), which every consumer that needs exact
+/// variables on empties compensates for by recomputing them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Answers {
+    pub vars: Vec<String>,
+    pub rows: BTreeSet<Vec<u64>>,
+}
+
+impl Answers {
+    fn unit() -> Answers {
+        Answers {
+            vars: Vec::new(),
+            rows: BTreeSet::from([Vec::new()]),
+        }
+    }
+
+    fn empty(vars: Vec<String>) -> Answers {
+        Answers {
+            vars,
+            rows: BTreeSet::new(),
+        }
+    }
+
+    /// All `|universe|^k` rows over the given (sorted, distinct) signature. Refuses when
+    /// the row count does not fit a `usize`, exactly as the engine does.
+    fn full(universe: &BTreeSet<u64>, vars: Vec<String>) -> Result<Answers, VerifyError> {
+        if vars.is_empty() {
+            return Ok(Answers::unit());
+        }
+        if universe.is_empty() {
+            return Ok(Answers::empty(vars));
+        }
+        let width = u32::try_from(vars.len())
+            .ok()
+            .filter(|&w| universe.len().checked_pow(w).is_some())
+            .ok_or(VerifyError::AnswerSpaceOverflow {
+                variables: vars.len(),
+                universe: universe.len(),
+            })?;
+        let _ = width;
+        let mut rows = BTreeSet::new();
+        let mut current = Vec::with_capacity(vars.len());
+        fill_full(universe, vars.len(), &mut current, &mut rows);
+        Ok(Answers { vars, rows })
+    }
+
+    /// Natural join on the shared columns, over the union signature.
+    fn join(&self, other: &Answers) -> Answers {
+        let vars = merge_vars(&self.vars, &other.vars);
+        let shared: Vec<&String> = self
+            .vars
+            .iter()
+            .filter(|v| other.vars.contains(v))
+            .collect();
+        let pos = |vars: &[String], v: &str| vars.iter().position(|x| x == v);
+        let key_of = |vars: &[String], row: &[u64]| -> Vec<u64> {
+            shared
+                .iter()
+                .map(|v| row[pos(vars, v).expect("shared var is a column")])
+                .collect()
+        };
+        let mut index: BTreeMap<Vec<u64>, Vec<&Vec<u64>>> = BTreeMap::new();
+        for row in &other.rows {
+            index.entry(key_of(&other.vars, row)).or_default().push(row);
+        }
+        let mut rows = BTreeSet::new();
+        for lrow in &self.rows {
+            if let Some(matches) = index.get(&key_of(&self.vars, lrow)) {
+                for rrow in matches {
+                    let merged: Vec<u64> = vars
+                        .iter()
+                        .map(|v| match pos(&self.vars, v) {
+                            Some(i) => lrow[i],
+                            None => rrow[pos(&other.vars, v).expect("var from one side")],
+                        })
+                        .collect();
+                    rows.insert(merged);
+                }
+            }
+        }
+        Answers { vars, rows }
+    }
+
+    /// Extend to the sorted target signature, missing columns ranging over the universe.
+    fn cylindrify(
+        self,
+        target: &[String],
+        universe: &BTreeSet<u64>,
+    ) -> Result<Answers, VerifyError> {
+        if target == self.vars.as_slice() {
+            return Ok(self);
+        }
+        if self.rows.is_empty() {
+            return Ok(Answers::empty(target.to_vec()));
+        }
+        let missing: Vec<String> = target
+            .iter()
+            .filter(|v| !self.vars.contains(v))
+            .cloned()
+            .collect();
+        let full = Answers::full(universe, missing)?;
+        Ok(self.join(&full))
+    }
+
+    /// Project onto `keep ⊆ vars` (sorted), deduplicating the surviving columns.
+    fn project(&self, keep: &[String]) -> Answers {
+        if keep.is_empty() {
+            return if self.rows.is_empty() {
+                Answers::empty(Vec::new())
+            } else {
+                Answers::unit()
+            };
+        }
+        let positions: Vec<usize> = keep
+            .iter()
+            .map(|v| {
+                self.vars
+                    .iter()
+                    .position(|x| x == v)
+                    .expect("projection variable must be a column")
+            })
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| positions.iter().map(|&p| row[p]).collect())
+            .collect();
+        Answers {
+            vars: keep.to_vec(),
+            rows,
+        }
+    }
+}
+
+fn fill_full(
+    universe: &BTreeSet<u64>,
+    width: usize,
+    current: &mut Vec<u64>,
+    rows: &mut BTreeSet<Vec<u64>>,
+) {
+    if current.len() == width {
+        rows.insert(current.clone());
+        return;
+    }
+    for &value in universe {
+        current.push(value);
+        fill_full(universe, width, current, rows);
+        current.pop();
+    }
+}
+
+fn merge_vars(a: &[String], b: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = a.iter().chain(b).cloned().collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The answer set of `formula` over `instance`, quantifiers and complements ranging over
+/// `universe`.
+pub(crate) fn eval_set(
+    instance: &InstanceData,
+    universe: &BTreeSet<u64>,
+    formula: &Formula,
+) -> Result<Answers, VerifyError> {
+    match formula {
+        Formula::True => Ok(Answers::unit()),
+        Formula::Atom(rel, terms) => {
+            let mut vars: Vec<String> = terms
+                .iter()
+                .filter_map(|t| match t {
+                    PatTerm::Var(v) => Some(v.clone()),
+                    PatTerm::Value(_) => None,
+                })
+                .collect();
+            vars.sort_unstable();
+            vars.dedup();
+            let mut rows = BTreeSet::new();
+            for tuple in instance.get(rel).into_iter().flatten() {
+                if tuple.len() != terms.len() {
+                    continue;
+                }
+                let mut binding: BTreeMap<&str, u64> = BTreeMap::new();
+                let unifies = terms
+                    .iter()
+                    .zip(tuple.iter())
+                    .all(|(term, &cell)| match term {
+                        PatTerm::Value(c) => *c == cell,
+                        PatTerm::Var(v) => match binding.get(v.as_str()) {
+                            Some(&bound) => bound == cell,
+                            None => {
+                                binding.insert(v, cell);
+                                true
+                            }
+                        },
+                    });
+                if unifies {
+                    rows.insert(vars.iter().map(|v| binding[v.as_str()]).collect());
+                }
+            }
+            Ok(Answers { vars, rows })
+        }
+        Formula::Eq(a, b) => Ok(match (a, b) {
+            (PatTerm::Value(x), PatTerm::Value(y)) => {
+                if x == y {
+                    Answers::unit()
+                } else {
+                    Answers::empty(Vec::new())
+                }
+            }
+            (PatTerm::Var(v), PatTerm::Value(c)) | (PatTerm::Value(c), PatTerm::Var(v)) => {
+                Answers {
+                    vars: vec![v.clone()],
+                    rows: BTreeSet::from([vec![*c]]),
+                }
+            }
+            (PatTerm::Var(v), PatTerm::Var(w)) => {
+                if v == w {
+                    Answers {
+                        vars: vec![v.clone()],
+                        rows: universe.iter().map(|&e| vec![e]).collect(),
+                    }
+                } else {
+                    Answers {
+                        vars: merge_vars(std::slice::from_ref(v), std::slice::from_ref(w)),
+                        rows: universe.iter().map(|&e| vec![e, e]).collect(),
+                    }
+                }
+            }
+        }),
+        Formula::And(a, b) => {
+            let left = eval_set(instance, universe, a)?;
+            if left.rows.is_empty() {
+                // joining with an empty side is empty; the truncated signature is the
+                // engine's short-circuit behaviour and is compensated for by Not/Forall
+                return Ok(left);
+            }
+            let right = eval_set(instance, universe, b)?;
+            Ok(left.join(&right))
+        }
+        Formula::Or(a, b) => {
+            let free = formula.free_vars();
+            let left = eval_set(instance, universe, a)?.cylindrify(&free, universe)?;
+            let right = eval_set(instance, universe, b)?.cylindrify(&free, universe)?;
+            let rows = left.rows.union(&right.rows).cloned().collect();
+            Ok(Answers { vars: free, rows })
+        }
+        Formula::Not(q) => {
+            let positive = eval_set(instance, universe, q)?;
+            if positive.rows.is_empty() {
+                return Answers::full(universe, q.free_vars());
+            }
+            let mut complement = Answers::full(universe, positive.vars.clone())?;
+            complement.rows = complement
+                .rows
+                .difference(&positive.rows)
+                .cloned()
+                .collect();
+            Ok(complement)
+        }
+        Formula::Exists(v, q) => {
+            let free = q.free_vars();
+            if universe.is_empty() && !free.contains(v) {
+                return Ok(Answers::empty(free));
+            }
+            let inner = eval_set(instance, universe, q)?;
+            let keep: Vec<String> = inner.vars.iter().filter(|x| *x != v).cloned().collect();
+            Ok(inner.project(&keep))
+        }
+        Formula::Forall(v, q) => {
+            let free = q.free_vars();
+            if !free.contains(v) {
+                if universe.is_empty() {
+                    return Answers::full(universe, free);
+                }
+                return eval_set(instance, universe, q);
+            }
+            let inner = eval_set(instance, universe, q)?;
+            if inner.rows.is_empty() {
+                if universe.is_empty() {
+                    let outer: Vec<String> = free.into_iter().filter(|x| x != v).collect();
+                    return Ok(if outer.is_empty() {
+                        Answers::unit()
+                    } else {
+                        Answers::empty(outer)
+                    });
+                }
+                let outer: Vec<String> = inner.vars.iter().filter(|x| *x != v).cloned().collect();
+                return Ok(Answers::empty(outer));
+            }
+            // group rows by the outer assignment; keep groups covering the whole universe
+            let v_col = inner
+                .vars
+                .iter()
+                .position(|x| x == v)
+                .expect("quantified variable is free in the body");
+            let outer: Vec<String> = inner.vars.iter().filter(|x| *x != v).cloned().collect();
+            let mut groups: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
+            for row in &inner.rows {
+                let key: Vec<u64> = row
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != v_col)
+                    .map(|(_, &c)| c)
+                    .collect();
+                *groups.entry(key).or_insert(0) += 1;
+            }
+            let rows = groups
+                .into_iter()
+                .filter(|&(_, count)| count == universe.len())
+                .map(|(key, _)| key)
+                .collect();
+            Ok(Answers { vars: outer, rows })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(v: &str) -> PatTerm {
+        PatTerm::Var(v.to_string())
+    }
+    fn val(c: u64) -> PatTerm {
+        PatTerm::Value(c)
+    }
+    fn atom(rel: &str, terms: Vec<PatTerm>) -> Formula {
+        Formula::Atom(rel.to_string(), terms)
+    }
+
+    fn sample() -> (InstanceData, BTreeSet<u64>) {
+        let mut inst = InstanceData::new();
+        inst.insert("R".into(), BTreeSet::from([vec![1], vec![2]]));
+        inst.insert("S".into(), BTreeSet::from([vec![2, 3]]));
+        let adom = BTreeSet::from([1, 2, 3]);
+        (inst, adom)
+    }
+
+    #[test]
+    fn holds_evaluates_quantifiers_over_the_active_domain() {
+        let (inst, adom) = sample();
+        let base = BTreeMap::new();
+        // ∃x. R(x) — true
+        let f = Formula::Exists("x".into(), Box::new(atom("R", vec![var("x")])));
+        assert!(holds(&inst, &adom, &base, &f).unwrap());
+        // ∀x. R(x) — false (3 is not in R)
+        let g = Formula::Forall("x".into(), Box::new(atom("R", vec![var("x")])));
+        assert!(!holds(&inst, &adom, &base, &g).unwrap());
+        // ∀x. S(x, y) with free y — error without a binding, fine with one
+        let h = Formula::Forall("x".into(), Box::new(atom("S", vec![var("x"), var("y")])));
+        assert!(holds(&inst, &adom, &base, &h).is_err());
+        let bound = BTreeMap::from([("y".to_string(), 3u64)]);
+        assert!(!holds(&inst, &adom, &bound, &h).unwrap());
+    }
+
+    #[test]
+    fn holds_respects_quantifier_shadowing() {
+        let (inst, adom) = sample();
+        // base binds x to a non-member; the quantifier shadows it
+        let base = BTreeMap::from([("x".to_string(), 999u64)]);
+        let f = Formula::Exists("x".into(), Box::new(atom("R", vec![var("x")])));
+        assert!(holds(&inst, &adom, &base, &f).unwrap());
+        // without the quantifier the base binding applies
+        assert!(!holds(&inst, &adom, &base, &atom("R", vec![var("x")])).unwrap());
+    }
+
+    #[test]
+    fn eval_set_atoms_and_joins() {
+        let (inst, universe) = sample();
+        // R(x) ∧ S(x, y) — joins on x: only x=2, y=3
+        let f = Formula::And(
+            Box::new(atom("R", vec![var("x")])),
+            Box::new(atom("S", vec![var("x"), var("y")])),
+        );
+        let a = eval_set(&inst, &universe, &f).unwrap();
+        assert_eq!(a.vars, vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(a.rows, BTreeSet::from([vec![2, 3]]));
+    }
+
+    #[test]
+    fn eval_set_negation_complements_within_the_universe() {
+        let (inst, universe) = sample();
+        let f = Formula::Not(Box::new(atom("R", vec![var("x")])));
+        let a = eval_set(&inst, &universe, &f).unwrap();
+        assert_eq!(a.rows, BTreeSet::from([vec![3]]));
+    }
+
+    #[test]
+    fn eval_set_disjunction_cylindrifies_both_sides() {
+        let (inst, universe) = sample();
+        // R(x) ∨ S(x, y): the left side must be padded with every universe value for y
+        let f = Formula::Or(
+            Box::new(atom("R", vec![var("x")])),
+            Box::new(atom("S", vec![var("x"), var("y")])),
+        );
+        let a = eval_set(&inst, &universe, &f).unwrap();
+        assert_eq!(a.vars, vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(a.rows.len(), 2 * 3); // {1,2}×{1,2,3} ∪ {(2,3)} — (2,3) already inside
+        assert!(a.rows.contains(&vec![1, 2]) && a.rows.contains(&vec![2, 3]));
+    }
+
+    #[test]
+    fn eval_set_quantifiers() {
+        let (inst, universe) = sample();
+        // ∃y. S(x, y) → {2}
+        let f = Formula::Exists("y".into(), Box::new(atom("S", vec![var("x"), var("y")])));
+        let a = eval_set(&inst, &universe, &f).unwrap();
+        assert_eq!(a.rows, BTreeSet::from([vec![2]]));
+        // ∀x. R(x) → empty (not all of the universe is in R)
+        let g = Formula::Forall("x".into(), Box::new(atom("R", vec![var("x")])));
+        assert!(eval_set(&inst, &universe, &g).unwrap().rows.is_empty());
+        // ∀x. ¬S(x, x) → unit (no reflexive S fact)
+        let h = Formula::Forall(
+            "x".into(),
+            Box::new(Formula::Not(Box::new(atom("S", vec![var("x"), var("x")])))),
+        );
+        assert_eq!(eval_set(&inst, &universe, &h).unwrap(), Answers::unit());
+    }
+
+    #[test]
+    fn eval_set_empty_universe_corner_cases() {
+        let inst = InstanceData::new();
+        let universe = BTreeSet::new();
+        // ∃x. true over an empty universe: false
+        let f = Formula::Exists("x".into(), Box::new(Formula::True));
+        assert!(eval_set(&inst, &universe, &f).unwrap().rows.is_empty());
+        // ∀x. R(x) over an empty universe: vacuously true
+        let g = Formula::Forall("x".into(), Box::new(atom("R", vec![var("x")])));
+        assert_eq!(eval_set(&inst, &universe, &g).unwrap(), Answers::unit());
+    }
+
+    #[test]
+    fn eval_set_agrees_with_holds_on_closed_formulas() {
+        let (inst, adom) = sample();
+        let base = BTreeMap::new();
+        let formulas = [
+            Formula::Exists(
+                "x".into(),
+                Box::new(Formula::And(
+                    Box::new(atom("R", vec![var("x")])),
+                    Box::new(Formula::Exists(
+                        "y".into(),
+                        Box::new(atom("S", vec![var("x"), var("y")])),
+                    )),
+                )),
+            ),
+            Formula::Forall(
+                "x".into(),
+                Box::new(Formula::Or(
+                    Box::new(atom("R", vec![var("x")])),
+                    Box::new(Formula::Not(Box::new(atom("R", vec![var("x")])))),
+                )),
+            ),
+            Formula::Not(Box::new(Formula::Exists(
+                "z".into(),
+                Box::new(Formula::And(
+                    Box::new(atom("R", vec![var("z")])),
+                    Box::new(Formula::Eq(var("z"), val(3))),
+                )),
+            ))),
+        ];
+        for f in &formulas {
+            let boolean = holds(&inst, &adom, &base, f).unwrap();
+            let set = eval_set(&inst, &adom, f).unwrap();
+            assert_eq!(boolean, !set.rows.is_empty(), "{f:?}");
+        }
+    }
+}

@@ -1,0 +1,1093 @@
+//! Certificate verification.
+//!
+//! [`verify`] checks a [`Certificate`] from scratch, against nothing but the wire data and
+//! the recency-bounded DMS semantics re-implemented in this crate:
+//!
+//! * A `Violation` certificate is checked by **replaying** the witness run from the initial
+//!   instance — every step's parameters must lie in the `Recent_b` window (or be declared
+//!   constants), fresh inputs must be history-fresh and injective, the guard must hold, the
+//!   update is applied deletions-first — and the final state must *falsify* the invariant.
+//! * A `Safe` certificate is checked for **closure**: the committed set must contain the
+//!   initial state, every committed state must satisfy the invariant, and every committed
+//!   state's recomputed canonical successors must match the stored digests and lie inside
+//!   the committed set. Together these prove no `b`-bounded run can reach a bad state.
+//!
+//! Any deviation — a flipped digest, a truncated witness, a dropped state, a successor
+//! outside the commitment — is a [`VerifyError`].
+
+use crate::digest::{instance_digest, merkle_root};
+use crate::eval::{eval_set, holds};
+use crate::wire::{
+    active_domain, ActionData, AtomPattern, CertVerdict, Certificate, Formula, InstanceData,
+    PatTerm, StepData, System, CERT_VERSION, RANK_BASE,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why a certificate was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// The input is not a well-formed certificate at all (e.g. a JSON parse failure).
+    Malformed(String),
+    /// Unsupported wire-format version.
+    Version(u32),
+    /// A formula, pattern or instance mentions a relation the schema does not declare.
+    UnknownRelation(String),
+    /// A tuple or atom has the wrong number of columns for its relation.
+    ArityMismatch {
+        /// Relation name.
+        rel: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of columns found.
+        got: usize,
+    },
+    /// An instance maps a relation to an empty tuple set (violates the wire normal form).
+    EmptyRelationEntry(String),
+    /// A declared constant is `≥ RANK_BASE` and could collide with canonical values.
+    ConstantTooLarge(u64),
+    /// The initial instance contains a value that is not a declared constant.
+    InitialNotConstant(u64),
+    /// An action declaration is internally inconsistent.
+    ActionInvalid {
+        /// Index into `System::actions`.
+        action: usize,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The invariant has a free variable (it must be a closed formula).
+    PropertyNotClosed(String),
+    /// The invariant mentions a value that is not a declared constant.
+    PropertyConstant(u64),
+    /// A formula referenced a variable with no binding in scope.
+    UnboundVariable(String),
+    /// An answer set would not fit in memory (`|universe|^vars` overflows).
+    AnswerSpaceOverflow {
+        /// Number of columns requested.
+        variables: usize,
+        /// Universe size.
+        universe: usize,
+    },
+    /// A witness step names an action index outside the system's action list.
+    BadActionIndex {
+        /// Witness step position.
+        step: usize,
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// A witness step leaves a parameter or fresh input unbound.
+    MissingBinding {
+        /// Witness step position.
+        step: usize,
+        /// The unbound variable.
+        var: String,
+    },
+    /// A parameter is bound outside the `Recent_b` window (and is not a constant).
+    RecencyViolation {
+        /// Witness step position.
+        step: usize,
+        /// The offending parameter.
+        var: String,
+        /// Its value.
+        value: u64,
+    },
+    /// A fresh input is bound to a value that is not history-fresh.
+    FreshNotFresh {
+        /// Witness step position.
+        step: usize,
+        /// The offending fresh variable.
+        var: String,
+        /// Its value.
+        value: u64,
+    },
+    /// Two fresh inputs of one step are bound to the same value.
+    FreshCollision {
+        /// Witness step position.
+        step: usize,
+        /// The second variable bound to the value.
+        var: String,
+        /// The duplicated value.
+        value: u64,
+    },
+    /// A step's guard does not hold under the claimed parameter binding.
+    GuardFailed {
+        /// Witness step position.
+        step: usize,
+    },
+    /// The replayed witness ends in a state that *satisfies* the invariant.
+    FinalStateSatisfiesInvariant,
+    /// A `Safe` certificate with no committed states (the initial state always exists).
+    EmptySafeCertificate,
+    /// A committed state's stored digest does not match its stored facts.
+    StateDigestMismatch {
+        /// Position in the committed state list.
+        index: usize,
+        /// The digest stored in the certificate.
+        stored: u64,
+        /// The digest recomputed from the facts.
+        computed: u64,
+    },
+    /// The committed states are not sorted strictly ascending by digest.
+    StatesOutOfOrder {
+        /// Position of the offending entry.
+        index: usize,
+    },
+    /// The commitment does not equal the Merkle root of the state digests.
+    CommitmentMismatch {
+        /// The commitment stored in the certificate.
+        stored: u64,
+        /// The recomputed root.
+        computed: u64,
+    },
+    /// The (canonical) initial state is not in the committed set.
+    InitialStateMissing {
+        /// Its digest.
+        digest: u64,
+    },
+    /// A committed state is not in canonical form (non-constant values must be exactly
+    /// `RANK_BASE..RANK_BASE+k`).
+    NotCanonical {
+        /// Position in the committed state list.
+        index: usize,
+        /// The offending value.
+        value: u64,
+    },
+    /// A committed state falsifies the invariant — the certificate claims safety but
+    /// commits to a bad state.
+    StateViolatesInvariant {
+        /// Position in the committed state list.
+        index: usize,
+    },
+    /// A committed state's stored successor digests differ from the recomputed ones.
+    SuccessorSetMismatch {
+        /// Position in the committed state list.
+        index: usize,
+    },
+    /// A recomputed successor is not itself a committed state — the set is not closed.
+    SuccessorNotCommitted {
+        /// Position of the predecessor in the committed state list.
+        index: usize,
+        /// The escaping successor's digest.
+        digest: u64,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Malformed(why) => write!(f, "malformed certificate: {why}"),
+            VerifyError::Version(v) => {
+                write!(
+                    f,
+                    "unsupported certificate version {v} (expected {CERT_VERSION})"
+                )
+            }
+            VerifyError::UnknownRelation(rel) => write!(f, "unknown relation {rel}"),
+            VerifyError::ArityMismatch { rel, expected, got } => {
+                write!(
+                    f,
+                    "relation {rel} has arity {expected}, found {got} columns"
+                )
+            }
+            VerifyError::EmptyRelationEntry(rel) => {
+                write!(f, "relation {rel} maps to an empty tuple set")
+            }
+            VerifyError::ConstantTooLarge(c) => {
+                write!(
+                    f,
+                    "declared constant {c} is not below the canonical rank base"
+                )
+            }
+            VerifyError::InitialNotConstant(v) => {
+                write!(f, "initial instance value {v} is not a declared constant")
+            }
+            VerifyError::ActionInvalid { action, reason } => {
+                write!(f, "action {action} is invalid: {reason}")
+            }
+            VerifyError::PropertyNotClosed(v) => {
+                write!(f, "invariant is not closed: free variable {v}")
+            }
+            VerifyError::PropertyConstant(c) => {
+                write!(f, "invariant constant {c} is not declared in the system")
+            }
+            VerifyError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            VerifyError::AnswerSpaceOverflow {
+                variables,
+                universe,
+            } => {
+                write!(f, "answer space {universe}^{variables} overflows")
+            }
+            VerifyError::BadActionIndex { step, index } => {
+                write!(f, "step {step}: action index {index} out of range")
+            }
+            VerifyError::MissingBinding { step, var } => {
+                write!(f, "step {step}: variable {var} is not bound")
+            }
+            VerifyError::RecencyViolation { step, var, value } => {
+                write!(
+                    f,
+                    "step {step}: parameter {var} ↦ {value} is outside the recency window"
+                )
+            }
+            VerifyError::FreshNotFresh { step, var, value } => {
+                write!(
+                    f,
+                    "step {step}: fresh input {var} ↦ {value} is not history-fresh"
+                )
+            }
+            VerifyError::FreshCollision { step, var, value } => {
+                write!(f, "step {step}: fresh input {var} duplicates value {value}")
+            }
+            VerifyError::GuardFailed { step } => write!(f, "step {step}: guard does not hold"),
+            VerifyError::FinalStateSatisfiesInvariant => {
+                write!(f, "witness ends in a state that satisfies the invariant")
+            }
+            VerifyError::EmptySafeCertificate => {
+                write!(f, "safe certificate commits to no states")
+            }
+            VerifyError::StateDigestMismatch {
+                index,
+                stored,
+                computed,
+            } => {
+                write!(
+                    f,
+                    "state {index}: stored digest {stored:#x} ≠ computed {computed:#x}"
+                )
+            }
+            VerifyError::StatesOutOfOrder { index } => {
+                write!(f, "state {index}: digests not sorted strictly ascending")
+            }
+            VerifyError::CommitmentMismatch { stored, computed } => {
+                write!(f, "commitment {stored:#x} ≠ recomputed root {computed:#x}")
+            }
+            VerifyError::InitialStateMissing { digest } => {
+                write!(f, "initial state (digest {digest:#x}) is not committed")
+            }
+            VerifyError::NotCanonical { index, value } => {
+                write!(f, "state {index}: value {value} breaks the canonical form")
+            }
+            VerifyError::StateViolatesInvariant { index } => {
+                write!(f, "state {index} violates the invariant")
+            }
+            VerifyError::SuccessorSetMismatch { index } => {
+                write!(
+                    f,
+                    "state {index}: stored successor digests differ from recomputed"
+                )
+            }
+            VerifyError::SuccessorNotCommitted { index, digest } => {
+                write!(f, "state {index}: successor {digest:#x} is not committed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a certificate from scratch. `Ok(())` means the claim — violation witness or
+/// safety closure — checks out against the wire data alone.
+pub fn verify(cert: &Certificate) -> Result<(), VerifyError> {
+    if cert.version != CERT_VERSION {
+        return Err(VerifyError::Version(cert.version));
+    }
+    validate_system(&cert.system)?;
+    validate_invariant(&cert.system, &cert.invariant)?;
+    match &cert.verdict {
+        CertVerdict::Violation { witness } => {
+            verify_violation(&cert.system, cert.bound, &cert.invariant, witness)
+        }
+        CertVerdict::Safe { states, commitment } => verify_safe(
+            &cert.system,
+            cert.bound,
+            &cert.invariant,
+            states,
+            *commitment,
+        ),
+    }
+}
+
+/// Check an instance against the schema and the no-empty-tuple-set normal form.
+fn check_instance(system: &System, instance: &InstanceData) -> Result<(), VerifyError> {
+    for (rel, tuples) in instance {
+        let arity = *system
+            .relations
+            .get(rel)
+            .ok_or_else(|| VerifyError::UnknownRelation(rel.clone()))?;
+        if tuples.is_empty() {
+            return Err(VerifyError::EmptyRelationEntry(rel.clone()));
+        }
+        for tuple in tuples {
+            if tuple.len() != arity {
+                return Err(VerifyError::ArityMismatch {
+                    rel: rel.clone(),
+                    expected: arity,
+                    got: tuple.len(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check a formula's atoms against the schema.
+fn check_formula_atoms(system: &System, formula: &Formula) -> Result<(), VerifyError> {
+    let mut error = None;
+    formula.for_each_atom(&mut |rel, terms| {
+        if error.is_some() {
+            return;
+        }
+        match system.relations.get(rel) {
+            None => error = Some(VerifyError::UnknownRelation(rel.to_string())),
+            Some(&arity) if arity != terms.len() => {
+                error = Some(VerifyError::ArityMismatch {
+                    rel: rel.to_string(),
+                    expected: arity,
+                    got: terms.len(),
+                })
+            }
+            Some(_) => {}
+        }
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn pattern_vars(patterns: &[AtomPattern]) -> BTreeSet<&String> {
+    patterns
+        .iter()
+        .flat_map(|p| &p.terms)
+        .filter_map(|t| match t {
+            PatTerm::Var(v) => Some(v),
+            PatTerm::Value(_) => None,
+        })
+        .collect()
+}
+
+fn pattern_constants(patterns: &[AtomPattern]) -> BTreeSet<u64> {
+    patterns
+        .iter()
+        .flat_map(|p| &p.terms)
+        .filter_map(|t| match t {
+            PatTerm::Value(c) => Some(*c),
+            PatTerm::Var(_) => None,
+        })
+        .collect()
+}
+
+fn validate_action(system: &System, index: usize, action: &ActionData) -> Result<(), VerifyError> {
+    let invalid = |reason: String| VerifyError::ActionInvalid {
+        action: index,
+        reason,
+    };
+    let params: BTreeSet<&String> = action.params.iter().collect();
+    if params.len() != action.params.len() {
+        return Err(invalid("duplicate parameter".into()));
+    }
+    let fresh: BTreeSet<&String> = action.fresh.iter().collect();
+    if fresh.len() != action.fresh.len() {
+        return Err(invalid("duplicate fresh input".into()));
+    }
+    if let Some(v) = params.intersection(&fresh).next() {
+        return Err(invalid(format!(
+            "{v} is both a parameter and a fresh input"
+        )));
+    }
+
+    check_formula_atoms(system, &action.guard)?;
+    // the engine enforces Free-Vars(guard) = params at construction; guard answers are
+    // complete parameter bindings only under the same condition
+    let guard_free = action.guard.free_vars();
+    if let Some(v) = guard_free.iter().find(|v| !params.contains(v)) {
+        return Err(invalid(format!(
+            "guard has free variable {v} outside the parameters"
+        )));
+    }
+    if guard_free.len() != params.len() {
+        let free: BTreeSet<&String> = guard_free.iter().collect();
+        let missing = params.difference(&free).next().expect("strict subset");
+        return Err(invalid(format!(
+            "parameter {missing} is not free in the guard"
+        )));
+    }
+
+    for pattern in action.del.iter().chain(&action.add) {
+        check_formula_atoms(
+            system,
+            &Formula::Atom(pattern.rel.clone(), pattern.terms.clone()),
+        )?;
+    }
+    if let Some(v) = pattern_vars(&action.del).difference(&params).next() {
+        return Err(invalid(format!(
+            "delete pattern variable {v} is not a parameter"
+        )));
+    }
+    let allowed: BTreeSet<&String> = params.union(&fresh).copied().collect();
+    if let Some(v) = pattern_vars(&action.add).difference(&allowed).next() {
+        return Err(invalid(format!(
+            "add pattern variable {v} is neither a parameter nor a fresh input"
+        )));
+    }
+
+    let mut constants = action.guard.constants();
+    constants.extend(pattern_constants(&action.del));
+    constants.extend(pattern_constants(&action.add));
+    if let Some(c) = constants.difference(&system.constants).next() {
+        return Err(invalid(format!("value {c} is not a declared constant")));
+    }
+    Ok(())
+}
+
+fn validate_system(system: &System) -> Result<(), VerifyError> {
+    if let Some(&c) = system.constants.iter().find(|&&c| c >= RANK_BASE) {
+        return Err(VerifyError::ConstantTooLarge(c));
+    }
+    check_instance(system, &system.initial)?;
+    if let Some(&v) = active_domain(&system.initial)
+        .difference(&system.constants)
+        .next()
+    {
+        return Err(VerifyError::InitialNotConstant(v));
+    }
+    for (index, action) in system.actions.iter().enumerate() {
+        validate_action(system, index, action)?;
+    }
+    Ok(())
+}
+
+fn validate_invariant(system: &System, invariant: &Formula) -> Result<(), VerifyError> {
+    if let Some(v) = invariant.free_vars().into_iter().next() {
+        return Err(VerifyError::PropertyNotClosed(v));
+    }
+    check_formula_atoms(system, invariant)?;
+    if let Some(&c) = invariant.constants().difference(&system.constants).next() {
+        return Err(VerifyError::PropertyConstant(c));
+    }
+    Ok(())
+}
+
+/// The recency order of `adom` (most recent first): sequence-numbered values descending by
+/// number, then unnumbered values (constants) ascending. Mirrors the engine's
+/// `BConfig::recency_ranks`.
+fn recency_order(adom: &BTreeSet<u64>, seqs: &BTreeMap<u64, u64>) -> Vec<u64> {
+    let mut order: Vec<u64> = adom.iter().copied().collect();
+    // adom iterates ascending, so the stable sort keeps unnumbered ties value-ascending
+    order.sort_by_key(|v| std::cmp::Reverse(seqs.get(v).map_or(-1, |&s| s as i128)));
+    order
+}
+
+fn resolve_pattern(pattern: &AtomPattern, bindings: &BTreeMap<String, u64>) -> (String, Vec<u64>) {
+    let tuple = pattern
+        .terms
+        .iter()
+        .map(|t| match t {
+            PatTerm::Value(c) => *c,
+            PatTerm::Var(v) => bindings[v],
+        })
+        .collect();
+    (pattern.rel.clone(), tuple)
+}
+
+/// Apply `action` under `bindings` to `facts`: all deletions before any addition, exactly
+/// as the semantics prescribes (a fact both deleted and added survives). Keeps the
+/// no-empty-tuple-set normal form.
+fn apply_action(
+    facts: &InstanceData,
+    action: &ActionData,
+    bindings: &BTreeMap<String, u64>,
+) -> InstanceData {
+    let mut next = facts.clone();
+    for pattern in &action.del {
+        let (rel, tuple) = resolve_pattern(pattern, bindings);
+        if let Some(tuples) = next.get_mut(&rel) {
+            tuples.remove(&tuple);
+            if tuples.is_empty() {
+                next.remove(&rel);
+            }
+        }
+    }
+    for pattern in &action.add {
+        let (rel, tuple) = resolve_pattern(pattern, bindings);
+        next.entry(rel).or_default().insert(tuple);
+    }
+    next
+}
+
+fn verify_violation(
+    system: &System,
+    bound: usize,
+    invariant: &Formula,
+    witness: &[StepData],
+) -> Result<(), VerifyError> {
+    let mut facts = system.initial.clone();
+    let mut history: BTreeSet<u64> = BTreeSet::new();
+    let mut seqs: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut max_seq: u64 = 0;
+
+    for (step, data) in witness.iter().enumerate() {
+        let action = system
+            .actions
+            .get(data.action)
+            .ok_or(VerifyError::BadActionIndex {
+                step,
+                index: data.action,
+            })?;
+        let adom = active_domain(&facts);
+        let window: BTreeSet<u64> = recency_order(&adom, &seqs)
+            .into_iter()
+            .take(bound)
+            .collect();
+
+        let mut params = BTreeMap::new();
+        for p in &action.params {
+            let value = *data
+                .bindings
+                .get(p)
+                .ok_or_else(|| VerifyError::MissingBinding {
+                    step,
+                    var: p.clone(),
+                })?;
+            if !window.contains(&value) && !system.constants.contains(&value) {
+                return Err(VerifyError::RecencyViolation {
+                    step,
+                    var: p.clone(),
+                    value,
+                });
+            }
+            params.insert(p.clone(), value);
+        }
+
+        let mut fresh_values = BTreeSet::new();
+        for v in &action.fresh {
+            let value = *data
+                .bindings
+                .get(v)
+                .ok_or_else(|| VerifyError::MissingBinding {
+                    step,
+                    var: v.clone(),
+                })?;
+            if history.contains(&value) || system.constants.contains(&value) {
+                return Err(VerifyError::FreshNotFresh {
+                    step,
+                    var: v.clone(),
+                    value,
+                });
+            }
+            if !fresh_values.insert(value) {
+                return Err(VerifyError::FreshCollision {
+                    step,
+                    var: v.clone(),
+                    value,
+                });
+            }
+        }
+
+        if !holds(&facts, &adom, &params, &action.guard)? {
+            return Err(VerifyError::GuardFailed { step });
+        }
+
+        let mut bindings = params;
+        for v in &action.fresh {
+            bindings.insert(v.clone(), data.bindings[v]);
+        }
+        facts = apply_action(&facts, action, &bindings);
+        for v in &action.fresh {
+            let value = data.bindings[v];
+            history.insert(value);
+            max_seq += 1;
+            seqs.insert(value, max_seq);
+        }
+    }
+
+    let adom = active_domain(&facts);
+    if holds(&facts, &adom, &BTreeMap::new(), invariant)? {
+        return Err(VerifyError::FinalStateSatisfiesInvariant);
+    }
+    Ok(())
+}
+
+/// Recompute the canonical successor digests of one committed canonical state.
+///
+/// Fresh inputs are bound to placeholder values near `u64::MAX` (distinct from every
+/// canonical value and constant); re-canonicalisation erases them, so any choice of
+/// history-fresh values yields the same digests — which is exactly why the engine's
+/// concrete fresh values and the verifier's placeholders agree.
+fn canonical_successors(
+    system: &System,
+    bound: usize,
+    facts: &InstanceData,
+    non_constants: &[u64],
+) -> Result<Vec<u64>, VerifyError> {
+    let adom = active_domain(facts);
+    let mut order: Vec<u64> = non_constants.to_vec();
+    order.extend(
+        adom.iter()
+            .copied()
+            .filter(|v| system.constants.contains(v)),
+    );
+    let window: BTreeSet<u64> = order.iter().copied().take(bound).collect();
+
+    let mut digests = Vec::new();
+    for action in &system.actions {
+        let guard_constants = action.guard.constants();
+        let universe: BTreeSet<u64> = if guard_constants.iter().all(|c| adom.contains(c)) {
+            adom.clone()
+        } else {
+            adom.union(&guard_constants).copied().collect()
+        };
+        let answers = eval_set(facts, &universe, &action.guard)?;
+        'rows: for row in &answers.rows {
+            // a non-empty answer set's signature is exactly the sorted parameters
+            // (free(guard) = params is validated), so each row is a full parameter binding
+            let mut bindings: BTreeMap<String, u64> = answers
+                .vars
+                .iter()
+                .cloned()
+                .zip(row.iter().copied())
+                .collect();
+            for p in &action.params {
+                let value = bindings[p];
+                if !window.contains(&value) && !system.constants.contains(&value) {
+                    continue 'rows;
+                }
+            }
+            for (j, v) in action.fresh.iter().enumerate() {
+                bindings.insert(v.clone(), u64::MAX - j as u64);
+            }
+            let next = apply_action(facts, action, &bindings);
+            let next_adom = active_domain(&next);
+
+            // successor recency order among non-constants: the fresh values newest-first
+            // (the last fresh input receives the highest sequence number), then the
+            // surviving old non-constants in their old order
+            let mut next_order: Vec<u64> = action
+                .fresh
+                .iter()
+                .enumerate()
+                .rev()
+                .map(|(j, _)| u64::MAX - j as u64)
+                .filter(|v| next_adom.contains(v))
+                .collect();
+            next_order.extend(
+                non_constants
+                    .iter()
+                    .copied()
+                    .filter(|v| next_adom.contains(v)),
+            );
+            let mapping: BTreeMap<u64, u64> = next_order
+                .iter()
+                .enumerate()
+                .map(|(rank, &v)| (v, RANK_BASE + rank as u64))
+                .collect();
+
+            let canonical: InstanceData = next
+                .iter()
+                .map(|(rel, tuples)| {
+                    (
+                        rel.clone(),
+                        tuples
+                            .iter()
+                            .map(|t| {
+                                t.iter()
+                                    .map(|v| mapping.get(v).copied().unwrap_or(*v))
+                                    .collect()
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            digests.push(instance_digest(&canonical));
+        }
+    }
+    digests.sort_unstable();
+    Ok(digests)
+}
+
+fn verify_safe(
+    system: &System,
+    bound: usize,
+    invariant: &Formula,
+    states: &[crate::wire::StateEntry],
+    commitment: u64,
+) -> Result<(), VerifyError> {
+    if states.is_empty() {
+        return Err(VerifyError::EmptySafeCertificate);
+    }
+
+    let mut digests = Vec::with_capacity(states.len());
+    for (index, entry) in states.iter().enumerate() {
+        let computed = instance_digest(&entry.facts);
+        if computed != entry.digest {
+            return Err(VerifyError::StateDigestMismatch {
+                index,
+                stored: entry.digest,
+                computed,
+            });
+        }
+        if index > 0 && states[index - 1].digest >= entry.digest {
+            return Err(VerifyError::StatesOutOfOrder { index });
+        }
+        digests.push(entry.digest);
+    }
+
+    let root = merkle_root(&digests);
+    if root != commitment {
+        return Err(VerifyError::CommitmentMismatch {
+            stored: commitment,
+            computed: root,
+        });
+    }
+
+    // the initial instance is its own canonical form (its values are all constants)
+    let initial_digest = instance_digest(&system.initial);
+    if digests.binary_search(&initial_digest).is_err() {
+        return Err(VerifyError::InitialStateMissing {
+            digest: initial_digest,
+        });
+    }
+
+    for (index, entry) in states.iter().enumerate() {
+        check_instance(system, &entry.facts)?;
+        let adom = active_domain(&entry.facts);
+        let non_constants: Vec<u64> = adom
+            .iter()
+            .copied()
+            .filter(|v| !system.constants.contains(v))
+            .collect();
+        for (rank, &v) in non_constants.iter().enumerate() {
+            if v != RANK_BASE + rank as u64 {
+                return Err(VerifyError::NotCanonical { index, value: v });
+            }
+        }
+
+        if !holds(&entry.facts, &adom, &BTreeMap::new(), invariant)? {
+            return Err(VerifyError::StateViolatesInvariant { index });
+        }
+
+        let successors = canonical_successors(system, bound, &entry.facts, &non_constants)?;
+        if successors != entry.successors {
+            return Err(VerifyError::SuccessorSetMismatch { index });
+        }
+        for &digest in &successors {
+            if digests.binary_search(&digest).is_err() {
+                return Err(VerifyError::SuccessorNotCommitted { index, digest });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::StateEntry;
+
+    fn var(v: &str) -> PatTerm {
+        PatTerm::Var(v.to_string())
+    }
+    fn atom(rel: &str, terms: Vec<PatTerm>) -> Formula {
+        Formula::Atom(rel.to_string(), terms)
+    }
+
+    /// R(1) initially; one action replacing the current R-value with a fresh one.
+    fn rotate_system() -> System {
+        System {
+            relations: BTreeMap::from([("R".to_string(), 1)]),
+            constants: BTreeSet::from([1]),
+            initial: BTreeMap::from([("R".to_string(), BTreeSet::from([vec![1]]))]),
+            actions: vec![ActionData {
+                name: "rotate".into(),
+                params: vec!["u".into()],
+                fresh: vec!["v".into()],
+                guard: atom("R", vec![var("u")]),
+                del: vec![AtomPattern {
+                    rel: "R".into(),
+                    terms: vec![var("u")],
+                }],
+                add: vec![AtomPattern {
+                    rel: "R".into(),
+                    terms: vec![var("v")],
+                }],
+            }],
+        }
+    }
+
+    fn entry(facts: InstanceData, successors: Vec<u64>) -> StateEntry {
+        StateEntry {
+            digest: instance_digest(&facts),
+            facts,
+            successors,
+        }
+    }
+
+    /// The rotate system's full canonical state space at any bound ≥ 1: the initial state
+    /// R(1) and the canonicalised R(RANK_BASE), which rotates back onto itself.
+    fn rotate_safe_certificate() -> Certificate {
+        let initial: InstanceData = BTreeMap::from([("R".to_string(), BTreeSet::from([vec![1]]))]);
+        let rotated: InstanceData =
+            BTreeMap::from([("R".to_string(), BTreeSet::from([vec![RANK_BASE]]))]);
+        let rotated_digest = instance_digest(&rotated);
+        let mut states = vec![
+            entry(initial, vec![rotated_digest]),
+            entry(rotated, vec![rotated_digest]),
+        ];
+        states.sort_by_key(|e| e.digest);
+        let commitment = merkle_root(&states.iter().map(|e| e.digest).collect::<Vec<_>>());
+        Certificate {
+            version: CERT_VERSION,
+            bound: 1,
+            // ∃x. R(x) — preserved by rotation
+            invariant: Formula::Exists("x".into(), Box::new(atom("R", vec![var("x")]))),
+            system: rotate_system(),
+            verdict: CertVerdict::Safe { states, commitment },
+        }
+    }
+
+    #[test]
+    fn hand_built_safe_certificate_verifies() {
+        rotate_safe_certificate().verify().unwrap();
+    }
+
+    #[test]
+    fn safe_certificate_tampering_is_rejected() {
+        let good = rotate_safe_certificate();
+
+        // flipped state digest
+        let mut cert = good.clone();
+        if let CertVerdict::Safe { states, .. } = &mut cert.verdict {
+            states[0].digest ^= 1;
+        }
+        assert!(matches!(
+            cert.verify(),
+            Err(VerifyError::StateDigestMismatch { .. })
+        ));
+
+        // dropped state entry
+        let mut cert = good.clone();
+        if let CertVerdict::Safe { states, .. } = &mut cert.verdict {
+            states.pop();
+        }
+        assert!(matches!(
+            cert.verify(),
+            Err(VerifyError::CommitmentMismatch { .. })
+        ));
+
+        // forged commitment over a truncated set: some successor now escapes
+        let mut cert = good.clone();
+        if let CertVerdict::Safe { states, commitment } = &mut cert.verdict {
+            let initial_digest = instance_digest(&cert.system.initial);
+            states.retain(|e| e.digest == initial_digest);
+            *commitment = merkle_root(&[initial_digest]);
+        }
+        assert!(matches!(
+            cert.verify(),
+            Err(VerifyError::SuccessorNotCommitted { .. })
+        ));
+
+        // flipped successor digest
+        let mut cert = good.clone();
+        if let CertVerdict::Safe { states, .. } = &mut cert.verdict {
+            states[0].successors[0] ^= 1;
+        }
+        assert!(matches!(
+            cert.verify(),
+            Err(VerifyError::SuccessorSetMismatch { .. })
+        ));
+
+        // wrong version
+        let mut cert = good.clone();
+        cert.version = CERT_VERSION + 1;
+        assert!(matches!(cert.verify(), Err(VerifyError::Version(_))));
+
+        // invariant the committed states do not all satisfy: ∀x. R(x) → x = 1
+        let mut cert = good.clone();
+        cert.invariant = Formula::Forall(
+            "x".into(),
+            Box::new(Formula::Or(
+                Box::new(Formula::Not(Box::new(atom("R", vec![var("x")])))),
+                Box::new(Formula::Eq(var("x"), PatTerm::Value(1))),
+            )),
+        );
+        assert!(matches!(
+            cert.verify(),
+            Err(VerifyError::StateViolatesInvariant { .. })
+        ));
+    }
+
+    fn rotate_violation_certificate() -> Certificate {
+        Certificate {
+            version: CERT_VERSION,
+            bound: 1,
+            // ∀x. R(x) → x = 1 — broken after one rotation
+            invariant: Formula::Forall(
+                "x".into(),
+                Box::new(Formula::Or(
+                    Box::new(Formula::Not(Box::new(atom("R", vec![var("x")])))),
+                    Box::new(Formula::Eq(var("x"), PatTerm::Value(1))),
+                )),
+            ),
+            system: rotate_system(),
+            verdict: CertVerdict::Violation {
+                witness: vec![StepData {
+                    action: 0,
+                    bindings: BTreeMap::from([("u".to_string(), 1), ("v".to_string(), 2)]),
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn hand_built_violation_certificate_verifies() {
+        rotate_violation_certificate().verify().unwrap();
+    }
+
+    #[test]
+    fn violation_tampering_is_rejected() {
+        let good = rotate_violation_certificate();
+
+        // truncated witness: the initial state satisfies the invariant
+        let mut cert = good.clone();
+        if let CertVerdict::Violation { witness } = &mut cert.verdict {
+            witness.clear();
+        }
+        assert_eq!(
+            cert.verify(),
+            Err(VerifyError::FinalStateSatisfiesInvariant)
+        );
+
+        // fresh input colliding with a constant
+        let mut cert = good.clone();
+        if let CertVerdict::Violation { witness } = &mut cert.verdict {
+            witness[0].bindings.insert("v".into(), 1);
+        }
+        assert!(matches!(
+            cert.verify(),
+            Err(VerifyError::FreshNotFresh { .. })
+        ));
+
+        // parameter bound to a value not in the instance: guard has no such answer
+        let mut cert = good.clone();
+        if let CertVerdict::Violation { witness } = &mut cert.verdict {
+            witness[0].bindings.insert("u".into(), 5);
+        }
+        assert!(matches!(
+            cert.verify(),
+            Err(VerifyError::RecencyViolation { .. }) | Err(VerifyError::GuardFailed { .. })
+        ));
+
+        // out-of-range action index
+        let mut cert = good.clone();
+        if let CertVerdict::Violation { witness } = &mut cert.verdict {
+            witness[0].action = 3;
+        }
+        assert!(matches!(
+            cert.verify(),
+            Err(VerifyError::BadActionIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn recency_window_is_enforced_on_replay() {
+        // intro: adds a fresh value; use: requires its parameter in the window
+        let system = System {
+            relations: BTreeMap::from([("R".to_string(), 1)]),
+            constants: BTreeSet::from([1]),
+            initial: BTreeMap::from([("R".to_string(), BTreeSet::from([vec![1]]))]),
+            actions: vec![
+                ActionData {
+                    name: "intro".into(),
+                    params: vec![],
+                    fresh: vec!["v".into()],
+                    guard: Formula::True,
+                    del: vec![],
+                    add: vec![AtomPattern {
+                        rel: "R".into(),
+                        terms: vec![var("v")],
+                    }],
+                },
+                ActionData {
+                    name: "use".into(),
+                    params: vec!["u".into()],
+                    fresh: vec![],
+                    guard: atom("R", vec![var("u")]),
+                    del: vec![],
+                    add: vec![],
+                },
+            ],
+        };
+        let witness = |last: u64| {
+            vec![
+                StepData {
+                    action: 0,
+                    bindings: BTreeMap::from([("v".to_string(), 2)]),
+                },
+                StepData {
+                    action: 0,
+                    bindings: BTreeMap::from([("v".to_string(), 3)]),
+                },
+                StepData {
+                    action: 1,
+                    bindings: BTreeMap::from([("u".to_string(), last)]),
+                },
+            ]
+        };
+        // at b = 1 only the newest value (3) is in the window
+        let ok = verify_violation(
+            &system,
+            1,
+            &Formula::Not(Box::new(Formula::True)),
+            &witness(3),
+        );
+        assert_eq!(ok, Ok(()));
+        let stale = verify_violation(
+            &system,
+            1,
+            &Formula::Not(Box::new(Formula::True)),
+            &witness(2),
+        );
+        assert!(matches!(stale, Err(VerifyError::RecencyViolation { .. })));
+        // at b = 2 the older value is admitted again
+        let ok2 = verify_violation(
+            &system,
+            2,
+            &Formula::Not(Box::new(Formula::True)),
+            &witness(2),
+        );
+        assert_eq!(ok2, Ok(()));
+    }
+
+    #[test]
+    fn system_validation_rejects_malformed_input() {
+        let mut system = rotate_system();
+        system.initial.insert("Q".into(), BTreeSet::from([vec![1]]));
+        assert!(matches!(
+            validate_system(&system),
+            Err(VerifyError::UnknownRelation(_))
+        ));
+
+        let mut system = rotate_system();
+        system.initial.insert("R".into(), BTreeSet::from([vec![7]]));
+        assert!(matches!(
+            validate_system(&system),
+            Err(VerifyError::InitialNotConstant(7))
+        ));
+
+        let mut system = rotate_system();
+        system.constants.insert(RANK_BASE + 3);
+        assert!(matches!(
+            validate_system(&system),
+            Err(VerifyError::ConstantTooLarge(_))
+        ));
+
+        // guard whose free variables are not the parameters
+        let mut system = rotate_system();
+        system.actions[0].guard = Formula::True;
+        assert!(matches!(
+            validate_system(&system),
+            Err(VerifyError::ActionInvalid { .. })
+        ));
+    }
+}

@@ -1,0 +1,354 @@
+//! The certificate wire format.
+//!
+//! Everything in this module is plain serde-serialisable data: no engine types, no
+//! interned symbols, no shared storage. A [`Certificate`] is a self-contained description
+//! of a DMS, a recency bound, an invariant, and either a violating witness run or a
+//! committed closed state set — exactly the information the verifier needs, and nothing
+//! the engine could vary between runs (no statistics, no timings, no thread counts).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Version tag of the wire format; [`crate::verify()`] rejects anything else.
+pub const CERT_VERSION: u32 = 1;
+
+/// The rank base used when canonicalising configurations: the value of recency rank `r`
+/// (0 = most recent) is relabelled to `RANK_BASE + r`. Part of the wire specification —
+/// the engine's `iso::canonical_config_key` and the verifier's successor recanonicalisation
+/// must use the same base for the digests to agree. Declared constants must be `< RANK_BASE`
+/// so relabelled values can never collide with them.
+pub const RANK_BASE: u64 = u64::MAX / 2;
+
+/// A term of an atom pattern: a variable (by name) or a concrete data value.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PatTerm {
+    /// A variable, referred to by name.
+    Var(String),
+    /// A concrete data value.
+    Value(u64),
+}
+
+/// A FOL(R) formula over the wire: the same shape as the engine's `Query`, with variables
+/// as plain strings. Quantifiers range over the active domain of the instance under
+/// inspection (active-domain semantics, as in the paper).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Formula {
+    /// The trivially true formula.
+    True,
+    /// A relational atom `R(t₁,…,t_a)`.
+    Atom(String, Vec<PatTerm>),
+    /// Equality of two terms.
+    Eq(PatTerm, PatTerm),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Existential quantification (active-domain semantics).
+    Exists(String, Box<Formula>),
+    /// Universal quantification (active-domain semantics).
+    Forall(String, Box<Formula>),
+}
+
+impl Formula {
+    /// The free variables, sorted.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut bound = Vec::new();
+        let mut free = BTreeSet::new();
+        self.collect_free(&mut bound, &mut free);
+        free.into_iter().collect()
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, free: &mut BTreeSet<String>) {
+        match self {
+            Formula::True => {}
+            Formula::Atom(_, terms) => {
+                for t in terms {
+                    if let PatTerm::Var(v) = t {
+                        if !bound.iter().any(|b| b == v) {
+                            free.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    if let PatTerm::Var(v) = t {
+                        if !bound.iter().any(|b| b == v) {
+                            free.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Not(q) => q.collect_free(bound, free),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_free(bound, free);
+                b.collect_free(bound, free);
+            }
+            Formula::Exists(v, q) | Formula::Forall(v, q) => {
+                bound.push(v.clone());
+                q.collect_free(bound, free);
+                bound.pop();
+            }
+        }
+    }
+
+    /// Every concrete data value mentioned syntactically.
+    pub fn constants(&self) -> BTreeSet<u64> {
+        let mut out = BTreeSet::new();
+        self.collect_constants(&mut out);
+        out
+    }
+
+    fn collect_constants(&self, out: &mut BTreeSet<u64>) {
+        match self {
+            Formula::True => {}
+            Formula::Atom(_, terms) => {
+                for t in terms {
+                    if let PatTerm::Value(c) = t {
+                        out.insert(*c);
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    if let PatTerm::Value(c) = t {
+                        out.insert(*c);
+                    }
+                }
+            }
+            Formula::Not(q) => q.collect_constants(out),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_constants(out);
+                b.collect_constants(out);
+            }
+            Formula::Exists(_, q) | Formula::Forall(_, q) => q.collect_constants(out),
+        }
+    }
+
+    /// Visit every atom `(relation, terms)` of the formula.
+    pub fn for_each_atom<F: FnMut(&str, &[PatTerm])>(&self, f: &mut F) {
+        match self {
+            Formula::True | Formula::Eq(..) => {}
+            Formula::Atom(rel, terms) => f(rel, terms),
+            Formula::Not(q) | Formula::Exists(_, q) | Formula::Forall(_, q) => q.for_each_atom(f),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.for_each_atom(f);
+                b.for_each_atom(f);
+            }
+        }
+    }
+}
+
+/// A relational instance on the wire: relation name → set of tuples. Normal form: no
+/// relation maps to an empty tuple set (the verifier rejects such entries, so digests are
+/// unambiguous).
+pub type InstanceData = BTreeMap<String, BTreeSet<Vec<u64>>>;
+
+/// The active domain of an instance: every value occurring in some tuple.
+pub fn active_domain(instance: &InstanceData) -> BTreeSet<u64> {
+    instance
+        .values()
+        .flat_map(|tuples| tuples.iter().flatten().copied())
+        .collect()
+}
+
+/// An atom pattern `R(t₁,…,t_a)` of an action's delete or add set.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AtomPattern {
+    /// Relation name.
+    pub rel: String,
+    /// Terms, one per column.
+    pub terms: Vec<PatTerm>,
+}
+
+/// One guarded action of the DMS.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionData {
+    /// Action name (informational; replay is by index).
+    pub name: String,
+    /// Parameter variables `⃗u`, in declaration order.
+    pub params: Vec<String>,
+    /// Fresh-input variables `⃗v`, in declaration order (the order determines the sequence
+    /// numbers the fresh values receive).
+    pub fresh: Vec<String>,
+    /// The guard; its free variables must be exactly `params`.
+    pub guard: Formula,
+    /// Facts to delete (variables must be parameters).
+    pub del: Vec<AtomPattern>,
+    /// Facts to add (variables must be parameters or fresh inputs).
+    pub add: Vec<AtomPattern>,
+}
+
+/// The DMS a certificate talks about, in wire form.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct System {
+    /// Schema: relation name → arity.
+    pub relations: BTreeMap<String, usize>,
+    /// Declared constants `∆₀`; every value of the initial instance must be one, and all
+    /// must be `< `[`RANK_BASE`].
+    pub constants: BTreeSet<u64>,
+    /// The initial instance `I₀`.
+    pub initial: InstanceData,
+    /// The actions, in the engine's declaration order (witness steps index into this list).
+    pub actions: Vec<ActionData>,
+}
+
+/// One step of a witness run: which action fired, and the values bound to its parameters
+/// and fresh inputs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepData {
+    /// Index into [`System::actions`].
+    pub action: usize,
+    /// Variable name → data value, covering at least all parameters and fresh inputs.
+    pub bindings: BTreeMap<String, u64>,
+}
+
+/// One committed canonical state of a `Safe` certificate.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateEntry {
+    /// [`crate::digest::instance_digest`] of `facts` (stored redundantly so tampering with
+    /// either field is detectable on its own).
+    pub digest: u64,
+    /// The canonical instance: non-constant values relabelled to `RANK_BASE + rank`.
+    pub facts: InstanceData,
+    /// Digest multiset of this state's canonical successors, sorted ascending.
+    pub successors: Vec<u64>,
+}
+
+/// The claim a certificate makes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CertVerdict {
+    /// The invariant is violated: here is a `b`-bounded run ending in a bad state.
+    Violation {
+        /// The witness steps, replayed from `System::initial` by the verifier.
+        witness: Vec<StepData>,
+    },
+    /// The invariant holds in every reachable state (for this recency bound): here is the
+    /// full canonical state space, closed under successors, with no bad state in it.
+    Safe {
+        /// Every reachable canonical state, sorted by digest.
+        states: Vec<StateEntry>,
+        /// Merkle-style commitment over the state digests
+        /// ([`crate::digest::merkle_root`]).
+        commitment: u64,
+    },
+}
+
+/// A self-contained, independently checkable certificate for one invariant check.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// Wire-format version ([`CERT_VERSION`]).
+    pub version: u32,
+    /// The recency bound `b` the check ran at.
+    pub bound: usize,
+    /// The state invariant that was checked (a closed formula; its constants must be
+    /// declared in [`System::constants`]).
+    pub invariant: Formula,
+    /// The system that was checked.
+    pub system: System,
+    /// The claim plus its evidence.
+    pub verdict: CertVerdict,
+}
+
+impl Certificate {
+    /// Serialise to JSON (the canonical wire encoding).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("certificates always serialise")
+    }
+
+    /// Parse from JSON. A parse failure is a rejection like any other.
+    pub fn from_json(json: &str) -> Result<Certificate, crate::verify::VerifyError> {
+        serde_json::from_str(json).map_err(|e| crate::verify::VerifyError::Malformed(e.to_string()))
+    }
+
+    /// Verify this certificate from scratch (see [`crate::verify::verify`]).
+    pub fn verify(&self) -> Result<(), crate::verify::VerifyError> {
+        crate::verify::verify(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_vars_respect_shadowing() {
+        // ∃x. R(x, y) — x bound, y free
+        let f = Formula::Exists(
+            "x".into(),
+            Box::new(Formula::Atom(
+                "R".into(),
+                vec![PatTerm::Var("x".into()), PatTerm::Var("y".into())],
+            )),
+        );
+        assert_eq!(f.free_vars(), vec!["y".to_string()]);
+        // ∃x. (R(x) ∧ ∃x. Q(x)) — nothing free
+        let g = Formula::Exists(
+            "x".into(),
+            Box::new(Formula::And(
+                Box::new(Formula::Atom("R".into(), vec![PatTerm::Var("x".into())])),
+                Box::new(Formula::Exists(
+                    "x".into(),
+                    Box::new(Formula::Atom("Q".into(), vec![PatTerm::Var("x".into())])),
+                )),
+            )),
+        );
+        assert!(g.free_vars().is_empty());
+    }
+
+    #[test]
+    fn constants_are_collected_from_atoms_and_equalities() {
+        let f = Formula::And(
+            Box::new(Formula::Atom(
+                "R".into(),
+                vec![PatTerm::Value(7), PatTerm::Var("x".into())],
+            )),
+            Box::new(Formula::Eq(PatTerm::Var("x".into()), PatTerm::Value(9))),
+        );
+        assert_eq!(f.constants(), BTreeSet::from([7, 9]));
+    }
+
+    #[test]
+    fn active_domain_unions_all_tuples() {
+        let mut inst = InstanceData::new();
+        inst.insert("R".into(), BTreeSet::from([vec![1, 2], vec![3, 1]]));
+        inst.insert("p".into(), BTreeSet::from([vec![]]));
+        assert_eq!(active_domain(&inst), BTreeSet::from([1, 2, 3]));
+    }
+
+    #[test]
+    fn wire_types_round_trip_through_json() {
+        let cert = Certificate {
+            version: CERT_VERSION,
+            bound: 2,
+            invariant: Formula::Atom("p".into(), vec![]),
+            system: System {
+                relations: BTreeMap::from([("p".into(), 0), ("R".into(), 1)]),
+                constants: BTreeSet::from([1]),
+                initial: BTreeMap::from([("p".into(), BTreeSet::from([vec![]]))]),
+                actions: vec![ActionData {
+                    name: "α".into(),
+                    params: vec!["u".into()],
+                    fresh: vec!["v".into()],
+                    guard: Formula::Atom("R".into(), vec![PatTerm::Var("u".into())]),
+                    del: vec![],
+                    add: vec![AtomPattern {
+                        rel: "R".into(),
+                        terms: vec![PatTerm::Var("v".into())],
+                    }],
+                }],
+            },
+            verdict: CertVerdict::Violation {
+                witness: vec![StepData {
+                    action: 0,
+                    bindings: BTreeMap::from([("u".into(), 1), ("v".into(), 2)]),
+                }],
+            },
+        };
+        let json = cert.to_json();
+        let back = Certificate::from_json(&json).unwrap();
+        assert_eq!(back, cert);
+    }
+}

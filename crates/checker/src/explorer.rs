@@ -74,8 +74,10 @@
 use crate::pool;
 use crate::verdict::{CheckStats, Verdict};
 use parking_lot::Mutex;
-use rdms_core::iso::intern_canonical_config_in;
-use rdms_core::{BConfig, Dms, ExtendedRun, KeyInterner, RecencySemantics, Step};
+use rdms_core::iso::{canonical_config_key, intern_canonical_config_in};
+use rdms_core::{
+    commit, BConfig, Dms, EdgeMap, ExtendedRun, KeyInterner, RecencySemantics, StateRecord, Step,
+};
 use rdms_db::metrics::{record_into, SearchCounters};
 use rdms_db::{answers, DataValue, Query};
 use rdms_logic::msofo::{eval_sentence, MsoFo};
@@ -129,6 +131,15 @@ pub struct ExplorerConfig {
     /// over the same system may share one handle (ids are stable per interner); ids from
     /// different interners are unrelated.
     pub interner: Option<Arc<KeyInterner>>,
+    /// Record the evidence needed for certificate-carrying verdicts (default `false` —
+    /// recording off is zero-cost, the search paths are untouched).
+    ///
+    /// When on, deduplicating searches record every expanded canonical state's wire facts
+    /// and successor digests, and [`Explorer::check_invariant`] attaches a certificate to
+    /// its verdict: a replayable `Violation` witness, or — when the exploration saturated
+    /// (no depth or budget cutoff) — a `Safe` closure proof over the committed state set.
+    /// The certificate is independently checkable by the engine-free `rdms-cert` crate.
+    pub emit_certificate: bool,
 }
 
 impl Default for ExplorerConfig {
@@ -139,6 +150,7 @@ impl Default for ExplorerConfig {
             threads: default_threads(),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             interner: None,
+            emit_certificate: false,
         }
     }
 }
@@ -161,6 +173,13 @@ impl ExplorerConfig {
     /// process-wide one (see [`ExplorerConfig::interner`]).
     pub fn with_interner(mut self, interner: Arc<KeyInterner>) -> ExplorerConfig {
         self.interner = Some(interner);
+        self
+    }
+
+    /// This configuration with certificate recording switched on or off (see
+    /// [`ExplorerConfig::emit_certificate`]).
+    pub fn with_emit_certificate(mut self, emit: bool) -> ExplorerConfig {
+        self.emit_certificate = emit;
         self
     }
 }
@@ -208,6 +227,7 @@ impl<'a> Explorer<'a> {
             Some(counterexample) => Verdict::Violated {
                 counterexample,
                 stats: outcome.stats,
+                certificate: None,
             },
             None => Verdict::Holds {
                 // even with the frontier exhausted the verdict concerns prefixes up to the
@@ -215,6 +235,7 @@ impl<'a> Explorer<'a> {
                 // max_configs
                 complete: !outcome.budget_cutoff,
                 stats: outcome.stats,
+                certificate: None,
             },
         }
     }
@@ -233,21 +254,47 @@ impl<'a> Explorer<'a> {
     /// instance. Configurations are deduplicated modulo data isomorphism, so the verdict is
     /// exact (for this recency bound) whenever the exploration saturates within the budget.
     pub fn check_invariant(&self, invariant: &Query) -> Verdict {
-        let outcome = self.driver(true).search(
+        let mut outcome = self.driver(true).search(
             ExtendedRun::new(self.dms.initial_bconfig()),
             |run: &ExtendedRun| {
                 !rdms_db::eval::holds_boolean(run.last().instance(), invariant).unwrap_or(false)
             },
         );
         match outcome.hit {
-            Some(counterexample) => Verdict::Violated {
-                counterexample,
-                stats: outcome.stats,
-            },
-            None => Verdict::Holds {
-                complete: outcome.complete(),
-                stats: outcome.stats,
-            },
+            Some(counterexample) => {
+                let certificate = self
+                    .config
+                    .emit_certificate
+                    .then(|| {
+                        commit::violation_certificate(self.dms, self.b, invariant, &counterexample)
+                    })
+                    .flatten()
+                    .map(Box::new);
+                Verdict::Violated {
+                    counterexample,
+                    stats: outcome.stats,
+                    certificate,
+                }
+            }
+            None => {
+                let complete = outcome.complete();
+                // a Safe certificate is a *closure proof*: it only exists when the committed
+                // state set is genuinely closed under successors, i.e. the exploration
+                // saturated with no depth or budget cutoff
+                let certificate = (complete && self.config.emit_certificate)
+                    .then(|| {
+                        outcome.edges.take().and_then(|edges| {
+                            commit::safe_certificate(self.dms, self.b, invariant, edges)
+                        })
+                    })
+                    .flatten()
+                    .map(Box::new);
+                Verdict::Holds {
+                    complete,
+                    stats: outcome.stats,
+                    certificate,
+                }
+            }
         }
     }
 
@@ -361,6 +408,12 @@ pub(crate) struct SearchOutcome<N> {
     /// Size of the seen-set (deduplicating searches only): distinct configurations modulo
     /// data isomorphism, including the initial one.
     pub distinct_states: usize,
+    /// The recorded certificate evidence (deduplicating searches with
+    /// [`ExplorerConfig::emit_certificate`] only): canonical state digest → wire facts and
+    /// successor digests, for every state that was expanded. Populated only when the
+    /// search completed without a hit — the one case a `Safe` certificate can be built —
+    /// so searches that end early never pay for digesting or wire-lowering the evidence.
+    pub edges: Option<EdgeMap>,
 }
 
 impl<N> SearchOutcome<N> {
@@ -485,19 +538,31 @@ impl<'a> SearchDriver<'a> {
         // relies on.
         let mut seen: HashMap<u64, usize> = HashMap::new();
         let interner = self.interner();
+        let mut recording: Option<RawEdges> =
+            (self.dedup && self.config.emit_certificate).then(HashMap::new);
 
         let mut hit = None;
         {
             let _scope = record_into(&counters);
+            let mut root_seed = None;
             if self.dedup {
-                seen.insert(
-                    intern_canonical_config_in(interner, root.tip(), &self.constants),
-                    0,
-                );
+                if recording.is_some() {
+                    // the root's canonical key seeds both the seen-set and its certificate
+                    // record, so recording costs no extra canonicalisation here either
+                    let key = canonical_config_key(root.tip(), &self.constants);
+                    let (id, handle) = interner.intern_handle(key);
+                    root_seed = Some(RecordSeed::new(id, handle));
+                    seen.insert(id, 0);
+                } else {
+                    seen.insert(
+                        intern_canonical_config_in(interner, root.tip(), &self.constants),
+                        0,
+                    );
+                }
             }
-            let mut stack = vec![root];
+            let mut stack = vec![(root, root_seed)];
             let mut peak = 1usize;
-            while let Some(node) = stack.pop() {
+            while let Some((node, seed)) = stack.pop() {
                 stats.prefixes_checked += 1;
                 if is_hit(&node) {
                     hit = Some(node);
@@ -513,6 +578,10 @@ impl<'a> SearchDriver<'a> {
                     continue;
                 }
                 let child_depth = node.depth() + 1;
+                // when recording, the expanded state's digest and wire facts were captured
+                // when it was admitted (its canonical key was in hand then) — expansion
+                // itself never re-canonicalises
+                let mut record = seed.map(|seed| (seed, Vec::new()));
                 for (step, next) in self
                     .sem
                     .successors(node.tip())
@@ -523,21 +592,45 @@ impl<'a> SearchDriver<'a> {
                         break;
                     }
                     stats.configs_explored += 1;
+                    let mut child_seed = None;
                     if self.dedup {
-                        let id = intern_canonical_config_in(interner, &next, &self.constants);
-                        if !record_min_depth(&mut seen, id, child_depth) {
-                            stats.configs_deduplicated += 1;
-                            continue;
+                        if let Some((_, succs)) = record.as_mut() {
+                            // one canonicalisation serves the successor record (its id),
+                            // the dedup probe and (if admitted) the child's own seed;
+                            // the handle is an Arc bump on the interner's stored key
+                            let key = canonical_config_key(&next, &self.constants);
+                            let (id, handle) = interner.intern_handle(key);
+                            succs.push(id);
+                            if !record_min_depth(&mut seen, id, child_depth) {
+                                stats.configs_deduplicated += 1;
+                                continue;
+                            }
+                            child_seed = Some(RecordSeed::new(id, handle));
+                        } else {
+                            let id = intern_canonical_config_in(interner, &next, &self.constants);
+                            if !record_min_depth(&mut seen, id, child_depth) {
+                                stats.configs_deduplicated += 1;
+                                continue;
+                            }
                         }
                     }
-                    stack.push(node.child(step, next));
+                    stack.push((node.child(step, next), child_seed));
                     peak = peak.max(stack.len());
+                }
+                if let (Some(map), Some((seed, successors))) = (recording.as_mut(), record) {
+                    map.insert(seed.id, (seed.key, successors));
                 }
             }
             stats.peak_frontier = peak;
             // `_scope` drops here, flushing this thread's tallies into `counters`
         }
 
+        // lower the recording to certificate evidence only when a Safe certificate can
+        // actually be built from it (complete exploration, nothing hit)
+        let edges = match recording {
+            Some(raw) if hit.is_none() && !depth_cutoff && !budget_cutoff => Some(lower_edges(raw)),
+            _ => None,
+        };
         stats.elapsed = start.elapsed();
         let load = [(stats.configs_explored, stats.elapsed)];
         finish_stats(&mut stats, &load, &counters);
@@ -547,6 +640,7 @@ impl<'a> SearchDriver<'a> {
             depth_cutoff,
             budget_cutoff,
             distinct_states: seen.len(),
+            edges,
         }
     }
 
@@ -562,18 +656,31 @@ impl<'a> SearchDriver<'a> {
         let start = Instant::now();
         let counters = Arc::new(SearchCounters::new());
         let threads = self.config.threads.max(2);
-        let shared = Shared::new(threads, self.dedup);
+        let shared = Shared::new(
+            threads,
+            self.dedup,
+            self.dedup && self.config.emit_certificate,
+        );
+        let mut root_seed = None;
         if self.dedup {
             let _scope = record_into(&counters);
-            shared.seen_insert(
-                intern_canonical_config_in(self.interner(), root.tip(), &self.constants),
-                0,
-            );
+            if shared.edges.is_some() {
+                let key = canonical_config_key(root.tip(), &self.constants);
+                let (id, handle) = self.interner().intern_handle(key);
+                root_seed = Some(RecordSeed::new(id, handle));
+                shared.seen_insert(id, 0);
+            } else {
+                shared.seen_insert(
+                    intern_canonical_config_in(self.interner(), root.tip(), &self.constants),
+                    0,
+                );
+            }
         }
         shared.pending.store(1, Ordering::SeqCst);
         shared.deques[0].lock().push_back(Task {
             path: Vec::new(),
             node: root,
+            seed: root_seed,
         });
 
         let loads: Mutex<Vec<(usize, Duration)>> = Mutex::new(vec![(0, Duration::ZERO); threads]);
@@ -600,14 +707,27 @@ impl<'a> SearchDriver<'a> {
         stats.configs_explored = shared.admitted.load(Ordering::Relaxed);
         stats.configs_deduplicated = shared.deduped.load(Ordering::Relaxed);
         stats.peak_frontier = shared.peak.load(Ordering::Relaxed);
+        let distinct_states = shared.seen.iter().map(|s| s.lock().len()).sum();
+        let hit = shared.best.into_inner().map(|(_, node)| node);
+        let depth_cutoff = shared.depth_cutoff.load(Ordering::Relaxed);
+        let budget_cutoff = shared.budget_cutoff.load(Ordering::Relaxed);
+        // lower the recording to certificate evidence only when a Safe certificate can
+        // actually be built from it (complete exploration, nothing hit)
+        let edges = match shared.edges {
+            Some(raw) if hit.is_none() && !depth_cutoff && !budget_cutoff => {
+                Some(lower_edges(raw.into_inner()))
+            }
+            _ => None,
+        };
         stats.elapsed = start.elapsed();
         finish_stats(&mut stats, &worker_loads, &counters);
         SearchOutcome {
-            hit: shared.best.into_inner().map(|(_, node)| node),
+            hit,
             stats,
-            depth_cutoff: shared.depth_cutoff.load(Ordering::Relaxed),
-            budget_cutoff: shared.budget_cutoff.load(Ordering::Relaxed),
-            distinct_states: shared.seen.iter().map(|s| s.lock().len()).sum(),
+            depth_cutoff,
+            budget_cutoff,
+            distinct_states,
+            edges,
         }
     }
 
@@ -705,6 +825,10 @@ impl<'a> SearchDriver<'a> {
             return;
         }
         let child_depth = task.node.depth() + 1;
+        // when recording, the expanded state's interned id and canonical key arrived with
+        // the task (captured at admission time, when its canonical key was in hand — see
+        // the sequential engine); the record is published to the shared map after the loop
+        let mut record = task.seed.map(|seed| (seed, Vec::new()));
         let successors = self
             .sem
             .successors(task.node.tip())
@@ -728,11 +852,26 @@ impl<'a> SearchDriver<'a> {
             if shared.has_hit.load(Ordering::Acquire) && shared.beaten_by_best(&path) {
                 continue;
             }
+            let mut child_seed = None;
             if self.dedup {
-                let id = intern_canonical_config_in(self.interner(), &next, &self.constants);
-                if !shared.seen_insert(id, child_depth) {
-                    shared.deduped.fetch_add(1, Ordering::Relaxed);
-                    continue;
+                if let Some((_, succs)) = record.as_mut() {
+                    // one canonicalisation serves the successor record (its id), the
+                    // dedup probe and (if admitted) the child's own seed; the handle
+                    // is an Arc bump on the interner's stored key
+                    let key = canonical_config_key(&next, &self.constants);
+                    let (id, handle) = self.interner().intern_handle(key);
+                    succs.push(id);
+                    if !shared.seen_insert(id, child_depth) {
+                        shared.deduped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    child_seed = Some(RecordSeed::new(id, handle));
+                } else {
+                    let id = intern_canonical_config_in(self.interner(), &next, &self.constants);
+                    if !shared.seen_insert(id, child_depth) {
+                        shared.deduped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
                 }
             }
             let pending = shared.pending.fetch_add(1, Ordering::SeqCst) + 1;
@@ -740,9 +879,69 @@ impl<'a> SearchDriver<'a> {
             shared.deques[me].lock().push_back(Task {
                 path,
                 node: task.node.child(step, next),
+                seed: child_seed,
             });
         }
+        if let (Some(map), Some((seed, successors))) = (shared.edges.as_ref(), record) {
+            map.lock().insert(seed.id, (seed.key, successors));
+        }
     }
+}
+
+/// Pre-computed certificate evidence for a frontier node: its interned canonical id and a
+/// shared handle to its canonical key, captured at the moment the node was admitted —
+/// when the key had just been interned for the dedup probe — so that expanding the node
+/// later costs no additional canonicalisation. The handle is an `Arc` clone of the
+/// interner's stored key (one reference-count bump). Only emit-and-dedup searches carry
+/// seeds.
+struct RecordSeed {
+    id: u64,
+    key: Arc<rdms_db::Instance>,
+}
+
+impl RecordSeed {
+    fn new(id: u64, key: Arc<rdms_db::Instance>) -> RecordSeed {
+        RecordSeed { id, key }
+    }
+}
+
+/// Certificate evidence as recorded *during* a search: interned canonical id → canonical
+/// key + successor ids. Digesting the states and lowering them to wire facts is deferred
+/// to [`lower_edges`], which runs only when the search completed without a hit — the one
+/// case a `Safe` certificate can be emitted — so violation and cutoff searches record ids
+/// (integers) and key handles (Arc bumps) but never pay the per-state hashing and
+/// conversion.
+type RawEdges = HashMap<u64, (Arc<rdms_db::Instance>, Vec<u64>)>;
+
+/// Lower id-based recording to the certificate [`EdgeMap`]: convert every recorded
+/// state's canonical key to wire facts and its digest in one fused walk
+/// ([`commit::state_record`]), then rewrite successor ids to digests.
+fn lower_edges(raw: RawEdges) -> EdgeMap {
+    let mut digests: HashMap<u64, u64> = HashMap::with_capacity(raw.len());
+    let mut staged: Vec<(u64, rdms_core::cert::InstanceData, Vec<u64>)> =
+        Vec::with_capacity(raw.len());
+    for (id, (key, successors)) in raw {
+        let (digest, facts) = commit::state_record(&key);
+        digests.insert(id, digest);
+        staged.push((digest, facts, successors));
+    }
+    staged
+        .into_iter()
+        .map(|(digest, facts, successors)| {
+            (
+                digest,
+                StateRecord {
+                    facts,
+                    successors: successors
+                        .into_iter()
+                        // a complete search expanded every state it ever admitted, so
+                        // every successor id has a record (and hence a digest)
+                        .map(|succ| digests[&succ])
+                        .collect(),
+                },
+            )
+        })
+        .collect()
 }
 
 /// A frontier entry of the parallel search: the node plus its canonical path (the successor
@@ -750,6 +949,7 @@ impl<'a> SearchDriver<'a> {
 struct Task<N> {
     path: Vec<u32>,
     node: N,
+    seed: Option<RecordSeed>,
 }
 
 /// Number of lock shards of the concurrent seen-set.
@@ -770,10 +970,16 @@ struct Shared<N> {
     best: Mutex<Option<(Vec<u32>, N)>>,
     /// interned canonical id → shallowest depth seen, sharded by id.
     seen: Vec<Mutex<HashMap<u64, usize>>>,
+    /// certificate evidence (emit-and-dedup searches only): interned id → raw record,
+    /// filled in by whichever worker expands the state. Re-expansions overwrite with
+    /// identical content (same canonical state, same canonical successors), so contention
+    /// is the only cost. Lowered to wire form at search end, and only when a Safe
+    /// certificate will actually be emitted.
+    edges: Option<Mutex<RawEdges>>,
 }
 
 impl<N> Shared<N> {
-    fn new(threads: usize, dedup: bool) -> Shared<N> {
+    fn new(threads: usize, dedup: bool, emit: bool) -> Shared<N> {
         Shared {
             deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             pending: AtomicUsize::new(0),
@@ -788,6 +994,7 @@ impl<N> Shared<N> {
             seen: (0..if dedup { SEEN_SHARDS } else { 0 })
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            edges: emit.then(|| Mutex::new(HashMap::new())),
         }
     }
 
@@ -1262,6 +1469,120 @@ mod tests {
         let (again, _) = private.reachable_state_count();
         assert_eq!(again, count_private);
         assert_eq!(interner.len(), count_private);
+    }
+
+    /// A DMS whose `b`-bounded canonical state space is finite ({start} → {R(x)} → {}), so
+    /// exhaustive explorations genuinely saturate — the precondition for Safe certificates.
+    fn dead_end_dms() -> Dms {
+        use rdms_core::action::ActionBuilder;
+        use rdms_core::dms::DmsBuilder;
+        use rdms_db::{Pattern, Term};
+        let v = Var::new("v");
+        let u = Var::new("u");
+        DmsBuilder::new()
+            .proposition("start")
+            .relation("R", 1)
+            .initially_true("start")
+            .action(
+                ActionBuilder::new("open")
+                    .fresh([v])
+                    .guard(Query::prop(r("start")))
+                    .del(Pattern::proposition(r("start")))
+                    .add(Pattern::from_facts([(r("R"), vec![Term::Var(v)])])),
+            )
+            .action(
+                ActionBuilder::new("close")
+                    .params([u])
+                    .guard(Query::atom(r("R"), [u]))
+                    .del(Pattern::from_facts([(r("R"), vec![Term::Var(u)])])),
+            )
+            .build()
+            .expect("valid dead-end DMS")
+    }
+
+    #[test]
+    fn certificates_round_trip_through_the_independent_verifier() {
+        let u = Var::new("u");
+        let tautology = Query::forall(
+            u,
+            Query::atom(r("R"), [u]).implies(Query::atom(r("R"), [u])),
+        );
+
+        // the dead-end system saturates → a Safe closure certificate over its 3 states
+        let dms = dead_end_dms();
+        let explorer = Explorer::new(&dms, 2).with_config(
+            config(8, 50_000)
+                .with_threads(1)
+                .with_emit_certificate(true),
+        );
+        let verdict = explorer.check_invariant(&tautology);
+        assert!(verdict.holds());
+        let cert = verdict.certificate().expect("safe certificate");
+        cert.verify().expect("independent verifier accepts");
+
+        // "start always holds" is violated by opening → a replayable Violation certificate
+        let verdict = explorer.check_invariant(&Query::prop(r("start")));
+        assert!(!verdict.holds());
+        let cert = verdict.certificate().expect("violation certificate");
+        cert.verify().expect("independent verifier accepts");
+
+        // a violation on the running example (constants, parameters, an infinite canonical
+        // state space — no Safe certificate could exist, but violations still replay)
+        let rich = example_3_1();
+        let explorer = Explorer::new(&rich, 2).with_config(
+            config(4, 50_000)
+                .with_threads(1)
+                .with_emit_certificate(true),
+        );
+        let verdict = explorer.check_invariant(&Query::prop(r("p")));
+        assert!(!verdict.holds());
+        let cert = verdict.certificate().expect("violation certificate");
+        cert.verify().expect("independent verifier accepts");
+
+        // the default configuration records nothing and attaches nothing
+        let off = Explorer::new(&dms, 2).with_config(config(8, 50_000).with_threads(1));
+        assert!(off.check_invariant(&tautology).certificate().is_none());
+        assert!(off
+            .check_invariant(&Query::prop(r("start")))
+            .certificate()
+            .is_none());
+    }
+
+    #[test]
+    fn safe_certificates_are_identical_across_thread_counts() {
+        // CheckStats never enters the certificate, and the committed state set is the
+        // scheduling-independent reachability fixpoint — so the serialised artifact must be
+        // byte-identical whichever engine produced it.
+        let dms = dead_end_dms();
+        let u = Var::new("u");
+        let tautology = Query::forall(
+            u,
+            Query::atom(r("R"), [u]).implies(Query::atom(r("R"), [u])),
+        );
+        let reference = Explorer::new(&dms, 2)
+            .with_config(
+                config(8, 50_000)
+                    .with_threads(1)
+                    .with_emit_certificate(true),
+            )
+            .check_invariant(&tautology)
+            .certificate()
+            .expect("safe certificate")
+            .to_json();
+        for threads in [2, 4] {
+            let parallel = Explorer::new(&dms, 2)
+                .with_config(
+                    config(8, 50_000)
+                        .with_threads(threads)
+                        .with_parallel_threshold(0)
+                        .with_emit_certificate(true),
+                )
+                .check_invariant(&tautology)
+                .certificate()
+                .expect("safe certificate")
+                .to_json();
+            assert_eq!(reference, parallel, "threads={threads}");
+        }
     }
 
     #[test]

@@ -90,10 +90,12 @@ impl<'a> HybridChecker<'a> {
             Some(counterexample) => Verdict::Violated {
                 counterexample,
                 stats: outcome.stats,
+                certificate: None,
             },
             None => Verdict::Holds {
                 complete: !outcome.budget_cutoff,
                 stats: outcome.stats,
+                certificate: None,
             },
         }
     }

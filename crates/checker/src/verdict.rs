@@ -1,5 +1,6 @@
 //! Verdicts, counterexamples and statistics produced by the checking engines.
 
+use rdms_core::cert::Certificate;
 use rdms_core::ExtendedRun;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -15,6 +16,10 @@ pub enum Verdict {
         counterexample: ExtendedRun,
         /// Exploration statistics.
         stats: CheckStats,
+        /// A replayable `Violation` certificate, when the search recorded one (invariant
+        /// checks with [`crate::ExplorerConfig::emit_certificate`] on, certifiable
+        /// invariant). Check it with the engine-free `rdms-cert` crate.
+        certificate: Option<Box<Certificate>>,
     },
     /// No violation exists within the explored fragment.
     Holds {
@@ -25,6 +30,11 @@ pub enum Verdict {
         complete: bool,
         /// Exploration statistics.
         stats: CheckStats,
+        /// A `Safe` closure certificate over the committed state set, when the search
+        /// recorded one (invariant checks with
+        /// [`crate::ExplorerConfig::emit_certificate`] on, certifiable invariant, and an
+        /// exploration that saturated). Check it with the engine-free `rdms-cert` crate.
+        certificate: Option<Box<Certificate>>,
     },
 }
 
@@ -48,6 +58,15 @@ impl Verdict {
             Verdict::Violated { stats, .. } | Verdict::Holds { stats, .. } => stats,
         }
     }
+
+    /// The certificate carried by this verdict, if one was recorded.
+    pub fn certificate(&self) -> Option<&Certificate> {
+        match self {
+            Verdict::Violated { certificate, .. } | Verdict::Holds { certificate, .. } => {
+                certificate.as_deref()
+            }
+        }
+    }
 }
 
 impl fmt::Display for Verdict {
@@ -56,6 +75,7 @@ impl fmt::Display for Verdict {
             Verdict::Violated {
                 counterexample,
                 stats,
+                ..
             } => write!(
                 f,
                 "VIOLATED (counterexample of {} steps; {} prefixes, {} configurations explored)",
@@ -63,7 +83,9 @@ impl fmt::Display for Verdict {
                 stats.prefixes_checked,
                 stats.configs_explored
             ),
-            Verdict::Holds { complete, stats } => write!(
+            Verdict::Holds {
+                complete, stats, ..
+            } => write!(
                 f,
                 "HOLDS{} ({} prefixes, {} configurations explored)",
                 if *complete {
@@ -152,18 +174,22 @@ mod tests {
         let holds = Verdict::Holds {
             complete: true,
             stats: stats.clone(),
+            certificate: None,
         };
         assert!(holds.holds());
         assert!(holds.counterexample().is_none());
+        assert!(holds.certificate().is_none());
         assert!(holds.to_string().contains("HOLDS"));
 
         let run = ExtendedRun::new(BConfig::initial(Instance::new()));
         let violated = Verdict::Violated {
             counterexample: run,
             stats,
+            certificate: None,
         };
         assert!(!violated.holds());
         assert!(violated.counterexample().is_some());
+        assert!(violated.certificate().is_none());
         assert!(violated.to_string().contains("VIOLATED"));
     }
 

@@ -22,7 +22,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A canonical form of a configuration: the instance with every non-constant active-domain
 /// value replaced by its recency rank (`0` = most recent), leaving declared constants fixed.
@@ -139,7 +139,11 @@ const INTERNER_SHARDS: usize = 16;
 /// [`KeyInterner::new`] exists for tools and tests that need an isolated, droppable id
 /// space when using the interner directly.
 pub struct KeyInterner {
-    shards: Vec<RwLock<HashMap<Instance, u64>>>,
+    // keys are `Arc`-wrapped so callers that need to hold on to the canonical instance
+    // (certificate recording) can get a shared handle instead of cloning the instance;
+    // `Arc<Instance>` hashes and compares through the instance, and borrows as
+    // `&Instance` for lookups
+    shards: Vec<RwLock<HashMap<Arc<Instance>, u64>>>,
     next: AtomicU64,
 }
 
@@ -186,8 +190,27 @@ impl KeyInterner {
             return id;
         }
         let id = self.next.fetch_add(1, Ordering::Relaxed);
-        map.insert(key, id);
+        map.insert(Arc::new(key), id);
         id
+    }
+
+    /// Intern `key`, returning its id *and* a shared handle to the stored canonical
+    /// instance. The handle is an `Arc` clone of the interner's own copy, so callers that
+    /// must retain the canonical instance (the explorer's certificate recording) pay one
+    /// reference-count bump instead of cloning the instance.
+    pub fn intern_handle(&self, key: Instance) -> (u64, Arc<Instance>) {
+        let shard = &self.shards[self.shard_of(&key)];
+        if let Some((stored, &id)) = shard.read().get_key_value(&key) {
+            return (id, Arc::clone(stored));
+        }
+        let mut map = shard.write();
+        if let Some((stored, &id)) = map.get_key_value(&key) {
+            return (id, Arc::clone(stored));
+        }
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        let stored = Arc::new(key);
+        map.insert(Arc::clone(&stored), id);
+        (id, stored)
     }
 
     /// The id of `key`, if it has been interned.

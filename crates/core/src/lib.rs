@@ -16,9 +16,12 @@
 //! * **model relaxations** ([`transform`]) — Appendix F: constants removal, non-injective
 //!   fresh inputs, weakened freshness and bulk-operation compilation;
 //! * **counter machines** ([`counter`]) — Appendix D: Minsky machines and the two reductions
-//!   that establish undecidability of unrestricted model checking (Theorem 4.1).
+//!   that establish undecidability of unrestricted model checking (Theorem 4.1);
+//! * **certificates** ([`commit`]) — conversion of systems, runs and explored state sets
+//!   into the wire format of the independent [`cert`] verifier (re-exported `rdms-cert`).
 
 pub mod action;
+pub mod commit;
 pub mod config;
 pub mod counter;
 pub mod dms;
@@ -32,12 +35,16 @@ pub mod symbolic;
 pub mod transform;
 
 pub use action::{Action, ActionBuilder};
+pub use commit::{
+    safe_certificate, state_digest, state_record, violation_certificate, EdgeMap, StateRecord,
+};
 pub use config::{BConfig, Config, History, SeqNo};
 pub use dms::{Dms, DmsBuilder};
 pub use error::CoreError;
 pub use iso::{
     canonical_config_key, intern_canonical_config, intern_canonical_config_in, KeyInterner,
 };
+pub use rdms_cert as cert;
 pub use recency::{recent_b, RecencySemantics};
 pub use run::{ExtendedRun, Step};
 pub use semantics::ConcreteSemantics;

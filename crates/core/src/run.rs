@@ -30,6 +30,26 @@ impl fmt::Debug for Step {
     }
 }
 
+impl fmt::Display for Step {
+    /// Human-readable transition label: `α2 {u ↦ e1, v ↦ e7}` (the action by index — use
+    /// [`ExtendedRun::display_with`] to resolve action names against a DMS).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α{} ", self.action)?;
+        write_bindings(f, &self.subst)
+    }
+}
+
+fn write_bindings(f: &mut fmt::Formatter<'_>, subst: &Substitution) -> fmt::Result {
+    write!(f, "{{")?;
+    for (i, (var, value)) in subst.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{var} ↦ {value}")?;
+    }
+    write!(f, "}}")
+}
+
 /// One node of the persistent run spine: the configuration reached, the transition that
 /// produced it (`None` at the root), and the `Arc`-shared prefix leading here.
 struct Node {
@@ -262,6 +282,66 @@ impl fmt::Debug for ExtendedRun {
     }
 }
 
+impl fmt::Display for ExtendedRun {
+    /// Human-readable rendering, one numbered state per line with the firing transition
+    /// between them — the form counterexamples are printed in:
+    ///
+    /// ```text
+    /// I0 = {p}
+    ///   α0 {v ↦ e1}
+    /// I1 = {R(e1)}
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, node) in self.nodes().enumerate() {
+            if let Some(step) = &node.step {
+                writeln!(f, "  {step}")?;
+            }
+            write!(f, "I{i} = {}", node.config.instance())?;
+            if i < self.len() {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// [`ExtendedRun`] display with action names resolved against a DMS — see
+/// [`ExtendedRun::display_with`].
+pub struct RunDisplay<'a> {
+    run: &'a ExtendedRun,
+    dms: &'a crate::dms::Dms,
+}
+
+impl ExtendedRun {
+    /// Like the [`fmt::Display`] rendering, but with each step's action *name* (from `dms`)
+    /// instead of its index. Counterexample printing in the examples uses this form.
+    pub fn display_with<'a>(&'a self, dms: &'a crate::dms::Dms) -> RunDisplay<'a> {
+        RunDisplay { run: self, dms }
+    }
+}
+
+impl fmt::Display for RunDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, node) in self.run.nodes().enumerate() {
+            if let Some(step) = &node.step {
+                match self.dms.action(step.action) {
+                    Ok(action) => {
+                        write!(f, "  {} ", action.name())?;
+                        write_bindings(f, &step.subst)?;
+                        writeln!(f)?;
+                    }
+                    Err(_) => writeln!(f, "  {step}")?,
+                }
+            }
+            write!(f, "I{i} = {}", node.config.instance())?;
+            if i < self.run.len() {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,5 +524,15 @@ mod tests {
         let text = format!("{run:?}");
         assert!(text.contains("R(e1)"));
         assert!(text.contains("Q(e2)"));
+    }
+
+    #[test]
+    fn display_renders_numbered_states_and_readable_steps() {
+        let run = two_step_run();
+        let text = format!("{run}");
+        assert!(text.contains("I0 = "));
+        assert!(text.contains("I2 = "));
+        assert!(text.contains("α1 {u ↦ e1}"));
+        assert!(!text.ends_with('\n'));
     }
 }

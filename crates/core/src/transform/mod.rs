@@ -13,8 +13,14 @@
 //!   history-fresh ones) via an accessory `Hist` relation,
 //! * [`bulk`] — **F.4**: compile bulk (retrieve-all-answers-per-step) actions into a locked
 //!   sequence of standard actions.
+//!
+//! One transformation goes beyond Appendix F:
+//!
+//! * [`permits`] — ration fresh injection with a finite permit pool, making the reachable
+//!   canonical state space finite (the precondition for the explorer's `Safe` certificates).
 
 pub mod bulk;
 pub mod constants;
 pub mod freshness;
 pub mod injective;
+pub mod permits;

@@ -1,0 +1,205 @@
+//! Permit-capping: make the fresh-value supply finite.
+//!
+//! The workloads of Appendix C are unbounded "in many dimensions" precisely because actions
+//! inject history-fresh values; their `b`-bounded canonical configuration graphs are
+//! therefore infinite and no exploration of them ever saturates. [`cap_fresh`] compiles a
+//! DMS into a variant whose fresh injection is rationed by a finite pool of **permits**:
+//! a fresh unary relation holds `permits` distinct permit constants initially, and every
+//! action with fresh inputs additionally picks one permit and deletes it.
+//!
+//! The capped system's reachable canonical state space is always **finite**: at most
+//! `permits · max_fresh` fresh values can ever be injected, so the active domain is bounded
+//! by `|adom(I₀)| + |∆₀| + permits · max_fresh`, instances are sets of tuples over that
+//! bounded domain, and canonicalisation erases sequence numbers. Exhaustive explorations of
+//! a capped system genuinely saturate — which is exactly the precondition for the explorer's
+//! `Safe` certificates (closure proofs over the committed state set).
+//!
+//! Every run of the capped system is a run of the original system (dropping the permit
+//! bookkeeping), so violations found in the capped system are real; safety of the capped
+//! system of course says nothing about unbounded-injection behaviours — the certificate
+//! speaks for the capped model only.
+
+use crate::action::ActionBuilder;
+use crate::dms::{Dms, DmsBuilder};
+use crate::error::CoreError;
+use rdms_db::{DataValue, Pattern, Query, RelName, Term, Var};
+
+/// A fresh relation name not present in the schema: `base`, else `base_`, `base__`, …
+fn free_rel_name(dms: &Dms, base: &str) -> RelName {
+    let mut name = base.to_string();
+    while dms.schema().arity(RelName::new(&name)).is_some() {
+        name.push('_');
+    }
+    RelName::new(&name)
+}
+
+/// A variable not used by the action: `base`, else `base_`, `base__`, …
+fn free_var(used: &[Var], base: &str) -> Var {
+    let mut name = base.to_string();
+    let mut var = Var::new(&name);
+    while used.contains(&var) {
+        name.push('_');
+        var = Var::new(&name);
+    }
+    var
+}
+
+/// Compile `dms` into the permit-capped variant with a pool of `permits` permits.
+///
+/// A unary `Permit` relation (renamed if the schema already has one) initially holds
+/// `permits` distinct fresh constants, chosen above every value the system mentions. Every
+/// action with fresh inputs gains a parameter `p`, the extra guard conjunct `Permit(p)` and
+/// the extra deletion `Permit(p)`; actions without fresh inputs are unchanged.
+pub fn cap_fresh(dms: &Dms, permits: usize) -> Result<Dms, CoreError> {
+    let permit_rel = free_rel_name(dms, "Permit");
+
+    // permit constants live above everything the system mentions
+    let ceiling = dms
+        .constants()
+        .iter()
+        .map(|c| c.index())
+        .chain(dms.initial().active_domain().iter().map(|c| c.index()))
+        .chain(
+            dms.actions()
+                .iter()
+                .flat_map(|a| a.constants().into_iter().map(|c| c.index())),
+        )
+        .max()
+        .unwrap_or(0);
+    let permit_values: Vec<DataValue> = (0..permits as u64)
+        .map(|i| DataValue(ceiling + 1 + i))
+        .collect();
+
+    let mut initial = dms.initial().clone();
+    for &p in &permit_values {
+        initial.insert(permit_rel, vec![p]);
+    }
+    let constants = dms.constants().iter().copied().chain(permit_values);
+
+    let mut builder = DmsBuilder::new();
+    for (rel, arity) in dms.schema().relations() {
+        builder = builder.relation(rel.as_str(), arity);
+    }
+    builder = builder
+        .relation(permit_rel.as_str(), 1)
+        .initial(initial)
+        .constants(constants);
+
+    for action in dms.actions() {
+        if action.fresh().is_empty() {
+            builder = builder.action_built(action.clone());
+            continue;
+        }
+        let used: Vec<Var> = action
+            .params()
+            .iter()
+            .chain(action.fresh())
+            .copied()
+            .collect();
+        let p = free_var(&used, "permit");
+        let params: Vec<Var> = action.params().iter().copied().chain([p]).collect();
+        let guard = action
+            .guard()
+            .clone()
+            .and(Query::atom(permit_rel, [Term::Var(p)]));
+        let del = Pattern::from_facts(
+            action
+                .del()
+                .facts()
+                .map(|(rel, terms)| (rel, terms.clone()))
+                .chain([(permit_rel, vec![Term::Var(p)])])
+                .collect::<Vec<_>>(),
+        );
+        builder = builder.action(
+            ActionBuilder::new(action.name())
+                .params(params)
+                .fresh(action.fresh().iter().copied())
+                .guard(guard)
+                .del(del)
+                .add(action.add().clone()),
+        );
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecencySemantics;
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+
+    /// A one-action generator: every step injects one fresh value into `R`.
+    fn generator() -> Dms {
+        let v = Var::new("v");
+        DmsBuilder::new()
+            .relation("R", 1)
+            .action(
+                ActionBuilder::new("gen")
+                    .fresh([v])
+                    .guard(Query::True)
+                    .add(Pattern::from_facts([(r("R"), vec![Term::Var(v)])])),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn permits_ration_fresh_injection() {
+        let capped = cap_fresh(&generator(), 2).unwrap();
+        assert!(capped.schema().arity(r("Permit")) == Some(1));
+        assert_eq!(capped.initial().relation_size(r("Permit")), 2);
+        assert_eq!(capped.constants().len(), 2);
+
+        // two injections are possible, a third is not: the permit pool is dry
+        let sem = RecencySemantics::new(&capped, 2);
+        let mut config = capped.initial_bconfig();
+        for step in 0..2 {
+            let succs = sem.successors(&config).unwrap();
+            assert!(!succs.is_empty(), "step {step} must still have permits");
+            config = succs.into_iter().next().unwrap().1;
+        }
+        assert_eq!(config.instance().relation_size(r("R")), 2);
+        assert_eq!(config.instance().relation_size(r("Permit")), 0);
+        assert!(sem.successors(&config).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fresh_free_actions_and_existing_names_survive() {
+        let u = Var::new("u");
+        let v = Var::new("v");
+        let dms = DmsBuilder::new()
+            .relation("Permit", 2) // collides with the transform's bookkeeping relation
+            .relation("R", 1)
+            .action(
+                ActionBuilder::new("gen")
+                    .fresh([v])
+                    .guard(Query::True)
+                    .add(Pattern::from_facts([(r("R"), vec![Term::Var(v)])])),
+            )
+            .action(
+                ActionBuilder::new("drop")
+                    .params([u])
+                    .guard(Query::atom(r("R"), [u]))
+                    .del(Pattern::from_facts([(r("R"), vec![Term::Var(u)])])),
+            )
+            .build()
+            .unwrap();
+        let capped = cap_fresh(&dms, 1).unwrap();
+        // the user's binary Permit keeps its arity; the pool went to a renamed relation
+        assert_eq!(capped.schema().arity(r("Permit")), Some(2));
+        assert_eq!(capped.schema().arity(r("Permit_")), Some(1));
+        // the fresh-free action is untouched
+        let (_, drop_action) = capped.action_by_name("drop").unwrap();
+        assert_eq!(
+            drop_action.params(),
+            dms.action_by_name("drop").unwrap().1.params()
+        );
+        assert!(drop_action.fresh().is_empty());
+        // the generator gained the permit parameter
+        let (_, gen_action) = capped.action_by_name("gen").unwrap();
+        assert_eq!(gen_action.params().len(), 1);
+    }
+}

@@ -476,6 +476,40 @@ pub fn build(config: &BookingConfig) -> BookingAgency {
     }
 }
 
+/// The permit-capped agency: every fresh-injecting action (`newO1`, `newO2`, `newB`,
+/// `addP2`, `detProp`) additionally consumes one permit from a pool of `permits`, so the
+/// reachable canonical state space is finite (see [`rdms_core::transform::permits`]) and
+/// exhaustive explorations saturate — the precondition for `Safe` certificates. The states
+/// and registry constants are unchanged.
+pub fn finite(config: &BookingConfig, permits: usize) -> BookingAgency {
+    let mut agency = build(config);
+    agency.dms = rdms_core::transform::permits::cap_fresh(&agency.dms, permits)
+        .expect("capping the agency preserves validity");
+    agency
+}
+
+/// The lifecycle invariant of the agency: every booking's offer has some lifecycle state
+/// (`∀bk,o,c. Booking(bk,o,c) → ∃st. OState(o,st)`). It holds in every reachable
+/// configuration, so exhaustive explorations of the permit-capped agency ([`finite`])
+/// saturate with a `Holds` verdict — the benchmark and certificate suites use it as the
+/// representative invariant whose `Safe` certificate the agency can emit.
+pub fn offer_state_invariant() -> Query {
+    let (bk, o, c, st) = (Var::new("bk"), Var::new("o"), Var::new("c"), Var::new("st"));
+    Query::forall(
+        bk,
+        Query::forall(
+            o,
+            Query::forall(
+                c,
+                Query::atom(RelName::new("Booking"), [bk, o, c]).implies(Query::exists(
+                    st,
+                    Query::atom(RelName::new("OState"), [o, st]),
+                )),
+            ),
+        ),
+    )
+}
+
 /// The `Gold_k(c, r)` query of Example 5.2 / Appendix C: customer `c` has at least `k`
 /// distinct accepted bookings for offers of restaurant `r` in the (unboundedly growing)
 /// logged history.

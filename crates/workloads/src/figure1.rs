@@ -9,6 +9,15 @@ pub fn dms() -> Dms {
     example_3_1()
 }
 
+/// The permit-capped variant of Example 3.1: at most `permits` fresh-injecting steps can
+/// ever fire, so the reachable canonical state space is finite and exhaustive explorations
+/// saturate (see [`rdms_core::transform::permits`]). This is the variant to use when a
+/// `Safe` certificate is wanted — the unbounded original never closes.
+pub fn finite_dms(permits: usize) -> Dms {
+    rdms_core::transform::permits::cap_fresh(&example_3_1(), permits)
+        .expect("capping Example 3.1 preserves validity")
+}
+
 /// The eight transition labels of the run depicted in Figure 1, with the paper's exact data
 /// values `e₁ … e₁₁`.
 pub fn figure_1_steps() -> Vec<Step> {

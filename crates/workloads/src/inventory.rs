@@ -101,6 +101,16 @@ pub fn dms(width: usize) -> Dms {
         .expect("inventory DMS is valid")
 }
 
+/// The permit-capped inventory: `receive` and `place_order` each consume one permit from a
+/// pool of `permits`, so at most `permits` batches/orders ever enter the system and the
+/// reachable canonical state space is finite (see [`rdms_core::transform::permits`]).
+/// Exhaustive explorations of this variant saturate, which is what the explorer's `Safe`
+/// certificates require.
+pub fn finite_dms(width: usize, permits: usize) -> Dms {
+    rdms_core::transform::permits::cap_fresh(&dms(width), permits)
+        .expect("capping the inventory preserves validity")
+}
+
 /// The state invariant "a reserved item is never simultaneously on the shelf"
 /// (`∀i∀o. Reserved(i, o) ⇒ ¬Stocked(i)`). It holds: `reserve` removes the item from
 /// `Stocked`, and `cancel` restores it only after deleting the reservation.

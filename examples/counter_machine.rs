@@ -65,6 +65,7 @@ fn main() {
     let small = pump_and_transfer(1);
     let small_binary = binary_reduction(&small).unwrap();
     let small_prop = RelName::new(&state_proposition(small.num_states - 1));
+    let mut witness = None;
     for b in [1usize, 2, 3] {
         let explorer = Explorer::new(&small_binary, b).with_config(ExplorerConfig {
             depth: 10,
@@ -73,11 +74,19 @@ fn main() {
             threads: 1,
             ..Default::default()
         });
-        let (reachable, stats) = explorer.proposition_reachable(small_prop);
+        let (run, _, stats) = explorer.find_reachable_instance(&Query::prop(small_prop));
         println!(
-            "  b = {b}: final state reachable = {reachable:5}  (configurations explored: {})",
+            "  b = {b}: final state reachable = {:5}  (configurations explored: {})",
+            run.is_some(),
             stats.configs_explored
         );
+        if let Some(run) = run {
+            witness = Some((b, run));
+        }
+    }
+    if let Some((b, run)) = witness {
+        println!("\n  witness run at b = {b} (instances interleaved with the fired actions):");
+        println!("{}", run.display_with(&small_binary));
     }
     println!(
         "\nIncreasing the recency bound verifies strictly more behaviours (Section 5): the zero"

@@ -16,13 +16,12 @@ fn main() {
         println!("  {action:?}");
     }
 
-    // Figure 1: the run
+    // Figure 1: the run, rendered with the human-readable run display (numbered instances
+    // interleaved with the action name and bindings of each step)
     let b = 2;
     let run = figure1::figure_1_run(&dms, b);
     println!("\n== Figure 1: the run (replayed) ==");
-    for (i, config) in run.configs().iter().enumerate() {
-        println!("  I{i} = {}", config.instance());
-    }
+    println!("{}", run.display_with(&dms));
 
     // Example 5.1: it is 2-recency-bounded (and not 1-recency-bounded)
     println!("\n== Example 5.1: recency boundedness ==");
@@ -98,5 +97,28 @@ fn main() {
     println!(
         "\n  decode(encode(run)) == run ? {}",
         decoded.configs() == run.configs()
+    );
+
+    // Model checking with a counterexample: "p always holds" is violated, and the verdict
+    // carries a certificate that the engine-free rdms-cert verifier replays independently.
+    println!("\n== model checking: a counterexample, and its certificate ==");
+    let explorer = Explorer::new(&dms, b).with_config(
+        ExplorerConfig {
+            depth: 4,
+            max_configs: 5_000,
+            threads: 1,
+            ..Default::default()
+        }
+        .with_emit_certificate(true),
+    );
+    let verdict = explorer.check_invariant(&Query::prop(RelName::new("p")));
+    println!("  {verdict}");
+    let cex = verdict.counterexample().expect("p is violated");
+    println!("{}", cex.display_with(&dms));
+    let certificate = verdict.certificate().expect("emission was on");
+    println!(
+        "  certificate: {} bytes of JSON, independently verified: {:?}",
+        certificate.to_json().len(),
+        certificate.verify().is_ok()
     );
 }
