@@ -1,0 +1,126 @@
+//! E14 — the serving layer: per-transaction latency of an [`rdms_serve::Session`] and
+//! aggregate throughput under concurrent sessions.
+//!
+//! The `session_check` pair is the flat-cost lock behind the whole online design: one
+//! incremental check against a session that has already accepted 16 transactions is
+//! measured back to back with the same check at depth 1024, and the committed baseline
+//! caps the 1024/16 ratio at 1.5× (a machine-independent `"ratios"` ceiling). If
+//! per-transaction cost ever regresses to scaling with session length — i.e. the service
+//! silently degenerates into re-checking the run from scratch — this gate fails. The
+//! workload is the audit scenario on purpose: its active domain stays fixed while its
+//! history grows without bound, so any depth-dependence in the check is the checker's
+//! fault, not the instance's.
+//!
+//! The `sessions` legs drive 1 / 4 / 16 independent sessions to completion from worker
+//! threads (open + a fixed transaction budget each), measuring the engine-side
+//! checks/second that capacity planning in `docs/OPERATIONS.md` starts from. The TCP
+//! framing path is exercised end to end by the CI service-smoke leg instead — a loopback
+//! socket in a sampled benchmark would measure the kernel, not the checker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdms_serve::{CheckOutcome, Session};
+use rdms_workloads::audit;
+use rdms_workloads::streams::{wire_transaction, TransactionStream};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Streams in the audit workload; sets both the schema width and the recency bound.
+const STREAMS: usize = 3;
+/// Invariant of [`audit::first_stream_has_a_head`] in the wire's concrete syntax; holds
+/// on every reachable configuration, so the sessions below never terminate early.
+const INVARIANT: &str = "init | exists u. S0(u)";
+/// Transactions each concurrent session pushes in the `sessions` throughput legs.
+const PER_SESSION: usize = 64;
+
+type WireTransactions = Vec<(String, BTreeMap<String, u64>)>;
+
+/// The first `count` transactions of the seeded random walk, in wire form. The audit
+/// system is deterministic after seeding, so every seed yields the same *shape* of
+/// stream; distinct seeds still exercise independent `Session` state below.
+fn transactions(count: usize, seed: u64) -> WireTransactions {
+    let dms = Arc::new(audit::dms(STREAMS));
+    TransactionStream::new(Arc::clone(&dms), audit::recency_bound(STREAMS), seed)
+        .take(count)
+        .map(|step| wire_transaction(&dms, &step))
+        .collect()
+}
+
+fn open_session() -> Session {
+    Session::open(
+        audit::dms(STREAMS),
+        audit::recency_bound(STREAMS),
+        INVARIANT,
+        false,
+    )
+    .expect("audit invariant parses and is closed")
+}
+
+/// Advance a fresh session through `script`, asserting every transaction is accepted.
+fn advance(session: &mut Session, script: &[(String, BTreeMap<String, u64>)]) {
+    for (action, bindings) in script {
+        assert!(
+            matches!(session.check(action, bindings), CheckOutcome::Ok { .. }),
+            "streamed audit transactions are always accepted"
+        );
+    }
+}
+
+/// One incremental check at session length 16 vs session length 1024, back to back. The
+/// baseline locks `session_check/1024 ≤ 1.5 × session_check/16`.
+fn bench_flat_cost(c: &mut Criterion) {
+    let script = transactions(1025, 7);
+    let mut group = c.benchmark_group("e14_service_throughput");
+    group.sample_size(10);
+    for len in [16usize, 1024] {
+        let mut session = open_session();
+        advance(&mut session, &script[..len]);
+        let (action, bindings) = &script[len];
+        group.bench_with_input(BenchmarkId::new("session_check", len), &len, |bench, _| {
+            bench.iter(|| {
+                // clone the pinned session (O(1): Arc spine + shared interner) so
+                // every iteration performs the same length-`len` → `len+1` check
+                let mut fresh = session.clone();
+                matches!(fresh.check(action, bindings), CheckOutcome::Ok { .. })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Aggregate checks/second: N worker threads, each opening its own session and driving
+/// `PER_SESSION` transactions to completion — the unit `docs/OPERATIONS.md` plans
+/// capacity from.
+fn bench_concurrent_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_service_throughput");
+    group.sample_size(10);
+    for n in [1usize, 4, 16] {
+        let scripts: Vec<WireTransactions> = (0..n)
+            .map(|i| transactions(PER_SESSION, 100 + i as u64))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("sessions", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let accepted: usize = std::thread::scope(|scope| {
+                    let workers: Vec<_> = scripts
+                        .iter()
+                        .map(|script| {
+                            scope.spawn(move || {
+                                let mut session = open_session();
+                                advance(&mut session, script);
+                                session.transactions()
+                            })
+                        })
+                        .collect();
+                    workers
+                        .into_iter()
+                        .map(|w| w.join().expect("session worker does not panic"))
+                        .sum()
+                });
+                assert_eq!(accepted, n * PER_SESSION);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flat_cost, bench_concurrent_sessions);
+criterion_main!(benches);

@@ -24,12 +24,16 @@
 //!   translation; it also assembles the full reduction formula `ϕ_valid ∧ ¬⌊ψ⌋` whose
 //!   satisfiability is the paper's decision procedure (constructed explicitly, compiled only
 //!   for very small instances — the procedure is non-elementary);
+//! * [`incremental`] — **single-step checking** for long-lived sessions: pin a run spine
+//!   once, then validate and check each further transaction in time independent of the
+//!   session length (the engine behind the `rdms-serve` verification service);
 //! * [`verdict`] — verdicts, counterexamples and statistics shared by the engines.
 
 pub mod encoding;
 pub mod explorer;
 pub mod formulas;
 pub mod hybrid;
+pub mod incremental;
 pub mod phi_valid;
 mod pool;
 pub mod translate;
@@ -37,4 +41,5 @@ pub mod verdict;
 
 pub use encoding::{EncodingAlphabet, RunEncoder};
 pub use explorer::{default_threads, Explorer, ExplorerConfig, DEFAULT_PARALLEL_THRESHOLD};
+pub use incremental::{IncrementalChecker, StepVerdict};
 pub use verdict::{CheckStats, Verdict};

@@ -181,17 +181,25 @@ impl KeyInterner {
 
     /// Intern `key`, returning its id. Idempotent: equal keys always map to the same id.
     pub fn intern(&self, key: Instance) -> u64 {
+        self.intern_new(key).0
+    }
+
+    /// Intern `key`, returning its id and whether the key was **new** to this interner
+    /// (`true` on first interning, `false` on a dedup hit). Long-lived sessions use this to
+    /// count their distinct abstract states as they go: one integer probe per transition,
+    /// instead of an `O(shards)` [`KeyInterner::len`] scan before and after.
+    pub fn intern_new(&self, key: Instance) -> (u64, bool) {
         let shard = &self.shards[self.shard_of(&key)];
         if let Some(&id) = shard.read().get(&key) {
-            return id;
+            return (id, false);
         }
         let mut map = shard.write();
         if let Some(&id) = map.get(&key) {
-            return id;
+            return (id, false);
         }
         let id = self.next.fetch_add(1, Ordering::Relaxed);
         map.insert(Arc::new(key), id);
-        id
+        (id, true)
     }
 
     /// Intern `key`, returning its id *and* a shared handle to the stored canonical
@@ -448,8 +456,10 @@ mod tests {
         assert!(interner.is_empty());
         let a = Instance::from_facts([(r("R"), vec![e(1)])]);
         let b = Instance::from_facts([(r("R"), vec![e(2)])]);
-        let id_a = interner.intern(a.clone());
+        let (id_a, fresh) = interner.intern_new(a.clone());
+        assert!(fresh);
         assert_eq!(interner.intern(a.clone()), id_a);
+        assert_eq!(interner.intern_new(a.clone()), (id_a, false));
         assert_ne!(interner.intern(b.clone()), id_a);
         assert_eq!(interner.get(&a), Some(id_a));
         assert_eq!(interner.len(), 2);

@@ -1,0 +1,544 @@
+//! The TCP serving layer: accept loop, per-connection threads, backpressure, eviction and
+//! graceful drain.
+//!
+//! # Threading model
+//!
+//! One **accept thread** (the [`Server::run`] loop, backgrounded by [`Server::spawn`])
+//! owns the listener in non-blocking mode and polls it every
+//! [`ServerConfig::poll_interval`], so a shutdown request takes effect within one poll
+//! tick without needing to poke the socket. Each accepted connection gets two threads:
+//!
+//! * a **reader** that decodes frames ([`FrameReader`]) under a read timeout of one poll
+//!   interval — the timeout tick is where it notices idle-session eviction, server
+//!   shutdown and session completion — and pushes each complete frame into a **bounded**
+//!   queue ([`std::sync::mpsc::sync_channel`] of depth [`ServerConfig::queue_depth`]);
+//!   when the queue is full the frame is answered immediately with [`Response::Busy`] and
+//!   dropped (explicit backpressure: the client resends, nothing blocks);
+//! * a **worker** that pops frames, runs them against the connection's [`Session`] and
+//!   writes the response. The write half of the socket is shared (mutex) between worker
+//!   and reader, since `Busy` and `Evicted` are written from the reader side.
+//!
+//! # Robustness invariants
+//!
+//! * A malformed frame is answered with `Rejected {code: "malformed-frame"}` and the
+//!   connection continues; an oversized frame is answered and the connection closed
+//!   (resync is impossible); neither ever panics the process.
+//! * A connection sitting idle (no complete frame) past
+//!   [`ServerConfig::idle_timeout`] receives [`Response::Evicted`] and is closed.
+//! * Shutdown — via [`ServerHandle::shutdown`] or a permitted wire `Shutdown` — is a
+//!   **drain**: readers stop accepting new frames, workers finish every frame already
+//!   queued, each open connection receives [`Response::Bye`], and `run` returns only
+//!   after every connection thread has been joined.
+
+use crate::protocol::{
+    decode_request, write_message, ErrorCode, FrameError, FrameReader, Request, Response,
+    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use crate::session::Session;
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Operator-facing knobs. Defaults suit a trusted local deployment; `docs/OPERATIONS.md`
+/// discusses hardening each of them for untrusted networks.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum concurrently-open connections; further ones are refused with code
+    /// `session-limit` and closed.
+    pub max_sessions: usize,
+    /// Bound of each connection's inbound frame queue; a frame arriving on a full queue
+    /// is answered with `Busy` and dropped.
+    pub queue_depth: usize,
+    /// A connection with no complete frame for this long is sent `Evicted` and closed.
+    pub idle_timeout: Duration,
+    /// How often readers and the accept loop wake to check deadlines and shutdown. Upper
+    /// bounds the latency of eviction, drain and accept under load.
+    pub poll_interval: Duration,
+    /// Maximum accepted frame payload length.
+    pub max_frame_len: usize,
+    /// Per-session cap on accepted transactions (`None` = unlimited); past it, `Check`
+    /// is rejected with code `transaction-limit`.
+    pub max_transactions: Option<usize>,
+    /// Honour the wire `Shutdown` request. Off by default: a hostile client must not be
+    /// able to stop the service.
+    pub allow_remote_shutdown: bool,
+    /// Artificial per-request processing delay. A **test/load knob** (keep `0` in
+    /// production): with `queue_depth: 1` and a visible delay, a burst of requests
+    /// deterministically overflows the queue, which is how the `Busy` path is exercised
+    /// by tests and operators rehearsing backpressure.
+    pub handler_delay: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_sessions: 64,
+            queue_depth: 32,
+            idle_timeout: Duration::from_secs(300),
+            poll_interval: Duration::from_millis(25),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            max_transactions: None,
+            allow_remote_shutdown: false,
+            handler_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+///
+/// ```
+/// use rdms_serve::{Server, ServerConfig};
+/// use rdms_serve::protocol::{self, Request, Response, PROTOCOL_VERSION};
+/// use std::net::TcpStream;
+///
+/// let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+/// let addr = server.local_addr().unwrap();
+/// let handle = server.spawn();
+///
+/// // a minimal client turn: Ping → Pong
+/// let mut stream = TcpStream::connect(addr).unwrap();
+/// protocol::write_message(&mut stream, &Request::Ping).unwrap();
+/// let mut reader = protocol::FrameReader::new(stream.try_clone().unwrap(), 1 << 20);
+/// let frame = reader.poll_frame().unwrap().unwrap();
+/// assert_eq!(protocol::decode_response(&frame).unwrap(), Response::Pong);
+///
+/// handle.shutdown().unwrap();
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful drain and block until the server has fully stopped: in-flight
+    /// frames are answered, every connection receives `Bye`, all threads are joined.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("server thread panicked")),
+        }
+    }
+
+    /// Whether the server has stopped on its own (e.g. a permitted remote `Shutdown`).
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
+    /// Block until the server stops without requesting it to (pair with
+    /// `allow_remote_shutdown` or an external signal flipping the shared flag).
+    pub fn join(self) -> io::Result<()> {
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+/// Everything a connection thread needs from the server.
+struct Shared {
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    active: AtomicUsize,
+}
+
+impl Server {
+    /// Bind a listener. `addr` is anything [`ToSocketAddrs`] accepts; use port `0` for an
+    /// ephemeral port and read it back with [`local_addr`](Self::local_addr).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The flag that requests a drain when set; share it with a signal handler to stop
+    /// the blocking [`run`](Self::run) loop from outside.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Run the accept loop on a background thread and return a handle to it.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self
+            .listener
+            .local_addr()
+            .expect("freshly bound listener has an address");
+        let shutdown = Arc::clone(&self.shutdown);
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            shutdown,
+            thread,
+        }
+    }
+
+    /// Run the accept loop on the calling thread until the shutdown flag is set (by
+    /// [`ServerHandle::shutdown`], a shared [`shutdown_flag`](Self::shutdown_flag), or a
+    /// permitted remote `Shutdown` request), then drain and join every connection.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            config: self.config,
+            shutdown: Arc::clone(&self.shutdown),
+            active: AtomicUsize::new(0),
+        });
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    connections.retain(|handle| !handle.is_finished());
+                    if shared.active.load(Ordering::SeqCst) >= shared.config.max_sessions {
+                        refuse(stream, ErrorCode::SessionLimit, "server is at capacity");
+                        continue;
+                    }
+                    shared.active.fetch_add(1, Ordering::SeqCst);
+                    let shared = Arc::clone(&shared);
+                    connections.push(std::thread::spawn(move || {
+                        // never let a connection failure take the process down; errors
+                        // here mean the peer vanished mid-handshake
+                        let _ = handle_connection(stream, &shared);
+                        shared.active.fetch_sub(1, Ordering::SeqCst);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(shared.config.poll_interval);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for handle in connections {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// Best-effort refusal of a connection we will not serve.
+fn refuse(mut stream: TcpStream, code: ErrorCode, message: &str) {
+    let _ = write_message(&mut stream, &Response::rejected(code, message));
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(shared.config.poll_interval))?;
+    let _ = stream.set_nodelay(true);
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    // `done` is the worker telling the reader the conversation is over (Close/Shutdown)
+    let done = Arc::new(AtomicBool::new(false));
+
+    let (queue, inbox) = sync_channel::<Vec<u8>>(shared.config.queue_depth);
+    let worker = {
+        let writer = Arc::clone(&writer);
+        let done = Arc::clone(&done);
+        let shutdown = Arc::clone(&shared.shutdown);
+        let config = shared.config.clone();
+        std::thread::spawn(move || worker_loop(inbox, writer, done, shutdown, config))
+    };
+
+    let mut reader = FrameReader::new(stream, shared.config.max_frame_len);
+    let mut last_frame = Instant::now();
+    loop {
+        if done.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.poll_frame() {
+            Ok(Some(payload)) => {
+                last_frame = Instant::now();
+                match queue.try_send(payload) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        // explicit backpressure: drop the frame, tell the client now
+                        let _ = write_message(&mut *writer.lock(), &Response::Busy);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Ok(None) => break, // peer closed cleanly
+            Err(FrameError::Idle) => {
+                if !reader.mid_frame() && last_frame.elapsed() >= shared.config.idle_timeout {
+                    let _ = write_message(&mut *writer.lock(), &Response::Evicted);
+                    break;
+                }
+            }
+            Err(FrameError::Oversized { len, max }) => {
+                let _ = write_message(
+                    &mut *writer.lock(),
+                    &Response::rejected(
+                        ErrorCode::OversizedFrame,
+                        format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                    ),
+                );
+                break; // length prefix is untrusted; the stream cannot be resynced
+            }
+            Err(FrameError::Truncated) | Err(FrameError::Io(_)) => break,
+        }
+    }
+    drop(queue); // lets the worker drain what's left and exit
+    let _ = worker.join();
+    Ok(())
+}
+
+fn worker_loop(
+    inbox: Receiver<Vec<u8>>,
+    writer: Arc<Mutex<TcpStream>>,
+    done: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    let mut session: Option<Session> = None;
+    let mut said_goodbye = false;
+    // recv() until the reader hangs up; after that everything queued has been answered
+    while let Ok(payload) = inbox.recv() {
+        if !config.handler_delay.is_zero() {
+            std::thread::sleep(config.handler_delay);
+        }
+        let (response, terminal) = match decode_request(&payload) {
+            Err(message) => (
+                Response::rejected(ErrorCode::MalformedFrame, message),
+                false,
+            ),
+            Ok(request) => process(request, &mut session, &shutdown, &config),
+        };
+        if matches!(response, Response::Bye) {
+            said_goodbye = true;
+        }
+        if write_message(&mut *writer.lock(), &response).is_err() {
+            break; // peer is gone; nothing further to answer
+        }
+        if terminal {
+            done.store(true, Ordering::SeqCst);
+            break;
+        }
+    }
+    // drain notice: when the server is stopping (rather than this one conversation
+    // ending), tell the peer before the socket closes
+    if shutdown.load(Ordering::SeqCst) && !said_goodbye {
+        let _ = write_message(&mut *writer.lock(), &Response::Bye);
+    }
+}
+
+/// Map one request onto the session, returning the reply and whether the conversation is
+/// over. Pure protocol logic — no I/O — so the tests drive it directly too.
+fn process(
+    request: Request,
+    session: &mut Option<Session>,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) -> (Response, bool) {
+    match request {
+        Request::Ping => (Response::Pong, false),
+        Request::Open {
+            version,
+            dms,
+            bound,
+            invariant,
+            emit_certificates,
+        } => {
+            if shutdown.load(Ordering::SeqCst) {
+                return (
+                    Response::rejected(ErrorCode::ShuttingDown, "server is draining"),
+                    false,
+                );
+            }
+            if version != PROTOCOL_VERSION {
+                return (
+                    Response::rejected(
+                        ErrorCode::ProtocolVersion,
+                        format!("server speaks version {PROTOCOL_VERSION}, client sent {version}"),
+                    ),
+                    false,
+                );
+            }
+            if session.is_some() {
+                return (
+                    Response::rejected(
+                        ErrorCode::SessionAlreadyOpen,
+                        "this connection already has a session",
+                    ),
+                    false,
+                );
+            }
+            match Session::open(dms, bound, &invariant, emit_certificates) {
+                Ok(opened) => {
+                    *session = Some(opened.with_transaction_limit(config.max_transactions));
+                    (
+                        Response::Opened {
+                            protocol: PROTOCOL_VERSION,
+                        },
+                        false,
+                    )
+                }
+                Err(e) => (Response::rejected(e.code, e.message), false),
+            }
+        }
+        Request::Check { action, bindings } => match session {
+            None => (
+                Response::rejected(ErrorCode::NoSession, "send Open before Check"),
+                false,
+            ),
+            Some(session) => {
+                let outcome = session.check(&action, &bindings);
+                (session.respond(&outcome), false)
+            }
+        },
+        Request::Status => match session {
+            None => (
+                Response::rejected(ErrorCode::NoSession, "send Open before Status"),
+                false,
+            ),
+            Some(session) => (session.stats(), false),
+        },
+        Request::Close => (Response::Bye, true),
+        Request::Shutdown => {
+            if config.allow_remote_shutdown {
+                shutdown.store(true, Ordering::SeqCst);
+                (Response::Bye, true)
+            } else {
+                (
+                    Response::rejected(
+                        ErrorCode::ShutdownDisabled,
+                        "server was started without --allow-remote-shutdown",
+                    ),
+                    false,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdms_core::dms::example_3_1;
+    use std::collections::BTreeMap;
+
+    fn open_request() -> Request {
+        Request::Open {
+            version: PROTOCOL_VERSION,
+            dms: example_3_1(),
+            bound: 2,
+            invariant: "true".to_string(),
+            emit_certificates: false,
+        }
+    }
+
+    #[test]
+    fn process_walks_the_session_state_machine() {
+        let shutdown = AtomicBool::new(false);
+        let config = ServerConfig::default();
+        let mut session = None;
+
+        // pre-open: Ping works, Check/Status don't
+        assert_eq!(
+            process(Request::Ping, &mut session, &shutdown, &config).0,
+            Response::Pong
+        );
+        let (resp, _) = process(
+            Request::Check {
+                action: "alpha".into(),
+                bindings: BTreeMap::new(),
+            },
+            &mut session,
+            &shutdown,
+            &config,
+        );
+        assert!(matches!(resp, Response::Rejected { ref code, .. } if code == "no-session"));
+
+        // open once: ok; twice: rejected
+        let (resp, _) = process(open_request(), &mut session, &shutdown, &config);
+        assert_eq!(
+            resp,
+            Response::Opened {
+                protocol: PROTOCOL_VERSION
+            }
+        );
+        let (resp, _) = process(open_request(), &mut session, &shutdown, &config);
+        assert!(
+            matches!(resp, Response::Rejected { ref code, .. } if code == "session-already-open")
+        );
+
+        // a valid transaction
+        let (resp, _) = process(
+            Request::Check {
+                action: "alpha".into(),
+                bindings: BTreeMap::from([
+                    ("v1".to_string(), 1),
+                    ("v2".to_string(), 2),
+                    ("v3".to_string(), 3),
+                ]),
+            },
+            &mut session,
+            &shutdown,
+            &config,
+        );
+        assert!(matches!(resp, Response::Ok { run_len: 1, .. }));
+
+        // close is terminal
+        let (resp, terminal) = process(Request::Close, &mut session, &shutdown, &config);
+        assert_eq!(resp, Response::Bye);
+        assert!(terminal);
+    }
+
+    #[test]
+    fn version_mismatch_and_drain_reject_opens() {
+        let shutdown = AtomicBool::new(false);
+        let config = ServerConfig::default();
+        let mut session = None;
+        let bad_version = Request::Open {
+            version: PROTOCOL_VERSION + 1,
+            dms: example_3_1(),
+            bound: 2,
+            invariant: "true".into(),
+            emit_certificates: false,
+        };
+        let (resp, _) = process(bad_version, &mut session, &shutdown, &config);
+        assert!(matches!(resp, Response::Rejected { ref code, .. } if code == "protocol-version"));
+
+        shutdown.store(true, Ordering::SeqCst);
+        let (resp, _) = process(open_request(), &mut session, &shutdown, &config);
+        assert!(matches!(resp, Response::Rejected { ref code, .. } if code == "shutting-down"));
+    }
+
+    #[test]
+    fn remote_shutdown_is_gated() {
+        let shutdown = AtomicBool::new(false);
+        let mut config = ServerConfig::default();
+        let mut session = None;
+        let (resp, terminal) = process(Request::Shutdown, &mut session, &shutdown, &config);
+        assert!(matches!(resp, Response::Rejected { ref code, .. } if code == "shutdown-disabled"));
+        assert!(!terminal);
+        assert!(!shutdown.load(Ordering::SeqCst));
+
+        config.allow_remote_shutdown = true;
+        let (resp, terminal) = process(Request::Shutdown, &mut session, &shutdown, &config);
+        assert_eq!(resp, Response::Bye);
+        assert!(terminal);
+        assert!(shutdown.load(Ordering::SeqCst));
+    }
+}

@@ -19,7 +19,10 @@
 //!   to exercise the copy-on-write instance representation (bench E10);
 //! * [`counters`] — counter-machine workloads for the Appendix D reductions;
 //! * [`random`] — a seeded random DMS / random run generator used by property tests and
-//!   benchmarks.
+//!   benchmarks;
+//! * [`streams`] — lazy transaction streams (the serving counterpart of `random_run`),
+//!   feeding the `rdms-serve` example client, the incremental-equivalence tests and the
+//!   service-throughput bench (E14).
 
 pub mod audit;
 pub mod booking;
@@ -28,5 +31,6 @@ pub mod enrollment;
 pub mod figure1;
 pub mod inventory;
 pub mod random;
+pub mod streams;
 pub mod warehouse;
 pub mod wide;

@@ -1,0 +1,202 @@
+//! A complete, protocol-conformant client for the `rdms-serve` verification service.
+//!
+//! Every frame this client sends and every reply it asserts follows `docs/PROTOCOL.md`
+//! (length-prefixed JSON, the `Open`/`Check`/`Status`/`Close` lifecycle, stable kebab-case
+//! error codes). It drives two full sessions:
+//!
+//! 1. an **accepted stream** — the audit workload under an invariant that holds, streamed
+//!    one `Check` frame at a time, every reply `Ok` with a growing `run_len`;
+//! 2. a **violating stream** — Figure 1's DMS under `!exists u. Q(u)`, where the first
+//!    `alpha` firing violates; the reply carries the witness run and a certificate that
+//!    the client re-verifies with the engine-free `rdms-cert` verifier before trusting
+//!    the verdict. The session stays live afterwards, and a malformed transaction gets a
+//!    stable `unknown-action` rejection without killing anything.
+//!
+//! By default the client self-hosts an in-process [`Server`] on an ephemeral port. Point
+//! it at an external server with `RDMS_SERVE_ADDR=host:port` — the CI service-smoke leg
+//! does exactly that against the `rdms-serve` binary, in which case the client finishes
+//! with a wire `Shutdown` (the smoke leg starts the binary with
+//! `--allow-remote-shutdown`) and the server drains and exits 0.
+
+use rdms_core::dms::example_3_1;
+use rdms_serve::protocol::{self, FrameError, Request, Response, PROTOCOL_VERSION};
+use rdms_serve::{Server, ServerConfig};
+use rdms_workloads::audit;
+use rdms_workloads::streams::{wire_transaction, TransactionStream};
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Transactions pushed through the accepted stream.
+const ACCEPTED_STREAM_LEN: usize = 32;
+
+/// One connection: a write half plus a [`protocol::FrameReader`] over its clone.
+struct Client {
+    stream: TcpStream,
+    replies: protocol::FrameReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let replies =
+            protocol::FrameReader::new(stream.try_clone()?, protocol::DEFAULT_MAX_FRAME_LEN);
+        Ok(Client { stream, replies })
+    }
+
+    /// One request/response turn, exactly as `docs/PROTOCOL.md` specifies it: write a
+    /// frame, then block until the server's next frame decodes as a [`Response`].
+    fn turn(&mut self, request: &Request) -> Response {
+        protocol::write_message(&mut self.stream, request).expect("request frame written");
+        loop {
+            match self.replies.poll_frame() {
+                Ok(Some(frame)) => {
+                    return protocol::decode_response(&frame).expect("well-formed reply")
+                }
+                Ok(None) => panic!("server closed the connection mid-session"),
+                Err(FrameError::Idle) => continue,
+                Err(e) => panic!("transport error: {e}"),
+            }
+        }
+    }
+}
+
+/// Session 1: stream valid audit transactions; every one is accepted and the session's
+/// `Stats` agree with what we sent.
+fn accepted_stream(addr: &str) {
+    let dms = Arc::new(audit::dms(3));
+    let bound = audit::recency_bound(3);
+    let mut client = Client::connect(addr).expect("connect");
+
+    assert_eq!(client.turn(&Request::Ping), Response::Pong);
+    let opened = client.turn(&Request::Open {
+        version: PROTOCOL_VERSION,
+        dms: (*dms).clone(),
+        bound,
+        invariant: "init | exists u. S0(u)".to_string(),
+        emit_certificates: false,
+    });
+    assert_eq!(
+        opened,
+        Response::Opened {
+            protocol: PROTOCOL_VERSION
+        }
+    );
+
+    let stream = TransactionStream::new(Arc::clone(&dms), bound, 7);
+    for (sent, step) in stream.take(ACCEPTED_STREAM_LEN).enumerate() {
+        let (action, bindings) = wire_transaction(&dms, &step);
+        match client.turn(&Request::Check { action, bindings }) {
+            Response::Ok { run_len, .. } => assert_eq!(run_len, sent + 1),
+            other => panic!("valid transaction {sent} refused: {other:?}"),
+        }
+    }
+
+    match client.turn(&Request::Status) {
+        Response::Stats {
+            transactions,
+            violations,
+            run_len,
+            ..
+        } => {
+            assert_eq!(transactions, ACCEPTED_STREAM_LEN);
+            assert_eq!(violations, 0);
+            assert_eq!(run_len, ACCEPTED_STREAM_LEN);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    assert_eq!(client.turn(&Request::Close), Response::Bye);
+    println!("accepted stream: {ACCEPTED_STREAM_LEN} transactions, 0 violations");
+}
+
+/// Session 2: a stream that violates its invariant. The `Violation` reply must carry the
+/// witness run and a certificate that the independent verifier accepts; the session must
+/// survive both the violation and a garbage transaction.
+fn violating_stream(addr: &str) {
+    let mut client = Client::connect(addr).expect("connect");
+    let opened = client.turn(&Request::Open {
+        version: PROTOCOL_VERSION,
+        dms: example_3_1(),
+        bound: 2,
+        invariant: "!exists u. Q(u)".to_string(),
+        emit_certificates: true,
+    });
+    assert_eq!(
+        opened,
+        Response::Opened {
+            protocol: PROTOCOL_VERSION
+        }
+    );
+
+    // alpha's first firing creates Q(e3): a genuine violation of the invariant
+    let bindings = BTreeMap::from([
+        ("v1".to_string(), 1u64),
+        ("v2".to_string(), 2),
+        ("v3".to_string(), 3),
+    ]);
+    let verdict = client.turn(&Request::Check {
+        action: "alpha".to_string(),
+        bindings,
+    });
+    match verdict {
+        Response::Violation {
+            run_len,
+            witness,
+            certificate,
+        } => {
+            assert_eq!(run_len, 1);
+            assert_eq!(witness.len(), 1);
+            assert_eq!(witness[0].action, "alpha");
+            // do not take the engine's word for it: replay the certificate through the
+            // engine-free verifier (`rdms-cert`, re-exported as `rdms_core::cert`)
+            let json = certificate.expect("session opened with emit_certificates");
+            rdms_core::cert::Certificate::from_json(&json)
+                .expect("certificate parses")
+                .verify()
+                .expect("independent verifier accepts the violation certificate");
+            println!("violating stream: witness of length {run_len}, certificate re-verified");
+        }
+        other => panic!("expected a violation, got {other:?}"),
+    }
+
+    // the session survives the violation — and rejects garbage with a stable code
+    match client.turn(&Request::Check {
+        action: "no-such-action".to_string(),
+        bindings: BTreeMap::new(),
+    }) {
+        Response::Rejected { code, .. } => assert_eq!(code, "unknown-action"),
+        other => panic!("expected a rejection, got {other:?}"),
+    }
+    match client.turn(&Request::Status) {
+        Response::Stats { violations, .. } => assert_eq!(violations, 1),
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    assert_eq!(client.turn(&Request::Close), Response::Bye);
+}
+
+fn main() {
+    let external = std::env::var("RDMS_SERVE_ADDR").ok();
+    let (addr, handle) = match external {
+        Some(addr) => (addr, None),
+        None => {
+            let handle = Server::bind("127.0.0.1:0", ServerConfig::default())
+                .expect("bind ephemeral port")
+                .spawn();
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+
+    accepted_stream(&addr);
+    violating_stream(&addr);
+
+    match handle {
+        // self-hosted: stop the in-process server directly
+        Some(handle) => handle.shutdown().expect("in-process server drains"),
+        // external: request a graceful drain over the wire (needs --allow-remote-shutdown)
+        None => {
+            let mut client = Client::connect(&addr).expect("connect");
+            assert_eq!(client.turn(&Request::Shutdown), Response::Bye);
+        }
+    }
+    println!("serve_client: ok");
+}
