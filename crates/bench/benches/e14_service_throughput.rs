@@ -18,11 +18,12 @@
 //! socket in a sampled benchmark would measure the kernel, not the checker.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdms_serve::journal::{self, Journal, JournalSink};
 use rdms_serve::{CheckOutcome, Session};
 use rdms_workloads::audit;
 use rdms_workloads::streams::{wire_transaction, TransactionStream};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Streams in the audit workload; sets both the schema width and the recency bound.
 const STREAMS: usize = 3;
@@ -87,6 +88,62 @@ fn bench_flat_cost(c: &mut Criterion) {
     group.finish();
 }
 
+/// A [`JournalSink`] that swallows bytes: the leg measures what journaling *adds to the
+/// check* — record serialization, CRC-32, the buffered write — not the disk underneath
+/// (fsync amortisation is an operator knob, `--journal-fsync-every`, not engine cost).
+struct NullSink;
+
+impl std::io::Write for NullSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl JournalSink for NullSink {
+    fn sync(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The same depth-1024 incremental check with a crash journal attached. The baseline
+/// locks `session_check_journaled/1024 ≤ 1.5 × session_check/1024`: journaling must stay
+/// a bounded surcharge on the check, never dominate it.
+fn bench_journaled_cost(c: &mut Criterion) {
+    const LEN: usize = 1024;
+    let script = transactions(LEN + 1, 7);
+    let open = journal::open_record(
+        &audit::dms(STREAMS),
+        audit::recency_bound(STREAMS),
+        INVARIANT,
+        false,
+    );
+    let journal = Journal::with_sink(Box::new(NullSink), &open, usize::MAX)
+        .expect("the null sink cannot fail");
+    let mut session = open_session().with_journal(Arc::new(Mutex::new(journal)));
+    advance(&mut session, &script[..LEN]);
+    let (action, bindings) = &script[LEN];
+
+    let mut group = c.benchmark_group("e14_service_throughput");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("session_check_journaled", LEN),
+        &LEN,
+        |bench, _| {
+            bench.iter(|| {
+                // clones share the journal handle, exactly like the server's hot path:
+                // every iteration pays one check plus one journal append
+                let mut fresh = session.clone();
+                matches!(fresh.check(action, bindings), CheckOutcome::Ok { .. })
+            })
+        },
+    );
+    group.finish();
+}
+
 /// Aggregate checks/second: N worker threads, each opening its own session and driving
 /// `PER_SESSION` transactions to completion — the unit `docs/OPERATIONS.md` plans
 /// capacity from.
@@ -122,5 +179,10 @@ fn bench_concurrent_sessions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flat_cost, bench_concurrent_sessions);
+criterion_group!(
+    benches,
+    bench_flat_cost,
+    bench_journaled_cost,
+    bench_concurrent_sessions
+);
 criterion_main!(benches);

@@ -76,7 +76,8 @@ use crate::verdict::{CheckStats, Verdict};
 use parking_lot::Mutex;
 use rdms_core::iso::{canonical_config_key, intern_canonical_config_in};
 use rdms_core::{
-    commit, BConfig, Dms, EdgeMap, ExtendedRun, KeyInterner, RecencySemantics, StateRecord, Step,
+    commit, BConfig, CancelToken, Dms, EdgeMap, ExtendedRun, KeyInterner, RecencySemantics,
+    StateRecord, Step,
 };
 use rdms_db::metrics::{record_into, SearchCounters};
 use rdms_db::{answers, DataValue, Query};
@@ -140,6 +141,14 @@ pub struct ExplorerConfig {
     /// (no depth or budget cutoff) — a `Safe` closure proof over the committed state set.
     /// The certificate is independently checkable by the engine-free `rdms-cert` crate.
     pub emit_certificate: bool,
+    /// Cooperative cancellation: when set, every worker loop (sequential and parallel)
+    /// polls the token once per expanded configuration and stops the search cleanly when
+    /// it fires. A cancelled search reports itself cancelled, its verdicts
+    /// claim `complete: false`, and no `Safe` certificate is emitted — exactly the
+    /// incomplete-exploration semantics of a budget cutoff, but driven by wall-clock
+    /// deadlines ([`with_deadline`](Self::with_deadline)) or an external
+    /// [`cancel`](rdms_core::CancelToken::cancel) instead of a configuration count.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ExplorerConfig {
@@ -151,6 +160,7 @@ impl Default for ExplorerConfig {
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             interner: None,
             emit_certificate: false,
+            cancel: None,
         }
     }
 }
@@ -181,6 +191,21 @@ impl ExplorerConfig {
     pub fn with_emit_certificate(mut self, emit: bool) -> ExplorerConfig {
         self.emit_certificate = emit;
         self
+    }
+
+    /// This configuration polling the given cancellation token (see
+    /// [`ExplorerConfig::cancel`]).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> ExplorerConfig {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// This configuration under a wall-clock deadline: the search stops cleanly (reported
+    /// as an incomplete exploration) once `budget` elapses. Shorthand for
+    /// [`with_cancel`](Self::with_cancel) over a
+    /// [`CancelToken::with_timeout`](rdms_core::CancelToken::with_timeout) token.
+    pub fn with_deadline(self, budget: Duration) -> ExplorerConfig {
+        self.with_cancel(CancelToken::with_timeout(budget))
     }
 }
 
@@ -232,8 +257,8 @@ impl<'a> Explorer<'a> {
             None => Verdict::Holds {
                 // even with the frontier exhausted the verdict concerns prefixes up to the
                 // depth budget only; it is complete exactly when nothing was cut off by
-                // max_configs
-                complete: !outcome.budget_cutoff,
+                // max_configs or a cancellation
+                complete: !outcome.budget_cutoff && !outcome.cancelled,
                 stats: outcome.stats,
                 certificate: None,
             },
@@ -405,6 +430,9 @@ pub(crate) struct SearchOutcome<N> {
     pub depth_cutoff: bool,
     /// Some successor was dropped because the `max_configs` budget was exhausted.
     pub budget_cutoff: bool,
+    /// The search stopped early because [`ExplorerConfig::cancel`] fired (explicit
+    /// cancellation or an expired deadline).
+    pub cancelled: bool,
     /// Size of the seen-set (deduplicating searches only): distinct configurations modulo
     /// data isomorphism, including the initial one.
     pub distinct_states: usize,
@@ -418,9 +446,10 @@ pub(crate) struct SearchOutcome<N> {
 
 impl<N> SearchOutcome<N> {
     /// Whether the exploration was exhaustive for the question asked: no prefix was cut off
-    /// by the depth bound and no successor was dropped by the `max_configs` budget.
+    /// by the depth bound, no successor was dropped by the `max_configs` budget, and the
+    /// search was not cancelled.
     pub fn complete(&self) -> bool {
-        !self.depth_cutoff && !self.budget_cutoff
+        !self.depth_cutoff && !self.budget_cutoff && !self.cancelled
     }
 }
 
@@ -530,6 +559,7 @@ impl<'a> SearchDriver<'a> {
         let mut stats = self.base_stats(1);
         let mut depth_cutoff = false;
         let mut budget_cutoff = false;
+        let mut cancelled = false;
 
         // seen: interned canonical id → shallowest depth at which the state was reached.
         // Re-expanding on a strictly shallower re-visit makes the explored state set the
@@ -563,6 +593,17 @@ impl<'a> SearchDriver<'a> {
             let mut stack = vec![(root, root_seed)];
             let mut peak = 1usize;
             while let Some((node, seed)) = stack.pop() {
+                // one cooperative poll per expanded configuration: the unit of work that
+                // bounds how late a deadline can be noticed
+                if self
+                    .config
+                    .cancel
+                    .as_ref()
+                    .is_some_and(|c| c.is_cancelled())
+                {
+                    cancelled = true;
+                    break;
+                }
                 stats.prefixes_checked += 1;
                 if is_hit(&node) {
                     hit = Some(node);
@@ -628,7 +669,9 @@ impl<'a> SearchDriver<'a> {
         // lower the recording to certificate evidence only when a Safe certificate can
         // actually be built from it (complete exploration, nothing hit)
         let edges = match recording {
-            Some(raw) if hit.is_none() && !depth_cutoff && !budget_cutoff => Some(lower_edges(raw)),
+            Some(raw) if hit.is_none() && !depth_cutoff && !budget_cutoff && !cancelled => {
+                Some(lower_edges(raw))
+            }
             _ => None,
         };
         stats.elapsed = start.elapsed();
@@ -639,6 +682,7 @@ impl<'a> SearchDriver<'a> {
             stats,
             depth_cutoff,
             budget_cutoff,
+            cancelled,
             distinct_states: seen.len(),
             edges,
         }
@@ -711,10 +755,11 @@ impl<'a> SearchDriver<'a> {
         let hit = shared.best.into_inner().map(|(_, node)| node);
         let depth_cutoff = shared.depth_cutoff.load(Ordering::Relaxed);
         let budget_cutoff = shared.budget_cutoff.load(Ordering::Relaxed);
+        let cancelled = shared.cancelled.load(Ordering::Relaxed);
         // lower the recording to certificate evidence only when a Safe certificate can
         // actually be built from it (complete exploration, nothing hit)
         let edges = match shared.edges {
-            Some(raw) if hit.is_none() && !depth_cutoff && !budget_cutoff => {
+            Some(raw) if hit.is_none() && !depth_cutoff && !budget_cutoff && !cancelled => {
                 Some(lower_edges(raw.into_inner()))
             }
             _ => None,
@@ -726,6 +771,7 @@ impl<'a> SearchDriver<'a> {
             stats,
             depth_cutoff,
             budget_cutoff,
+            cancelled,
             distinct_states,
             edges,
         }
@@ -750,6 +796,18 @@ impl<'a> SearchDriver<'a> {
         let mut busy = Duration::ZERO;
         let mut idle_spins = 0u32;
         loop {
+            // every worker polls the token independently, so a fired deadline stops the
+            // whole pool within one task per worker; the check sits before pop_task so a
+            // cancelled worker never owes a PendingGuard decrement
+            if self
+                .config
+                .cancel
+                .as_ref()
+                .is_some_and(|c| c.is_cancelled())
+            {
+                shared.cancelled.store(true, Ordering::Relaxed);
+                break;
+            }
             match self.pop_task(me, shared) {
                 Some(task) => {
                     idle_spins = 0;
@@ -966,6 +1024,7 @@ struct Shared<N> {
     prefixes: AtomicUsize,
     depth_cutoff: AtomicBool,
     budget_cutoff: AtomicBool,
+    cancelled: AtomicBool,
     has_hit: AtomicBool,
     best: Mutex<Option<(Vec<u32>, N)>>,
     /// interned canonical id → shallowest depth seen, sharded by id.
@@ -989,6 +1048,7 @@ impl<N> Shared<N> {
             prefixes: AtomicUsize::new(0),
             depth_cutoff: AtomicBool::new(false),
             budget_cutoff: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
             has_hit: AtomicBool::new(false),
             best: Mutex::new(None),
             seen: (0..if dedup { SEEN_SHARDS } else { 0 })

@@ -93,7 +93,7 @@ impl<'a> HybridChecker<'a> {
                 certificate: None,
             },
             None => Verdict::Holds {
-                complete: !outcome.budget_cutoff,
+                complete: !outcome.budget_cutoff && !outcome.cancelled,
                 stats: outcome.stats,
                 certificate: None,
             },

@@ -62,7 +62,9 @@
 use crate::verdict::{CheckStats, Verdict};
 use rdms_core::cert::Certificate;
 use rdms_core::iso::canonical_config_key;
-use rdms_core::{commit, CoreError, Dms, ExtendedRun, KeyInterner, RecencySemantics, Step};
+use rdms_core::{
+    commit, CancelToken, CoreError, Dms, ExtendedRun, KeyInterner, RecencySemantics, Step,
+};
 use rdms_db::{eval, Query};
 use std::sync::Arc;
 use std::time::Instant;
@@ -215,20 +217,55 @@ impl IncrementalChecker {
     /// Check one transaction: validate it as a `b`-bounded transition from the current tip,
     /// apply it, and evaluate the invariant in the reached configuration.
     ///
-    /// On `Err` the step was **not** a valid transition (unknown action, non-instantiating
-    /// substitution, guard failure, recency violation, …) and the session state is
-    /// unchanged — callers serving untrusted streams map these to a rejection reply and
-    /// keep the session. On `Ok` the step has been applied, whether or not the invariant
-    /// held.
+    /// On `Err` the step was **not** applied (unknown action, non-instantiating
+    /// substitution, guard failure, recency violation, an invariant that fails to
+    /// evaluate, …) and the session state is unchanged — callers serving untrusted
+    /// streams map these to a rejection reply and keep the session. On `Ok` the step has
+    /// been applied, whether or not the invariant held.
     ///
     /// Cost is flat in the session length: one successor computation at the tip, one O(1)
     /// spine push, one interner probe, one invariant evaluation.
     pub fn check(&mut self, step: &Step) -> Result<StepVerdict, CoreError> {
+        self.check_inner(step, None)
+    }
+
+    /// [`check`](Self::check) under cooperative cancellation: the token is polled before
+    /// each phase of the step (transition validation, invariant evaluation, commit), and a
+    /// fired token returns [`CoreError::Cancelled`] with the session **untouched** — the
+    /// step is only committed after every phase ran to completion. Serving layers build a
+    /// deadline token per request ([`CancelToken::with_timeout`]) to bound how long one
+    /// pathological transaction can pin a worker.
+    pub fn check_with_cancel(
+        &mut self,
+        step: &Step,
+        cancel: &CancelToken,
+    ) -> Result<StepVerdict, CoreError> {
+        self.check_inner(step, Some(cancel))
+    }
+
+    fn check_inner(
+        &mut self,
+        step: &Step,
+        cancel: Option<&CancelToken>,
+    ) -> Result<StepVerdict, CoreError> {
+        let poll = |cancel: Option<&CancelToken>| -> Result<(), CoreError> {
+            match cancel {
+                Some(token) if token.is_cancelled() => Err(CoreError::Cancelled),
+                _ => Ok(()),
+            }
+        };
+        poll(cancel)?;
         let semantics = RecencySemantics::new(&self.dms, self.bound);
         let next = semantics.apply(self.run.last(), step.action, &step.subst)?;
+        poll(cancel)?;
+        // evaluate φ on the reached configuration *before* committing anything, so a
+        // cancellation (or an evaluation error) between the phases leaves the session
+        // exactly as it was
+        let holds = eval::holds_boolean(next.instance(), &self.invariant)?;
+        poll(cancel)?;
+
         self.run.push(step.clone(), next);
         self.transactions += 1;
-
         let key = canonical_config_key(self.run.last(), self.dms.constants());
         let (state_id, new_state) = self.interner.intern_new(key);
         if new_state {
@@ -237,7 +274,7 @@ impl IncrementalChecker {
             self.dedup_hits += 1;
         }
 
-        if eval::holds_boolean(self.run.last().instance(), &self.invariant)? {
+        if holds {
             return Ok(StepVerdict::Ok {
                 state_id,
                 new_state,

@@ -1,0 +1,134 @@
+//! Cooperative cancellation for long-running checks.
+//!
+//! A [`CancelToken`] is the one mechanism every engine layer shares for bounding work:
+//! an explicit [`cancel`](CancelToken::cancel) call (an operator pulling the plug, a
+//! server evicting a connection) and an optional **deadline** (a per-request time budget)
+//! both surface through the same [`is_cancelled`](CancelToken::is_cancelled) poll. The
+//! token is an `Arc` around an atomic flag, so cloning is cheap and a clone handed to a
+//! worker thread observes cancellation requested from anywhere.
+//!
+//! Cancellation is *cooperative*: nothing is interrupted mid-computation. The search
+//! drivers in `rdms-checker` poll the token once per expanded configuration, and the
+//! incremental checker polls it between the phases of a single step (transition
+//! validation, invariant evaluation) — so the reaction latency is one unit of engine
+//! work, not zero. That is the right trade for verification workloads: every poll point
+//! leaves the caller's state consistent, which is what lets a serving layer map a fired
+//! token to a clean `deadline-exceeded` rejection instead of a poisoned session.
+//!
+//! ```
+//! use rdms_core::CancelToken;
+//! use std::time::Duration;
+//!
+//! let token = CancelToken::new();
+//! assert!(!token.is_cancelled());
+//! token.cancel();
+//! assert!(token.is_cancelled());
+//!
+//! // a deadline token fires on its own once the budget elapses
+//! let strict = CancelToken::with_timeout(Duration::ZERO);
+//! assert!(strict.is_cancelled());
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cheap-to-clone cancellation flag with an optional deadline.
+///
+/// All clones share one flag: cancelling any of them cancels them all. A token built with
+/// [`with_deadline`](CancelToken::with_deadline) / [`with_timeout`](CancelToken::with_timeout)
+/// additionally reports cancelled once the deadline passes, without anyone calling
+/// [`cancel`](CancelToken::cancel).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+#[derive(Debug, Default)]
+struct TokenInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only fires when [`cancel`](Self::cancel) is called.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that additionally fires once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// A token that fires `budget` from now — the per-request deadline shape.
+    pub fn with_timeout(budget: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + budget)
+    }
+
+    /// Request cancellation; every clone observes it on its next poll. Idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether work should stop: [`cancel`](Self::cancel) was called on any clone, or the
+    /// deadline (if one was set) has passed. The flag check is one atomic load; the
+    /// deadline check reads the clock, so polling once per unit of real work is the
+    /// intended granularity.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+
+    /// The deadline, when this token carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        // idempotent
+        clone.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn deadlines_fire_without_a_cancel_call() {
+        let token = CancelToken::with_timeout(Duration::ZERO);
+        assert!(token.is_cancelled());
+        assert!(token.deadline().is_some());
+
+        let generous = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!generous.is_cancelled());
+        // an explicit cancel still beats the deadline
+        generous.cancel();
+        assert!(generous.is_cancelled());
+    }
+
+    #[test]
+    fn default_token_never_fires_on_its_own() {
+        let token = CancelToken::default();
+        assert!(token.deadline().is_none());
+        assert!(!token.is_cancelled());
+    }
+}

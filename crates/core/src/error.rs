@@ -35,6 +35,10 @@ pub enum CoreError {
     RecencyViolation { action: String, var: Var },
     /// A referenced action index does not exist.
     NoSuchAction(usize),
+    /// The operation's [`CancelToken`](crate::CancelToken) fired (explicit cancellation
+    /// or an expired deadline) before the work completed. The caller's state is
+    /// unchanged: cancellation is only ever observed at consistent poll points.
+    Cancelled,
 }
 
 impl From<DbError> for CoreError {
@@ -86,6 +90,9 @@ impl fmt::Display for CoreError {
                 "action {action}: parameter {var} is bound outside the recency window"
             ),
             CoreError::NoSuchAction(i) => write!(f, "no action with index {i}"),
+            CoreError::Cancelled => {
+                write!(f, "cancelled: the deadline expired or cancellation was requested")
+            }
         }
     }
 }

@@ -21,6 +21,7 @@
 //!   into the wire format of the independent [`cert`] verifier (re-exported `rdms-cert`).
 
 pub mod action;
+pub mod cancel;
 pub mod commit;
 pub mod config;
 pub mod counter;
@@ -35,6 +36,7 @@ pub mod symbolic;
 pub mod transform;
 
 pub use action::{Action, ActionBuilder};
+pub use cancel::CancelToken;
 pub use commit::{
     safe_certificate, state_digest, state_record, violation_certificate, EdgeMap, StateRecord,
 };

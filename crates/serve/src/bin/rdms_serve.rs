@@ -22,6 +22,14 @@ OPTIONS:
       --max-frame-len <BYTES>     frame payload cap [default: 16777216]
       --max-transactions <N>      per-session accepted-transaction cap [default: unlimited]
       --handler-delay-ms <MS>     artificial per-request delay (test/load knob) [default: 0]
+      --io-timeout-ms <MS>        close connections stalled mid-frame this long (slow-loris
+                                  defence); 0 disables [default: 30000]
+      --check-deadline-ms <MS>    per-Check time budget, rejected with `deadline-exceeded`
+                                  past it; 0 disables [default: 0]
+      --journal-dir <DIR>         crash-safe session journals: log accepted transactions
+                                  here, recover sessions at boot (clients re-attach with
+                                  Resume) [default: off]
+      --journal-fsync-every <N>   fsync journals every N appended records [default: 8]
       --allow-remote-shutdown     honour the wire Shutdown request
   -h, --help                      print this help
 ";
@@ -60,6 +68,20 @@ fn main() {
             }
             "--handler-delay-ms" => {
                 config.handler_delay = Duration::from_millis(parse(&value("--handler-delay-ms")));
+            }
+            "--io-timeout-ms" => {
+                let ms: u64 = parse(&value("--io-timeout-ms"));
+                config.io_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--check-deadline-ms" => {
+                let ms: u64 = parse(&value("--check-deadline-ms"));
+                config.check_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--journal-dir" => {
+                config.journal_dir = Some(std::path::PathBuf::from(value("--journal-dir")));
+            }
+            "--journal-fsync-every" => {
+                config.journal_fsync_every = parse(&value("--journal-fsync-every"));
             }
             "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
             "-h" | "--help" => {

@@ -1,0 +1,360 @@
+//! Deterministic fault injection: failpoints, seeded I/O fault schedules, and faulty
+//! stream/sink wrappers.
+//!
+//! The chaos suite (`tests/chaos.rs`) needs three things ordinary tests cannot produce on
+//! demand: a panic at a chosen point inside a session handler, a client whose socket
+//! writes are fragmented and delayed in a seed-reproducible way, and journal sinks that
+//! fail or lose their tail mid-write. This module provides all three. Everything here is
+//! **deterministic in its seed or arming**: a failing schedule is reported by seed and
+//! replays exactly.
+//!
+//! The failpoint registry is compiled into release builds too (the chaos CI leg runs
+//! `--release`), but costs one relaxed atomic load per check when nothing is armed, and
+//! is a programmatic hook only — nothing on the wire can arm it.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::journal::JournalSink;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of currently armed failpoints; the disarmed fast path is one relaxed load.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<HashMap<String, u32>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, u32>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Whether any failpoint is armed. Call sites guard the key construction (usually a
+/// `format!`) behind this so the disarmed cost is one atomic load and no allocation.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed) != 0
+}
+
+/// Arm `key` to panic on its `nth` hit (1 = the very next hit). Re-arming an armed key
+/// replaces its countdown.
+pub fn arm(key: &str, nth: u32) {
+    assert!(nth >= 1, "nth is 1-based");
+    let mut map = registry().lock().expect("failpoint registry poisoned");
+    if map.insert(key.to_string(), nth).is_none() {
+        ARMED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Disarm every failpoint (test teardown).
+pub fn disarm_all() {
+    let mut map = registry().lock().expect("failpoint registry poisoned");
+    if !map.is_empty() {
+        map.clear();
+    }
+    ARMED.store(0, Ordering::Relaxed);
+}
+
+/// A failpoint site. Panics — deliberately — when `key` is armed and its countdown
+/// reaches zero; the hit disarms the key, so one arming produces exactly one panic.
+pub fn failpoint(key: &str) {
+    if !armed() {
+        return;
+    }
+    let fire = {
+        let mut map = registry().lock().expect("failpoint registry poisoned");
+        match map.get_mut(key) {
+            Some(countdown) => {
+                *countdown -= 1;
+                if *countdown == 0 {
+                    map.remove(key);
+                    ARMED.fetch_sub(1, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    };
+    if fire {
+        panic!("failpoint `{key}` fired");
+    }
+}
+
+/// What a [`FaultSchedule`] tells a faulty writer to do with the next chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write at most this many bytes (a short write; the caller's `write_all` loops).
+    Short(usize),
+    /// Sleep this long first, then write at most the given bytes (a slow-loris dribble).
+    Delay(Duration, usize),
+    /// Fail with [`io::ErrorKind::Interrupted`] (retried transparently by `write_all`).
+    Interrupt,
+}
+
+/// A seeded, deterministic schedule of I/O faults. Two schedules with the same seed make
+/// identical decisions, so any failing chaos case replays from its seed alone.
+#[derive(Clone, Debug)]
+pub struct FaultSchedule {
+    seed: u64,
+    rng: StdRng,
+}
+
+impl FaultSchedule {
+    /// A schedule deterministic in `seed`.
+    pub fn new(seed: u64) -> FaultSchedule {
+        FaultSchedule {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed, for failure reports.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Decide the fate of a write of `len` bytes.
+    pub fn next_write(&mut self, len: usize) -> WriteFault {
+        debug_assert!(len > 0);
+        match self.rng.gen_range(0u8..10) {
+            // mostly: short writes of 1..=len bytes, biased toward tiny fragments
+            0..=5 => WriteFault::Short(self.fragment(len)),
+            6 | 7 => WriteFault::Delay(
+                Duration::from_micros(self.rng.gen_range(50u64..2_000)),
+                self.fragment(len),
+            ),
+            _ => WriteFault::Interrupt,
+        }
+    }
+
+    fn fragment(&mut self, len: usize) -> usize {
+        if self.rng.gen_bool(0.5) {
+            1
+        } else {
+            self.rng.gen_range(1usize..=len)
+        }
+    }
+}
+
+/// A stream wrapper that fragments, delays and interrupts **writes** according to a
+/// [`FaultSchedule`]. Reads pass through untouched. Used client-side in the chaos tests:
+/// pushing faulty bytes at a real server socket exercises the server's partial-frame
+/// reassembly and its mid-frame i/o timeout under every schedule the seed space covers.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    schedule: FaultSchedule,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wrap `inner`, faulting its writes per `schedule`.
+    pub fn new(inner: S, schedule: FaultSchedule) -> FaultyStream<S> {
+        FaultyStream { inner, schedule }
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        match self.schedule.next_write(buf.len()) {
+            WriteFault::Short(n) => self.inner.write(&buf[..n.min(buf.len())]),
+            WriteFault::Delay(pause, n) => {
+                std::thread::sleep(pause);
+                self.inner.write(&buf[..n.min(buf.len())])
+            }
+            WriteFault::Interrupt => Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected interrupt",
+            )),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A [`JournalSink`] that silently loses every byte past `capacity` — the deterministic
+/// model of a crash mid-append: the kernel got a prefix of the frame, the rest never hit
+/// the disk. Feeding the surviving bytes to `journal::parse_journal` exercises the
+/// torn-tail truncation for an arbitrary cut point.
+#[derive(Debug)]
+pub struct TruncatingSink<S> {
+    inner: S,
+    capacity: usize,
+    written: usize,
+}
+
+impl<S> TruncatingSink<S> {
+    /// Accept `capacity` bytes, drop the rest.
+    pub fn new(inner: S, capacity: usize) -> TruncatingSink<S> {
+        TruncatingSink {
+            inner,
+            capacity,
+            written: 0,
+        }
+    }
+}
+
+impl<S: Write> Write for TruncatingSink<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let keep = buf.len().min(self.capacity.saturating_sub(self.written));
+        if keep > 0 {
+            self.inner.write_all(&buf[..keep])?;
+        }
+        self.written += buf.len();
+        // report full success: the writer believes the append landed, like a process
+        // that crashed before the data reached the platter
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<S: JournalSink> JournalSink for TruncatingSink<S> {
+    fn sync(&mut self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+/// A [`JournalSink`] that starts failing after `budget` bytes — disk full, directory
+/// unlinked, whatever. Drives the journal's broken-but-serving degradation path.
+#[derive(Debug)]
+pub struct FailingSink<S> {
+    inner: S,
+    budget: usize,
+    written: usize,
+}
+
+impl<S> FailingSink<S> {
+    /// Accept `budget` bytes, then fail every write.
+    pub fn new(inner: S, budget: usize) -> FailingSink<S> {
+        FailingSink {
+            inner,
+            budget,
+            written: 0,
+        }
+    }
+}
+
+impl<S: Write> Write for FailingSink<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.written + buf.len() > self.budget {
+            return Err(io::Error::other("injected write failure"));
+        }
+        self.written += buf.len();
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<S: JournalSink> JournalSink for FailingSink<S> {
+    fn sync(&mut self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{self, Journal, JournalRecord, SharedBuffer};
+    use std::collections::BTreeMap;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn failpoints_fire_once_on_the_nth_hit() {
+        // a key unique to this test: the registry is process-global and tests run in
+        // parallel
+        let key = "test:faults:nth";
+        arm(key, 3);
+        failpoint(key);
+        failpoint(key);
+        let result = catch_unwind(AssertUnwindSafe(|| failpoint(key)));
+        assert!(result.is_err(), "third hit fires");
+        failpoint(key); // disarmed after firing: no panic
+    }
+
+    #[test]
+    fn schedules_are_deterministic_in_their_seed() {
+        let mut a = FaultSchedule::new(99);
+        let mut b = FaultSchedule::new(99);
+        for len in 1..200usize {
+            assert_eq!(a.next_write(len), b.next_write(len));
+        }
+    }
+
+    #[test]
+    fn faulty_streams_deliver_every_byte_eventually() {
+        for seed in 0..20u64 {
+            let mut stream = FaultyStream::new(Vec::new(), FaultSchedule::new(seed));
+            let payload: Vec<u8> = (0..=255).collect();
+            stream.write_all(&payload).unwrap();
+            assert_eq!(stream.get_ref(), &payload, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn truncating_sinks_model_a_crash_mid_append() {
+        let open = journal::open_record(&rdms_core::dms::example_3_1(), 2, "true", false);
+        let check = JournalRecord::Check {
+            action: "alpha".into(),
+            bindings: BTreeMap::from([
+                ("v1".to_string(), 1),
+                ("v2".to_string(), 2),
+                ("v3".to_string(), 3),
+            ]),
+        };
+        let intact_len = 4 + journal::encode_record(&open).len();
+        let buffer = SharedBuffer::default();
+        // lose the second half of the Check frame
+        let sink = TruncatingSink::new(buffer.clone(), intact_len + 10);
+        let mut journal = Journal::with_sink(Box::new(sink), &open, 4).unwrap();
+        journal.append(&check);
+        assert!(journal.broken().is_none(), "the crash is silent");
+        drop(journal);
+
+        let parsed = journal::parse_journal(&buffer.contents()).unwrap();
+        assert!(parsed.torn);
+        assert_eq!(parsed.records, vec![open]);
+        assert_eq!(parsed.good_len, intact_len as u64);
+    }
+
+    #[test]
+    fn failing_sinks_break_the_journal_but_not_the_caller() {
+        let open = journal::open_record(&rdms_core::dms::example_3_1(), 2, "true", false);
+        let check = JournalRecord::Check {
+            action: "alpha".into(),
+            bindings: BTreeMap::new(),
+        };
+        let buffer = SharedBuffer::default();
+        let budget = 4 + journal::encode_record(&open).len();
+        let sink = FailingSink::new(buffer.clone(), budget);
+        let mut journal = Journal::with_sink(Box::new(sink), &open, 4).unwrap();
+        journal.append(&check);
+        assert!(journal.broken().is_some());
+        journal.append(&check); // no-op, no panic
+        let parsed = journal::parse_journal(&buffer.contents()).unwrap();
+        assert_eq!(parsed.records, vec![open]);
+    }
+}

@@ -16,8 +16,14 @@
 //! * [`session`] — a [`Session`]: one client's verification state, no transport. This is
 //!   the **embedding API** — use it directly for in-process online checking.
 //! * [`server`] — the TCP layer: accept loop, per-connection reader/worker threads,
-//!   bounded inbound queues with explicit `Busy` backpressure, idle eviction, and
-//!   graceful drain on shutdown. `docs/OPERATIONS.md` is the operator guide.
+//!   bounded inbound queues with explicit `Busy` backpressure, idle eviction, panic
+//!   containment (a poisoned session never takes the server down), mid-frame i/o
+//!   timeouts, and graceful drain on shutdown. `docs/OPERATIONS.md` is the operator
+//!   guide.
+//!
+//! Two robustness layers ride on top: [`journal`] gives sessions crash-safe append-only
+//! logs and boot-time recovery (clients re-attach with `Resume`), and [`faults`] is the
+//! deterministic fault-injection harness the chaos suite drives them with.
 //!
 //! The `rdms-serve` binary wraps [`Server`] with flags; `examples/serve_client.rs` (at the
 //! workspace root) is a complete protocol-conformant client.
@@ -85,7 +91,7 @@
 //!     invariant: "true".to_string(),
 //!     emit_certificates: false,
 //! });
-//! assert_eq!(opened, Response::Opened { protocol: PROTOCOL_VERSION });
+//! assert!(matches!(opened, Response::Opened { protocol: PROTOCOL_VERSION, .. }));
 //!
 //! let verdict = turn(&Request::Check {
 //!     action: "alpha".to_string(),
@@ -99,10 +105,13 @@
 //! handle.shutdown().unwrap();
 //! ```
 
+pub mod faults;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
+pub use journal::{Journal, JournalRecord, RecoveredSession};
 pub use protocol::{Request, Response, WireStep, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use session::{CheckOutcome, OpenError, Session};

@@ -33,8 +33,9 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 /// The protocol version this build speaks. Bumped on any wire-visible change; see the
-/// versioning rules in `docs/PROTOCOL.md`.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// versioning rules in `docs/PROTOCOL.md`. Version 2 added the `session` id to
+/// [`Response::Opened`] and the [`Request::Resume`] crash-recovery handshake.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Default cap on a single frame's payload length (16 MiB). `Open` frames carry a whole
 /// serialized DMS, so the default is generous; operators serving untrusted networks should
@@ -68,6 +69,17 @@ pub enum Request {
         /// `σ`: variable name → data value index.
         bindings: BTreeMap<String, u64>,
     },
+    /// Re-attach to a session restored from the server's crash journal (see the Recovery
+    /// section of `docs/PROTOCOL.md`): `session` is the id a previous `Opened` reply
+    /// carried, on a server started with `--journal-dir`. Succeeds at most once per
+    /// recovered session; rejected with code `unknown-session` when the id was never
+    /// journaled, was already resumed, or the server does not journal.
+    Resume {
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u32,
+        /// The session id to re-attach, from the `Opened` reply of the original `Open`.
+        session: u64,
+    },
     /// Ask for the session's counters (see [`Response::Stats`]).
     Status,
     /// Liveness probe; answered with [`Response::Pong`] even before `Open`.
@@ -93,8 +105,11 @@ pub struct WireStep {
 /// [`Response::Busy`] and [`Response::Evicted`] can additionally arrive at any time.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Response {
-    /// The session is open; `protocol` echoes the server's [`PROTOCOL_VERSION`].
-    Opened { protocol: u32 },
+    /// The session is open (reply to `Open` and to `Resume`); `protocol` echoes the
+    /// server's [`PROTOCOL_VERSION`] and `session` is the server-assigned session id —
+    /// quote it in a [`Request::Resume`] to re-attach after a server crash when the
+    /// server journals sessions (`--journal-dir`).
+    Opened { protocol: u32, session: u64 },
     /// The transaction was a valid `b`-bounded transition and the invariant holds in the
     /// reached configuration.
     Ok {
@@ -179,6 +194,23 @@ pub enum ErrorCode {
     ShutdownDisabled,
     /// The server is draining; no new sessions or transactions are accepted.
     ShuttingDown,
+    /// The per-request time budget (`--check-deadline-ms`) expired before the transaction
+    /// finished checking. The transaction was **not** applied; the session stays open.
+    DeadlineExceeded,
+    /// A handler panicked while processing this session's request. The session is
+    /// poisoned: it is evicted and the connection closes, but the server — and every
+    /// other session — keeps running. With journaling on, the session's journal survives
+    /// for recovery at next boot.
+    SessionPoisoned,
+    /// The connection spent longer than the i/o timeout (`--io-timeout-ms`) mid-frame —
+    /// a slow-loris-style partial frame. The connection closes.
+    Timeout,
+    /// A `Resume` named a session id with no recovered journal (never journaled, already
+    /// resumed, or the server does not journal).
+    UnknownSession,
+    /// The server could not create or append the session's crash journal (`--journal-dir`
+    /// misconfigured, disk full, …). For `Open`/`Resume`: the session was not attached.
+    JournalError,
 }
 
 impl ErrorCode {
@@ -199,6 +231,11 @@ impl ErrorCode {
             ErrorCode::SessionLimit => "session-limit",
             ErrorCode::ShutdownDisabled => "shutdown-disabled",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::SessionPoisoned => "session-poisoned",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::UnknownSession => "unknown-session",
+            ErrorCode::JournalError => "journal-error",
         }
     }
 }

@@ -30,15 +30,19 @@
 //!   queued, each open connection receives [`Response::Bye`], and `run` returns only
 //!   after every connection thread has been joined.
 
+use crate::journal::{self, Journal, RecoveredSession, DEFAULT_FSYNC_EVERY};
 use crate::protocol::{
     decode_request, write_message, ErrorCode, FrameError, FrameReader, Request, Response,
     DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use crate::session::Session;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -72,6 +76,22 @@ pub struct ServerConfig {
     /// deterministically overflows the queue, which is how the `Busy` path is exercised
     /// by tests and operators rehearsing backpressure.
     pub handler_delay: Duration,
+    /// Cap on how long a connection may sit **mid-frame** (some bytes of a frame read,
+    /// the rest outstanding) — the slow-loris defence, measured from the frame's first
+    /// byte, so byte-at-a-time dribbling does not reset it the way it resets the idle
+    /// clock. Past it the server replies `Rejected {code: "timeout"}` and closes. Also
+    /// applied as the socket write timeout. `None` disables both.
+    pub io_timeout: Option<Duration>,
+    /// Per-`Check` time budget; a transaction still checking when it expires is rejected
+    /// with code `deadline-exceeded` and **not** applied. `None` = no budget.
+    pub check_deadline: Option<Duration>,
+    /// Directory for crash-safe session journals. `Some` turns journaling on: sessions
+    /// log their `Open` payload and accepted transactions, the server replays the logs
+    /// at boot, and clients re-attach with `Resume`. `None` (default) = no journaling.
+    pub journal_dir: Option<PathBuf>,
+    /// Fsync the journal every this-many appended records (1 = every record). Bounds the
+    /// transactions a kernel-level crash can lose; see `docs/OPERATIONS.md`.
+    pub journal_fsync_every: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +105,10 @@ impl Default for ServerConfig {
             max_transactions: None,
             allow_remote_shutdown: false,
             handler_delay: Duration::ZERO,
+            io_timeout: Some(Duration::from_secs(30)),
+            check_deadline: None,
+            journal_dir: None,
+            journal_fsync_every: DEFAULT_FSYNC_EVERY,
         }
     }
 }
@@ -158,6 +182,51 @@ struct Shared {
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     active: AtomicUsize,
+    /// Session-id allocator. Ids are assigned on `Open` (journaling or not) and echoed
+    /// in `Opened`; after a boot-time recovery the counter starts past every recovered
+    /// id, so ids never collide across a crash.
+    next_session_id: AtomicU64,
+    /// Sessions rebuilt from journals at boot, parked until a client `Resume`s them.
+    recovered: Mutex<HashMap<u64, RecoveredSession>>,
+}
+
+impl Shared {
+    fn new(config: ServerConfig, shutdown: Arc<AtomicBool>) -> Shared {
+        Shared {
+            config,
+            shutdown,
+            active: AtomicUsize::new(0),
+            next_session_id: AtomicU64::new(1),
+            recovered: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Replay every journal in the configured directory into parked sessions. Called
+    /// once, before the accept loop; a server without `journal_dir` skips it entirely.
+    fn recover_sessions(&self) -> io::Result<()> {
+        let Some(dir) = &self.config.journal_dir else {
+            return Ok(());
+        };
+        let mut highest = 0u64;
+        let mut parked = self.recovered.lock();
+        for (id, session) in journal::recover_dir(dir)? {
+            eprintln!(
+                "rdms-serve: recovered session {id} ({} transactions{})",
+                session.replayed,
+                if session.truncated {
+                    ", torn tail truncated"
+                } else {
+                    ""
+                },
+            );
+            highest = highest.max(id);
+            parked.insert(id, session);
+        }
+        drop(parked);
+        self.next_session_id
+            .fetch_max(highest + 1, Ordering::SeqCst);
+        Ok(())
+    }
 }
 
 impl Server {
@@ -203,11 +272,8 @@ impl Server {
     /// permitted remote `Shutdown` request), then drain and join every connection.
     pub fn run(self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        let shared = Arc::new(Shared {
-            config: self.config,
-            shutdown: Arc::clone(&self.shutdown),
-            active: AtomicUsize::new(0),
-        });
+        let shared = Arc::new(Shared::new(self.config, Arc::clone(&self.shutdown)));
+        shared.recover_sessions()?;
         let mut connections: Vec<JoinHandle<()>> = Vec::new();
         while !self.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
@@ -245,10 +311,12 @@ fn refuse(mut stream: TcpStream, code: ErrorCode, message: &str) {
     let _ = write_message(&mut stream, &Response::rejected(code, message));
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     stream.set_read_timeout(Some(shared.config.poll_interval))?;
     let _ = stream.set_nodelay(true);
-    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let writer_stream = stream.try_clone()?;
+    writer_stream.set_write_timeout(shared.config.io_timeout)?;
+    let writer = Arc::new(Mutex::new(writer_stream));
     // `done` is the worker telling the reader the conversation is over (Close/Shutdown)
     let done = Arc::new(AtomicBool::new(false));
 
@@ -256,13 +324,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     let worker = {
         let writer = Arc::clone(&writer);
         let done = Arc::clone(&done);
-        let shutdown = Arc::clone(&shared.shutdown);
-        let config = shared.config.clone();
-        std::thread::spawn(move || worker_loop(inbox, writer, done, shutdown, config))
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || worker_loop(inbox, writer, done, shared))
     };
 
     let mut reader = FrameReader::new(stream, shared.config.max_frame_len);
     let mut last_frame = Instant::now();
+    // when the current frame's first byte arrived; the io-timeout clock. Unlike
+    // `last_frame` it is NOT reset by progress within a frame, so a byte-at-a-time
+    // dribbler times out just like a length-then-stall client.
+    let mut frame_started: Option<Instant> = None;
     loop {
         if done.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -270,6 +341,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
         match reader.poll_frame() {
             Ok(Some(payload)) => {
                 last_frame = Instant::now();
+                frame_started = None;
                 match queue.try_send(payload) {
                     Ok(()) => {}
                     Err(TrySendError::Full(_)) => {
@@ -281,9 +353,26 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             }
             Ok(None) => break, // peer closed cleanly
             Err(FrameError::Idle) => {
-                if !reader.mid_frame() && last_frame.elapsed() >= shared.config.idle_timeout {
-                    let _ = write_message(&mut *writer.lock(), &Response::Evicted);
-                    break;
+                if reader.mid_frame() {
+                    let started = *frame_started.get_or_insert_with(Instant::now);
+                    if let Some(io_timeout) = shared.config.io_timeout {
+                        if started.elapsed() >= io_timeout {
+                            let _ = write_message(
+                                &mut *writer.lock(),
+                                &Response::rejected(
+                                    ErrorCode::Timeout,
+                                    format!("frame not completed within {io_timeout:?}"),
+                                ),
+                            );
+                            break; // mid-frame: the stream cannot be resynced
+                        }
+                    }
+                } else {
+                    frame_started = None;
+                    if last_frame.elapsed() >= shared.config.idle_timeout {
+                        let _ = write_message(&mut *writer.lock(), &Response::Evicted);
+                        break;
+                    }
                 }
             }
             Err(FrameError::Oversized { len, max }) => {
@@ -308,23 +397,36 @@ fn worker_loop(
     inbox: Receiver<Vec<u8>>,
     writer: Arc<Mutex<TcpStream>>,
     done: Arc<AtomicBool>,
-    shutdown: Arc<AtomicBool>,
-    config: ServerConfig,
+    shared: Arc<Shared>,
 ) {
     let mut session: Option<Session> = None;
     let mut said_goodbye = false;
     // recv() until the reader hangs up; after that everything queued has been answered
     while let Ok(payload) = inbox.recv() {
-        if !config.handler_delay.is_zero() {
-            std::thread::sleep(config.handler_delay);
+        if !shared.config.handler_delay.is_zero() {
+            std::thread::sleep(shared.config.handler_delay);
         }
-        let (response, terminal) = match decode_request(&payload) {
+        // panic containment: a panicking handler poisons only this session — the reply
+        // names the poisoning, the connection closes, and the server (and every other
+        // session) keeps running. The session's journal file, if any, survives on disk
+        // for recovery at next boot.
+        let handled = catch_unwind(AssertUnwindSafe(|| match decode_request(&payload) {
             Err(message) => (
                 Response::rejected(ErrorCode::MalformedFrame, message),
                 false,
             ),
-            Ok(request) => process(request, &mut session, &shutdown, &config),
-        };
+            Ok(request) => process(request, &mut session, &shared),
+        }));
+        let (response, terminal) = handled.unwrap_or_else(|_| {
+            session = None; // the half-mutated session must never serve again
+            (
+                Response::rejected(
+                    ErrorCode::SessionPoisoned,
+                    "the session handler panicked; this session is evicted",
+                ),
+                true,
+            )
+        });
         if matches!(response, Response::Bye) {
             said_goodbye = true;
         }
@@ -338,19 +440,43 @@ fn worker_loop(
     }
     // drain notice: when the server is stopping (rather than this one conversation
     // ending), tell the peer before the socket closes
-    if shutdown.load(Ordering::SeqCst) && !said_goodbye {
+    if shared.shutdown.load(Ordering::SeqCst) && !said_goodbye {
         let _ = write_message(&mut *writer.lock(), &Response::Bye);
     }
 }
 
+/// The `Open`/`Resume` preconditions shared by both handshakes; `None` means proceed.
+fn handshake_rejection(
+    version: u32,
+    session: &Option<Session>,
+    shared: &Shared,
+) -> Option<Response> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Some(Response::rejected(
+            ErrorCode::ShuttingDown,
+            "server is draining",
+        ));
+    }
+    if version != PROTOCOL_VERSION {
+        return Some(Response::rejected(
+            ErrorCode::ProtocolVersion,
+            format!("server speaks version {PROTOCOL_VERSION}, client sent {version}"),
+        ));
+    }
+    if session.is_some() {
+        return Some(Response::rejected(
+            ErrorCode::SessionAlreadyOpen,
+            "this connection already has a session",
+        ));
+    }
+    None
+}
+
 /// Map one request onto the session, returning the reply and whether the conversation is
-/// over. Pure protocol logic — no I/O — so the tests drive it directly too.
-fn process(
-    request: Request,
-    session: &mut Option<Session>,
-    shutdown: &AtomicBool,
-    config: &ServerConfig,
-) -> (Response, bool) {
+/// over. Pure protocol logic — no socket I/O (journal creation touches the journal
+/// directory) — so the tests drive it directly too.
+fn process(request: Request, session: &mut Option<Session>, shared: &Shared) -> (Response, bool) {
+    let config = &shared.config;
     match request {
         Request::Ping => (Response::Pong, false),
         Request::Open {
@@ -360,41 +486,87 @@ fn process(
             invariant,
             emit_certificates,
         } => {
-            if shutdown.load(Ordering::SeqCst) {
-                return (
-                    Response::rejected(ErrorCode::ShuttingDown, "server is draining"),
-                    false,
-                );
+            if let Some(rejection) = handshake_rejection(version, session, shared) {
+                return (rejection, false);
             }
-            if version != PROTOCOL_VERSION {
-                return (
-                    Response::rejected(
-                        ErrorCode::ProtocolVersion,
-                        format!("server speaks version {PROTOCOL_VERSION}, client sent {version}"),
-                    ),
-                    false,
-                );
-            }
-            if session.is_some() {
-                return (
-                    Response::rejected(
-                        ErrorCode::SessionAlreadyOpen,
-                        "this connection already has a session",
-                    ),
-                    false,
-                );
-            }
+            // the Open payload must be captured before `Session::open` consumes the DMS
+            let record = config
+                .journal_dir
+                .as_ref()
+                .map(|_| journal::open_record(&dms, bound, &invariant, emit_certificates));
             match Session::open(dms, bound, &invariant, emit_certificates) {
                 Ok(opened) => {
-                    *session = Some(opened.with_transaction_limit(config.max_transactions));
+                    let id = shared.next_session_id.fetch_add(1, Ordering::SeqCst);
+                    let mut opened = opened
+                        .with_transaction_limit(config.max_transactions)
+                        .with_deadline(config.check_deadline);
+                    if let (Some(dir), Some(record)) = (&config.journal_dir, record) {
+                        match Journal::create(dir, id, &record, config.journal_fsync_every) {
+                            Ok(journal) => {
+                                opened =
+                                    opened.with_journal(Arc::new(std::sync::Mutex::new(journal)));
+                            }
+                            Err(e) => {
+                                let (code, message) = journal::journal_error(&e);
+                                return (Response::rejected(code, message), false);
+                            }
+                        }
+                    }
+                    *session = Some(opened);
                     (
                         Response::Opened {
                             protocol: PROTOCOL_VERSION,
+                            session: id,
                         },
                         false,
                     )
                 }
                 Err(e) => (Response::rejected(e.code, e.message), false),
+            }
+        }
+        Request::Resume {
+            version,
+            session: id,
+        } => {
+            if let Some(rejection) = handshake_rejection(version, session, shared) {
+                return (rejection, false);
+            }
+            let Some(recovered) = shared.recovered.lock().remove(&id) else {
+                return (
+                    Response::rejected(
+                        ErrorCode::UnknownSession,
+                        format!(
+                            "no recovered session {id}: never journaled, already resumed, \
+                             or the server does not journal"
+                        ),
+                    ),
+                    false,
+                );
+            };
+            match Journal::open_append(&recovered.path, config.journal_fsync_every) {
+                Ok(journal) => {
+                    *session = Some(
+                        recovered
+                            .session
+                            .with_transaction_limit(config.max_transactions)
+                            .with_deadline(config.check_deadline)
+                            .with_journal(Arc::new(std::sync::Mutex::new(journal))),
+                    );
+                    (
+                        Response::Opened {
+                            protocol: PROTOCOL_VERSION,
+                            session: id,
+                        },
+                        false,
+                    )
+                }
+                Err(e) => {
+                    // park it again: the replayed state is still good, only the append
+                    // handle failed
+                    shared.recovered.lock().insert(id, recovered);
+                    let (code, message) = journal::journal_error(&e);
+                    (Response::rejected(code, message), false)
+                }
             }
         }
         Request::Check { action, bindings } => match session {
@@ -414,10 +586,20 @@ fn process(
             ),
             Some(session) => (session.stats(), false),
         },
-        Request::Close => (Response::Bye, true),
+        Request::Close => {
+            // a cleanly closed session needs no recovery: retire (delete) its journal
+            if let Some(journal) = session.as_mut().and_then(Session::take_journal) {
+                if let Ok(mutex) = Arc::try_unwrap(journal) {
+                    if let Ok(journal) = mutex.into_inner() {
+                        let _ = journal.retire();
+                    }
+                }
+            }
+            (Response::Bye, true)
+        }
         Request::Shutdown => {
             if config.allow_remote_shutdown {
-                shutdown.store(true, Ordering::SeqCst);
+                shared.shutdown.store(true, Ordering::SeqCst);
                 (Response::Bye, true)
             } else {
                 (
@@ -448,15 +630,18 @@ mod tests {
         }
     }
 
+    fn test_shared(config: ServerConfig) -> Shared {
+        Shared::new(config, Arc::new(AtomicBool::new(false)))
+    }
+
     #[test]
     fn process_walks_the_session_state_machine() {
-        let shutdown = AtomicBool::new(false);
-        let config = ServerConfig::default();
+        let shared = test_shared(ServerConfig::default());
         let mut session = None;
 
         // pre-open: Ping works, Check/Status don't
         assert_eq!(
-            process(Request::Ping, &mut session, &shutdown, &config).0,
+            process(Request::Ping, &mut session, &shared).0,
             Response::Pong
         );
         let (resp, _) = process(
@@ -465,20 +650,20 @@ mod tests {
                 bindings: BTreeMap::new(),
             },
             &mut session,
-            &shutdown,
-            &config,
+            &shared,
         );
         assert!(matches!(resp, Response::Rejected { ref code, .. } if code == "no-session"));
 
         // open once: ok; twice: rejected
-        let (resp, _) = process(open_request(), &mut session, &shutdown, &config);
-        assert_eq!(
+        let (resp, _) = process(open_request(), &mut session, &shared);
+        assert!(matches!(
             resp,
             Response::Opened {
-                protocol: PROTOCOL_VERSION
+                protocol: PROTOCOL_VERSION,
+                ..
             }
-        );
-        let (resp, _) = process(open_request(), &mut session, &shutdown, &config);
+        ));
+        let (resp, _) = process(open_request(), &mut session, &shared);
         assert!(
             matches!(resp, Response::Rejected { ref code, .. } if code == "session-already-open")
         );
@@ -494,21 +679,34 @@ mod tests {
                 ]),
             },
             &mut session,
-            &shutdown,
-            &config,
+            &shared,
         );
         assert!(matches!(resp, Response::Ok { run_len: 1, .. }));
 
         // close is terminal
-        let (resp, terminal) = process(Request::Close, &mut session, &shutdown, &config);
+        let (resp, terminal) = process(Request::Close, &mut session, &shared);
         assert_eq!(resp, Response::Bye);
         assert!(terminal);
     }
 
     #[test]
-    fn version_mismatch_and_drain_reject_opens() {
-        let shutdown = AtomicBool::new(false);
-        let config = ServerConfig::default();
+    fn session_ids_are_distinct_across_opens() {
+        let shared = test_shared(ServerConfig::default());
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            let mut session = None;
+            match process(open_request(), &mut session, &shared).0 {
+                Response::Opened { session: id, .. } => ids.push(id),
+                other => panic!("expected Opened, got {other:?}"),
+            }
+        }
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn version_mismatch_and_drain_reject_opens_and_resumes() {
+        let shared = test_shared(ServerConfig::default());
         let mut session = None;
         let bad_version = Request::Open {
             version: PROTOCOL_VERSION + 1,
@@ -517,28 +715,56 @@ mod tests {
             invariant: "true".into(),
             emit_certificates: false,
         };
-        let (resp, _) = process(bad_version, &mut session, &shutdown, &config);
+        let (resp, _) = process(bad_version, &mut session, &shared);
         assert!(matches!(resp, Response::Rejected { ref code, .. } if code == "protocol-version"));
 
-        shutdown.store(true, Ordering::SeqCst);
-        let (resp, _) = process(open_request(), &mut session, &shutdown, &config);
+        shared.shutdown.store(true, Ordering::SeqCst);
+        let (resp, _) = process(open_request(), &mut session, &shared);
+        assert!(matches!(resp, Response::Rejected { ref code, .. } if code == "shutting-down"));
+        let (resp, _) = process(
+            Request::Resume {
+                version: PROTOCOL_VERSION,
+                session: 1,
+            },
+            &mut session,
+            &shared,
+        );
         assert!(matches!(resp, Response::Rejected { ref code, .. } if code == "shutting-down"));
     }
 
     #[test]
-    fn remote_shutdown_is_gated() {
-        let shutdown = AtomicBool::new(false);
-        let mut config = ServerConfig::default();
+    fn resuming_an_unknown_session_is_rejected() {
+        let shared = test_shared(ServerConfig::default());
         let mut session = None;
-        let (resp, terminal) = process(Request::Shutdown, &mut session, &shutdown, &config);
+        let (resp, terminal) = process(
+            Request::Resume {
+                version: PROTOCOL_VERSION,
+                session: 42,
+            },
+            &mut session,
+            &shared,
+        );
+        assert!(matches!(resp, Response::Rejected { ref code, .. } if code == "unknown-session"));
+        assert!(!terminal);
+        assert!(session.is_none());
+    }
+
+    #[test]
+    fn remote_shutdown_is_gated() {
+        let shared = test_shared(ServerConfig::default());
+        let mut session = None;
+        let (resp, terminal) = process(Request::Shutdown, &mut session, &shared);
         assert!(matches!(resp, Response::Rejected { ref code, .. } if code == "shutdown-disabled"));
         assert!(!terminal);
-        assert!(!shutdown.load(Ordering::SeqCst));
+        assert!(!shared.shutdown.load(Ordering::SeqCst));
 
-        config.allow_remote_shutdown = true;
-        let (resp, terminal) = process(Request::Shutdown, &mut session, &shutdown, &config);
+        let shared = test_shared(ServerConfig {
+            allow_remote_shutdown: true,
+            ..ServerConfig::default()
+        });
+        let (resp, terminal) = process(Request::Shutdown, &mut session, &shared);
         assert_eq!(resp, Response::Bye);
         assert!(terminal);
-        assert!(shutdown.load(Ordering::SeqCst));
+        assert!(shared.shutdown.load(Ordering::SeqCst));
     }
 }

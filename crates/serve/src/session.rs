@@ -6,14 +6,17 @@
 //! inside their own process use this type directly and never pay for framing or threads;
 //! the server in [`crate::server`] is a thin loop mapping frames onto these methods.
 
+use crate::faults;
+use crate::journal::{Journal, JournalRecord};
 use crate::protocol::{ErrorCode, Response, WireStep};
 use rdms_checker::incremental::{IncrementalChecker, StepVerdict};
 use rdms_core::cert::Certificate;
-use rdms_core::{CoreError, Dms, ExtendedRun, Step};
+use rdms_core::{CancelToken, CoreError, Dms, ExtendedRun, Step};
 use rdms_db::parser::parse_query;
 use rdms_db::{DataValue, DbError, Substitution, Var};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Why a session could not be opened.
 #[derive(Debug)]
@@ -86,6 +89,10 @@ pub struct Session {
     checker: IncrementalChecker,
     /// Accepted-transaction cap; `None` = unlimited.
     transaction_limit: Option<usize>,
+    /// Per-`check` time budget; `None` = no deadline.
+    deadline: Option<Duration>,
+    /// Crash journal; accepted transactions are appended after the checker commits them.
+    journal: Option<Arc<Mutex<Journal>>>,
 }
 
 impl Session {
@@ -121,6 +128,8 @@ impl Session {
         Ok(Session {
             checker,
             transaction_limit: None,
+            deadline: None,
+            journal: None,
         })
     }
 
@@ -131,12 +140,43 @@ impl Session {
         self
     }
 
+    /// Give every `check` call a time budget. A check whose [`CancelToken`] deadline
+    /// fires is rejected with code `deadline-exceeded`; the transaction is **not**
+    /// applied and the session stays usable. `None` removes the budget.
+    pub fn with_deadline(mut self, budget: Option<Duration>) -> Session {
+        self.deadline = budget;
+        self
+    }
+
+    /// Attach a crash journal: every transaction this session **accepts** from now on is
+    /// appended as a [`JournalRecord::Check`]. The caller is responsible for having
+    /// journaled the `Open` payload (see [`Journal::create`]).
+    pub fn with_journal(mut self, journal: Arc<Mutex<Journal>>) -> Session {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The attached crash journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Mutex<Journal>>> {
+        self.journal.as_ref()
+    }
+
+    /// Detach and return the crash journal (used on `Close` to retire the file).
+    pub fn take_journal(&mut self) -> Option<Arc<Mutex<Journal>>> {
+        self.journal.take()
+    }
+
     /// Check one wire transaction: resolve `action` by name, build the substitution from
     /// `bindings`, validate it as a `b`-bounded transition and evaluate the invariant.
     ///
     /// Never panics on hostile input — every failure mode is a [`CheckOutcome::Rejected`]
     /// with a stable code, and rejected transactions leave the session untouched.
     pub fn check(&mut self, action: &str, bindings: &BTreeMap<String, u64>) -> CheckOutcome {
+        // deterministic test panics (the chaos suite's `session-poisoned` driver);
+        // disarmed cost is one atomic load and no allocation
+        if faults::armed() {
+            faults::failpoint(&format!("check:{action}"));
+        }
         if let Some(limit) = self.transaction_limit {
             if self.checker.transactions() >= limit {
                 return CheckOutcome::Rejected {
@@ -157,22 +197,34 @@ impl Session {
                 .map(|(name, &value)| (Var::new(name), DataValue(value))),
         );
         let step = Step::new(index, subst);
-        match self.checker.check(&step) {
+        let verdict = match self.deadline {
+            Some(budget) => self
+                .checker
+                .check_with_cancel(&step, &CancelToken::with_timeout(budget)),
+            None => self.checker.check(&step),
+        };
+        match verdict {
             Ok(StepVerdict::Ok {
                 state_id,
                 new_state,
-            }) => CheckOutcome::Ok {
-                state_id,
-                new_state,
-                run_len: self.checker.run().len(),
-            },
+            }) => {
+                self.journal_accepted(action, bindings);
+                CheckOutcome::Ok {
+                    state_id,
+                    new_state,
+                    run_len: self.checker.run().len(),
+                }
+            }
             Ok(StepVerdict::Violation {
                 witness,
                 certificate,
-            }) => CheckOutcome::Violation {
-                witness,
-                certificate,
-            },
+            }) => {
+                self.journal_accepted(action, bindings);
+                CheckOutcome::Violation {
+                    witness,
+                    certificate,
+                }
+            }
             Err(e) => {
                 let (code, message) = match &e {
                     CoreError::NoSuchAction(_) => {
@@ -184,10 +236,26 @@ impl Session {
                     CoreError::RecencyViolation { .. } => {
                         (ErrorCode::RecencyViolation, e.to_string())
                     }
+                    CoreError::Cancelled => (ErrorCode::DeadlineExceeded, e.to_string()),
                     _ => (ErrorCode::DatabaseError, e.to_string()),
                 };
                 CheckOutcome::Rejected { code, message }
             }
+        }
+    }
+
+    /// Append an accepted transaction to the crash journal, if one is attached. Only
+    /// accepted transactions are journaled: the journal must replay verbatim, and
+    /// rejected transactions never touched the run spine.
+    fn journal_accepted(&self, action: &str, bindings: &BTreeMap<String, u64>) {
+        if let Some(journal) = &self.journal {
+            journal
+                .lock()
+                .expect("journal mutex poisoned")
+                .append(&JournalRecord::Check {
+                    action: action.to_string(),
+                    bindings: bindings.clone(),
+                });
         }
     }
 

@@ -17,6 +17,11 @@
 //! does exactly that against the `rdms-serve` binary, in which case the client finishes
 //! with a wire `Shutdown` (the smoke leg starts the binary with
 //! `--allow-remote-shutdown`) and the server drains and exits 0.
+//!
+//! Transient failures are retried with bounded exponential backoff: a refused `connect`
+//! (the server may still be binding) and a `Busy` reply (the server's explicit
+//! backpressure signal) both back off and resend, up to `--max-retries` attempts
+//! (default 5) — the documented client half of the protocol's backpressure contract.
 
 use rdms_core::dms::example_3_1;
 use rdms_serve::protocol::{self, FrameError, Request, Response, PROTOCOL_VERSION};
@@ -26,27 +31,69 @@ use rdms_workloads::streams::{wire_transaction, TransactionStream};
 use std::collections::BTreeMap;
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Transactions pushed through the accepted stream.
 const ACCEPTED_STREAM_LEN: usize = 32;
+
+/// First backoff pause; doubles per retry (25, 50, 100, … ms).
+const BACKOFF_BASE: Duration = Duration::from_millis(25);
 
 /// One connection: a write half plus a [`protocol::FrameReader`] over its clone.
 struct Client {
     stream: TcpStream,
     replies: protocol::FrameReader<TcpStream>,
+    max_retries: u32,
+}
+
+/// The `n`th retry's backoff pause (exponential, bounded by the retry cap).
+fn backoff(attempt: u32) -> Duration {
+    BACKOFF_BASE * 2u32.saturating_pow(attempt)
 }
 
 impl Client {
-    fn connect(addr: &str) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+    /// Connect with bounded retry: a server still binding (or recovering journals) at
+    /// its published address refuses briefly, so `ConnectionRefused` backs off and
+    /// retries up to `max_retries` times before giving up.
+    fn connect(addr: &str, max_retries: u32) -> std::io::Result<Client> {
+        let mut attempt = 0;
+        let stream = loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => break stream,
+                Err(e) if attempt < max_retries => {
+                    eprintln!("serve_client: connect to {addr} failed ({e}), retrying");
+                    std::thread::sleep(backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
         let replies =
             protocol::FrameReader::new(stream.try_clone()?, protocol::DEFAULT_MAX_FRAME_LEN);
-        Ok(Client { stream, replies })
+        Ok(Client {
+            stream,
+            replies,
+            max_retries,
+        })
     }
 
     /// One request/response turn, exactly as `docs/PROTOCOL.md` specifies it: write a
-    /// frame, then block until the server's next frame decodes as a [`Response`].
+    /// frame, then block until the server's next frame decodes as a [`Response`]. A
+    /// `Busy` reply means the frame was dropped for backpressure — back off and resend,
+    /// up to the retry cap.
     fn turn(&mut self, request: &Request) -> Response {
+        let mut attempt = 0;
+        loop {
+            let response = self.one_turn(request);
+            if !matches!(response, Response::Busy) || attempt >= self.max_retries {
+                return response;
+            }
+            std::thread::sleep(backoff(attempt));
+            attempt += 1;
+        }
+    }
+
+    fn one_turn(&mut self, request: &Request) -> Response {
         protocol::write_message(&mut self.stream, request).expect("request frame written");
         loop {
             match self.replies.poll_frame() {
@@ -63,10 +110,10 @@ impl Client {
 
 /// Session 1: stream valid audit transactions; every one is accepted and the session's
 /// `Stats` agree with what we sent.
-fn accepted_stream(addr: &str) {
+fn accepted_stream(addr: &str, max_retries: u32) {
     let dms = Arc::new(audit::dms(3));
     let bound = audit::recency_bound(3);
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::connect(addr, max_retries).expect("connect");
 
     assert_eq!(client.turn(&Request::Ping), Response::Pong);
     let opened = client.turn(&Request::Open {
@@ -76,12 +123,13 @@ fn accepted_stream(addr: &str) {
         invariant: "init | exists u. S0(u)".to_string(),
         emit_certificates: false,
     });
-    assert_eq!(
+    assert!(matches!(
         opened,
         Response::Opened {
-            protocol: PROTOCOL_VERSION
+            protocol: PROTOCOL_VERSION,
+            ..
         }
-    );
+    ));
 
     let stream = TransactionStream::new(Arc::clone(&dms), bound, 7);
     for (sent, step) in stream.take(ACCEPTED_STREAM_LEN).enumerate() {
@@ -112,8 +160,8 @@ fn accepted_stream(addr: &str) {
 /// Session 2: a stream that violates its invariant. The `Violation` reply must carry the
 /// witness run and a certificate that the independent verifier accepts; the session must
 /// survive both the violation and a garbage transaction.
-fn violating_stream(addr: &str) {
-    let mut client = Client::connect(addr).expect("connect");
+fn violating_stream(addr: &str, max_retries: u32) {
+    let mut client = Client::connect(addr, max_retries).expect("connect");
     let opened = client.turn(&Request::Open {
         version: PROTOCOL_VERSION,
         dms: example_3_1(),
@@ -121,12 +169,13 @@ fn violating_stream(addr: &str) {
         invariant: "!exists u. Q(u)".to_string(),
         emit_certificates: true,
     });
-    assert_eq!(
+    assert!(matches!(
         opened,
         Response::Opened {
-            protocol: PROTOCOL_VERSION
+            protocol: PROTOCOL_VERSION,
+            ..
         }
-    );
+    ));
 
     // alpha's first firing creates Q(e3): a genuine violation of the invariant
     let bindings = BTreeMap::from([
@@ -175,6 +224,20 @@ fn violating_stream(addr: &str) {
 }
 
 fn main() {
+    let mut max_retries = 5u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--max-retries" => {
+                max_retries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-retries needs a number");
+            }
+            other => panic!("unknown flag `{other}` (only --max-retries <N> is accepted)"),
+        }
+    }
+
     let external = std::env::var("RDMS_SERVE_ADDR").ok();
     let (addr, handle) = match external {
         Some(addr) => (addr, None),
@@ -186,15 +249,15 @@ fn main() {
         }
     };
 
-    accepted_stream(&addr);
-    violating_stream(&addr);
+    accepted_stream(&addr, max_retries);
+    violating_stream(&addr, max_retries);
 
     match handle {
         // self-hosted: stop the in-process server directly
         Some(handle) => handle.shutdown().expect("in-process server drains"),
         // external: request a graceful drain over the wire (needs --allow-remote-shutdown)
         None => {
-            let mut client = Client::connect(&addr).expect("connect");
+            let mut client = Client::connect(&addr, max_retries).expect("connect");
             assert_eq!(client.turn(&Request::Shutdown), Response::Bye);
         }
     }
