@@ -1,0 +1,238 @@
+//! E15 — resource governance: what the memory governor and the checkpoint/resume
+//! machinery cost, and what resume buys over replay.
+//!
+//! Three questions, each with a committed lock:
+//!
+//! * `session_check_governed/{off,on}` — one depth-1024 incremental check bare (`off`)
+//!   vs with the per-request work the governed server adds on top of it (`on`): reading
+//!   the session's `memory_bytes()` estimate and updating a mutex-guarded ledger, which
+//!   is exactly what `rdms-serve` does after every request under `--memory-budget-mb`.
+//!   The baseline locks `on ≤ 1.25 × off` — governance must stay a bounded surcharge on
+//!   the hot path, like certificates (E13) and journaling (E14) before it.
+//! * `snapshot/1024` — capturing a [`SessionSnapshot`] of a depth-1024 session and
+//!   serializing it to the checkpoint's JSON form. This is the drain-time cost of
+//!   checkpointing; it is O(run length) and paid once per drain, never per check.
+//! * `resume/1024` vs `replay/1024` — rebuilding the same depth-1024 session from its
+//!   snapshot vs re-checking every transaction from scratch. The baseline locks
+//!   `resume ≤ 1.0 × replay`: a resume that is not at least as fast as replay would
+//!   make checkpoints pointless, since full journal replay is always available and
+//!   self-validating.
+//! * `search/{plain,checkpointed}` — one full bounded-explorer invariant search bare vs
+//!   with [`CheckpointPolicy::every`] snapshotting the live frontier as it runs. The
+//!   baseline locks `checkpointed ≤ 1.25 × plain`: cooperative checkpoint *emission*
+//!   must stay a bounded surcharge on the search it protects, exactly like certificate
+//!   emission (E13).
+//!
+//! [`SessionSnapshot`]: rdms_serve::journal::SessionSnapshot
+//! [`CheckpointPolicy::every`]: rdms_checker::CheckpointPolicy::every
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdms_checker::{CheckpointPolicy, Explorer, ExplorerConfig};
+use rdms_db::{Query, RelName};
+use rdms_serve::journal::SessionSnapshot;
+use rdms_serve::{CheckOutcome, Session};
+use rdms_workloads::audit;
+use rdms_workloads::streams::{wire_transaction, TransactionStream};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Streams in the audit workload; sets both the schema width and the recency bound.
+const STREAMS: usize = 3;
+/// Invariant of [`audit::first_stream_has_a_head`] in the wire's concrete syntax.
+const INVARIANT: &str = "init | exists u. S0(u)";
+/// Session depth every leg measures at — matches E14's long-session point.
+const LEN: usize = 1024;
+
+type WireTransactions = Vec<(String, BTreeMap<String, u64>)>;
+
+fn transactions(count: usize, seed: u64) -> WireTransactions {
+    let dms = Arc::new(audit::dms(STREAMS));
+    TransactionStream::new(Arc::clone(&dms), audit::recency_bound(STREAMS), seed)
+        .take(count)
+        .map(|step| wire_transaction(&dms, &step))
+        .collect()
+}
+
+fn open_session() -> Session {
+    Session::open(
+        audit::dms(STREAMS),
+        audit::recency_bound(STREAMS),
+        INVARIANT,
+        false,
+    )
+    .expect("audit invariant parses and is closed")
+}
+
+fn advance(session: &mut Session, script: &[(String, BTreeMap<String, u64>)]) {
+    for (action, bindings) in script {
+        assert!(
+            matches!(session.check(action, bindings), CheckOutcome::Ok { .. }),
+            "streamed audit transactions are always accepted"
+        );
+    }
+}
+
+/// A depth-`LEN` session plus the next transaction of its script, ready to re-check.
+fn pinned_session() -> (Session, (String, BTreeMap<String, u64>)) {
+    let script = transactions(LEN + 1, 7);
+    let mut session = open_session();
+    advance(&mut session, &script[..LEN]);
+    let next = script[LEN].clone();
+    (session, next)
+}
+
+/// The governed-vs-bare check pair behind the `on ≤ 1.25 × off` ratio lock.
+fn bench_governed_check(c: &mut Criterion) {
+    let (session, (action, bindings)) = pinned_session();
+    let mut group = c.benchmark_group("e15_resource_governance");
+    group.sample_size(10);
+
+    group.bench_with_input(
+        BenchmarkId::new("session_check_governed", "off"),
+        &(),
+        |bench, ()| {
+            bench.iter(|| {
+                let mut fresh = session.clone();
+                matches!(fresh.check(&action, &bindings), CheckOutcome::Ok { .. })
+            })
+        },
+    );
+
+    // the governed server's extra per-request work: re-measure the session and fold the
+    // figure into a process-wide mutex-guarded ledger (same shape as `rdms-serve`'s)
+    let seats: Mutex<HashMap<u64, usize>> = Mutex::new(HashMap::from([(1, 0)]));
+    group.bench_with_input(
+        BenchmarkId::new("session_check_governed", "on"),
+        &(),
+        |bench, ()| {
+            bench.iter(|| {
+                let mut fresh = session.clone();
+                let ok = matches!(fresh.check(&action, &bindings), CheckOutcome::Ok { .. });
+                let bytes = fresh.memory_bytes();
+                let total: usize = {
+                    let mut seats = seats.lock().expect("ledger mutex never poisoned");
+                    seats.insert(1, bytes);
+                    seats.values().sum()
+                };
+                assert!(total > 0);
+                ok
+            })
+        },
+    );
+    group.finish();
+}
+
+/// Drain-time checkpoint capture and the resume-vs-replay race it enables.
+fn bench_checkpoint_and_resume(c: &mut Criterion) {
+    let script = transactions(LEN, 7);
+    let mut session = open_session();
+    advance(&mut session, &script);
+    let snapshot = session.snapshot();
+
+    let mut group = c.benchmark_group("e15_resource_governance");
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::new("snapshot", LEN), &LEN, |bench, _| {
+        bench.iter(|| {
+            let snapshot = session.snapshot();
+            serde_json::to_string(&snapshot).expect("snapshots serialize")
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("resume", LEN), &LEN, |bench, _| {
+        bench.iter(|| {
+            let resumed =
+                Session::resume(snapshot.clone()).expect("a live session's snapshot resumes");
+            assert_eq!(resumed.transactions(), LEN);
+            resumed
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("replay", LEN), &LEN, |bench, _| {
+        bench.iter(|| {
+            let mut session = open_session();
+            advance(&mut session, &script);
+            assert_eq!(session.transactions(), LEN);
+            session
+        })
+    });
+    group.finish();
+}
+
+/// Cooperative checkpoint emission inside a full explorer search, behind the
+/// `checkpointed ≤ 1.25 × plain` ratio lock. The policy snapshots the frontier every 16
+/// admitted configurations — far more often than an operator would — so the lock bounds
+/// an upper estimate of the emission cost.
+fn bench_search_checkpoint_overhead(c: &mut Criterion) {
+    let dms = rdms_workloads::figure1::dms();
+    let invariant = Query::prop(RelName::new("p"));
+    let config = || ExplorerConfig {
+        depth: 3,
+        max_configs: 10_000,
+        // pin to the sequential engine: checkpointed searches always run sequentially,
+        // so the plain leg must measure the same code path
+        threads: 1,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("e15_resource_governance");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("search", "plain"), &(), |bench, ()| {
+        bench.iter(|| {
+            Explorer::new(&dms, 2)
+                .with_config(config())
+                .check_invariant(&invariant)
+                .holds()
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("search", "checkpointed"),
+        &(),
+        |bench, ()| {
+            bench.iter(|| {
+                let policy = CheckpointPolicy::every(16);
+                let verdict = Explorer::new(&dms, 2)
+                    .with_config(config().with_checkpoint(policy.clone()))
+                    .check_invariant(&invariant);
+                assert!(policy.has_snapshot(), "the cadence fired during the search");
+                verdict.holds()
+            })
+        },
+    );
+    group.finish();
+}
+
+/// The resume path must land on the same state as the uninterrupted session — asserted
+/// once outside the timing loops so a broken resume cannot hide behind fast numbers.
+fn assert_resume_is_exact(snapshot: &SessionSnapshot, original: &Session) {
+    let resumed = Session::resume(snapshot.clone()).expect("snapshot resumes");
+    assert_eq!(resumed.transactions(), original.transactions());
+    assert_eq!(resumed.memory_bytes(), original.memory_bytes());
+}
+
+fn bench_resume_exactness(c: &mut Criterion) {
+    // piggy-back the oracle on the harness so `cargo bench` exercises it every run;
+    // criterion requires at least one measurement, so time the cheap accessor
+    let script = transactions(64, 7);
+    let mut session = open_session();
+    advance(&mut session, &script);
+    let snapshot = session.snapshot();
+    assert_resume_is_exact(&snapshot, &session);
+
+    let mut group = c.benchmark_group("e15_resource_governance");
+    group.sample_size(10);
+    group.bench_function("memory_bytes", |bench| {
+        bench.iter(|| session.memory_bytes())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_governed_check,
+    bench_checkpoint_and_resume,
+    bench_search_checkpoint_overhead,
+    bench_resume_exactness
+);
+criterion_main!(benches);

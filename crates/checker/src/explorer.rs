@@ -71,8 +71,9 @@
 //! were admitted can still differ between thread counts; verdicts are deterministic
 //! whenever the search completes within budget.
 
+use crate::checkpoint::{CheckpointPolicy, SearchCheckpoint};
 use crate::pool;
-use crate::verdict::{CheckStats, Verdict};
+use crate::verdict::{CheckStats, CutoffReason, Verdict};
 use parking_lot::Mutex;
 use rdms_core::iso::{canonical_config_key, intern_canonical_config_in};
 use rdms_core::{
@@ -80,7 +81,7 @@ use rdms_core::{
     StateRecord, Step,
 };
 use rdms_db::metrics::{record_into, SearchCounters};
-use rdms_db::{answers, DataValue, Query};
+use rdms_db::{answers, DataValue, HeapSize, Query};
 use rdms_logic::msofo::{eval_sentence, MsoFo};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -149,6 +150,27 @@ pub struct ExplorerConfig {
     /// deadlines ([`with_deadline`](Self::with_deadline)) or an external
     /// [`cancel`](rdms_core::CancelToken::cancel) instead of a configuration count.
     pub cancel: Option<CancelToken>,
+    /// Memory budget, in estimated bytes of retained frontier configurations (per the
+    /// [`rdms_db::HeapSize`] estimation contract), `None` for unbounded. When admitting
+    /// the next successor would push the meter past the budget the search **degrades
+    /// gracefully**: it stops admitting new states, keeps evaluating everything already
+    /// admitted, and reports the result with `complete: false` and
+    /// [`CheckStats::memory_cutoff`] set — never a falsely exhaustive verdict, never an
+    /// abort. The meter is monotone over one search (charges are never released), so the
+    /// cutoff point is deterministic and checkpoint-stable. Canonical keys retained by
+    /// the interner are visible process-wide through
+    /// [`KeyInterner::heap_bytes`](rdms_core::KeyInterner::heap_bytes) and are *not*
+    /// double-counted here.
+    pub memory_budget_bytes: Option<usize>,
+    /// Cooperative checkpointing (default `None`). When set, the search runs on the
+    /// sequential engine regardless of [`threads`](Self::threads) (a parallel frontier
+    /// has no serialisable stack order), writes a [`SearchCheckpoint`] into the policy's
+    /// slot every [`CheckpointPolicy::every_configs`] admissions and once more when it
+    /// stops for any reason, and suppresses certificate recording (a resumed search
+    /// cannot prove closure over states expanded before the cut). Only run-carrying
+    /// searches ([`Explorer::check`], [`Explorer::check_invariant`], …) produce
+    /// snapshots; state-count searches leave the slot empty.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for ExplorerConfig {
@@ -161,6 +183,8 @@ impl Default for ExplorerConfig {
             interner: None,
             emit_certificate: false,
             cancel: None,
+            memory_budget_bytes: None,
+            checkpoint: None,
         }
     }
 }
@@ -206,6 +230,20 @@ impl ExplorerConfig {
     /// [`CancelToken::with_timeout`](rdms_core::CancelToken::with_timeout) token.
     pub fn with_deadline(self, budget: Duration) -> ExplorerConfig {
         self.with_cancel(CancelToken::with_timeout(budget))
+    }
+
+    /// This configuration under a memory budget (see
+    /// [`ExplorerConfig::memory_budget_bytes`]).
+    pub fn with_memory_budget_bytes(mut self, budget: usize) -> ExplorerConfig {
+        self.memory_budget_bytes = Some(budget);
+        self
+    }
+
+    /// This configuration checkpointing through the given policy (see
+    /// [`ExplorerConfig::checkpoint`]; forces the sequential engine).
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> ExplorerConfig {
+        self.checkpoint = Some(policy);
+        self
     }
 }
 
@@ -257,8 +295,30 @@ impl<'a> Explorer<'a> {
             None => Verdict::Holds {
                 // even with the frontier exhausted the verdict concerns prefixes up to the
                 // depth budget only; it is complete exactly when nothing was cut off by
-                // max_configs or a cancellation
-                complete: !outcome.budget_cutoff && !outcome.cancelled,
+                // max_configs, the memory budget or a cancellation
+                complete: !outcome.budget_cutoff && !outcome.memory_cutoff && !outcome.cancelled,
+                stats: outcome.stats,
+                certificate: None,
+            },
+        }
+    }
+
+    /// Continue an interrupted [`check`](Self::check) from a [`SearchCheckpoint`]: the
+    /// verdict (and its completeness flag) is equivalent to what the uninterrupted run
+    /// would have produced. The explorer must be configured for the same DMS, recency
+    /// bound and depth budget the checkpoint was taken under.
+    pub fn check_from(&self, property: &MsoFo, checkpoint: SearchCheckpoint) -> Verdict {
+        let outcome = self.driver(false).resume(checkpoint, |run: &ExtendedRun| {
+            !eval_sentence(&run.instances(), property)
+        });
+        match outcome.hit {
+            Some(counterexample) => Verdict::Violated {
+                counterexample,
+                stats: outcome.stats,
+                certificate: None,
+            },
+            None => Verdict::Holds {
+                complete: !outcome.budget_cutoff && !outcome.memory_cutoff && !outcome.cancelled,
                 stats: outcome.stats,
                 certificate: None,
             },
@@ -323,6 +383,30 @@ impl<'a> Explorer<'a> {
         }
     }
 
+    /// Continue an interrupted [`check_invariant`](Self::check_invariant) from a
+    /// [`SearchCheckpoint`]: the verdict, completeness flag and explored-set statistics
+    /// are equivalent to what the uninterrupted run would have produced (the property
+    /// suite cuts searches at random points to check exactly this). Resumed searches do
+    /// not emit certificates — a search cut and resumed cannot prove closure over states
+    /// expanded before the cut.
+    pub fn check_invariant_from(&self, invariant: &Query, checkpoint: SearchCheckpoint) -> Verdict {
+        let outcome = self.driver(true).resume(checkpoint, |run: &ExtendedRun| {
+            !rdms_db::eval::holds_boolean(run.last().instance(), invariant).unwrap_or(false)
+        });
+        match outcome.hit {
+            Some(counterexample) => Verdict::Violated {
+                counterexample,
+                stats: outcome.stats,
+                certificate: None,
+            },
+            None => Verdict::Holds {
+                complete: outcome.complete(),
+                stats: outcome.stats,
+                certificate: None,
+            },
+        }
+    }
+
     /// Search for a reachable instance satisfying the boolean query (state-based
     /// reachability with isomorphism deduplication). Returns the witness run if found,
     /// plus whether the search was exhaustive for this bound.
@@ -370,15 +454,32 @@ impl<'a> Explorer<'a> {
 /// and counterexamples); [`TipNode`] keeps only the tip configuration (enough for state
 /// counting, and much cheaper to clone).
 pub(crate) trait SearchNode: Clone + Send {
+    /// Whether nodes of this type serialise into checkpoint frontiers; checkpoint
+    /// policies are ignored entirely for node types that do not.
+    const CHECKPOINTABLE: bool = false;
     /// The configuration at the tip of this prefix.
     fn tip(&self) -> &BConfig;
     /// Number of actions taken from the initial configuration.
     fn depth(&self) -> usize;
     /// The prefix extended by one transition.
     fn child(&self, step: Step, next: BConfig) -> Self;
+    /// The node as a whole run prefix, when it carries one (checkpoint frontiers store
+    /// run prefixes; nodes that answer `None` cannot be checkpointed or resumed).
+    fn as_run(&self) -> Option<&ExtendedRun> {
+        None
+    }
+    /// Rebuild a node from a checkpointed run prefix (the inverse of [`Self::as_run`]).
+    fn from_run(_run: ExtendedRun) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 impl SearchNode for ExtendedRun {
+    const CHECKPOINTABLE: bool = true;
+
     fn tip(&self) -> &BConfig {
         self.last()
     }
@@ -391,6 +492,14 @@ impl SearchNode for ExtendedRun {
         let mut extended = self.clone();
         extended.push(step, next);
         extended
+    }
+
+    fn as_run(&self) -> Option<&ExtendedRun> {
+        Some(self)
+    }
+
+    fn from_run(run: ExtendedRun) -> Option<Self> {
+        Some(run)
     }
 }
 
@@ -430,6 +539,9 @@ pub(crate) struct SearchOutcome<N> {
     pub depth_cutoff: bool,
     /// Some successor was dropped because the `max_configs` budget was exhausted.
     pub budget_cutoff: bool,
+    /// Some successor was dropped because admitting it would have exceeded
+    /// [`ExplorerConfig::memory_budget_bytes`].
+    pub memory_cutoff: bool,
     /// The search stopped early because [`ExplorerConfig::cancel`] fired (explicit
     /// cancellation or an expired deadline).
     pub cancelled: bool,
@@ -446,12 +558,38 @@ pub(crate) struct SearchOutcome<N> {
 
 impl<N> SearchOutcome<N> {
     /// Whether the exploration was exhaustive for the question asked: no prefix was cut off
-    /// by the depth bound, no successor was dropped by the `max_configs` budget, and the
-    /// search was not cancelled.
+    /// by the depth bound, no successor was dropped by the `max_configs` or memory budget,
+    /// and the search was not cancelled.
     pub fn complete(&self) -> bool {
-        !self.depth_cutoff && !self.budget_cutoff && !self.cancelled
+        !self.depth_cutoff && !self.budget_cutoff && !self.memory_cutoff && !self.cancelled
     }
 }
+
+/// The stable cutoff-reason precedence shared by both engines (see
+/// [`CheckStats::cutoff`]): cancellation dominates (an external command), then memory
+/// pressure (stops admission outright), then the configuration budget (merely caps the
+/// count). Several flags can be set on one search; exactly one reason is reported.
+fn cutoff_reason(cancelled: bool, memory: bool, configs: bool) -> Option<CutoffReason> {
+    if cancelled {
+        Some(CutoffReason::Cancelled)
+    } else if memory {
+        Some(CutoffReason::Memory)
+    } else if configs {
+        Some(CutoffReason::Configs)
+    } else {
+        None
+    }
+}
+
+/// Estimated bytes a frontier entry retains for its tip configuration: the configuration's
+/// own heap (per the [`HeapSize`] contract) plus a flat allowance for the stack/deque slot
+/// and the run spine's per-step cell.
+fn frontier_cost(config: &BConfig) -> usize {
+    config.total_size() + FRONTIER_ENTRY_OVERHEAD
+}
+
+/// Flat per-frontier-entry allowance on top of the tip configuration's own bytes.
+const FRONTIER_ENTRY_OVERHEAD: usize = 64;
 
 /// The engine shared by every explorer entry point (and reused by the hybrid checker): a
 /// bounded frontier search over the `b`-bounded configuration graph, sequential or
@@ -461,6 +599,13 @@ pub(crate) struct SearchDriver<'a> {
     constants: BTreeSet<DataValue>,
     config: ExplorerConfig,
     dedup: bool,
+}
+
+/// How a sequential search begins: fresh from a root node, or from a checkpoint's
+/// restored seen-set and frontier.
+enum SeqStart<N> {
+    Root(N),
+    Resume(SearchCheckpoint),
 }
 
 impl<'a> SearchDriver<'a> {
@@ -512,6 +657,11 @@ impl<'a> SearchDriver<'a> {
     /// The thread count the search will actually use: the configured one, demoted to `1`
     /// when the estimated work cannot amortise the cost of distributing it.
     fn effective_threads(&self) -> usize {
+        // a checkpointed search must run sequentially: its snapshot is the depth-first
+        // stack, which a parallel frontier does not have
+        if self.config.checkpoint.is_some() {
+            return 1;
+        }
         let threads = self.config.threads.max(1);
         if threads == 1 || self.config.parallel_threshold == 0 {
             return threads;
@@ -549,7 +699,41 @@ impl<'a> SearchDriver<'a> {
     /// The legacy sequential depth-first search. Kept callable with a non-`Sync` predicate
     /// so engines whose evaluation state is single-threaded (the hybrid checker's encoder)
     /// can reuse it.
-    pub fn search_sequential<N, F>(&self, root: N, mut is_hit: F) -> SearchOutcome<N>
+    pub fn search_sequential<N, F>(&self, root: N, is_hit: F) -> SearchOutcome<N>
+    where
+        N: SearchNode,
+        F: FnMut(&N) -> bool,
+    {
+        self.sequential_impl(SeqStart::Root(root), is_hit)
+    }
+
+    /// Continue a checkpointed sequential search: re-intern the snapshot's seen keys
+    /// under this driver's interner (ids are interner-local, the canonical keys are the
+    /// portable identity), rebuild the depth-first stack and run the identical loop. The
+    /// final verdict, completeness flag and explored-set statistics are equivalent to
+    /// the uninterrupted run's.
+    pub fn resume<N, F>(&self, checkpoint: SearchCheckpoint, is_hit: F) -> SearchOutcome<N>
+    where
+        N: SearchNode,
+        F: FnMut(&N) -> bool,
+    {
+        assert_eq!(
+            checkpoint.bound,
+            self.sem.bound(),
+            "checkpoint was taken at a different recency bound"
+        );
+        assert_eq!(
+            checkpoint.depth, self.config.depth,
+            "checkpoint was taken at a different depth budget"
+        );
+        assert_eq!(
+            checkpoint.dedup, self.dedup,
+            "checkpoint was taken by a search with different deduplication"
+        );
+        self.sequential_impl(SeqStart::Resume(checkpoint), is_hit)
+    }
+
+    fn sequential_impl<N, F>(&self, seq_start: SeqStart<N>, mut is_hit: F) -> SearchOutcome<N>
     where
         N: SearchNode,
         F: FnMut(&N) -> bool,
@@ -559,7 +743,9 @@ impl<'a> SearchDriver<'a> {
         let mut stats = self.base_stats(1);
         let mut depth_cutoff = false;
         let mut budget_cutoff = false;
+        let mut memory_cutoff = false;
         let mut cancelled = false;
+        let mut mem_used = 0usize;
 
         // seen: interned canonical id → shallowest depth at which the state was reached.
         // Re-expanding on a strictly shallower re-visit makes the explored state set the
@@ -567,34 +753,104 @@ impl<'a> SearchDriver<'a> {
         // property the parallel engine (and the sequential/parallel equivalence tests)
         // relies on.
         let mut seen: HashMap<u64, usize> = HashMap::new();
+        // interned id → canonical key handle, maintained only when checkpointing a
+        // deduplicating search: the serialisable identity of every seen entry
+        let mut key_of: HashMap<u64, Arc<rdms_db::Instance>> = HashMap::new();
         let interner = self.interner();
-        let mut recording: Option<RawEdges> =
-            (self.dedup && self.config.emit_certificate).then(HashMap::new);
+        let policy = self
+            .config
+            .checkpoint
+            .as_ref()
+            .filter(|_| N::CHECKPOINTABLE);
+        let track_keys = policy.is_some() && self.dedup;
+        // certificate recording is suppressed on checkpointed and resumed searches: a
+        // search cut and resumed cannot prove closure over states expanded before the cut
+        let mut recording: Option<RawEdges> = (self.dedup
+            && self.config.emit_certificate
+            && policy.is_none()
+            && matches!(seq_start, SeqStart::Root(_)))
+        .then(HashMap::new);
 
         let mut hit = None;
         {
             let _scope = record_into(&counters);
-            let mut root_seed = None;
-            if self.dedup {
-                if recording.is_some() {
-                    // the root's canonical key seeds both the seen-set and its certificate
-                    // record, so recording costs no extra canonicalisation here either
-                    let key = canonical_config_key(root.tip(), &self.constants);
-                    let (id, handle) = interner.intern_handle(key);
-                    root_seed = Some(RecordSeed::new(id, handle));
-                    seen.insert(id, 0);
-                } else {
-                    seen.insert(
-                        intern_canonical_config_in(interner, root.tip(), &self.constants),
-                        0,
-                    );
+            let mut stack: Vec<(N, Option<RecordSeed>)> = Vec::new();
+            let mut peak = 1usize;
+            match seq_start {
+                SeqStart::Root(root) => {
+                    let mut root_seed = None;
+                    if self.dedup {
+                        if recording.is_some() {
+                            // the root's canonical key seeds both the seen-set and its
+                            // certificate record, so recording costs no extra
+                            // canonicalisation here either
+                            let key = canonical_config_key(root.tip(), &self.constants);
+                            let (id, handle) = interner.intern_handle(key);
+                            root_seed = Some(RecordSeed::new(id, handle));
+                            seen.insert(id, 0);
+                        } else if track_keys {
+                            let key = canonical_config_key(root.tip(), &self.constants);
+                            let (id, handle) = interner.intern_handle(key);
+                            seen.insert(id, 0);
+                            key_of.insert(id, handle);
+                        } else {
+                            seen.insert(
+                                intern_canonical_config_in(interner, root.tip(), &self.constants),
+                                0,
+                            );
+                        }
+                    }
+                    stack.push((root, root_seed));
+                }
+                SeqStart::Resume(checkpoint) => {
+                    stats.prefixes_checked = checkpoint.prefixes_checked;
+                    stats.configs_explored = checkpoint.configs_explored;
+                    stats.configs_deduplicated = checkpoint.configs_deduplicated;
+                    depth_cutoff = checkpoint.depth_cutoff;
+                    mem_used = checkpoint.mem_used;
+                    peak = checkpoint.peak_frontier;
+                    for (key, depth) in checkpoint.seen {
+                        // a deserialised checkpoint owns its keys (refcount 1); an
+                        // in-process one shares them with the interner — clone then
+                        let key = Arc::try_unwrap(key).unwrap_or_else(|shared| (*shared).clone());
+                        let (id, handle) = interner.intern_handle(key);
+                        seen.insert(id, depth);
+                        if track_keys {
+                            key_of.insert(id, handle);
+                        }
+                    }
+                    for run in checkpoint.frontier {
+                        let node = N::from_run(run)
+                            .expect("checkpoint resume requires a run-carrying search");
+                        stack.push((node, None));
+                    }
                 }
             }
-            let mut stack = vec![(root, root_seed)];
-            let mut peak = 1usize;
-            while let Some((node, seed)) = stack.pop() {
+            let mut next_capture = policy
+                .map(|p| stats.configs_explored + p.every_configs)
+                .unwrap_or(usize::MAX);
+            loop {
+                // cooperative snapshot at the admission cadence: captured *before* the
+                // pop so the snapshot's frontier is exactly the unexpanded work
+                if let Some(policy) = policy {
+                    if policy.every_configs > 0 && stats.configs_explored >= next_capture {
+                        if let Some(checkpoint) = self.capture_checkpoint(
+                            &seen,
+                            &key_of,
+                            &stack,
+                            &stats,
+                            depth_cutoff,
+                            mem_used,
+                            peak,
+                        ) {
+                            policy.store(checkpoint);
+                        }
+                        next_capture = stats.configs_explored + policy.every_configs;
+                    }
+                }
                 // one cooperative poll per expanded configuration: the unit of work that
-                // bounds how late a deadline can be noticed
+                // bounds how late a deadline can be noticed. Polled before the pop so a
+                // cancelled search leaves the interrupted node in the checkpoint frontier.
                 if self
                     .config
                     .cancel
@@ -604,6 +860,9 @@ impl<'a> SearchDriver<'a> {
                     cancelled = true;
                     break;
                 }
+                let Some((node, seed)) = stack.pop() else {
+                    break;
+                };
                 stats.prefixes_checked += 1;
                 if is_hit(&node) {
                     hit = Some(node);
@@ -613,8 +872,8 @@ impl<'a> SearchDriver<'a> {
                     depth_cutoff = true;
                     continue;
                 }
-                if budget_cutoff {
-                    // the budget is exhausted and known to have truncated the search
+                if budget_cutoff || memory_cutoff {
+                    // a budget is exhausted and known to have truncated the search
                     // already; nothing below this node can be admitted
                     continue;
                 }
@@ -632,6 +891,14 @@ impl<'a> SearchDriver<'a> {
                         budget_cutoff = true;
                         break;
                     }
+                    if let Some(budget) = self.config.memory_budget_bytes {
+                        let cost = frontier_cost(&next);
+                        if mem_used.saturating_add(cost) > budget {
+                            memory_cutoff = true;
+                            break;
+                        }
+                        mem_used += cost;
+                    }
                     stats.configs_explored += 1;
                     let mut child_seed = None;
                     if self.dedup {
@@ -647,6 +914,14 @@ impl<'a> SearchDriver<'a> {
                                 continue;
                             }
                             child_seed = Some(RecordSeed::new(id, handle));
+                        } else if track_keys {
+                            let key = canonical_config_key(&next, &self.constants);
+                            let (id, handle) = interner.intern_handle(key);
+                            if !record_min_depth(&mut seen, id, child_depth) {
+                                stats.configs_deduplicated += 1;
+                                continue;
+                            }
+                            key_of.insert(id, handle);
                         } else {
                             let id = intern_canonical_config_in(interner, &next, &self.constants);
                             if !record_min_depth(&mut seen, id, child_depth) {
@@ -662,6 +937,22 @@ impl<'a> SearchDriver<'a> {
                     map.insert(seed.id, (seed.key, successors));
                 }
             }
+            // final snapshot, whatever stopped the loop (completion, cancellation or a
+            // cutoff): the caller's policy handle always holds a resumable state no older
+            // than the cadence
+            if let Some(policy) = policy {
+                if let Some(checkpoint) = self.capture_checkpoint(
+                    &seen,
+                    &key_of,
+                    &stack,
+                    &stats,
+                    depth_cutoff,
+                    mem_used,
+                    peak,
+                ) {
+                    policy.store(checkpoint);
+                }
+            }
             stats.peak_frontier = peak;
             // `_scope` drops here, flushing this thread's tallies into `counters`
         }
@@ -669,12 +960,21 @@ impl<'a> SearchDriver<'a> {
         // lower the recording to certificate evidence only when a Safe certificate can
         // actually be built from it (complete exploration, nothing hit)
         let edges = match recording {
-            Some(raw) if hit.is_none() && !depth_cutoff && !budget_cutoff && !cancelled => {
+            Some(raw)
+                if hit.is_none()
+                    && !depth_cutoff
+                    && !budget_cutoff
+                    && !memory_cutoff
+                    && !cancelled =>
+            {
                 Some(lower_edges(raw))
             }
             _ => None,
         };
         stats.elapsed = start.elapsed();
+        stats.memory_cutoff = memory_cutoff;
+        stats.peak_memory_bytes = mem_used;
+        stats.cutoff = cutoff_reason(cancelled, memory_cutoff, budget_cutoff);
         let load = [(stats.configs_explored, stats.elapsed)];
         finish_stats(&mut stats, &load, &counters);
         SearchOutcome {
@@ -682,10 +982,46 @@ impl<'a> SearchDriver<'a> {
             stats,
             depth_cutoff,
             budget_cutoff,
+            memory_cutoff,
             cancelled,
             distinct_states: seen.len(),
             edges,
         }
+    }
+
+    /// Snapshot the sequential loop's resumable state. Returns `None` when the nodes do
+    /// not carry runs ([`TipNode`] searches — nothing to serialise a frontier from).
+    #[allow(clippy::too_many_arguments)]
+    fn capture_checkpoint<N: SearchNode>(
+        &self,
+        seen: &HashMap<u64, usize>,
+        key_of: &HashMap<u64, Arc<rdms_db::Instance>>,
+        stack: &[(N, Option<RecordSeed>)],
+        stats: &CheckStats,
+        depth_cutoff: bool,
+        mem_used: usize,
+        peak: usize,
+    ) -> Option<SearchCheckpoint> {
+        let frontier: Vec<ExtendedRun> = stack
+            .iter()
+            .map(|(node, _)| node.as_run().cloned())
+            .collect::<Option<_>>()?;
+        Some(SearchCheckpoint {
+            bound: self.sem.bound(),
+            depth: self.config.depth,
+            dedup: self.dedup,
+            seen: seen
+                .iter()
+                .map(|(id, depth)| (Arc::clone(&key_of[id]), *depth))
+                .collect(),
+            frontier,
+            prefixes_checked: stats.prefixes_checked,
+            configs_explored: stats.configs_explored,
+            configs_deduplicated: stats.configs_deduplicated,
+            peak_frontier: peak,
+            mem_used,
+            depth_cutoff,
+        })
     }
 
     /// The work-stealing parallel search. Workers come from the process-wide lazily-spawned
@@ -755,22 +1091,33 @@ impl<'a> SearchDriver<'a> {
         let hit = shared.best.into_inner().map(|(_, node)| node);
         let depth_cutoff = shared.depth_cutoff.load(Ordering::Relaxed);
         let budget_cutoff = shared.budget_cutoff.load(Ordering::Relaxed);
+        let memory_cutoff = shared.memory_cutoff.load(Ordering::Relaxed);
         let cancelled = shared.cancelled.load(Ordering::Relaxed);
         // lower the recording to certificate evidence only when a Safe certificate can
         // actually be built from it (complete exploration, nothing hit)
         let edges = match shared.edges {
-            Some(raw) if hit.is_none() && !depth_cutoff && !budget_cutoff && !cancelled => {
+            Some(raw)
+                if hit.is_none()
+                    && !depth_cutoff
+                    && !budget_cutoff
+                    && !memory_cutoff
+                    && !cancelled =>
+            {
                 Some(lower_edges(raw.into_inner()))
             }
             _ => None,
         };
         stats.elapsed = start.elapsed();
+        stats.memory_cutoff = memory_cutoff;
+        stats.peak_memory_bytes = shared.mem_used.load(Ordering::Relaxed);
+        stats.cutoff = cutoff_reason(cancelled, memory_cutoff, budget_cutoff);
         finish_stats(&mut stats, &worker_loads, &counters);
         SearchOutcome {
             hit,
             stats,
             depth_cutoff,
             budget_cutoff,
+            memory_cutoff,
             cancelled,
             distinct_states,
             edges,
@@ -882,6 +1229,11 @@ impl<'a> SearchDriver<'a> {
         {
             return;
         }
+        if shared.memory_cutoff.load(Ordering::Relaxed) {
+            // the memory meter is monotone, so once an admission was refused no later
+            // one can fit; stop admitting (already-admitted nodes were still evaluated)
+            return;
+        }
         let child_depth = task.node.depth() + 1;
         // when recording, the expanded state's interned id and canonical key arrived with
         // the task (captured at admission time, when its canonical key was in hand — see
@@ -903,6 +1255,23 @@ impl<'a> SearchDriver<'a> {
             if claim.is_err() {
                 shared.budget_cutoff.store(true, Ordering::Relaxed);
                 break;
+            }
+            if let Some(budget) = self.config.memory_budget_bytes {
+                // claim the successor's bytes against the shared budget; a failed claim
+                // means this successor is genuinely dropped — the search stops being
+                // exhaustive, exactly as with a failed max_configs claim
+                let cost = frontier_cost(&next);
+                let fits =
+                    shared
+                        .mem_used
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                            let total = used.saturating_add(cost);
+                            (total <= budget).then_some(total)
+                        });
+                if fits.is_err() {
+                    shared.memory_cutoff.store(true, Ordering::Relaxed);
+                    break;
+                }
             }
             *admitted += 1;
             let mut path = task.path.clone();
@@ -1022,8 +1391,13 @@ struct Shared<N> {
     admitted: AtomicUsize,
     deduped: AtomicUsize,
     prefixes: AtomicUsize,
+    /// Estimated frontier bytes charged so far (monotone; see
+    /// [`ExplorerConfig::memory_budget_bytes`]). Workers claim admission bytes with a
+    /// `fetch_update` against the budget, so the meter never overshoots it.
+    mem_used: AtomicUsize,
     depth_cutoff: AtomicBool,
     budget_cutoff: AtomicBool,
+    memory_cutoff: AtomicBool,
     cancelled: AtomicBool,
     has_hit: AtomicBool,
     best: Mutex<Option<(Vec<u32>, N)>>,
@@ -1046,8 +1420,10 @@ impl<N> Shared<N> {
             admitted: AtomicUsize::new(0),
             deduped: AtomicUsize::new(0),
             prefixes: AtomicUsize::new(0),
+            mem_used: AtomicUsize::new(0),
             depth_cutoff: AtomicBool::new(false),
             budget_cutoff: AtomicBool::new(false),
+            memory_cutoff: AtomicBool::new(false),
             cancelled: AtomicBool::new(false),
             has_hit: AtomicBool::new(false),
             best: Mutex::new(None),
@@ -1643,6 +2019,254 @@ mod tests {
                 .to_json();
             assert_eq!(reference, parallel, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn memory_budgets_degrade_gracefully_on_both_engines() {
+        let dms = example_3_1();
+        for threads in [1, 4] {
+            // a budget too small for any admission: the root is still evaluated, the
+            // verdict is honest (incomplete), and nothing aborts
+            let starved = Explorer::new(&dms, 2).with_config(
+                config(4, 50_000)
+                    .with_threads(threads)
+                    .with_parallel_threshold(0)
+                    .with_memory_budget_bytes(1),
+            );
+            let verdict = starved.check_invariant(&Query::True);
+            assert!(verdict.holds(), "threads={threads}: no admitted violation");
+            let stats = verdict.stats();
+            assert!(stats.memory_cutoff, "threads={threads}");
+            assert_eq!(
+                stats.cutoff,
+                Some(CutoffReason::Memory),
+                "threads={threads}"
+            );
+            assert!(stats.peak_memory_bytes <= 1, "threads={threads}");
+            match verdict {
+                Verdict::Holds { complete, .. } => {
+                    assert!(
+                        !complete,
+                        "threads={threads}: a memory cutoff is never exhaustive"
+                    )
+                }
+                Verdict::Violated { .. } => unreachable!(),
+            }
+
+            // a generous budget changes nothing except that the meter is now reported
+            let roomy = Explorer::new(&dms, 2).with_config(
+                config(4, 50_000)
+                    .with_threads(threads)
+                    .with_parallel_threshold(0)
+                    .with_memory_budget_bytes(1 << 30),
+            );
+            let unbudgeted = Explorer::new(&dms, 2).with_config(
+                config(4, 50_000)
+                    .with_threads(threads)
+                    .with_parallel_threshold(0),
+            );
+            let with_budget = roomy.check_invariant(&Query::prop(r("p")));
+            let without = unbudgeted.check_invariant(&Query::prop(r("p")));
+            assert_eq!(with_budget.holds(), without.holds(), "threads={threads}");
+            assert!(!with_budget.stats().memory_cutoff, "threads={threads}");
+            assert_eq!(with_budget.stats().cutoff, None, "threads={threads}");
+            assert!(
+                with_budget.stats().peak_memory_bytes > 0,
+                "threads={threads}: the meter runs whenever a budget is set"
+            );
+            assert_eq!(
+                without.stats().peak_memory_bytes,
+                0,
+                "threads={threads}: no budget, no accounting"
+            );
+        }
+    }
+
+    #[test]
+    fn cutoff_precedence_is_stable_when_several_bounds_fire() {
+        // The documented precedence: Cancelled > Memory > Configs. The helper is the
+        // single source of truth both engines report through…
+        assert_eq!(
+            cutoff_reason(true, true, true),
+            Some(CutoffReason::Cancelled)
+        );
+        assert_eq!(cutoff_reason(false, true, true), Some(CutoffReason::Memory));
+        assert_eq!(
+            cutoff_reason(false, false, true),
+            Some(CutoffReason::Configs)
+        );
+        assert_eq!(cutoff_reason(false, false, false), None);
+
+        // …and end-to-end: a search configured with a fired deadline, an exhausted
+        // configuration budget and a zero memory budget all at once reports exactly one
+        // reason (the highest-precedence one that fired) and `complete: false` once.
+        let dms = example_3_1();
+        let fired = rdms_core::CancelToken::new();
+        fired.cancel();
+        let all_three = Explorer::new(&dms, 2).with_config(
+            config(4, 0)
+                .with_threads(1)
+                .with_cancel(fired)
+                .with_memory_budget_bytes(0),
+        );
+        let verdict = all_three.check_invariant(&Query::True);
+        assert_eq!(verdict.stats().cutoff, Some(CutoffReason::Cancelled));
+        assert!(matches!(
+            verdict,
+            Verdict::Holds {
+                complete: false,
+                ..
+            }
+        ));
+
+        // without the deadline, memory pressure outranks the configuration budget: the
+        // zero-byte budget refuses the first admission before the (also zero) config
+        // budget is ever consulted again
+        let memory_and_configs = Explorer::new(&dms, 2).with_config(
+            config(4, 50_000)
+                .with_threads(1)
+                .with_memory_budget_bytes(0),
+        );
+        let verdict = memory_and_configs.check_invariant(&Query::True);
+        assert_eq!(verdict.stats().cutoff, Some(CutoffReason::Memory));
+        assert!(matches!(
+            verdict,
+            Verdict::Holds {
+                complete: false,
+                ..
+            }
+        ));
+
+        // and with memory unbounded, the configuration budget is the reason
+        let configs_only = Explorer::new(&dms, 2).with_config(config(4, 1).with_threads(1));
+        let verdict = configs_only.check_invariant(&Query::True);
+        assert_eq!(verdict.stats().cutoff, Some(CutoffReason::Configs));
+        assert!(matches!(
+            verdict,
+            Verdict::Holds {
+                complete: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn checkpoints_resume_to_the_uninterrupted_verdict() {
+        use crate::checkpoint::{CheckpointPolicy, SearchCheckpoint};
+
+        let dms = example_3_1();
+        let reference = Explorer::new(&dms, 2)
+            .with_config(config(4, 50_000).with_threads(1))
+            .check_invariant(&Query::prop(r("p")));
+
+        // cut at the very start: a pre-fired deadline stops the search before the first
+        // expansion, the stop snapshot holds the whole remaining work
+        let fired = rdms_core::CancelToken::new();
+        fired.cancel();
+        let policy = CheckpointPolicy::on_stop();
+        let cancelled = Explorer::new(&dms, 2)
+            .with_config(
+                config(4, 50_000)
+                    .with_cancel(fired)
+                    .with_checkpoint(policy.clone()),
+            )
+            .check_invariant(&Query::prop(r("p")));
+        assert!(matches!(
+            cancelled,
+            Verdict::Holds {
+                complete: false,
+                ..
+            }
+        ));
+        assert_eq!(cancelled.stats().cutoff, Some(CutoffReason::Cancelled));
+        let checkpoint = policy.take().expect("stop snapshot");
+
+        // …and survives the wire: resume from the JSON round trip of the snapshot
+        let checkpoint =
+            SearchCheckpoint::from_json(&checkpoint.to_json()).expect("portable checkpoint");
+        let resumed = Explorer::new(&dms, 2)
+            .with_config(config(4, 50_000).with_threads(1))
+            .check_invariant_from(&Query::prop(r("p")), checkpoint);
+        assert_eq!(resumed.holds(), reference.holds());
+        assert_eq!(
+            resumed.counterexample().map(|c| c.len()),
+            reference.counterexample().map(|c| c.len())
+        );
+        assert_eq!(
+            resumed.stats().prefixes_checked,
+            reference.stats().prefixes_checked
+        );
+        assert_eq!(
+            resumed.stats().configs_explored,
+            reference.stats().configs_explored
+        );
+        assert_eq!(
+            resumed.stats().configs_deduplicated,
+            reference.stats().configs_deduplicated
+        );
+
+        // a search that ran to completion leaves a resumable stop snapshot too: resuming
+        // it re-explores nothing and reproduces the cumulative statistics
+        let policy = CheckpointPolicy::every(3);
+        let complete = Explorer::new(&dms, 2)
+            .with_config(config(4, 50_000).with_checkpoint(policy.clone()))
+            .check_invariant(&Query::True);
+        assert!(complete.holds());
+        let final_snapshot = policy.take().expect("stop snapshot");
+        let replay = Explorer::new(&dms, 2)
+            .with_config(config(4, 50_000).with_threads(1))
+            .check_invariant_from(&Query::True, final_snapshot);
+        assert_eq!(replay.holds(), complete.holds());
+        assert_eq!(
+            replay.stats().configs_explored,
+            complete.stats().configs_explored
+        );
+        assert_eq!(
+            replay.stats().prefixes_checked,
+            complete.stats().prefixes_checked
+        );
+    }
+
+    #[test]
+    fn checkpointing_forces_the_sequential_engine_and_suppresses_certificates() {
+        use crate::checkpoint::CheckpointPolicy;
+
+        let dms = example_3_1();
+        let policy = CheckpointPolicy::every(10);
+        let verdict = Explorer::new(&dms, 2)
+            .with_config(
+                config(4, 50_000)
+                    .with_threads(8)
+                    .with_parallel_threshold(0)
+                    .with_emit_certificate(true)
+                    .with_checkpoint(policy.clone()),
+            )
+            .check_invariant(&Query::True);
+        assert_eq!(
+            verdict.stats().threads,
+            1,
+            "a parallel frontier has no serialisable stack order"
+        );
+        assert!(
+            verdict.certificate().is_none(),
+            "a resumable search cannot also prove closure"
+        );
+        assert!(policy.has_snapshot());
+
+        // trace searches checkpoint too (their frontier carries run prefixes)…
+        let policy = CheckpointPolicy::on_stop();
+        let explorer =
+            Explorer::new(&dms, 2).with_config(config(3, 2_000).with_checkpoint(policy.clone()));
+        let verdict = explorer.check(&templates::invariant(Query::prop(r("p"))));
+        assert!(!verdict.holds());
+        assert!(policy.has_snapshot());
+
+        // …while state-count searches carry no runs and leave the slot empty
+        let policy = CheckpointPolicy::on_stop();
+        let explorer =
+            Explorer::new(&dms, 2).with_config(config(3, 10_000).with_checkpoint(policy.clone()));
+        let _ = explorer.reachable_state_count();
+        assert!(!policy.has_snapshot());
     }
 
     #[test]

@@ -65,6 +65,7 @@ use rdms_core::iso::canonical_config_key;
 use rdms_core::{
     commit, CancelToken, CoreError, Dms, ExtendedRun, KeyInterner, RecencySemantics, Step,
 };
+use rdms_db::heap::{HeapSize, ARC_HEADER};
 use rdms_db::{eval, Query};
 use std::sync::Arc;
 use std::time::Instant;
@@ -149,6 +150,17 @@ pub struct IncrementalChecker {
     violations: usize,
     /// The shortest violating prefix observed (the first one, since prefixes only grow).
     first_violation: Option<ExtendedRun>,
+    /// Estimated bytes retained by the run spine, maintained incrementally so
+    /// [`memory_bytes`](Self::memory_bytes) stays O(1) per call (the per-step flat-cost
+    /// contract extends to the accounting itself).
+    run_bytes: usize,
+}
+
+/// Estimated cost of holding one more configuration on the run spine: the configuration's
+/// own footprint plus the spine node (step + `Arc` header). Like every [`HeapSize`]
+/// figure, an upper-bound estimate — shared `Arc`s are charged per holder.
+fn spine_cost(config: &rdms_core::BConfig) -> usize {
+    config.total_size() + std::mem::size_of::<Step>() + ARC_HEADER
 }
 
 impl std::fmt::Debug for IncrementalChecker {
@@ -184,6 +196,7 @@ impl IncrementalChecker {
         let (_, fresh) = interner.intern_new(key);
         debug_assert!(fresh, "a fresh interner cannot know the initial state");
         let initially_holds = eval::holds_boolean(run.last().instance(), &invariant)?;
+        let run_bytes = spine_cost(run.last());
         let mut session = IncrementalChecker {
             dms,
             bound,
@@ -197,6 +210,7 @@ impl IncrementalChecker {
             dedup_hits: 0,
             violations: 0,
             first_violation: None,
+            run_bytes,
         };
         if !initially_holds {
             session.violations = 1;
@@ -212,6 +226,63 @@ impl IncrementalChecker {
     pub fn with_emit_certificate(mut self, emit: bool) -> Self {
         self.emit_certificate = emit;
         self
+    }
+
+    /// Rebuild a session from a previously captured run spine **without re-validating the
+    /// transitions** — the checkpoint-resume path of `rdms-serve`, where re-running
+    /// [`RecencySemantics::apply`] per journaled step would make reboot cost grow with
+    /// the whole session instead of the suffix since the last checkpoint.
+    ///
+    /// The run's configurations are re-interned in order, so `distinct_states`,
+    /// `dedup_hits` and the session-scoped state ids come out exactly as in the
+    /// uninterrupted session. `violations` and the first violating prefix cannot be
+    /// recomputed without re-evaluating φ per configuration, so the caller passes the
+    /// checkpointed values (`first_violation_len` = the witness prefix length, `0` for an
+    /// initially-violating configuration).
+    ///
+    /// The run is **trusted**: callers resuming from untrusted bytes should replay
+    /// through [`check`](Self::check) instead, which validates every transition.
+    pub fn resume(
+        dms: Arc<Dms>,
+        bound: usize,
+        invariant: Query,
+        run: ExtendedRun,
+        violations: usize,
+        first_violation_len: Option<usize>,
+    ) -> Result<Self, CoreError> {
+        if let Some(&var) = invariant.free_vars().iter().next() {
+            return Err(CoreError::Db(rdms_db::DbError::UnboundVariable(var)));
+        }
+        let interner = Arc::new(KeyInterner::new());
+        let mut distinct_states = 0;
+        let mut dedup_hits = 0;
+        let mut run_bytes = 0;
+        for config in run.configs() {
+            let key = canonical_config_key(config, dms.constants());
+            let (_, fresh) = interner.intern_new(key);
+            if fresh {
+                distinct_states += 1;
+            } else {
+                dedup_hits += 1;
+            }
+            run_bytes += spine_cost(config);
+        }
+        let first_violation = first_violation_len.map(|len| run.prefix(len));
+        Ok(IncrementalChecker {
+            dms,
+            bound,
+            invariant,
+            emit_certificate: false,
+            interner,
+            transactions: run.len(),
+            run,
+            started: Instant::now(),
+            distinct_states,
+            dedup_hits,
+            violations,
+            first_violation,
+            run_bytes,
+        })
     }
 
     /// Check one transaction: validate it as a `b`-bounded transition from the current tip,
@@ -268,6 +339,11 @@ impl IncrementalChecker {
         self.transactions += 1;
         let key = canonical_config_key(self.run.last(), self.dms.constants());
         let (state_id, new_state) = self.interner.intern_new(key);
+        // charge the spine *after* canonicalisation: computing the key populates the
+        // configuration's recency-rank cache, which heap_size includes once present, so
+        // measuring here makes the estimate deterministic (resume re-measures the same
+        // configurations after re-interning them and must arrive at the same figure)
+        self.run_bytes += spine_cost(self.run.last());
         if new_state {
             self.distinct_states += 1;
         } else {
@@ -345,12 +421,29 @@ impl IncrementalChecker {
                 self.dedup_hits as f64 / configs_explored as f64
             },
             peak_frontier: 1,
+            memory_cutoff: false,
+            peak_memory_bytes: self.memory_bytes(),
+            cutoff: None,
             relations_shared: 0,
             relations_materialized: 0,
             index_probes: self.transactions as u64,
             index_hit_rate: 0.0,
             elapsed: self.started.elapsed(),
         }
+    }
+
+    /// Estimated bytes this session retains: the run spine plus the interner's canonical
+    /// keys. O(1) per call (maintained incrementally), monotone over the session's life,
+    /// and an upper-bound estimate in the [`HeapSize`] contract's sense — the figure
+    /// `rdms-serve`'s memory governor meters sessions by.
+    pub fn memory_bytes(&self) -> usize {
+        self.run_bytes + self.interner.heap_bytes()
+    }
+
+    /// Whether violating verdicts carry certificates
+    /// (see [`with_emit_certificate`](Self::with_emit_certificate)).
+    pub fn emits_certificates(&self) -> bool {
+        self.emit_certificate
     }
 
     /// The underlying DMS.
@@ -575,6 +668,91 @@ mod tests {
             !from_scratch.holds(),
             "explorer must also find the violation"
         );
+    }
+
+    #[test]
+    fn memory_accounting_is_monotone_and_nonzero() {
+        let mut session = figure_1_session(2);
+        let mut last = session.memory_bytes();
+        assert!(last > 0, "the initial configuration already costs bytes");
+        for step in figure_1_steps() {
+            session.check(&step).unwrap();
+            let now = session.memory_bytes();
+            assert!(now > last, "every accepted step grows the estimate");
+            last = now;
+        }
+        assert_eq!(session.stats().peak_memory_bytes, last);
+    }
+
+    #[test]
+    fn resumed_sessions_continue_exactly_like_the_original() {
+        let mut session = figure_1_session(2);
+        let steps = figure_1_steps();
+        for step in &steps[..6] {
+            session.check(step).unwrap();
+        }
+        let mut resumed = IncrementalChecker::resume(
+            Arc::clone(session.dms()),
+            2,
+            Query::True,
+            session.run().clone(),
+            session.violations(),
+            session.first_violation().map(ExtendedRun::len),
+        )
+        .unwrap();
+        assert_eq!(resumed.transactions(), session.transactions());
+        assert_eq!(resumed.distinct_states(), session.distinct_states());
+        assert_eq!(resumed.dedup_hits, session.dedup_hits);
+        assert_eq!(resumed.run_bytes, session.run_bytes);
+        assert_eq!(resumed.interner.heap_bytes(), session.interner.heap_bytes());
+
+        // both sessions accept the identical suffix and agree step by step
+        for step in &steps[6..] {
+            let (a, b) = (session.check(step).unwrap(), resumed.check(step).unwrap());
+            match (a, b) {
+                (
+                    StepVerdict::Ok {
+                        state_id: x,
+                        new_state: nx,
+                    },
+                    StepVerdict::Ok {
+                        state_id: y,
+                        new_state: ny,
+                    },
+                ) => assert_eq!((x, nx), (y, ny)),
+                other => panic!("verdicts diverged after resume: {other:?}"),
+            }
+        }
+        assert_eq!(resumed.run(), session.run());
+        assert_eq!(resumed.memory_bytes(), session.memory_bytes());
+    }
+
+    #[test]
+    fn resume_restores_the_violation_record() {
+        let dms = Arc::new(example_3_1());
+        let x = Var::new("x");
+        let no_q = Query::exists(x, Query::atom(RelName::new("Q"), [Term::Var(x)])).not();
+        let mut session = IncrementalChecker::new(Arc::clone(&dms), 2, no_q.clone()).unwrap();
+        let steps = figure_1_steps();
+        session.check(&steps[0]).unwrap();
+        session.check(&steps[1]).unwrap();
+        assert!(session.violations() >= 1);
+
+        let resumed = IncrementalChecker::resume(
+            dms,
+            2,
+            no_q,
+            session.run().clone(),
+            session.violations(),
+            session.first_violation().map(ExtendedRun::len),
+        )
+        .unwrap();
+        assert_eq!(resumed.violations(), session.violations());
+        assert_eq!(
+            resumed.first_violation().map(ExtendedRun::len),
+            session.first_violation().map(ExtendedRun::len)
+        );
+        assert!(!resumed.verdict().holds());
     }
 
     #[test]

@@ -125,6 +125,24 @@ pub struct CheckStats {
     pub dedup_hit_rate: f64,
     /// Largest number of frontier entries that were pending at any one time.
     pub peak_frontier: usize,
+    /// `true` when the search stopped admitting successors because the configured
+    /// [`crate::ExplorerConfig::memory_budget_bytes`] would have been exceeded. The verdict
+    /// is then never reported as exhaustive (`complete: false`), mirroring
+    /// `depth_cutoff`/`budget_cutoff` semantics: a state was genuinely dropped.
+    #[serde(default)]
+    pub memory_cutoff: bool,
+    /// Peak estimated heap bytes retained by the search (seen-set keys plus frontier),
+    /// per the [`rdms_db::HeapSize`] estimation contract. `0` when no memory budget was
+    /// configured (accounting is only maintained when it can change the outcome).
+    #[serde(default)]
+    pub peak_memory_bytes: usize,
+    /// Which resource bound fired first, when any did. Stable precedence when several
+    /// fire on the same search: `Cancelled` > `Memory` > `Configs` — cancellation is an
+    /// external command so it dominates; memory pressure stops admission process-wide
+    /// while the config budget merely caps the count. `None` for exhaustive or purely
+    /// depth-bounded searches.
+    #[serde(default)]
+    pub cutoff: Option<CutoffReason>,
     /// Relation handles shared by reference when instances were cloned during this search
     /// (the copy-on-write fast path). Counted through a per-search metrics scope
     /// ([`rdms_db::metrics::SearchCounters`]), so the figure is **exact** for this search
@@ -143,6 +161,19 @@ pub struct CheckStats {
     /// Wall-clock time.
     #[serde(with = "duration_millis")]
     pub elapsed: Duration,
+}
+
+/// Why an inexhaustive search stopped admitting work, in stable precedence order
+/// (`Cancelled` > `Memory` > `Configs`; see [`CheckStats::cutoff`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CutoffReason {
+    /// The caller's cancellation token was observed.
+    Cancelled,
+    /// Admitting the next configuration would have exceeded
+    /// [`crate::ExplorerConfig::memory_budget_bytes`].
+    Memory,
+    /// [`crate::ExplorerConfig::max_configs`] was reached.
+    Configs,
 }
 
 mod duration_millis {
@@ -205,6 +236,9 @@ mod tests {
             per_thread_configs_per_sec: vec![10.5, 11.0, 9.25, 12.0],
             dedup_hit_rate: 0.25,
             peak_frontier: 17,
+            memory_cutoff: true,
+            peak_memory_bytes: 123_456,
+            cutoff: Some(CutoffReason::Memory),
             relations_shared: 420,
             relations_materialized: 42,
             index_probes: 1000,
@@ -214,6 +248,8 @@ mod tests {
         let json = serde_json::to_string(&stats).unwrap();
         assert!(json.contains("\"recency_bound\":3"));
         assert!(json.contains("\"threads\":4"));
+        assert!(json.contains("\"memory_cutoff\":true"));
+        assert!(json.contains("\"cutoff\":\"Memory\""));
         let back: CheckStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, stats);
     }

@@ -90,6 +90,12 @@ impl History {
     }
 }
 
+impl rdms_db::HeapSize for History {
+    fn heap_size(&self) -> usize {
+        self.set.heap_bytes()
+    }
+}
+
 impl FromIterator<DataValue> for History {
     fn from_iter<I: IntoIterator<Item = DataValue>>(iter: I) -> History {
         let mut history = History::new();
@@ -294,6 +300,12 @@ impl SeqNo {
     }
 }
 
+impl rdms_db::HeapSize for SeqNo {
+    fn heap_size(&self) -> usize {
+        self.map.heap_bytes()
+    }
+}
+
 impl fmt::Debug for SeqNo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let entries: Vec<String> = self.iter().map(|(v, n)| format!("{v}→{n}")).collect();
@@ -466,6 +478,19 @@ impl BConfig {
     /// Number of values in the active domain.
     pub fn adom_size(&self) -> usize {
         self.recency_ranks().len()
+    }
+}
+
+impl rdms_db::HeapSize for BConfig {
+    /// Instance, history and numbering, plus the recency-rank cache when it has been
+    /// computed. Persistent structure shared with other configurations is charged in full
+    /// to each one (the upper-bound convention of [`rdms_db::heap`]) — the memory budget
+    /// over-counts rather than admitting states a crashing allocator would not.
+    fn heap_size(&self) -> usize {
+        let ranks = self.ranks.get().map_or(0, |ranks| {
+            rdms_db::heap::ARC_HEADER + ranks.len() * std::mem::size_of::<DataValue>()
+        });
+        self.instance.heap_size() + self.history.heap_size() + self.seq_no.heap_size() + ranks
     }
 }
 

@@ -21,7 +21,7 @@ use rdms_db::{DataValue, Instance};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// A canonical form of a configuration: the instance with every non-constant active-domain
@@ -145,12 +145,17 @@ pub struct KeyInterner {
     // `&Instance` for lookups
     shards: Vec<RwLock<HashMap<Arc<Instance>, u64>>>,
     next: AtomicU64,
+    /// Estimated heap bytes of every key retained by the shards (see
+    /// [`KeyInterner::heap_bytes`]), maintained atomically on the two fresh-insert paths
+    /// so concurrent searches read live interner memory without touching the shard locks.
+    bytes: AtomicUsize,
 }
 
 impl fmt::Debug for KeyInterner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("KeyInterner")
             .field("len", &self.len())
+            .field("heap_bytes", &self.heap_bytes())
             .finish_non_exhaustive()
     }
 }
@@ -164,6 +169,7 @@ impl KeyInterner {
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
             next: AtomicU64::new(0),
+            bytes: AtomicUsize::new(0),
         }
     }
 
@@ -198,7 +204,9 @@ impl KeyInterner {
             return (id, false);
         }
         let id = self.next.fetch_add(1, Ordering::Relaxed);
-        map.insert(Arc::new(key), id);
+        let stored = Arc::new(key);
+        self.charge(&stored);
+        map.insert(stored, id);
         (id, true)
     }
 
@@ -217,8 +225,25 @@ impl KeyInterner {
         }
         let id = self.next.fetch_add(1, Ordering::Relaxed);
         let stored = Arc::new(key);
+        self.charge(&stored);
         map.insert(Arc::clone(&stored), id);
         (id, stored)
+    }
+
+    /// Account a freshly interned key: the `Arc` allocation plus the instance's heap,
+    /// plus the shard map's per-entry overhead.
+    fn charge(&self, stored: &Arc<Instance>) {
+        use rdms_db::heap::{HeapSize, HASH_ENTRY_OVERHEAD};
+        let cost =
+            stored.heap_size() + std::mem::size_of::<(Arc<Instance>, u64)>() + HASH_ENTRY_OVERHEAD;
+        self.bytes.fetch_add(cost, Ordering::Relaxed);
+    }
+
+    /// Estimated heap bytes retained by this interner's keys (for the global interner:
+    /// process-wide canonical-key memory). Maintained atomically on every fresh
+    /// interning, so reading it never takes a shard lock.
+    pub fn heap_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
     }
 
     /// The id of `key`, if it has been interned.
@@ -484,6 +509,24 @@ mod tests {
         }
         // the 64 singleton instances include the earlier {R(e1)} and {R(e2)}
         assert_eq!(interner.len(), 64);
+    }
+
+    #[test]
+    fn interner_accounts_bytes_on_fresh_inserts_only() {
+        let interner = KeyInterner::new();
+        assert_eq!(interner.heap_bytes(), 0);
+        let a = Instance::from_facts([(r("R"), vec![e(1)])]);
+        interner.intern(a.clone());
+        let after_one = interner.heap_bytes();
+        assert!(after_one > 0, "fresh intern must be charged");
+        // deduplicated hits are free: no new allocation, no new charge
+        interner.intern(a.clone());
+        interner.intern_new(a.clone());
+        interner.intern_handle(a.clone());
+        assert_eq!(interner.heap_bytes(), after_one);
+        // a second distinct key grows the account
+        interner.intern(Instance::from_facts([(r("R"), vec![e(2)])]));
+        assert!(interner.heap_bytes() > after_one);
     }
 
     #[test]

@@ -174,6 +174,13 @@ impl<K, V> PMap<K, V> {
         self.root.is_none()
     }
 
+    /// Estimated heap bytes of the tree: one `Arc`'d node per entry. Structure shared
+    /// with other maps is charged in full to every holder — an upper bound, following the
+    /// estimation contract of [`rdms_db::heap`].
+    pub fn heap_bytes(&self) -> usize {
+        self.len() * (std::mem::size_of::<Node<K, V>>() + rdms_db::heap::ARC_HEADER)
+    }
+
     /// Whether `self` and `other` share their root node (and hence their entire contents):
     /// a constant-time *sufficient* test for equality, used to validate derived caches.
     pub fn ptr_eq(&self, other: &PMap<K, V>) -> bool {

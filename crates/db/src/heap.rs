@@ -1,0 +1,156 @@
+//! Heap-size estimation: how many bytes of heap a value keeps alive.
+//!
+//! [`HeapSize`] is the accounting substrate of the resource governor: the checker's
+//! seen-set and the canonical-key interner charge every admitted configuration against a
+//! byte budget, and the service charges every session against a process-wide one. The
+//! numbers are **estimates** — container per-entry overheads are modelled with fixed
+//! constants, `Arc`-shared data is charged to every holder (an upper bound, which is the
+//! safe direction for a budget), and lazily built caches are excluded (they are
+//! reconstructible, bounded by the primary data, and dropped on mutation).
+//!
+//! The contract: [`heap_size`](HeapSize::heap_size) is the estimated bytes **owned on the
+//! heap** by the value, excluding `size_of::<Self>()` (the inline part its owner already
+//! accounts for); [`total_size`](HeapSize::total_size) adds that inline part back, which is
+//! what per-entry charges of containers want.
+
+use crate::value::{DataValue, Tuple};
+use std::mem::size_of;
+
+/// Estimated per-entry bookkeeping of a B-tree map/set beyond the key/value bytes
+/// (amortised node headers, parent pointers, vacancy from the branching-factor split).
+pub const BTREE_ENTRY_OVERHEAD: usize = 16;
+
+/// Estimated per-entry bookkeeping of a hash map/set beyond the key/value bytes
+/// (control bytes plus load-factor vacancy).
+pub const HASH_ENTRY_OVERHEAD: usize = 8;
+
+/// Estimated heap bytes of one `Arc` allocation header (strong + weak counts).
+pub const ARC_HEADER: usize = 2 * size_of::<usize>();
+
+/// Estimated bytes of heap memory a value keeps alive. See the module docs for the
+/// estimation contract.
+pub trait HeapSize {
+    /// Estimated heap bytes owned by this value, **excluding** its own inline
+    /// `size_of::<Self>()` bytes.
+    fn heap_size(&self) -> usize;
+
+    /// Inline plus heap bytes: what one occurrence of this value costs its container.
+    fn total_size(&self) -> usize
+    where
+        Self: Sized,
+    {
+        size_of::<Self>() + self.heap_size()
+    }
+}
+
+impl HeapSize for DataValue {
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+impl HeapSize for u64 {
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+impl HeapSize for usize {
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+impl<T: HeapSize> HeapSize for Vec<T> {
+    /// The backing buffer at its **capacity** (unused capacity is still live memory),
+    /// plus whatever the elements own.
+    fn heap_size(&self) -> usize {
+        self.capacity() * size_of::<T>() + self.iter().map(HeapSize::heap_size).sum::<usize>()
+    }
+}
+
+impl HeapSize for String {
+    fn heap_size(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Option<T> {
+    fn heap_size(&self) -> usize {
+        self.as_ref().map_or(0, HeapSize::heap_size)
+    }
+}
+
+impl<T: HeapSize> HeapSize for std::sync::Arc<T> {
+    /// Charges the full pointee to this handle: shared data is counted once **per
+    /// holder**, an upper bound (see the module docs).
+    fn heap_size(&self) -> usize {
+        ARC_HEADER + size_of::<T>() + T::heap_size(self)
+    }
+}
+
+/// The heap bytes of a set of tuples stored in a B-tree, charged per entry. `Tuple` is
+/// `Vec<DataValue>`, so this is the generic `Vec` impl plus the set's entry overhead.
+pub fn btree_set_of_tuples(tuples: &std::collections::BTreeSet<Tuple>) -> usize {
+    tuples
+        .iter()
+        .map(|tuple| tuple.total_size() + BTREE_ENTRY_OVERHEAD)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_own_no_heap() {
+        assert_eq!(DataValue(7).heap_size(), 0);
+        assert_eq!(DataValue(7).total_size(), size_of::<DataValue>());
+        assert_eq!(42u64.heap_size(), 0);
+    }
+
+    #[test]
+    fn vectors_charge_capacity_not_length() {
+        let mut v: Vec<DataValue> = Vec::with_capacity(8);
+        v.push(DataValue(1));
+        assert_eq!(v.heap_size(), 8 * size_of::<DataValue>());
+        // total adds the inline Vec header
+        assert_eq!(v.total_size(), size_of::<Vec<DataValue>>() + v.heap_size());
+    }
+
+    #[test]
+    fn nested_vectors_sum_their_elements() {
+        let tuples: Vec<Tuple> = vec![vec![DataValue(1), DataValue(2)], vec![DataValue(3)]];
+        let elements: usize = tuples.iter().map(HeapSize::heap_size).sum();
+        assert_eq!(
+            tuples.heap_size(),
+            tuples.capacity() * size_of::<Tuple>() + elements
+        );
+        assert!(elements >= 3 * size_of::<DataValue>());
+    }
+
+    #[test]
+    fn instances_grow_monotonically_with_facts() {
+        use crate::{Instance, RelName};
+        let r = RelName::new("R");
+        let mut inst = Instance::new();
+        assert_eq!(inst.heap_size(), 0);
+        inst.insert(r, vec![DataValue(1)]);
+        let one = inst.heap_size();
+        assert!(one > 0);
+        inst.insert(r, vec![DataValue(2)]);
+        let two = inst.heap_size();
+        assert!(two > one, "{two} !> {one}");
+        // a clone shares every relation but is charged in full (upper bound)
+        assert_eq!(inst.clone().heap_size(), two);
+    }
+
+    #[test]
+    fn arcs_charge_the_pointee_per_holder() {
+        let a = std::sync::Arc::new(vec![DataValue(1), DataValue(2)]);
+        let b = std::sync::Arc::clone(&a);
+        // both handles report the same (full) cost: the estimate is an upper bound
+        assert_eq!(a.heap_size(), b.heap_size());
+        assert!(a.heap_size() >= ARC_HEADER + size_of::<Vec<DataValue>>());
+    }
+}

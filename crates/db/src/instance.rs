@@ -620,6 +620,33 @@ impl Instance {
     }
 }
 
+impl crate::heap::HeapSize for Relation {
+    /// Charges the primary tuple storage only: the lazy caches (values, columns, indexes,
+    /// content hash, canonical relabelling) are reconstructible, bounded by that storage,
+    /// and dropped on mutation — see the estimation contract in [`crate::heap`].
+    fn heap_size(&self) -> usize {
+        crate::heap::btree_set_of_tuples(&self.tuples)
+    }
+}
+
+impl crate::heap::HeapSize for Instance {
+    /// Per relation entry: the map overhead, the `Arc` header, and the relation's tuple
+    /// storage. Shared relations are charged to every holding instance (upper bound).
+    fn heap_size(&self) -> usize {
+        use crate::heap::{ARC_HEADER, BTREE_ENTRY_OVERHEAD};
+        self.relations
+            .values()
+            .map(|data| {
+                BTREE_ENTRY_OVERHEAD
+                    + std::mem::size_of::<(RelName, Arc<Relation>)>()
+                    + ARC_HEADER
+                    + std::mem::size_of::<Relation>()
+                    + data.as_ref().heap_size()
+            })
+            .sum()
+    }
+}
+
 impl Clone for Instance {
     fn clone(&self) -> Instance {
         metrics::count_shared(self.relations.len() as u64);

@@ -46,6 +46,7 @@
 pub mod answers;
 pub mod error;
 pub mod eval;
+pub mod heap;
 pub mod instance;
 pub mod metrics;
 pub mod parser;
@@ -60,6 +61,7 @@ pub mod value;
 
 pub use answers::{answers, answers_with_constants, answers_within};
 pub use error::DbError;
+pub use heap::HeapSize;
 pub use instance::Instance;
 pub use pattern::Pattern;
 pub use query::Query;

@@ -411,6 +411,15 @@ impl Rows {
     }
 }
 
+impl crate::heap::HeapSize for Rows {
+    /// Two flat buffers: the signature and the row-major cell storage, charged at
+    /// capacity. No per-row overhead — that flatness is the point of the representation.
+    fn heap_size(&self) -> usize {
+        self.vars.capacity() * std::mem::size_of::<Var>()
+            + self.data.capacity() * std::mem::size_of::<DataValue>()
+    }
+}
+
 /// Merge two sorted signatures into their sorted union.
 pub(crate) fn merge_vars(a: &[Var], b: &[Var]) -> Vec<Var> {
     let mut out = Vec::with_capacity(a.len() + b.len());

@@ -30,6 +30,9 @@ OPTIONS:
                                   here, recover sessions at boot (clients re-attach with
                                   Resume) [default: off]
       --journal-fsync-every <N>   fsync journals every N appended records [default: 8]
+      --memory-budget-mb <MB>     soft cap on estimated session memory: new Opens are
+                                  shed with `overloaded` and the largest idle session
+                                  is evicted under pressure; 0 disables [default: 0]
       --allow-remote-shutdown     honour the wire Shutdown request
   -h, --help                      print this help
 ";
@@ -82,6 +85,10 @@ fn main() {
             }
             "--journal-fsync-every" => {
                 config.journal_fsync_every = parse(&value("--journal-fsync-every"));
+            }
+            "--memory-budget-mb" => {
+                let mb: usize = parse(&value("--memory-budget-mb"));
+                config.memory_budget_bytes = (mb > 0).then(|| mb * 1024 * 1024);
             }
             "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
             "-h" | "--help" => {

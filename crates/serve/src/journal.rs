@@ -188,6 +188,25 @@ pub fn journal_file_name(session: u64) -> String {
     format!("session-{session}.journal")
 }
 
+/// The checkpoint filename for a session id (written beside the journal on drain and
+/// eviction; see [`SessionSnapshot`]).
+pub fn checkpoint_file_name(session: u64) -> String {
+    format!("session-{session}.checkpoint")
+}
+
+/// The checkpoint path that sits beside a journal path.
+fn checkpoint_path(journal_path: &Path) -> PathBuf {
+    journal_path.with_extension("checkpoint")
+}
+
+/// Fsync a directory, making its entry changes (create, rename, unlink) durable. On
+/// POSIX, fsyncing a file persists its *contents* but not the directory entry naming it;
+/// without this, a crash shortly after creating or unlinking a journal could lose the
+/// file wholesale — or resurrect a retired one — even though the data was synced.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
 /// Parse a session id back out of a journal filename; `None` for foreign files.
 pub fn parse_file_name(name: &str) -> Option<u64> {
     name.strip_prefix("session-")?
@@ -225,6 +244,10 @@ impl Journal {
         journal.sink.write_all(&encode_record(open))?;
         journal.sink.flush()?;
         journal.sink.sync()?;
+        // crash consistency: the file's contents are durable, but its directory entry is
+        // not until the directory itself is synced — without this, a crash right after
+        // `Opened` was sent could lose the whole journal despite the fsync above
+        sync_dir(dir)?;
         Ok(journal)
     }
 
@@ -312,7 +335,14 @@ impl Journal {
         let _ = self.sink.flush();
         let _ = self.sink.sync();
         if let Some(path) = self.path.take() {
-            std::fs::remove_file(path)?;
+            std::fs::remove_file(&path)?;
+            // a drain checkpoint for a cleanly closed session is as stale as its journal
+            let _ = std::fs::remove_file(checkpoint_path(&path));
+            // crash consistency: sync the unlinks, or a crash now could resurrect the
+            // retired session as a ghost at next boot
+            if let Some(dir) = path.parent() {
+                sync_dir(dir)?;
+            }
         }
         Ok(())
     }
@@ -391,6 +421,61 @@ pub fn parse_journal(bytes: &[u8]) -> Option<ParsedJournal> {
     })
 }
 
+/// A drain-time snapshot of a live session: the run spine plus the counters that cannot
+/// be recomputed without re-evaluating the invariant per configuration.
+///
+/// Written beside the journal as `session-<id>.checkpoint` when a session leaves the
+/// server without a clean `Close` (drain, eviction) and the server journals. At boot,
+/// recovery **prefers** a checkpoint consistent with the journal: the session is rebuilt
+/// from the snapshot ([`IncrementalChecker::resume`](rdms_checker::IncrementalChecker),
+/// no per-step re-validation) and only the journal records *past* the snapshot are
+/// replayed — so rebooting under a long verification costs the suffix since the last
+/// drain, not the whole session. Any inconsistency (bound, DMS or invariant mismatch, a
+/// run longer than the journal) falls back to full journal replay, which validates every
+/// transition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// The session's DMS.
+    pub dms: rdms_core::Dms,
+    /// The recency bound `b`.
+    pub bound: usize,
+    /// The invariant φ (parsed form; the journal's `Open` record keeps the concrete
+    /// syntax, and recovery cross-checks the two).
+    pub invariant: rdms_db::Query,
+    /// Whether the session emits violation certificates.
+    pub emit_certificates: bool,
+    /// The run spine at snapshot time.
+    pub run: rdms_core::ExtendedRun,
+    /// Accepted transactions (plus possibly the initial configuration) that violated φ.
+    pub violations: usize,
+    /// Length of the first violating prefix, if one was observed.
+    pub first_violation_len: Option<usize>,
+}
+
+/// Atomically write a session's checkpoint beside its journal: temp file, fsync, rename,
+/// directory fsync — a crash mid-write must never leave a half-written checkpoint
+/// shadowing a good journal.
+pub fn write_snapshot(dir: &Path, session: u64, snapshot: &SessionSnapshot) -> io::Result<()> {
+    let json = serde_json::to_string(snapshot).expect("snapshots serialize");
+    let tmp = dir.join(format!("session-{session}.checkpoint.tmp"));
+    let path = dir.join(checkpoint_file_name(session));
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(json.as_bytes())?;
+        file.sync_data()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    sync_dir(dir)?;
+    Ok(())
+}
+
+/// Read a checkpoint back; `None` for a missing or undecodable file (recovery falls back
+/// to full journal replay in both cases).
+pub fn read_snapshot(path: &Path) -> Option<SessionSnapshot> {
+    let json = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&json).ok()
+}
+
 /// A session restored from a journal at boot, parked until a client `Resume`s it.
 #[derive(Debug)]
 pub struct RecoveredSession {
@@ -403,6 +488,9 @@ pub struct RecoveredSession {
     pub replayed: usize,
     /// Whether a torn tail was truncated off the file during recovery.
     pub truncated: bool,
+    /// Whether the session was rebuilt from a drain checkpoint (replaying only the
+    /// journal suffix) rather than by full journal replay.
+    pub from_checkpoint: bool,
 }
 
 /// Recover one journal file: parse, truncate any torn tail in place, and replay the
@@ -420,14 +508,82 @@ pub fn recover_file(path: &Path) -> io::Result<Option<RecoveredSession>> {
         file.set_len(parsed.good_len)?;
         file.sync_data()?;
     }
+    // prefer the drain checkpoint when one is present and consistent: rebuild from the
+    // snapshot and replay only the journal records past it, so a reboot under a long
+    // session costs the suffix since the last drain instead of the whole session
+    if let Some(snapshot) = read_snapshot(&checkpoint_path(path)) {
+        if let Some((session, replayed)) = resume_with_suffix(snapshot, &parsed.records) {
+            return Ok(Some(RecoveredSession {
+                session,
+                path: path.to_path_buf(),
+                replayed,
+                truncated: parsed.torn,
+                from_checkpoint: true,
+            }));
+        }
+        eprintln!(
+            "rdms-serve: checkpoint beside {} is inconsistent with its journal, \
+             falling back to full replay",
+            path.display()
+        );
+    }
     Ok(
         replay(&parsed.records).map(|(session, replayed)| RecoveredSession {
             session,
             path: path.to_path_buf(),
             replayed,
             truncated: parsed.torn,
+            from_checkpoint: false,
         }),
     )
+}
+
+/// Rebuild a session from a checkpoint and replay the journal's `Check` records past the
+/// snapshot's run length. `None` when the snapshot and journal disagree (different DMS,
+/// bound or invariant; a run longer than the journal records) — the caller falls back to
+/// full replay, which validates every transition from scratch.
+fn resume_with_suffix(
+    snapshot: SessionSnapshot,
+    records: &[JournalRecord],
+) -> Option<(Session, usize)> {
+    let JournalRecord::Open {
+        dms,
+        bound,
+        invariant,
+        emit_certificates,
+    } = records.first()?
+    else {
+        return None;
+    };
+    let parsed_invariant = rdms_db::parser::parse_query(invariant).ok()?;
+    if snapshot.bound != *bound
+        || snapshot.dms != *dms
+        || snapshot.invariant != parsed_invariant
+        || snapshot.emit_certificates != *emit_certificates
+        || snapshot.run.len() > records.len() - 1
+    {
+        return None;
+    }
+    let prefix = snapshot.run.len();
+    let mut session = Session::resume(snapshot).ok()?;
+    let mut replayed = prefix;
+    for record in &records[1 + prefix..] {
+        let JournalRecord::Check { action, bindings } = record else {
+            break; // a second Open mid-journal is corruption; keep the prefix
+        };
+        let accepted = catch_unwind(AssertUnwindSafe(|| {
+            use crate::session::CheckOutcome;
+            matches!(
+                session.check(action, bindings),
+                CheckOutcome::Ok { .. } | CheckOutcome::Violation { .. }
+            )
+        }));
+        match accepted {
+            Ok(true) => replayed += 1,
+            Ok(false) | Err(_) => break,
+        }
+    }
+    Some((session, replayed))
 }
 
 /// Replay parsed records into a fresh session. Replay stops — keeping the prefix — at the
@@ -694,5 +850,91 @@ mod tests {
         assert_eq!(parse_file_name(&journal_file_name(42)), Some(42));
         assert_eq!(parse_file_name("session-.journal"), None);
         assert_eq!(parse_file_name("other.txt"), None);
+    }
+
+    fn test_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rdms-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn snapshots_round_trip_through_disk() {
+        let dir = test_dir("snapshot-roundtrip");
+        let (session, _) = replay(&[open(), alpha(1), alpha(4)]).unwrap();
+        let snapshot = session.snapshot();
+        write_snapshot(&dir, 7, &snapshot).unwrap();
+
+        let back = read_snapshot(&dir.join(checkpoint_file_name(7))).unwrap();
+        assert_eq!(back.bound, snapshot.bound);
+        assert_eq!(back.run.len(), 2);
+        assert_eq!(back.violations, snapshot.violations);
+        assert_eq!(back.first_violation_len, snapshot.first_violation_len);
+        // a missing or mangled file reads as None, never a panic
+        assert!(read_snapshot(&dir.join("no-such.checkpoint")).is_none());
+        std::fs::write(dir.join(checkpoint_file_name(8)), b"{not json").unwrap();
+        assert!(read_snapshot(&dir.join(checkpoint_file_name(8))).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_prefers_a_consistent_checkpoint() {
+        let dir = test_dir("checkpoint-preferred");
+        let mut journal = Journal::create(&dir, 7, &open(), 2).unwrap();
+        journal.append(&alpha(1));
+        journal.append(&alpha(4));
+        journal.append(&alpha(7));
+        drop(journal);
+
+        // checkpoint covers the first two transactions; recovery should rebuild from it
+        // and replay only the journal suffix (the third transaction)
+        let (session, _) = replay(&[open(), alpha(1), alpha(4)]).unwrap();
+        write_snapshot(&dir, 7, &session.snapshot()).unwrap();
+
+        let recovered = recover_file(&dir.join(journal_file_name(7)))
+            .unwrap()
+            .unwrap();
+        assert!(recovered.from_checkpoint);
+        assert_eq!(recovered.replayed, 3);
+        assert_eq!(recovered.session.transactions(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_inconsistent_checkpoint_falls_back_to_full_replay() {
+        let dir = test_dir("checkpoint-fallback");
+        let mut journal = Journal::create(&dir, 7, &open(), 2).unwrap();
+        journal.append(&alpha(1));
+        journal.append(&alpha(4));
+        drop(journal);
+
+        // a checkpoint whose bound disagrees with the journal's Open record is untrusted
+        let (session, _) = replay(&[open(), alpha(1)]).unwrap();
+        let mut snapshot = session.snapshot();
+        snapshot.bound += 1;
+        write_snapshot(&dir, 7, &snapshot).unwrap();
+
+        let recovered = recover_file(&dir.join(journal_file_name(7)))
+            .unwrap()
+            .unwrap();
+        assert!(!recovered.from_checkpoint);
+        assert_eq!(recovered.replayed, 2);
+        assert_eq!(recovered.session.transactions(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retiring_a_journal_removes_its_checkpoint_too() {
+        let dir = test_dir("checkpoint-retire");
+        let journal = Journal::create(&dir, 7, &open(), 2).unwrap();
+        let (session, _) = replay(&[open(), alpha(1)]).unwrap();
+        write_snapshot(&dir, 7, &session.snapshot()).unwrap();
+        assert!(dir.join(checkpoint_file_name(7)).exists());
+
+        journal.retire().unwrap();
+        assert!(!dir.join(journal_file_name(7)).exists());
+        assert!(!dir.join(checkpoint_file_name(7)).exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

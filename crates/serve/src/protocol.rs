@@ -190,6 +190,12 @@ pub enum ErrorCode {
     TransactionLimit,
     /// The server is at its concurrent-session cap; the connection closes.
     SessionLimit,
+    /// The server's memory governor refused the `Open` up front: admitting another
+    /// session would exceed `--memory-budget-mb`. Distinct from [`Response::Busy`]
+    /// (a full queue **mid-session**): overload is shed before any work is queued, the
+    /// connection stays open, and the client should back off and retry — the server
+    /// evicts its largest idle session under pressure, so capacity returns.
+    Overloaded,
     /// A `Shutdown` request arrived but the server does not allow remote shutdown.
     ShutdownDisabled,
     /// The server is draining; no new sessions or transactions are accepted.
@@ -229,6 +235,7 @@ impl ErrorCode {
             ErrorCode::DatabaseError => "database-error",
             ErrorCode::TransactionLimit => "transaction-limit",
             ErrorCode::SessionLimit => "session-limit",
+            ErrorCode::Overloaded => "overloaded",
             ErrorCode::ShutdownDisabled => "shutdown-disabled",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::DeadlineExceeded => "deadline-exceeded",

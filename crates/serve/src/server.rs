@@ -92,6 +92,12 @@ pub struct ServerConfig {
     /// Fsync the journal every this-many appended records (1 = every record). Bounds the
     /// transactions a kernel-level crash can lose; see `docs/OPERATIONS.md`.
     pub journal_fsync_every: usize,
+    /// Process-wide budget for session memory (run spines + interned canonical keys, the
+    /// [`Session::memory_bytes`] estimate summed over live sessions). When the total is
+    /// at or past the budget, new `Open`s are **shed** with code `overloaded` before any
+    /// work is queued, and the largest idle session is marked for eviction so capacity
+    /// returns. `None` (default) = no governor. Sizing guidance: `docs/OPERATIONS.md`.
+    pub memory_budget_bytes: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +115,7 @@ impl Default for ServerConfig {
             check_deadline: None,
             journal_dir: None,
             journal_fsync_every: DEFAULT_FSYNC_EVERY,
+            memory_budget_bytes: None,
         }
     }
 }
@@ -188,6 +195,19 @@ struct Shared {
     next_session_id: AtomicU64,
     /// Sessions rebuilt from journals at boot, parked until a client `Resume`s them.
     recovered: Mutex<HashMap<u64, RecoveredSession>>,
+    /// The memory governor's ledger: one seat per live (attached) session, holding its
+    /// latest [`Session::memory_bytes`] estimate and the eviction flag its reader polls.
+    seats: Mutex<HashMap<u64, SessionSeat>>,
+}
+
+/// One live session's entry in the memory governor's ledger.
+struct SessionSeat {
+    /// Latest [`Session::memory_bytes`] estimate, updated after every processed request.
+    bytes: usize,
+    /// Set by the governor to evict this session; its connection's reader delivers
+    /// `Evicted` and closes within one poll tick. The journal (and a drain checkpoint)
+    /// survive, so an evicted session is resumable after the pressure passes.
+    evict: Arc<AtomicBool>,
 }
 
 impl Shared {
@@ -198,6 +218,70 @@ impl Shared {
             active: AtomicUsize::new(0),
             next_session_id: AtomicU64::new(1),
             recovered: Mutex::new(HashMap::new()),
+            seats: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether the memory governor admits another session right now. With no budget this
+    /// is always true; past the budget the `Open` is shed (code `overloaded`) **before**
+    /// any session work happens, and the largest idle session is flagged for eviction so
+    /// a later retry finds room.
+    fn admit_session(&self) -> bool {
+        let Some(budget) = self.config.memory_budget_bytes else {
+            return true;
+        };
+        let total: usize = self.seats.lock().values().map(|seat| seat.bytes).sum();
+        if total >= budget {
+            self.shed_largest_seat(None);
+            return false;
+        }
+        true
+    }
+
+    /// Record a live session in the governor's ledger.
+    fn register_seat(&self, id: u64, evict: Arc<AtomicBool>, bytes: usize) {
+        self.seats.lock().insert(id, SessionSeat { bytes, evict });
+    }
+
+    /// Update a session's byte estimate; when the process-wide total crosses the budget,
+    /// flag the largest *other* session for eviction (the grower is mid-request, every
+    /// other live session is idle between requests — evicting the largest frees the most
+    /// memory per disrupted client).
+    fn note_seat_bytes(&self, id: u64, bytes: usize) {
+        let Some(budget) = self.config.memory_budget_bytes else {
+            return;
+        };
+        let total: usize = {
+            let mut seats = self.seats.lock();
+            if let Some(seat) = seats.get_mut(&id) {
+                seat.bytes = bytes;
+            }
+            seats.values().map(|seat| seat.bytes).sum()
+        };
+        if total > budget {
+            self.shed_largest_seat(Some(id));
+        }
+    }
+
+    /// Drop a session from the ledger (its connection ended).
+    fn release_seat(&self, id: u64) {
+        self.seats.lock().remove(&id);
+    }
+
+    /// Flag the largest not-yet-flagged session (excluding `keep`) for eviction; returns
+    /// whether a victim was found.
+    fn shed_largest_seat(&self, keep: Option<u64>) -> bool {
+        let seats = self.seats.lock();
+        let victim = seats
+            .iter()
+            .filter(|(id, seat)| Some(**id) != keep && !seat.evict.load(Ordering::Relaxed))
+            .max_by_key(|(_, seat)| seat.bytes);
+        match victim {
+            Some((_, seat)) => {
+                seat.evict.store(true, Ordering::Relaxed);
+                true
+            }
+            None => false,
         }
     }
 
@@ -211,8 +295,13 @@ impl Shared {
         let mut parked = self.recovered.lock();
         for (id, session) in journal::recover_dir(dir)? {
             eprintln!(
-                "rdms-serve: recovered session {id} ({} transactions{})",
+                "rdms-serve: recovered session {id} ({} transactions{}{})",
                 session.replayed,
+                if session.from_checkpoint {
+                    ", from checkpoint + journal suffix"
+                } else {
+                    ""
+                },
                 if session.truncated {
                     ", torn tail truncated"
                 } else {
@@ -319,13 +408,16 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
     let writer = Arc::new(Mutex::new(writer_stream));
     // `done` is the worker telling the reader the conversation is over (Close/Shutdown)
     let done = Arc::new(AtomicBool::new(false));
+    // `evict` is the memory governor telling this connection to go (via its seat)
+    let evict = Arc::new(AtomicBool::new(false));
 
     let (queue, inbox) = sync_channel::<Vec<u8>>(shared.config.queue_depth);
     let worker = {
         let writer = Arc::clone(&writer);
         let done = Arc::clone(&done);
+        let evict = Arc::clone(&evict);
         let shared = Arc::clone(shared);
-        std::thread::spawn(move || worker_loop(inbox, writer, done, shared))
+        std::thread::spawn(move || worker_loop(inbox, writer, done, evict, shared))
     };
 
     let mut reader = FrameReader::new(stream, shared.config.max_frame_len);
@@ -336,6 +428,12 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
     let mut frame_started: Option<Instant> = None;
     loop {
         if done.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if evict.load(Ordering::SeqCst) {
+            // pressure eviction: the governor picked this session to free memory; its
+            // journal (and the drain checkpoint the worker writes) keep it resumable
+            let _ = write_message(&mut *writer.lock(), &Response::Evicted);
             break;
         }
         match reader.poll_frame() {
@@ -397,9 +495,11 @@ fn worker_loop(
     inbox: Receiver<Vec<u8>>,
     writer: Arc<Mutex<TcpStream>>,
     done: Arc<AtomicBool>,
+    evict: Arc<AtomicBool>,
     shared: Arc<Shared>,
 ) {
     let mut session: Option<Session> = None;
+    let mut session_id: Option<u64> = None;
     let mut said_goodbye = false;
     // recv() until the reader hangs up; after that everything queued has been answered
     while let Ok(payload) = inbox.recv() {
@@ -430,6 +530,19 @@ fn worker_loop(
         if matches!(response, Response::Bye) {
             said_goodbye = true;
         }
+        // governor bookkeeping: a fresh `Opened` takes a seat; every processed request
+        // refreshes the session's byte estimate (and may flag a victim for eviction)
+        if let Response::Opened { session: id, .. } = &response {
+            session_id = Some(*id);
+            let id = *id;
+            shared.register_seat(
+                id,
+                Arc::clone(&evict),
+                session.as_ref().map_or(0, Session::memory_bytes),
+            );
+        } else if let (Some(id), Some(live)) = (session_id, session.as_ref()) {
+            shared.note_seat_bytes(id, live.memory_bytes());
+        }
         if write_message(&mut *writer.lock(), &response).is_err() {
             break; // peer is gone; nothing further to answer
         }
@@ -437,6 +550,22 @@ fn worker_loop(
             done.store(true, Ordering::SeqCst);
             break;
         }
+    }
+    // a session leaving without a clean Close (drain, eviction — not poison, which wipes
+    // `session` because its half-mutated state must not be trusted) leaves a checkpoint
+    // beside its journal, so the next boot resumes the verification instead of replaying
+    // the whole journal
+    if let (Some(id), Some(live)) = (session_id, session.as_ref()) {
+        if let Some(dir) = &shared.config.journal_dir {
+            if live.journal().is_some() {
+                if let Err(e) = journal::write_snapshot(dir, id, &live.snapshot()) {
+                    eprintln!("rdms-serve: could not checkpoint session {id}: {e}");
+                }
+            }
+        }
+    }
+    if let Some(id) = session_id {
+        shared.release_seat(id);
     }
     // drain notice: when the server is stopping (rather than this one conversation
     // ending), tell the peer before the socket closes
@@ -488,6 +617,19 @@ fn process(request: Request, session: &mut Option<Session>, shared: &Shared) -> 
         } => {
             if let Some(rejection) = handshake_rejection(version, session, shared) {
                 return (rejection, false);
+            }
+            // admission control: shed *before* any session work — parsing the invariant,
+            // pinning the initial configuration and creating a journal all cost memory
+            // and I/O the overloaded server cannot spare (`Busy`, by contrast, drops
+            // frames mid-session once work is already queued)
+            if !shared.admit_session() {
+                return (
+                    Response::rejected(
+                        ErrorCode::Overloaded,
+                        "memory budget exhausted; back off and retry",
+                    ),
+                    false,
+                );
             }
             // the Open payload must be captured before `Session::open` consumes the DMS
             let record = config
@@ -747,6 +889,78 @@ mod tests {
         assert!(matches!(resp, Response::Rejected { ref code, .. } if code == "unknown-session"));
         assert!(!terminal);
         assert!(session.is_none());
+    }
+
+    #[test]
+    fn an_exhausted_memory_budget_sheds_opens_with_overloaded() {
+        let shared = test_shared(ServerConfig {
+            memory_budget_bytes: Some(1), // any live session exceeds this
+            ..ServerConfig::default()
+        });
+
+        // the first Open is admitted: the ledger is empty, so nothing is over budget yet
+        let mut first = None;
+        let (resp, _) = process(open_request(), &mut first, &shared);
+        let first_id = match resp {
+            Response::Opened { session, .. } => session,
+            other => panic!("expected Opened, got {other:?}"),
+        };
+        let evict = Arc::new(AtomicBool::new(false));
+        shared.register_seat(
+            first_id,
+            Arc::clone(&evict),
+            first.as_ref().map_or(0, Session::memory_bytes),
+        );
+
+        // the second Open finds the budget spent and is shed before any work
+        let mut second = None;
+        let (resp, terminal) = process(open_request(), &mut second, &shared);
+        assert!(matches!(resp, Response::Rejected { ref code, .. } if code == "overloaded"));
+        assert!(!terminal, "shedding keeps the connection open for retries");
+        assert!(second.is_none());
+        // shedding under admission pressure also flags the largest seat for eviction
+        assert!(evict.load(Ordering::SeqCst));
+
+        // releasing the seat restores admission
+        shared.release_seat(first_id);
+        let (resp, _) = process(open_request(), &mut second, &shared);
+        assert!(matches!(resp, Response::Opened { .. }));
+    }
+
+    #[test]
+    fn pressure_eviction_targets_the_largest_other_seat() {
+        let shared = test_shared(ServerConfig {
+            memory_budget_bytes: Some(100),
+            ..ServerConfig::default()
+        });
+        let small = Arc::new(AtomicBool::new(false));
+        let large = Arc::new(AtomicBool::new(false));
+        let grower = Arc::new(AtomicBool::new(false));
+        shared.register_seat(1, Arc::clone(&small), 10);
+        shared.register_seat(2, Arc::clone(&large), 60);
+        shared.register_seat(3, Arc::clone(&grower), 20);
+
+        // still under budget: nobody is flagged
+        shared.note_seat_bytes(3, 25);
+        assert!(!small.load(Ordering::SeqCst));
+        assert!(!large.load(Ordering::SeqCst));
+
+        // the grower pushes the total past the budget; the largest *other* seat is
+        // flagged (the grower itself is mid-request and cannot observe the flag yet)
+        shared.note_seat_bytes(3, 40);
+        assert!(large.load(Ordering::SeqCst));
+        assert!(!small.load(Ordering::SeqCst));
+        assert!(!grower.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn seats_are_ignored_without_a_budget() {
+        let shared = test_shared(ServerConfig::default());
+        let evict = Arc::new(AtomicBool::new(false));
+        shared.register_seat(1, Arc::clone(&evict), usize::MAX / 2);
+        assert!(shared.admit_session());
+        shared.note_seat_bytes(1, usize::MAX / 2);
+        assert!(!evict.load(Ordering::SeqCst));
     }
 
     #[test]

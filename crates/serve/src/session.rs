@@ -7,7 +7,7 @@
 //! the server in [`crate::server`] is a thin loop mapping frames onto these methods.
 
 use crate::faults;
-use crate::journal::{Journal, JournalRecord};
+use crate::journal::{Journal, JournalRecord, SessionSnapshot};
 use crate::protocol::{ErrorCode, Response, WireStep};
 use rdms_checker::incremental::{IncrementalChecker, StepVerdict};
 use rdms_core::cert::Certificate;
@@ -131,6 +131,53 @@ impl Session {
             deadline: None,
             journal: None,
         })
+    }
+
+    /// Rebuild a session from a drain checkpoint **without re-validating its
+    /// transitions** (see [`SessionSnapshot`] for when this is sound; the journal replay
+    /// path stays the fallback that validates everything). Limits, deadline and journal
+    /// are not part of the snapshot — the caller re-applies the server's current
+    /// configuration, exactly as on `Resume`.
+    pub fn resume(snapshot: SessionSnapshot) -> Result<Session, OpenError> {
+        let checker = IncrementalChecker::resume(
+            Arc::new(snapshot.dms),
+            snapshot.bound,
+            snapshot.invariant,
+            snapshot.run,
+            snapshot.violations,
+            snapshot.first_violation_len,
+        )
+        .map_err(|e| OpenError {
+            code: ErrorCode::DatabaseError,
+            message: format!("checkpoint does not rebuild a session: {e}"),
+        })?
+        .with_emit_certificate(snapshot.emit_certificates);
+        Ok(Session {
+            checker,
+            transaction_limit: None,
+            deadline: None,
+            journal: None,
+        })
+    }
+
+    /// Capture a drain checkpoint: everything [`resume`](Self::resume) needs to rebuild
+    /// this session without replaying it.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            dms: (**self.checker.dms()).clone(),
+            bound: self.checker.bound(),
+            invariant: self.checker.invariant().clone(),
+            emit_certificates: self.checker.emits_certificates(),
+            run: self.checker.run().clone(),
+            violations: self.checker.violations(),
+            first_violation_len: self.checker.first_violation().map(ExtendedRun::len),
+        }
+    }
+
+    /// Estimated bytes this session retains (run spine + interned canonical keys) — the
+    /// figure the server's memory governor meters admission and eviction by. O(1).
+    pub fn memory_bytes(&self) -> usize {
+        self.checker.memory_bytes()
     }
 
     /// Cap the number of accepted transactions; further `check` calls are rejected with

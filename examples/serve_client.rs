@@ -36,7 +36,7 @@ use std::time::Duration;
 /// Transactions pushed through the accepted stream.
 const ACCEPTED_STREAM_LEN: usize = 32;
 
-/// First backoff pause; doubles per retry (25, 50, 100, … ms).
+/// First backoff pause; doubles per retry (25, 50, 100, … ms) with ±25% jitter.
 const BACKOFF_BASE: Duration = Duration::from_millis(25);
 
 /// One connection: a write half plus a [`protocol::FrameReader`] over its clone.
@@ -46,9 +46,21 @@ struct Client {
     max_retries: u32,
 }
 
-/// The `n`th retry's backoff pause (exponential, bounded by the retry cap).
+/// The `n`th retry's backoff pause: exponential, with ±25% jitter so a fleet of clients
+/// restarted together (say, after the server sheds them all with `overloaded`) does not
+/// resynchronise into retry waves that re-overload it. The jitter is a splitmix64-style
+/// hash of the process id and the attempt number — decorrelated across processes yet
+/// fully reproducible for a given pid, and free of any `rand` dependency.
 fn backoff(attempt: u32) -> Duration {
-    BACKOFF_BASE * 2u32.saturating_pow(attempt)
+    let base = BACKOFF_BASE * 2u32.saturating_pow(attempt);
+    let mut x = (u64::from(std::process::id()) << 32) | u64::from(attempt);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    // map the hash onto [75%, 125%] of the exponential base, in integer permille
+    let permille = 750 + (x % 501) as u32;
+    base * permille / 1000
 }
 
 impl Client {
