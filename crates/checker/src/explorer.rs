@@ -73,6 +73,7 @@
 
 use crate::checkpoint::{CheckpointPolicy, SearchCheckpoint};
 use crate::pool;
+use crate::request::{CheckRequest, CheckTarget};
 use crate::verdict::{CheckStats, CutoffReason, Verdict};
 use parking_lot::Mutex;
 use rdms_core::iso::{canonical_config_key, intern_canonical_config_in};
@@ -279,50 +280,168 @@ impl<'a> Explorer<'a> {
         SearchDriver::new(self.dms, self.b, self.config.clone(), dedup)
     }
 
-    /// Check that **every** `b`-bounded run prefix (up to the depth budget) satisfies the
-    /// property under the finite-prefix semantics. Returns a counterexample prefix otherwise.
-    pub fn check(&self, property: &MsoFo) -> Verdict {
-        let outcome = self.driver(false).search(
-            ExtendedRun::new(self.dms.initial_bconfig()),
-            |run: &ExtendedRun| !eval_sentence(&run.instances(), property),
-        );
-        match outcome.hit {
-            Some(counterexample) => Verdict::Violated {
-                counterexample,
-                stats: outcome.stats,
-                certificate: None,
-            },
-            None => Verdict::Holds {
-                // even with the frontier exhausted the verdict concerns prefixes up to the
-                // depth budget only; it is complete exactly when nothing was cut off by
-                // max_configs, the memory budget or a cancellation
-                complete: !outcome.budget_cutoff && !outcome.memory_cutoff && !outcome.cancelled,
-                stats: outcome.stats,
-                certificate: None,
-            },
+    /// Execute one [`CheckRequest`] — the unified entry point behind the historical
+    /// method family ([`check`](Self::check), [`check_from`](Self::check_from),
+    /// [`check_invariant`](Self::check_invariant),
+    /// [`check_invariant_from`](Self::check_invariant_from), which survive as thin
+    /// wrappers). The request's [`CheckTarget`] selects the engine (trace properties
+    /// enumerate every prefix; invariants deduplicate configurations modulo data
+    /// isomorphism), an optional checkpoint resumes an interrupted search, and an
+    /// optional [`Workspace`](crate::revision::Workspace) routes the check through
+    /// revision-keyed memoization (the explorer's DMS, bound and budgets are pushed into
+    /// the workspace as fingerprinted revisions first).
+    ///
+    /// # Panics
+    ///
+    /// When the request carries both a checkpoint and a workspace — a workspace manages
+    /// its own reuse, so the combination is a contract violation, not a fallback.
+    pub fn run(&self, request: CheckRequest<'_>) -> Verdict {
+        let CheckRequest {
+            target,
+            checkpoint,
+            workspace,
+        } = request;
+        if let Some(workspace) = workspace {
+            assert!(
+                checkpoint.is_none(),
+                "CheckRequest::from_checkpoint and CheckRequest::via_workspace are \
+                 mutually exclusive: a workspace manages its own reuse"
+            );
+            workspace.set_dms(self.dms.clone());
+            workspace.set_bound(self.b);
+            workspace.set_depth(self.config.depth);
+            workspace.set_max_configs(self.config.max_configs);
+            workspace.set_target(target);
+            return workspace.check();
         }
+        match (target, checkpoint) {
+            (CheckTarget::Property(property), None) => {
+                let outcome = self.driver(false).search(
+                    ExtendedRun::new(self.dms.initial_bconfig()),
+                    |run: &ExtendedRun| !eval_sentence(&run.instances(), &property),
+                );
+                match outcome.hit {
+                    Some(counterexample) => Verdict::Violated {
+                        counterexample,
+                        stats: outcome.stats,
+                        certificate: None,
+                    },
+                    None => Verdict::Holds {
+                        // even with the frontier exhausted the verdict concerns prefixes
+                        // up to the depth budget only; it is complete exactly when nothing
+                        // was cut off by max_configs, the memory budget or a cancellation
+                        complete: !outcome.budget_cutoff
+                            && !outcome.memory_cutoff
+                            && !outcome.cancelled,
+                        stats: outcome.stats,
+                        certificate: None,
+                    },
+                }
+            }
+            (CheckTarget::Property(property), Some(checkpoint)) => {
+                let outcome = self.driver(false).resume(checkpoint, |run: &ExtendedRun| {
+                    !eval_sentence(&run.instances(), &property)
+                });
+                match outcome.hit {
+                    Some(counterexample) => Verdict::Violated {
+                        counterexample,
+                        stats: outcome.stats,
+                        certificate: None,
+                    },
+                    None => Verdict::Holds {
+                        complete: !outcome.budget_cutoff
+                            && !outcome.memory_cutoff
+                            && !outcome.cancelled,
+                        stats: outcome.stats,
+                        certificate: None,
+                    },
+                }
+            }
+            (CheckTarget::Invariant(invariant), None) => {
+                let mut outcome = self.driver(true).search(
+                    ExtendedRun::new(self.dms.initial_bconfig()),
+                    |run: &ExtendedRun| {
+                        !rdms_db::eval::holds_boolean(run.last().instance(), &invariant)
+                            .unwrap_or(false)
+                    },
+                );
+                match outcome.hit {
+                    Some(counterexample) => {
+                        let certificate = self
+                            .config
+                            .emit_certificate
+                            .then(|| {
+                                commit::violation_certificate(
+                                    self.dms,
+                                    self.b,
+                                    &invariant,
+                                    &counterexample,
+                                )
+                            })
+                            .flatten()
+                            .map(Box::new);
+                        Verdict::Violated {
+                            counterexample,
+                            stats: outcome.stats,
+                            certificate,
+                        }
+                    }
+                    None => {
+                        let complete = outcome.complete();
+                        // a Safe certificate is a *closure proof*: it only exists when the
+                        // committed state set is genuinely closed under successors, i.e.
+                        // the exploration saturated with no depth or budget cutoff
+                        let certificate = (complete && self.config.emit_certificate)
+                            .then(|| {
+                                outcome.edges.take().and_then(|edges| {
+                                    commit::safe_certificate(self.dms, self.b, &invariant, edges)
+                                })
+                            })
+                            .flatten()
+                            .map(Box::new);
+                        Verdict::Holds {
+                            complete,
+                            stats: outcome.stats,
+                            certificate,
+                        }
+                    }
+                }
+            }
+            (CheckTarget::Invariant(invariant), Some(checkpoint)) => {
+                let outcome = self.driver(true).resume(checkpoint, |run: &ExtendedRun| {
+                    !rdms_db::eval::holds_boolean(run.last().instance(), &invariant)
+                        .unwrap_or(false)
+                });
+                match outcome.hit {
+                    Some(counterexample) => Verdict::Violated {
+                        counterexample,
+                        stats: outcome.stats,
+                        certificate: None,
+                    },
+                    None => Verdict::Holds {
+                        complete: outcome.complete(),
+                        stats: outcome.stats,
+                        certificate: None,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Check that **every** `b`-bounded run prefix (up to the depth budget) satisfies the
+    /// property under the finite-prefix semantics. Returns a counterexample prefix
+    /// otherwise. Thin wrapper over [`run`](Self::run) with a property target.
+    pub fn check(&self, property: &MsoFo) -> Verdict {
+        self.run(CheckRequest::property(property.clone()))
     }
 
     /// Continue an interrupted [`check`](Self::check) from a [`SearchCheckpoint`]: the
     /// verdict (and its completeness flag) is equivalent to what the uninterrupted run
     /// would have produced. The explorer must be configured for the same DMS, recency
-    /// bound and depth budget the checkpoint was taken under.
+    /// bound and depth budget the checkpoint was taken under. Thin wrapper over
+    /// [`run`](Self::run).
     pub fn check_from(&self, property: &MsoFo, checkpoint: SearchCheckpoint) -> Verdict {
-        let outcome = self.driver(false).resume(checkpoint, |run: &ExtendedRun| {
-            !eval_sentence(&run.instances(), property)
-        });
-        match outcome.hit {
-            Some(counterexample) => Verdict::Violated {
-                counterexample,
-                stats: outcome.stats,
-                certificate: None,
-            },
-            None => Verdict::Holds {
-                complete: !outcome.budget_cutoff && !outcome.memory_cutoff && !outcome.cancelled,
-                stats: outcome.stats,
-                certificate: None,
-            },
-        }
+        self.run(CheckRequest::property(property.clone()).from_checkpoint(checkpoint))
     }
 
     /// Search for a `b`-bounded run prefix satisfying the property (finite-prefix
@@ -338,49 +457,9 @@ impl<'a> Explorer<'a> {
     /// Check a **state invariant**: the boolean FOL(R) query must hold in every reachable
     /// instance. Configurations are deduplicated modulo data isomorphism, so the verdict is
     /// exact (for this recency bound) whenever the exploration saturates within the budget.
+    /// Thin wrapper over [`run`](Self::run) with an invariant target.
     pub fn check_invariant(&self, invariant: &Query) -> Verdict {
-        let mut outcome = self.driver(true).search(
-            ExtendedRun::new(self.dms.initial_bconfig()),
-            |run: &ExtendedRun| {
-                !rdms_db::eval::holds_boolean(run.last().instance(), invariant).unwrap_or(false)
-            },
-        );
-        match outcome.hit {
-            Some(counterexample) => {
-                let certificate = self
-                    .config
-                    .emit_certificate
-                    .then(|| {
-                        commit::violation_certificate(self.dms, self.b, invariant, &counterexample)
-                    })
-                    .flatten()
-                    .map(Box::new);
-                Verdict::Violated {
-                    counterexample,
-                    stats: outcome.stats,
-                    certificate,
-                }
-            }
-            None => {
-                let complete = outcome.complete();
-                // a Safe certificate is a *closure proof*: it only exists when the committed
-                // state set is genuinely closed under successors, i.e. the exploration
-                // saturated with no depth or budget cutoff
-                let certificate = (complete && self.config.emit_certificate)
-                    .then(|| {
-                        outcome.edges.take().and_then(|edges| {
-                            commit::safe_certificate(self.dms, self.b, invariant, edges)
-                        })
-                    })
-                    .flatten()
-                    .map(Box::new);
-                Verdict::Holds {
-                    complete,
-                    stats: outcome.stats,
-                    certificate,
-                }
-            }
-        }
+        self.run(CheckRequest::invariant(invariant.clone()))
     }
 
     /// Continue an interrupted [`check_invariant`](Self::check_invariant) from a
@@ -388,23 +467,9 @@ impl<'a> Explorer<'a> {
     /// are equivalent to what the uninterrupted run would have produced (the property
     /// suite cuts searches at random points to check exactly this). Resumed searches do
     /// not emit certificates — a search cut and resumed cannot prove closure over states
-    /// expanded before the cut.
+    /// expanded before the cut. Thin wrapper over [`run`](Self::run).
     pub fn check_invariant_from(&self, invariant: &Query, checkpoint: SearchCheckpoint) -> Verdict {
-        let outcome = self.driver(true).resume(checkpoint, |run: &ExtendedRun| {
-            !rdms_db::eval::holds_boolean(run.last().instance(), invariant).unwrap_or(false)
-        });
-        match outcome.hit {
-            Some(counterexample) => Verdict::Violated {
-                counterexample,
-                stats: outcome.stats,
-                certificate: None,
-            },
-            None => Verdict::Holds {
-                complete: outcome.complete(),
-                stats: outcome.stats,
-                certificate: None,
-            },
-        }
+        self.run(CheckRequest::invariant(invariant.clone()).from_checkpoint(checkpoint))
     }
 
     /// Search for a reachable instance satisfying the boolean query (state-based

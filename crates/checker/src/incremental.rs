@@ -125,6 +125,21 @@ impl StepVerdict {
     }
 }
 
+/// What [`IncrementalChecker::revise`] did to honour an in-place session edit — the
+/// payload of the serve layer's `Revised` wire response.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReviseOutcome {
+    /// Accepted transactions replayed against the revised DMS (0 unless the DMS changed).
+    pub replayed_steps: usize,
+    /// Spine configurations on which the invariant was (re)evaluated.
+    pub rechecked_configs: usize,
+    /// The session's run length afterwards (unchanged by revision; reported for the wire).
+    pub run_len: usize,
+    /// The session's violation count afterwards (recomputed when the DMS or the invariant
+    /// changed).
+    pub violations: usize,
+}
+
 /// A pinned verification session: the run so far, plus everything needed to check the next
 /// transaction in time independent of how many came before.
 ///
@@ -139,6 +154,10 @@ pub struct IncrementalChecker {
     bound: usize,
     invariant: Query,
     emit_certificate: bool,
+    /// Session-level cancellation token, polled by every [`check`](Self::check) (see
+    /// [`with_cancel`](Self::with_cancel)); per-call tokens via
+    /// [`check_with_cancel`](Self::check_with_cancel) take precedence.
+    cancel: Option<CancelToken>,
     /// Session-scoped by default: a private interner dies with the session, so a server's
     /// memory for abstract-state dedup is bounded per session, not per process.
     interner: Arc<KeyInterner>,
@@ -202,6 +221,7 @@ impl IncrementalChecker {
             bound,
             invariant,
             emit_certificate: false,
+            cancel: None,
             interner,
             run,
             started: Instant::now(),
@@ -225,6 +245,17 @@ impl IncrementalChecker {
     /// certificate).
     pub fn with_emit_certificate(mut self, emit: bool) -> Self {
         self.emit_certificate = emit;
+        self
+    }
+
+    /// Builder-style session-level cancellation: the token is polled by every subsequent
+    /// [`check`](Self::check), exactly as the per-call
+    /// [`check_with_cancel`](Self::check_with_cancel) token would be. This is the session
+    /// counterpart of [`ExplorerConfig::with_cancel`](crate::ExplorerConfig::with_cancel)
+    /// — the two layers now share one builder vocabulary (see
+    /// [`SessionRequest::with_cancel`](crate::SessionRequest::with_cancel)).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -273,6 +304,7 @@ impl IncrementalChecker {
             bound,
             invariant,
             emit_certificate: false,
+            cancel: None,
             interner,
             transactions: run.len(),
             run,
@@ -283,6 +315,150 @@ impl IncrementalChecker {
             first_violation,
             run_bytes,
         })
+    }
+
+    /// Revise the session's inputs **in place**, keeping its accepted run: the live
+    /// counterpart of editing a model and re-opening — without losing the session. Any
+    /// subset of DMS, recency bound and invariant may change; inputs equal to the current
+    /// ones are dropped up front, so a no-op revision costs nothing and touches nothing.
+    ///
+    /// Semantics per input, each chosen so the revised session is exactly the session
+    /// that would exist had it been opened with the new inputs and fed the same stream:
+    ///
+    /// * **Invariant change** — φ is re-evaluated on every spine configuration to rebuild
+    ///   the violation record (count + first violating prefix). The run itself is
+    ///   untouched: validity of transitions never depends on φ.
+    /// * **Bound increase** — O(1). Every `b`-bounded run is `b′`-bounded for `b′ ≥ b`
+    ///   (`Recent_b ⊆ Recent_b′`), so the accepted run is already valid.
+    /// * **Bound decrease** — the accepted run is re-validated under the smaller window
+    ///   ([`RecencySemantics::is_b_bounded`]); if any step used data outside it, the
+    ///   revision is refused with [`CoreError::Unsupported`] (the session's history is a
+    ///   genuine behaviour the new bound cannot express).
+    /// * **DMS change** — the accepted steps are **replayed** from the new initial
+    ///   configuration, with action indices remapped by *name* (an action the revised DMS
+    ///   no longer has, or a step the revised semantics rejects, refuses the revision).
+    ///   The interner is rebuilt, so state ids, distinct-state and dedup counts come out
+    ///   as if the session had always run against the revised DMS.
+    ///
+    /// All-or-nothing: on `Err` the session is exactly as it was.
+    pub fn revise(
+        &mut self,
+        dms: Option<Arc<Dms>>,
+        bound: Option<usize>,
+        invariant: Option<Query>,
+    ) -> Result<ReviseOutcome, CoreError> {
+        // drop no-op inputs first: a fingerprint-identical revision must cost nothing
+        let new_dms = dms.filter(|d| **d != *self.dms);
+        let new_bound = bound.filter(|b| *b != self.bound);
+        let new_invariant = invariant.filter(|q| *q != self.invariant);
+        let mut outcome = ReviseOutcome {
+            run_len: self.run.len(),
+            violations: self.violations,
+            ..ReviseOutcome::default()
+        };
+        if new_dms.is_none() && new_bound.is_none() && new_invariant.is_none() {
+            return Ok(outcome);
+        }
+        if let Some(q) = &new_invariant {
+            if let Some(&var) = q.free_vars().iter().next() {
+                return Err(CoreError::Db(rdms_db::DbError::UnboundVariable(var)));
+            }
+        }
+        let bound = new_bound.unwrap_or(self.bound);
+        let invariant = new_invariant
+            .clone()
+            .unwrap_or_else(|| self.invariant.clone());
+
+        if let Some(dms) = new_dms {
+            // full replay with by-name action remapping, staged into locals so a failing
+            // step leaves the session untouched
+            let mut new_index = std::collections::BTreeMap::new();
+            for (index, action) in dms.actions().iter().enumerate() {
+                new_index.insert(action.name(), index);
+            }
+            let semantics = RecencySemantics::new(&dms, bound);
+            let interner = Arc::new(KeyInterner::new());
+            let mut run = ExtendedRun::new(dms.initial_bconfig());
+            let key = canonical_config_key(run.last(), dms.constants());
+            interner.intern_new(key);
+            let mut distinct_states = 1;
+            let mut dedup_hits = 0;
+            let mut run_bytes = spine_cost(run.last());
+            let mut violations = 0;
+            let mut first_violation = None;
+            if !eval::holds_boolean(run.last().instance(), &invariant)? {
+                violations = 1;
+                first_violation = Some(run.clone());
+            }
+            for step in self.run.steps() {
+                let name = self.dms.action(step.action)?.name();
+                let index = *new_index.get(name).ok_or_else(|| {
+                    CoreError::Unsupported(format!(
+                        "revised DMS has no action named {name:?}, but the session's \
+                         accepted run uses it"
+                    ))
+                })?;
+                let next = semantics.apply(run.last(), index, &step.subst)?;
+                let holds = eval::holds_boolean(next.instance(), &invariant)?;
+                run.push(Step::new(index, step.subst.clone()), next);
+                let key = canonical_config_key(run.last(), dms.constants());
+                let (_, fresh) = interner.intern_new(key);
+                if fresh {
+                    distinct_states += 1;
+                } else {
+                    dedup_hits += 1;
+                }
+                run_bytes += spine_cost(run.last());
+                if !holds {
+                    violations += 1;
+                    if first_violation.is_none() {
+                        first_violation = Some(run.clone());
+                    }
+                }
+                outcome.replayed_steps += 1;
+            }
+            outcome.rechecked_configs = run.len() + 1;
+            self.dms = dms;
+            self.interner = interner;
+            self.run = run;
+            self.distinct_states = distinct_states;
+            self.dedup_hits = dedup_hits;
+            self.run_bytes = run_bytes;
+            self.violations = violations;
+            self.first_violation = first_violation;
+        } else {
+            if let Some(smaller) = new_bound.filter(|b| *b < self.bound) {
+                let semantics = RecencySemantics::new(&self.dms, smaller);
+                if !semantics.is_b_bounded(&self.run) {
+                    return Err(CoreError::Unsupported(format!(
+                        "the session's accepted run is not {smaller}-bounded; a recency \
+                         bound can only be lowered below the run's needs by reopening"
+                    )));
+                }
+            }
+            if new_invariant.is_some() {
+                // re-evaluate φ along the spine to rebuild the violation record; stage
+                // the walk's results so an evaluation error changes nothing
+                let mut violations = 0;
+                let mut first_violation_len = None;
+                for (depth, config) in self.run.configs().into_iter().enumerate() {
+                    if !eval::holds_boolean(config.instance(), &invariant)? {
+                        violations += 1;
+                        if first_violation_len.is_none() {
+                            first_violation_len = Some(depth);
+                        }
+                    }
+                    outcome.rechecked_configs += 1;
+                }
+                self.violations = violations;
+                self.first_violation = first_violation_len.map(|len| self.run.prefix(len));
+            }
+        }
+        self.bound = bound;
+        self.invariant = invariant;
+        outcome.run_len = self.run.len();
+        outcome.violations = self.violations;
+        Ok(outcome)
     }
 
     /// Check one transaction: validate it as a `b`-bounded transition from the current tip,
@@ -297,7 +473,8 @@ impl IncrementalChecker {
     /// Cost is flat in the session length: one successor computation at the tip, one O(1)
     /// spine push, one interner probe, one invariant evaluation.
     pub fn check(&mut self, step: &Step) -> Result<StepVerdict, CoreError> {
-        self.check_inner(step, None)
+        let session_token = self.cancel.clone();
+        self.check_inner(step, session_token.as_ref())
     }
 
     /// [`check`](Self::check) under cooperative cancellation: the token is polled before

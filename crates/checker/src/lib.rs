@@ -29,7 +29,14 @@
 //!   for very small instances — the procedure is non-elementary);
 //! * [`incremental`] — **single-step checking** for long-lived sessions: pin a run spine
 //!   once, then validate and check each further transaction in time independent of the
-//!   session length (the engine behind the `rdms-serve` verification service);
+//!   session length (the engine behind the `rdms-serve` verification service), now with
+//!   in-place [`revise`](IncrementalChecker::revise) for live DMS/bound/invariant edits;
+//! * [`request`] — the unified [`CheckRequest`]/[`CheckTarget`] vocabulary consumed by
+//!   [`Explorer::run`] and [`SessionRequest::open`], replacing the per-engine method
+//!   families (which survive as thin wrappers);
+//! * [`revision`] — revision-keyed incremental re-verification: a [`Workspace`] holding
+//!   DMS, target and bound as fingerprinted versioned inputs, memoizing explored
+//!   fixpoints and re-expanding only what an edit can have invalidated;
 //! * [`verdict`] — verdicts, counterexamples and statistics shared by the engines.
 
 pub mod checkpoint;
@@ -40,11 +47,15 @@ pub mod hybrid;
 pub mod incremental;
 pub mod phi_valid;
 mod pool;
+pub mod request;
+pub mod revision;
 pub mod translate;
 pub mod verdict;
 
 pub use checkpoint::{CheckpointPolicy, SearchCheckpoint};
 pub use encoding::{EncodingAlphabet, RunEncoder};
 pub use explorer::{default_threads, Explorer, ExplorerConfig, DEFAULT_PARALLEL_THRESHOLD};
-pub use incremental::{IncrementalChecker, StepVerdict};
+pub use incremental::{IncrementalChecker, ReviseOutcome, StepVerdict};
+pub use request::{CheckRequest, CheckTarget, SessionRequest};
+pub use revision::{RecheckReport, Reuse, Revision, Workspace};
 pub use verdict::{CheckStats, CutoffReason, Verdict};

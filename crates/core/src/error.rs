@@ -39,6 +39,10 @@ pub enum CoreError {
     /// or an expired deadline) before the work completed. The caller's state is
     /// unchanged: cancellation is only ever observed at consistent poll points.
     Cancelled,
+    /// The request is well-formed but this engine cannot honour it — e.g. opening an
+    /// incremental session on a trace property, or revising a session's recency bound
+    /// below what its accepted run requires. The caller's state is unchanged.
+    Unsupported(String),
 }
 
 impl From<DbError> for CoreError {
@@ -93,6 +97,7 @@ impl fmt::Display for CoreError {
             CoreError::Cancelled => {
                 write!(f, "cancelled: the deadline expired or cancellation was requested")
             }
+            CoreError::Unsupported(reason) => write!(f, "unsupported: {reason}"),
         }
     }
 }

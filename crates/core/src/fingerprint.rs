@@ -1,0 +1,303 @@
+//! Content fingerprints for revision tracking.
+//!
+//! The revision workspace (`rdms-checker::revision`) memoizes explored fixpoints keyed by
+//! *what the inputs are*, not *when they were set*: a setter that receives a value whose
+//! fingerprint equals the current one is a no-op (salsa calls this backdating), and a
+//! changed DMS is diffed action-by-action so the checker can reason about which cached
+//! facts a given edit can possibly invalidate.
+//!
+//! Fingerprints are FNV-1a over the value's canonical serde-JSON form. JSON is already
+//! the wire and journal format of every input (`Dms`, `Action`, queries), serde's output
+//! for these types is deterministic (all maps are `BTreeMap`-backed), and hashing the
+//! serialized form means a fingerprint never disagrees with wire equality. The 64-bit
+//! width makes collisions vanishingly unlikely for the handful of revisions a workspace
+//! holds; equality of fingerprints is treated as equality of inputs the same way the
+//! interner treats canonical-key equality.
+
+use crate::action::Action;
+use crate::dms::Dms;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// FNV-1a, 64-bit. Stable across processes and platforms (unlike `DefaultHasher`), so
+/// fingerprints can be compared across a serve restart or between builds.
+#[derive(Debug, Default)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// A hasher at the standard offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Fold bytes into the state.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprint any serializable value through its canonical JSON form.
+pub fn fingerprint<T: Serialize + ?Sized>(value: &T) -> u64 {
+    let json = serde_json::to_string(value).expect("fingerprinted inputs serialize");
+    let mut hasher = Fnv1a::new();
+    hasher.update(json.as_bytes());
+    hasher.finish()
+}
+
+/// The per-action fingerprint split: the guard hashed apart from the structural parts
+/// (parameters, fresh variables, del/add patterns). A guard-only edit changes which
+/// substitutions fire but not the action's shape; the delta report keeps the two apart so
+/// callers can say "only guard answers could have changed".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActionFingerprint {
+    /// Fingerprint of the whole action.
+    pub whole: u64,
+    /// Fingerprint of the guard query alone.
+    pub guard: u64,
+    /// Fingerprint of params + fresh + del + add.
+    pub structure: u64,
+    /// The action's index in its DMS (actions are matched across revisions by *name*;
+    /// the index lets cached `Step`s be remapped when an edit reorders the action list).
+    pub index: usize,
+}
+
+/// A content fingerprint of a whole [`Dms`], decomposed enough to diff two revisions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DmsFingerprint {
+    /// Fingerprint of the whole DMS. Two DMSs with equal `whole` are wire-equal.
+    pub whole: u64,
+    /// Fingerprint of schema + initial instance + declared constants — everything a
+    /// transition's validity depends on besides the action set and the recency bound.
+    pub base: u64,
+    /// Per-action fingerprints, keyed by action name.
+    pub actions: BTreeMap<String, ActionFingerprint>,
+}
+
+fn action_fingerprint(action: &Action, index: usize) -> ActionFingerprint {
+    ActionFingerprint {
+        whole: fingerprint(action),
+        guard: fingerprint(action.guard()),
+        structure: fingerprint(&(action.params(), action.fresh(), action.del(), action.add())),
+        index,
+    }
+}
+
+/// Fingerprint a DMS for revision tracking.
+pub fn dms_fingerprint(dms: &Dms) -> DmsFingerprint {
+    DmsFingerprint {
+        whole: fingerprint(dms),
+        base: fingerprint(&(dms.schema(), dms.initial(), dms.constants())),
+        actions: dms
+            .actions()
+            .iter()
+            .enumerate()
+            .map(|(index, action)| (action.name().to_string(), action_fingerprint(action, index)))
+            .collect(),
+    }
+}
+
+/// The wire-identical actions of a [`DmsDelta`]: name → (old index, new index).
+pub type UnchangedActions = BTreeMap<String, (usize, usize)>;
+
+/// What changed between two DMS revisions, at action granularity. Actions are matched by
+/// name; renaming an action reads as a remove + add, which is the conservative reading
+/// (nothing cached under the old name survives).
+#[derive(Clone, Debug, Default)]
+pub struct DmsDelta {
+    /// Schema, initial instance or declared constants changed. When set, *every* cached
+    /// transition is suspect (guards see the schema, roots come from the initial
+    /// instance, recency windows admit constants), so no per-action reuse is sound.
+    pub base_changed: bool,
+    /// Actions present only in the new revision.
+    pub added: Vec<String>,
+    /// Actions present only in the old revision.
+    pub removed: Vec<String>,
+    /// Actions whose guard or structure changed (matched by name).
+    pub changed: Vec<String>,
+    /// Actions wire-identical in both revisions: name → (old index, new index). Cached
+    /// successor edges of these actions remain valid at the *same* recency bound and
+    /// unchanged base, modulo a `Step` index remap.
+    pub unchanged: UnchangedActions,
+}
+
+impl DmsDelta {
+    /// Whether the two revisions are wire-identical (a no-op edit).
+    pub fn is_noop(&self) -> bool {
+        !self.base_changed
+            && self.added.is_empty()
+            && self.removed.is_empty()
+            && self.changed.is_empty()
+    }
+}
+
+/// Diff two DMS fingerprints into an action-level delta.
+pub fn dms_delta(old: &DmsFingerprint, new: &DmsFingerprint) -> DmsDelta {
+    let mut delta = DmsDelta {
+        base_changed: old.base != new.base,
+        ..DmsDelta::default()
+    };
+    for (name, new_fp) in &new.actions {
+        match old.actions.get(name) {
+            None => delta.added.push(name.clone()),
+            Some(old_fp) if old_fp.whole == new_fp.whole => {
+                delta
+                    .unchanged
+                    .insert(name.clone(), (old_fp.index, new_fp.index));
+            }
+            Some(_) => delta.changed.push(name.clone()),
+        }
+    }
+    for name in old.actions.keys() {
+        if !new.actions.contains_key(name) {
+            delta.removed.push(name.clone());
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionBuilder;
+    use crate::dms::{example_3_1, DmsBuilder};
+    use rdms_db::parser::parse_query;
+    use rdms_db::{DataValue, Pattern, RelName, Var};
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // published FNV-1a 64-bit test vectors
+        let mut h = Fnv1a::new();
+        h.update(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.update(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn equal_inputs_have_equal_fingerprints() {
+        let a = dms_fingerprint(&example_3_1());
+        let b = dms_fingerprint(&example_3_1());
+        assert_eq!(a, b);
+        assert!(dms_delta(&a, &b).is_noop());
+    }
+
+    fn variant(guard: &str) -> crate::dms::Dms {
+        // example_3_1 with beta's guard swapped
+        let base = example_3_1();
+        let mut builder = DmsBuilder::new()
+            .schema(base.schema().clone())
+            .initial(base.initial().clone());
+        for action in base.actions() {
+            let guard_q = if action.name() == "beta" {
+                parse_query(guard).unwrap()
+            } else {
+                action.guard().clone()
+            };
+            builder = builder.action(
+                ActionBuilder::new(action.name())
+                    .params(action.params().iter().copied())
+                    .fresh(action.fresh().iter().copied())
+                    .guard(guard_q)
+                    .del(action.del().clone())
+                    .add(action.add().clone()),
+            );
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn a_guard_edit_is_localized_to_its_action() {
+        let old = dms_fingerprint(&example_3_1());
+        let new = dms_fingerprint(&variant("Q(u)"));
+        let delta = dms_delta(&old, &new);
+        assert!(!delta.base_changed);
+        assert_eq!(delta.changed, vec!["beta".to_string()]);
+        assert!(delta.added.is_empty() && delta.removed.is_empty());
+        assert_eq!(delta.unchanged.len(), old.actions.len() - 1);
+        // the split shows it was the guard, not the structure
+        assert_ne!(old.actions["beta"].guard, new.actions["beta"].guard);
+        assert_eq!(old.actions["beta"].structure, new.actions["beta"].structure);
+    }
+
+    #[test]
+    fn added_and_removed_actions_are_reported_by_name() {
+        let base = example_3_1();
+        let mut builder = DmsBuilder::new()
+            .schema(base.schema().clone())
+            .initial(base.initial().clone());
+        for action in base.actions() {
+            if action.name() == "gamma" {
+                continue; // drop gamma
+            }
+            builder = builder.action(
+                ActionBuilder::new(action.name())
+                    .params(action.params().iter().copied())
+                    .fresh(action.fresh().iter().copied())
+                    .guard(action.guard().clone())
+                    .del(action.del().clone())
+                    .add(action.add().clone()),
+            );
+        }
+        // add a fresh-injecting action "omega"
+        let w = Var::new("w");
+        let edited = builder
+            .action(
+                ActionBuilder::new("omega")
+                    .fresh([w])
+                    .guard(parse_query("true").unwrap())
+                    .add(Pattern::from_facts([(RelName::new("Q"), vec![w])])),
+            )
+            .build()
+            .unwrap();
+
+        let delta = dms_delta(&dms_fingerprint(&base), &dms_fingerprint(&edited));
+        assert_eq!(delta.added, vec!["omega".to_string()]);
+        assert_eq!(delta.removed, vec!["gamma".to_string()]);
+        assert!(!delta.base_changed);
+    }
+
+    #[test]
+    fn a_base_change_poisons_everything() {
+        let base = example_3_1();
+        // the same actions over a different initial instance: every cached transition is
+        // suspect even though no action changed
+        let mut initial = base.initial().clone();
+        initial.insert(RelName::new("Q"), vec![DataValue::e(99)]);
+        let mut builder = DmsBuilder::new()
+            .schema(base.schema().clone())
+            .constants(base.constants().iter().copied().chain([DataValue::e(99)]))
+            .initial(initial);
+        for action in base.actions() {
+            builder = builder.action(
+                ActionBuilder::new(action.name())
+                    .params(action.params().iter().copied())
+                    .fresh(action.fresh().iter().copied())
+                    .guard(action.guard().clone())
+                    .del(action.del().clone())
+                    .add(action.add().clone()),
+            );
+        }
+        let edited = builder.build().unwrap();
+        let delta = dms_delta(&dms_fingerprint(&base), &dms_fingerprint(&edited));
+        assert!(delta.base_changed);
+        assert!(!delta.is_noop());
+        assert_eq!(delta.unchanged.len(), base.actions().len());
+    }
+}

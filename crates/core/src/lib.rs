@@ -27,6 +27,7 @@ pub mod config;
 pub mod counter;
 pub mod dms;
 pub mod error;
+pub mod fingerprint;
 pub mod iso;
 pub mod persist;
 pub mod recency;
@@ -43,6 +44,7 @@ pub use commit::{
 pub use config::{BConfig, Config, History, SeqNo};
 pub use dms::{Dms, DmsBuilder};
 pub use error::CoreError;
+pub use fingerprint::{dms_delta, dms_fingerprint, fingerprint, DmsDelta, DmsFingerprint};
 pub use iso::{
     canonical_config_key, intern_canonical_config, intern_canonical_config_in, KeyInterner,
 };

@@ -121,6 +121,22 @@ impl<'a> RecencySemantics<'a> {
     /// constant-free by construction. Guard answers are consumed by value, so no
     /// substitution is cloned per successor.
     pub fn successors(&self, config: &BConfig) -> Result<Vec<(Step, BConfig)>, CoreError> {
+        self.successors_where(config, |_, _| true)
+    }
+
+    /// The `b`-bounded successors of `config` restricted to the actions `keep` selects.
+    ///
+    /// The per-action successor set depends only on the configuration, the action, the
+    /// recency bound and the declared constants, so the revision layer can recompute
+    /// *changed* actions alone and splice cached edges in for the rest.
+    pub fn successors_where<K>(
+        &self,
+        config: &BConfig,
+        mut keep: K,
+    ) -> Result<Vec<(Step, BConfig)>, CoreError>
+    where
+        K: FnMut(usize, &Action) -> bool,
+    {
         let window = self.recent(config);
         let constants = self.dms().constants();
         let fresh_base = self
@@ -131,6 +147,9 @@ impl<'a> RecencySemantics<'a> {
         let adom: BTreeSet<DataValue> = config.recency_ranks().iter().copied().collect();
         let mut result = Vec::new();
         for (index, action) in self.dms().actions().iter().enumerate() {
+            if !keep(index, action) {
+                continue;
+            }
             'answers: for guard_sub in
                 self.concrete
                     .guard_answers_within(config.instance(), &adom, index, action)?

@@ -69,6 +69,20 @@ pub enum JournalRecord {
         /// `σ`: variable name → data value index.
         bindings: BTreeMap<String, u64>,
     },
+    /// One accepted in-place revision of the session's inputs (the wire `Revise`
+    /// request); omitted fields kept their values. Appended only after the engine
+    /// accepted the revision, so replaying it cannot fail where the original succeeded.
+    Revise {
+        /// Replacement DMS, if the revision changed it.
+        #[serde(default)]
+        dms: Option<rdms_core::Dms>,
+        /// Replacement recency bound, if changed.
+        #[serde(default)]
+        bound: Option<usize>,
+        /// Replacement invariant (concrete syntax), if changed.
+        #[serde(default)]
+        invariant: Option<String>,
+    },
 }
 
 /// Where journal bytes go. [`File`] is the real sink; tests inject in-memory and
@@ -546,6 +560,15 @@ fn resume_with_suffix(
     snapshot: SessionSnapshot,
     records: &[JournalRecord],
 ) -> Option<(Session, usize)> {
+    // A `Revise` record changes the session's inputs mid-stream, so the
+    // record-index ↔ run-length mapping the checkpoint fast path relies on no
+    // longer holds anywhere in the journal. Full replay handles it correctly.
+    if records
+        .iter()
+        .any(|r| matches!(r, JournalRecord::Revise { .. }))
+    {
+        return None;
+    }
     let JournalRecord::Open {
         dms,
         bound,
@@ -603,21 +626,44 @@ pub fn replay(records: &[JournalRecord]) -> Option<(Session, usize)> {
     let mut session = Session::open(dms.clone(), *bound, invariant, *emit_certificates).ok()?;
     let mut replayed = 0;
     for record in records {
-        let JournalRecord::Check { action, bindings } = record else {
-            break; // a second Open mid-journal is corruption; keep the prefix
-        };
-        let accepted = catch_unwind(AssertUnwindSafe(|| {
-            use crate::session::CheckOutcome;
-            matches!(
-                session.check(action, bindings),
-                CheckOutcome::Ok { .. } | CheckOutcome::Violation { .. }
-            )
-        }));
-        match accepted {
-            Ok(true) => replayed += 1,
-            // a rejection or panic on a record the original session accepted means the
-            // journal diverged from the engine; the prefix up to here is still exact
-            Ok(false) | Err(_) => break,
+        match record {
+            JournalRecord::Check { action, bindings } => {
+                let accepted = catch_unwind(AssertUnwindSafe(|| {
+                    use crate::session::CheckOutcome;
+                    matches!(
+                        session.check(action, bindings),
+                        CheckOutcome::Ok { .. } | CheckOutcome::Violation { .. }
+                    )
+                }));
+                match accepted {
+                    Ok(true) => replayed += 1,
+                    // a rejection or panic on a record the original session accepted
+                    // means the journal diverged from the engine; the prefix up to
+                    // here is still exact
+                    Ok(false) | Err(_) => break,
+                }
+            }
+            JournalRecord::Revise {
+                dms,
+                bound,
+                invariant,
+            } => {
+                // Journaled only after the engine accepted it, so a failure here
+                // means divergence — keep the prefix, same as a rejected Check.
+                // Revisions are input edits, not transactions: `replayed` counts
+                // only accepted `Check` records.
+                let applied = catch_unwind(AssertUnwindSafe(|| {
+                    session
+                        .revise(dms.clone(), *bound, invariant.as_deref())
+                        .is_ok()
+                }));
+                if !matches!(applied, Ok(true)) {
+                    break;
+                }
+            }
+            JournalRecord::Open { .. } => {
+                break; // a second Open mid-journal is corruption; keep the prefix
+            }
         }
     }
     Some((session, replayed))
@@ -805,6 +851,80 @@ mod tests {
         let (session, replayed) = replay(&records).unwrap();
         assert_eq!(replayed, 1);
         assert_eq!(session.transactions(), 1);
+    }
+
+    #[test]
+    fn replay_applies_revise_records() {
+        // the session opens with a trivially-true invariant, accepts one transaction,
+        // then revises the invariant; replay must re-check the spine under the new φ
+        let records = vec![
+            open(),
+            alpha(1),
+            JournalRecord::Revise {
+                dms: None,
+                bound: None,
+                invariant: Some("!exists u. Q(u)".to_string()),
+            },
+        ];
+        let (session, replayed) = replay(&records).unwrap();
+        // revisions are input edits, not transactions
+        assert_eq!(replayed, 1);
+        assert_eq!(session.transactions(), 1);
+        assert_eq!(session.violations(), 1);
+    }
+
+    #[test]
+    fn replay_stops_at_a_failing_revise_keeping_the_prefix() {
+        // an open invariant is rejected by `Session::revise`; since the original
+        // session only journals accepted revisions, this means divergence — replay
+        // keeps the prefix and ignores the rest
+        let records = vec![
+            open(),
+            alpha(1),
+            JournalRecord::Revise {
+                dms: None,
+                bound: None,
+                invariant: Some("Q(u)".to_string()),
+            },
+            alpha(4),
+        ];
+        let (session, replayed) = replay(&records).unwrap();
+        assert_eq!(replayed, 1);
+        assert_eq!(session.transactions(), 1);
+    }
+
+    #[test]
+    fn a_revise_record_disables_the_checkpoint_fast_path() {
+        let dir = test_dir("checkpoint-revise-fallback");
+        let mut journal = Journal::create(&dir, 7, &open(), 2).unwrap();
+        journal.append(&alpha(1));
+        journal.append(&JournalRecord::Revise {
+            dms: None,
+            bound: None,
+            invariant: Some("!exists u. Q(u)".to_string()),
+        });
+        journal.append(&alpha(4));
+        drop(journal);
+
+        // even a checkpoint covering the whole run is untrusted once the journal holds
+        // a Revise: record indices no longer map to run lengths, so recovery must take
+        // the full-replay path (which applies the revision in order)
+        let (session, _) = replay(
+            &parse_journal(&std::fs::read(dir.join(journal_file_name(7))).unwrap())
+                .unwrap()
+                .records,
+        )
+        .unwrap();
+        write_snapshot(&dir, 7, &session.snapshot()).unwrap();
+
+        let recovered = recover_file(&dir.join(journal_file_name(7)))
+            .unwrap()
+            .unwrap();
+        assert!(!recovered.from_checkpoint);
+        assert_eq!(recovered.replayed, 2);
+        assert_eq!(recovered.session.transactions(), 2);
+        assert_eq!(recovered.session.violations(), session.violations());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -80,6 +80,29 @@ pub enum Request {
         /// The session id to re-attach, from the `Opened` reply of the original `Open`.
         session: u64,
     },
+    /// Revise the open session's inputs **in place**, keeping its accepted run (the wire
+    /// form of `IncrementalChecker::revise`). Every field is optional and omitted fields
+    /// keep their current value, so `{"Revise":{}}` is a legal no-op. Added in a minor
+    /// revision of protocol version 2 — servers that predate it reject the frame with
+    /// code `malformed-frame`, which clients must treat as "revision unsupported".
+    ///
+    /// Semantics (all-or-nothing; on rejection the session is unchanged): a changed
+    /// invariant is re-evaluated over the whole accepted run; a bound increase is O(1); a
+    /// bound decrease re-validates the run under the smaller window and is rejected with
+    /// code `bad-revision` if the run needs the larger one; a changed DMS replays the
+    /// accepted run against it with actions matched **by name** (a missing name or a step
+    /// the revised semantics rejects ⇒ `bad-revision`).
+    Revise {
+        /// Replacement DMS, in `rdms_core::Dms`'s serde JSON form.
+        #[serde(default)]
+        dms: Option<rdms_core::Dms>,
+        /// Replacement recency bound `b`.
+        #[serde(default)]
+        bound: Option<usize>,
+        /// Replacement invariant φ (same concrete syntax as `Open.invariant`).
+        #[serde(default)]
+        invariant: Option<String>,
+    },
     /// Ask for the session's counters (see [`Response::Stats`]).
     Status,
     /// Liveness probe; answered with [`Response::Pong`] even before `Open`.
@@ -136,6 +159,19 @@ pub enum Response {
     /// transaction was **not** applied). `code` is one of the stable [`ErrorCode`]
     /// strings; `message` is human-readable detail and not stable.
     Rejected { code: String, message: String },
+    /// The session's inputs were revised (reply to [`Request::Revise`]); the accepted run
+    /// is intact and subsequent `Check`s run against the revised inputs.
+    Revised {
+        /// The session's run length (unchanged by revision).
+        run_len: usize,
+        /// The session's violation count after revision (recomputed when the DMS or
+        /// invariant changed).
+        violations: usize,
+        /// Accepted transactions replayed against a revised DMS (0 otherwise).
+        replayed_steps: usize,
+        /// Spine configurations the invariant was (re)evaluated on.
+        rechecked_configs: usize,
+    },
     /// Session counters at the time the `Status` request was processed.
     Stats {
         /// Transactions accepted (valid transitions applied, violating or not).
@@ -217,6 +253,10 @@ pub enum ErrorCode {
     /// The server could not create or append the session's crash journal (`--journal-dir`
     /// misconfigured, disk full, …). For `Open`/`Resume`: the session was not attached.
     JournalError,
+    /// A `Revise` the session cannot honour: the bound was lowered below what the
+    /// accepted run requires, the revised DMS lacks an action the run uses, or a replayed
+    /// step is invalid under the revised semantics. The session is unchanged.
+    BadRevision,
 }
 
 impl ErrorCode {
@@ -243,6 +283,7 @@ impl ErrorCode {
             ErrorCode::Timeout => "timeout",
             ErrorCode::UnknownSession => "unknown-session",
             ErrorCode::JournalError => "journal-error",
+            ErrorCode::BadRevision => "bad-revision",
         }
     }
 }
@@ -456,6 +497,44 @@ mod tests {
         };
         let json = serde_json::to_string(&check).unwrap();
         assert!(json.starts_with("{\"Check\":{"), "got {json}");
+    }
+
+    #[test]
+    fn revise_omitted_fields_deserialize_as_none() {
+        // v2-additive: every field is optional, so `{"Revise":{}}` is a legal
+        // (no-op) request and older clients' encoders need no changes.
+        let revised: Request = serde_json::from_str("{\"Revise\":{}}").unwrap();
+        assert_eq!(
+            revised,
+            Request::Revise {
+                dms: None,
+                bound: None,
+                invariant: None,
+            }
+        );
+        let partial: Request =
+            serde_json::from_str("{\"Revise\":{\"bound\":3,\"invariant\":\"true\"}}").unwrap();
+        assert_eq!(
+            partial,
+            Request::Revise {
+                dms: None,
+                bound: Some(3),
+                invariant: Some("true".to_string()),
+            }
+        );
+    }
+
+    #[test]
+    fn revised_response_round_trips() {
+        let response = Response::Revised {
+            run_len: 4,
+            violations: 1,
+            replayed_steps: 4,
+            rechecked_configs: 5,
+        };
+        let json = serde_json::to_string(&response).unwrap();
+        assert!(json.starts_with("{\"Revised\":{"), "got {json}");
+        assert_eq!(decode_response(json.as_bytes()).unwrap(), response);
     }
 
     #[test]

@@ -721,6 +721,28 @@ fn process(request: Request, session: &mut Option<Session>, shared: &Shared) -> 
                 (session.respond(&outcome), false)
             }
         },
+        Request::Revise {
+            dms,
+            bound,
+            invariant,
+        } => match session {
+            None => (
+                Response::rejected(ErrorCode::NoSession, "send Open before Revise"),
+                false,
+            ),
+            Some(session) => match session.revise(dms, bound, invariant.as_deref()) {
+                Ok(outcome) => (
+                    Response::Revised {
+                        run_len: outcome.run_len,
+                        violations: outcome.violations,
+                        replayed_steps: outcome.replayed_steps,
+                        rechecked_configs: outcome.rechecked_configs,
+                    },
+                    false,
+                ),
+                Err(e) => (Response::rejected(e.code, e.message), false),
+            },
+        },
         Request::Status => match session {
             None => (
                 Response::rejected(ErrorCode::NoSession, "send Open before Status"),

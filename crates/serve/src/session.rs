@@ -9,7 +9,7 @@
 use crate::faults;
 use crate::journal::{Journal, JournalRecord, SessionSnapshot};
 use crate::protocol::{ErrorCode, Response, WireStep};
-use rdms_checker::incremental::{IncrementalChecker, StepVerdict};
+use rdms_checker::incremental::{IncrementalChecker, ReviseOutcome, StepVerdict};
 use rdms_core::cert::Certificate;
 use rdms_core::{CancelToken, CoreError, Dms, ExtendedRun, Step};
 use rdms_db::parser::parse_query;
@@ -289,6 +289,55 @@ impl Session {
                 CheckOutcome::Rejected { code, message }
             }
         }
+    }
+
+    /// Revise the session's inputs in place (the engine behind the wire `Revise`
+    /// request): any subset of DMS, recency bound and invariant, all-or-nothing, the
+    /// accepted run kept. See [`IncrementalChecker::revise`] for the exact semantics of
+    /// each input. On success the revision is appended to the crash journal (when one is
+    /// attached), so a crash after a revision replays against the revised inputs.
+    pub fn revise(
+        &mut self,
+        dms: Option<Dms>,
+        bound: Option<usize>,
+        invariant: Option<&str>,
+    ) -> Result<ReviseOutcome, OpenError> {
+        let query = invariant
+            .map(|text| {
+                parse_query(text).map_err(|e| OpenError {
+                    code: ErrorCode::BadInvariant,
+                    message: format!("invariant does not parse: {e}"),
+                })
+            })
+            .transpose()?;
+        let outcome = self
+            .checker
+            .revise(dms.clone().map(Arc::new), bound, query)
+            .map_err(|e| match e {
+                CoreError::Db(DbError::UnboundVariable(var)) => OpenError {
+                    code: ErrorCode::BadInvariant,
+                    message: format!("invariant must be closed, `{var}` is free"),
+                },
+                CoreError::Unsupported(reason) => OpenError {
+                    code: ErrorCode::BadRevision,
+                    message: reason,
+                },
+                other => OpenError {
+                    code: ErrorCode::BadRevision,
+                    message: format!("the accepted run does not replay: {other}"),
+                },
+            })?;
+        if let Some(journal) = &self.journal {
+            journal
+                .lock()
+                .expect("journal mutex poisoned")
+                .append(&JournalRecord::Revise {
+                    dms,
+                    bound,
+                    invariant: invariant.map(str::to_string),
+                });
+        }
+        Ok(outcome)
     }
 
     /// Append an accepted transaction to the crash journal, if one is attached. Only

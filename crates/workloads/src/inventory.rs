@@ -29,6 +29,18 @@ fn r(name: &str) -> RelName {
 
 /// The inventory system with `width` fresh items per `receive` batch (`width ≥ 1`).
 pub fn dms(width: usize) -> Dms {
+    build(width, false)
+}
+
+/// The inventory after a one-guard edit: `cancel` is additionally gated on the dock
+/// being open (`Reserved(i, o) ∧ open`). Every other action is byte-identical to
+/// [`dms`], so the fingerprint delta between the two is exactly `{cancel}` — the
+/// single-guard-edit scenario the incremental-revision machinery (bench E16) measures.
+pub fn dms_with_gated_cancel(width: usize) -> Dms {
+    build(width, true)
+}
+
+fn build(width: usize, gated_cancel: bool) -> Dms {
     let v = Var::new;
     let batch: Vec<Var> = (0..width.max(1)).map(|k| Var::numbered("i", k)).collect();
     let receive_add = Pattern::from_facts(
@@ -82,7 +94,11 @@ pub fn dms(width: usize) -> Dms {
         )
         .action(
             ActionBuilder::new("cancel")
-                .guard(Query::atom(r("Reserved"), [v("i"), v("o")]))
+                .guard(if gated_cancel {
+                    Query::atom(r("Reserved"), [v("i"), v("o")]).and(Query::prop(r("open")))
+                } else {
+                    Query::atom(r("Reserved"), [v("i"), v("o")])
+                })
                 .del(Pattern::from_facts([(
                     r("Reserved"),
                     vec![Term::Var(v("i")), Term::Var(v("o"))],
@@ -111,6 +127,15 @@ pub fn finite_dms(width: usize, permits: usize) -> Dms {
         .expect("capping the inventory preserves validity")
 }
 
+/// The permit-capped counterpart of [`dms_with_gated_cancel`]: the same one-guard edit
+/// applied to [`finite_dms`]. The capping transform rewrites `receive` and `place_order`
+/// identically in both variants, so the fingerprint delta against [`finite_dms`] is still
+/// exactly `{cancel}`.
+pub fn finite_dms_with_gated_cancel(width: usize, permits: usize) -> Dms {
+    rdms_core::transform::permits::cap_fresh(&dms_with_gated_cancel(width), permits)
+        .expect("capping the gated inventory preserves validity")
+}
+
 /// The state invariant "a reserved item is never simultaneously on the shelf"
 /// (`∀i∀o. Reserved(i, o) ⇒ ¬Stocked(i)`). It holds: `reserve` removes the item from
 /// `Stocked`, and `cancel` restores it only after deleting the reservation.
@@ -123,6 +148,87 @@ pub fn reserved_items_are_off_the_shelf() -> Query {
             Query::atom(r("Reserved"), [i, o]).implies(Query::atom(r("Stocked"), [i]).not()),
         ),
     )
+}
+
+/// The ledger-consistency invariant "an item is in at most one lifecycle stage":
+///
+/// ```text
+///   (∀i∀o. Reserved(i, o) ⇒ ¬Stocked(i))
+/// ∧ (∀i∀o. Shipped(i, o)  ⇒ ¬Stocked(i))
+/// ∧ (∀i∀o. Reserved(i, o) ⇒ Order(o))
+/// ∧ (∀i∀o. Shipped(i, o)  ⇒ Order(o))
+/// ∧ (∀i∀i′∀o∀o′. Reserved(i, o) ∧ Shipped(i′, o′) ⇒ i ≠ i′)
+/// ∧ (∀i∀i′∀o∀o′. Reserved(i, o) ∧ Reserved(i′, o′) ∧ i = i′ ⇒ o = o′)
+/// ∧ (∀i∀i′∀o∀o′. Shipped(i, o) ∧ Shipped(i′, o′) ∧ i = i′ ⇒ o = o′)
+/// ```
+///
+/// The last three are two-tuple join constraints in the textbook four-variable form:
+/// the reserved and shipped item sets are disjoint, and `item → order` is a functional
+/// dependency on both `Reserved` and `Shipped`.
+///
+/// It holds: `reserve` takes the item off the shelf (so a stocked, reserved or shipped
+/// item cannot be reserved again), `cancel` restores it only after deleting the
+/// reservation, and a shipped item can never be re-stocked or re-reserved
+/// (only `receive` adds to `Stocked`, and only with fresh values). Unlike
+/// [`reserved_items_are_off_the_shelf`] this is deliberately join-heavy — three nested
+/// quantifier blocks over the active domain — so per-state evaluation is a real cost and
+/// caches keyed on `(state, invariant)` (the revision workspace's φ-memo, bench E16) have
+/// something to recover.
+pub fn lifecycle_stages_are_exclusive() -> Query {
+    let (i, o, o2) = (Var::new("i"), Var::new("o"), Var::new("o2"));
+    let reserved_off_shelf = Query::forall(
+        i,
+        Query::forall(
+            o,
+            Query::atom(r("Reserved"), [i, o]).implies(Query::atom(r("Stocked"), [i]).not()),
+        ),
+    );
+    let shipped_off_shelf = Query::forall(
+        i,
+        Query::forall(
+            o,
+            Query::atom(r("Shipped"), [i, o]).implies(Query::atom(r("Stocked"), [i]).not()),
+        ),
+    );
+    let i2 = Var::new("i2");
+    let shipped_never_reserved = Query::forall_many(
+        [i, i2, o, o2],
+        Query::atom(r("Reserved"), [i, o])
+            .and(Query::atom(r("Shipped"), [i2, o2]))
+            .implies(Query::eq(i, i2).not()),
+    );
+    let fd_item_to_order = |rel: &str| {
+        Query::forall_many(
+            [i, i2, o, o2],
+            Query::atom(r(rel), [i, o])
+                .and(Query::atom(r(rel), [i2, o2]))
+                .and(Query::eq(i, i2))
+                .implies(Query::eq(o, o2)),
+        )
+    };
+    let one_reservation_per_item = fd_item_to_order("Reserved");
+    let one_shipment_per_item = fd_item_to_order("Shipped");
+    let reservations_have_orders = Query::forall(
+        i,
+        Query::forall(
+            o,
+            Query::atom(r("Reserved"), [i, o]).implies(Query::atom(r("Order"), [o])),
+        ),
+    );
+    let shipments_have_orders = Query::forall(
+        i,
+        Query::forall(
+            o,
+            Query::atom(r("Shipped"), [i, o]).implies(Query::atom(r("Order"), [o])),
+        ),
+    );
+    reserved_off_shelf
+        .and(shipped_off_shelf)
+        .and(reservations_have_orders)
+        .and(shipments_have_orders)
+        .and(shipped_never_reserved)
+        .and(one_reservation_per_item)
+        .and(one_shipment_per_item)
 }
 
 /// The reachability target "some item was shipped against some order"

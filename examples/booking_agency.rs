@@ -95,7 +95,7 @@ fn main() {
             ),
         ),
     );
-    let verdict = explorer.check_invariant(&invariant);
+    let verdict = explorer.run(CheckRequest::invariant(invariant));
     println!("  every booking's offer has a lifecycle state: {verdict}");
 
     // an offer is never both available and on hold
@@ -111,7 +111,7 @@ fn main() {
             [Term::Var(o), Term::Value(agency.states.onhold)],
         )),
     );
-    let verdict = explorer.check_invariant(&both.not());
+    let verdict = explorer.run(CheckRequest::invariant(both.not()));
     println!("  no offer is simultaneously avail and onhold : {verdict}");
 
     // unboundedness: offers can pile up (Example 3.2's "unbounded in many dimensions")

@@ -86,7 +86,7 @@ fn main() {
             .and(Query::atom(RelName::new("Resolved"), [t]))
             .not(),
     );
-    let verdict = explorer.check_invariant(&invariant);
+    let verdict = explorer.run(CheckRequest::invariant(invariant.clone()));
     println!("\n[invariant]  escalated ∧ resolved is impossible: {verdict}");
 
     // 2. Reachability: some ticket can be resolved.
@@ -110,7 +110,7 @@ fn main() {
         Query::atom(RelName::new("Open"), [t]),
         Query::atom(RelName::new("Resolved"), [t]).or(Query::atom(RelName::new("Escalated"), [t])),
     );
-    let verdict = explorer.check(&property);
+    let verdict = explorer.run(CheckRequest::property(property));
     println!("[response ]  every open ticket is eventually closed: {verdict}");
     if let Some(cex) = verdict.counterexample() {
         println!(
@@ -119,4 +119,19 @@ fn main() {
             cex.last().instance()
         );
     }
+
+    // 4. Edit-and-recheck with a revision workspace: tighten the bound without paying
+    //    for a from-scratch search — the b=2 explored set seeds the b=3 search.
+    let mut workspace = Workspace::new(dms.clone(), b, invariant)
+        .with_depth(5)
+        .with_max_configs(20_000);
+    let verdict = workspace.check();
+    println!("\n[workspace]  invariant at b={b}: {verdict}");
+    workspace.set_bound(b + 1);
+    let verdict = workspace.check();
+    println!(
+        "[workspace]  invariant at b={} ({:?}): {verdict}",
+        b + 1,
+        workspace.last_report().reuse
+    );
 }

@@ -232,6 +232,25 @@ fn violating_stream(addr: &str, max_retries: u32) {
         Response::Stats { violations, .. } => assert_eq!(violations, 1),
         other => panic!("expected Stats, got {other:?}"),
     }
+
+    // revise the invariant in place (v2-additive `Revise`): the accepted run is kept
+    // and re-judged — under `true` the violation record empties without reopening
+    match client.turn(&Request::Revise {
+        dms: None,
+        bound: None,
+        invariant: Some("true".to_string()),
+    }) {
+        Response::Revised {
+            run_len,
+            violations,
+            ..
+        } => {
+            assert_eq!(run_len, 1, "the run survives the revision");
+            assert_eq!(violations, 0, "`true` is violated nowhere on the spine");
+            println!("revised invariant in place: run kept, violations re-judged to {violations}");
+        }
+        other => panic!("expected Revised, got {other:?}"),
+    }
     assert_eq!(client.turn(&Request::Close), Response::Bye);
 }
 

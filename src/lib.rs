@@ -44,7 +44,10 @@ pub use rdms_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use rdms_checker::{CheckStats, Explorer, ExplorerConfig, RunEncoder, Verdict};
+    pub use rdms_checker::{
+        CheckRequest, CheckStats, CheckTarget, Explorer, ExplorerConfig, RunEncoder,
+        SessionRequest, Verdict, Workspace,
+    };
     pub use rdms_core::{
         Action, ActionBuilder, BConfig, ConcreteSemantics, Config, Dms, DmsBuilder, ExtendedRun,
         RecencySemantics, Step,

@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 use rdms::checker::checkpoint::{CheckpointPolicy, SearchCheckpoint};
-use rdms::checker::{CutoffReason, Explorer, ExplorerConfig, Verdict};
+use rdms::checker::{CheckRequest, CutoffReason, Explorer, ExplorerConfig, Verdict};
 use rdms::core::CancelToken;
 use rdms::db::{Query, RelName, Var};
 use rdms::workloads::random::{random_dms, RandomDmsConfig};
@@ -67,7 +67,7 @@ proptest! {
         let restored = SearchCheckpoint::from_json(&json).expect("portable checkpoint");
         let resumed = Explorer::new(&dms, bound)
             .with_config(config(3, 4_000))
-            .check_invariant_from(&invariant, restored);
+            .run(CheckRequest::invariant(invariant.clone()).from_checkpoint(restored));
 
         prop_assert_eq!(explored_set(&resumed), explored_set(&reference));
     }
@@ -118,7 +118,7 @@ proptest! {
             SearchCheckpoint::from_json(&stolen.to_json()).expect("portable checkpoint");
         let resumed = Explorer::new(&dms, bound)
             .with_config(config(3, 4_000))
-            .check_invariant_from(&invariant, restored);
+            .run(CheckRequest::invariant(invariant.clone()).from_checkpoint(restored));
         prop_assert_eq!(explored_set(&resumed), explored_set(&reference));
     }
 

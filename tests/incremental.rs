@@ -8,7 +8,7 @@
 //! also finds. These properties are pinned here on seeded random systems and streams.
 
 use proptest::prelude::*;
-use rdms::checker::{Explorer, ExplorerConfig, IncrementalChecker};
+use rdms::checker::{Explorer, ExplorerConfig, SessionRequest};
 use rdms::core::iso::canonical_config_key;
 use rdms::core::{RecencySemantics, Step};
 use rdms::db::{eval, Query, RelName, Var};
@@ -46,7 +46,9 @@ proptest! {
         let dms = Arc::new(random_dms(&config));
         let invariant = invariant();
         let mut session =
-            IncrementalChecker::new(Arc::clone(&dms), bound, invariant.clone()).unwrap();
+            SessionRequest::new(Arc::clone(&dms), bound, invariant.clone())
+                .open()
+                .unwrap();
         prop_assert_eq!(session.violations(), 0, "the initial instance is empty");
 
         let steps: Vec<Step> = TransactionStream::new(Arc::clone(&dms), bound, stream_seed)
@@ -98,7 +100,9 @@ proptest! {
         let dms = Arc::new(random_dms(&config));
         let invariant = invariant();
         let mut session =
-            IncrementalChecker::new(Arc::clone(&dms), bound, invariant.clone()).unwrap();
+            SessionRequest::new(Arc::clone(&dms), bound, invariant.clone())
+                .open()
+                .unwrap();
         for step in TransactionStream::new(Arc::clone(&dms), bound, stream_seed).take(6) {
             session.check(&step).expect("streamed steps are valid transitions");
         }

@@ -151,6 +151,7 @@ impl Display for BenchmarkId {
 pub struct Bencher {
     label: String,
     measurement_time: Duration,
+    min_iterations: u64,
 }
 
 impl Bencher {
@@ -163,7 +164,8 @@ impl Bencher {
         let warmup = warmup_start.elapsed().max(Duration::from_nanos(1));
 
         let budget = budget_override().unwrap_or(self.measurement_time);
-        let iters = (budget.as_nanos() / warmup.as_nanos()).clamp(1, 1_000_000) as u64;
+        let floor = self.min_iterations.max(1);
+        let iters = (budget.as_nanos() / warmup.as_nanos()).clamp(floor as u128, 1_000_000) as u64;
         let start = Instant::now();
         for _ in 0..iters {
             black_box(routine());
@@ -175,11 +177,17 @@ impl Bencher {
     }
 }
 
-fn run_bench(label: &str, sample_budget: Duration, f: impl FnOnce(&mut Bencher)) {
+fn run_bench(
+    label: &str,
+    sample_budget: Duration,
+    min_iterations: u64,
+    f: impl FnOnce(&mut Bencher),
+) {
     print!("bench {label:<50} ");
     let mut bencher = Bencher {
         label: label.to_owned(),
         measurement_time: sample_budget,
+        min_iterations,
     };
     f(&mut bencher);
 }
@@ -188,6 +196,7 @@ fn run_bench(label: &str, sample_budget: Duration, f: impl FnOnce(&mut Bencher))
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_budget: Duration,
+    min_iterations: u64,
     _criterion: &'a mut Criterion,
 }
 
@@ -205,13 +214,26 @@ impl<'a> BenchmarkGroup<'a> {
         self
     }
 
+    /// Offline-harness extension (no upstream criterion equivalent): measure every
+    /// benchmark of this group over at least `n` iterations, even when the time budget
+    /// (`CRITERION_MEASURE_MS` included) would allow fewer. Groups whose per-iteration
+    /// cost is milliseconds use this to keep committed *ratio locks* meaningful under
+    /// the CI smoke budget — a 1–2-iteration measurement is one scheduler hiccup away
+    /// from an arbitrary ratio.
+    pub fn min_iterations(&mut self, n: u64) -> &mut Self {
+        self.min_iterations = n;
+        self
+    }
+
     /// Benchmark `f` with `input`, under `id`.
     pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
     where
         F: FnOnce(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id);
-        run_bench(&label, self.sample_budget, |b| f(b, input));
+        run_bench(&label, self.sample_budget, self.min_iterations, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -221,7 +243,7 @@ impl<'a> BenchmarkGroup<'a> {
         F: FnOnce(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id);
-        run_bench(&label, self.sample_budget, f);
+        run_bench(&label, self.sample_budget, self.min_iterations, f);
         self
     }
 
@@ -249,6 +271,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             sample_budget: self.default_budget,
+            min_iterations: 1,
             _criterion: self,
         }
     }
@@ -258,7 +281,7 @@ impl Criterion {
     where
         F: FnOnce(&mut Bencher),
     {
-        run_bench(&name.to_string(), self.default_budget, f);
+        run_bench(&name.to_string(), self.default_budget, 1, f);
         self
     }
 
